@@ -1,0 +1,32 @@
+//! Debug: feasibility boundary per Table 1 row.
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_compile::{CommMethod, Strategy};
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_profile::GroundTruthCost;
+use heterog_strategies::evaluate;
+
+fn main() {
+    let c = paper_testbed_8gpu();
+    let rows = vec![
+        ModelSpec::new(BenchmarkModel::Vgg19, 192),
+        ModelSpec::new(BenchmarkModel::ResNet200, 192),
+        ModelSpec::new(BenchmarkModel::NasNet, 192),
+        ModelSpec::with_layers(BenchmarkModel::Transformer, 720, 6),
+        ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24),
+        ModelSpec::with_layers(BenchmarkModel::XlnetLarge, 48, 24),
+        ModelSpec::new(BenchmarkModel::ResNet200, 384),
+        ModelSpec::with_layers(BenchmarkModel::Transformer, 120, 24),
+        ModelSpec::with_layers(BenchmarkModel::BertLarge, 96, 24),
+        ModelSpec::with_layers(BenchmarkModel::XlnetLarge, 96, 24),
+        ModelSpec::with_layers(BenchmarkModel::BertLarge, 24, 48),
+        ModelSpec::with_layers(BenchmarkModel::XlnetLarge, 24, 48),
+    ];
+    for spec in rows {
+        let g = spec.build();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let e = evaluate(&g, &c, &GroundTruthCost, &s);
+        let peak = e.report.memory.peak_bytes.iter().max().copied().unwrap_or(0);
+        println!("{:<34} EV-AR {} peak={:.1}GiB t={:.3}", spec.label(),
+            if e.oom {"OOM "} else {"ok  "}, peak as f64/(1u64<<30) as f64, e.iteration_time);
+    }
+}

@@ -1,0 +1,40 @@
+//! Debug: where NasNet memory goes.
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_compile::{compile, CommMethod, Strategy};
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_profile::GroundTruthCost;
+use heterog_sched::{list_schedule, OrderPolicy, Proc};
+use std::collections::BTreeMap;
+
+fn main() {
+    let c = paper_testbed_8gpu();
+    let g = ModelSpec::new(BenchmarkModel::NasNet, 192).build();
+    println!("ops {}", g.len());
+    let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+    let tg = compile(&g, &c, &GroundTruthCost, &s);
+    let sch = list_schedule(&tg, &OrderPolicy::RankBased);
+    // live bytes at the time of peak on GPU2 by kind
+    // simple: total alloc bytes per kind on gpu2 weighted by lifetime
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    // compute peak time on gpu 2 via events
+    let mut events: Vec<(f64, i64, usize)> = vec![];
+    for (id, t) in tg.iter() {
+        if t.proc != Proc::Gpu(2) || t.output_bytes == 0 { continue; }
+        let free = tg.succs(id).iter().map(|s2| sch.finish[s2.index()]).fold(sch.finish[id.index()], f64::max);
+        events.push((sch.start[id.index()], t.output_bytes as i64, id.index()));
+        events.push((free, -(t.output_bytes as i64), id.index()));
+    }
+    events.sort_by(|a,b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut cur=0i64; let mut peak=0i64; let mut peak_t=0.0;
+    for &(t,d,_) in &events { cur+=d; if cur>peak {peak=cur; peak_t=t;} }
+    println!("gpu2 activation peak {:.2} GiB at t={:.3}", peak as f64/(1u64<<30) as f64, peak_t);
+    // live at peak_t by kind
+    for (id, t) in tg.iter() {
+        if t.proc != Proc::Gpu(2) || t.output_bytes == 0 { continue; }
+        let free = tg.succs(id).iter().map(|s2| sch.finish[s2.index()]).fold(sch.finish[id.index()], f64::max);
+        if sch.start[id.index()] <= peak_t && free >= peak_t {
+            *by_kind.entry(t.kind.mnemonic().to_string()).or_default() += t.output_bytes;
+        }
+    }
+    for (k, v) in by_kind { println!("  {k:<12} {:.2} GiB", v as f64/(1u64<<30) as f64); }
+}

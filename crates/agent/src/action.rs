@@ -1,0 +1,124 @@
+//! The `N x (M+4)` action space (§4.1.2).
+//!
+//! "each of the first M elements represents placing operations in this
+//! group to the corresponding device using model parallelism ... The
+//! last 4 elements correspond to ... the four combinations between two
+//! replication decisions (one replica per device / proportional) and two
+//! communication methods (PS or AllReduce)."
+
+use heterog_cluster::{Cluster, DeviceId};
+use heterog_compile::{CommMethod, OpStrategy, Strategy};
+use heterog_graph::Graph;
+use heterog_strategies::Grouping;
+
+/// Maps action indices to per-group strategies for a given cluster.
+#[derive(Debug, Clone)]
+pub struct ActionSpace {
+    /// Number of GPUs `M`.
+    pub num_devices: usize,
+}
+
+impl ActionSpace {
+    /// Action space for `cluster`.
+    pub fn new(cluster: &Cluster) -> Self {
+        ActionSpace { num_devices: cluster.num_devices() }
+    }
+
+    /// Total actions per group: `M + 4`.
+    pub fn len(&self) -> usize {
+        self.num_devices + 4
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Decodes one action index into an [`OpStrategy`].
+    pub fn decode(&self, action: usize, cluster: &Cluster) -> OpStrategy {
+        let m = self.num_devices;
+        assert!(action < m + 4, "action {action} out of range");
+        match action {
+            a if a < m => OpStrategy::Mp(DeviceId(a as u32)),
+            a if a == m => OpStrategy::even(cluster, CommMethod::Ps),
+            a if a == m + 1 => OpStrategy::even(cluster, CommMethod::AllReduce),
+            a if a == m + 2 => OpStrategy::proportional(cluster, CommMethod::Ps),
+            _ => OpStrategy::proportional(cluster, CommMethod::AllReduce),
+        }
+    }
+
+    /// Human-readable action label (Table 2's column names).
+    pub fn label(&self, action: usize) -> String {
+        let m = self.num_devices;
+        match action {
+            a if a < m => format!("G{a}"),
+            a if a == m => "EV-PS".into(),
+            a if a == m + 1 => "EV-AR".into(),
+            a if a == m + 2 => "CP-PS".into(),
+            _ => "CP-AR".into(),
+        }
+    }
+}
+
+/// Expands per-group actions into a per-op [`Strategy`].
+pub fn actions_to_strategy(
+    g: &Graph,
+    cluster: &Cluster,
+    grouping: &Grouping,
+    actions: &[usize],
+) -> Strategy {
+    assert_eq!(actions.len(), grouping.len());
+    let space = ActionSpace::new(cluster);
+    let decoded: Vec<OpStrategy> =
+        actions.iter().map(|&a| space.decode(a, cluster)).collect();
+    let per_op = (0..g.len())
+        .map(|i| decoded[grouping.group_of[i] as usize].clone())
+        .collect();
+    Strategy { per_op }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::{BenchmarkModel, ModelSpec};
+    use heterog_profile::GroundTruthCost;
+    use heterog_strategies::{group_ops, grouping::avg_op_times};
+
+    #[test]
+    fn space_size_is_m_plus_4() {
+        let c = paper_testbed_8gpu();
+        assert_eq!(ActionSpace::new(&c).len(), 12);
+    }
+
+    #[test]
+    fn decode_covers_all_variants() {
+        let c = paper_testbed_8gpu();
+        let s = ActionSpace::new(&c);
+        assert_eq!(s.decode(3, &c), OpStrategy::Mp(DeviceId(3)));
+        assert_eq!(s.decode(8, &c), OpStrategy::even(&c, CommMethod::Ps));
+        assert_eq!(s.decode(9, &c), OpStrategy::even(&c, CommMethod::AllReduce));
+        assert_eq!(s.decode(10, &c), OpStrategy::proportional(&c, CommMethod::Ps));
+        assert_eq!(s.decode(11, &c), OpStrategy::proportional(&c, CommMethod::AllReduce));
+    }
+
+    #[test]
+    fn labels_match_paper_columns() {
+        let c = paper_testbed_8gpu();
+        let s = ActionSpace::new(&c);
+        assert_eq!(s.label(0), "G0");
+        assert_eq!(s.label(8), "EV-PS");
+        assert_eq!(s.label(11), "CP-AR");
+    }
+
+    #[test]
+    fn actions_expand_to_full_strategy() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 32).build();
+        let c = paper_testbed_8gpu();
+        let grouping = group_ops(&g, &avg_op_times(&g, &c, &GroundTruthCost), 10);
+        let actions = vec![9usize; grouping.len()];
+        let s = actions_to_strategy(&g, &c, &grouping, &actions);
+        assert_eq!(s.per_op.len(), g.len());
+        assert!(s.per_op.iter().all(|o| *o == OpStrategy::even(&c, CommMethod::AllReduce)));
+    }
+}

@@ -1,0 +1,328 @@
+//! REINFORCE training of the policy network (§4.1.3).
+//!
+//! "In each round, a set of DNN graphs G are sampled as input to the
+//! GAT ... a reward is computed by the simulator ... The reward is the
+//! additive inverse of the square root of the per-iteration execution
+//! time, R = -sqrt(T); [on OOM] we multiply the computed reward by 10
+//! ... weights are updated by policy gradients [with an entropy
+//! regularizer and a moving-average baseline]."
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use heterog_cluster::Cluster;
+use heterog_compile::Strategy;
+use heterog_graph::Graph;
+use heterog_nn::policy::argmax_rows;
+use heterog_nn::{sample_categorical, softmax_rows, Adam, Matrix, PolicyGradient};
+use heterog_profile::CostEstimator;
+use heterog_strategies::{evaluate, group_ops, grouping::avg_op_times, Grouping};
+
+use crate::action::{actions_to_strategy, ActionSpace};
+use crate::features::{encode_features, graph_edges, FeatureConfig};
+use crate::policy::{PolicyConfig, PolicyNet};
+
+/// RL training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Policy architecture.
+    pub policy: PolicyConfig,
+    /// Total training episodes (round-robin over the training graphs).
+    pub episodes: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Entropy-bonus coefficient λ (§4.1.3's exploration regularizer).
+    pub entropy_coeff: f64,
+    /// Moving-average baseline decay.
+    pub baseline_decay: f64,
+    /// Operation groups (the paper's N, up to 2000).
+    pub groups: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            policy: PolicyConfig::default(),
+            episodes: 200,
+            lr: 3e-3,
+            entropy_coeff: 0.05,
+            baseline_decay: 0.9,
+            groups: 32,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One graph's training trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainRecord {
+    /// Graph name.
+    pub graph: String,
+    /// Reward per episode (this graph's episodes only).
+    pub rewards: Vec<f64>,
+    /// Iteration time of the best sampled strategy.
+    pub best_time: f64,
+    /// Episode index (within this graph's episodes) where the best
+    /// strategy was first sampled.
+    pub best_episode: usize,
+}
+
+impl TrainRecord {
+    /// Episodes until a sampled strategy got within `tol` of the best
+    /// (the "time to find the best strategy" of Table 6).
+    pub fn episodes_to_within(&self, tol: f64) -> usize {
+        let target = -(self.best_time * (1.0 + tol)).sqrt();
+        self.rewards
+            .iter()
+            .position(|&r| r >= target)
+            .map(|p| p + 1)
+            .unwrap_or(self.rewards.len())
+    }
+}
+
+struct GraphCtx {
+    graph: Graph,
+    features: Matrix,
+    edges: Vec<(u32, u32)>,
+    grouping: Grouping,
+    baseline: f64,
+    baseline_init: bool,
+    best: Option<(f64, Strategy)>,
+    record: TrainRecord,
+}
+
+/// The GNN agent: policy network + REINFORCE trainer.
+pub struct RlAgent {
+    /// Training configuration.
+    pub cfg: TrainerConfig,
+    net: Option<PolicyNet>,
+    adam: Adam,
+    rng: ChaCha8Rng,
+}
+
+impl RlAgent {
+    /// New, untrained agent.
+    pub fn new(cfg: TrainerConfig) -> Self {
+        let adam = Adam::new(cfg.lr);
+        let rng = heterog_nn::init::seeded_rng(cfg.seed);
+        RlAgent { cfg, net: None, adam, rng }
+    }
+
+    /// Trains on `graphs` (round-robin) for `cfg.episodes` episodes.
+    /// Subsequent calls continue training the same network — this is how
+    /// §6.5's pre-train-then-fine-tune is expressed.
+    pub fn train<C: CostEstimator>(
+        &mut self,
+        graphs: &[&Graph],
+        cluster: &Cluster,
+        cost: &C,
+    ) -> Vec<TrainRecord> {
+        assert!(!graphs.is_empty());
+        let space = ActionSpace::new(cluster);
+        let mut ctxs: Vec<GraphCtx> = graphs
+            .iter()
+            .map(|g| {
+                let features =
+                    encode_features(g, cluster, cost, &FeatureConfig::default());
+                let grouping = group_ops(g, &avg_op_times(g, cluster, cost), self.cfg.groups);
+                GraphCtx {
+                    features,
+                    edges: graph_edges(g),
+                    grouping,
+                    baseline: 0.0,
+                    baseline_init: false,
+                    best: None,
+                    record: TrainRecord {
+                        graph: g.name.clone(),
+                        rewards: Vec::new(),
+                        best_time: f64::INFINITY,
+                        best_episode: 0,
+                    },
+                    graph: (*g).clone(),
+                }
+            })
+            .collect();
+
+        // Lazy net init (needs the feature width).
+        let feat_dim = ctxs[0].features.cols;
+        if self.net.is_none() {
+            self.net = Some(PolicyNet::new(&self.cfg.policy, feat_dim, space.len()));
+        }
+        let net = self.net.as_mut().expect("initialized above");
+
+        for ep in 0..self.cfg.episodes {
+            let ctx = &mut ctxs[ep % graphs.len()];
+            let logits = net.forward(&ctx.features, &ctx.edges, &ctx.grouping);
+            let probs = softmax_rows(&logits);
+            let actions = sample_categorical(&probs, &mut self.rng);
+            let strategy = actions_to_strategy(&ctx.graph, cluster, &ctx.grouping, &actions);
+            let eval = evaluate(&ctx.graph, cluster, cost, &strategy);
+            let reward = eval.reward();
+
+            // Track the best sampled strategy.
+            let t = if eval.oom { f64::INFINITY } else { eval.iteration_time };
+            if t < ctx.record.best_time {
+                ctx.record.best_time = t;
+                ctx.record.best_episode = ctx.record.rewards.len();
+                ctx.best = Some((t, strategy));
+            }
+            ctx.record.rewards.push(reward);
+
+            // Moving-average baseline (per graph).
+            if !ctx.baseline_init {
+                ctx.baseline = reward;
+                ctx.baseline_init = true;
+            } else {
+                ctx.baseline = self.cfg.baseline_decay * ctx.baseline
+                    + (1.0 - self.cfg.baseline_decay) * reward;
+            }
+            let advantage = reward - ctx.baseline;
+
+            // Policy-gradient step.
+            let pg = PolicyGradient { advantage, entropy_coeff: self.cfg.entropy_coeff };
+            let mut dlogits = pg.logits_grad(&probs, &actions);
+            // Normalize by group count so graphs of different sizes
+            // produce comparable gradient magnitudes.
+            let scale = 1.0 / (ctx.grouping.len() as f64);
+            for v in &mut dlogits.data {
+                *v *= scale;
+            }
+            net.zero_grad();
+            net.backward(&dlogits);
+            net.step(&mut self.adam);
+        }
+
+        ctxs.into_iter().map(|c| c.record).collect()
+    }
+
+    /// Greedy (argmax) strategy from the current policy for `g`.
+    /// Panics if the agent was never trained.
+    pub fn plan<C: CostEstimator>(
+        &mut self,
+        g: &Graph,
+        cluster: &Cluster,
+        cost: &C,
+    ) -> Strategy {
+        let net = self.net.as_mut().expect("train before plan");
+        let features = encode_features(g, cluster, cost, &FeatureConfig::default());
+        let grouping = group_ops(g, &avg_op_times(g, cluster, cost), self.cfg.groups);
+        let logits = net.forward(&features, &graph_edges(g), &grouping);
+        let actions = argmax_rows(&softmax_rows(&logits));
+        actions_to_strategy(g, cluster, &grouping, &actions)
+    }
+
+    /// Whether the agent holds a trained network.
+    pub fn is_trained(&self) -> bool {
+        self.net.is_some()
+    }
+
+    /// Serializes the trained policy to JSON (§6.5's pre-trained model,
+    /// persisted for later fine-tuning). Errors if never trained.
+    pub fn save_policy(&self) -> Result<String, &'static str> {
+        match &self.net {
+            Some(net) => Ok(serde_json::to_string(net).expect("policy serializes")),
+            None => Err("agent has no trained policy"),
+        }
+    }
+
+    /// Restores a policy previously saved with [`RlAgent::save_policy`].
+    /// Subsequent `train` calls fine-tune it.
+    pub fn load_policy(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        self.net = Some(serde_json::from_str(json)?);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::{BenchmarkModel, ModelSpec};
+    use heterog_profile::GroundTruthCost;
+
+    fn tiny_cfg(episodes: usize) -> TrainerConfig {
+        TrainerConfig {
+            policy: PolicyConfig {
+                gat_layers: 1,
+                gat_heads: 2,
+                gat_head_dim: 4,
+                tf_blocks: 1,
+                tf_heads: 2,
+                tf_ff: 16,
+                seed: 7,
+            },
+            episodes,
+            groups: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn training_produces_records_and_improves_over_random() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let mut agent = RlAgent::new(tiny_cfg(30));
+        let recs = agent.train(&[&g], &c, &GroundTruthCost);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].rewards.len(), 30);
+        assert!(recs[0].best_time.is_finite());
+        // Late rewards should not be worse than early ones on average.
+        let early: f64 = recs[0].rewards[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = recs[0].rewards[20..].iter().sum::<f64>() / 10.0;
+        assert!(late >= early - 0.25, "early {early} late {late}");
+    }
+
+    #[test]
+    fn plan_after_training_is_valid() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let mut agent = RlAgent::new(tiny_cfg(10));
+        agent.train(&[&g], &c, &GroundTruthCost);
+        let s = agent.plan(&g, &c, &GroundTruthCost);
+        assert_eq!(s.per_op.len(), g.len());
+        let e = evaluate(&g, &c, &GroundTruthCost, &s);
+        assert!(e.iteration_time.is_finite());
+    }
+
+    #[test]
+    fn fine_tuning_continues_from_pretrained_weights() {
+        let g1 = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let g2 = ModelSpec::new(BenchmarkModel::Vgg19, 64).build();
+        let c = paper_testbed_8gpu();
+        let mut agent = RlAgent::new(tiny_cfg(10));
+        agent.train(&[&g1], &c, &GroundTruthCost);
+        assert!(agent.is_trained());
+        // Fine-tune on an unseen graph: must not panic, returns records.
+        let recs = agent.train(&[&g2], &c, &GroundTruthCost);
+        assert_eq!(recs[0].rewards.len(), 10);
+    }
+
+    #[test]
+    fn policy_save_load_roundtrip() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let mut agent = RlAgent::new(tiny_cfg(5));
+        agent.train(&[&g], &c, &GroundTruthCost);
+        let json = agent.save_policy().unwrap();
+        let s1 = agent.plan(&g, &c, &GroundTruthCost);
+        let mut restored = RlAgent::new(tiny_cfg(5));
+        assert!(restored.save_policy().is_err());
+        restored.load_policy(&json).unwrap();
+        let s2 = restored.plan(&g, &c, &GroundTruthCost);
+        assert_eq!(s1, s2, "restored policy must plan identically");
+    }
+
+    #[test]
+    fn episodes_to_within_counts_correctly() {
+        let rec = TrainRecord {
+            graph: "x".into(),
+            rewards: vec![-3.0, -2.5, -1.05, -1.0],
+            best_time: 1.0,
+            best_episode: 3,
+        };
+        // target reward for tol 0.2: -sqrt(1.2) ≈ -1.095.
+        assert_eq!(rec.episodes_to_within(0.2), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion benches for the core algorithms: grouping, compilation,
+//! scheduling (rank vs FIFO), simulation and the end-to-end planner on a
+//! mid-sized model. These time the *system*, while the `exp_*` binaries
+//! regenerate the paper's tables/figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use heterog_agent::HeteroGPlanner;
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_compile::{compile, CommMethod, Strategy};
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_profile::GroundTruthCost;
+use heterog_sched::{list_schedule, upward_ranks, OrderPolicy};
+use heterog_sim::simulate;
+use heterog_strategies::{group_ops, grouping::avg_op_times};
+
+fn bench_grouping(c: &mut Criterion) {
+    let g = ModelSpec::new(BenchmarkModel::InceptionV3, 192).build();
+    let cluster = paper_testbed_8gpu();
+    let times = avg_op_times(&g, &cluster, &GroundTruthCost);
+    c.bench_function("grouping/inception_n48", |b| {
+        b.iter(|| group_ops(&g, &times, 48))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let g = ModelSpec::new(BenchmarkModel::Vgg19, 192).build();
+    let cluster = paper_testbed_8gpu();
+    let s = Strategy::even(g.len(), &cluster, CommMethod::AllReduce);
+    c.bench_function("compile/vgg19_ev_ar", |b| {
+        b.iter(|| compile(&g, &cluster, &GroundTruthCost, &s))
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let g = ModelSpec::new(BenchmarkModel::Vgg19, 192).build();
+    let cluster = paper_testbed_8gpu();
+    let s = Strategy::even(g.len(), &cluster, CommMethod::AllReduce);
+    let tg = compile(&g, &cluster, &GroundTruthCost, &s);
+    c.bench_function("schedule/vgg19_rank", |b| {
+        b.iter(|| list_schedule(&tg, &OrderPolicy::RankBased))
+    });
+    c.bench_function("schedule/vgg19_fifo", |b| {
+        b.iter(|| list_schedule(&tg, &OrderPolicy::Fifo))
+    });
+    c.bench_function("schedule/vgg19_upward_ranks", |b| b.iter(|| upward_ranks(&tg)));
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let g = ModelSpec::new(BenchmarkModel::Vgg19, 192).build();
+    let cluster = paper_testbed_8gpu();
+    let s = Strategy::even(g.len(), &cluster, CommMethod::AllReduce);
+    let tg = compile(&g, &cluster, &GroundTruthCost, &s);
+    let caps = cluster.memory_capacities();
+    c.bench_function("simulate/vgg19_full_report", |b| {
+        b.iter(|| simulate(&tg, &caps, &OrderPolicy::RankBased))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 192).build();
+    let cluster = paper_testbed_8gpu();
+    let planner = HeteroGPlanner { groups: 8, passes: 1, allow_mp: true };
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+    group.bench_function("heterog_mobilenet_n8", |b| {
+        b.iter(|| planner.plan_detailed(&g, &cluster, &GroundTruthCost))
+    });
+    group.finish();
+}
+
+fn bench_model_zoo(c: &mut Criterion) {
+    c.bench_function("zoo/build_resnet200", |b| {
+        b.iter(|| ModelSpec::new(BenchmarkModel::ResNet200, 192).build())
+    });
+    c.bench_function("zoo/build_bert24", |b| {
+        b.iter(|| ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24).build())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_grouping,
+    bench_compile,
+    bench_schedule,
+    bench_simulate,
+    bench_planner,
+    bench_model_zoo
+);
+criterion_main!(benches);

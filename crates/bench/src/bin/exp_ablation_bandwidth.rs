@@ -1,0 +1,61 @@
+//! What-if: network-bandwidth sensitivity. The paper's footnote 1 notes
+//! that bandwidth changes alter the GNN's input features and hence the
+//! produced strategy; this experiment sweeps the cross-server NIC speed
+//! and records how HeteroG's strategy mix and iteration time respond
+//! (PS/AR crossovers, MP adoption at low bandwidth).
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_ablation_bandwidth`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::{spec::ClusterSpec, Cluster};
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_sched::OrderPolicy;
+
+fn testbed_with_nics(gbps: f64) -> Cluster {
+    let mut spec = ClusterSpec::paper_8gpu();
+    for s in &mut spec.servers {
+        s.nic_gbps = gbps;
+    }
+    spec.build().expect("valid spec")
+}
+
+fn main() {
+    let planner = heterog_planner();
+    let spec = ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24);
+
+    println!("=== What-if: NIC bandwidth sweep, {} (8 GPUs) ===", spec.label());
+    println!(
+        "{:>10}{:>12}{:>8}{:>8}{:>8}{:>8}{:>8}",
+        "NIC Gbps", "s/iter", "MP%", "EV-PS%", "EV-AR%", "CP-PS%", "CP-AR%"
+    );
+    let mut results: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for gbps in [10.0, 25.0, 50.0, 100.0, 200.0] {
+        let cluster = testbed_with_nics(gbps);
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+        let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+        let e = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+        let (mp, dp) = strategy.histogram(&cluster);
+        let total = g.len() as f64;
+        let pct = |x: usize| 100.0 * x as f64 / total;
+        let mp_total: usize = mp.iter().sum();
+        println!(
+            "{gbps:>10.0}{:>12.3}{:>7.1}%{:>7.1}%{:>7.1}%{:>7.1}%{:>7.1}%",
+            e.iteration_time,
+            pct(mp_total),
+            pct(dp[0]),
+            pct(dp[1]),
+            pct(dp[2]),
+            pct(dp[3]),
+        );
+        let mut row = BTreeMap::new();
+        row.insert("iteration_time".to_string(), e.iteration_time);
+        row.insert("mp_pct".to_string(), pct(mp_total));
+        row.insert("ps_pct".to_string(), pct(dp[0]) + pct(dp[2]));
+        row.insert("ar_pct".to_string(), pct(dp[1]) + pct(dp[3]));
+        results.insert(format!("{gbps}gbps"), row);
+    }
+    write_results("ablation_bandwidth", &results);
+}

@@ -1,0 +1,72 @@
+//! Ablation: hybrid PS+AllReduce vs forcing a single aggregation method
+//! on HeteroG's plan (the §6.2 "Hybrid of PS and AllReduce" claim).
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_ablation_comm`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_compile::{CommMethod, OpStrategy, Strategy};
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_sched::OrderPolicy;
+
+/// Rewrites every DP decision's aggregation method.
+fn force_comm(s: &Strategy, comm: CommMethod) -> Strategy {
+    let per_op = s
+        .per_op
+        .iter()
+        .map(|o| match o {
+            OpStrategy::Dp { replicas, .. } => {
+                OpStrategy::Dp { replicas: replicas.clone(), comm }
+            }
+            mp => mp.clone(),
+        })
+        .collect();
+    Strategy { per_op }
+}
+
+fn main() {
+    let cluster = paper_testbed_8gpu();
+    let planner = heterog_planner();
+
+    println!("=== Ablation: hybrid vs PS-only vs AR-only aggregation (8 GPUs) ===");
+    println!("{:<34}{:>10}{:>10}{:>10}", "Model (batch size)", "Hybrid", "PS-only", "AR-only");
+    let mut rows = Vec::new();
+    for spec in [
+        ModelSpec::new(BenchmarkModel::Vgg19, 192),
+        ModelSpec::new(BenchmarkModel::ResNet200, 192),
+        ModelSpec::with_layers(BenchmarkModel::Transformer, 720, 6),
+        ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24),
+    ] {
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+        let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+        let hybrid = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+        let ps = measure_strategy(
+            &g,
+            &cluster,
+            &force_comm(&strategy, CommMethod::Ps),
+            &OrderPolicy::RankBased,
+        );
+        let ar = measure_strategy(
+            &g,
+            &cluster,
+            &force_comm(&strategy, CommMethod::AllReduce),
+            &OrderPolicy::RankBased,
+        );
+        println!(
+            "{:<34}{:>10.3}{:>10.3}{:>10.3}",
+            spec.label(),
+            hybrid.iteration_time,
+            ps.iteration_time,
+            ar.iteration_time
+        );
+        let mut times = BTreeMap::new();
+        times.insert("hybrid".to_string(), cell(&hybrid));
+        times.insert("ps_only".to_string(), cell(&ps));
+        times.insert("ar_only".to_string(), cell(&ar));
+        rows.push(Row { model: spec.label(), times });
+    }
+    write_results("ablation_comm", &rows);
+}

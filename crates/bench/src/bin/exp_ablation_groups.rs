@@ -1,0 +1,47 @@
+//! Ablation: group count N — action-space granularity vs planning cost
+//! (§4.1.1 groups ops to shrink the action space; N is the paper's cap).
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_ablation_groups`
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use heterog_agent::HeteroGPlanner;
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_sched::OrderPolicy;
+
+fn main() {
+    let cluster = paper_testbed_8gpu();
+
+    println!("=== Ablation: group count N vs plan quality and planning time ===");
+    println!("{:<30}{:>6}{:>14}{:>16}", "Model", "N", "iter time (s)", "planning (s)");
+    let mut results: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for spec in [
+        ModelSpec::new(BenchmarkModel::Vgg19, 192),
+        ModelSpec::with_layers(BenchmarkModel::Transformer, 720, 6),
+    ] {
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+        for n in [8usize, 16, 32, 64] {
+            let planner = HeteroGPlanner { groups: n, passes: 2, allow_mp: true };
+            let t0 = Instant::now();
+            let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+            let planning = t0.elapsed().as_secs_f64();
+            let e = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+            println!(
+                "{:<30}{:>6}{:>14.3}{:>16.2}",
+                spec.label(),
+                n,
+                e.iteration_time,
+                planning
+            );
+            let mut m = BTreeMap::new();
+            m.insert("iteration_time".into(), e.iteration_time);
+            m.insert("planning_time".into(), planning);
+            results.insert(format!("{} N={n}", spec.label()), m);
+        }
+    }
+    write_results("ablation_groups", &results);
+}

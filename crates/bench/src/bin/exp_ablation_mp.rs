@@ -1,0 +1,49 @@
+//! Ablation: full action space vs DP-only (model parallelism disabled) —
+//! quantifies §6.2's "Eliminating large gradient aggregation" and the
+//! large-model feasibility claim.
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_ablation_mp`
+
+use std::collections::BTreeMap;
+
+use heterog_agent::HeteroGPlanner;
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_sched::OrderPolicy;
+
+fn main() {
+    let cluster = paper_testbed_8gpu();
+    let full = heterog_planner();
+    let dp_only = HeteroGPlanner { allow_mp: false, ..heterog_planner() };
+
+    println!("=== Ablation: HeteroG with and without MP actions (8 GPUs) ===");
+    println!("{:<34}{:>12}{:>12}", "Model (batch size)", "Full", "DP-only");
+    let mut rows = Vec::new();
+    for spec in [
+        ModelSpec::new(BenchmarkModel::Vgg19, 192),
+        ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24),
+        // A large model where DP alone is infeasible.
+        ModelSpec::with_layers(BenchmarkModel::BertLarge, 96, 24),
+    ] {
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+        let (s_full, _, _) = full.plan_detailed(&g, &cluster, &fitted);
+        let (s_dp, _, _) = dp_only.plan_detailed(&g, &cluster, &fitted);
+        let e_full = measure_strategy(&g, &cluster, &s_full, &OrderPolicy::RankBased);
+        let e_dp = measure_strategy(&g, &cluster, &s_dp, &OrderPolicy::RankBased);
+        let show = |e: &heterog_strategies::Evaluation| {
+            if e.oom {
+                "OOM".to_string()
+            } else {
+                format!("{:.3}", e.iteration_time)
+            }
+        };
+        println!("{:<34}{:>12}{:>12}", spec.label(), show(&e_full), show(&e_dp));
+        let mut times = BTreeMap::new();
+        times.insert("full".to_string(), cell(&e_full));
+        times.insert("dp_only".to_string(), cell(&e_dp));
+        rows.push(Row { model: spec.label(), times });
+    }
+    write_results("ablation_mp", &rows);
+}

@@ -1,0 +1,40 @@
+//! Runs the full experiment suite (everything except the heavy RL Table
+//! 6 run unless `--with-rl` is passed), in paper order.
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_all [-- --with-rl]`
+
+use std::process::Command;
+
+fn main() {
+    let with_rl = std::env::args().any(|a| a == "--with-rl");
+    let mut bins = vec![
+        "exp_fig3a",
+        "exp_fig3b",
+        "exp_table1",
+        "exp_table4",
+        "exp_table5",
+        "exp_table7",
+        "exp_fig8",
+        "exp_fig9",
+        "exp_appendix",
+        "exp_ablation_comm",
+        "exp_ablation_mp",
+        "exp_ablation_groups",
+        "exp_ablation_pipeline",
+        "exp_ablation_bandwidth",
+        "exp_steady_state",
+    ];
+    if with_rl {
+        bins.insert(6, "exp_table6");
+    }
+    for bin in bins {
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("could not run {bin}: {e} (build with --release first)"),
+        }
+    }
+}

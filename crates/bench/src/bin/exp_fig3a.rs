@@ -1,0 +1,43 @@
+//! Fig. 3(a): even vs computation-power-proportional whole-model replica
+//! allocation on the 4-GPU mix (2x V100 + 2x 1080Ti). The paper measures
+//! a modest 9-27% speed-up from proportional allocation — the motivation
+//! for finer-grained, per-operation decisions.
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_fig3a`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_4gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+
+fn main() {
+    let cluster = paper_testbed_4gpu();
+    let mut rows = Vec::new();
+    println!("=== Fig. 3(a): per-iteration time (s), 4 GPUs (2x V100 + 2x 1080Ti) ===");
+    println!("{:<28}{:>10}{:>14}{:>12}", "Model", "Even", "Proportional", "Speed-up");
+    let models: Vec<ModelSpec> = BenchmarkModel::cnns()
+        .into_iter()
+        .map(|m| ModelSpec::new(m, 96))
+        .chain([ModelSpec::with_layers(BenchmarkModel::Transformer, 360, 6)])
+        .collect();
+    for spec in models {
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+        let even = measure_baseline("EV-AR", &g, &cluster, &fitted);
+        let prop = measure_baseline("CP-AR", &g, &cluster, &fitted);
+        let speedup = (even.iteration_time - prop.iteration_time) / prop.iteration_time * 100.0;
+        println!(
+            "{:<28}{:>10.3}{:>14.3}{:>11.1}%",
+            spec.label(),
+            even.iteration_time,
+            prop.iteration_time,
+            speedup
+        );
+        let mut times = BTreeMap::new();
+        times.insert("even".to_string(), cell(&even));
+        times.insert("proportional".to_string(), cell(&prop));
+        rows.push(Row { model: spec.label(), times });
+    }
+    write_results("fig3a_even_vs_proportional", &rows);
+}

@@ -1,0 +1,51 @@
+//! Fig. 3(b): normalized average execution time of representative
+//! operations on a GTX 1080Ti relative to a Tesla V100. The paper
+//! measures a spread from ~1.1x to ~1.9x across op kinds — the reason
+//! uniform proportional replication is insufficient.
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_fig3b`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::write_results;
+use heterog_cluster::GpuModel;
+use heterog_graph::{Node, OpKind, Phase, TensorMeta};
+use heterog_profile::{CostEstimator, GroundTruthCost};
+
+fn main() {
+    // Representative op instances (roughly VGG/Transformer shapes, as in
+    // the paper's measurement).
+    let ops: Vec<(OpKind, f64, &str)> = vec![
+        (OpKind::Conv2D, 3.7e9, "Conv2D"),
+        (OpKind::MatMul, 2.1e8, "MatMul"),
+        (OpKind::Conv1D, 1.3e8, "Conv1D"),
+        (OpKind::Conv2DBackpropFilter, 3.7e9, "Conv2DBpFilter"),
+        (OpKind::Conv2DBackpropInput, 3.7e9, "Conv2DBpInput"),
+        (OpKind::Softmax, 2.6e6, "Softmax"),
+        (OpKind::Add, 3.2e6, "Add"),
+    ];
+
+    println!("=== Fig. 3(b): normalized op time (1080Ti / V100), batch 32 ===");
+    println!("{:<18}{:>10}{:>12}{:>12}", "Operation", "V100", "1080Ti", "Ratio");
+    let mut results = BTreeMap::new();
+    for (kind, flops_per_sample, label) in ops {
+        let node = Node::new(label, kind, Phase::Forward)
+            .with_flops(flops_per_sample, 0.0)
+            .with_output(TensorMeta::activation(1024));
+        let v = GroundTruthCost.op_time(&node, GpuModel::TeslaV100, 32);
+        let g = GroundTruthCost.op_time(&node, GpuModel::Gtx1080Ti, 32);
+        println!("{:<18}{:>9.2}ms{:>11.2}ms{:>11.2}x", label, v * 1e3, g * 1e3, g / v);
+        results.insert(label.to_string(), g / v);
+    }
+
+    // Input-size dependence: the same Conv2D at different batches.
+    println!("\nInput-size dependence of the Conv2D ratio:");
+    for batch in [1u64, 4, 16, 64, 256] {
+        let node = Node::new("conv", OpKind::Conv2D, Phase::Forward).with_flops(5.0e7, 0.0);
+        let v = GroundTruthCost.op_time(&node, GpuModel::TeslaV100, batch);
+        let g = GroundTruthCost.op_time(&node, GpuModel::Gtx1080Ti, batch);
+        println!("  batch {batch:>4}: ratio {:.2}x", g / v);
+    }
+
+    write_results("fig3b_op_ratios", &results);
+}

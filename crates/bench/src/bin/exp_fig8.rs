@@ -1,0 +1,57 @@
+//! Fig. 8: per-iteration computation time, communication time and their
+//! overlap, for VGG-19 (CP-AR vs HeteroG) and BERT-large (CP-PS vs
+//! HeteroG) on 8 GPUs. The paper reads the overlap off the ratio
+//! (computation + communication) / per-iteration time: 1.31 -> 1.47 for
+//! VGG, 1.21 -> 1.56 for BERT.
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_fig8`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_sched::OrderPolicy;
+use heterog_strategies::Evaluation;
+
+fn describe(label: &str, e: &Evaluation) -> (String, BTreeMap<String, f64>) {
+    let r = &e.report;
+    let line = format!(
+        "{label:<22} per-iter {:.3}s  computation {:.3}s  communication {:.3}s  overlap-ratio {:.2}",
+        r.iteration_time, r.computation_time, r.communication_time, r.overlap_ratio()
+    );
+    let mut m = BTreeMap::new();
+    m.insert("iteration".into(), r.iteration_time);
+    m.insert("computation".into(), r.computation_time);
+    m.insert("communication".into(), r.communication_time);
+    m.insert("overlap_ratio".into(), r.overlap_ratio());
+    (line, m)
+}
+
+fn main() {
+    let cluster = paper_testbed_8gpu();
+    let planner = heterog_planner();
+    let mut results: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+
+    println!("=== Fig. 8: computation/communication breakdown (8 GPUs) ===");
+    for (spec, baseline) in [
+        (ModelSpec::new(BenchmarkModel::Vgg19, 192), "CP-AR"),
+        (ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24), "CP-PS"),
+    ] {
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+
+        let base = measure_baseline(baseline, &g, &cluster, &fitted);
+        let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+        let ours = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+
+        println!("{}:", spec.label());
+        let (l1, m1) = describe(baseline, &base);
+        let (l2, m2) = describe("HeteroG", &ours);
+        println!("  {l1}");
+        println!("  {l2}");
+        results.insert(format!("{} {}", spec.label(), baseline), m1);
+        results.insert(format!("{} HeteroG", spec.label()), m2);
+    }
+    write_results("fig8_breakdown", &results);
+}

@@ -1,0 +1,58 @@
+//! Steady-state per-iteration time with cross-iteration pipelining.
+//!
+//! The paper reports single-iteration times; a running job additionally
+//! overlaps iteration `i+1`'s early layers with iteration `i`'s late
+//! updates (parameters gate only their own readers). This experiment
+//! quantifies that effect on HeteroG's plans — a consistency check that
+//! our single-iteration numbers are not hiding pipeline slack.
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_steady_state`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_profile::GroundTruthCost;
+use heterog_sched::OrderPolicy;
+use heterog_strategies::steady_state_iteration_time;
+
+fn main() {
+    let cluster = paper_testbed_8gpu();
+    let planner = heterog_planner();
+
+    println!("=== Steady-state vs single-iteration time (HeteroG plans, 8 GPUs) ===");
+    println!("{:<34}{:>12}{:>14}{:>10}", "Model (batch size)", "single", "steady-state", "overlap");
+    let mut results: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for spec in [
+        ModelSpec::new(BenchmarkModel::Vgg19, 192),
+        ModelSpec::new(BenchmarkModel::MobileNetV2, 192),
+        ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24),
+    ] {
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+        let (strategy, eval, _) = planner.plan_detailed(&g, &cluster, &fitted);
+        let single =
+            measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased).iteration_time;
+        let steady = steady_state_iteration_time(
+            &g,
+            &cluster,
+            &GroundTruthCost,
+            &strategy,
+            &OrderPolicy::RankBased,
+        );
+        println!(
+            "{:<34}{:>12.3}{:>14.3}{:>9.1}%",
+            spec.label(),
+            single,
+            steady,
+            (single - steady) / single * 100.0
+        );
+        let mut m = BTreeMap::new();
+        m.insert("single".into(), single);
+        m.insert("steady".into(), steady);
+        results.insert(spec.label(), m);
+        let _ = eval;
+    }
+    write_results("steady_state", &results);
+}

@@ -1,0 +1,87 @@
+//! Table 1 + Table 2 (+ the large-model rows and Table 3), 8 GPUs.
+//!
+//! Per-iteration training time of each DNN under HeteroG vs the four DP
+//! baselines, plus the distribution of parallelism strategies HeteroG
+//! chose (Gx = MP on GPU x; EV/CP x PS/AR = DP schemes).
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_table1`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::ModelSpec;
+use heterog_sched::OrderPolicy;
+
+fn main() {
+    let cluster = paper_testbed_8gpu();
+    let baselines = ["EV-PS", "EV-AR", "CP-PS", "CP-AR"];
+    let planner = heterog_planner();
+
+    let mut rows = Vec::new();
+    let mut histo_lines = vec![format!(
+        "{:<34}{}  EV-PS  EV-AR  CP-PS  CP-AR  other",
+        "Model (batch size)",
+        (0..8).map(|i| format!("   G{i}")).collect::<String>()
+    )];
+
+    let run_set = |specs: Vec<ModelSpec>,
+                   rows: &mut Vec<Row>,
+                   histo_lines: &mut Vec<String>,
+                   tag: &str| {
+        for spec in specs {
+            let g = spec.build();
+            let fitted = fitted_costs(&g, &cluster);
+            let mut times = BTreeMap::new();
+
+            // HeteroG (fast planner) with per-group action histogram.
+            let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+            let eval = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+            times.insert("HeteroG".to_string(), cell(&eval));
+
+            // Strategy histogram over OPS (Table 2/3 reports op fractions).
+            let (mp, dp) = strategy.histogram(&cluster);
+            let total = g.len() as f64;
+            let pct = |x: usize| format!("{:>5.1}%", 100.0 * x as f64 / total);
+            histo_lines.push(format!(
+                "{:<34}{}{}{}{}{}{}",
+                spec.label(),
+                mp.iter().map(|&x| pct(x)).collect::<String>(),
+                pct(dp[0]),
+                pct(dp[1]),
+                pct(dp[2]),
+                pct(dp[3]),
+                pct(dp[4]),
+            ));
+
+            for b in baselines {
+                let e = measure_baseline(b, &g, &cluster, &fitted);
+                times.insert(b.to_string(), cell(&e));
+            }
+            eprintln!("[{tag}] {} done", spec.label());
+            rows.push(Row { model: spec.label(), times });
+        }
+    };
+
+    run_set(table1_models_8gpu(), &mut rows, &mut histo_lines, "std");
+    let split = histo_lines.len();
+    run_set(large_models_8gpu(), &mut rows, &mut histo_lines, "large");
+
+    println!("=== Table 1: per-iteration time (s), 8 GPUs ===");
+    println!(
+        "{}",
+        format_speedup_table(&rows, "HeteroG", &["HeteroG", "EV-PS", "EV-AR", "CP-PS", "CP-AR"])
+    );
+    println!("=== Table 2: % of ops per strategy (HeteroG, standard models) ===");
+    for l in &histo_lines[..split] {
+        println!("{l}");
+    }
+    println!();
+    println!("=== Table 3: % of ops per strategy (HeteroG, large models) ===");
+    println!("{}", histo_lines[0]);
+    for l in &histo_lines[split..] {
+        println!("{l}");
+    }
+
+    write_results("table1_8gpu", &rows);
+}

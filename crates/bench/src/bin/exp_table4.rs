@@ -1,0 +1,40 @@
+//! Table 4: per-iteration training time, 12 GPUs (global batch x1.5).
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_table4`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_12gpu;
+use heterog_sched::OrderPolicy;
+
+fn main() {
+    let cluster = paper_testbed_12gpu();
+    let baselines = ["EV-PS", "EV-AR", "CP-PS", "CP-AR"];
+    let planner = heterog_planner();
+
+    let mut rows = Vec::new();
+    for spec in table4_models_12gpu().into_iter().chain(large_models_12gpu()) {
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+        let mut times = BTreeMap::new();
+
+        let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+        let eval = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+        times.insert("HeteroG".to_string(), cell(&eval));
+
+        for b in baselines {
+            let e = measure_baseline(b, &g, &cluster, &fitted);
+            times.insert(b.to_string(), cell(&e));
+        }
+        eprintln!("{} done", spec.label());
+        rows.push(Row { model: spec.label(), times });
+    }
+
+    println!("=== Table 4: per-iteration time (s), 12 GPUs ===");
+    println!(
+        "{}",
+        format_speedup_table(&rows, "HeteroG", &["HeteroG", "EV-PS", "EV-AR", "CP-PS", "CP-AR"])
+    );
+    write_results("table4_12gpu", &rows);
+}

@@ -1,0 +1,49 @@
+//! Table 5: end-to-end training time to the target accuracy.
+//!
+//! Synchronous SGD keeps the iteration count to convergence invariant
+//! across strategies (§6.4), so end-to-end time = iterations x
+//! per-iteration time. Iteration counts per model come from the
+//! published benchmarks the paper cites (derived constants in
+//! `BenchmarkModel::iterations_to_converge`).
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_table5`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::{paper_testbed_12gpu, paper_testbed_8gpu};
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_sched::OrderPolicy;
+
+fn main() {
+    let planner = heterog_planner();
+    let mut all = Vec::new();
+
+    for (cluster, batch, tag) in
+        [(paper_testbed_8gpu(), 192u64, "8GPUs"), (paper_testbed_12gpu(), 288, "12GPUs")]
+    {
+        let mut rows = Vec::new();
+        for model in BenchmarkModel::cnns() {
+            let iters = model.iterations_to_converge().expect("CNNs have targets") as f64;
+            let spec = ModelSpec::new(model, batch);
+            let g = spec.build();
+            let fitted = fitted_costs(&g, &cluster);
+
+            let mut times = BTreeMap::new();
+            let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+            let hg = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+            times.insert("HeteroG".to_string(), cell(&hg).map(|t| t * iters / 60.0));
+            for b in ["CP-PS", "CP-AR"] {
+                let e = measure_baseline(b, &g, &cluster, &fitted);
+                times.insert(b.to_string(), cell(&e).map(|t| t * iters / 60.0));
+            }
+            eprintln!("[{tag}] {} done", spec.label());
+            rows.push(Row { model: format!("{model}"), times });
+        }
+        println!("=== Table 5 ({tag}, batch={batch}): end-to-end training time (minutes) ===");
+        println!("{}", format_speedup_table(&rows, "HeteroG", &["HeteroG", "CP-PS", "CP-AR"]));
+        all.push((tag, rows));
+    }
+
+    write_results("table5_end_to_end", &all);
+}

@@ -1,0 +1,44 @@
+//! Table 7: per-iteration time with HeteroG's order scheduling vs the
+//! engine's default FIFO order, on the same Part-I strategy (8 GPUs).
+//! The paper reports 10-20% speed-up from ordering alone.
+//!
+//! Run: `cargo run --release -p heterog-bench --bin exp_table7`
+
+use std::collections::BTreeMap;
+
+use heterog_bench::*;
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_sched::OrderPolicy;
+
+fn main() {
+    let cluster = paper_testbed_8gpu();
+    let planner = heterog_planner();
+
+    let mut rows = Vec::new();
+    println!("=== Table 7: HeteroG schedule vs FIFO schedule (8 GPUs) ===");
+    println!(
+        "{:<34}{:>12}{:>12}{:>10}",
+        "Model (batch size)", "HeteroG", "FIFO", "Speed-up"
+    );
+    for spec in table1_models_8gpu() {
+        let g = spec.build();
+        let fitted = fitted_costs(&g, &cluster);
+        let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+        let ranked = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+        let fifo = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::Fifo);
+        let speedup =
+            (fifo.iteration_time - ranked.iteration_time) / ranked.iteration_time * 100.0;
+        println!(
+            "{:<34}{:>12.3}{:>12.3}{:>9.1}%",
+            spec.label(),
+            ranked.iteration_time,
+            fifo.iteration_time,
+            speedup
+        );
+        let mut times = BTreeMap::new();
+        times.insert("HeteroG-order".to_string(), Some(ranked.iteration_time));
+        times.insert("FIFO-order".to_string(), Some(fifo.iteration_time));
+        rows.push(Row { model: spec.label(), times });
+    }
+    write_results("table7_order_scheduling", &rows);
+}

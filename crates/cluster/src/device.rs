@@ -1,0 +1,133 @@
+//! GPU devices.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a GPU device inside a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// GPU hardware models found in the paper's testbed (plus a couple of
+/// extras useful for what-if experiments).
+///
+/// `base_tflops` is the *effective sustained* throughput our cost model
+/// uses as the device's baseline speed; the per-op-kind efficiency factors
+/// live in `heterog-profile` (so the same device can be 1.9x faster on
+/// Conv2D but only 1.2x on MatMul, as Fig. 3(b) measures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA Tesla V100, 16GB HBM2.
+    TeslaV100,
+    /// NVIDIA Tesla P100, 12GB HBM2.
+    TeslaP100,
+    /// NVIDIA GeForce GTX 1080 Ti, 11GB GDDR5X.
+    Gtx1080Ti,
+    /// NVIDIA Tesla K80, 12GB — an older card for extra-heterogeneous
+    /// what-if experiments.
+    TeslaK80,
+}
+
+impl GpuModel {
+    /// Device memory capacity in bytes.
+    pub fn memory_bytes(self) -> u64 {
+        match self {
+            GpuModel::TeslaV100 => 16 * (1 << 30),
+            GpuModel::TeslaP100 => 12 * (1 << 30),
+            GpuModel::Gtx1080Ti => 11 * (1 << 30),
+            GpuModel::TeslaK80 => 12 * (1 << 30),
+        }
+    }
+
+    /// Effective sustained throughput in TFLOP/s used as the cost-model
+    /// baseline. Chosen so the V100 : 1080Ti ratio is ~2:1 — the ratio the
+    /// paper states for its testbed ("computation power of the two types
+    /// of GPU is roughly at the ratio of 2:1", §2.3).
+    pub fn base_tflops(self) -> f64 {
+        match self {
+            GpuModel::TeslaV100 => 14.0,
+            GpuModel::TeslaP100 => 9.0,
+            GpuModel::Gtx1080Ti => 7.0,
+            GpuModel::TeslaK80 => 3.5,
+        }
+    }
+
+    /// Relative computation power, normalized to the slowest paper GPU
+    /// (1080 Ti = 1.0). Drives "proportional" replica allocation (CP-*).
+    pub fn relative_power(self) -> f64 {
+        self.base_tflops() / GpuModel::Gtx1080Ti.base_tflops()
+    }
+
+    /// Marketing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuModel::TeslaV100 => "Tesla V100",
+            GpuModel::TeslaP100 => "Tesla P100",
+            GpuModel::Gtx1080Ti => "GTX 1080Ti",
+            GpuModel::TeslaK80 => "Tesla K80",
+        }
+    }
+}
+
+impl std::fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One GPU installed in a server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Hardware model.
+    pub model: GpuModel,
+    /// Which physical server hosts this GPU (indexes the cluster's server
+    /// table; GPUs on the same server communicate over PCIe/NVLink, GPUs
+    /// on different servers over the NIC + switch).
+    pub server: u32,
+    /// Memory capacity in bytes (defaults to the model's capacity; kept
+    /// separate so experiments can shrink memory to force OOM).
+    pub memory_bytes: u64,
+}
+
+impl Device {
+    /// A device of the given model on the given server.
+    pub fn new(model: GpuModel, server: u32) -> Self {
+        Device { model, server, memory_bytes: model.memory_bytes() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_is_roughly_twice_1080ti() {
+        let r = GpuModel::TeslaV100.relative_power();
+        assert!((1.8..=2.2).contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn memory_capacities_match_testbed() {
+        assert_eq!(GpuModel::TeslaV100.memory_bytes(), 16 << 30);
+        assert_eq!(GpuModel::Gtx1080Ti.memory_bytes(), 11 << 30);
+        assert_eq!(GpuModel::TeslaP100.memory_bytes(), 12 << 30);
+    }
+
+    #[test]
+    fn device_inherits_model_memory() {
+        let d = Device::new(GpuModel::TeslaP100, 3);
+        assert_eq!(d.memory_bytes, GpuModel::TeslaP100.memory_bytes());
+        assert_eq!(d.server, 3);
+    }
+}

@@ -1,0 +1,24 @@
+//! # heterog-cluster
+//!
+//! Heterogeneous GPU-cluster model: devices, links and topology.
+//!
+//! Reproduces the paper's testbed (§6.1) as a parameterized model:
+//! five machines totalling 12 GPUs — one with 4x Tesla V100 (16GB) and a
+//! 100GbE RDMA NIC, two with 2x GTX 1080 Ti (11GB) and 50GbE NICs, two
+//! with 2x Tesla P100 (12GB) and 50GbE NICs — joined by a 100Gbps switch.
+//!
+//! Links are first-class: HeteroG's scheduler treats every inter-GPU
+//! channel as a *device* that executes communication operations (§4.2),
+//! so the cluster model enumerates link-devices alongside GPU-devices.
+
+pub mod device;
+pub mod link;
+pub mod spec;
+pub mod testbed;
+pub mod topology;
+
+pub use device::{Device, DeviceId, GpuModel};
+pub use link::{Link, LinkId, LinkKind};
+pub use testbed::{paper_testbed_12gpu, paper_testbed_4gpu, paper_testbed_8gpu};
+pub use spec::{ClusterSpec, ServerSpec, SpecError};
+pub use topology::{Cluster, ClusterError};

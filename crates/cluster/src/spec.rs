@@ -1,0 +1,179 @@
+//! Declarative cluster specifications (JSON).
+//!
+//! Mirrors the paper's `device_info` argument (§3.5): a list of machines
+//! with their NIC speeds and installed GPUs. Lets deployments live in
+//! version-controlled config rather than code:
+//!
+//! ```json
+//! {
+//!   "servers": [
+//!     { "name": "v100-box", "nic_gbps": 100, "nvlink": true,
+//!       "gpus": ["V100", "V100", "V100", "V100"] },
+//!     { "name": "gtx-box", "nic_gbps": 50, "nvlink": false,
+//!       "gpus": ["1080Ti", "1080Ti"] }
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+
+use crate::device::{Device, GpuModel};
+use crate::topology::{Cluster, Server};
+
+/// Errors from parsing a cluster spec.
+#[derive(Debug, Error)]
+pub enum SpecError {
+    /// The JSON failed to parse.
+    #[error("invalid cluster spec JSON: {0}")]
+    Json(#[from] serde_json::Error),
+    /// A GPU model name was not recognized.
+    #[error("unknown GPU model {0:?} (known: V100, P100, 1080Ti, K80)")]
+    UnknownGpu(String),
+    /// The spec declares no GPUs.
+    #[error("cluster spec declares no GPUs")]
+    Empty,
+}
+
+/// One machine in a spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Hostname-ish label.
+    pub name: String,
+    /// NIC line rate in Gbit/s (effective bandwidth is derated to ~85%).
+    pub nic_gbps: f64,
+    /// Whether same-server GPUs are NVLink-connected.
+    #[serde(default)]
+    pub nvlink: bool,
+    /// Installed GPUs, by model name.
+    pub gpus: Vec<String>,
+}
+
+/// A whole-cluster spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// The machines.
+    pub servers: Vec<ServerSpec>,
+}
+
+impl ClusterSpec {
+    /// Parses a spec from JSON.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serializes back to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
+    }
+
+    /// Builds the concrete [`Cluster`].
+    pub fn build(&self) -> Result<Cluster, SpecError> {
+        let mut servers = Vec::with_capacity(self.servers.len());
+        let mut devices = Vec::new();
+        for (si, s) in self.servers.iter().enumerate() {
+            servers.push(Server {
+                name: s.name.clone(),
+                // Gbit/s line rate -> effective bytes/s at ~85%.
+                nic_bps: s.nic_gbps * 1e9 / 8.0 * 0.85,
+                nvlink: s.nvlink,
+            });
+            for gpu in &s.gpus {
+                devices.push(Device::new(parse_gpu(gpu)?, si as u32));
+            }
+        }
+        if devices.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        Ok(Cluster::new(servers, devices))
+    }
+
+    /// The paper's 8-GPU testbed as a spec (handy starting point).
+    pub fn paper_8gpu() -> Self {
+        ClusterSpec {
+            servers: vec![
+                ServerSpec {
+                    name: "v100-box".into(),
+                    nic_gbps: 100.0,
+                    nvlink: true,
+                    gpus: vec!["V100".into(), "V100".into()],
+                },
+                ServerSpec {
+                    name: "gtx-box-1".into(),
+                    nic_gbps: 50.0,
+                    nvlink: false,
+                    gpus: vec!["1080Ti".into(), "1080Ti".into()],
+                },
+                ServerSpec {
+                    name: "gtx-box-2".into(),
+                    nic_gbps: 50.0,
+                    nvlink: false,
+                    gpus: vec!["1080Ti".into(), "1080Ti".into()],
+                },
+                ServerSpec {
+                    name: "p100-box".into(),
+                    nic_gbps: 50.0,
+                    nvlink: false,
+                    gpus: vec!["P100".into(), "P100".into()],
+                },
+            ],
+        }
+    }
+}
+
+fn parse_gpu(name: &str) -> Result<GpuModel, SpecError> {
+    match name.to_ascii_lowercase().as_str() {
+        "v100" | "tesla v100" => Ok(GpuModel::TeslaV100),
+        "p100" | "tesla p100" => Ok(GpuModel::TeslaP100),
+        "1080ti" | "gtx1080ti" | "gtx 1080ti" => Ok(GpuModel::Gtx1080Ti),
+        "k80" | "tesla k80" => Ok(GpuModel::TeslaK80),
+        other => Err(SpecError::UnknownGpu(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_json() {
+        let spec = ClusterSpec::paper_8gpu();
+        let json = spec.to_json();
+        let back = ClusterSpec::from_json(&json).unwrap();
+        assert_eq!(back.servers.len(), 4);
+        let c = back.build().unwrap();
+        assert_eq!(c.num_devices(), 8);
+    }
+
+    #[test]
+    fn matches_builtin_testbed_shape() {
+        let from_spec = ClusterSpec::paper_8gpu().build().unwrap();
+        let builtin = crate::testbed::paper_testbed_8gpu();
+        assert_eq!(from_spec.num_devices(), builtin.num_devices());
+        assert_eq!(from_spec.num_links(), builtin.num_links());
+        for (a, b) in from_spec.devices().iter().zip(builtin.devices()) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.server, b.server);
+        }
+    }
+
+    #[test]
+    fn unknown_gpu_rejected() {
+        let json = r#"{"servers":[{"name":"x","nic_gbps":10,"gpus":["H100"]}]}"#;
+        let spec = ClusterSpec::from_json(json).unwrap();
+        assert!(matches!(spec.build(), Err(SpecError::UnknownGpu(_))));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let json = r#"{"servers":[]}"#;
+        let spec = ClusterSpec::from_json(json).unwrap();
+        assert!(matches!(spec.build(), Err(SpecError::Empty)));
+    }
+
+    #[test]
+    fn gpu_names_case_insensitive() {
+        assert_eq!(parse_gpu("v100").unwrap(), GpuModel::TeslaV100);
+        assert_eq!(parse_gpu("GTX1080TI").unwrap(), GpuModel::Gtx1080Ti);
+    }
+}

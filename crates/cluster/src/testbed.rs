@@ -1,0 +1,132 @@
+//! The paper's physical testbed (§6.1), as cluster constructors.
+//!
+//! > "one \[machine\] equipped with 4 NVIDIA 16GB Tesla V100 GPUs ... and
+//! > one 100GbE Mellanox RDMA card; two equipped with two 11GB NVIDIA GTX
+//! > 1080 Ti GPUs ... and one 50GbE Mellanox RDMA card; and two equipped
+//! > with two 12GB NVIDIA Tesla P100 GPUs ... and one 50GbE Mellanox RDMA
+//! > card. The machines are connected through a 100Gbps switch."
+//!
+//! The GPU indexing in the 8-GPU experiments follows Table 2's caption:
+//! G0, G1 = Tesla V100; G2–G5 = GTX 1080Ti; G6, G7 = Tesla P100.
+
+use crate::device::{Device, GpuModel};
+use crate::link::bandwidth;
+use crate::topology::{Cluster, Server};
+
+/// The 4-GPU subset used by Fig. 3(a): two Tesla V100 + two GTX 1080 Ti.
+pub fn paper_testbed_4gpu() -> Cluster {
+    let servers = vec![
+        Server { name: "v100-box".into(), nic_bps: bandwidth::NIC_100GBE, nvlink: true },
+        Server { name: "gtx-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+    ];
+    let devices = vec![
+        Device::new(GpuModel::TeslaV100, 0),
+        Device::new(GpuModel::TeslaV100, 0),
+        Device::new(GpuModel::Gtx1080Ti, 1),
+        Device::new(GpuModel::Gtx1080Ti, 1),
+    ];
+    Cluster::new(servers, devices)
+}
+
+/// The 8-GPU configuration of Tables 1–3: 2x V100, 4x 1080Ti, 2x P100,
+/// with device ordering G0..G7 matching Table 2's caption.
+pub fn paper_testbed_8gpu() -> Cluster {
+    let servers = vec![
+        Server { name: "v100-box".into(), nic_bps: bandwidth::NIC_100GBE, nvlink: true },
+        Server { name: "gtx-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+        Server { name: "gtx-box-2".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+        Server { name: "p100-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+    ];
+    let devices = vec![
+        Device::new(GpuModel::TeslaV100, 0),  // G0
+        Device::new(GpuModel::TeslaV100, 0),  // G1
+        Device::new(GpuModel::Gtx1080Ti, 1),  // G2
+        Device::new(GpuModel::Gtx1080Ti, 1),  // G3
+        Device::new(GpuModel::Gtx1080Ti, 2),  // G4
+        Device::new(GpuModel::Gtx1080Ti, 2),  // G5
+        Device::new(GpuModel::TeslaP100, 3),  // G6
+        Device::new(GpuModel::TeslaP100, 3),  // G7
+    ];
+    Cluster::new(servers, devices)
+}
+
+/// The full 12-GPU testbed of Table 4: 4x V100, 4x 1080Ti, 4x P100 over
+/// five machines.
+pub fn paper_testbed_12gpu() -> Cluster {
+    let servers = vec![
+        Server { name: "v100-box".into(), nic_bps: bandwidth::NIC_100GBE, nvlink: true },
+        Server { name: "gtx-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+        Server { name: "gtx-box-2".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+        Server { name: "p100-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+        Server { name: "p100-box-2".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+    ];
+    let devices = vec![
+        Device::new(GpuModel::TeslaV100, 0),
+        Device::new(GpuModel::TeslaV100, 0),
+        Device::new(GpuModel::TeslaV100, 0),
+        Device::new(GpuModel::TeslaV100, 0),
+        Device::new(GpuModel::Gtx1080Ti, 1),
+        Device::new(GpuModel::Gtx1080Ti, 1),
+        Device::new(GpuModel::Gtx1080Ti, 2),
+        Device::new(GpuModel::Gtx1080Ti, 2),
+        Device::new(GpuModel::TeslaP100, 3),
+        Device::new(GpuModel::TeslaP100, 3),
+        Device::new(GpuModel::TeslaP100, 4),
+        Device::new(GpuModel::TeslaP100, 4),
+    ];
+    Cluster::new(servers, devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::link::LinkKind;
+
+    #[test]
+    fn eight_gpu_layout_matches_table2_caption() {
+        let c = paper_testbed_8gpu();
+        assert_eq!(c.num_devices(), 8);
+        assert_eq!(c.device(DeviceId(0)).model, GpuModel::TeslaV100);
+        assert_eq!(c.device(DeviceId(1)).model, GpuModel::TeslaV100);
+        for i in 2..6 {
+            assert_eq!(c.device(DeviceId(i)).model, GpuModel::Gtx1080Ti);
+        }
+        assert_eq!(c.device(DeviceId(6)).model, GpuModel::TeslaP100);
+        assert_eq!(c.device(DeviceId(7)).model, GpuModel::TeslaP100);
+    }
+
+    #[test]
+    fn twelve_gpu_counts() {
+        let c = paper_testbed_12gpu();
+        assert_eq!(c.num_devices(), 12);
+        assert_eq!(c.servers().len(), 5);
+        let v100 = c.devices().iter().filter(|d| d.model == GpuModel::TeslaV100).count();
+        assert_eq!(v100, 4);
+    }
+
+    #[test]
+    fn v100s_have_nvlink() {
+        let c = paper_testbed_8gpu();
+        let p = c.path_between(DeviceId(0), DeviceId(1)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(c.link(p[0]).kind, LinkKind::NvLink);
+    }
+
+    #[test]
+    fn cross_box_transfers_bounded_by_50gbe() {
+        let c = paper_testbed_8gpu();
+        // V100 box (100GbE) to GTX box (50GbE): the slower ingress NIC
+        // governs the end-to-end time.
+        let t = c.nominal_transfer_time(DeviceId(0), DeviceId(2), 53 << 20);
+        let expected = (53u64 << 20) as f64 / crate::link::bandwidth::NIC_50GBE;
+        assert!((t - expected).abs() / expected < 0.05);
+    }
+
+    #[test]
+    fn four_gpu_is_fig3a_mix() {
+        let c = paper_testbed_4gpu();
+        assert_eq!(c.num_devices(), 4);
+        assert!(!c.is_homogeneous());
+    }
+}

@@ -1,0 +1,339 @@
+//! Cluster topology: servers, GPUs, link processors and transfer paths.
+
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+
+use crate::device::{Device, DeviceId, GpuModel};
+use crate::link::{bandwidth, latency, Link, LinkId, LinkKind};
+
+/// Errors from cluster construction/queries.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A device id was out of range.
+    #[error("device {0} out of range ({1} devices)")]
+    BadDevice(DeviceId, usize),
+    /// No path exists between the pair (only src == dst).
+    #[error("no path from {0} to {1} (same device)")]
+    NoPath(DeviceId, DeviceId),
+}
+
+/// One physical server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Server {
+    /// Hostname-ish label.
+    pub name: String,
+    /// NIC bandwidth to the switch, bytes/s.
+    pub nic_bps: f64,
+    /// Whether same-server GPUs are NVLink-connected (V100 box) or PCIe.
+    pub nvlink: bool,
+}
+
+/// A heterogeneous GPU cluster.
+///
+/// Link processors are materialized eagerly (see [`crate::link`] for the
+/// model): a directed intra-server link per same-server GPU pair, plus an
+/// egress and an ingress NIC channel per server. `path_between` returns
+/// the 1 (intra) or 2 (cross-server, cut-through) link processors a
+/// transfer occupies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    /// `paths[src][dst]` -> the link processors a transfer occupies.
+    paths: Vec<Vec<Vec<LinkId>>>,
+}
+
+impl Cluster {
+    /// Builds a cluster from servers and their GPUs.
+    pub fn new(servers: Vec<Server>, devices: Vec<Device>) -> Self {
+        let m = devices.len();
+        let mut links: Vec<Link> = Vec::new();
+        let mut add = |kind, bw, lat, label: String| {
+            let id = LinkId(links.len() as u32);
+            links.push(Link { id, kind, bandwidth_bps: bw, latency_s: lat, label });
+            id
+        };
+
+        // Intra-server directed GPU-pair links.
+        let mut intra = vec![vec![None; m]; m];
+        for (i, a) in devices.iter().enumerate() {
+            for (j, b) in devices.iter().enumerate() {
+                if i == j || a.server != b.server {
+                    continue;
+                }
+                let s = &servers[a.server as usize];
+                let (kind, bw) = if s.nvlink {
+                    (LinkKind::NvLink, bandwidth::NVLINK)
+                } else {
+                    (LinkKind::Pcie, bandwidth::PCIE)
+                };
+                intra[i][j] = Some(add(kind, bw, latency::INTRA, format!("G{i}->G{j}")));
+            }
+        }
+
+        // Per-server NIC channels.
+        let mut nic_out = Vec::with_capacity(servers.len());
+        let mut nic_in = Vec::with_capacity(servers.len());
+        for (si, s) in servers.iter().enumerate() {
+            nic_out.push(add(LinkKind::NicOut, s.nic_bps, latency::INTER, format!("srv{si}.out")));
+            nic_in.push(add(LinkKind::NicIn, s.nic_bps, latency::INTER, format!("srv{si}.in")));
+        }
+
+        // Transfer paths.
+        let mut paths = vec![vec![Vec::new(); m]; m];
+        for (i, a) in devices.iter().enumerate() {
+            for (j, b) in devices.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                paths[i][j] = if a.server == b.server {
+                    vec![intra[i][j].expect("intra link exists")]
+                } else {
+                    vec![nic_out[a.server as usize], nic_in[b.server as usize]]
+                };
+            }
+        }
+
+        Cluster { servers, devices, links, paths }
+    }
+
+    /// Number of GPUs (the paper's `M`).
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of link processors (bounded by `M^2`, the paper's loose
+    /// maximum — intra pairs plus two NIC channels per server).
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Device ids in order.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len() as u32).map(DeviceId)
+    }
+
+    /// Immutable device access.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Link by id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// All link processors.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link processors a `src -> dst` transfer occupies (1 intra link,
+    /// or egress + ingress NIC for cross-server). Errors on `src == dst`.
+    pub fn path_between(&self, src: DeviceId, dst: DeviceId) -> Result<&[LinkId], ClusterError> {
+        let m = self.devices.len();
+        if src.index() >= m {
+            return Err(ClusterError::BadDevice(src, m));
+        }
+        if dst.index() >= m {
+            return Err(ClusterError::BadDevice(dst, m));
+        }
+        let p = &self.paths[src.index()][dst.index()];
+        if p.is_empty() {
+            return Err(ClusterError::NoPath(src, dst));
+        }
+        Ok(p)
+    }
+
+    /// End-to-end time for `bytes` from `src` to `dst` using the links'
+    /// nominal parameters: cut-through, so the slowest path segment
+    /// governs. (The profiler's fitted model refines this per link.)
+    pub fn nominal_transfer_time(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
+        match self.path_between(src, dst) {
+            Ok(p) => p
+                .iter()
+                .map(|&l| self.link(l).transfer_time(bytes))
+                .fold(0.0, f64::max),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Relative computation power per device, normalized so the minimum
+    /// is 1.0 — drives proportional (CP-*) replica allocation.
+    pub fn relative_powers(&self) -> Vec<f64> {
+        let powers: Vec<f64> = self.devices.iter().map(|d| d.model.base_tflops()).collect();
+        let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        powers.into_iter().map(|p| p / min).collect()
+    }
+
+    /// Device ids grouped by hosting server.
+    pub fn devices_by_server(&self) -> Vec<Vec<DeviceId>> {
+        let mut by: Vec<Vec<DeviceId>> = vec![Vec::new(); self.servers.len()];
+        for (i, d) in self.devices.iter().enumerate() {
+            by[d.server as usize].push(DeviceId(i as u32));
+        }
+        by
+    }
+
+    /// Sum of all devices' memory, bytes.
+    pub fn total_memory(&self) -> u64 {
+        self.devices.iter().map(|d| d.memory_bytes).sum()
+    }
+
+    /// Per-GPU memory capacities in device order (what the simulator's
+    /// OOM check consumes).
+    pub fn memory_capacities(&self) -> Vec<u64> {
+        self.devices.iter().map(|d| d.memory_bytes).collect()
+    }
+
+    /// True when every GPU has the same hardware model.
+    pub fn is_homogeneous(&self) -> bool {
+        self.devices.windows(2).all(|w| w[0].model == w[1].model)
+    }
+}
+
+/// Convenience builder for uniform test clusters: `n` GPUs of one model
+/// spread over servers of `per_server` GPUs each, PCIe internally,
+/// `nic_bps` NICs.
+pub fn uniform_cluster(model: GpuModel, n: usize, per_server: usize, nic_bps: f64) -> Cluster {
+    assert!(per_server > 0);
+    let num_servers = n.div_ceil(per_server);
+    let servers: Vec<Server> = (0..num_servers)
+        .map(|i| Server { name: format!("srv{i}"), nic_bps, nvlink: false })
+        .collect();
+    let devices: Vec<Device> =
+        (0..n).map(|i| Device::new(model, (i / per_server) as u32)).collect();
+    Cluster::new(servers, devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_server_cluster() -> Cluster {
+        let servers = vec![
+            Server { name: "a".into(), nic_bps: 10e9, nvlink: true },
+            Server { name: "b".into(), nic_bps: 5e9, nvlink: false },
+        ];
+        let devices = vec![
+            Device::new(GpuModel::TeslaV100, 0),
+            Device::new(GpuModel::TeslaV100, 0),
+            Device::new(GpuModel::Gtx1080Ti, 1),
+            Device::new(GpuModel::Gtx1080Ti, 1),
+        ];
+        Cluster::new(servers, devices)
+    }
+
+    #[test]
+    fn link_processor_inventory() {
+        let c = two_server_cluster();
+        // 2 intra pairs per server (directed) + 2 NIC channels per server.
+        assert_eq!(c.num_links(), 2 + 2 + 4);
+    }
+
+    #[test]
+    fn intra_path_is_single_local_link() {
+        let c = two_server_cluster();
+        let p = c.path_between(DeviceId(0), DeviceId(1)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(c.link(p[0]).kind, LinkKind::NvLink);
+        let p2 = c.path_between(DeviceId(2), DeviceId(3)).unwrap();
+        assert_eq!(c.link(p2[0]).kind, LinkKind::Pcie);
+    }
+
+    #[test]
+    fn cross_path_occupies_both_nics() {
+        let c = two_server_cluster();
+        let p = c.path_between(DeviceId(0), DeviceId(2)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(c.link(p[0]).kind, LinkKind::NicOut);
+        assert_eq!(c.link(p[1]).kind, LinkKind::NicIn);
+        assert_eq!(c.link(p[0]).bandwidth_bps, 10e9);
+        assert_eq!(c.link(p[1]).bandwidth_bps, 5e9);
+    }
+
+    #[test]
+    fn cross_transfers_share_the_nic_channel() {
+        let c = two_server_cluster();
+        let a = c.path_between(DeviceId(0), DeviceId(2)).unwrap();
+        let b = c.path_between(DeviceId(1), DeviceId(3)).unwrap();
+        // Same source server: same egress NIC processor.
+        assert_eq!(a[0], b[0]);
+        // Same destination server: same ingress NIC processor.
+        assert_eq!(a[1], b[1]);
+    }
+
+    #[test]
+    fn nominal_time_governed_by_slower_nic() {
+        let c = two_server_cluster();
+        let t = c.nominal_transfer_time(DeviceId(0), DeviceId(2), 5_000_000_000);
+        assert!((t - 1.0).abs() < 0.01, "5GB over the 5GB/s NIC ≈ 1s, got {t}");
+    }
+
+    #[test]
+    fn no_self_path() {
+        let c = two_server_cluster();
+        assert_eq!(
+            c.path_between(DeviceId(1), DeviceId(1)).unwrap_err(),
+            ClusterError::NoPath(DeviceId(1), DeviceId(1))
+        );
+    }
+
+    #[test]
+    fn bad_device_rejected() {
+        let c = two_server_cluster();
+        assert!(matches!(
+            c.path_between(DeviceId(9), DeviceId(0)),
+            Err(ClusterError::BadDevice(..))
+        ));
+    }
+
+    #[test]
+    fn relative_powers_normalized_to_slowest() {
+        let c = two_server_cluster();
+        let p = c.relative_powers();
+        assert_eq!(p[2], 1.0);
+        assert!((p[0] - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn devices_by_server_partitions_all() {
+        let c = two_server_cluster();
+        let by = c.devices_by_server();
+        assert_eq!(by.len(), 2);
+        assert_eq!(by[0].len(), 2);
+        assert_eq!(by[1].len(), 2);
+    }
+
+    #[test]
+    fn uniform_cluster_is_homogeneous() {
+        let c = uniform_cluster(GpuModel::TeslaP100, 6, 2, 5e9);
+        assert!(c.is_homogeneous());
+        assert_eq!(c.num_devices(), 6);
+        assert_eq!(c.servers().len(), 3);
+    }
+
+    #[test]
+    fn heterogeneous_detection() {
+        let c = two_server_cluster();
+        assert!(!c.is_homogeneous());
+    }
+
+    #[test]
+    fn link_count_within_paper_bound() {
+        let c = uniform_cluster(GpuModel::TeslaV100, 12, 4, 10e9);
+        let m = c.num_devices();
+        assert!(c.num_links() <= m * m);
+    }
+}

@@ -1,0 +1,26 @@
+//! End-to-end sanity: baseline strategies on the 8-GPU testbed.
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_compile::{compile, CommMethod, Strategy};
+use heterog_graph::{BenchmarkModel, ModelSpec};
+use heterog_profile::GroundTruthCost;
+use heterog_sched::{list_schedule, OrderPolicy};
+
+fn main() {
+    let c = paper_testbed_8gpu();
+    for m in [BenchmarkModel::Vgg19, BenchmarkModel::ResNet200, BenchmarkModel::Transformer, BenchmarkModel::BertLarge] {
+        let spec = ModelSpec::new(m, m.default_batch_8gpu());
+        let g = spec.build();
+        print!("{:28}", spec.label());
+        for (name, s) in [
+            ("EV-PS", Strategy::even(g.len(), &c, CommMethod::Ps)),
+            ("EV-AR", Strategy::even(g.len(), &c, CommMethod::AllReduce)),
+            ("CP-PS", Strategy::proportional(g.len(), &c, CommMethod::Ps)),
+            ("CP-AR", Strategy::proportional(g.len(), &c, CommMethod::AllReduce)),
+        ] {
+            let tg = compile(&g, &c, &GroundTruthCost, &s);
+            let sched = list_schedule(&tg, &OrderPolicy::RankBased);
+            print!("  {name}={:.3}s({}t)", sched.makespan, tg.len());
+        }
+        println!();
+    }
+}

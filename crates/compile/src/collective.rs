@@ -1,0 +1,530 @@
+//! Gradient-aggregation lowering: PS push/pull and AllReduce (ring or
+//! hierarchical) expansion into link-occupancy tasks.
+
+use heterog_cluster::{Cluster, DeviceId};
+use heterog_graph::{Node, OpKind, Phase, TensorMeta};
+use heterog_profile::{path_time, CostEstimator};
+use heterog_sched::{Proc, Task, TaskGraph, TaskId};
+
+use crate::xfer::emit_transfer;
+
+/// Fraction of raw link bandwidth an NCCL collective sustains across a
+/// heterogeneous PCIe/RDMA topology. 2019-era NCCL ring pipelines over
+/// mixed NVLink/PCIe/RoCE realize roughly half the slowest hop's line
+/// rate (bus utilization), which is precisely why the paper finds
+/// AllReduce so costly on many-tensor NLP models (Table 1: BERT EV-AR
+/// far slower than EV-PS) while point-to-point RDMA push/pull runs near
+/// line rate.
+pub const NCCL_BUS_EFFICIENCY: f64 = 0.5;
+
+/// Fixed launch + synchronization overhead per NCCL collective. The
+/// paper's §6.2 observation that "AllReduce for different operations
+/// cannot be launched simultaneously" makes this per-tensor cost strictly
+/// serial — the dominant penalty for models with hundreds of small
+/// parameter tensors.
+pub const NCCL_LAUNCH_OVERHEAD_S: f64 = 1.0e-3;
+
+/// Estimated completion of a PS round with server `ps`: pushes from
+/// every other device (serialized where they share NIC channels), a
+/// local reduction, then pulls.
+pub fn ps_estimate<C: CostEstimator>(
+    cluster: &Cluster,
+    cost: &C,
+    devices: &[DeviceId],
+    ps: DeviceId,
+    bytes: u64,
+) -> f64 {
+    // Fan-in serializes on the PS server's ingress NIC: approximate the
+    // push phase as the max single-path time plus the serialized ingress
+    // occupancy of the remaining cross-server senders.
+    let ps_server = cluster.device(ps).server;
+    let mut max_path = 0.0f64;
+    let mut ingress_total = 0.0f64;
+    let mut egress_like = 0.0f64;
+    for &d in devices {
+        if d == ps {
+            continue;
+        }
+        let t = path_time(cost, cluster, d, ps, bytes);
+        max_path = max_path.max(t);
+        if cluster.device(d).server != ps_server {
+            ingress_total += t;
+        } else {
+            egress_like = egress_like.max(t);
+        }
+    }
+    let push = ingress_total.max(max_path).max(egress_like);
+    let pull = push; // pulls mirror pushes through the egress NIC
+    let reduce = reduce_time(cost, cluster, ps, bytes, devices.len());
+    push + reduce + pull
+}
+
+/// Tracks the NIC occupancy already committed to parameter-server roles,
+/// so successive PS choices spread across servers (classic PS sharding:
+/// each variable is served where its aggregation completes earliest
+/// *given the traffic already assigned* — §3.4's "minimizes completion
+/// time of gradient aggregation" applied greedily per tensor).
+#[derive(Debug, Clone, Default)]
+pub struct PsLoadTracker {
+    /// Committed ingress seconds per server NIC.
+    ingress: Vec<f64>,
+    /// Committed egress seconds per server NIC.
+    egress: Vec<f64>,
+}
+
+impl PsLoadTracker {
+    /// Tracker for a cluster with `num_servers` servers.
+    pub fn new(num_servers: usize) -> Self {
+        PsLoadTracker { ingress: vec![0.0; num_servers], egress: vec![0.0; num_servers] }
+    }
+
+    fn load(&self, server: usize) -> f64 {
+        self.ingress[server].max(self.egress[server])
+    }
+
+    fn commit(&mut self, cluster: &Cluster, devices: &[DeviceId], ps: DeviceId, bytes: u64) {
+        let srv = cluster.device(ps).server as usize;
+        let nic = cluster.servers()[srv].nic_bps;
+        let cross = devices
+            .iter()
+            .filter(|&&d| d != ps && cluster.device(d).server as usize != srv)
+            .count() as f64;
+        self.ingress[srv] += cross * bytes as f64 / nic;
+        self.egress[srv] += cross * bytes as f64 / nic;
+    }
+}
+
+/// Chooses the PS device minimizing the estimated aggregation completion
+/// including the NIC traffic already committed to earlier tensors, and
+/// commits this tensor's traffic to the tracker.
+pub fn choose_ps_balanced<C: CostEstimator>(
+    cluster: &Cluster,
+    cost: &C,
+    devices: &[DeviceId],
+    bytes: u64,
+    tracker: &mut PsLoadTracker,
+) -> DeviceId {
+    let ps = *devices
+        .iter()
+        .min_by(|&&a, &&b| {
+            let ea = ps_estimate(cluster, cost, devices, a, bytes)
+                + tracker.load(cluster.device(a).server as usize);
+            let eb = ps_estimate(cluster, cost, devices, b, bytes)
+                + tracker.load(cluster.device(b).server as usize);
+            ea.total_cmp(&eb)
+        })
+        .expect("at least one device");
+    tracker.commit(cluster, devices, ps, bytes);
+    ps
+}
+
+/// Load-oblivious PS choice (single-tensor view).
+pub fn choose_ps<C: CostEstimator>(
+    cluster: &Cluster,
+    cost: &C,
+    devices: &[DeviceId],
+    bytes: u64,
+) -> DeviceId {
+    let mut t = PsLoadTracker::new(cluster.servers().len());
+    choose_ps_balanced(cluster, cost, devices, bytes, &mut t)
+}
+
+/// Per-chunk wire latency inside a pipelined NCCL ring (the collective
+/// does NOT pay the training runtime's per-transfer dispatch cost on
+/// every hop — chunks stream inside one kernel; only the per-collective
+/// launch overhead applies).
+const NCCL_HOP_LATENCY_S: f64 = 10.0e-6;
+
+/// Bottleneck nominal bandwidth along the `a -> b` path.
+fn path_bandwidth(cluster: &Cluster, a: DeviceId, b: DeviceId) -> f64 {
+    cluster
+        .path_between(a, b)
+        .expect("mesh path")
+        .iter()
+        .map(|&l| cluster.link(l).bandwidth_bps)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Ring-AllReduce duration over `devices`: `2(n-1)` pipelined steps of
+/// `bytes/n` on the slowest participating hop, at NCCL's sustained bus
+/// efficiency, plus the per-collective launch overhead.
+pub fn ring_estimate<C: CostEstimator>(
+    cluster: &Cluster,
+    _cost: &C,
+    devices: &[DeviceId],
+    bytes: u64,
+) -> f64 {
+    let n = devices.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let chunk = bytes.div_ceil(n as u64) as f64;
+    let bw = (0..n)
+        .map(|i| path_bandwidth(cluster, devices[i], devices[(i + 1) % n]))
+        .fold(f64::INFINITY, f64::min);
+    let step = chunk / (bw * NCCL_BUS_EFFICIENCY) + NCCL_HOP_LATENCY_S;
+    NCCL_LAUNCH_OVERHEAD_S + 2.0 * (n as f64 - 1.0) * step
+}
+
+/// Hierarchical AllReduce duration: intra-server reduce to a leader,
+/// ring over leaders, intra-server broadcast (§3.4's second structure).
+pub fn hierarchical_estimate<C: CostEstimator>(
+    cluster: &Cluster,
+    cost: &C,
+    devices: &[DeviceId],
+    bytes: u64,
+) -> f64 {
+    let groups = group_by_server(cluster, devices);
+    if groups.len() < 2 {
+        // Single server: plain ring is the hierarchy.
+        return ring_estimate(cluster, cost, devices, bytes);
+    }
+    let leaders: Vec<DeviceId> = groups.iter().map(|g| g[0]).collect();
+    let intra = groups
+        .iter()
+        .flat_map(|g| {
+            let leader = g[0];
+            g[1..].iter().map(move |&d| (d, leader))
+        })
+        .map(|(d, leader)| {
+            bytes as f64 / (path_bandwidth(cluster, d, leader) * NCCL_BUS_EFFICIENCY)
+                + NCCL_HOP_LATENCY_S
+        })
+        .fold(0.0f64, f64::max);
+    let ring = ring_estimate(cluster, cost, &leaders, bytes);
+    // Broadcast mirrors the reduce; intra stages run inside NCCL too.
+    2.0 * intra + ring
+}
+
+/// Emits PS aggregation into `tg`: pushes from each device's ready
+/// gradient into a `GradAggregate` on the PS, then pulls back out.
+/// `ready[d]` is the task holding device `d`'s locally-combined gradient;
+/// returns per-device tasks whose completion means "aggregated gradient
+/// available on this device" (same order as `devices`).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_ps<C: CostEstimator>(
+    tg: &mut TaskGraph,
+    cluster: &Cluster,
+    cost: &C,
+    name: &str,
+    devices: &[DeviceId],
+    ready: &[Vec<TaskId>],
+    bytes: u64,
+    tracker: &mut PsLoadTracker,
+) -> Vec<TaskId> {
+    assert_eq!(devices.len(), ready.len());
+    let ps = choose_ps_balanced(cluster, cost, devices, bytes, tracker);
+    let ps_pos = devices.iter().position(|&d| d == ps).expect("ps in devices");
+
+    // Reduction on the PS (local replica pre-reduction happens inside
+    // the transport, as NCCL/TF do — collectives depend directly on the
+    // replica gradients so no GPU-queue priority inversion occurs).
+    let agg = tg.add_task(
+        Task::new(
+            format!("{name}/ps_agg@{ps}"),
+            OpKind::GradAggregate,
+            Proc::Gpu(ps.0),
+            reduce_time(cost, cluster, ps, bytes, devices.len()),
+        )
+        .with_output_bytes(bytes),
+    );
+    for &r in &ready[ps_pos] {
+        tg.add_dep(r, agg);
+    }
+
+    // Pushes.
+    for (i, &d) in devices.iter().enumerate() {
+        if d == ps {
+            continue;
+        }
+        let segs = emit_transfer(tg, cluster, cost, &format!("{name}/push"), d, ps, bytes);
+        for s in segs {
+            for &r in &ready[i] {
+                tg.add_dep(r, s);
+            }
+            tg.add_dep(s, agg);
+        }
+    }
+
+    // Pulls.
+    let mut out = vec![agg; devices.len()];
+    for (i, &d) in devices.iter().enumerate() {
+        if d == ps {
+            continue;
+        }
+        let segs = emit_transfer(tg, cluster, cost, &format!("{name}/pull"), ps, d, bytes);
+        // A zero-cost arrival marker on the destination joins the segments.
+        let arrive = tg.add_task(Task::new(
+            format!("{name}/pull_done@{d}"),
+            OpKind::GradAggregate,
+            Proc::Gpu(d.0),
+            0.0,
+        ));
+        for s in segs {
+            tg.add_dep(agg, s);
+            tg.add_dep(s, arrive);
+        }
+        out[i] = arrive;
+    }
+    out
+}
+
+/// Emits an AllReduce (ring or hierarchical, whichever estimates faster)
+/// into `tg`. Link-occupancy model: every link processor a ring hop uses
+/// is busy for the collective's full pipelined duration, which both
+/// prices the collective and serializes overlapping collectives (NCCL
+/// launches one collective at a time — §6.2's observed constraint;
+/// collectives over the same devices share the same channels and thus
+/// serialize naturally).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_allreduce<C: CostEstimator>(
+    tg: &mut TaskGraph,
+    cluster: &Cluster,
+    cost: &C,
+    name: &str,
+    devices: &[DeviceId],
+    ready: &[Vec<TaskId>],
+    bytes: u64,
+) -> Vec<TaskId> {
+    assert_eq!(devices.len(), ready.len());
+    let n = devices.len();
+    if n == 1 {
+        // Single device: the replica gradients reduce locally in place;
+        // return a zero-cost join marker only if several replicas exist.
+        if ready[0].len() == 1 {
+            return vec![ready[0][0]];
+        }
+        let d = devices[0];
+        let join = tg.add_task(Task::new(
+            format!("{name}/local_join@{d}"),
+            OpKind::GradAggregate,
+            Proc::Gpu(d.0),
+            0.0,
+        ));
+        for &r in &ready[0] {
+            tg.add_dep(r, join);
+        }
+        return vec![join];
+    }
+
+    let ring_t = ring_estimate(cluster, cost, devices, bytes);
+    let hier_t = hierarchical_estimate(cluster, cost, devices, bytes);
+    let (dur, tag) = if hier_t < ring_t { (hier_t, "hier") } else { (ring_t, "ring") };
+
+    // Occupy every channel the ring's hops traverse for the collective's
+    // duration (deduplicated — cross-server hops from one box share NICs).
+    let mut lids: Vec<u32> = Vec::new();
+    for i in 0..n {
+        let a = devices[i];
+        let b = devices[(i + 1) % n];
+        for &lid in cluster.path_between(a, b).expect("mesh path") {
+            if !lids.contains(&lid.0) {
+                lids.push(lid.0);
+            }
+        }
+    }
+    let link_tasks: Vec<TaskId> = lids
+        .into_iter()
+        .map(|lid| {
+            tg.add_task(Task::new(
+                format!("{name}/{tag}@{}", cluster.link(heterog_cluster::LinkId(lid)).label),
+                OpKind::NcclAllReduce,
+                Proc::Link(lid),
+                dur,
+            ))
+        })
+        .collect();
+
+    for rs in ready {
+        for &r in rs {
+            for &lt in &link_tasks {
+                tg.add_dep(r, lt);
+            }
+        }
+    }
+
+    // A zero-cost completion marker per device so consumers wait on the
+    // whole collective.
+    let mut out = Vec::with_capacity(n);
+    for &d in devices {
+        // AllReduce updates the gradient buffer in place: the memory is
+        // already accounted at the gradient producer.
+        let done = tg.add_task(Task::new(
+            format!("{name}/ar_done@{d}"),
+            OpKind::GradAggregate,
+            Proc::Gpu(d.0),
+            0.0,
+        ));
+        for &lt in &link_tasks {
+            tg.add_dep(lt, done);
+        }
+        out.push(done);
+    }
+    out
+}
+
+/// Local reduction cost: summing `n` gradients of `bytes` on `dev`.
+pub fn reduce_time<C: CostEstimator>(
+    cost: &C,
+    cluster: &Cluster,
+    dev: DeviceId,
+    bytes: u64,
+    n: usize,
+) -> f64 {
+    let elems = bytes / 4;
+    let node = Node::new("reduce", OpKind::GradAggregate, Phase::Update)
+        .with_output(TensorMeta::fixed(elems))
+        .with_flops(0.0, 2.0 * elems as f64 * n.saturating_sub(1) as f64);
+    cost.op_time(&node, cluster.device(dev).model, 0)
+}
+
+/// Groups `devices` by hosting server (order-preserving).
+pub fn group_by_server(cluster: &Cluster, devices: &[DeviceId]) -> Vec<Vec<DeviceId>> {
+    let mut groups: Vec<(u32, Vec<DeviceId>)> = Vec::new();
+    for &d in devices {
+        let srv = cluster.device(d).server;
+        match groups.iter_mut().find(|(s, _)| *s == srv) {
+            Some((_, g)) => g.push(d),
+            None => groups.push((srv, vec![d])),
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_profile::GroundTruthCost;
+    use heterog_sched::{list_schedule, OrderPolicy};
+
+    fn all8() -> Vec<DeviceId> {
+        (0..8).map(DeviceId).collect()
+    }
+
+    #[test]
+    fn ring_estimate_scales_with_bytes() {
+        let c = paper_testbed_8gpu();
+        let d = all8();
+        let small = ring_estimate(&c, &GroundTruthCost, &d, 1 << 20);
+        let large = ring_estimate(&c, &GroundTruthCost, &d, 64 << 20);
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_when_intra_is_fast() {
+        // Two NVLink-dense servers behind slow NICs: reducing within each
+        // server first and ringing only the leaders must win.
+        use heterog_cluster::topology::Server;
+        use heterog_cluster::{Cluster, Device, GpuModel};
+        let servers = vec![
+            Server { name: "a".into(), nic_bps: 1.0e9, nvlink: true },
+            Server { name: "b".into(), nic_bps: 1.0e9, nvlink: true },
+        ];
+        let devices: Vec<Device> =
+            (0..8).map(|i| Device::new(GpuModel::TeslaV100, (i / 4) as u32)).collect();
+        let c = Cluster::new(servers, devices);
+        let d: Vec<DeviceId> = (0..8).map(DeviceId).collect();
+        let ring = ring_estimate(&c, &GroundTruthCost, &d, 128 << 20);
+        let hier = hierarchical_estimate(&c, &GroundTruthCost, &d, 128 << 20);
+        assert!(hier < ring, "hier {hier} vs ring {ring}");
+    }
+
+    #[test]
+    fn choose_ps_prefers_well_connected_device() {
+        let c = paper_testbed_8gpu();
+        let d = all8();
+        let ps = choose_ps(&c, &GroundTruthCost, &d, 32 << 20);
+        // The V100 box has the 100GbE NIC; PS should land there.
+        assert!(ps.0 <= 1, "expected a V100, got {ps}");
+    }
+
+    #[test]
+    fn emit_ps_wires_push_reduce_pull() {
+        let c = paper_testbed_8gpu();
+        let cost = GroundTruthCost;
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let devices = vec![DeviceId(0), DeviceId(2), DeviceId(6)];
+        let ready: Vec<Vec<TaskId>> = devices
+            .iter()
+            .map(|d| vec![tg.add_task(Task::new("g", OpKind::Conv2DBackpropFilter, Proc::Gpu(d.0), 0.01))])
+            .collect();
+        let mut tr = PsLoadTracker::new(c.servers().len());
+        let out = emit_ps(&mut tg, &c, &cost, "w0", &devices, &ready, 4 << 20, &mut tr);
+        assert_eq!(out.len(), 3);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert!(s.makespan > 0.01);
+        // Completion reflects push + reduce + pull across the NICs.
+        let est = ps_estimate(&c, &cost, &devices, choose_ps(&c, &cost, &devices, 4 << 20), 4 << 20);
+        assert!(s.makespan <= 0.011 + 2.0 * est, "{} vs est {est}", s.makespan);
+    }
+
+    #[test]
+    fn ps_pushes_serialize_on_ingress_nic() {
+        let c = paper_testbed_8gpu();
+        let cost = GroundTruthCost;
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let devices = all8();
+        let ready: Vec<Vec<TaskId>> = devices
+            .iter()
+            .map(|d| vec![tg.add_task(Task::new("g", OpKind::Conv2DBackpropFilter, Proc::Gpu(d.0), 0.0))])
+            .collect();
+        let bytes: u64 = 105 << 20; // ~0.01s per 100GbE NIC pass
+        let mut tr = PsLoadTracker::new(c.servers().len());
+        let _ = emit_ps(&mut tg, &c, &cost, "w0", &devices, &ready, bytes, &mut tr);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        // 6 cross-server pushes serialize into the PS box, then 6 pulls
+        // serialize out: >= 12 NIC passes of ~10ms each.
+        let one = bytes as f64 / 10.5e9;
+        assert!(s.makespan > 10.0 * one, "{} vs one pass {one}", s.makespan);
+    }
+
+    #[test]
+    fn emit_allreduce_occupies_shared_channels() {
+        let c = paper_testbed_8gpu();
+        let cost = GroundTruthCost;
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let devices = all8();
+        let ready: Vec<Vec<TaskId>> = devices
+            .iter()
+            .map(|d| vec![tg.add_task(Task::new("g", OpKind::Conv2DBackpropFilter, Proc::Gpu(d.0), 0.01))])
+            .collect();
+        let out = emit_allreduce(&mut tg, &c, &cost, "w0", &devices, &ready, 4 << 20);
+        assert_eq!(out.len(), 8);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        let est = ring_estimate(&c, &cost, &devices, 4 << 20)
+            .min(hierarchical_estimate(&c, &cost, &devices, 4 << 20));
+        assert!(s.makespan >= 0.01 + est - 1e-9);
+    }
+
+    #[test]
+    fn ar_cheaper_than_ps_for_large_tensors_many_devices() {
+        // The classic result the paper leans on: bandwidth-optimal ring
+        // AR beats PS fan-in for big gradients.
+        let c = paper_testbed_8gpu();
+        let cost = GroundTruthCost;
+        let d = all8();
+        let bytes: u64 = 256 << 20;
+        let ps = ps_estimate(&c, &cost, &d, choose_ps(&c, &cost, &d, bytes), bytes);
+        let ar = ring_estimate(&c, &cost, &d, bytes).min(hierarchical_estimate(&c, &cost, &d, bytes));
+        assert!(ar < ps, "ar {ar} vs ps {ps}");
+    }
+
+    #[test]
+    fn single_device_allreduce_is_noop() {
+        let c = paper_testbed_8gpu();
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let ready = vec![vec![tg.add_task(Task::new("g", OpKind::NoOp, Proc::Gpu(0), 0.01))]];
+        let out = emit_allreduce(&mut tg, &c, &GroundTruthCost, "w", &[DeviceId(0)], &ready, 1 << 20);
+        assert_eq!(out, ready[0]);
+        assert_eq!(tg.len(), 1);
+    }
+
+    #[test]
+    fn group_by_server_partitions() {
+        let c = paper_testbed_8gpu();
+        let groups = group_by_server(&c, &all8());
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0], vec![DeviceId(0), DeviceId(1)]);
+    }
+}

@@ -1,0 +1,910 @@
+//! The main lowering: (graph, cluster, cost model, strategy) -> placed,
+//! priced task graph.
+
+use heterog_cluster::{Cluster, DeviceId};
+use heterog_graph::{Graph, Node, OpId, OpKind, Phase, TensorMeta};
+use heterog_profile::CostEstimator;
+use heterog_sched::{Proc, Task, TaskGraph, TaskId};
+
+use crate::collective::{emit_allreduce, emit_ps, PsLoadTracker};
+use crate::placement::{resolve_placements, OpPlacement};
+use crate::strategy::{CommMethod, Strategy};
+
+/// Training-state multiplier for pinned parameter memory: the weights
+/// themselves plus Adam's two moment tensors (the paper's testbed trains
+/// with stateful optimizers; TF1 allocates all three persistently).
+pub const OPTIMIZER_STATE_FACTOR: u64 = 3;
+
+/// Op kinds whose outputs are computed in place (or fused) by real
+/// frameworks — they add no resident activation memory, though their
+/// outputs still define transfer sizes.
+fn is_in_place(kind: OpKind) -> bool {
+    // Dropout is NOT in-place: TF1 materializes the dropped tensor (and
+    // keeps the mask) for backward. NoOp is pure wiring (the builder's
+    // gradient fan-out points) and owns no tensor.
+    matches!(
+        kind,
+        OpKind::Activation | OpKind::BatchNorm | OpKind::LayerNorm | OpKind::NoOp
+    )
+}
+
+/// Compiler knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileOptions {
+    /// Force PS for every aggregation (PS-only ablation).
+    pub force_ps: bool,
+    /// Force AllReduce for every aggregation (AR-only ablation).
+    pub force_allreduce: bool,
+}
+
+/// Compiles the single-GPU training graph into a distributed task graph
+/// under the given Part-I strategy. See the crate docs for the lowering
+/// rules.
+pub fn compile<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+) -> TaskGraph {
+    compile_with_options(g, cluster, cost, strategy, CompileOptions::default())
+}
+
+/// [`compile`] with explicit [`CompileOptions`].
+pub fn compile_with_options<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+    opts: CompileOptions,
+) -> TaskGraph {
+    let placements = resolve_placements(g, cluster, strategy);
+    let mut lw = Lowerer {
+        g,
+        cluster,
+        cost,
+        opts,
+        tg: TaskGraph::new(
+            format!("{}@dist", g.name),
+            cluster.num_devices() as u32,
+            cluster.num_links() as u32,
+        ),
+        placements,
+        op_tasks: vec![Vec::new(); g.len()],
+        ps_loads: PsLoadTracker::new(cluster.servers().len()),
+        name_suffix: String::new(),
+        pin_params: true,
+        emit_applies: true,
+        share_override: None,
+    };
+    lw.create_replica_tasks();
+    lw.wire_edges();
+    lw.emit_gradient_aggregation();
+    lw.tg
+}
+
+/// Micro-batch pipelined compilation — the §7 extension ("we can further
+/// split a mini-batch into micro-batches, carry out pipelined training
+/// across operations deployed on different devices, and augment our
+/// execution order scheduling algorithm to handle such micro-batches").
+///
+/// The mini-batch is split into `micros` micro-batches; forward and
+/// backward tasks are emitted once per micro-batch (with proportionally
+/// scaled replica shares), and the devices pipeline them naturally under
+/// list scheduling. Unlike PipeDream-style asynchrony, **gradients from
+/// all micro-batches are aggregated once and applied once per
+/// iteration**, so synchronous-SGD semantics are fully preserved —
+/// exactly the integration the paper sketches.
+pub fn compile_pipelined<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+    opts: CompileOptions,
+    micros: u32,
+) -> TaskGraph {
+    let micros = micros.max(1);
+    if micros == 1 {
+        return compile_with_options(g, cluster, cost, strategy, opts);
+    }
+    let placements = resolve_placements(g, cluster, strategy);
+    let micro_batches = crate::placement::split_batch(g.batch_size, micros as u64);
+
+    let mut tg = TaskGraph::new(
+        format!("{}@dist-pipe{micros}", g.name),
+        cluster.num_devices() as u32,
+        cluster.num_links() as u32,
+    );
+    // Collected per-op replica tasks across micro-batches, for the final
+    // aggregation pass.
+    let mut tasks_by_micro: Vec<Vec<Vec<TaskId>>> = Vec::new();
+    let mut ps_loads = PsLoadTracker::new(cluster.servers().len());
+    let mut final_apply_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); g.len()];
+
+    let active: Vec<(usize, u64)> = micro_batches
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, b)| b > 0)
+        .collect();
+    let last_mi = active.last().expect("at least one micro-batch").0;
+
+    for &(mi, mb) in &active {
+        // Per-replica shares of this micro-batch, aligned with the
+        // full-batch placement's replica order (zero shares are kept so
+        // structure stays aligned across micro-batches).
+        let shares: Vec<Vec<u64>> = placements
+            .iter()
+            .map(|p| crate::placement::split_batch(mb, p.replicas.len() as u64))
+            .collect();
+        let mut lw = Lowerer {
+            g,
+            cluster,
+            cost,
+            opts,
+            tg,
+            placements: placements.clone(),
+            op_tasks: vec![Vec::new(); g.len()],
+            ps_loads: PsLoadTracker::new(cluster.servers().len()),
+            name_suffix: format!("~u{mi}"),
+            pin_params: mi == active[0].0,
+            emit_applies: mi == last_mi,
+            share_override: Some(shares),
+        };
+        lw.create_replica_tasks();
+        lw.wire_edges();
+        if mi == last_mi {
+            for (i, t) in lw.op_tasks.iter().enumerate() {
+                if g.node(heterog_graph::OpId(i as u32)).kind == OpKind::ApplyGradient {
+                    final_apply_tasks[i] = t.clone();
+                }
+            }
+        }
+        tasks_by_micro.push(lw.op_tasks.clone());
+        tg = lw.tg;
+    }
+
+    // One aggregation per parameter, consuming every micro-batch's
+    // replica gradients (local accumulation is in place).
+    emit_cross_micro_aggregation(
+        &mut tg,
+        g,
+        cluster,
+        cost,
+        opts,
+        &placements,
+        &tasks_by_micro,
+        &final_apply_tasks,
+        &mut ps_loads,
+    );
+    tg
+}
+
+/// Compiles `iterations` back-to-back training iterations into one task
+/// graph, with the true cross-iteration dependency: iteration `i+1`'s
+/// replicas of a parameterized op cannot start before iteration `i`'s
+/// `ApplyGradient` for those parameters completes on the same device.
+/// Everything else overlaps freely (input prefetch, early forward layers
+/// running while the previous iteration's deep updates finish) — the
+/// steady-state pipelining a real engine exhibits.
+///
+/// The steady-state per-iteration time is
+/// `(makespan(k) - makespan(k0)) / (k - k0)` for two iteration counts;
+/// `heterog-sim` exposes a helper for that.
+pub fn compile_iterations<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+    opts: CompileOptions,
+    iterations: u32,
+) -> TaskGraph {
+    let iterations = iterations.max(1);
+    let placements = resolve_placements(g, cluster, strategy);
+    let mut tg = TaskGraph::new(
+        format!("{}@dist-x{iterations}", g.name),
+        cluster.num_devices() as u32,
+        cluster.num_links() as u32,
+    );
+
+    // Map each parameterized forward op -> its ApplyGradient op.
+    let mut apply_of: Vec<Option<OpId>> = vec![None; g.len()];
+    for (gid, node) in g.iter() {
+        if let Some(f) = node.grad_of {
+            if let Some(a) = g
+                .succs(gid)
+                .iter()
+                .copied()
+                .find(|&s| g.node(s).kind == OpKind::ApplyGradient)
+            {
+                apply_of[f.index()] = Some(a);
+            }
+        }
+    }
+
+    let mut prev_tasks: Option<Vec<Vec<TaskId>>> = None;
+    for it in 0..iterations {
+        let mut lw = Lowerer {
+            g,
+            cluster,
+            cost,
+            opts,
+            tg,
+            placements: placements.clone(),
+            op_tasks: vec![Vec::new(); g.len()],
+            ps_loads: PsLoadTracker::new(cluster.servers().len()),
+            name_suffix: format!("~i{it}"),
+            pin_params: it == 0,
+            emit_applies: true,
+            share_override: None,
+        };
+        lw.create_replica_tasks();
+        lw.wire_edges();
+        lw.emit_gradient_aggregation();
+        let op_tasks = lw.op_tasks.clone();
+        tg = lw.tg;
+
+        // Cross-iteration: this iteration's parameter readers wait for
+        // the previous iteration's updates of the same parameters.
+        if let Some(prev) = &prev_tasks {
+            for (fid, apply) in apply_of.iter().enumerate() {
+                let Some(apply) = apply else { continue };
+                for (&prev_apply, &cur_f) in
+                    prev[apply.index()].iter().zip(&op_tasks[fid])
+                {
+                    tg.add_dep(prev_apply, cur_f);
+                }
+            }
+        }
+        prev_tasks = Some(op_tasks);
+    }
+    tg
+}
+
+/// Aggregates gradients accumulated across micro-batches and wires them
+/// into the (single) ApplyGradient tasks.
+#[allow(clippy::too_many_arguments)]
+fn emit_cross_micro_aggregation<C: CostEstimator>(
+    tg: &mut TaskGraph,
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    opts: CompileOptions,
+    placements: &[OpPlacement],
+    tasks_by_micro: &[Vec<Vec<TaskId>>],
+    apply_tasks: &[Vec<TaskId>],
+    ps_loads: &mut PsLoadTracker,
+) {
+    for (gid, node) in g.iter() {
+        if !node.kind.produces_param_grad() {
+            continue;
+        }
+        let Some(apply) = g
+            .succs(gid)
+            .iter()
+            .copied()
+            .find(|&s| g.node(s).kind == OpKind::ApplyGradient)
+        else {
+            continue;
+        };
+        let gp = &placements[gid.index()];
+        let bytes = node.output.bytes(0).max(node.output.bytes(1));
+        let devices = gp.devices();
+
+        let ready: Vec<Vec<TaskId>> = devices
+            .iter()
+            .map(|&d| {
+                tasks_by_micro
+                    .iter()
+                    .flat_map(|per_op| {
+                        gp.replicas
+                            .iter()
+                            .zip(&per_op[gid.index()])
+                            .filter(move |((rd, _), _)| *rd == d)
+                            .map(|(_, &t)| t)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let applies = &apply_tasks[apply.index()];
+        debug_assert_eq!(applies.len(), devices.len());
+
+        if devices.len() == 1 {
+            for &r in &ready[0] {
+                tg.add_dep(r, applies[0]);
+            }
+            continue;
+        }
+        let comm = if opts.force_ps {
+            CommMethod::Ps
+        } else if opts.force_allreduce {
+            CommMethod::AllReduce
+        } else {
+            gp.comm
+        };
+        let avail = match comm {
+            CommMethod::Ps => {
+                emit_ps(tg, cluster, cost, &node.name, &devices, &ready, bytes, ps_loads)
+            }
+            CommMethod::AllReduce => {
+                emit_allreduce(tg, cluster, cost, &node.name, &devices, &ready, bytes)
+            }
+        };
+        for (a, t) in avail.iter().zip(applies) {
+            tg.add_dep(*a, *t);
+        }
+    }
+}
+
+struct Lowerer<'a, C: CostEstimator> {
+    g: &'a Graph,
+    cluster: &'a Cluster,
+    cost: &'a C,
+    opts: CompileOptions,
+    tg: TaskGraph,
+    placements: Vec<OpPlacement>,
+    op_tasks: Vec<Vec<TaskId>>,
+    ps_loads: PsLoadTracker,
+    /// Micro-batch pipelining support (the §7 extension): task-name
+    /// suffix, whether this pass pins parameters (only the first
+    /// micro-batch does), whether ApplyGradient tasks are emitted (only
+    /// the last micro-batch's pass does), and optional per-op per-replica
+    /// share overrides replacing the placement's full-batch shares.
+    name_suffix: String,
+    pin_params: bool,
+    emit_applies: bool,
+    share_override: Option<Vec<Vec<u64>>>,
+}
+
+impl<'a, C: CostEstimator> Lowerer<'a, C> {
+    fn create_replica_tasks(&mut self) {
+        for (id, node) in self.g.iter() {
+            if node.kind == OpKind::ApplyGradient && !self.emit_applies {
+                continue; // pipelined: updates happen once, after the last micro-batch
+            }
+            let placement = self.placements[id.index()].clone();
+            let mut param_assigned: Vec<DeviceId> = Vec::new();
+            for (ri, &(dev, full_share)) in placement.replicas.iter().enumerate() {
+                let share = match &self.share_override {
+                    Some(sh) => sh[id.index()][ri],
+                    None => full_share,
+                };
+                let model = self.cluster.device(dev).model;
+                let duration = self.cost.op_time(node, model, share);
+                let mut task = Task::new(
+                    format!("{}{}@{dev}#{ri}", node.name, self.name_suffix),
+                    node.kind,
+                    Proc::Gpu(dev.0),
+                    duration,
+                )
+                .with_origin(id)
+                .with_batch_share(share)
+                // ApplyGradient updates parameters in place; elementwise
+                // ops are fused/in-place in real frameworks and add no
+                // resident memory (their output sizes still price any
+                // transfers, which read the node metadata directly).
+                .with_output_bytes(
+                    if node.kind == OpKind::ApplyGradient || is_in_place(node.kind) {
+                        0
+                    } else {
+                        node.output.bytes(share)
+                    },
+                );
+                // Parameters are pinned once per distinct device, along
+                // with the optimizer's per-parameter state (and only by
+                // the first micro-batch's pass).
+                if self.pin_params && node.param_bytes > 0 && !param_assigned.contains(&dev) {
+                    task = task.with_param_bytes(node.param_bytes * OPTIMIZER_STATE_FACTOR);
+                    param_assigned.push(dev);
+                }
+                let tid = self.tg.add_task(task);
+                self.op_tasks[id.index()].push(tid);
+            }
+        }
+    }
+
+    fn wire_edges(&mut self) {
+        for u in self.g.op_ids() {
+            for &v in self.g.succs(u) {
+                // Parameter-gradient -> ApplyGradient edges are realized
+                // by the aggregation lowering instead.
+                if self.g.node(u).kind.produces_param_grad()
+                    && self.g.node(v).kind == OpKind::ApplyGradient
+                {
+                    continue;
+                }
+                self.wire(u, v);
+            }
+        }
+    }
+
+    /// Connects all replicas of `u` to all replicas of `v`, inserting
+    /// Transfer/Split/Concat tasks as the distributions require.
+    fn wire(&mut self, u: OpId, v: OpId) {
+        if self.op_tasks[u.index()].is_empty() || self.op_tasks[v.index()].is_empty() {
+            return; // endpoint not emitted in this pass (pipelined applies)
+        }
+        let pu = self.placements[u.index()].clone();
+        let pv = self.placements[v.index()].clone();
+        let tu = self.op_tasks[u.index()].clone();
+        let tv = self.op_tasks[v.index()].clone();
+        let node_u = self.g.node(u).clone();
+
+        // Identical distributions: replica-to-replica, no communication.
+        if pu.replicas == pv.replicas {
+            for (a, b) in tu.iter().zip(&tv) {
+                self.tg.add_dep(*a, *b);
+            }
+            return;
+        }
+
+        if pu.single_instance() {
+            let (u_dev, u_share) = pu.replicas[0];
+            if pv.single_instance() {
+                let (v_dev, _) = pv.replicas[0];
+                let bytes = node_u.output.bytes(u_share);
+                self.connect(tu[0], tv[0], u_dev, v_dev, bytes, &node_u.name);
+            } else if node_u.output.has_batch_dim() {
+                // Scatter: Split on u's device, shard transfers out.
+                let total = node_u.output.bytes(u_share);
+                let split = self.structural_task(OpKind::Split, u_dev, total, &node_u.name);
+                self.tg.add_dep(tu[0], split);
+                for (i, &(d, share)) in pv.replicas.iter().enumerate() {
+                    let bytes = node_u.output.bytes(share);
+                    self.connect(split, tv[i], u_dev, d, bytes, &node_u.name);
+                }
+            } else {
+                // Broadcast a batch-less tensor to every consumer device.
+                let bytes = node_u.output.bytes(u_share);
+                let mut per_dev: Vec<(DeviceId, TaskId)> = Vec::new();
+                for (i, &(d, _)) in pv.replicas.iter().enumerate() {
+                    let feeder = match per_dev.iter().find(|(pd, _)| *pd == d) {
+                        Some(&(_, t)) => t,
+                        None => {
+                            let t = if d == u_dev {
+                                tu[0]
+                            } else {
+                                // Arrival marker joining the path segments.
+                                let segs = crate::xfer::emit_transfer(
+                                    &mut self.tg,
+                                    self.cluster,
+                                    self.cost,
+                                    &node_u.name,
+                                    u_dev,
+                                    d,
+                                    bytes,
+                                );
+                                let arrive = self.tg.add_task(Task::new(
+                                    format!("{}/bcast_done@{d}", node_u.name),
+                                    OpKind::NoOp,
+                                    Proc::Gpu(d.0),
+                                    0.0,
+                                ));
+                                for s in segs {
+                                    self.tg.add_dep(tu[0], s);
+                                    self.tg.add_dep(s, arrive);
+                                }
+                                arrive
+                            };
+                            per_dev.push((d, t));
+                            t
+                        }
+                    };
+                    self.tg.add_dep(feeder, tv[i]);
+                }
+            }
+            return;
+        }
+
+        if pv.single_instance() {
+            // Gather: transfers into a Concat on v's device.
+            let (v_dev, _) = pv.replicas[0];
+            let total = node_u.output.bytes(pu.replicas.iter().map(|r| r.1).sum());
+            let concat = self.structural_task(OpKind::Concat, v_dev, total, &node_u.name);
+            for (i, &(d, share)) in pu.replicas.iter().enumerate() {
+                let bytes = node_u.output.bytes(share);
+                self.connect(tu[i], concat, d, v_dev, bytes, &node_u.name);
+            }
+            self.tg.add_dep(concat, tv[0]);
+            return;
+        }
+
+        // Both replicated with different distributions: gather to a hub,
+        // re-split, scatter (Fig. 7's Concat + Split pair).
+        let hub = pv
+            .replicas
+            .iter()
+            .map(|&(d, s)| (d, s))
+            .fold((pv.replicas[0].0, 0u64), |acc, (d, _s)| {
+                let dev_total: u64 =
+                    pv.replicas.iter().filter(|r| r.0 == d).map(|r| r.1).sum();
+                if dev_total > acc.1 {
+                    (d, dev_total)
+                } else {
+                    acc
+                }
+            })
+            .0;
+        let total = node_u.output.bytes(pu.replicas.iter().map(|r| r.1).sum());
+        let concat = self.structural_task(OpKind::Concat, hub, total, &node_u.name);
+        for (i, &(d, share)) in pu.replicas.iter().enumerate() {
+            let bytes = node_u.output.bytes(share);
+            self.connect(tu[i], concat, d, hub, bytes, &node_u.name);
+        }
+        let split = self.structural_task(OpKind::Split, hub, total, &node_u.name);
+        self.tg.add_dep(concat, split);
+        for (i, &(d, share)) in pv.replicas.iter().enumerate() {
+            let bytes = node_u.output.bytes(share);
+            self.connect(split, tv[i], hub, d, bytes, &node_u.name);
+        }
+    }
+
+    /// Dependency `a -> b`, via Transfer task(s) when the devices differ.
+    fn connect(
+        &mut self,
+        a: TaskId,
+        b: TaskId,
+        from: DeviceId,
+        to: DeviceId,
+        bytes: u64,
+        name: &str,
+    ) {
+        crate::xfer::connect_via_transfer(
+            &mut self.tg,
+            self.cluster,
+            self.cost,
+            name,
+            a,
+            b,
+            from,
+            to,
+            bytes,
+        );
+    }
+
+    /// A Split/Concat task priced as a memory-bound op over `bytes`.
+    fn structural_task(&mut self, kind: OpKind, dev: DeviceId, bytes: u64, name: &str) -> TaskId {
+        let elems = bytes / 4;
+        let node = Node::new("struct", kind, Phase::Forward)
+            .with_output(TensorMeta::fixed(elems))
+            .with_flops(0.0, elems as f64);
+        let duration = self.cost.op_time(&node, self.cluster.device(dev).model, 0);
+        self.tg.add_task(
+            Task::new(format!("{name}/{}@{dev}", kind.mnemonic()), kind, Proc::Gpu(dev.0), duration)
+                .with_output_bytes(bytes),
+        )
+    }
+
+    fn emit_gradient_aggregation(&mut self) {
+        for (gid, node) in self.g.iter() {
+            if !node.kind.produces_param_grad() {
+                continue;
+            }
+            let Some(apply) = self
+                .g
+                .succs(gid)
+                .iter()
+                .copied()
+                .find(|&s| self.g.node(s).kind == OpKind::ApplyGradient)
+            else {
+                continue; // gradient without an update consumer
+            };
+
+            let gp = self.placements[gid.index()].clone();
+            let g_tasks = self.op_tasks[gid.index()].clone();
+            let bytes = node.output.bytes(0).max(node.output.bytes(1));
+            let devices = gp.devices();
+
+            // Per-device replica-gradient sets: the collective transport
+            // consumes them directly (local pre-reduction happens inside
+            // NCCL/the PS push path, so no separate GPU task competes
+            // with backward compute for the device queue).
+            let ready: Vec<Vec<TaskId>> = devices
+                .iter()
+                .map(|&d| {
+                    gp.replicas
+                        .iter()
+                        .zip(&g_tasks)
+                        .filter(|((rd, _), _)| *rd == d)
+                        .map(|(_, &t)| t)
+                        .collect()
+                })
+                .collect();
+
+            let apply_tasks = self.op_tasks[apply.index()].clone();
+            debug_assert_eq!(
+                apply_tasks.len(),
+                devices.len(),
+                "ApplyGradient placement must mirror the gradient's devices"
+            );
+
+            if devices.len() == 1 {
+                for &r in &ready[0] {
+                    self.tg.add_dep(r, apply_tasks[0]);
+                }
+                continue;
+            }
+
+            let comm = if self.opts.force_ps {
+                CommMethod::Ps
+            } else if self.opts.force_allreduce {
+                CommMethod::AllReduce
+            } else {
+                gp.comm
+            };
+            let avail = match comm {
+                CommMethod::Ps => emit_ps(
+                    &mut self.tg,
+                    self.cluster,
+                    self.cost,
+                    &node.name,
+                    &devices,
+                    &ready,
+                    bytes,
+                    &mut self.ps_loads,
+                ),
+                CommMethod::AllReduce => emit_allreduce(
+                    &mut self.tg,
+                    self.cluster,
+                    self.cost,
+                    &node.name,
+                    &devices,
+                    &ready,
+                    bytes,
+                ),
+            };
+            for (a, t) in avail.iter().zip(&apply_tasks) {
+                self.tg.add_dep(*a, *t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::GraphBuilder;
+    use heterog_profile::GroundTruthCost;
+    use heterog_sched::{list_schedule, OrderPolicy};
+    use heterog_graph::DType;
+
+    fn tiny(batch: u64) -> Graph {
+        let mut b = GraphBuilder::new("tiny", batch);
+        let x = b.input(1000);
+        let l1 = b.param_layer("l1", OpKind::MatMul, x, 500, 500_000, 1e6);
+        let l2 = b.param_layer("l2", OpKind::MatMul, l1, 100, 50_000, 2e5);
+        b.finish(l2)
+    }
+
+    #[test]
+    fn compile_even_ar_is_valid_dag() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        // Topo order panics on cycles; also must be executable.
+        let sched = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert!(sched.makespan > 0.0);
+        assert!(sched.finish.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn mp_single_device_has_no_comm_tasks() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::uniform(g.len(), crate::OpStrategy::Mp(DeviceId(0)));
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        let comm = tg.iter().filter(|(_, t)| t.proc.is_link()).count();
+        assert_eq!(comm, 0, "single-device training must not communicate");
+        // Same number of tasks as ops (no replicas, no structural ops).
+        assert_eq!(tg.len(), g.len());
+    }
+
+    #[test]
+    fn dp_replicates_splittable_ops() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        let (fid, _) = g.iter().find(|(_, n)| n.name == "l1/matmul").unwrap();
+        let replicas = tg.iter().filter(|(_, t)| t.origin == Some(fid)).count();
+        assert_eq!(replicas, 8);
+    }
+
+    #[test]
+    fn ps_and_ar_produce_different_graphs() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let cost = GroundTruthCost;
+        let ps = compile(&g, &c, &cost, &Strategy::even(g.len(), &c, CommMethod::Ps));
+        let ar = compile(&g, &c, &cost, &Strategy::even(g.len(), &c, CommMethod::AllReduce));
+        let ps_nccl = ps.iter().filter(|(_, t)| t.kind == OpKind::NcclAllReduce).count();
+        let ar_nccl = ar.iter().filter(|(_, t)| t.kind == OpKind::NcclAllReduce).count();
+        assert_eq!(ps_nccl, 0);
+        assert!(ar_nccl > 0);
+        let ps_push = ps.iter().filter(|(_, t)| t.kind == OpKind::Transfer).count();
+        assert!(ps_push > 0);
+    }
+
+    #[test]
+    fn params_pinned_once_per_device() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::proportional(g.len(), &c, CommMethod::AllReduce);
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        // Under CP the V100s host 2 replicas of each op, but parameters
+        // must be counted once per device: total pinned = params x
+        // (#devices hosting replicas).
+        let (fid, fnode) = g.iter().find(|(_, n)| n.name == "l1/matmul").unwrap();
+        let pinned: u64 = tg
+            .iter()
+            .filter(|(_, t)| t.origin == Some(fid))
+            .map(|(_, t)| t.param_bytes)
+            .sum();
+        assert_eq!(pinned, fnode.param_bytes * OPTIMIZER_STATE_FACTOR * 8);
+    }
+
+    #[test]
+    fn semantics_total_batch_preserved() {
+        let g = tiny(192);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::proportional(g.len(), &c, CommMethod::Ps);
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        let (fid, _) = g.iter().find(|(_, n)| n.name == "l1/matmul").unwrap();
+        let total_share: u64 = tg
+            .iter()
+            .filter(|(_, t)| t.origin == Some(fid))
+            .map(|(_, t)| t.batch_share)
+            .sum();
+        assert_eq!(total_share, 192);
+    }
+
+    #[test]
+    fn mixed_mp_dp_inserts_split_concat() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let mut s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        // Pin l2's ops (forward only is enough to trigger reconciliation).
+        let (l2, _) = g.iter().find(|(_, n)| n.name == "l2/matmul").unwrap();
+        s.per_op[l2.index()] = crate::OpStrategy::Mp(DeviceId(1));
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        let concats = tg.iter().filter(|(_, t)| t.kind == OpKind::Concat).count();
+        assert!(concats > 0, "gather into the MP op requires a Concat");
+        // Graph still executes.
+        let sched = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert!(sched.makespan.is_finite());
+    }
+
+    #[test]
+    fn force_ps_option_overrides_strategy() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let tg = compile_with_options(
+            &g,
+            &c,
+            &GroundTruthCost,
+            &s,
+            CompileOptions { force_ps: true, force_allreduce: false },
+        );
+        assert_eq!(tg.iter().filter(|(_, t)| t.kind == OpKind::NcclAllReduce).count(), 0);
+    }
+
+    #[test]
+    fn pipelined_preserves_batch_and_single_update() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let tg = compile_pipelined(&g, &c, &GroundTruthCost, &s, CompileOptions::default(), 4);
+        // Every splittable op's replicas across all micro-batches process
+        // the full global batch exactly once.
+        for (id, node) in g.iter() {
+            if !node.batch_splittable {
+                continue;
+            }
+            let total: u64 = tg
+                .iter()
+                .filter(|(_, t)| t.origin == Some(id))
+                .map(|(_, t)| t.batch_share)
+                .sum();
+            assert_eq!(total, 64, "{}", node.name);
+        }
+        // Exactly one set of ApplyGradient tasks (synchronous updates).
+        for (id, node) in g.iter() {
+            if node.kind == OpKind::ApplyGradient {
+                let applies = tg.iter().filter(|(_, t)| t.origin == Some(id)).count();
+                assert_eq!(applies, 8, "{}: one apply per device copy", node.name);
+            }
+        }
+        // Parameters pinned once, not once per micro-batch.
+        let (fid, fnode) = g.iter().find(|(_, n)| n.name == "l1/matmul").unwrap();
+        let pinned: u64 = tg
+            .iter()
+            .filter(|(_, t)| t.origin == Some(fid))
+            .map(|(_, t)| t.param_bytes)
+            .sum();
+        assert_eq!(pinned, fnode.param_bytes * OPTIMIZER_STATE_FACTOR * 8);
+        // Valid, executable DAG.
+        let sched = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert!(sched.makespan.is_finite());
+    }
+
+    #[test]
+    fn pipelined_one_micro_equals_plain_compile() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::Ps);
+        let plain = compile(&g, &c, &GroundTruthCost, &s);
+        let pipe1 = compile_pipelined(&g, &c, &GroundTruthCost, &s, CompileOptions::default(), 1);
+        assert_eq!(plain.len(), pipe1.len());
+    }
+
+    #[test]
+    fn pipelining_helps_an_mp_chain() {
+        // A compute-heavy model split across two devices (MP) serializes
+        // without pipelining; micro-batches let the stages overlap. (The
+        // layers must dwarf kernel-launch overhead for the effect to
+        // show, as in any real pipeline.)
+        let g = {
+            let mut b = heterog_graph::GraphBuilder::new("heavy", 128);
+            let x = b.input(4096);
+            let l1 = b.param_layer("l1", OpKind::MatMul, x, 4096, 4096 * 4096, 1.0e9);
+            let l2 = b.param_layer("l2", OpKind::MatMul, l1, 4096, 4096 * 4096, 1.0e9);
+            b.finish(l2)
+        };
+        let c = paper_testbed_8gpu();
+        let mut s = Strategy::uniform(g.len(), crate::OpStrategy::Mp(DeviceId(0)));
+        // Second half of the chain on another device.
+        let (l2, _) = g.iter().find(|(_, n)| n.name == "l2/matmul").unwrap();
+        for id in g.op_ids() {
+            if id.0 >= l2.0 {
+                s.per_op[id.index()] = crate::OpStrategy::Mp(DeviceId(1));
+            }
+        }
+        let t1 = list_schedule(
+            &compile_pipelined(&g, &c, &GroundTruthCost, &s, CompileOptions::default(), 1),
+            &OrderPolicy::RankBased,
+        )
+        .makespan;
+        let t4 = list_schedule(
+            &compile_pipelined(&g, &c, &GroundTruthCost, &s, CompileOptions::default(), 4),
+            &OrderPolicy::RankBased,
+        )
+        .makespan;
+        assert!(t4 < t1, "pipelining must overlap MP stages: {t4} vs {t1}");
+    }
+
+    #[test]
+    fn iterations_chain_through_parameter_updates() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let one = compile_iterations(&g, &c, &GroundTruthCost, &s, CompileOptions::default(), 1);
+        let three = compile_iterations(&g, &c, &GroundTruthCost, &s, CompileOptions::default(), 3);
+        assert_eq!(three.len(), 3 * one.len());
+        // Params pinned once, not per iteration.
+        let (fid, fnode) = g.iter().find(|(_, n)| n.name == "l1/matmul").unwrap();
+        let pinned: u64 = three
+            .iter()
+            .filter(|(_, t)| t.origin == Some(fid))
+            .map(|(_, t)| t.param_bytes)
+            .sum();
+        assert_eq!(pinned, fnode.param_bytes * OPTIMIZER_STATE_FACTOR * 8);
+        // Later iterations genuinely wait on earlier updates: makespan of
+        // 3 iterations > makespan of 1 (no infinite overlap) but < 3x
+        // (some overlap allowed).
+        let t1 = list_schedule(&one, &OrderPolicy::RankBased).makespan;
+        let t3 = list_schedule(&three, &OrderPolicy::RankBased).makespan;
+        assert!(t3 > 2.0 * t1 * 0.8, "t3 {t3} vs t1 {t1}");
+        assert!(t3 <= 3.0 * t1 + 1e-9, "pipelining cannot slow things: {t3} vs {}", 3.0 * t1);
+    }
+
+    #[test]
+    fn dtype_sizes_flow_through() {
+        // Smoke: an I64 input doubles the transferred bytes vs I32.
+        let meta32 = TensorMeta { elems_per_sample: 10, fixed_elems: 0, dtype: DType::I32 };
+        let meta64 = meta32.with_dtype(DType::I64);
+        assert_eq!(meta64.bytes(4), 2 * meta32.bytes(4));
+    }
+}

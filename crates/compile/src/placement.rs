@@ -1,0 +1,278 @@
+//! Strategy -> placement resolution.
+//!
+//! Lowers the per-op [`Strategy`] into concrete replica
+//! placements with batch shares, applying the paper's structural rules:
+//!
+//! * ops whose output lacks a batch dimension are never replicated
+//!   (§5 "Operation replication");
+//! * parameter-gradient ops are colocated with the forward op whose
+//!   parameters they differentiate (the gradient must be computed where
+//!   the activations and weights live);
+//! * `ApplyGradient` ops get one instance per device holding a copy of
+//!   the parameters (synchronous SGD updates every replica).
+
+use serde::{Deserialize, Serialize};
+
+use heterog_cluster::{Cluster, DeviceId};
+use heterog_graph::{Graph, OpId, OpKind};
+
+use crate::strategy::{CommMethod, OpStrategy, Strategy};
+
+/// Where one original op's work happens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpPlacement {
+    /// `(device, batch_share)` per replica instance. Single-instance ops
+    /// have one entry carrying the full batch.
+    pub replicas: Vec<(DeviceId, u64)>,
+    /// Aggregation method for this op's parameter gradients (meaningful
+    /// on gradient-producing ops; carried everywhere for simplicity).
+    pub comm: CommMethod,
+}
+
+impl OpPlacement {
+    /// Distinct devices hosting replicas, in first-appearance order.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut seen = Vec::new();
+        for &(d, _) in &self.replicas {
+            if !seen.contains(&d) {
+                seen.push(d);
+            }
+        }
+        seen
+    }
+
+    /// True when all replicas sit on one device.
+    pub fn single_device(&self) -> bool {
+        self.devices().len() == 1
+    }
+
+    /// True when there is exactly one replica.
+    pub fn single_instance(&self) -> bool {
+        self.replicas.len() == 1
+    }
+}
+
+/// Splits `batch` into `n` near-even shares (larger shares first),
+/// matching the even input division of §3.3 (i). Shares of zero are kept
+/// (callers drop zero-share replicas).
+pub fn split_batch(batch: u64, n: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = batch / n;
+    let rem = batch % n;
+    (0..n).map(|i| base + u64::from(i < rem)).collect()
+}
+
+/// Resolves every op's placement.
+pub fn resolve_placements(
+    g: &Graph,
+    cluster: &Cluster,
+    strategy: &Strategy,
+) -> Vec<OpPlacement> {
+    assert_eq!(strategy.per_op.len(), g.len(), "strategy must cover every op");
+    let batch = g.batch_size;
+    let mut out: Vec<OpPlacement> = Vec::with_capacity(g.len());
+
+    // Pass 1: base placements from the strategy.
+    for (id, node) in g.iter() {
+        let s = &strategy.per_op[id.index()];
+        let placement = match s {
+            OpStrategy::Mp(d) => OpPlacement {
+                replicas: vec![(*d, batch)],
+                comm: CommMethod::AllReduce,
+            },
+            OpStrategy::Dp { replicas, comm } => {
+                assert_eq!(replicas.len(), cluster.num_devices(), "replica vector length");
+                if node.batch_splittable {
+                    let mut devs: Vec<DeviceId> = Vec::new();
+                    for (d, &count) in replicas.iter().enumerate() {
+                        for _ in 0..count {
+                            devs.push(DeviceId(d as u32));
+                        }
+                    }
+                    if devs.is_empty() {
+                        // Degenerate zero-replica decision: fall back to MP
+                        // on device 0.
+                        OpPlacement { replicas: vec![(DeviceId(0), batch)], comm: *comm }
+                    } else {
+                        // Shares are dealt per logical replica, then
+                        // same-device replicas merge into one physical
+                        // replica with the combined share — running two
+                        // half-size replicas back-to-back on one GPU is
+                        // cost-equivalent to one double-share replica,
+                        // minus pointless per-op overhead (and it is what
+                        // a real deployment executes).
+                        let shares = split_batch(batch, devs.len() as u64);
+                        let mut reps: Vec<(DeviceId, u64)> = Vec::new();
+                        for (d, s) in devs.into_iter().zip(shares) {
+                            if s == 0 {
+                                continue;
+                            }
+                            match reps.iter_mut().find(|(rd, _)| *rd == d) {
+                                Some((_, rs)) => *rs += s,
+                                None => reps.push((d, s)),
+                            }
+                        }
+                        if reps.is_empty() {
+                            OpPlacement { replicas: vec![(DeviceId(0), batch)], comm: *comm }
+                        } else {
+                            OpPlacement { replicas: reps, comm: *comm }
+                        }
+                    }
+                } else {
+                    // Not batch-splittable: single instance on the device
+                    // with the largest replica count (ties: lowest id).
+                    let best = replicas
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+                        .map(|(i, _)| DeviceId(i as u32))
+                        .unwrap_or(DeviceId(0));
+                    OpPlacement { replicas: vec![(best, batch)], comm: *comm }
+                }
+            }
+        };
+        out.push(placement);
+    }
+
+    // Pass 2: colocate parameter-gradient ops with their forward op.
+    for (id, node) in g.iter() {
+        if let Some(f) = node.grad_of {
+            let mut p = out[f.index()].clone();
+            p.comm = out[f.index()].comm;
+            out[id.index()] = p;
+        }
+    }
+
+    // Pass 3: ApplyGradient gets one instance per parameter-holding
+    // device of its gradient producer.
+    for (id, node) in g.iter() {
+        if node.kind != OpKind::ApplyGradient {
+            continue;
+        }
+        // The (unique) predecessor that produces this op's gradient.
+        let producer = g
+            .preds(id)
+            .iter()
+            .copied()
+            .find(|p| g.node(*p).kind.produces_param_grad());
+        if let Some(p) = producer {
+            let devices = out[p.index()].devices();
+            out[id.index()] = OpPlacement {
+                replicas: devices.into_iter().map(|d| (d, batch)).collect(),
+                comm: out[p.index()].comm,
+            };
+        }
+    }
+
+    out
+}
+
+/// The gradient producer feeding an `ApplyGradient` op, if any.
+pub fn grad_producer_of_apply(g: &Graph, apply: OpId) -> Option<OpId> {
+    g.preds(apply)
+        .iter()
+        .copied()
+        .find(|p| g.node(*p).kind.produces_param_grad())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::{GraphBuilder, OpKind};
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new("tiny", 64);
+        let x = b.input(1000);
+        let l = b.param_layer("l", OpKind::MatMul, x, 500, 5000, 1e6);
+        b.finish(l)
+    }
+
+    #[test]
+    fn split_batch_even_and_remainder() {
+        assert_eq!(split_batch(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(split_batch(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_batch(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(split_batch(5, 1), vec![5]);
+        assert!(split_batch(5, 0).is_empty());
+    }
+
+    #[test]
+    fn even_dp_places_on_all_devices() {
+        let g = tiny();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let p = resolve_placements(&g, &c, &s);
+        let input = g.iter().find(|(_, n)| n.kind == OpKind::Input).unwrap().0;
+        assert_eq!(p[input.index()].replicas.len(), 8);
+        let shares: u64 = p[input.index()].replicas.iter().map(|r| r.1).sum();
+        assert_eq!(shares, 64);
+    }
+
+    #[test]
+    fn grad_ops_colocated_with_forward() {
+        let g = tiny();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::Ps);
+        let p = resolve_placements(&g, &c, &s);
+        let (fid, _) = g.iter().find(|(_, n)| n.has_params()).unwrap();
+        let (gid, _) = g.iter().find(|(_, n)| n.kind.produces_param_grad()).unwrap();
+        assert_eq!(p[fid.index()].replicas, p[gid.index()].replicas);
+    }
+
+    #[test]
+    fn apply_gets_one_instance_per_param_device() {
+        let g = tiny();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::Ps);
+        let p = resolve_placements(&g, &c, &s);
+        let (aid, _) = g.iter().find(|(_, n)| n.kind == OpKind::ApplyGradient).unwrap();
+        assert_eq!(p[aid.index()].replicas.len(), 8);
+        let devs = p[aid.index()].devices();
+        assert_eq!(devs.len(), 8);
+    }
+
+    #[test]
+    fn mp_strategy_pins_everything_to_one_device() {
+        let g = tiny();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::uniform(g.len(), OpStrategy::Mp(DeviceId(3)));
+        let p = resolve_placements(&g, &c, &s);
+        for pl in &p {
+            assert_eq!(pl.devices(), vec![DeviceId(3)]);
+        }
+    }
+
+    #[test]
+    fn non_splittable_ops_not_replicated() {
+        let g = tiny();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let p = resolve_placements(&g, &c, &s);
+        for (id, n) in g.iter() {
+            if !n.batch_splittable && n.grad_of.is_none() && n.kind != OpKind::ApplyGradient {
+                assert!(
+                    p[id.index()].single_instance(),
+                    "{} must not be replicated",
+                    n.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_batch_drops_zero_share_replicas() {
+        let mut b = GraphBuilder::new("small", 3); // batch 3 < 8 devices
+        let x = b.input(10);
+        let l = b.param_layer("l", OpKind::MatMul, x, 10, 100, 1e3);
+        let g = b.finish(l);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let p = resolve_placements(&g, &c, &s);
+        let input = g.iter().find(|(_, n)| n.kind == OpKind::Input).unwrap().0;
+        assert_eq!(p[input.index()].replicas.len(), 3);
+        assert!(p[input.index()].replicas.iter().all(|r| r.1 == 1));
+    }
+}

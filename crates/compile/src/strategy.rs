@@ -1,0 +1,166 @@
+//! Part-I strategy representation.
+//!
+//! The paper's action space per operation group is `M + 4` choices
+//! (§4.1.2): place on one of the `M` GPUs without replication (MP), or
+//! one of four DP schemes — {even, proportional} replication x {PS,
+//! AllReduce} aggregation. [`OpStrategy`] is the per-op decision after
+//! group expansion; the generic `Dp` variant also admits arbitrary
+//! replica vectors (used by the planner's local search).
+
+use serde::{Deserialize, Serialize};
+
+use heterog_cluster::{Cluster, DeviceId};
+
+/// Gradient-aggregation method for a data-parallel op's parameter
+/// gradients (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommMethod {
+    /// Parameter-server push/pull through a chosen replica device.
+    Ps,
+    /// Collective AllReduce (ring or hierarchical, auto-selected).
+    AllReduce,
+}
+
+/// Parallelism decision for one operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpStrategy {
+    /// Model parallelism: a single un-replicated instance on one device.
+    Mp(DeviceId),
+    /// Data parallelism: `replicas[d]` replicas on device `d` (sum must
+    /// be >= 1), aggregating parameter gradients with `comm`.
+    Dp {
+        /// Replica count per device (length = number of GPUs).
+        replicas: Vec<u32>,
+        /// Gradient-aggregation method.
+        comm: CommMethod,
+    },
+}
+
+impl OpStrategy {
+    /// The paper's EV scheme: one replica on every device.
+    pub fn even(cluster: &Cluster, comm: CommMethod) -> Self {
+        OpStrategy::Dp { replicas: vec![1; cluster.num_devices()], comm }
+    }
+
+    /// The paper's CP scheme: replicas proportional to computation power
+    /// (relative to the slowest device, rounded; min 1 per device).
+    pub fn proportional(cluster: &Cluster, comm: CommMethod) -> Self {
+        let replicas = cluster
+            .relative_powers()
+            .into_iter()
+            .map(|p| (p.round() as u32).max(1))
+            .collect();
+        OpStrategy::Dp { replicas, comm }
+    }
+
+    /// Total replica count (1 for MP).
+    pub fn total_replicas(&self) -> u32 {
+        match self {
+            OpStrategy::Mp(_) => 1,
+            OpStrategy::Dp { replicas, .. } => replicas.iter().sum(),
+        }
+    }
+
+    /// True for data-parallel strategies.
+    pub fn is_dp(&self) -> bool {
+        matches!(self, OpStrategy::Dp { .. })
+    }
+}
+
+/// A complete Part-I strategy: one decision per op of the original graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Strategy {
+    /// Indexed by `OpId`.
+    pub per_op: Vec<OpStrategy>,
+}
+
+impl Strategy {
+    /// The same decision for every op (the four DP baselines and
+    /// single-device MP all use this).
+    pub fn uniform(num_ops: usize, s: OpStrategy) -> Self {
+        Strategy { per_op: vec![s; num_ops] }
+    }
+
+    /// EV-PS / EV-AR baseline strategy.
+    pub fn even(num_ops: usize, cluster: &Cluster, comm: CommMethod) -> Self {
+        Self::uniform(num_ops, OpStrategy::even(cluster, comm))
+    }
+
+    /// CP-PS / CP-AR baseline strategy.
+    pub fn proportional(num_ops: usize, cluster: &Cluster, comm: CommMethod) -> Self {
+        Self::uniform(num_ops, OpStrategy::proportional(cluster, comm))
+    }
+
+    /// Histogram over the paper's Table-2 buckets: per-device MP counts
+    /// (length M), then [EV-PS, EV-AR, CP-PS, CP-AR, other-DP].
+    pub fn histogram(&self, cluster: &Cluster) -> (Vec<usize>, [usize; 5]) {
+        let m = cluster.num_devices();
+        let even: Vec<u32> = vec![1; m];
+        let prop: Vec<u32> = match OpStrategy::proportional(cluster, CommMethod::Ps) {
+            OpStrategy::Dp { replicas, .. } => replicas,
+            _ => unreachable!(),
+        };
+        let mut mp = vec![0usize; m];
+        let mut dp = [0usize; 5];
+        for s in &self.per_op {
+            match s {
+                OpStrategy::Mp(d) => mp[d.index()] += 1,
+                OpStrategy::Dp { replicas, comm } => {
+                    let idx = if *replicas == even {
+                        match comm {
+                            CommMethod::Ps => 0,
+                            CommMethod::AllReduce => 1,
+                        }
+                    } else if *replicas == prop {
+                        match comm {
+                            CommMethod::Ps => 2,
+                            CommMethod::AllReduce => 3,
+                        }
+                    } else {
+                        4
+                    };
+                    dp[idx] += 1;
+                }
+            }
+        }
+        (mp, dp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+
+    #[test]
+    fn even_is_one_each() {
+        let c = paper_testbed_8gpu();
+        let s = OpStrategy::even(&c, CommMethod::AllReduce);
+        assert_eq!(s.total_replicas(), 8);
+    }
+
+    #[test]
+    fn proportional_gives_v100_twice_1080ti() {
+        let c = paper_testbed_8gpu();
+        match OpStrategy::proportional(&c, CommMethod::Ps) {
+            OpStrategy::Dp { replicas, .. } => {
+                assert_eq!(replicas[0], 2); // V100
+                assert_eq!(replicas[2], 1); // 1080Ti
+                assert!(replicas[6] >= 1); // P100
+            }
+            _ => panic!("expected DP"),
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let c = paper_testbed_8gpu();
+        let mut s = Strategy::even(10, &c, CommMethod::AllReduce);
+        s.per_op[0] = OpStrategy::Mp(DeviceId(0));
+        s.per_op[1] = OpStrategy::proportional(&c, CommMethod::Ps);
+        let (mp, dp) = s.histogram(&c);
+        assert_eq!(mp[0], 1);
+        assert_eq!(dp[1], 8); // EV-AR
+        assert_eq!(dp[2], 1); // CP-PS
+    }
+}

@@ -1,0 +1,141 @@
+//! Transfer emission: one task per path segment, occupied concurrently
+//! (cut-through through the switch — see `heterog-cluster`'s link model).
+
+use heterog_cluster::{Cluster, DeviceId};
+use heterog_graph::OpKind;
+use heterog_profile::CostEstimator;
+use heterog_sched::{Proc, Task, TaskGraph, TaskId};
+
+/// Emits the link tasks for a `from -> to` transfer of `bytes`.
+///
+/// Returns the created tasks (empty when `from == to`). Each path
+/// segment gets a task of the segment's own transfer duration; segments
+/// are *not* chained — they overlap as a cut-through stream — so callers
+/// must make the producer feed every returned task and the consumer wait
+/// on every returned task.
+pub fn emit_transfer<C: CostEstimator>(
+    tg: &mut TaskGraph,
+    cluster: &Cluster,
+    cost: &C,
+    name: &str,
+    from: DeviceId,
+    to: DeviceId,
+    bytes: u64,
+) -> Vec<TaskId> {
+    if from == to {
+        return Vec::new();
+    }
+    let path = cluster.path_between(from, to).expect("mesh path");
+    path.iter()
+        .map(|&lid| {
+            let link = cluster.link(lid);
+            tg.add_task(Task::new(
+                format!("{name}/xfer@{}", link.label),
+                OpKind::Transfer,
+                Proc::Link(lid.0),
+                cost.transfer_time(link, bytes),
+            ))
+        })
+        .collect()
+}
+
+/// Emits a transfer wired between a producer and a consumer task:
+/// `producer -> [segments] -> consumer`, or a direct dependency when the
+/// devices coincide.
+#[allow(clippy::too_many_arguments)]
+pub fn connect_via_transfer<C: CostEstimator>(
+    tg: &mut TaskGraph,
+    cluster: &Cluster,
+    cost: &C,
+    name: &str,
+    producer: TaskId,
+    consumer: TaskId,
+    from: DeviceId,
+    to: DeviceId,
+    bytes: u64,
+) {
+    let segs = emit_transfer(tg, cluster, cost, name, from, to, bytes);
+    if segs.is_empty() {
+        tg.add_dep(producer, consumer);
+        return;
+    }
+    for s in segs {
+        tg.add_dep(producer, s);
+        tg.add_dep(s, consumer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_profile::GroundTruthCost;
+    use heterog_sched::{list_schedule, OrderPolicy};
+
+    #[test]
+    fn same_device_transfer_is_empty() {
+        let c = paper_testbed_8gpu();
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let segs =
+            emit_transfer(&mut tg, &c, &GroundTruthCost, "x", DeviceId(0), DeviceId(0), 1 << 20);
+        assert!(segs.is_empty());
+        assert_eq!(tg.len(), 0);
+    }
+
+    #[test]
+    fn intra_server_transfer_is_one_segment() {
+        let c = paper_testbed_8gpu();
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let segs =
+            emit_transfer(&mut tg, &c, &GroundTruthCost, "x", DeviceId(0), DeviceId(1), 1 << 20);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn cross_server_transfer_occupies_two_nics_concurrently() {
+        let c = paper_testbed_8gpu();
+        let cost = GroundTruthCost;
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let src = tg.add_task(Task::new("p", OpKind::NoOp, Proc::Gpu(0), 0.0));
+        let dst = tg.add_task(Task::new("c", OpKind::NoOp, Proc::Gpu(2), 0.0));
+        connect_via_transfer(&mut tg, &c, &cost, "x", src, dst, DeviceId(0), DeviceId(2), 53 << 20);
+        assert_eq!(tg.len(), 4);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        // End-to-end governed by the slower (50GbE) NIC, not the sum.
+        let slow = (53u64 << 20) as f64 / 5.3e9;
+        assert!(s.makespan < 1.3 * slow, "cut-through expected: {} vs {slow}", s.makespan);
+        assert!(s.makespan > 0.9 * slow);
+    }
+
+    #[test]
+    fn fan_in_to_one_server_serializes_on_its_ingress_nic() {
+        // The PS bottleneck of §2.3: six cross-server senders into one
+        // box take ~6x one transfer.
+        let c = paper_testbed_8gpu();
+        let cost = GroundTruthCost;
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let dst_dev = DeviceId(0);
+        let sink = tg.add_task(Task::new("sink", OpKind::NoOp, Proc::Gpu(0), 0.0));
+        for i in 2..8 {
+            let p = tg.add_task(Task::new("src", OpKind::NoOp, Proc::Gpu(i), 0.0));
+            connect_via_transfer(
+                &mut tg,
+                &c,
+                &cost,
+                "push",
+                p,
+                sink,
+                DeviceId(i),
+                dst_dev,
+                105 << 20,
+            );
+        }
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        let one = (105u64 << 20) as f64 / 10.5e9; // dst NIC is 100GbE
+        assert!(
+            s.makespan > 5.5 * one,
+            "expected ingress serialization ~6x{one:.3}, got {}",
+            s.makespan
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! `heterog-cli` — plan, compare and inspect distributed training
+//! deployments from the command line.
+//!
+//! ```text
+//! heterog-cli plan    --model resnet200 --batch 192 [--cluster spec.json] [--planner heterog]
+//! heterog-cli compare --model vgg19 --batch 192 [--cluster spec.json]
+//! heterog-cli trace   --model bert --batch 48 --out trace.json
+//! heterog-cli models
+//! heterog-cli cluster-template
+//! ```
+//!
+//! Without `--cluster`, the paper's 8-GPU testbed is used. Argument
+//! parsing is hand-rolled (no CLI-framework dependency) per the
+//! workspace's minimal-deps policy.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use heterog::{get_runner, HeterogConfig};
+use heterog_cluster::{paper_testbed_8gpu, Cluster, ClusterSpec};
+use heterog_graph::{BenchmarkModel, ModelSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "plan" => cmd_plan(&flags),
+        "compare" => cmd_compare(&flags),
+        "trace" => cmd_trace(&flags),
+        "models" => cmd_models(),
+        "cluster-template" => {
+            println!("{}", ClusterSpec::paper_8gpu().to_json());
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "heterog-cli — HeteroG deployment planner
+
+USAGE:
+  heterog-cli plan    --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner heterog|EV-PS|EV-AR|CP-PS|CP-AR|Horovod|FlexFlow|Post|HetPipe] [--fifo]
+  heterog-cli compare --model <name> [--batch N] [--layers N] [--cluster spec.json]
+  heterog-cli trace   --model <name> [--batch N] [--layers N] [--cluster spec.json] --out <file.json>
+  heterog-cli models                 list available benchmark models
+  heterog-cli cluster-template       print a cluster-spec JSON template";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                map.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                map.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn parse_model(flags: &HashMap<String, String>) -> Result<ModelSpec, String> {
+    let name = flags.get("model").ok_or("--model is required (see `heterog-cli models`)")?;
+    let model = match name.to_ascii_lowercase().as_str() {
+        "vgg19" | "vgg-19" => BenchmarkModel::Vgg19,
+        "resnet200" | "resnet" => BenchmarkModel::ResNet200,
+        "inception" | "inception_v3" | "inceptionv3" => BenchmarkModel::InceptionV3,
+        "mobilenet" | "mobilenet_v2" | "mobilenetv2" => BenchmarkModel::MobileNetV2,
+        "nasnet" => BenchmarkModel::NasNet,
+        "transformer" => BenchmarkModel::Transformer,
+        "bert" | "bert-large" => BenchmarkModel::BertLarge,
+        "xlnet" | "xlnet-large" => BenchmarkModel::XlnetLarge,
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let batch = match flags.get("batch") {
+        Some(b) => b.parse().map_err(|_| format!("bad --batch {b:?}"))?,
+        None => model.default_batch_8gpu(),
+    };
+    let layers = match flags.get("layers") {
+        Some(l) => l.parse().map_err(|_| format!("bad --layers {l:?}"))?,
+        None => model.default_layers(),
+    };
+    Ok(ModelSpec::with_layers(model, batch, layers))
+}
+
+fn parse_cluster(flags: &HashMap<String, String>) -> Result<Cluster, String> {
+    match flags.get("cluster") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            ClusterSpec::from_json(&json)
+                .and_then(|s| s.build())
+                .map_err(|e| e.to_string())
+        }
+        None => Ok(paper_testbed_8gpu()),
+    }
+}
+
+fn config_for(flags: &HashMap<String, String>) -> HeterogConfig {
+    let mut cfg = match flags.get("planner").map(String::as_str) {
+        None | Some("heterog") | Some("HeteroG") => HeterogConfig::default(),
+        Some(name) => {
+            // Leak one small string per process to satisfy the 'static
+            // baseline-name API; fine for a CLI.
+            HeterogConfig::baseline(Box::leak(name.to_string().into_boxed_str()))
+        }
+    };
+    if flags.contains_key("fifo") {
+        cfg.order_scheduling = false;
+    }
+    cfg
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = parse_model(flags)?;
+    let cluster = parse_cluster(flags)?;
+    let cfg = config_for(flags);
+    eprintln!("planning {} on {} GPUs ...", spec.label(), cluster.num_devices());
+    let runner = get_runner(|| spec.build(), cluster, cfg);
+    let stats = runner.run(1);
+    println!("model:             {}", spec.label());
+    println!("ops / tasks:       {} / {}", runner.graph.len(), runner.task_graph.len());
+    println!("per-iteration:     {:.4} s{}", stats.per_iteration_s, if stats.oom { "  (OOM!)" } else { "" });
+    println!("throughput:        {:.0} samples/s", stats.samples_per_second);
+    let (mp, dp) = runner.strategy.histogram(&runner.cluster);
+    let total = runner.graph.len() as f64;
+    let mp_total: usize = mp.iter().sum();
+    println!(
+        "strategy mix:      {:.1}% MP, {:.1}% EV-PS, {:.1}% EV-AR, {:.1}% CP-PS, {:.1}% CP-AR",
+        100.0 * mp_total as f64 / total,
+        100.0 * dp[0] as f64 / total,
+        100.0 * dp[1] as f64 / total,
+        100.0 * dp[2] as f64 / total,
+        100.0 * dp[3] as f64 / total,
+    );
+    for (g, &bytes) in stats.peak_memory.iter().enumerate() {
+        println!("  G{g} peak memory: {:.2} GiB", bytes as f64 / (1u64 << 30) as f64);
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = parse_model(flags)?;
+    println!("{:<10}{:>14}{:>16}{:>8}", "planner", "s/iteration", "samples/s", "OOM");
+    for name in ["heterog", "EV-PS", "EV-AR", "CP-PS", "CP-AR", "HetPipe"] {
+        let cluster = parse_cluster(flags)?;
+        let cfg = if name == "heterog" {
+            HeterogConfig::default()
+        } else {
+            HeterogConfig::baseline(Box::leak(name.to_string().into_boxed_str()))
+        };
+        let runner = get_runner(|| spec.build(), cluster, cfg);
+        let stats = runner.run(1);
+        println!(
+            "{name:<10}{:>14.4}{:>16.0}{:>8}",
+            stats.per_iteration_s,
+            stats.samples_per_second,
+            if stats.oom { "yes" } else { "no" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = parse_model(flags)?;
+    let cluster = parse_cluster(flags)?;
+    let out = flags.get("out").ok_or("--out <file.json> is required")?;
+    let runner = get_runner(|| spec.build(), cluster, config_for(flags));
+    std::fs::write(out, runner.trace_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("one-iteration timeline written to {out} (open in chrome://tracing)");
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("{:<16}{:>14}{:>12}{:>16}", "model", "params (M)", "ops", "default batch");
+    for m in BenchmarkModel::all() {
+        let spec = ModelSpec::new(m, 32);
+        let g = spec.build();
+        println!(
+            "{:<16}{:>14.1}{:>12}{:>16}",
+            m.display_name(),
+            g.total_param_bytes() as f64 / 4e6,
+            g.len(),
+            m.default_batch_8gpu()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! The `heterog_config` object (§3.5).
+
+use heterog_agent::{HeteroGPlanner, TrainerConfig};
+use heterog_profile::ProfilerConfig;
+
+/// Which strategy maker produces the deployment plan.
+#[derive(Debug, Clone)]
+pub enum PlannerChoice {
+    /// The simulator-guided greedy/local-search planner (default; fast).
+    Search(HeteroGPlanner),
+    /// The GNN + REINFORCE agent of §4.1, trained from scratch on this
+    /// model (slow; see `examples/train_agent.rs`).
+    Learned(TrainerConfig),
+    /// A fixed named baseline: "EV-PS", "EV-AR", "CP-PS", "CP-AR",
+    /// "Horovod", "FlexFlow", "Post" or "HetPipe".
+    Baseline(&'static str),
+}
+
+/// Configuration accepted by [`crate::get_runner`], mirroring the
+/// paper's optional `heterog_config` argument (§3.5: "extra arguments if
+/// needed (e.g., ... whether to use default execution order or our order
+/// scheduling algorithm)").
+#[derive(Debug, Clone)]
+pub struct HeterogConfig {
+    /// Strategy maker.
+    pub planner: PlannerChoice,
+    /// `true` = HeteroG's rank-based order scheduling (§4.2);
+    /// `false` = the engine's default FIFO order (the §6.6 baseline).
+    pub order_scheduling: bool,
+    /// Profiler settings (batch fractions, repeats, measurement noise).
+    pub profiler: ProfilerConfig,
+    /// Plan against the profiler's fitted cost model (`true`, the
+    /// paper's pipeline) or against the ground-truth oracle (`false`,
+    /// useful in tests).
+    pub use_fitted_costs: bool,
+}
+
+impl Default for HeterogConfig {
+    fn default() -> Self {
+        HeterogConfig {
+            planner: PlannerChoice::Search(HeteroGPlanner::default()),
+            order_scheduling: true,
+            profiler: ProfilerConfig::default(),
+            use_fitted_costs: true,
+        }
+    }
+}
+
+impl HeterogConfig {
+    /// A smaller/faster search for examples, tests and doctests.
+    pub fn quick() -> Self {
+        HeterogConfig {
+            planner: PlannerChoice::Search(HeteroGPlanner { groups: 12, passes: 1, allow_mp: true }),
+            ..Default::default()
+        }
+    }
+
+    /// Uses a named baseline planner instead of HeteroG.
+    pub fn baseline(name: &'static str) -> Self {
+        HeterogConfig { planner: PlannerChoice::Baseline(name), ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_search_with_order_scheduling() {
+        let c = HeterogConfig::default();
+        assert!(c.order_scheduling);
+        assert!(matches!(c.planner, PlannerChoice::Search(_)));
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        match HeterogConfig::quick().planner {
+            PlannerChoice::Search(p) => assert!(p.groups < HeteroGPlanner::default().groups),
+            _ => panic!("quick must use search"),
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Fluent construction of training graphs.
+//!
+//! `GraphBuilder` provides the layer-level vocabulary the model zoo uses
+//! to synthesize realistic training graphs: each `*_layer` call appends
+//! the forward op *and* its backward companion(s) (input-gradient and,
+//! for parameterized ops, weight-gradient + ApplyGradient), wiring the
+//! backward chain in reverse through the graph exactly as autodiff would.
+//!
+//! The resulting graph is a faithful single-GPU training DAG in the sense
+//! the paper needs: correct dependency structure between FP and BP,
+//! parameter-gradient producers flagged (`grad_of`), realistic FLOP and
+//! byte counts. Numerical kernels are, of course, not executed.
+
+use crate::graph::{Graph, OpId};
+use crate::node::{Node, Phase};
+use crate::op::OpKind;
+use crate::tensor::TensorMeta;
+
+/// Handle to a layer's forward output plus the entry point of its backward
+/// path, used to thread the backward chain through subsequent layers.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerRef {
+    /// Forward output op.
+    pub fwd: OpId,
+    /// The backward op that *consumes* the gradient flowing into this
+    /// layer's output (i.e. the gradient w.r.t. this layer's output enters
+    /// here). `None` for layers with no backward path (inputs).
+    pub bwd_in: Option<OpId>,
+}
+
+/// Builds training graphs layer by layer.
+///
+/// Internally maintains the pending backward edges: calling
+/// [`GraphBuilder::finish`] connects the loss to the backward chain and
+/// returns the completed graph.
+pub struct GraphBuilder {
+    g: Graph,
+    apply_grads: Vec<OpId>,
+}
+
+impl GraphBuilder {
+    /// Starts a new training graph for the given global mini-batch size.
+    pub fn new(name: impl Into<String>, batch_size: u64) -> Self {
+        GraphBuilder { g: Graph::new(name, batch_size), apply_grads: Vec::new() }
+    }
+
+    /// The mini-batch size this graph is being built for.
+    pub fn batch_size(&self) -> u64 {
+        self.g.batch_size
+    }
+
+    /// Direct node insertion (escape hatch for tests and custom models).
+    pub fn add_node(&mut self, node: Node) -> OpId {
+        self.g.add_node(node)
+    }
+
+    /// Direct edge insertion (panics on structural errors — builder misuse
+    /// is a programming bug, not a runtime condition).
+    pub fn add_edge(&mut self, src: OpId, dst: OpId) {
+        self.g.add_edge(src, dst).expect("builder produced invalid edge");
+    }
+
+    /// Input pipeline node producing `elems_per_sample` elements per sample.
+    pub fn input(&mut self, elems_per_sample: u64) -> LayerRef {
+        let id = self.g.add_node(
+            Node::new("input", OpKind::Input, Phase::Forward)
+                .with_output(TensorMeta::activation(elems_per_sample)),
+        );
+        LayerRef { fwd: id, bwd_in: None }
+    }
+
+    /// A generic parameterized layer: forward op `kind`, a weight-gradient
+    /// backward op, an input-gradient backward op and an ApplyGradient.
+    ///
+    /// * `out_elems` — output activation elements per sample;
+    /// * `param_elems` — trainable parameter element count;
+    /// * `flops_per_sample` — forward FLOPs per sample (backward ops are
+    ///   costed at roughly 1x forward each, the standard 1:2 FP:BP ratio).
+    #[allow(clippy::too_many_arguments)]
+    pub fn param_layer(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        input: LayerRef,
+        out_elems: u64,
+        param_elems: u64,
+        flops_per_sample: f64,
+    ) -> LayerRef {
+        let (wgrad_kind, xgrad_kind) = backward_kinds(kind);
+        let param_bytes = param_elems * 4;
+        let fwd = self.g.add_node(
+            Node::new(format!("{name}/{}", kind.mnemonic()), kind, Phase::Forward)
+                .with_output(TensorMeta::activation(out_elems))
+                .with_params(param_bytes)
+                .with_flops(flops_per_sample, 0.0),
+        );
+        self.add_edge(input.fwd, fwd);
+
+        // Backward: gradient w.r.t. weights (produces the parameter grad)
+        // and gradient w.r.t. input (continues the backward chain).
+        let wgrad = self.g.add_node(
+            Node::new(format!("{name}/{}", wgrad_kind.mnemonic()), wgrad_kind, Phase::Backward)
+                .with_output(TensorMeta::fixed(param_elems))
+                .with_flops(flops_per_sample, 0.1 * param_elems as f64)
+                .with_grad_of(fwd),
+        );
+        let xgrad = self.g.add_node(
+            Node::new(format!("{name}/{}", xgrad_kind.mnemonic()), xgrad_kind, Phase::Backward)
+                .with_output(self.g.node(input.fwd).output)
+                .with_flops(flops_per_sample, 0.0),
+        );
+        // Both backward ops need the forward activations of this layer's
+        // input and the incoming output-gradient (wired by the caller via
+        // the returned bwd_in when the next layer is added, or by finish()).
+        self.add_edge(input.fwd, wgrad);
+        self.add_edge(input.fwd, xgrad);
+
+        let apply = self.g.add_node(
+            Node::new(format!("{name}/apply"), OpKind::ApplyGradient, Phase::Update)
+                .with_output(TensorMeta::fixed(param_elems))
+                .with_flops(0.0, 2.0 * param_elems as f64),
+        );
+        self.add_edge(wgrad, apply);
+        self.apply_grads.push(apply);
+
+        // Thread the backward chain: the gradient flowing into this layer's
+        // output must reach both backward ops. We expose a joint entry by
+        // adding edges lazily when the *next* layer's xgrad (or the loss
+        // grad) is created. To keep the builder simple we return wgrad and
+        // xgrad hanging off a shared entry: callers connect via bwd_in.
+        // Here bwd_in is represented by wiring: next_xgrad -> {wgrad, xgrad}
+        // through connect_backward().
+        let entry = BackwardEntry { wgrad: Some(wgrad), xgrad: Some(xgrad) };
+        let bwd_in = self.materialize_entry(entry, input);
+        LayerRef { fwd, bwd_in: Some(bwd_in) }
+    }
+
+    /// A non-parameterized layer (pooling, activation, norm without
+    /// learnable params, reshape...): one forward op and one backward op.
+    pub fn simple_layer(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        input: LayerRef,
+        out_elems: u64,
+        flops_per_sample: f64,
+    ) -> LayerRef {
+        let fwd = self.g.add_node(
+            Node::new(format!("{name}/{}", kind.mnemonic()), kind, Phase::Forward)
+                .with_output(TensorMeta::activation(out_elems))
+                .with_flops(flops_per_sample, 0.0),
+        );
+        self.add_edge(input.fwd, fwd);
+        let bwd = self.g.add_node(
+            Node::new(format!("{name}/bp"), OpKind::Backward, Phase::Backward)
+                .with_output(self.g.node(input.fwd).output)
+                .with_flops(flops_per_sample, 0.0),
+        );
+        self.add_edge(input.fwd, bwd);
+        if let Some(up) = input.bwd_in {
+            self.add_edge(bwd, up);
+        }
+        LayerRef { fwd, bwd_in: Some(bwd) }
+    }
+
+    /// Element-wise combination of two branches (residual Add, gating Mul).
+    /// Backward fans the incoming gradient out to both branches.
+    pub fn combine(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        a: LayerRef,
+        b: LayerRef,
+        out_elems: u64,
+    ) -> LayerRef {
+        let fwd = self.g.add_node(
+            Node::new(format!("{name}/{}", kind.mnemonic()), kind, Phase::Forward)
+                .with_output(TensorMeta::activation(out_elems))
+                .with_flops(out_elems as f64, 0.0),
+        );
+        self.add_edge(a.fwd, fwd);
+        if b.fwd != a.fwd {
+            self.add_edge(b.fwd, fwd);
+        }
+        let bwd = self.g.add_node(
+            Node::new(format!("{name}/bp"), OpKind::Backward, Phase::Backward)
+                .with_output(TensorMeta::activation(out_elems))
+                .with_flops(out_elems as f64, 0.0),
+        );
+        self.add_edge(fwd, bwd);
+        if let Some(up) = a.bwd_in {
+            self.add_edge(bwd, up);
+        }
+        if b.bwd_in != a.bwd_in {
+            if let Some(up) = b.bwd_in {
+                self.add_edge(bwd, up);
+            }
+        }
+        LayerRef { fwd, bwd_in: Some(bwd) }
+    }
+
+    /// Joins any number of branches into one output node (a true n-ary
+    /// Concat/Add: the output materializes once, unlike chaining binary
+    /// combines). Backward fans the incoming gradient to every branch.
+    pub fn join(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        inputs: &[LayerRef],
+        out_elems: u64,
+    ) -> LayerRef {
+        assert!(!inputs.is_empty());
+        let fwd = self.g.add_node(
+            Node::new(format!("{name}/{}", kind.mnemonic()), kind, Phase::Forward)
+                .with_output(TensorMeta::activation(out_elems))
+                .with_flops(out_elems as f64, 0.0),
+        );
+        for i in inputs {
+            self.add_edge(i.fwd, fwd);
+        }
+        let bwd = self.g.add_node(
+            Node::new(format!("{name}/bp"), OpKind::Backward, Phase::Backward)
+                .with_output(TensorMeta::activation(out_elems))
+                .with_flops(out_elems as f64, 0.0),
+        );
+        self.add_edge(fwd, bwd);
+        for i in inputs {
+            if let Some(up) = i.bwd_in {
+                self.add_edge(bwd, up);
+            }
+        }
+        LayerRef { fwd, bwd_in: Some(bwd) }
+    }
+
+    /// Embedding lookup layer (word/position embeddings in NLP models).
+    /// The parameter gradient is produced by an `EmbeddingGrad` op.
+    pub fn embedding(
+        &mut self,
+        name: &str,
+        input: LayerRef,
+        out_elems: u64,
+        vocab_times_dim: u64,
+    ) -> LayerRef {
+        let fwd = self.g.add_node(
+            Node::new(format!("{name}/embed"), OpKind::Embedding, Phase::Forward)
+                .with_output(TensorMeta::activation(out_elems))
+                .with_params(vocab_times_dim * 4)
+                .with_flops(out_elems as f64, 0.0),
+        );
+        self.add_edge(input.fwd, fwd);
+        let grad = self.g.add_node(
+            Node::new(format!("{name}/embed_grad"), OpKind::EmbeddingGrad, Phase::Backward)
+                .with_output(TensorMeta::fixed(vocab_times_dim))
+                .with_flops(out_elems as f64, 0.0)
+                .with_grad_of(fwd),
+        );
+        self.add_edge(input.fwd, grad);
+        let apply = self.g.add_node(
+            Node::new(format!("{name}/apply"), OpKind::ApplyGradient, Phase::Update)
+                .with_output(TensorMeta::fixed(vocab_times_dim))
+                .with_flops(0.0, 2.0 * vocab_times_dim as f64),
+        );
+        self.add_edge(grad, apply);
+        self.apply_grads.push(apply);
+        LayerRef { fwd, bwd_in: Some(grad) }
+    }
+
+    /// Terminates the graph with a loss op whose backward edge starts the
+    /// backward chain, then returns the validated graph.
+    pub fn finish(mut self, last: LayerRef) -> Graph {
+        let loss_elems = 1u64;
+        let loss = self.g.add_node(
+            Node::new("loss", OpKind::Loss, Phase::Forward)
+                .with_output(TensorMeta::activation(loss_elems))
+                .with_flops(16.0, 0.0),
+        );
+        self.add_edge(last.fwd, loss);
+        let loss_grad = self.g.add_node(
+            Node::new("loss/bp", OpKind::Backward, Phase::Backward)
+                .with_output(self.g.node(last.fwd).output)
+                .with_flops(16.0, 0.0),
+        );
+        self.add_edge(loss, loss_grad);
+        if let Some(up) = last.bwd_in {
+            self.add_edge(loss_grad, up);
+        }
+        debug_assert!(self.g.validate().is_ok(), "builder produced a cyclic graph");
+        self.g
+    }
+
+    fn materialize_entry(&mut self, entry: BackwardEntry, input: LayerRef) -> OpId {
+        // The gradient flowing into this layer's output must feed both the
+        // weight-gradient and the input-gradient op. Use xgrad as the entry
+        // and add an edge xgrad-entry -> wgrad? That would invert dataflow.
+        // Instead insert a zero-cost fan-out node so a single bwd_in handle
+        // can feed both backward ops.
+        match (entry.wgrad, entry.xgrad) {
+            (Some(w), Some(x)) => {
+                let fan = self.g.add_node(
+                    Node::new("grad_fanout", OpKind::NoOp, Phase::Backward)
+                        .with_output(self.g.node(x).output),
+                );
+                self.add_edge(fan, w);
+                self.add_edge(fan, x);
+                // continue the chain toward shallower layers
+                if let Some(up) = input.bwd_in {
+                    self.add_edge(x, up);
+                }
+                fan
+            }
+            _ => unreachable!("param layers always have both grads"),
+        }
+    }
+}
+
+struct BackwardEntry {
+    wgrad: Option<OpId>,
+    xgrad: Option<OpId>,
+}
+
+/// Backward op kinds matching a forward kind.
+fn backward_kinds(kind: OpKind) -> (OpKind, OpKind) {
+    match kind {
+        OpKind::Conv2D | OpKind::DepthwiseConv2D | OpKind::Conv1D => {
+            (OpKind::Conv2DBackpropFilter, OpKind::Conv2DBackpropInput)
+        }
+        OpKind::MatMul | OpKind::BatchMatMul => {
+            (OpKind::MatMulBackpropWeight, OpKind::MatMulBackpropInput)
+        }
+        // BatchNorm / LayerNorm scale+shift params
+        OpKind::BatchNorm | OpKind::LayerNorm => (OpKind::MatMulBackpropWeight, OpKind::Backward),
+        _ => (OpKind::MatMulBackpropWeight, OpKind::Backward),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Phase;
+
+    #[test]
+    fn single_conv_training_graph_is_acyclic_and_complete() {
+        let mut b = GraphBuilder::new("tiny", 32);
+        let x = b.input(3 * 224 * 224);
+        let c = b.param_layer("c1", OpKind::Conv2D, x, 64 * 112 * 112, 9408, 1.0e8);
+        let g = b.finish(c);
+        g.validate().unwrap();
+        // input, conv fwd, wgrad, xgrad, apply, fanout, loss, loss_bp
+        assert_eq!(g.len(), 8);
+        // exactly one parameter-gradient producer
+        let pg: Vec<_> = g.iter().filter(|(_, n)| n.kind.produces_param_grad()).collect();
+        assert_eq!(pg.len(), 1);
+        assert!(pg[0].1.grad_of.is_some());
+        // exactly one ApplyGradient, downstream of the grad producer
+        let ap: Vec<_> = g.iter().filter(|(_, n)| n.kind == OpKind::ApplyGradient).collect();
+        assert_eq!(ap.len(), 1);
+    }
+
+    #[test]
+    fn backward_chain_reaches_shallow_layers() {
+        let mut b = GraphBuilder::new("chain2", 8);
+        let x = b.input(1024);
+        let l1 = b.param_layer("l1", OpKind::MatMul, x, 512, 1024 * 512, 1.0e6);
+        let l2 = b.param_layer("l2", OpKind::MatMul, l1, 256, 512 * 256, 5.0e5);
+        let g = b.finish(l2);
+        g.validate().unwrap();
+        // Both layers' weight grads must be reachable from the loss gradient.
+        let loss_bp = g.iter().find(|(_, n)| n.name == "loss/bp").unwrap().0;
+        let mut reach = vec![false; g.len()];
+        let mut stack = vec![loss_bp];
+        while let Some(id) = stack.pop() {
+            if reach[id.index()] {
+                continue;
+            }
+            reach[id.index()] = true;
+            stack.extend(g.succs(id));
+        }
+        for (id, n) in g.iter() {
+            if n.kind.produces_param_grad() {
+                assert!(reach[id.index()], "{} unreachable from loss/bp", n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn combine_joins_two_branches() {
+        let mut b = GraphBuilder::new("res", 8);
+        let x = b.input(4096);
+        let a = b.param_layer("a", OpKind::Conv2D, x, 4096, 1000, 1.0e6);
+        let s = b.simple_layer("skip", OpKind::Reshape, x, 4096, 0.0);
+        let j = b.combine("join", OpKind::Add, a, s, 4096);
+        let g = b.finish(j);
+        g.validate().unwrap();
+        let add = g.iter().find(|(_, n)| n.kind == OpKind::Add).unwrap().0;
+        assert_eq!(g.preds(add).len(), 2);
+    }
+
+    #[test]
+    fn embedding_layer_produces_sparse_grad() {
+        let mut b = GraphBuilder::new("emb", 8);
+        let x = b.input(128);
+        let e = b.embedding("tok", x, 128 * 1024, 30000 * 1024);
+        let g = b.finish(e);
+        g.validate().unwrap();
+        let eg = g.iter().find(|(_, n)| n.kind == OpKind::EmbeddingGrad).unwrap().1;
+        assert!(eg.grad_of.is_some());
+        assert!(!eg.output.has_batch_dim());
+    }
+
+    #[test]
+    fn phases_assigned() {
+        let mut b = GraphBuilder::new("p", 8);
+        let x = b.input(10);
+        let l = b.param_layer("l", OpKind::MatMul, x, 10, 100, 1.0);
+        let g = b.finish(l);
+        assert!(g.iter().any(|(_, n)| n.phase == Phase::Forward));
+        assert!(g.iter().any(|(_, n)| n.phase == Phase::Backward));
+        assert!(g.iter().any(|(_, n)| n.phase == Phase::Update));
+    }
+}

@@ -1,0 +1,93 @@
+//! Graphviz DOT export of computation graphs.
+//!
+//! `dot -Tsvg model.dot -o model.svg` renders the training DAG with
+//! forward / backward / update phases color-coded — handy when debugging
+//! zoo generators or custom `GraphBuilder` models.
+
+use crate::graph::Graph;
+use crate::node::Phase;
+
+/// Renders the graph in DOT format. Large graphs render slowly in
+/// Graphviz; `max_nodes` truncates (0 = no limit) with a summary node.
+pub fn to_dot(g: &Graph, max_nodes: usize) -> String {
+    let limit = if max_nodes == 0 { g.len() } else { max_nodes.min(g.len()) };
+    let mut out = String::from("digraph model {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n");
+    for (id, node) in g.iter().take(limit) {
+        let color = match node.phase {
+            Phase::Forward => "#b3cde3",
+            Phase::Backward => "#fbb4ae",
+            Phase::Update => "#ccebc5",
+        };
+        let params = if node.has_params() {
+            format!("\\n{:.1}MB params", node.param_bytes as f64 / 1e6)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{}{}\", style=filled, fillcolor=\"{}\"];\n",
+            id.0,
+            escape(&node.name),
+            node.kind,
+            params,
+            color
+        ));
+    }
+    for e in g.edges() {
+        if e.src.index() < limit && e.dst.index() < limit {
+            out.push_str(&format!("  n{} -> n{};\n", e.src.0, e.dst.0));
+        }
+    }
+    if limit < g.len() {
+        out.push_str(&format!(
+            "  truncated [label=\"... {} more ops\", shape=plaintext];\n",
+            g.len() - limit
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::OpKind;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new("t", 8);
+        let x = b.input(16);
+        let l = b.param_layer("l", OpKind::MatMul, x, 8, 128, 1e3);
+        b.finish(l)
+    }
+
+    #[test]
+    fn emits_valid_dot_structure() {
+        let g = tiny();
+        let dot = to_dot(&g, 0);
+        assert!(dot.starts_with("digraph model {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        // One node statement per op.
+        assert_eq!(dot.matches("style=filled").count(), g.len());
+    }
+
+    #[test]
+    fn truncation_marks_omitted_nodes() {
+        let g = tiny();
+        let dot = to_dot(&g, 3);
+        assert!(dot.contains("more ops"));
+        assert_eq!(dot.matches("style=filled").count(), 3);
+    }
+
+    #[test]
+    fn phases_are_color_coded() {
+        let dot = to_dot(&tiny(), 0);
+        assert!(dot.contains("#b3cde3")); // forward
+        assert!(dot.contains("#fbb4ae")); // backward
+        assert!(dot.contains("#ccebc5")); // update
+    }
+}

@@ -1,0 +1,198 @@
+//! Operation kinds.
+//!
+//! The kinds mirror the TensorFlow operations the paper's profiler sees
+//! (Fig. 3(b) names Conv2D, MatMul, Conv1D, Conv2DBackpropFilter and
+//! Conv2DBackpropInput explicitly) plus the structural operations HeteroG's
+//! graph compiler inserts (Split, Concat, gradient aggregation, NCCL
+//! collectives — §3.4, §5, Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of computation (or communication) an operation performs.
+///
+/// Kinds matter for two reasons:
+/// 1. the cost model assigns per-kind device efficiency factors (a V100 is
+///    ~1.9x a 1080Ti on Conv2D but only ~1.1x on some ops — Fig. 3(b));
+/// 2. the graph compiler treats structural kinds (Split/Concat/collectives)
+///    specially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    // ---- data & parameters -------------------------------------------------
+    /// Input pipeline / placeholder feeding one mini-batch.
+    Input,
+    /// A trainable variable (weight tensor) read.
+    Variable,
+    // ---- forward compute ---------------------------------------------------
+    /// 2-D convolution.
+    Conv2D,
+    /// 1-D convolution (Transformer position-wise layers in the paper's
+    /// profiling figure).
+    Conv1D,
+    /// Depthwise separable convolution (MobileNet-v2, NasNet cells).
+    DepthwiseConv2D,
+    /// Dense matrix multiply (fully-connected layers, attention projections).
+    MatMul,
+    /// Batched matrix multiply (attention score/context computation).
+    BatchMatMul,
+    /// Max pooling.
+    MaxPool,
+    /// Average pooling (global average pooling heads).
+    AvgPool,
+    /// Elementwise ReLU/GeLU/Swish activation.
+    Activation,
+    /// Elementwise addition (residual connections).
+    Add,
+    /// Elementwise multiplication (gating).
+    Mul,
+    /// Batch normalization.
+    BatchNorm,
+    /// Layer normalization (Transformers).
+    LayerNorm,
+    /// Softmax (attention weights, output head).
+    Softmax,
+    /// Embedding table lookup (word/position embeddings).
+    Embedding,
+    /// Dropout (modeled as an elementwise op).
+    Dropout,
+    /// Loss computation (cross-entropy etc.).
+    Loss,
+    /// Tensor reshape/transpose — near-zero compute, nonzero scheduling slot.
+    Reshape,
+    // ---- backward compute --------------------------------------------------
+    /// Gradient of Conv2D w.r.t. its filter (produces a parameter gradient).
+    Conv2DBackpropFilter,
+    /// Gradient of Conv2D w.r.t. its input (propagates the error signal).
+    Conv2DBackpropInput,
+    /// Gradient of a MatMul w.r.t. its weight.
+    MatMulBackpropWeight,
+    /// Gradient of a MatMul w.r.t. its input.
+    MatMulBackpropInput,
+    /// Generic backward op for non-parameterized forward ops.
+    Backward,
+    /// Gradient of an embedding lookup (sparse parameter gradient).
+    EmbeddingGrad,
+    // ---- update ------------------------------------------------------------
+    /// Applies an aggregated gradient to a variable (synchronous SGD step).
+    ApplyGradient,
+    // ---- structural ops inserted by the graph compiler (§3.4, Fig. 7) -----
+    /// Splits a batch-dim tensor into per-replica shards.
+    Split,
+    /// Concatenates per-replica shards back into one batch-dim tensor.
+    Concat,
+    /// PS-side gradient aggregation (sum of pushed gradients).
+    GradAggregate,
+    /// One stage of an NCCL-style collective AllReduce.
+    NcclAllReduce,
+    /// Point-to-point tensor transfer placed on a link-device.
+    Transfer,
+    /// Synthetic source/sink used by the scheduler's worst-case instance
+    /// and by tests.
+    NoOp,
+}
+
+impl OpKind {
+    /// True for operations inserted by the graph compiler rather than
+    /// present in the user's single-GPU model.
+    pub fn is_structural(self) -> bool {
+        matches!(
+            self,
+            OpKind::Split
+                | OpKind::Concat
+                | OpKind::GradAggregate
+                | OpKind::NcclAllReduce
+                | OpKind::Transfer
+        )
+    }
+
+    /// True for communication operations (scheduled on link-devices, §4.2).
+    pub fn is_communication(self) -> bool {
+        matches!(self, OpKind::NcclAllReduce | OpKind::Transfer)
+    }
+
+    /// True for backward-pass operations that produce a *parameter*
+    /// gradient (the tensors that need aggregation across replicas).
+    pub fn produces_param_grad(self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv2DBackpropFilter | OpKind::MatMulBackpropWeight | OpKind::EmbeddingGrad
+        )
+    }
+
+    /// Short, stable mnemonic used in node names and traces.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Input => "input",
+            OpKind::Variable => "var",
+            OpKind::Conv2D => "conv2d",
+            OpKind::Conv1D => "conv1d",
+            OpKind::DepthwiseConv2D => "dwconv",
+            OpKind::MatMul => "matmul",
+            OpKind::BatchMatMul => "bmm",
+            OpKind::MaxPool => "maxpool",
+            OpKind::AvgPool => "avgpool",
+            OpKind::Activation => "act",
+            OpKind::Add => "add",
+            OpKind::Mul => "mul",
+            OpKind::BatchNorm => "bn",
+            OpKind::LayerNorm => "ln",
+            OpKind::Softmax => "softmax",
+            OpKind::Embedding => "embed",
+            OpKind::Dropout => "dropout",
+            OpKind::Loss => "loss",
+            OpKind::Reshape => "reshape",
+            OpKind::Conv2DBackpropFilter => "conv2d_bp_filter",
+            OpKind::Conv2DBackpropInput => "conv2d_bp_input",
+            OpKind::MatMulBackpropWeight => "matmul_bp_w",
+            OpKind::MatMulBackpropInput => "matmul_bp_x",
+            OpKind::Backward => "bp",
+            OpKind::EmbeddingGrad => "embed_grad",
+            OpKind::ApplyGradient => "apply_grad",
+            OpKind::Split => "split",
+            OpKind::Concat => "concat",
+            OpKind::GradAggregate => "grad_agg",
+            OpKind::NcclAllReduce => "nccl_allreduce",
+            OpKind::Transfer => "transfer",
+            OpKind::NoOp => "noop",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_classification() {
+        assert!(OpKind::Split.is_structural());
+        assert!(OpKind::NcclAllReduce.is_structural());
+        assert!(!OpKind::Conv2D.is_structural());
+    }
+
+    #[test]
+    fn communication_classification() {
+        assert!(OpKind::Transfer.is_communication());
+        assert!(OpKind::NcclAllReduce.is_communication());
+        assert!(!OpKind::GradAggregate.is_communication());
+        assert!(!OpKind::MatMul.is_communication());
+    }
+
+    #[test]
+    fn param_grad_producers() {
+        assert!(OpKind::Conv2DBackpropFilter.produces_param_grad());
+        assert!(OpKind::MatMulBackpropWeight.produces_param_grad());
+        assert!(OpKind::EmbeddingGrad.produces_param_grad());
+        assert!(!OpKind::Conv2DBackpropInput.produces_param_grad());
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(OpKind::Conv2D.to_string(), "conv2d");
+        assert_eq!(format!("{}", OpKind::ApplyGradient), "apply_grad");
+    }
+}

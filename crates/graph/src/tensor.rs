@@ -1,0 +1,127 @@
+//! Tensor metadata.
+//!
+//! The planner never materializes tensor *values*; it only needs sizes.
+//! A tensor's size generally depends on the mini-batch size `B`: activation
+//! tensors scale linearly in `B`, while parameter/gradient tensors do not.
+//! [`TensorMeta`] therefore stores the per-sample and batch-independent
+//! element counts separately, so a single description serves every batch
+//! size the profiler or compiler asks about (the paper's profiler fits
+//! exactly this linear-in-batch model, §3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Element datatype of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// 32-bit IEEE float — the default training datatype in the paper's
+    /// TensorFlow 1.14 setting.
+    #[default]
+    F32,
+    /// 16-bit float (used by mixed-precision variants in extensions).
+    F16,
+    /// 32-bit signed integer (indices, lengths).
+    I32,
+    /// 64-bit signed integer (embedding lookups).
+    I64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 => 2,
+            DType::I64 => 8,
+        }
+    }
+}
+
+/// Shape-independent description of a tensor, sufficient for cost modeling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TensorMeta {
+    /// Elements contributed per sample in the mini-batch (0 for tensors
+    /// without a batch dimension, e.g. weights and their gradients).
+    pub elems_per_sample: u64,
+    /// Batch-independent element count (the whole tensor for weights).
+    pub fixed_elems: u64,
+    /// Element datatype.
+    pub dtype: DType,
+}
+
+impl TensorMeta {
+    /// A batch-scaled activation tensor: `elems_per_sample` elements per
+    /// sample, `f32`.
+    pub fn activation(elems_per_sample: u64) -> Self {
+        TensorMeta { elems_per_sample, fixed_elems: 0, dtype: DType::F32 }
+    }
+
+    /// A batch-independent tensor (weights, gradients, scalars), `f32`.
+    pub fn fixed(fixed_elems: u64) -> Self {
+        TensorMeta { elems_per_sample: 0, fixed_elems, dtype: DType::F32 }
+    }
+
+    /// Same tensor with a different datatype.
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+
+    /// Total element count at mini-batch size `batch`.
+    pub fn elems(&self, batch: u64) -> u64 {
+        self.elems_per_sample.saturating_mul(batch).saturating_add(self.fixed_elems)
+    }
+
+    /// Total size in bytes at mini-batch size `batch`.
+    pub fn bytes(&self, batch: u64) -> u64 {
+        self.elems(batch).saturating_mul(self.dtype.size_bytes())
+    }
+
+    /// Whether this tensor has a batch dimension (and can therefore be
+    /// split across operation replicas, §3.4 "Operation replication").
+    pub fn has_batch_dim(&self) -> bool {
+        self.elems_per_sample > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn activation_scales_with_batch() {
+        let t = TensorMeta::activation(1000);
+        assert_eq!(t.elems(1), 1000);
+        assert_eq!(t.elems(32), 32_000);
+        assert_eq!(t.bytes(32), 128_000);
+        assert!(t.has_batch_dim());
+    }
+
+    #[test]
+    fn fixed_is_batch_invariant() {
+        let t = TensorMeta::fixed(4096);
+        assert_eq!(t.bytes(1), t.bytes(1024));
+        assert!(!t.has_batch_dim());
+    }
+
+    #[test]
+    fn mixed_tensor() {
+        let t = TensorMeta { elems_per_sample: 10, fixed_elems: 5, dtype: DType::F16 };
+        assert_eq!(t.elems(3), 35);
+        assert_eq!(t.bytes(3), 70);
+    }
+
+    #[test]
+    fn saturating_bytes_do_not_overflow() {
+        let t = TensorMeta { elems_per_sample: u64::MAX / 2, fixed_elems: u64::MAX / 2, dtype: DType::I64 };
+        // Must not panic in release or debug builds.
+        let _ = t.bytes(u64::MAX);
+    }
+}

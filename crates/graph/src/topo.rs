@@ -1,0 +1,171 @@
+//! Topological ordering and DAG traversal helpers.
+
+use crate::graph::{Graph, GraphError, OpId};
+
+/// Kahn's-algorithm topological sort.
+///
+/// Returns node ids in an order where every producer precedes its
+/// consumers, or [`GraphError::Cycle`] naming a node that sits on a cycle.
+pub fn topo_sort(g: &Graph) -> Result<Vec<OpId>, GraphError> {
+    let n = g.len();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(OpId(i as u32)).len()).collect();
+    let mut queue: std::collections::VecDeque<OpId> = g
+        .op_ids()
+        .filter(|id| indeg[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        for &s in g.succs(id) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if order.len() != n {
+        // Some node still has positive in-degree: it is on (or behind) a cycle.
+        let on_cycle = (0..n).find(|&i| indeg[i] > 0).map(|i| OpId(i as u32)).expect("cycle node");
+        return Err(GraphError::Cycle(on_cycle));
+    }
+    Ok(order)
+}
+
+/// Depth (longest path length, in edges) of every node from the sources.
+///
+/// Useful for grouping (hop distance) and for layered visualizations.
+pub fn depths(g: &Graph) -> Result<Vec<u32>, GraphError> {
+    let order = topo_sort(g)?;
+    let mut depth = vec![0u32; g.len()];
+    for id in order {
+        for &s in g.succs(id) {
+            depth[s.index()] = depth[s.index()].max(depth[id.index()] + 1);
+        }
+    }
+    Ok(depth)
+}
+
+/// Undirected hop distances from `from` to every node (BFS), used by the
+/// paper's nearest-neighbor grouping (§4.1.1: each leftover operation is
+/// grouped with the seed reachable in the fewest hops).
+pub fn hop_distances(g: &Graph, from: OpId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[from.index()] = 0;
+    queue.push_back(from);
+    while let Some(id) = queue.pop_front() {
+        let d = dist[id.index()];
+        for &nbr in g.succs(id).iter().chain(g.preds(id)) {
+            if dist[nbr.index()] == u32::MAX {
+                dist[nbr.index()] = d + 1;
+                queue.push_back(nbr);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS over the undirected graph: returns, for every node,
+/// the index of the nearest seed (ties broken by BFS arrival order, i.e.
+/// lower seed index wins at equal distance).
+///
+/// This is the grouping primitive: a single BFS wave from all seeds is
+/// O(V + E), versus O(seeds × (V+E)) for repeated single-source BFS — the
+/// difference matters for NasNet/BERT-sized graphs with N = 2000 seeds.
+pub fn nearest_seed(g: &Graph, seeds: &[OpId]) -> Vec<u32> {
+    let mut owner = vec![u32::MAX; g.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for (si, &s) in seeds.iter().enumerate() {
+        owner[s.index()] = si as u32;
+        queue.push_back(s);
+    }
+    while let Some(id) = queue.pop_front() {
+        let o = owner[id.index()];
+        for &nbr in g.succs(id).iter().chain(g.preds(id)) {
+            if owner[nbr.index()] == u32::MAX {
+                owner[nbr.index()] = o;
+                queue.push_back(nbr);
+            }
+        }
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Node, Phase};
+    use crate::op::OpKind;
+
+    fn chain(k: usize) -> Graph {
+        let mut g = Graph::new("chain", 1);
+        let ids: Vec<OpId> =
+            (0..k).map(|i| g.add_node(Node::new(format!("n{i}"), OpKind::NoOp, Phase::Forward))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn topo_sort_chain() {
+        let g = chain(5);
+        let order = topo_sort(&g).unwrap();
+        assert_eq!(order, (0..5).map(|i| OpId(i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn topo_sort_respects_edges_in_diamond() {
+        let mut g = Graph::new("d", 1);
+        let a = g.add_node(Node::new("a", OpKind::NoOp, Phase::Forward));
+        let b = g.add_node(Node::new("b", OpKind::NoOp, Phase::Forward));
+        let c = g.add_node(Node::new("c", OpKind::NoOp, Phase::Forward));
+        let d = g.add_node(Node::new("d", OpKind::NoOp, Phase::Forward));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        let order = topo_sort(&g).unwrap();
+        let pos = |x: OpId| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(a) < pos(b) && pos(a) < pos(c));
+        assert!(pos(b) < pos(d) && pos(c) < pos(d));
+    }
+
+    #[test]
+    fn depths_diamond() {
+        let mut g = Graph::new("d", 1);
+        let a = g.add_node(Node::new("a", OpKind::NoOp, Phase::Forward));
+        let b = g.add_node(Node::new("b", OpKind::NoOp, Phase::Forward));
+        let c = g.add_node(Node::new("c", OpKind::NoOp, Phase::Forward));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(a, c).unwrap();
+        assert_eq!(depths(&g).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hop_distance_undirected() {
+        let g = chain(4);
+        let d = hop_distances(&g, OpId(3));
+        assert_eq!(d, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn nearest_seed_partitions_chain() {
+        let g = chain(6);
+        let owners = nearest_seed(&g, &[OpId(0), OpId(5)]);
+        assert_eq!(owners[0], 0);
+        assert_eq!(owners[1], 0);
+        assert_eq!(owners[4], 1);
+        assert_eq!(owners[5], 1);
+    }
+
+    #[test]
+    fn nearest_seed_covers_disconnected_only_from_seeds() {
+        let mut g = chain(3);
+        // isolated node
+        let iso = g.add_node(Node::new("iso", OpKind::NoOp, Phase::Forward));
+        let owners = nearest_seed(&g, &[OpId(0)]);
+        assert_eq!(owners[iso.index()], u32::MAX);
+    }
+}

@@ -1,0 +1,84 @@
+//! BERT-large [Devlin et al. '18].
+//!
+//! 24 encoder layers (parameterizable for the paper's 48-layer variant),
+//! d_model = 1024, d_ff = 4096, 16 heads, 30,522-token WordPiece
+//! vocabulary, sequence length 128. ~340M parameters — the word-embedding
+//! table (30522 x 1024 ≈ 31M params, 125MB) is the tensor HeteroG pins to
+//! a single GPU via MP (Table 2 discussion).
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::zoo::transformer::{attention_block, ffn_block};
+use crate::zoo::util::fc_flops;
+
+const D_MODEL: u64 = 1024;
+const D_FF: u64 = 4096;
+const SEQ: u64 = 128;
+const VOCAB: u64 = 30_522;
+
+/// Builds the BERT-large training graph with the given encoder depth.
+pub fn build(batch: u64, layers: u32) -> Graph {
+    let layers = layers.max(1);
+    let mut b = GraphBuilder::new(format!("bert_large_{layers}l"), batch);
+    let tokens = b.input(SEQ);
+
+    // Word + position + segment embeddings (position/segment folded into
+    // one table for cost purposes; word table dominates).
+    let word = b.embedding("embed/word", tokens, SEQ * D_MODEL, VOCAB * D_MODEL);
+    let pos = b.embedding("embed/pos", tokens, SEQ * D_MODEL, 512 * D_MODEL + 2 * D_MODEL);
+    let sum = b.combine("embed/sum", OpKind::Add, word, pos, SEQ * D_MODEL);
+    let mut cur = b.param_layer("embed/ln", OpKind::LayerNorm, sum, SEQ * D_MODEL, 2 * D_MODEL, 8.0 * (SEQ * D_MODEL) as f64);
+
+    for l in 0..layers {
+        cur = attention_block(&mut b, &format!("l{l}/attn"), cur, SEQ, D_MODEL, 16);
+        cur = ffn_block(&mut b, &format!("l{l}/ffn"), cur, SEQ, D_MODEL, D_FF);
+    }
+
+    // MLM head: dense + layer norm + decode-to-vocab (weights tied with
+    // the word embedding, so the decode matmul carries no extra params).
+    let pooled = b.param_layer("head/dense", OpKind::MatMul, cur, SEQ * D_MODEL, D_MODEL * D_MODEL + D_MODEL, SEQ as f64 * fc_flops(D_MODEL, D_MODEL));
+    let logits = b.simple_layer(
+        "head/decode",
+        OpKind::MatMul,
+        pooled,
+        SEQ * VOCAB / 16, // masked positions only (~1/16 of tokens scored)
+        SEQ as f64 * fc_flops(D_MODEL, VOCAB / 16),
+    );
+    let sm = b.simple_layer("softmax", OpKind::Softmax, logits, SEQ * VOCAB / 16, (SEQ * VOCAB / 16) as f64);
+    b.finish(sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_close_to_published() {
+        let g = build(8, 24);
+        let params = g.total_param_bytes() / 4;
+        // BERT-large ≈ 340M.
+        assert!((280_000_000..420_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn word_embedding_is_the_big_mp_candidate() {
+        let g = build(8, 24);
+        let (name, bytes) = g
+            .iter()
+            .filter(|(_, n)| n.kind == OpKind::Embedding)
+            .map(|(_, n)| (n.name.clone(), n.param_bytes))
+            .max_by_key(|&(_, b)| b)
+            .unwrap();
+        assert_eq!(name, "embed/word/embed");
+        assert!(bytes > 100_000_000, "word table ~125MB, got {bytes}");
+    }
+
+    #[test]
+    fn forty_eight_layer_variant_doubles_encoder_params() {
+        let p24 = build(8, 24).total_param_bytes() as f64;
+        let p48 = build(8, 48).total_param_bytes() as f64;
+        // Embeddings are shared, so <2x but clearly larger.
+        assert!(p48 / p24 > 1.7 && p48 / p24 < 2.1, "ratio {}", p48 / p24);
+    }
+}

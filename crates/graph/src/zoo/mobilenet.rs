@@ -1,0 +1,108 @@
+//! MobileNet-v2 [Sandler et al. '18].
+//!
+//! Inverted-residual blocks: 1x1 expand -> 3x3 depthwise -> 1x1 project,
+//! with a residual Add when stride is 1 and channels match. ~3.5M
+//! parameters — the model with the *least* communication per FLOP, where
+//! AllReduce-heavy DP is already near-optimal and HeteroG's headroom is
+//! the smallest among the CNNs (Table 1).
+
+use crate::builder::{GraphBuilder, LayerRef};
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::zoo::util::{conv_bn_act, dwconv_bn_act, fc_flops};
+
+/// One inverted-residual block.
+#[allow(clippy::too_many_arguments)]
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: LayerRef,
+    hw_in: u64,
+    hw_out: u64,
+    c_in: u64,
+    c_out: u64,
+    expand: u64,
+) -> LayerRef {
+    let c_mid = c_in * expand;
+    let e = if expand > 1 {
+        conv_bn_act(b, &format!("{name}/expand"), input, hw_in, hw_in, c_in, c_mid, 1)
+    } else {
+        input
+    };
+    let d = dwconv_bn_act(b, &format!("{name}/dw"), e, hw_out, hw_out, c_mid, 3);
+    let p = conv_bn_act(b, &format!("{name}/project"), d, hw_out, hw_out, c_mid, c_out, 1);
+    if hw_in == hw_out && c_in == c_out {
+        b.combine(&format!("{name}/res"), OpKind::Add, p, input, hw_out * hw_out * c_out)
+    } else {
+        p
+    }
+}
+
+/// Builds the MobileNet-v2 training graph.
+pub fn build(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v2", batch);
+    let x = b.input(3 * 224 * 224);
+
+    let stem = conv_bn_act(&mut b, "stem", x, 112, 112, 3, 32, 3);
+
+    // (t expand, c_out, n blocks, first-stride downsamples)
+    let cfg: [(u64, u64, usize, bool); 7] = [
+        (1, 16, 1, false),
+        (6, 24, 2, true),
+        (6, 32, 3, true),
+        (6, 64, 4, true),
+        (6, 96, 3, false),
+        (6, 160, 3, true),
+        (6, 320, 1, false),
+    ];
+
+    let mut cur = stem;
+    let mut c_in = 32u64;
+    let mut hw = 112u64;
+    for (si, &(t, c_out, n, downsample)) in cfg.iter().enumerate() {
+        for bi in 0..n {
+            let hw_in = hw;
+            if bi == 0 && downsample {
+                hw /= 2;
+            }
+            cur = inverted_residual(&mut b, &format!("s{si}/b{bi}"), cur, hw_in, hw, c_in, c_out, t);
+            c_in = c_out;
+        }
+    }
+
+    let head = conv_bn_act(&mut b, "head", cur, hw, hw, c_in, 1280, 1);
+    let gap = b.simple_layer("gap", OpKind::AvgPool, head, 1280, (hw * hw * 1280) as f64);
+    let fc = b.param_layer("fc", OpKind::MatMul, gap, 1000, 1280 * 1000 + 1000, fc_flops(1280, 1000));
+    let sm = b.simple_layer("softmax", OpKind::Softmax, fc, 1000, 5000.0);
+    b.finish(sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_close_to_published() {
+        let g = build(32);
+        let params = g.total_param_bytes() / 4;
+        assert!((2_500_000..5_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn has_depthwise_convs() {
+        let g = build(32);
+        let dw = g.iter().filter(|(_, n)| n.kind == OpKind::DepthwiseConv2D).count();
+        assert_eq!(dw, 17); // one per inverted-residual block
+    }
+
+    #[test]
+    fn low_flops_per_param_vs_vgg() {
+        // MobileNet's compute-to-communication ratio drives its evaluation
+        // behaviour; sanity check against VGG.
+        let mn = build(32);
+        let vgg = crate::zoo::vgg::build(32);
+        let mn_ratio = mn.total_flops() / mn.total_param_bytes() as f64;
+        let vgg_ratio = vgg.total_flops() / vgg.total_param_bytes() as f64;
+        assert!(mn_ratio < vgg_ratio * 1.1, "mn {mn_ratio:.1} vs vgg {vgg_ratio:.1}");
+    }
+}

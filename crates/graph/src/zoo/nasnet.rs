@@ -1,0 +1,132 @@
+//! NasNet-A large [Zoph et al. '18].
+//!
+//! Searched normal/reduction cells with five combining blocks each, every
+//! block mixing separable convolutions, pooling and identity branches on
+//! the two previous cells' outputs. ~88.9M parameters and the branchiest
+//! DAG in the zoo — the model where the paper finds plain EV-AR already
+//! close to optimal (66.5% of ops keep EV-AR under HeteroG, Table 2) and
+//! the speed-up is smallest (19.2%).
+
+use crate::builder::{GraphBuilder, LayerRef};
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::zoo::util::{concat_branches, conv_bn_act, dwconv_bn_act, fc_flops};
+
+/// A separable-conv branch: depthwise k x k + pointwise 1x1, applied
+/// twice, as in the NasNet-A cell definition.
+fn sep_conv(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: LayerRef,
+    hw: u64,
+    c_in: u64,
+    c_out: u64,
+    k: u64,
+) -> LayerRef {
+    let d1 = dwconv_bn_act(b, &format!("{name}/dw{k}a"), input, hw, hw, c_in, k);
+    let p1 = conv_bn_act(b, &format!("{name}/pw_a"), d1, hw, hw, c_in, c_out, 1);
+    let d2 = dwconv_bn_act(b, &format!("{name}/dw{k}b"), p1, hw, hw, c_out, k);
+    conv_bn_act(b, &format!("{name}/pw_b"), d2, hw, hw, c_out, c_out, 1)
+}
+
+/// One NasNet cell: five blocks, each combining two branches over the
+/// previous cell outputs; block outputs are concatenated.
+fn cell(
+    b: &mut GraphBuilder,
+    name: &str,
+    prev: LayerRef,
+    prev2: LayerRef,
+    hw: u64,
+    c_in: u64,
+    c: u64,
+) -> LayerRef {
+    // Adjust both inputs to `c` channels with 1x1 convs (as NasNet does).
+    let h0 = conv_bn_act(b, &format!("{name}/adj0"), prev, hw, hw, c_in, c, 1);
+    let h1 = conv_bn_act(b, &format!("{name}/adj1"), prev2, hw, hw, c_in, c, 1);
+
+    // Five combining blocks (branch kinds follow the NasNet-A normal cell).
+    let b0a = sep_conv(b, &format!("{name}/b0a"), h0, hw, c, c, 5);
+    let b0b = sep_conv(b, &format!("{name}/b0b"), h1, hw, c, c, 3);
+    let blk0 = b.combine(&format!("{name}/add0"), OpKind::Add, b0a, b0b, hw * hw * c);
+
+    let b1a = sep_conv(b, &format!("{name}/b1a"), h1, hw, c, c, 5);
+    let b1b = sep_conv(b, &format!("{name}/b1b"), h1, hw, c, c, 3);
+    let blk1 = b.combine(&format!("{name}/add1"), OpKind::Add, b1a, b1b, hw * hw * c);
+
+    let b2a = b.simple_layer(&format!("{name}/b2a"), OpKind::AvgPool, h0, hw * hw * c, (hw * hw * c) as f64);
+    let blk2 = b.combine(&format!("{name}/add2"), OpKind::Add, b2a, h1, hw * hw * c);
+
+    let b3a = b.simple_layer(&format!("{name}/b3a"), OpKind::AvgPool, h1, hw * hw * c, (hw * hw * c) as f64);
+    let b3b = b.simple_layer(&format!("{name}/b3b"), OpKind::AvgPool, h1, hw * hw * c, (hw * hw * c) as f64);
+    let blk3 = b.combine(&format!("{name}/add3"), OpKind::Add, b3a, b3b, hw * hw * c);
+
+    let b4a = sep_conv(b, &format!("{name}/b4a"), h0, hw, c, c, 3);
+    let blk4 = b.combine(&format!("{name}/add4"), OpKind::Add, b4a, h0, hw * hw * c);
+
+    concat_branches(
+        b,
+        &format!("{name}/cat"),
+        &[
+            (blk0, hw * hw * c),
+            (blk1, hw * hw * c),
+            (blk2, hw * hw * c),
+            (blk3, hw * hw * c),
+            (blk4, hw * hw * c),
+        ],
+    )
+}
+
+/// Builds the NasNet-A-large training graph.
+pub fn build(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("nasnet", batch);
+    let x = b.input(3 * 224 * 224);
+    let stem = conv_bn_act(&mut b, "stem", x, 111, 111, 3, 96, 3);
+
+    // Three stages of 6 normal cells at decreasing resolution and
+    // increasing filter count (NasNet-A (6 @ 4032) scaled structure).
+    let stages: [(u64, u64, usize); 3] = [(42, 168, 6), (21, 336, 6), (11, 672, 6)];
+    let mut prev = stem;
+    let mut prev2 = stem;
+    let mut c_in = 96u64;
+    for (si, &(hw, c, n)) in stages.iter().enumerate() {
+        for ci in 0..n {
+            let out = cell(&mut b, &format!("s{si}/c{ci}"), prev, prev2, hw, c_in, c);
+            prev2 = prev;
+            prev = out;
+            c_in = 5 * c; // concatenated block outputs
+        }
+    }
+
+    let final_c = c_in;
+    let gap = b.simple_layer("gap", OpKind::AvgPool, prev, final_c, (11 * 11 * final_c) as f64);
+    let fc = b.param_layer("fc", OpKind::MatMul, gap, 1000, final_c * 1000 + 1000, fc_flops(final_c, 1000));
+    let sm = b.simple_layer("softmax", OpKind::Softmax, fc, 1000, 5000.0);
+    b.finish(sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_close_to_published() {
+        let g = build(32);
+        let params = g.total_param_bytes() / 4;
+        assert!((60_000_000..120_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn many_parallel_branches() {
+        let g = build(32);
+        // Each cell fans two inputs out to ~7 branches.
+        let wide = g.op_ids().filter(|&id| g.succs(id).len() >= 3).count();
+        assert!(wide > 30, "expected wide fan-outs, got {wide}");
+    }
+
+    #[test]
+    fn largest_graph_in_zoo_by_op_count_among_cnns() {
+        let nas = build(32).len();
+        let mobile = crate::zoo::mobilenet::build(32).len();
+        assert!(nas > mobile, "nasnet {nas} vs mobilenet {mobile}");
+    }
+}

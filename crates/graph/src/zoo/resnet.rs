@@ -1,0 +1,88 @@
+//! ResNet-200 [He et al. '16, v2 bottleneck variant].
+//!
+//! Stem conv + four stages of bottleneck blocks [3, 24, 36, 3] (the
+//! ResNet-200 configuration) + global average pool + FC-1000.
+//! ~64.7M parameters. Very deep (thousands of ops), mostly small
+//! per-layer parameter tensors — the model where HeteroG ends up using
+//! DP with mixed PS/AllReduce for nearly all ops (Table 2).
+
+use crate::builder::{GraphBuilder, LayerRef};
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::zoo::util::{conv_bn_act, fc_flops};
+
+/// One bottleneck residual block: 1x1 reduce, 3x3, 1x1 expand + skip.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: LayerRef,
+    hw: u64,
+    c_in: u64,
+    c_mid: u64,
+    c_out: u64,
+    project_skip: bool,
+) -> LayerRef {
+    let r = conv_bn_act(b, &format!("{name}/reduce"), input, hw, hw, c_in, c_mid, 1);
+    let m = conv_bn_act(b, &format!("{name}/mid"), r, hw, hw, c_mid, c_mid, 3);
+    let e = conv_bn_act(b, &format!("{name}/expand"), m, hw, hw, c_mid, c_out, 1);
+    let skip = if project_skip {
+        conv_bn_act(b, &format!("{name}/proj"), input, hw, hw, c_in, c_out, 1)
+    } else {
+        input
+    };
+    b.combine(&format!("{name}/res"), OpKind::Add, e, skip, hw * hw * c_out)
+}
+
+/// Builds the ResNet-200 training graph.
+pub fn build(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("resnet200", batch);
+    let x = b.input(3 * 224 * 224);
+
+    let stem = conv_bn_act(&mut b, "stem", x, 112, 112, 3, 64, 7);
+    let mut cur = b.simple_layer("stem/pool", OpKind::MaxPool, stem, 56 * 56 * 64, (112 * 112 * 64) as f64);
+
+    // (blocks, c_mid, c_out, spatial)
+    let stages: [(usize, u64, u64, u64); 4] =
+        [(3, 64, 256, 56), (24, 128, 512, 28), (36, 256, 1024, 14), (3, 512, 2048, 7)];
+
+    let mut c_in = 64u64;
+    for (si, &(blocks, c_mid, c_out, hw)) in stages.iter().enumerate() {
+        for bi in 0..blocks {
+            let project = bi == 0;
+            cur = bottleneck(&mut b, &format!("s{si}/b{bi}"), cur, hw, c_in, c_mid, c_out, project);
+            c_in = c_out;
+        }
+    }
+
+    let gap = b.simple_layer("gap", OpKind::AvgPool, cur, 2048, (7 * 7 * 2048) as f64);
+    let fc = b.param_layer("fc", OpKind::MatMul, gap, 1000, 2048 * 1000 + 1000, fc_flops(2048, 1000));
+    let sm = b.simple_layer("softmax", OpKind::Softmax, fc, 1000, 5000.0);
+    b.finish(sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_close_to_published() {
+        let g = build(32);
+        let params = g.total_param_bytes() / 4;
+        assert!((50_000_000..80_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn deep_graph() {
+        let g = build(32);
+        // 66 blocks x 3 convs x ~8 nodes plus stem/head — thousands of ops.
+        assert!(g.len() > 2500, "got {} ops", g.len());
+    }
+
+    #[test]
+    fn has_residual_adds() {
+        let g = build(32);
+        let adds = g.iter().filter(|(_, n)| n.kind == OpKind::Add).count();
+        assert_eq!(adds, 66); // 3+24+36+3 blocks
+    }
+}

@@ -1,0 +1,173 @@
+//! Transformer (encoder-decoder translation model) [Vaswani et al. '17].
+//!
+//! The base configuration: d_model = 512, d_ff = 2048, 8 heads, shared
+//! 32k-token vocabulary, sequence length 64 tokens per sample (the batch
+//! sizes in the paper — 720 at 8 GPUs — are sentence counts). The paper's
+//! headline 222.4% speed-up is on this model: per-parameter communication
+//! is heavy relative to compute, so PS-only baselines suffer most.
+//!
+//! `layers` counts encoder layers; the decoder mirrors the encoder with
+//! an extra cross-attention block per layer.
+
+use crate::builder::{GraphBuilder, LayerRef};
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::zoo::util::fc_flops;
+
+const D_MODEL: u64 = 512;
+const D_FF: u64 = 2048;
+const SEQ: u64 = 64;
+const VOCAB: u64 = 32_000;
+
+/// Multi-head self-attention block + residual + layer norm (+ the
+/// attention and residual dropouts real implementations carry — they
+/// matter for memory accounting).
+pub(crate) fn attention_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: LayerRef,
+    seq: u64,
+    d: u64,
+    heads: u64,
+) -> LayerRef {
+    let act = seq * d;
+    // Fused QKV projection.
+    let qkv = b.param_layer(
+        &format!("{name}/qkv"),
+        OpKind::MatMul,
+        input,
+        3 * act,
+        3 * d * d + 3 * d,
+        seq as f64 * fc_flops(d, 3 * d),
+    );
+    // Attention scores (B x H x S x S) and context.
+    let score_elems = heads * seq * seq;
+    let scores = b.simple_layer(
+        &format!("{name}/scores"),
+        OpKind::BatchMatMul,
+        qkv,
+        score_elems,
+        2.0 * (seq * seq * d) as f64,
+    );
+    let sm = b.simple_layer(&format!("{name}/softmax"), OpKind::Softmax, scores, score_elems, (5 * score_elems) as f64);
+    let attn_drop =
+        b.simple_layer(&format!("{name}/attn_drop"), OpKind::Dropout, sm, score_elems, score_elems as f64);
+    let ctx = b.simple_layer(
+        &format!("{name}/ctx"),
+        OpKind::BatchMatMul,
+        attn_drop,
+        act,
+        2.0 * (seq * seq * d) as f64,
+    );
+    let proj = b.param_layer(
+        &format!("{name}/proj"),
+        OpKind::MatMul,
+        ctx,
+        act,
+        d * d + d,
+        seq as f64 * fc_flops(d, d),
+    );
+    let drop = b.simple_layer(&format!("{name}/drop"), OpKind::Dropout, proj, act, act as f64);
+    let res = b.combine(&format!("{name}/res"), OpKind::Add, drop, input, act);
+    b.param_layer(&format!("{name}/ln"), OpKind::LayerNorm, res, act, 2 * d, 8.0 * act as f64)
+}
+
+/// Position-wise feed-forward block + residual + layer norm.
+pub(crate) fn ffn_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: LayerRef,
+    seq: u64,
+    d: u64,
+    d_ff: u64,
+) -> LayerRef {
+    let act = seq * d;
+    let up = b.param_layer(
+        &format!("{name}/ff1"),
+        OpKind::MatMul,
+        input,
+        seq * d_ff,
+        d * d_ff + d_ff,
+        seq as f64 * fc_flops(d, d_ff),
+    );
+    let gelu = b.simple_layer(&format!("{name}/act"), OpKind::Activation, up, seq * d_ff, (seq * d_ff) as f64);
+    let down = b.param_layer(
+        &format!("{name}/ff2"),
+        OpKind::MatMul,
+        gelu,
+        act,
+        d_ff * d + d,
+        seq as f64 * fc_flops(d_ff, d),
+    );
+    let drop = b.simple_layer(&format!("{name}/drop"), OpKind::Dropout, down, act, act as f64);
+    let res = b.combine(&format!("{name}/res"), OpKind::Add, drop, input, act);
+    b.param_layer(&format!("{name}/ln"), OpKind::LayerNorm, res, act, 2 * d, 8.0 * act as f64)
+}
+
+/// Builds the Transformer training graph with `layers` encoder layers
+/// (and as many decoder layers).
+pub fn build(batch: u64, layers: u32) -> Graph {
+    let layers = layers.max(1);
+    let mut b = GraphBuilder::new(format!("transformer_{layers}l"), batch);
+    let tokens = b.input(2 * SEQ); // source + target token ids
+
+    // Shared source/target embedding (tied with the output projection,
+    // as in the original paper — one big table).
+    let embed = b.embedding("embed", tokens, SEQ * D_MODEL, VOCAB * D_MODEL);
+
+    // Encoder stack.
+    let mut enc = embed;
+    for l in 0..layers {
+        enc = attention_block(&mut b, &format!("enc{l}/attn"), enc, SEQ, D_MODEL, 8);
+        enc = ffn_block(&mut b, &format!("enc{l}/ffn"), enc, SEQ, D_MODEL, D_FF);
+    }
+
+    // Decoder stack: self-attention + cross-attention + FFN per layer.
+    let mut dec = embed;
+    for l in 0..layers {
+        dec = attention_block(&mut b, &format!("dec{l}/self"), dec, SEQ, D_MODEL, 8);
+        // Cross-attention consumes the encoder output too.
+        let cross = attention_block(&mut b, &format!("dec{l}/cross"), dec, SEQ, D_MODEL, 8);
+        dec = b.combine(&format!("dec{l}/xjoin"), OpKind::Add, cross, enc, SEQ * D_MODEL);
+        dec = ffn_block(&mut b, &format!("dec{l}/ffn"), dec, SEQ, D_MODEL, D_FF);
+    }
+
+    // Output projection to vocabulary + softmax.
+    let logits = b.param_layer(
+        "out_proj",
+        OpKind::MatMul,
+        dec,
+        SEQ * VOCAB / 8, // log-softmax over sampled vocab (sampled softmax in training)
+        D_MODEL * VOCAB / 8,
+        SEQ as f64 * fc_flops(D_MODEL, VOCAB / 8),
+    );
+    let sm = b.simple_layer("softmax", OpKind::Softmax, logits, SEQ * VOCAB / 8, (SEQ * VOCAB / 8) as f64);
+    b.finish(sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_close_to_published_base() {
+        let g = build(32, 6);
+        let params = g.total_param_bytes() / 4;
+        // Transformer-base ≈ 61M (with shared embeddings).
+        assert!((45_000_000..80_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn deeper_stacks_have_more_params() {
+        let p6 = build(32, 6).total_param_bytes();
+        let p24 = build(32, 24).total_param_bytes();
+        assert!(p24 > 2 * p6);
+    }
+
+    #[test]
+    fn embedding_is_large_and_unsplittable() {
+        let g = build(32, 6);
+        let e = g.iter().find(|(_, n)| n.kind == OpKind::Embedding).unwrap().1;
+        assert!(e.param_bytes > 60_000_000); // 32k x 512 x 4B
+    }
+}

@@ -1,0 +1,95 @@
+//! Shared helpers for the model-zoo generators.
+
+use crate::builder::{GraphBuilder, LayerRef};
+use crate::op::OpKind;
+
+/// FLOPs per sample of a `k x k` convolution producing `h x w x c_out`
+/// from `c_in` input channels (multiply-accumulate counted as 2 FLOPs).
+pub fn conv_flops(h: u64, w: u64, c_in: u64, c_out: u64, k: u64) -> f64 {
+    2.0 * (h * w * c_out * k * k * c_in) as f64
+}
+
+/// Parameter elements of a `k x k` conv (`+ c_out` bias).
+pub fn conv_params(c_in: u64, c_out: u64, k: u64) -> u64 {
+    k * k * c_in * c_out + c_out
+}
+
+/// FLOPs per sample of a dense layer `in -> out`.
+pub fn fc_flops(d_in: u64, d_out: u64) -> f64 {
+    2.0 * (d_in * d_out) as f64
+}
+
+/// Adds a `conv -> batchnorm -> activation` trio, the standard CNN unit.
+pub fn conv_bn_act(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: LayerRef,
+    h: u64,
+    w: u64,
+    c_in: u64,
+    c_out: u64,
+    k: u64,
+) -> LayerRef {
+    let out_elems = h * w * c_out;
+    let conv = b.param_layer(
+        &format!("{name}"),
+        OpKind::Conv2D,
+        input,
+        out_elems,
+        conv_params(c_in, c_out, k),
+        conv_flops(h, w, c_in, c_out, k),
+    );
+    let bn = b.param_layer(
+        &format!("{name}/bn"),
+        OpKind::BatchNorm,
+        conv,
+        out_elems,
+        2 * c_out,
+        4.0 * out_elems as f64,
+    );
+    b.simple_layer(&format!("{name}/relu"), OpKind::Activation, bn, out_elems, out_elems as f64)
+}
+
+/// Adds a depthwise conv + batchnorm + activation (MobileNet/NasNet unit).
+pub fn dwconv_bn_act(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: LayerRef,
+    h: u64,
+    w: u64,
+    c: u64,
+    k: u64,
+) -> LayerRef {
+    let out_elems = h * w * c;
+    let conv = b.param_layer(
+        name,
+        OpKind::DepthwiseConv2D,
+        input,
+        out_elems,
+        k * k * c + c,
+        2.0 * (h * w * c * k * k) as f64,
+    );
+    let bn = b.param_layer(
+        &format!("{name}/bn"),
+        OpKind::BatchNorm,
+        conv,
+        out_elems,
+        2 * c,
+        4.0 * out_elems as f64,
+    );
+    b.simple_layer(&format!("{name}/relu"), OpKind::Activation, bn, out_elems, out_elems as f64)
+}
+
+/// Joins branches where each branch has `elems[i]` output elements per
+/// sample; the joined output carries the summed size and materializes
+/// exactly once (a real channel Concat).
+pub fn concat_branches(
+    b: &mut GraphBuilder,
+    name: &str,
+    branches: &[(LayerRef, u64)],
+) -> LayerRef {
+    assert!(!branches.is_empty());
+    let total: u64 = branches.iter().map(|(_, e)| e).sum();
+    let refs: Vec<LayerRef> = branches.iter().map(|&(r, _)| r).collect();
+    b.join(name, OpKind::Concat, &refs, total)
+}

@@ -1,0 +1,82 @@
+//! VGG-19 [Simonyan & Zisserman '14].
+//!
+//! 16 convolution layers in five blocks (64, 128, 256, 512, 512 channels)
+//! with max-pooling between blocks, followed by three fully-connected
+//! layers (4096, 4096, 1000). ~143.7M parameters, of which the first FC
+//! layer alone holds 25088x4096 ≈ 102.8M — the layer HeteroG places on a
+//! single device to avoid aggregating its enormous gradient (§6.2,
+//! "Eliminating large gradient aggregation").
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::zoo::util::{conv_bn_act, fc_flops};
+
+/// Builds the VGG-19 training graph at the given global batch size.
+pub fn build(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("vgg19", batch);
+    let x = b.input(3 * 224 * 224);
+
+    // (block, convs, channels, spatial)
+    let blocks: [(usize, u64, u64); 5] =
+        [(2, 64, 224), (2, 128, 112), (4, 256, 56), (4, 512, 28), (4, 512, 14)];
+
+    let mut cur = x;
+    let mut c_in = 3u64;
+    for (bi, &(convs, c_out, hw)) in blocks.iter().enumerate() {
+        for ci in 0..convs {
+            cur = conv_bn_act(&mut b, &format!("b{bi}/c{ci}"), cur, hw, hw, c_in, c_out, 3);
+            c_in = c_out;
+        }
+        let pooled = hw / 2;
+        cur = b.simple_layer(
+            &format!("b{bi}/pool"),
+            OpKind::MaxPool,
+            cur,
+            pooled * pooled * c_out,
+            (hw * hw * c_out) as f64,
+        );
+    }
+
+    // Flatten 7x7x512 = 25088 -> FC 4096 -> FC 4096 -> FC 1000.
+    let flat = b.simple_layer("flatten", OpKind::Reshape, cur, 25_088, 0.0);
+    let fc1 = b.param_layer("fc1", OpKind::MatMul, flat, 4096, 25_088 * 4096 + 4096, fc_flops(25_088, 4096));
+    let fc1a = b.simple_layer("fc1/relu", OpKind::Activation, fc1, 4096, 4096.0);
+    let fc2 = b.param_layer("fc2", OpKind::MatMul, fc1a, 4096, 4096 * 4096 + 4096, fc_flops(4096, 4096));
+    let fc2a = b.simple_layer("fc2/relu", OpKind::Activation, fc2, 4096, 4096.0);
+    let fc3 = b.param_layer("fc3", OpKind::MatMul, fc2a, 1000, 4096 * 1000 + 1000, fc_flops(4096, 1000));
+    let sm = b.simple_layer("softmax", OpKind::Softmax, fc3, 1000, 5000.0);
+    b.finish(sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_close_to_published() {
+        let g = build(32);
+        let params = g.total_param_bytes() / 4;
+        // Published VGG-19 (with BN): ~143.7M; allow synthesis slack.
+        assert!((120_000_000..170_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn fc1_is_largest_layer() {
+        let g = build(32);
+        let (name, bytes) = g
+            .iter()
+            .max_by_key(|(_, n)| n.param_bytes)
+            .map(|(_, n)| (n.name.clone(), n.param_bytes))
+            .unwrap();
+        assert!(name.starts_with("fc1"), "largest layer {name}");
+        assert!(bytes > 400_000_000, "fc1 should be ~411MB, got {bytes}");
+    }
+
+    #[test]
+    fn sixteen_convs() {
+        let g = build(32);
+        let convs = g.iter().filter(|(_, n)| n.kind == OpKind::Conv2D).count();
+        assert_eq!(convs, 16);
+    }
+}

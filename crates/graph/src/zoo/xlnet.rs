@@ -1,0 +1,167 @@
+//! XLNet-large [Yang et al. '19].
+//!
+//! Same scale as BERT-large (24 layers, d_model = 1024, d_ff = 4096) but
+//! with *two-stream* relative attention: each layer runs a content stream
+//! and a query stream sharing weights, roughly doubling the attention
+//! compute and adding relative-position projections. This is why XLNet's
+//! per-iteration time exceeds BERT's in every table of the paper.
+
+use crate::builder::{GraphBuilder, LayerRef};
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::zoo::util::fc_flops;
+
+const D_MODEL: u64 = 1024;
+const D_FF: u64 = 4096;
+const SEQ: u64 = 128;
+const VOCAB: u64 = 32_000;
+const HEADS: u64 = 16;
+
+/// Two-stream relative attention block: the parameterized projections are
+/// shared; the query stream re-uses them (no extra params, extra compute).
+fn two_stream_attention(
+    b: &mut GraphBuilder,
+    name: &str,
+    content: LayerRef,
+    query: LayerRef,
+) -> (LayerRef, LayerRef) {
+    let act = SEQ * D_MODEL;
+    let d = D_MODEL;
+
+    // Shared QKV + relative-position projection (r_w, r_r biases folded in).
+    let qkv = b.param_layer(
+        &format!("{name}/qkv"),
+        OpKind::MatMul,
+        content,
+        3 * act,
+        3 * d * d + 3 * d,
+        SEQ as f64 * fc_flops(d, 3 * d),
+    );
+    let rel = b.param_layer(
+        &format!("{name}/rel"),
+        OpKind::MatMul,
+        content,
+        act,
+        d * d,
+        SEQ as f64 * fc_flops(d, d),
+    );
+
+    // Content stream.
+    let c_scores = b.combine(&format!("{name}/c_scores"), OpKind::BatchMatMul, qkv, rel, HEADS * SEQ * SEQ);
+    let c_sm = b.simple_layer(&format!("{name}/c_softmax"), OpKind::Softmax, c_scores, HEADS * SEQ * SEQ, (5 * HEADS * SEQ * SEQ) as f64);
+    let c_ctx = b.simple_layer(&format!("{name}/c_ctx"), OpKind::BatchMatMul, c_sm, act, 2.0 * (SEQ * SEQ * d) as f64);
+
+    // Query stream re-uses the same projections on the query input.
+    let q_in = b.combine(&format!("{name}/q_in"), OpKind::Add, query, qkv, act);
+    let q_scores = b.simple_layer(&format!("{name}/q_scores"), OpKind::BatchMatMul, q_in, HEADS * SEQ * SEQ, 2.0 * (SEQ * SEQ * d) as f64);
+    let q_sm = b.simple_layer(&format!("{name}/q_softmax"), OpKind::Softmax, q_scores, HEADS * SEQ * SEQ, (5 * HEADS * SEQ * SEQ) as f64);
+    let q_ctx = b.simple_layer(&format!("{name}/q_ctx"), OpKind::BatchMatMul, q_sm, act, 2.0 * (SEQ * SEQ * d) as f64);
+
+    // Shared output projection + residual + layer norm per stream.
+    let proj = b.param_layer(
+        &format!("{name}/proj"),
+        OpKind::MatMul,
+        c_ctx,
+        act,
+        d * d + d,
+        SEQ as f64 * fc_flops(d, d),
+    );
+    let c_res = b.combine(&format!("{name}/c_res"), OpKind::Add, proj, content, act);
+    let c_out = b.param_layer(&format!("{name}/c_ln"), OpKind::LayerNorm, c_res, act, 2 * d, 8.0 * act as f64);
+
+    let q_proj = b.simple_layer(&format!("{name}/q_proj"), OpKind::MatMul, q_ctx, act, SEQ as f64 * fc_flops(d, d));
+    let q_res = b.combine(&format!("{name}/q_res"), OpKind::Add, q_proj, query, act);
+    let q_out = b.simple_layer(&format!("{name}/q_ln"), OpKind::LayerNorm, q_res, act, 8.0 * act as f64);
+
+    (c_out, q_out)
+}
+
+/// Position-wise FFN shared by both streams (params once, compute twice).
+fn ffn(b: &mut GraphBuilder, name: &str, content: LayerRef, query: LayerRef) -> (LayerRef, LayerRef) {
+    let act = SEQ * D_MODEL;
+    let up = b.param_layer(
+        &format!("{name}/ff1"),
+        OpKind::MatMul,
+        content,
+        SEQ * D_FF,
+        D_MODEL * D_FF + D_FF,
+        SEQ as f64 * fc_flops(D_MODEL, D_FF),
+    );
+    let gelu = b.simple_layer(&format!("{name}/act"), OpKind::Activation, up, SEQ * D_FF, (SEQ * D_FF) as f64);
+    let down = b.param_layer(
+        &format!("{name}/ff2"),
+        OpKind::MatMul,
+        gelu,
+        act,
+        D_FF * D_MODEL + D_MODEL,
+        SEQ as f64 * fc_flops(D_FF, D_MODEL),
+    );
+    let c_res = b.combine(&format!("{name}/c_res"), OpKind::Add, down, content, act);
+    let c_out = b.param_layer(&format!("{name}/ln"), OpKind::LayerNorm, c_res, act, 2 * D_MODEL, 8.0 * act as f64);
+
+    // Query stream passes through the same FFN weights (compute only).
+    let q_up = b.simple_layer(&format!("{name}/q_ff1"), OpKind::MatMul, query, SEQ * D_FF, SEQ as f64 * fc_flops(D_MODEL, D_FF));
+    let q_act = b.simple_layer(&format!("{name}/q_act"), OpKind::Activation, q_up, SEQ * D_FF, (SEQ * D_FF) as f64);
+    let q_down = b.simple_layer(&format!("{name}/q_ff2"), OpKind::MatMul, q_act, act, SEQ as f64 * fc_flops(D_FF, D_MODEL));
+    let q_res = b.combine(&format!("{name}/q_res"), OpKind::Add, q_down, query, act);
+    let q_out = b.simple_layer(&format!("{name}/q_ln"), OpKind::LayerNorm, q_res, act, 8.0 * act as f64);
+    (c_out, q_out)
+}
+
+/// Builds the XLNet-large training graph with the given layer count.
+pub fn build(batch: u64, layers: u32) -> Graph {
+    let layers = layers.max(1);
+    let mut b = GraphBuilder::new(format!("xlnet_large_{layers}l"), batch);
+    let tokens = b.input(SEQ);
+
+    let word = b.embedding("embed/word", tokens, SEQ * D_MODEL, VOCAB * D_MODEL);
+    // Relative segment/position encodings (learned).
+    let rel = b.embedding("embed/rel", tokens, SEQ * D_MODEL, 2 * SEQ * D_MODEL + 4 * D_MODEL);
+    let mut content = b.combine("embed/sum", OpKind::Add, word, rel, SEQ * D_MODEL);
+    let mut query = b.simple_layer("embed/qinit", OpKind::Reshape, content, SEQ * D_MODEL, 0.0);
+
+    for l in 0..layers {
+        let (c1, q1) = two_stream_attention(&mut b, &format!("l{l}/attn"), content, query);
+        let (c2, q2) = ffn(&mut b, &format!("l{l}/ffn"), c1, q1);
+        content = c2;
+        query = q2;
+    }
+
+    // LM head over the query stream (tied embeddings).
+    let merged = b.combine("head/merge", OpKind::Add, content, query, SEQ * D_MODEL);
+    let logits = b.simple_layer("head/decode", OpKind::MatMul, merged, SEQ * VOCAB / 16, SEQ as f64 * fc_flops(D_MODEL, VOCAB / 16));
+    let sm = b.simple_layer("softmax", OpKind::Softmax, logits, SEQ * VOCAB / 16, (SEQ * VOCAB / 16) as f64);
+    b.finish(sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_close_to_published() {
+        let g = build(8, 24);
+        let params = g.total_param_bytes() / 4;
+        // XLNet-large ≈ 360M.
+        assert!((280_000_000..440_000_000).contains(&params), "got {params}");
+    }
+
+    #[test]
+    fn more_flops_than_bert_at_same_scale() {
+        let x = build(8, 24);
+        let bert = crate::zoo::bert::build(8, 24);
+        assert!(
+            x.total_flops() > 1.2 * bert.total_flops(),
+            "two-stream attention must cost more: xlnet {:.3e} vs bert {:.3e}",
+            x.total_flops(),
+            bert.total_flops()
+        );
+    }
+
+    #[test]
+    fn two_streams_visible_in_op_count() {
+        let x = build(8, 6);
+        let q_ops = x.iter().filter(|(_, n)| n.name.contains("/q_")).count();
+        assert!(q_ops >= 6 * 8, "query-stream ops per layer missing, got {q_ops}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Dense multi-head self-attention (the strategy network's core, §4.1.2).
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::init::xavier;
+use crate::matrix::Matrix;
+use crate::policy::softmax_rows;
+
+/// Multi-head scaled-dot-product self-attention over a sequence of
+/// embeddings (`N x d` in, `N x d` out).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelfAttention {
+    /// Head count (must divide `d`).
+    pub heads: usize,
+    /// Query projection, `d x d`.
+    pub wq: Matrix,
+    /// Key projection.
+    pub wk: Matrix,
+    /// Value projection.
+    pub wv: Matrix,
+    /// Output projection.
+    pub wo: Matrix,
+    /// Gradients.
+    pub gwq: Matrix,
+    /// Gradient of `wk`.
+    pub gwk: Matrix,
+    /// Gradient of `wv`.
+    pub gwv: Matrix,
+    /// Gradient of `wo`.
+    pub gwo: Matrix,
+    #[serde(skip)]
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    x: Matrix,
+    q: Vec<Matrix>, // per head, N x dh
+    k: Vec<Matrix>,
+    v: Vec<Matrix>,
+    a: Vec<Matrix>, // attention weights per head, N x N
+    concat: Matrix, // pre-output-projection, N x d
+}
+
+impl SelfAttention {
+    /// New layer over `d`-dim embeddings with `heads` heads.
+    pub fn new(d: usize, heads: usize, rng: &mut ChaCha8Rng) -> Self {
+        assert_eq!(d % heads, 0, "heads must divide the embedding dim");
+        SelfAttention {
+            heads,
+            wq: xavier(d, d, rng),
+            wk: xavier(d, d, rng),
+            wv: xavier(d, d, rng),
+            wo: xavier(d, d, rng),
+            gwq: Matrix::zeros(d, d),
+            gwk: Matrix::zeros(d, d),
+            gwv: Matrix::zeros(d, d),
+            gwo: Matrix::zeros(d, d),
+            cache: None,
+        }
+    }
+
+    /// Forward pass (`x` is `N x d`).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let dh = self.wq.cols / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        let q = x.matmul(&self.wq).hsplit(self.heads);
+        let k = x.matmul(&self.wk).hsplit(self.heads);
+        let v = x.matmul(&self.wv).hsplit(self.heads);
+        let mut head_outs = Vec::with_capacity(self.heads);
+        let mut attn = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let scores = q[h].matmul_t(&k[h]).map(|s| s * scale);
+            let a = softmax_rows(&scores);
+            head_outs.push(a.matmul(&v[h]));
+            attn.push(a);
+        }
+        let concat = Matrix::hcat(&head_outs);
+        let out = concat.matmul(&self.wo);
+        self.cache = Some(Cache { x: x.clone(), q, k, v, a: attn, concat });
+        out
+    }
+
+    /// Backward pass: accumulates weight grads, returns input grad.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let c = self.cache.as_ref().expect("forward before backward").clone();
+        let dh = self.wq.cols / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+
+        // Output projection.
+        self.gwo.add_scaled(&c.concat.t_matmul(grad_out), 1.0);
+        let dconcat = grad_out.matmul_t(&self.wo);
+        let dheads = dconcat.hsplit(self.heads);
+
+        let n = c.x.rows;
+        let mut dq_all = Vec::with_capacity(self.heads);
+        let mut dk_all = Vec::with_capacity(self.heads);
+        let mut dv_all = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let dout_h = &dheads[h];
+            let a = &c.a[h];
+            // dV = Aᵀ dOut ; dA = dOut Vᵀ
+            let dv = a.t_matmul(dout_h);
+            let da = dout_h.matmul_t(&c.v[h]);
+            // Softmax backward per row.
+            let mut dscores = Matrix::zeros(n, n);
+            for r in 0..n {
+                let arow = a.row(r);
+                let darow = da.row(r);
+                let dot: f64 = arow.iter().zip(darow).map(|(x, y)| x * y).sum();
+                for j in 0..n {
+                    dscores.set(r, j, arow[j] * (darow[j] - dot) * scale);
+                }
+            }
+            // scores = Q Kᵀ (scale folded into dscores above).
+            dq_all.push(dscores.matmul(&c.k[h]));
+            dk_all.push(dscores.t_matmul(&c.q[h]));
+            dv_all.push(dv);
+        }
+        let dq = Matrix::hcat(&dq_all);
+        let dk = Matrix::hcat(&dk_all);
+        let dv = Matrix::hcat(&dv_all);
+
+        self.gwq.add_scaled(&c.x.t_matmul(&dq), 1.0);
+        self.gwk.add_scaled(&c.x.t_matmul(&dk), 1.0);
+        self.gwv.add_scaled(&c.x.t_matmul(&dv), 1.0);
+
+        let mut dx = dq.matmul_t(&self.wq);
+        dx.add_scaled(&dk.matmul_t(&self.wk), 1.0);
+        dx.add_scaled(&dv.matmul_t(&self.wv), 1.0);
+        dx
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for g in [&mut self.gwq, &mut self.gwk, &mut self.gwv, &mut self.gwo] {
+            *g = Matrix::zeros(g.rows, g.cols);
+        }
+    }
+
+    /// (parameter, gradient) pairs for the optimizer.
+    pub fn params_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        let SelfAttention { wq, wk, wv, wo, gwq, gwk, gwv, gwo, .. } = self;
+        vec![
+            (wq.data.as_mut_slice(), gwq.data.as_slice()),
+            (wk.data.as_mut_slice(), gwk.data.as_slice()),
+            (wv.data.as_mut_slice(), gwv.data.as_slice()),
+            (wo.data.as_mut_slice(), gwo.data.as_slice()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_input_grad;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut rng = seeded_rng(11);
+        let mut att = SelfAttention::new(8, 2, &mut rng);
+        let x = xavier(5, 8, &mut rng);
+        let y = att.forward(&x);
+        assert_eq!((y.rows, y.cols), (5, 8));
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let mut rng = seeded_rng(12);
+        let mut att = SelfAttention::new(4, 2, &mut rng);
+        let x = xavier(3, 4, &mut rng);
+        att.forward(&x);
+        let cache = att.cache.as_ref().unwrap();
+        for a in &cache.a {
+            for r in 0..a.rows {
+                let s: f64 = a.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(13);
+        let base = SelfAttention::new(6, 2, &mut rng);
+        let x = xavier(4, 6, &mut rng);
+        check_input_grad(
+            &x,
+            |x| base.clone().forward(x),
+            |x, go| {
+                let mut a = base.clone();
+                a.forward(x);
+                a.backward(go)
+            },
+            1e-6,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_difference() {
+        let mut rng = seeded_rng(14);
+        let base = SelfAttention::new(4, 2, &mut rng);
+        let x = xavier(3, 4, &mut rng);
+        let loss = |a: &SelfAttention| a.clone().forward(&x).data.iter().sum::<f64>();
+        let mut a = base.clone();
+        let y = a.forward(&x);
+        let ones = Matrix::from_vec(y.rows, y.cols, vec![1.0; y.data.len()]);
+        a.backward(&ones);
+        let eps = 1e-6;
+        // Spot-check a few entries of each weight.
+        for (get, grad) in [
+            (0usize, &a.gwq),
+            (1, &a.gwk),
+            (2, &a.gwv),
+            (3, &a.gwo),
+        ] {
+            for i in [0usize, 5, 11] {
+                let mut ap = base.clone();
+                let mut am = base.clone();
+                let (wp, wm) = match get {
+                    0 => (&mut ap.wq, &mut am.wq),
+                    1 => (&mut ap.wk, &mut am.wk),
+                    2 => (&mut ap.wv, &mut am.wv),
+                    _ => (&mut ap.wo, &mut am.wo),
+                };
+                wp.data[i] += eps;
+                wm.data[i] -= eps;
+                let num = (loss(&ap) - loss(&am)) / (2.0 * eps);
+                assert!(
+                    (num - grad.data[i]).abs() < 1e-5,
+                    "weight set {get} [{i}]: numeric {num} vs analytic {}",
+                    grad.data[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Fully-connected layer with manual backward.
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::init::xavier;
+use crate::matrix::Matrix;
+
+/// Activation applied after the affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Leaky ReLU with slope 0.2 (the GAT paper's choice).
+    LeakyRelu,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.2 * x
+                }
+            }
+        }
+    }
+
+    fn grad(self, x: f64) -> f64 {
+        match self {
+            Activation::None => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - x.tanh().powi(2),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.2
+                }
+            }
+        }
+    }
+}
+
+/// `y = act(x W + b)`, rows of `x` are independent samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight, `in x out`.
+    pub w: Matrix,
+    /// Bias, `out`.
+    pub b: Vec<f64>,
+    /// Activation.
+    pub act: Activation,
+    /// Weight gradient (accumulated by `backward`).
+    pub gw: Matrix,
+    /// Bias gradient.
+    pub gb: Vec<f64>,
+    // Cached forward state.
+    #[serde(skip)]
+    x: Option<Matrix>,
+    #[serde(skip)]
+    pre: Option<Matrix>,
+}
+
+impl Dense {
+    /// New layer with Xavier weights.
+    pub fn new(d_in: usize, d_out: usize, act: Activation, rng: &mut ChaCha8Rng) -> Self {
+        Dense {
+            w: xavier(d_in, d_out, rng),
+            b: vec![0.0; d_out],
+            act,
+            gw: Matrix::zeros(d_in, d_out),
+            gb: vec![0.0; d_out],
+            x: None,
+            pre: None,
+        }
+    }
+
+    /// Forward pass; caches activations for `backward`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let pre = x.matmul(&self.w).add_row_broadcast(&self.b);
+        let out = pre.map(|v| self.act.apply(v));
+        self.x = Some(x.clone());
+        self.pre = Some(pre);
+        out
+    }
+
+    /// Backward pass: accumulates `gw`/`gb` and returns grad w.r.t. input.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.x.as_ref().expect("forward before backward");
+        let pre = self.pre.as_ref().expect("forward before backward");
+        // d/dpre
+        let mut dpre = grad_out.clone();
+        for (g, &p) in dpre.data.iter_mut().zip(&pre.data) {
+            *g *= self.act.grad(p);
+        }
+        self.gw.add_scaled(&x.t_matmul(&dpre), 1.0);
+        for (gb, s) in self.gb.iter_mut().zip(dpre.sum_rows()) {
+            *gb += s;
+        }
+        dpre.matmul_t(&self.w)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw = Matrix::zeros(self.w.rows, self.w.cols);
+        self.gb = vec![0.0; self.b.len()];
+    }
+
+    /// (parameter, gradient) pairs for the optimizer.
+    pub fn params_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        // Split borrows: weights with their grads, bias with its grad.
+        let Dense { w, b, gw, gb, .. } = self;
+        vec![(w.data.as_mut_slice(), gw.data.as_slice()), (b.as_mut_slice(), gb.as_slice())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_input_grad;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = seeded_rng(1);
+        let mut d = Dense::new(3, 5, Activation::Relu, &mut rng);
+        let x = xavier(4, 3, &mut rng);
+        let y = d.forward(&x);
+        assert_eq!((y.rows, y.cols), (4, 5));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(2);
+        for act in [Activation::None, Activation::Tanh, Activation::LeakyRelu] {
+            let d = Dense::new(3, 4, act, &mut rng);
+            let x = xavier(5, 3, &mut rng);
+            check_input_grad(
+                &x,
+                |x| {
+                    let mut dd = d.clone();
+                    dd.forward(x)
+                },
+                |x, go| {
+                    let mut dd = d.clone();
+                    dd.forward(x);
+                    dd.backward(go)
+                },
+                1e-6,
+                1e-5,
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(3);
+        let d0 = Dense::new(2, 3, Activation::Tanh, &mut rng);
+        let x = xavier(4, 2, &mut rng);
+        // Loss = sum(forward(x)).
+        let loss = |d: &Dense| {
+            let mut dd = d.clone();
+            dd.forward(&x).data.iter().sum::<f64>()
+        };
+        let mut d = d0.clone();
+        let y = d.forward(&x);
+        let ones = Matrix::from_vec(y.rows, y.cols, vec![1.0; y.rows * y.cols]);
+        d.backward(&ones);
+        let eps = 1e-6;
+        for i in 0..d.w.data.len() {
+            let mut dp = d0.clone();
+            dp.w.data[i] += eps;
+            let mut dm = d0.clone();
+            dm.w.data[i] -= eps;
+            let num = (loss(&dp) - loss(&dm)) / (2.0 * eps);
+            assert!(
+                (num - d.gw.data[i]).abs() < 1e-5,
+                "w[{i}]: numeric {num} vs analytic {}",
+                d.gw.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = seeded_rng(4);
+        let mut d = Dense::new(2, 2, Activation::None, &mut rng);
+        let x = xavier(1, 2, &mut rng);
+        let go = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        d.forward(&x);
+        d.backward(&go);
+        let g1 = d.gw.clone();
+        d.forward(&x);
+        d.backward(&go);
+        assert!((d.gw.data[0] - 2.0 * g1.data[0]).abs() < 1e-12);
+        d.zero_grad();
+        assert_eq!(d.gw.norm(), 0.0);
+    }
+}

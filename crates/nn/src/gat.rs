@@ -1,0 +1,380 @@
+//! Sparse multi-head graph attention layer (GAT, §4.1.1).
+//!
+//! Implements exactly the paper's per-node embedding update
+//!
+//! ```text
+//! e_o = ||_{k=1..K} sigma( Σ_{j in N_o} α^k_{oj} W^k e'_j )
+//! ```
+//!
+//! with attention coefficients `α` computed GAT-style from learned
+//! source/destination attention vectors over the graph's edges (plus
+//! self-loops), softmax-normalized per node. Attention is *sparse*: only
+//! realized edges are touched, so DNN graphs with thousands of ops stay
+//! cheap.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::init::xavier;
+use crate::matrix::Matrix;
+
+const LEAKY_SLOPE: f64 = 0.2;
+
+/// One multi-head sparse GAT layer: `d_in -> heads * d_head` features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatLayer {
+    /// Head count.
+    pub heads: usize,
+    /// Per-head feature projection, `d_in x d_head` each.
+    pub w: Vec<Matrix>,
+    /// Per-head source attention vector, `d_head`.
+    pub a_src: Vec<Vec<f64>>,
+    /// Per-head destination attention vector.
+    pub a_dst: Vec<Vec<f64>>,
+    /// Gradients, same shapes.
+    pub gw: Vec<Matrix>,
+    /// Gradient of `a_src`.
+    pub ga_src: Vec<Vec<f64>>,
+    /// Gradient of `a_dst`.
+    pub ga_dst: Vec<Vec<f64>>,
+    #[serde(skip)]
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    x: Matrix,
+    h: Vec<Matrix>,            // per head: projected features, O x dh
+    alpha: Vec<Vec<Vec<f64>>>, // per head, per node: weights aligned w/ nbrs
+    z: Vec<Matrix>,            // per head: pre-activation aggregate
+}
+
+impl GatLayer {
+    /// New layer projecting `d_in` features to `heads x d_head`.
+    pub fn new(d_in: usize, d_head: usize, heads: usize, rng: &mut ChaCha8Rng) -> Self {
+        let w = (0..heads).map(|_| xavier(d_in, d_head, rng)).collect();
+        let a_init = |rng: &mut ChaCha8Rng| -> Vec<f64> {
+            (0..d_head).map(|_| rng.gen_range(-0.3..0.3)).collect()
+        };
+        let a_src = (0..heads).map(|_| a_init(rng)).collect();
+        let a_dst = (0..heads).map(|_| a_init(rng)).collect();
+        GatLayer {
+            heads,
+            gw: (0..heads).map(|_| Matrix::zeros(d_in, d_head)).collect(),
+            ga_src: vec![vec![0.0; d_head]; heads],
+            ga_dst: vec![vec![0.0; d_head]; heads],
+            w,
+            a_src,
+            a_dst,
+            cache: None,
+        }
+    }
+
+    /// Output feature width.
+    pub fn d_out(&self) -> usize {
+        self.heads * self.w[0].cols
+    }
+
+    /// Forward pass over node features `x` (`O x d_in`) and neighbor
+    /// lists `nbrs` (each list should contain the node itself — the GAT
+    /// self-loop; callers build it once per graph).
+    pub fn forward(&mut self, x: &Matrix, nbrs: &[Vec<u32>]) -> Matrix {
+        assert_eq!(x.rows, nbrs.len());
+        let o = x.rows;
+        let dh = self.w[0].cols;
+        let mut head_outs = Vec::with_capacity(self.heads);
+        let mut hs = Vec::with_capacity(self.heads);
+        let mut alphas = Vec::with_capacity(self.heads);
+        let mut zs = Vec::with_capacity(self.heads);
+
+        for k in 0..self.heads {
+            let h = x.matmul(&self.w[k]);
+            // Scalar attention terms per node.
+            let s: Vec<f64> = (0..o).map(|i| dot(h.row(i), &self.a_src[k])).collect();
+            let t: Vec<f64> = (0..o).map(|i| dot(h.row(i), &self.a_dst[k])).collect();
+            let mut alpha: Vec<Vec<f64>> = Vec::with_capacity(o);
+            let mut z = Matrix::zeros(o, dh);
+            for i in 0..o {
+                let logits: Vec<f64> =
+                    nbrs[i].iter().map(|&j| leaky(s[i] + t[j as usize])).collect();
+                let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+                let sum: f64 = exps.iter().sum();
+                let a_i: Vec<f64> = exps.into_iter().map(|e| e / sum.max(1e-300)).collect();
+                for (&j, &a) in nbrs[i].iter().zip(&a_i) {
+                    let hj = h.row(j as usize);
+                    let zrow = z.row_mut(i);
+                    for c in 0..dh {
+                        zrow[c] += a * hj[c];
+                    }
+                }
+                alpha.push(a_i);
+            }
+            head_outs.push(z.map(elu));
+            hs.push(h);
+            alphas.push(alpha);
+            zs.push(z);
+        }
+        let out = Matrix::hcat(&head_outs);
+        self.cache = Some(Cache { x: x.clone(), h: hs, alpha: alphas, z: zs });
+        out
+    }
+
+    /// Backward pass; `nbrs` must be the same lists used in `forward`.
+    pub fn backward(&mut self, grad_out: &Matrix, nbrs: &[Vec<u32>]) -> Matrix {
+        let c = self.cache.as_ref().expect("forward before backward").clone();
+        let o = c.x.rows;
+        let dh = self.w[0].cols;
+        let dheads = grad_out.hsplit(self.heads);
+        let mut dx = Matrix::zeros(c.x.rows, c.x.cols);
+
+        for k in 0..self.heads {
+            let h = &c.h[k];
+            let z = &c.z[k];
+            let alpha = &c.alpha[k];
+            // dz = dout * elu'(z)
+            let mut dz = dheads[k].clone();
+            for (g, &zz) in dz.data.iter_mut().zip(&z.data) {
+                *g *= elu_grad(zz);
+            }
+            let mut dh_mat = Matrix::zeros(o, dh);
+            let mut ds = vec![0.0; o];
+            let mut dt = vec![0.0; o];
+            // Recompute s, t for the LeakyReLU gradient.
+            let s: Vec<f64> = (0..o).map(|i| dot(h.row(i), &self.a_src[k])).collect();
+            let t: Vec<f64> = (0..o).map(|i| dot(h.row(i), &self.a_dst[k])).collect();
+
+            for i in 0..o {
+                let a_i = &alpha[i];
+                let dzi = dz.row(i);
+                // dalpha_ij = dz_i . h_j ; also dh_j += alpha_ij dz_i.
+                let mut dalpha: Vec<f64> = Vec::with_capacity(a_i.len());
+                for (&j, &a) in nbrs[i].iter().zip(a_i) {
+                    let hj = h.row(j as usize);
+                    dalpha.push(dot(dzi, hj));
+                    let dhj = dh_mat.row_mut(j as usize);
+                    for cix in 0..dh {
+                        dhj[cix] += a * dzi[cix];
+                    }
+                }
+                // Softmax backward over the neighbor set.
+                let dot_ad: f64 = a_i.iter().zip(&dalpha).map(|(a, d)| a * d).sum();
+                for (ni, &j) in nbrs[i].iter().enumerate() {
+                    let de = a_i[ni] * (dalpha[ni] - dot_ad);
+                    let dpre = de * leaky_grad(s[i] + t[j as usize]);
+                    ds[i] += dpre;
+                    dt[j as usize] += dpre;
+                }
+            }
+            // Attention-vector and projection grads.
+            for i in 0..o {
+                let hi = h.row(i);
+                for cix in 0..dh {
+                    self.ga_src[k][cix] += ds[i] * hi[cix];
+                    self.ga_dst[k][cix] += dt[i] * hi[cix];
+                    dh_mat.add_at(i, cix, ds[i] * self.a_src[k][cix] + dt[i] * self.a_dst[k][cix]);
+                }
+            }
+            self.gw[k].add_scaled(&c.x.t_matmul(&dh_mat), 1.0);
+            dx.add_scaled(&dh_mat.matmul_t(&self.w[k]), 1.0);
+        }
+        dx
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.gw {
+            *g = Matrix::zeros(g.rows, g.cols);
+        }
+        for g in self.ga_src.iter_mut().chain(self.ga_dst.iter_mut()) {
+            g.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// (parameter, gradient) pairs for the optimizer.
+    pub fn params_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        let GatLayer { w, a_src, a_dst, gw, ga_src, ga_dst, .. } = self;
+        let mut out: Vec<(&mut [f64], &[f64])> = Vec::new();
+        for (wm, g) in w.iter_mut().zip(gw.iter()) {
+            out.push((wm.data.as_mut_slice(), g.data.as_slice()));
+        }
+        for (a, g) in a_src.iter_mut().zip(ga_src.iter()) {
+            out.push((a.as_mut_slice(), g.as_slice()));
+        }
+        for (a, g) in a_dst.iter_mut().zip(ga_dst.iter()) {
+            out.push((a.as_mut_slice(), g.as_slice()));
+        }
+        out
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn leaky(x: f64) -> f64 {
+    if x >= 0.0 {
+        x
+    } else {
+        LEAKY_SLOPE * x
+    }
+}
+
+#[inline]
+fn leaky_grad(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        LEAKY_SLOPE
+    }
+}
+
+#[inline]
+fn elu(x: f64) -> f64 {
+    if x >= 0.0 {
+        x
+    } else {
+        x.exp() - 1.0
+    }
+}
+
+#[inline]
+fn elu_grad(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0
+    } else {
+        z.exp()
+    }
+}
+
+/// Builds undirected neighbor lists with self-loops from directed edges.
+pub fn neighbor_lists(num_nodes: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut nbrs: Vec<Vec<u32>> = (0..num_nodes).map(|i| vec![i as u32]).collect();
+    for &(a, b) in edges {
+        nbrs[a as usize].push(b);
+        nbrs[b as usize].push(a);
+    }
+    for l in &mut nbrs {
+        l.sort_unstable();
+        l.dedup();
+    }
+    nbrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_input_grad;
+    use crate::init::seeded_rng;
+
+    fn chain_nbrs(n: usize) -> Vec<Vec<u32>> {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        neighbor_lists(n, &edges)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = seeded_rng(21);
+        let mut gat = GatLayer::new(5, 4, 3, &mut rng);
+        let x = xavier(6, 5, &mut rng);
+        let nbrs = chain_nbrs(6);
+        let y = gat.forward(&x, &nbrs);
+        assert_eq!((y.rows, y.cols), (6, 12));
+        assert_eq!(gat.d_out(), 12);
+    }
+
+    #[test]
+    fn attention_normalized_over_neighbors() {
+        let mut rng = seeded_rng(22);
+        let mut gat = GatLayer::new(3, 3, 1, &mut rng);
+        let x = xavier(4, 3, &mut rng);
+        let nbrs = chain_nbrs(4);
+        gat.forward(&x, &nbrs);
+        let cache = gat.cache.as_ref().unwrap();
+        for per_node in &cache.alpha[0] {
+            let s: f64 = per_node.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn isolated_node_attends_to_itself() {
+        let mut rng = seeded_rng(23);
+        let mut gat = GatLayer::new(3, 2, 1, &mut rng);
+        let x = xavier(2, 3, &mut rng);
+        let nbrs = neighbor_lists(2, &[]);
+        let y = gat.forward(&x, &nbrs);
+        assert!(y.data.iter().all(|v| v.is_finite()));
+        let cache = gat.cache.as_ref().unwrap();
+        assert_eq!(cache.alpha[0][0], vec![1.0]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(24);
+        let base = GatLayer::new(4, 3, 2, &mut rng);
+        let x = xavier(5, 4, &mut rng);
+        let nbrs = chain_nbrs(5);
+        check_input_grad(
+            &x,
+            |x| base.clone().forward(x, &nbrs),
+            |x, go| {
+                let mut g = base.clone();
+                g.forward(x, &nbrs);
+                g.backward(go, &nbrs)
+            },
+            1e-6,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_difference() {
+        let mut rng = seeded_rng(25);
+        let base = GatLayer::new(3, 2, 2, &mut rng);
+        let x = xavier(4, 3, &mut rng);
+        let nbrs = chain_nbrs(4);
+        let loss =
+            |g: &GatLayer| g.clone().forward(&x, &nbrs).data.iter().sum::<f64>();
+        let mut g = base.clone();
+        let y = g.forward(&x, &nbrs);
+        let ones = Matrix::from_vec(y.rows, y.cols, vec![1.0; y.data.len()]);
+        g.backward(&ones, &nbrs);
+        let eps = 1e-6;
+        for i in 0..base.w[0].data.len() {
+            let mut gp = base.clone();
+            gp.w[0].data[i] += eps;
+            let mut gm = base.clone();
+            gm.w[0].data[i] -= eps;
+            let num = (loss(&gp) - loss(&gm)) / (2.0 * eps);
+            assert!(
+                (num - g.gw[0].data[i]).abs() < 1e-5,
+                "w0[{i}]: numeric {num} vs analytic {}",
+                g.gw[0].data[i]
+            );
+        }
+        for i in 0..base.a_src[1].len() {
+            let mut gp = base.clone();
+            gp.a_src[1][i] += eps;
+            let mut gm = base.clone();
+            gm.a_src[1][i] -= eps;
+            let num = (loss(&gp) - loss(&gm)) / (2.0 * eps);
+            assert!(
+                (num - g.ga_src[1][i]).abs() < 1e-5,
+                "a_src1[{i}]: numeric {num} vs analytic {}",
+                g.ga_src[1][i]
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_dedup_and_self_loop() {
+        let nbrs = neighbor_lists(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(nbrs[0], vec![0, 1]);
+        assert_eq!(nbrs[1], vec![0, 1, 2]);
+        assert_eq!(nbrs[2], vec![1, 2]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Finite-difference gradient checking, used across the layer tests.
+
+use crate::matrix::Matrix;
+
+/// Verifies that `backward`'s input gradient matches central finite
+/// differences of `sum(forward(x))`.
+///
+/// * `forward` — pure forward evaluation (cloned layer per call);
+/// * `backward` — runs forward then backward with the given output grad
+///   and returns the input gradient;
+/// * `eps` — finite-difference step; `tol` — absolute tolerance.
+pub fn check_input_grad(
+    x: &Matrix,
+    mut forward: impl FnMut(&Matrix) -> Matrix,
+    mut backward: impl FnMut(&Matrix, &Matrix) -> Matrix,
+    eps: f64,
+    tol: f64,
+) {
+    let y = forward(x);
+    let ones = Matrix::from_vec(y.rows, y.cols, vec![1.0; y.rows * y.cols]);
+    let analytic = backward(x, &ones);
+    assert_eq!((analytic.rows, analytic.cols), (x.rows, x.cols));
+    for i in 0..x.data.len() {
+        let mut xp = x.clone();
+        xp.data[i] += eps;
+        let mut xm = x.clone();
+        xm.data[i] -= eps;
+        let fp: f64 = forward(&xp).data.iter().sum();
+        let fm: f64 = forward(&xm).data.iter().sum();
+        let numeric = (fp - fm) / (2.0 * eps);
+        let a = analytic.data[i];
+        assert!(
+            (numeric - a).abs() < tol.max(1e-4 * numeric.abs()),
+            "input grad [{i}]: numeric {numeric} vs analytic {a}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catches_wrong_gradient() {
+        // f(x) = x^2 elementwise; claim gradient 3x (wrong).
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let result = std::panic::catch_unwind(|| {
+            check_input_grad(
+                &x,
+                |x| x.map(|v| v * v),
+                |x, _| x.map(|v| 3.0 * v),
+                1e-6,
+                1e-6,
+            );
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn accepts_correct_gradient() {
+        let x = Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
+        check_input_grad(&x, |x| x.map(|v| v * v), |x, _| x.map(|v| 2.0 * v), 1e-6, 1e-6);
+    }
+}

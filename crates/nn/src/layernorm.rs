@@ -1,0 +1,157 @@
+//! Row-wise layer normalization with learnable scale/shift.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// `y = (x - mean) / sqrt(var + eps) * gamma + beta`, per row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    /// Scale, length = feature dim.
+    pub gamma: Vec<f64>,
+    /// Shift.
+    pub beta: Vec<f64>,
+    /// Scale gradient.
+    pub ggamma: Vec<f64>,
+    /// Shift gradient.
+    pub gbeta: Vec<f64>,
+    eps: f64,
+    #[serde(skip)]
+    cache: Option<(Matrix, Vec<f64>)>, // normalized x-hat, inv-std per row
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            ggamma: vec![0.0; dim],
+            gbeta: vec![0.0; dim],
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let d = self.gamma.len();
+        assert_eq!(x.cols, d);
+        let mut xhat = Matrix::zeros(x.rows, d);
+        let mut inv_std = Vec::with_capacity(x.rows);
+        let mut out = Matrix::zeros(x.rows, d);
+        for r in 0..x.rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f64>() / d as f64;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            for c in 0..d {
+                let xh = (row[c] - mean) * istd;
+                xhat.set(r, c, xh);
+                out.set(r, c, xh * self.gamma[c] + self.beta[c]);
+            }
+        }
+        self.cache = Some((xhat, inv_std));
+        out
+    }
+
+    /// Backward pass: accumulates parameter grads, returns input grad.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let (xhat, inv_std) = self.cache.as_ref().expect("forward before backward");
+        let d = self.gamma.len() as f64;
+        let mut dx = Matrix::zeros(grad_out.rows, grad_out.cols);
+        for r in 0..grad_out.rows {
+            let go = grad_out.row(r);
+            let xh = xhat.row(r);
+            // Parameter grads.
+            for c in 0..go.len() {
+                self.ggamma[c] += go[c] * xh[c];
+                self.gbeta[c] += go[c];
+            }
+            // dxhat = go * gamma
+            let dxhat: Vec<f64> = go.iter().zip(&self.gamma).map(|(g, gm)| g * gm).collect();
+            let sum_dxhat: f64 = dxhat.iter().sum();
+            let sum_dxhat_xhat: f64 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
+            let istd = inv_std[r];
+            for c in 0..go.len() {
+                let v = (dxhat[c] - sum_dxhat / d - xh[c] * sum_dxhat_xhat / d) * istd;
+                dx.set(r, c, v);
+            }
+        }
+        dx
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.ggamma.iter_mut().for_each(|g| *g = 0.0);
+        self.gbeta.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// (parameter, gradient) pairs for the optimizer.
+    pub fn params_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        let LayerNorm { gamma, beta, ggamma, gbeta, .. } = self;
+        vec![(gamma.as_mut_slice(), ggamma.as_slice()), (beta.as_mut_slice(), gbeta.as_slice())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_input_grad;
+    use crate::init::{seeded_rng, xavier};
+
+    #[test]
+    fn rows_are_normalized() {
+        let mut ln = LayerNorm::new(4);
+        let x = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0]);
+        let y = ln.forward(&x);
+        for r in 0..2 {
+            let mean: f64 = y.row(r).iter().sum::<f64>() / 4.0;
+            let var: f64 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(7);
+        let mut base = LayerNorm::new(5);
+        base.gamma = vec![0.7, 1.3, -0.5, 2.0, 1.0];
+        base.beta = vec![0.1, -0.2, 0.3, 0.0, 0.5];
+        let x = xavier(3, 5, &mut rng);
+        check_input_grad(
+            &x,
+            |x| base.clone().forward(x),
+            |x, go| {
+                let mut l = base.clone();
+                l.forward(x);
+                l.backward(go)
+            },
+            1e-6,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn gamma_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(8);
+        let base = LayerNorm::new(3);
+        let x = xavier(2, 3, &mut rng);
+        let loss = |l: &LayerNorm| l.clone().forward(&x).data.iter().sum::<f64>();
+        let mut l = base.clone();
+        let y = l.forward(&x);
+        let ones = Matrix::from_vec(y.rows, y.cols, vec![1.0; y.data.len()]);
+        l.backward(&ones);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut lp = base.clone();
+            lp.gamma[i] += eps;
+            let mut lm = base.clone();
+            lm.gamma[i] -= eps;
+            let num = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+            assert!((num - l.ggamma[i]).abs() < 1e-5);
+        }
+    }
+}

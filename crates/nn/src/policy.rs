@@ -1,0 +1,189 @@
+//! Categorical-policy utilities: softmax, sampling, and the analytic
+//! REINFORCE-with-entropy gradient at the logits (§4.1.3).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::matrix::Matrix;
+
+/// Numerically-stable row-wise softmax.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows, logits.cols);
+    for r in 0..logits.rows {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        for (c, e) in exps.into_iter().enumerate() {
+            out.set(r, c, e / sum);
+        }
+    }
+    out
+}
+
+/// Samples one action per row from row-wise probabilities.
+pub fn sample_categorical(probs: &Matrix, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    (0..probs.rows)
+        .map(|r| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let mut acc = 0.0;
+            let row = probs.row(r);
+            for (i, &p) in row.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    return i;
+                }
+            }
+            row.len() - 1
+        })
+        .collect()
+}
+
+/// Greedy (argmax) action per row.
+pub fn argmax_rows(probs: &Matrix) -> Vec<usize> {
+    (0..probs.rows)
+        .map(|r| {
+            probs
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// REINFORCE gradient helper.
+///
+/// The objective (to MAXIMIZE) for one sampled decision set is
+/// `advantage * Σ_g log π(a_g) + λ Σ_g H(π_g)`. Because the layers
+/// minimize, [`PolicyGradient::logits_grad`] returns the gradient of the
+/// *negated* objective w.r.t. the logits, ready to feed `backward`:
+///
+/// * `d(-log π(a))/dlogit_i = π_i - 1[i = a]`,
+/// * `d(-H)/dlogit_i = π_i (log π_i + H)`.
+pub struct PolicyGradient {
+    /// Advantage (reward minus baseline) multiplying the log-prob term.
+    pub advantage: f64,
+    /// Entropy-bonus coefficient λ.
+    pub entropy_coeff: f64,
+}
+
+impl PolicyGradient {
+    /// Gradient of the negated objective at the logits, given row-wise
+    /// probabilities and the sampled action per row.
+    pub fn logits_grad(&self, probs: &Matrix, actions: &[usize]) -> Matrix {
+        assert_eq!(actions.len(), probs.rows);
+        let mut grad = Matrix::zeros(probs.rows, probs.cols);
+        for r in 0..probs.rows {
+            let row = probs.row(r);
+            let h: f64 = -row.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+            for c in 0..probs.cols {
+                let p = row[c];
+                let pg = self.advantage * (p - f64::from(c == actions[r]));
+                let eg = self.entropy_coeff * p * (safe_ln(p) + h);
+                grad.set(r, c, pg + eg);
+            }
+        }
+        grad
+    }
+
+    /// Σ log π(a_g) under the sampled actions.
+    pub fn log_prob(probs: &Matrix, actions: &[usize]) -> f64 {
+        actions
+            .iter()
+            .enumerate()
+            .map(|(r, &a)| safe_ln(probs.get(r, a)))
+            .sum()
+    }
+
+    /// Total row-entropy.
+    pub fn entropy(probs: &Matrix) -> f64 {
+        (0..probs.rows)
+            .map(|r| -probs.row(r).iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>())
+            .sum()
+    }
+}
+
+fn safe_ln(p: f64) -> f64 {
+    p.max(1e-300).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_stable() {
+        let l = Matrix::from_vec(2, 3, vec![1000.0, 1001.0, 999.0, -5.0, 0.0, 5.0]);
+        let p = softmax_rows(&l);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|v| v.is_finite()));
+        }
+        assert!(p.get(0, 1) > p.get(0, 0));
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let p = Matrix::from_vec(1, 2, vec![0.9, 0.1]);
+        let mut rng = seeded_rng(42);
+        let mut zero = 0;
+        for _ in 0..1000 {
+            if sample_categorical(&p, &mut rng)[0] == 0 {
+                zero += 1;
+            }
+        }
+        assert!((850..=950).contains(&zero), "got {zero}");
+    }
+
+    #[test]
+    fn argmax_picks_peak() {
+        let p = Matrix::from_vec(2, 3, vec![0.1, 0.7, 0.2, 0.5, 0.2, 0.3]);
+        assert_eq!(argmax_rows(&p), vec![1, 0]);
+    }
+
+    #[test]
+    fn logits_grad_matches_finite_difference() {
+        // Check d(-adv*logπ(a) - λH)/dlogits numerically.
+        let logits = Matrix::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.0, 0.5, -0.5]);
+        let actions = vec![2usize, 0usize];
+        let pg = PolicyGradient { advantage: 1.7, entropy_coeff: 0.3 };
+        let obj = |l: &Matrix| {
+            let p = softmax_rows(l);
+            -(pg.advantage * PolicyGradient::log_prob(&p, &actions)
+                + pg.entropy_coeff * PolicyGradient::entropy(&p))
+        };
+        let probs = softmax_rows(&logits);
+        let g = pg.logits_grad(&probs, &actions);
+        let eps = 1e-6;
+        for i in 0..logits.data.len() {
+            let mut lp = logits.clone();
+            lp.data[i] += eps;
+            let mut lm = logits.clone();
+            lm.data[i] -= eps;
+            let num = (obj(&lp) - obj(&lm)) / (2.0 * eps);
+            assert!(
+                (num - g.data[i]).abs() < 1e-6,
+                "logit[{i}]: numeric {num} vs analytic {}",
+                g.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn higher_advantage_pushes_harder_toward_action() {
+        let logits = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let probs = softmax_rows(&logits);
+        let g_small =
+            PolicyGradient { advantage: 0.5, entropy_coeff: 0.0 }.logits_grad(&probs, &[0]);
+        let g_big =
+            PolicyGradient { advantage: 2.0, entropy_coeff: 0.0 }.logits_grad(&probs, &[0]);
+        // Negative gradient at the chosen action (descending increases π).
+        assert!(g_small.get(0, 0) < 0.0);
+        assert!(g_big.get(0, 0) < g_small.get(0, 0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-(GPU model, op kind) efficiency factors.
+//!
+//! Fig. 3(b) shows that the V100's advantage over the 1080 Ti varies from
+//! ~1.1x to ~1.9x across op kinds (and varies further with input size).
+//! We model each op's execution time as
+//!
+//! ```text
+//! time(op, dev, B) = launch_overhead(dev)
+//!                  + flops(op, B) / (base_tflops(dev) * 1e12 * util(dev, kind))
+//! ```
+//!
+//! where `util` is a per-(model, kind) sustained-utilization factor.
+//! Tensor-core-friendly kinds (Conv2D, MatMul) exploit the V100 fully;
+//! memory-bound kinds (elementwise, norms, pooling) are limited by memory
+//! bandwidth where the V100's edge is smaller. Launch overhead makes
+//! small ops converge toward a ~1x ratio, reproducing the input-size
+//! dependence the paper observes.
+
+use heterog_cluster::GpuModel;
+use heterog_graph::OpKind;
+
+/// Sustained-utilization factor for an op kind on a GPU model, relative
+/// to the device's `base_tflops`.
+pub fn kind_utilization(model: GpuModel, kind: OpKind) -> f64 {
+    use OpKind::*;
+    // Baseline utilization per kind class (fraction of base_tflops a
+    // mid-range card like the 1080 Ti sustains).
+    let class = match kind {
+        Conv2D | Conv2DBackpropInput => Class::ConvLike,
+        Conv2DBackpropFilter => Class::ConvFilterGrad,
+        Conv1D | DepthwiseConv2D => Class::NarrowConv,
+        MatMul | BatchMatMul | MatMulBackpropInput | MatMulBackpropWeight => Class::GemmLike,
+        Embedding | EmbeddingGrad => Class::Gather,
+        BatchNorm | LayerNorm | Softmax | Activation | Add | Mul | Dropout | Loss => Class::MemBound,
+        MaxPool | AvgPool => Class::MemBound,
+        ApplyGradient | GradAggregate => Class::MemBound,
+        Backward => Class::GemmLike,
+        Reshape | Split | Concat | NoOp => Class::Trivial,
+        NcclAllReduce | Transfer => Class::Trivial, // costed by links, not FLOPs
+        Input | Variable => Class::Trivial,
+    };
+    class.utilization(model)
+}
+
+#[derive(Clone, Copy)]
+enum Class {
+    /// Dense 3x3-style convolutions: tensor cores shine on V100 (~1.9x).
+    ConvLike,
+    /// Filter-gradient convolutions: slightly less tensor-core friendly.
+    ConvFilterGrad,
+    /// 1-D / depthwise convolutions: low arithmetic intensity (~1.3x).
+    NarrowConv,
+    /// GEMMs: good but below conv peak (~1.5x).
+    GemmLike,
+    /// Gather/scatter (embeddings): memory-system bound (~1.2x).
+    Gather,
+    /// Elementwise/normalization/pooling: DRAM-bandwidth bound (~1.15x).
+    MemBound,
+    /// Near-free metadata ops.
+    Trivial,
+}
+
+impl Class {
+    fn utilization(self, model: GpuModel) -> f64 {
+        // base: utilization on the 1080 Ti reference card.
+        // edge: how much of the raw base_tflops ratio (V100:1080Ti = 2.0)
+        // the class actually realizes. util_v100 = base * edge_factor with
+        // edge_factor chosen so realized ratio = 2.0 * edge / 1.0.
+        let (base, v100_edge, p100_edge, k80_edge) = match self {
+            // realized V100 ratio = 2.0 * edge; Fig. 3(b): conv2d ≈ 1.9.
+            Class::ConvLike => (0.75, 0.95, 0.80, 0.70),
+            // conv2d_bp_filter ≈ 1.7.
+            Class::ConvFilterGrad => (0.68, 0.85, 0.80, 0.70),
+            // conv1d ≈ 1.3.
+            Class::NarrowConv => (0.45, 0.65, 0.75, 0.70),
+            // matmul ≈ 1.5.
+            Class::GemmLike => (0.70, 0.75, 0.80, 0.70),
+            Class::Gather => (0.30, 0.60, 0.75, 0.70),
+            Class::MemBound => (0.08, 0.575, 0.75, 0.70),
+            Class::Trivial => (0.50, 0.50, 0.50, 0.50),
+        };
+        // Realized V100:1080Ti time ratio = (14/7) * edge = 2 * edge, so
+        // edge = 0.95 yields the ~1.9x Conv2D ratio of Fig. 3(b), etc.
+        match model {
+            GpuModel::Gtx1080Ti => base,
+            GpuModel::TeslaV100 => base * v100_edge,
+            GpuModel::TeslaP100 => base * p100_edge,
+            GpuModel::TeslaK80 => base * k80_edge,
+        }
+    }
+}
+
+/// Kernel-launch + framework overhead per op, seconds. Slightly lower on
+/// the datacenter cards (better drivers/PCIe topology in the testbed).
+pub fn launch_overhead_s(model: GpuModel) -> f64 {
+    match model {
+        GpuModel::TeslaV100 => 4.0e-6,
+        GpuModel::TeslaP100 => 5.0e-6,
+        GpuModel::Gtx1080Ti => 5.5e-6,
+        GpuModel::TeslaK80 => 7.0e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Effective throughput (FLOP/s) of a kind on a model.
+    fn eff(model: GpuModel, kind: OpKind) -> f64 {
+        model.base_tflops() * 1e12 * kind_utilization(model, kind)
+    }
+
+    #[test]
+    fn fig3b_conv2d_ratio_near_1_9() {
+        let r = eff(GpuModel::TeslaV100, OpKind::Conv2D) / eff(GpuModel::Gtx1080Ti, OpKind::Conv2D);
+        assert!((1.7..=2.1).contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn fig3b_matmul_ratio_near_1_5() {
+        let r = eff(GpuModel::TeslaV100, OpKind::MatMul) / eff(GpuModel::Gtx1080Ti, OpKind::MatMul);
+        assert!((1.35..=1.65).contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn fig3b_conv1d_ratio_near_1_3() {
+        let r = eff(GpuModel::TeslaV100, OpKind::Conv1D) / eff(GpuModel::Gtx1080Ti, OpKind::Conv1D);
+        assert!((1.15..=1.45).contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn fig3b_ratio_spread_spans_1_1_to_1_9() {
+        let kinds = [
+            OpKind::Conv2D,
+            OpKind::MatMul,
+            OpKind::Conv1D,
+            OpKind::Conv2DBackpropFilter,
+            OpKind::Conv2DBackpropInput,
+            OpKind::Add,
+            OpKind::Softmax,
+        ];
+        let ratios: Vec<f64> = kinds
+            .iter()
+            .map(|&k| eff(GpuModel::TeslaV100, k) / eff(GpuModel::Gtx1080Ti, k))
+            .collect();
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        assert!(min < 1.3, "min ratio {min}");
+        assert!(max > 1.7, "max ratio {max}");
+    }
+
+    #[test]
+    fn p100_sits_between() {
+        let v = eff(GpuModel::TeslaV100, OpKind::Conv2D);
+        let p = eff(GpuModel::TeslaP100, OpKind::Conv2D);
+        let g = eff(GpuModel::Gtx1080Ti, OpKind::Conv2D);
+        assert!(g < p && p < v, "v {v:.2e} p {p:.2e} g {g:.2e}");
+    }
+
+    #[test]
+    fn overheads_are_microseconds() {
+        for m in [GpuModel::TeslaV100, GpuModel::TeslaP100, GpuModel::Gtx1080Ti] {
+            let o = launch_overhead_s(m);
+            assert!((1e-6..2e-5).contains(&o));
+        }
+    }
+}

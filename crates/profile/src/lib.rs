@@ -1,0 +1,33 @@
+//! # heterog-profile
+//!
+//! The Profiler substrate (§3.3).
+//!
+//! The paper's Profiler runs each model on each device at several batch
+//! sizes, measures per-operation kernel times and inter-device transfer
+//! times, and fits **linear regression** models predicting (a) an op's
+//! compute time from its batch size on each device and (b) a link's
+//! transfer time from the tensor size.
+//!
+//! We have no physical GPUs, so this crate supplies both sides of that
+//! pipeline:
+//!
+//! * [`GroundTruthCost`] — the synthetic "hardware": an analytic cost
+//!   oracle built from per-(GPU-model, op-kind) efficiency factors
+//!   calibrated to Fig. 3(b)'s measured V100 : 1080Ti spread (1.1–1.9x
+//!   across op kinds), plus kernel-launch overheads and link
+//!   latency/bandwidth. The simulator uses it as the "testbed".
+//! * [`Profiler`] — the measurement + fitting pipeline: samples the
+//!   oracle at representative batch sizes with multiplicative measurement
+//!   noise, then least-squares-fits the same linear models the paper
+//!   fits. Planners consume the fitted [`CostModel`], so planning sees
+//!   (slightly) imperfect information, exactly as in the paper.
+
+pub mod cost;
+pub mod efficiency;
+pub mod linreg;
+pub mod profiler;
+
+pub use cost::{path_time, CostEstimator, CostModel, GroundTruthCost};
+pub use efficiency::{kind_utilization, launch_overhead_s};
+pub use linreg::LinearFit;
+pub use profiler::{Profiler, ProfilerConfig};

@@ -1,0 +1,92 @@
+//! Ordinary least-squares fitting of `y = a*x + b`, the regression model
+//! the paper's Profiler uses for both op times (x = batch size) and
+//! transfer times (x = tensor bytes).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope `a`.
+    pub slope: f64,
+    /// Intercept `b`.
+    pub intercept: f64,
+}
+
+impl LinearFit {
+    /// Least-squares fit of the sample set. With a single sample (or all
+    /// x equal) the line degenerates to a constant; with no samples the
+    /// fit is zero.
+    pub fn fit(samples: &[(f64, f64)]) -> Self {
+        let n = samples.len() as f64;
+        if samples.is_empty() {
+            return LinearFit { slope: 0.0, intercept: 0.0 };
+        }
+        let sx: f64 = samples.iter().map(|s| s.0).sum();
+        let sy: f64 = samples.iter().map(|s| s.1).sum();
+        let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+        let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-30 {
+            // All x identical: constant model through the mean.
+            return LinearFit { slope: 0.0, intercept: sy / n };
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        LinearFit { slope, intercept }
+    }
+
+    /// Predicted value at `x`, clamped to be non-negative (times can't be
+    /// negative; noisy fits occasionally produce tiny negative intercepts).
+    pub fn predict(&self, x: f64) -> f64 {
+        (self.slope * x + self.intercept).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = LinearFit::fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-9);
+        assert!((f.intercept - 2.0).abs() < 1e-9);
+        assert!((f.predict(20.0) - 62.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fit_is_zero() {
+        let f = LinearFit::fit(&[]);
+        assert_eq!(f.predict(100.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_x_gives_mean() {
+        let f = LinearFit::fit(&[(2.0, 5.0), (2.0, 7.0)]);
+        assert_eq!(f.slope, 0.0);
+        assert!((f.intercept - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_close_to_truth() {
+        // Deterministic pseudo-noise.
+        let pts: Vec<(f64, f64)> = (1..=50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 0.1;
+                (x, 0.5 * x + 1.0 + noise)
+            })
+            .collect();
+        let f = LinearFit::fit(&pts);
+        assert!((f.slope - 0.5).abs() < 0.01, "slope {}", f.slope);
+        assert!((f.intercept - 1.0).abs() < 0.3, "intercept {}", f.intercept);
+    }
+
+    #[test]
+    fn predictions_never_negative() {
+        let f = LinearFit { slope: -1.0, intercept: 0.5 };
+        assert_eq!(f.predict(100.0), 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! List-scheduling executor.
+//!
+//! Non-preemptive event-driven execution of a [`TaskGraph`]: every
+//! processor runs at most one task at a time; whenever a processor goes
+//! idle it starts its highest-priority *ready* task (all predecessors
+//! finished). With rank priorities this is exactly the paper's order
+//! scheduling heuristic; with arrival-order priorities it models
+//! TensorFlow's default FIFO executor (the §6.6 baseline).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rank::{critical_path, upward_ranks};
+use crate::task::{TaskGraph, TaskId};
+
+/// How each processor orders its ready tasks.
+#[derive(Debug, Clone)]
+pub enum OrderPolicy {
+    /// Paper's heuristic: highest upward rank first; ties by lower id.
+    RankBased,
+    /// TensorFlow default: first-ready-first-run (§6.6's baseline).
+    Fifo,
+    /// Explicit per-task priorities (higher runs first); ties by lower id.
+    /// Used by the appendix worst-case instance to pin tie-breaking.
+    Priorities(Vec<f64>),
+}
+
+/// The result of executing a task graph under a policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    /// End-to-end execution time (per-iteration time).
+    pub makespan: f64,
+    /// Per-task start times.
+    pub start: Vec<f64>,
+    /// Per-task finish times.
+    pub finish: Vec<f64>,
+    /// Busy time per dense processor index (GPUs first, then links).
+    pub proc_busy: Vec<f64>,
+}
+
+impl Schedule {
+    /// Utilization of processor `p` (busy / makespan).
+    pub fn utilization(&self, proc: usize) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.proc_busy[proc] / self.makespan
+        }
+    }
+}
+
+/// Heap key: higher priority first; among equals, lower sequence first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key {
+    priority: f64,
+    seq: u64, // lower = earlier; encodes id or arrival order
+    task: TaskId,
+}
+
+impl Eq for Key {}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq)) // lower seq = greater key
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Completion event in the global event queue (earliest first; ties by
+/// task id for determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Done {
+    time: f64,
+    task: TaskId,
+}
+
+impl Eq for Done {}
+
+impl Ord for Done {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+impl PartialOrd for Done {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Executes `tg` under `policy` and returns the schedule.
+pub fn list_schedule(tg: &TaskGraph, policy: &OrderPolicy) -> Schedule {
+    let n = tg.len();
+    let priorities: Vec<f64> = match policy {
+        OrderPolicy::RankBased => upward_ranks(tg),
+        OrderPolicy::Fifo => vec![0.0; n], // ordering comes from arrival seq
+        OrderPolicy::Priorities(p) => {
+            assert_eq!(p.len(), n, "priority vector length mismatch");
+            p.clone()
+        }
+    };
+    let fifo = matches!(policy, OrderPolicy::Fifo);
+
+    let num_procs = tg.num_procs();
+    let mut ready: Vec<BinaryHeap<Key>> = (0..num_procs).map(|_| BinaryHeap::new()).collect();
+    let mut busy = vec![false; num_procs];
+    let mut proc_busy = vec![0.0f64; num_procs];
+    let mut indeg: Vec<usize> = (0..n).map(|i| tg.preds(TaskId(i as u32)).len()).collect();
+    let mut start = vec![f64::NAN; n];
+    let mut finish = vec![f64::NAN; n];
+    let mut events: BinaryHeap<Done> = BinaryHeap::new();
+    let mut arrival_seq: u64 = 0;
+    let mut completed = 0usize;
+
+    let push_ready = |t: TaskId, ready: &mut Vec<BinaryHeap<Key>>, seq: &mut u64| {
+        let p = tg.proc_index(tg.task(t).proc);
+        let s = if fifo { *seq } else { t.0 as u64 };
+        *seq += 1;
+        ready[p].push(Key { priority: priorities[t.index()], seq: s, task: t });
+    };
+
+    // Seed with dependency-free tasks (in id order, defining FIFO arrival).
+    for t in tg.task_ids() {
+        if indeg[t.index()] == 0 {
+            push_ready(t, &mut ready, &mut arrival_seq);
+        }
+    }
+
+    // Dispatch everything possible at t = 0.
+    let mut now = 0.0f64;
+    for p in 0..num_procs {
+        dispatch(p, now, tg, &mut ready, &mut busy, &mut start, &mut events);
+    }
+
+    while let Some(Done { time, task }) = events.pop() {
+        debug_assert!(time >= now - 1e-12);
+        now = time;
+        finish[task.index()] = now;
+        completed += 1;
+        let p = tg.proc_index(tg.task(task).proc);
+        proc_busy[p] += tg.task(task).duration;
+        busy[p] = false;
+
+        // Newly-ready successors.
+        for &s in tg.succs(task) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                push_ready(s, &mut ready, &mut arrival_seq);
+                let sp = tg.proc_index(tg.task(s).proc);
+                dispatch(sp, now, tg, &mut ready, &mut busy, &mut start, &mut events);
+            }
+        }
+        dispatch(p, now, tg, &mut ready, &mut busy, &mut start, &mut events);
+    }
+
+    assert_eq!(completed, n, "deadlock: task graph must be acyclic");
+    Schedule { makespan: now, start, finish, proc_busy }
+}
+
+fn dispatch(
+    p: usize,
+    now: f64,
+    tg: &TaskGraph,
+    ready: &mut [BinaryHeap<Key>],
+    busy: &mut [bool],
+    start: &mut [f64],
+    events: &mut BinaryHeap<Done>,
+) {
+    if busy[p] {
+        return;
+    }
+    if let Some(key) = ready[p].pop() {
+        busy[p] = true;
+        start[key.task.index()] = now;
+        events.push(Done { time: now + tg.task(key.task).duration, task: key.task });
+    }
+}
+
+/// A lower bound on the optimal makespan `T*`: the max of the critical
+/// path and the heaviest single processor's total work. Used to verify
+/// Theorem 1 (`T_LS <= (M + M^2) T*`) without solving the NP-hard
+/// problem exactly.
+pub fn makespan_lower_bound(tg: &TaskGraph) -> f64 {
+    let mut per_proc = vec![0.0f64; tg.num_procs()];
+    for (_, t) in tg.iter() {
+        per_proc[tg.proc_index(t.proc)] += t.duration;
+    }
+    let heaviest = per_proc.into_iter().fold(0.0f64, f64::max);
+    heaviest.max(critical_path(tg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Proc, Task};
+    use heterog_graph::OpKind;
+
+    fn g(name: &str, proc: u32, d: f64) -> Task {
+        Task::new(name, OpKind::NoOp, Proc::Gpu(proc), d)
+    }
+
+    #[test]
+    fn single_chain_runs_serially() {
+        let mut tg = TaskGraph::new("c", 1, 0);
+        let a = tg.add_task(g("a", 0, 1.0));
+        let b = tg.add_task(g("b", 0, 2.0));
+        tg.add_dep(a, b);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert_eq!(s.makespan, 3.0);
+        assert_eq!(s.start[b.index()], 1.0);
+        assert_eq!(s.utilization(0), 1.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_two_gpus_overlap() {
+        let mut tg = TaskGraph::new("p", 2, 0);
+        tg.add_task(g("a", 0, 2.0));
+        tg.add_task(g("b", 1, 2.0));
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert_eq!(s.makespan, 2.0);
+    }
+
+    #[test]
+    fn rank_policy_prefers_critical_path() {
+        // On one GPU: task `long_head` unlocks a long chain; `cheap` is
+        // independent. Rank runs long_head first; FIFO (arrival: cheap
+        // first by id) runs cheap first and pays for it.
+        let mut tg = TaskGraph::new("r", 2, 0);
+        let cheap = tg.add_task(g("cheap", 0, 5.0));
+        let long_head = tg.add_task(g("head", 0, 1.0));
+        let tail = tg.add_task(g("tail", 1, 10.0));
+        tg.add_dep(long_head, tail);
+        let rank = list_schedule(&tg, &OrderPolicy::RankBased);
+        let fifo = list_schedule(&tg, &OrderPolicy::Fifo);
+        assert_eq!(rank.makespan, 11.0); // head@0..1, tail@1..11, cheap@1..6
+        assert_eq!(fifo.makespan, 16.0); // cheap@0..5, head@5..6, tail@6..16
+        let _ = cheap;
+    }
+
+    #[test]
+    fn explicit_priorities_respected() {
+        let mut tg = TaskGraph::new("e", 1, 0);
+        let a = tg.add_task(g("a", 0, 1.0));
+        let b = tg.add_task(g("b", 0, 1.0));
+        let s = list_schedule(&tg, &OrderPolicy::Priorities(vec![0.0, 1.0]));
+        assert_eq!(s.start[b.index()], 0.0);
+        assert_eq!(s.start[a.index()], 1.0);
+    }
+
+    #[test]
+    fn links_are_processors_too() {
+        // GPU0 -> link -> GPU1; communication overlaps with independent
+        // compute on GPU0.
+        let mut tg = TaskGraph::new("l", 2, 1);
+        let a = tg.add_task(g("a", 0, 1.0));
+        let x = tg.add_task(Task::new("xfer", OpKind::Transfer, Proc::Link(0), 2.0));
+        let b = tg.add_task(g("b", 1, 1.0));
+        let other = tg.add_task(g("other", 0, 3.0));
+        tg.add_dep(a, x);
+        tg.add_dep(x, b);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        // a: 0..1, xfer: 1..3, b: 3..4; other overlaps on GPU0.
+        assert_eq!(s.makespan, 4.0);
+        assert!(s.finish[other.index()] <= 4.0);
+    }
+
+    #[test]
+    fn makespan_never_below_lower_bound() {
+        let mut tg = TaskGraph::new("lb", 2, 0);
+        let a = tg.add_task(g("a", 0, 3.0));
+        let b = tg.add_task(g("b", 0, 4.0));
+        let c = tg.add_task(g("c", 1, 5.0));
+        tg.add_dep(a, c);
+        let _ = b;
+        let lb = makespan_lower_bound(&tg);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert!(s.makespan >= lb - 1e-12, "{} < {}", s.makespan, lb);
+        assert_eq!(lb, 8.0); // critical path a->c
+    }
+
+    #[test]
+    fn theorem1_bound_holds_on_small_graph() {
+        let mut tg = TaskGraph::new("t1", 2, 1);
+        let a = tg.add_task(g("a", 0, 1.0));
+        let x = tg.add_task(Task::new("x", OpKind::Transfer, Proc::Link(0), 0.5));
+        let b = tg.add_task(g("b", 1, 2.0));
+        tg.add_dep(a, x);
+        tg.add_dep(x, b);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        let bound = (tg.num_procs() as f64) * makespan_lower_bound(&tg);
+        assert!(s.makespan <= bound + 1e-12);
+        // T_LS <= sum of all durations (first inequality of the proof).
+        assert!(s.makespan <= tg.total_work() + 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_tasks_complete_instantly() {
+        let mut tg = TaskGraph::new("z", 1, 0);
+        let a = tg.add_task(g("a", 0, 0.0));
+        let b = tg.add_task(g("b", 0, 0.0));
+        tg.add_dep(a, b);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert_eq!(s.makespan, 0.0);
+        assert_eq!(s.finish[b.index()], 0.0);
+    }
+
+    #[test]
+    fn busy_time_accounts_every_task() {
+        let mut tg = TaskGraph::new("b", 2, 1);
+        tg.add_task(g("a", 0, 1.5));
+        tg.add_task(g("b", 1, 2.5));
+        tg.add_task(Task::new("x", OpKind::Transfer, Proc::Link(0), 0.25));
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        let total: f64 = s.proc_busy.iter().sum();
+        assert!((total - 4.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Upward-rank computation (§4.2).
+
+use crate::task::{TaskGraph, TaskId};
+
+/// Computes the paper's rank for every task:
+///
+/// ```text
+/// rank(o_i) = p_i + max_{o_j in succ(o_i)} rank(o_j)
+/// ```
+///
+/// i.e. the length of the longest downstream path including the task
+/// itself (HEFT's upward rank with fixed placements). Sinks rank at
+/// their own duration. Computed in one reverse-topological sweep, O(V+E).
+pub fn upward_ranks(tg: &TaskGraph) -> Vec<f64> {
+    let order = tg.topo_order();
+    let mut rank = vec![0.0f64; tg.len()];
+    for &id in order.iter().rev() {
+        let best_succ = tg
+            .succs(id)
+            .iter()
+            .map(|s| rank[s.index()])
+            .fold(0.0f64, f64::max);
+        rank[id.index()] = tg.task(id).duration + best_succ;
+    }
+    rank
+}
+
+/// The critical-path length: the largest rank among source tasks (equal
+/// to the largest rank overall). A lower bound on any schedule.
+pub fn critical_path(tg: &TaskGraph) -> f64 {
+    upward_ranks(tg).into_iter().fold(0.0, f64::max)
+}
+
+/// Ranks a specific task (convenience for tests/debugging).
+pub fn rank_of(tg: &TaskGraph, id: TaskId) -> f64 {
+    upward_ranks(tg)[id.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Proc, Task};
+    use heterog_graph::OpKind;
+
+    fn t(d: f64) -> Task {
+        Task::new("t", OpKind::NoOp, Proc::Gpu(0), d)
+    }
+
+    #[test]
+    fn chain_rank_accumulates() {
+        let mut tg = TaskGraph::new("c", 1, 0);
+        let a = tg.add_task(t(1.0));
+        let b = tg.add_task(t(2.0));
+        let c = tg.add_task(t(3.0));
+        tg.add_dep(a, b);
+        tg.add_dep(b, c);
+        let r = upward_ranks(&tg);
+        assert_eq!(r[c.index()], 3.0);
+        assert_eq!(r[b.index()], 5.0);
+        assert_eq!(r[a.index()], 6.0);
+        assert_eq!(critical_path(&tg), 6.0);
+    }
+
+    #[test]
+    fn rank_takes_max_branch() {
+        let mut tg = TaskGraph::new("b", 1, 0);
+        let a = tg.add_task(t(1.0));
+        let long = tg.add_task(t(10.0));
+        let short = tg.add_task(t(2.0));
+        tg.add_dep(a, long);
+        tg.add_dep(a, short);
+        let r = upward_ranks(&tg);
+        assert_eq!(r[a.index()], 11.0);
+    }
+
+    #[test]
+    fn independent_tasks_rank_own_duration() {
+        let mut tg = TaskGraph::new("i", 1, 0);
+        let a = tg.add_task(t(4.0));
+        let b = tg.add_task(t(7.0));
+        let r = upward_ranks(&tg);
+        assert_eq!(r[a.index()], 4.0);
+        assert_eq!(r[b.index()], 7.0);
+        assert_eq!(critical_path(&tg), 7.0);
+    }
+
+    #[test]
+    fn rank_of_matches_bulk() {
+        let mut tg = TaskGraph::new("c", 1, 0);
+        let a = tg.add_task(t(1.5));
+        let b = tg.add_task(t(2.5));
+        tg.add_dep(a, b);
+        assert_eq!(rank_of(&tg, a), 4.0);
+    }
+}

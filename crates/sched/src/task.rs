@@ -1,0 +1,303 @@
+//! The placed task graph: the distributed training DAG after Part-I
+//! decisions, with every task bound to a processor (GPU or link) and
+//! priced by the cost model.
+
+use serde::{Deserialize, Serialize};
+
+use heterog_graph::{OpId, OpKind};
+
+/// Index of a task inside a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A processor in the scheduling problem: either a GPU (computation) or
+/// a directed link (communication) — §4.2: "we further treat a link
+/// between two GPUs as a device".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Proc {
+    /// GPU index within the cluster.
+    Gpu(u32),
+    /// Directed-link index within the cluster.
+    Link(u32),
+}
+
+impl Proc {
+    /// True for link processors.
+    pub fn is_link(self) -> bool {
+        matches!(self, Proc::Link(_))
+    }
+}
+
+impl std::fmt::Display for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Proc::Gpu(i) => write!(f, "G{i}"),
+            Proc::Link(i) => write!(f, "L{i}"),
+        }
+    }
+}
+
+/// One schedulable task (computation op replica or communication op).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable name, e.g. `"b3/conv2d_7@G2"`.
+    pub name: String,
+    /// Op kind (communication kinds run on link processors).
+    pub kind: OpKind,
+    /// The processor this task is bound to.
+    pub proc: Proc,
+    /// Estimated execution/transfer time, seconds (the paper's `p_i`).
+    pub duration: f64,
+    /// Bytes of output (activation) memory this task materializes on its
+    /// GPU; 0 for link tasks. Used by the simulator's memory tracking.
+    pub output_bytes: u64,
+    /// Persistent parameter bytes this task pins on its GPU (weights).
+    pub param_bytes: u64,
+    /// The original single-GPU op this task derives from (None for
+    /// compiler-inserted structural/communication ops).
+    pub origin: Option<OpId>,
+    /// Samples processed by this replica (0 for non-batch tasks) —
+    /// recorded for debugging/traces.
+    pub batch_share: u64,
+}
+
+impl Task {
+    /// Minimal constructor; builder-style setters fill in the rest.
+    pub fn new(name: impl Into<String>, kind: OpKind, proc: Proc, duration: f64) -> Self {
+        Task {
+            name: name.into(),
+            kind,
+            proc,
+            duration,
+            output_bytes: 0,
+            param_bytes: 0,
+            origin: None,
+            batch_share: 0,
+        }
+    }
+
+    /// Sets output (activation) bytes.
+    pub fn with_output_bytes(mut self, bytes: u64) -> Self {
+        self.output_bytes = bytes;
+        self
+    }
+
+    /// Sets pinned parameter bytes.
+    pub fn with_param_bytes(mut self, bytes: u64) -> Self {
+        self.param_bytes = bytes;
+        self
+    }
+
+    /// Records the originating single-GPU op.
+    pub fn with_origin(mut self, op: OpId) -> Self {
+        self.origin = Some(op);
+        self
+    }
+
+    /// Records this replica's batch share.
+    pub fn with_batch_share(mut self, share: u64) -> Self {
+        self.batch_share = share;
+        self
+    }
+}
+
+/// The placed task DAG.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskGraph {
+    /// Label (usually `<model>@<strategy>`).
+    pub name: String,
+    /// Number of GPU processors (the paper's `M`).
+    pub num_gpus: u32,
+    /// Number of link processors.
+    pub num_links: u32,
+    tasks: Vec<Task>,
+    succs: Vec<Vec<TaskId>>,
+    preds: Vec<Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    /// Empty task graph over `num_gpus` GPUs and `num_links` links.
+    pub fn new(name: impl Into<String>, num_gpus: u32, num_links: u32) -> Self {
+        TaskGraph {
+            name: name.into(),
+            num_gpus,
+            num_links,
+            tasks: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds a task, panicking if its processor is out of range (builder
+    /// misuse is a bug, not a runtime condition).
+    pub fn add_task(&mut self, task: Task) -> TaskId {
+        match task.proc {
+            Proc::Gpu(i) => assert!(i < self.num_gpus, "GPU {i} out of range"),
+            Proc::Link(i) => assert!(i < self.num_links, "link {i} out of range"),
+        }
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(task);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds a precedence edge `src -> dst`. Duplicate edges are ignored
+    /// (replica wiring naturally produces a few).
+    pub fn add_dep(&mut self, src: TaskId, dst: TaskId) {
+        assert!(src.index() < self.tasks.len() && dst.index() < self.tasks.len());
+        assert_ne!(src, dst, "self-dependency on {src}");
+        if !self.succs[src.index()].contains(&dst) {
+            self.succs[src.index()].push(dst);
+            self.preds[dst.index()].push(src);
+        }
+    }
+
+    /// Immutable task access.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Mutable task access.
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.index()]
+    }
+
+    /// All task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Iterates `(id, task)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i as u32), t))
+    }
+
+    /// Successors of `id`.
+    pub fn succs(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id.index()]
+    }
+
+    /// Predecessors of `id`.
+    pub fn preds(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id.index()]
+    }
+
+    /// Total processor count `M + #links` (the paper bounds #links by `M^2`).
+    pub fn num_procs(&self) -> usize {
+        (self.num_gpus + self.num_links) as usize
+    }
+
+    /// Dense processor index for array-based bookkeeping: GPUs first.
+    pub fn proc_index(&self, p: Proc) -> usize {
+        match p {
+            Proc::Gpu(i) => i as usize,
+            Proc::Link(i) => self.num_gpus as usize + i as usize,
+        }
+    }
+
+    /// Sum of all task durations (the upper-bound numerator in Theorem 1).
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Kahn topological order; panics on cyclic task graphs (the compiler
+    /// can never legally produce one).
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut queue: std::collections::VecDeque<TaskId> =
+            self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = queue.pop_front() {
+            order.push(t);
+            for &s in &self.succs[t.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "task graph contains a cycle");
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut tg = TaskGraph::new("t", 2, 2);
+        let a = tg.add_task(Task::new("a", OpKind::MatMul, Proc::Gpu(0), 1.0));
+        let b = tg.add_task(Task::new("b", OpKind::Transfer, Proc::Link(1), 0.5));
+        tg.add_dep(a, b);
+        assert_eq!(tg.len(), 2);
+        assert_eq!(tg.succs(a), &[b]);
+        assert_eq!(tg.preds(b), &[a]);
+        assert_eq!(tg.total_work(), 1.5);
+    }
+
+    #[test]
+    fn duplicate_deps_ignored() {
+        let mut tg = TaskGraph::new("t", 1, 0);
+        let a = tg.add_task(Task::new("a", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        let b = tg.add_task(Task::new("b", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        tg.add_dep(a, b);
+        tg.add_dep(a, b);
+        assert_eq!(tg.succs(a).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn proc_bounds_enforced() {
+        let mut tg = TaskGraph::new("t", 1, 0);
+        tg.add_task(Task::new("a", OpKind::NoOp, Proc::Gpu(5), 1.0));
+    }
+
+    #[test]
+    fn proc_index_is_dense() {
+        let tg = TaskGraph::new("t", 3, 4);
+        assert_eq!(tg.proc_index(Proc::Gpu(2)), 2);
+        assert_eq!(tg.proc_index(Proc::Link(0)), 3);
+        assert_eq!(tg.proc_index(Proc::Link(3)), 6);
+        assert_eq!(tg.num_procs(), 7);
+    }
+
+    #[test]
+    fn topo_order_valid() {
+        let mut tg = TaskGraph::new("t", 1, 0);
+        let a = tg.add_task(Task::new("a", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        let b = tg.add_task(Task::new("b", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        let c = tg.add_task(Task::new("c", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        tg.add_dep(a, c);
+        tg.add_dep(b, c);
+        let order = tg.topo_order();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[2], c);
+    }
+}

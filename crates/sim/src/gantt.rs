@@ -1,0 +1,108 @@
+//! ASCII Gantt rendering of a schedule — a terminal-friendly version of
+//! the paper's Fig. 1/2 timelines.
+
+use heterog_sched::{Schedule, TaskGraph};
+
+/// Renders per-processor occupancy as fixed-width ASCII rows:
+///
+/// ```text
+/// GPU0 |####··##########····|
+/// GPU1 |######··········####|
+/// L3   |··####··####········|
+/// ```
+///
+/// `width` columns span `[0, makespan]`; `#` marks busy time, `·` idle.
+/// Link rows are included only when they carry any work.
+pub fn render_gantt(tg: &TaskGraph, s: &Schedule, width: usize) -> String {
+    let width = width.max(10);
+    let span = s.makespan.max(1e-12);
+    let mut rows: Vec<(String, Vec<bool>)> = Vec::new();
+    for p in 0..tg.num_procs() {
+        let label = if p < tg.num_gpus as usize {
+            format!("GPU{p}")
+        } else {
+            format!("L{}", p - tg.num_gpus as usize)
+        };
+        rows.push((label, vec![false; width]));
+    }
+    for (id, task) in tg.iter() {
+        if task.duration <= 0.0 {
+            continue;
+        }
+        let p = tg.proc_index(task.proc);
+        let a = ((s.start[id.index()] / span) * width as f64).floor() as usize;
+        let b = ((s.finish[id.index()] / span) * width as f64).ceil() as usize;
+        for c in a..b.min(width) {
+            rows[p].1[c] = true;
+        }
+    }
+    let mut out = String::new();
+    for (p, (label, cells)) in rows.iter().enumerate() {
+        let is_link = p >= tg.num_gpus as usize;
+        if is_link && !cells.iter().any(|&b| b) {
+            continue; // idle links add noise
+        }
+        out.push_str(&format!("{label:<6}|"));
+        for &b in cells {
+            out.push(if b { '#' } else { '\u{b7}' });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("       0{:>w$.4}s\n", s.makespan, w = width - 1));
+    out
+}
+
+/// Convenience: render only the GPU rows (clusters have many links).
+pub fn render_gpu_gantt(tg: &TaskGraph, s: &Schedule, width: usize) -> String {
+    render_gantt(tg, s, width)
+        .lines()
+        .filter(|l| l.starts_with("GPU") || l.trim_start().starts_with('0'))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_graph::OpKind;
+    use heterog_sched::{list_schedule, OrderPolicy, Proc, Task, TaskGraph};
+
+    fn demo() -> (TaskGraph, Schedule) {
+        let mut tg = TaskGraph::new("g", 2, 1);
+        let a = tg.add_task(Task::new("a", OpKind::MatMul, Proc::Gpu(0), 1.0));
+        let x = tg.add_task(Task::new("x", OpKind::Transfer, Proc::Link(0), 1.0));
+        let b = tg.add_task(Task::new("b", OpKind::MatMul, Proc::Gpu(1), 2.0));
+        tg.add_dep(a, x);
+        tg.add_dep(x, b);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        (tg, s)
+    }
+
+    #[test]
+    fn renders_all_busy_processors() {
+        let (tg, s) = demo();
+        let out = render_gantt(&tg, &s, 40);
+        assert!(out.contains("GPU0"));
+        assert!(out.contains("GPU1"));
+        assert!(out.contains("L0"));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn occupancy_fraction_matches_busy_time() {
+        let (tg, s) = demo();
+        let out = render_gantt(&tg, &s, 80);
+        // GPU1 is busy 2.0 of 4.0s -> about half its cells are '#'.
+        let gpu1 = out.lines().find(|l| l.starts_with("GPU1")).unwrap();
+        let hashes = gpu1.matches('#').count();
+        assert!((35..=50).contains(&hashes), "got {hashes}");
+    }
+
+    #[test]
+    fn gpu_only_filter_drops_links() {
+        let (tg, s) = demo();
+        let out = render_gpu_gantt(&tg, &s, 40);
+        assert!(!out.contains("L0"));
+        assert!(out.contains("GPU0"));
+    }
+}

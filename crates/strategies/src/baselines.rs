@@ -1,0 +1,112 @@
+//! The four data-parallel baselines of §6.1, plus Horovod (§6.8).
+//!
+//! * **EV-PS / EV-AR** — one whole-model replica per device, PS or
+//!   AllReduce gradient synchronization.
+//! * **CP-PS / CP-AR** — replicas per device proportional to computation
+//!   power (V100 : 1080Ti ≈ 2 : 1), PS or AllReduce.
+//! * **Horovod** — ring/hierarchical AllReduce data parallelism with one
+//!   replica per device; in strategy space this coincides with EV-AR
+//!   (Horovod's contribution is the collective implementation, which our
+//!   compiler models for every AR strategy).
+
+use heterog_cluster::Cluster;
+use heterog_compile::{CommMethod, Strategy};
+use heterog_graph::Graph;
+use heterog_profile::CostEstimator;
+
+use crate::planner::Planner;
+
+/// EV-PS baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvPsPlanner;
+
+/// EV-AR baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvArPlanner;
+
+/// CP-PS baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpPsPlanner;
+
+/// CP-AR baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpArPlanner;
+
+/// Horovod (§6.8): EV data parallelism with NCCL-style AllReduce.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HorovodPlanner;
+
+impl Planner for EvPsPlanner {
+    fn name(&self) -> &'static str {
+        "EV-PS"
+    }
+    fn plan(&self, g: &Graph, cluster: &Cluster, _cost: &dyn CostEstimator) -> Strategy {
+        Strategy::even(g.len(), cluster, CommMethod::Ps)
+    }
+}
+
+impl Planner for EvArPlanner {
+    fn name(&self) -> &'static str {
+        "EV-AR"
+    }
+    fn plan(&self, g: &Graph, cluster: &Cluster, _cost: &dyn CostEstimator) -> Strategy {
+        Strategy::even(g.len(), cluster, CommMethod::AllReduce)
+    }
+}
+
+impl Planner for CpPsPlanner {
+    fn name(&self) -> &'static str {
+        "CP-PS"
+    }
+    fn plan(&self, g: &Graph, cluster: &Cluster, _cost: &dyn CostEstimator) -> Strategy {
+        Strategy::proportional(g.len(), cluster, CommMethod::Ps)
+    }
+}
+
+impl Planner for CpArPlanner {
+    fn name(&self) -> &'static str {
+        "CP-AR"
+    }
+    fn plan(&self, g: &Graph, cluster: &Cluster, _cost: &dyn CostEstimator) -> Strategy {
+        Strategy::proportional(g.len(), cluster, CommMethod::AllReduce)
+    }
+}
+
+impl Planner for HorovodPlanner {
+    fn name(&self) -> &'static str {
+        "Horovod"
+    }
+    fn plan(&self, g: &Graph, cluster: &Cluster, _cost: &dyn CostEstimator) -> Strategy {
+        Strategy::even(g.len(), cluster, CommMethod::AllReduce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::{BenchmarkModel, ModelSpec};
+    use heterog_profile::GroundTruthCost;
+
+    #[test]
+    fn baselines_cover_every_op() {
+        let g = ModelSpec::new(BenchmarkModel::Vgg19, 64).build();
+        let c = paper_testbed_8gpu();
+        let planners: [&dyn Planner; 5] =
+            [&EvPsPlanner, &EvArPlanner, &CpPsPlanner, &CpArPlanner, &HorovodPlanner];
+        for p in planners {
+            let s = p.plan(&g, &c, &GroundTruthCost);
+            assert_eq!(s.per_op.len(), g.len(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn horovod_matches_ev_ar_strategy() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 32).build();
+        let c = paper_testbed_8gpu();
+        assert_eq!(
+            HorovodPlanner.plan(&g, &c, &GroundTruthCost),
+            EvArPlanner.plan(&g, &c, &GroundTruthCost)
+        );
+    }
+}

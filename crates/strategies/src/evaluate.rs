@@ -1,0 +1,144 @@
+//! Simulator-backed strategy evaluation, shared by every search planner
+//! and by the RL agent's reward (§3.3: the Simulator "estimates the
+//! per-iteration training time ... and also tracks memory usage on each
+//! device, to set bad rewards for strategies leading to memory
+//! overflow").
+
+use heterog_cluster::Cluster;
+use heterog_compile::{compile, Strategy};
+use heterog_graph::Graph;
+use heterog_profile::CostEstimator;
+use heterog_sched::OrderPolicy;
+use heterog_sim::{simulate, SimReport};
+
+/// Outcome of evaluating one strategy.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Simulated per-iteration time, seconds.
+    pub iteration_time: f64,
+    /// Whether any device overflowed its memory.
+    pub oom: bool,
+    /// The full simulator report.
+    pub report: SimReport,
+}
+
+impl Evaluation {
+    /// The paper's RL reward: `-sqrt(T)`, multiplied by 10 on OOM
+    /// (§4.1.3).
+    pub fn reward(&self) -> f64 {
+        let r = -self.iteration_time.max(0.0).sqrt();
+        if self.oom {
+            10.0 * r
+        } else {
+            r
+        }
+    }
+}
+
+/// Compiles and simulates `strategy` with HeteroG's rank-based order.
+pub fn evaluate<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+) -> Evaluation {
+    evaluate_with_policy(g, cluster, cost, strategy, &OrderPolicy::RankBased)
+}
+
+/// [`evaluate`] under an explicit execution-order policy.
+pub fn evaluate_with_policy<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+    policy: &OrderPolicy,
+) -> Evaluation {
+    let tg = compile(g, cluster, cost, strategy);
+    let report = simulate(&tg, &cluster.memory_capacities(), policy);
+    Evaluation {
+        iteration_time: report.iteration_time,
+        oom: report.memory.any_oom(),
+        report,
+    }
+}
+
+/// Steady-state per-iteration time under cross-iteration pipelining:
+/// compiles `k_hi` and `k_lo` back-to-back iterations (see
+/// `heterog_compile::compile_iterations`) and differences the makespans,
+/// which cancels warm-up effects. Always <= the single-iteration
+/// makespan (later iterations overlap the tail of earlier ones).
+pub fn steady_state_iteration_time<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+    policy: &OrderPolicy,
+) -> f64 {
+    use heterog_compile::{compile_iterations, CompileOptions};
+    use heterog_sched::list_schedule;
+    let (k_lo, k_hi) = (2u32, 4u32);
+    let lo = list_schedule(
+        &compile_iterations(g, cluster, cost, strategy, CompileOptions::default(), k_lo),
+        policy,
+    )
+    .makespan;
+    let hi = list_schedule(
+        &compile_iterations(g, cluster, cost, strategy, CompileOptions::default(), k_hi),
+        policy,
+    )
+    .makespan;
+    (hi - lo) / (k_hi - k_lo) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_compile::CommMethod;
+    use heterog_graph::{BenchmarkModel, ModelSpec};
+    use heterog_profile::GroundTruthCost;
+
+    #[test]
+    fn evaluation_reward_penalizes_oom() {
+        let a = Evaluation {
+            iteration_time: 4.0,
+            oom: false,
+            report: sim_stub(),
+        };
+        let b = Evaluation { iteration_time: 4.0, oom: true, ..a.clone() };
+        assert_eq!(a.reward(), -2.0);
+        assert_eq!(b.reward(), -20.0);
+    }
+
+    fn sim_stub() -> SimReport {
+        let tg = heterog_sched::TaskGraph::new("x", 1, 0);
+        simulate(&tg, &[1], &OrderPolicy::RankBased)
+    }
+
+    #[test]
+    fn evaluate_runs_end_to_end() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let e = evaluate(&g, &c, &GroundTruthCost, &s);
+        assert!(e.iteration_time > 0.0 && e.iteration_time < 10.0);
+        assert!(!e.oom);
+    }
+
+    #[test]
+    fn steady_state_is_at_most_single_iteration() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let single = evaluate(&g, &c, &GroundTruthCost, &s).iteration_time;
+        let steady = steady_state_iteration_time(
+            &g,
+            &c,
+            &GroundTruthCost,
+            &s,
+            &OrderPolicy::RankBased,
+        );
+        assert!(steady > 0.0);
+        assert!(steady <= single * 1.001, "steady {steady} vs single {single}");
+    }
+}

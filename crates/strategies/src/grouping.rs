@@ -1,0 +1,152 @@
+//! Operation grouping (§4.1.1).
+//!
+//! "If the number of operations exceeds the maximal group number N, we
+//! choose the top-N operations with longest average execution time ...
+//! We group each of the other operations with one of the N operations
+//! with the least number of hops in-between."
+
+use heterog_cluster::Cluster;
+use heterog_graph::{topo, Graph, OpId};
+use heterog_profile::CostEstimator;
+
+/// Average execution time of each op across the cluster's distinct GPU
+/// models at the graph's full batch — the seeding metric of §4.1.1
+/// ("operations with longest average execution time").
+pub fn avg_op_times<C: CostEstimator>(g: &Graph, cluster: &Cluster, cost: &C) -> Vec<f64> {
+    let mut models: Vec<_> = cluster.devices().iter().map(|d| d.model).collect();
+    models.sort_by_key(|m| m.name());
+    models.dedup();
+    g.iter()
+        .map(|(_, n)| {
+            models.iter().map(|&m| cost.op_time(n, m, g.batch_size)).sum::<f64>()
+                / models.len() as f64
+        })
+        .collect()
+}
+
+/// A partition of a graph's ops into groups.
+#[derive(Debug, Clone)]
+pub struct Grouping {
+    /// Group index per op (length = graph ops).
+    pub group_of: Vec<u32>,
+    /// Ops per group (group index -> member ops).
+    pub members: Vec<Vec<OpId>>,
+}
+
+impl Grouping {
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when there are no groups (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Groups `g`'s ops into at most `max_groups` groups, seeding with the
+/// longest-running ops (`avg_time[op]` = average execution time across
+/// devices) and assigning every other op to the nearest seed by
+/// undirected hop distance.
+pub fn group_ops(g: &Graph, avg_time: &[f64], max_groups: usize) -> Grouping {
+    assert_eq!(avg_time.len(), g.len());
+    assert!(max_groups > 0);
+    let n = g.len();
+
+    if n <= max_groups {
+        // Every op is its own group.
+        let group_of: Vec<u32> = (0..n as u32).collect();
+        let members = g.op_ids().map(|id| vec![id]).collect();
+        return Grouping { group_of, members };
+    }
+
+    // Top-N seeds by average execution time (ties: lower id).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| avg_time[b].total_cmp(&avg_time[a]).then(a.cmp(&b)));
+    let seeds: Vec<OpId> = order[..max_groups].iter().map(|&i| OpId(i as u32)).collect();
+
+    // Nearest seed via one multi-source BFS.
+    let owner = topo::nearest_seed(g, &seeds);
+    let mut group_of = vec![0u32; n];
+    let mut members: Vec<Vec<OpId>> = vec![Vec::new(); max_groups];
+    for i in 0..n {
+        // Disconnected nodes (shouldn't exist in training graphs) join
+        // group 0 rather than panicking.
+        let gidx = if owner[i] == u32::MAX { 0 } else { owner[i] };
+        group_of[i] = gidx;
+        members[gidx as usize].push(OpId(i as u32));
+    }
+    Grouping { group_of, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_graph::{GraphBuilder, ModelSpec, BenchmarkModel, OpKind};
+
+    fn times(g: &Graph) -> Vec<f64> {
+        g.iter().map(|(_, n)| n.flops(g.batch_size)).collect()
+    }
+
+    #[test]
+    fn small_graph_gets_singleton_groups() {
+        let mut b = GraphBuilder::new("s", 8);
+        let x = b.input(10);
+        let l = b.param_layer("l", OpKind::MatMul, x, 10, 100, 1e3);
+        let g = b.finish(l);
+        let gr = group_ops(&g, &times(&g), 100);
+        assert_eq!(gr.len(), g.len());
+        assert!(gr.members.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn grouping_covers_every_op_exactly_once() {
+        let g = ModelSpec::new(BenchmarkModel::InceptionV3, 32).build();
+        let gr = group_ops(&g, &times(&g), 50);
+        assert_eq!(gr.len(), 50);
+        let total: usize = gr.members.iter().map(Vec::len).sum();
+        assert_eq!(total, g.len());
+        for (i, &gi) in gr.group_of.iter().enumerate() {
+            assert!(gr.members[gi as usize].contains(&OpId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn heaviest_ops_are_seeds() {
+        let g = ModelSpec::new(BenchmarkModel::Vgg19, 32).build();
+        let t = times(&g);
+        let gr = group_ops(&g, &t, 20);
+        // The single heaviest op must be in a group whose seed is itself,
+        // i.e. it maps to some group trivially — stronger: every group is
+        // non-empty.
+        assert!(gr.members.iter().all(|m| !m.is_empty()));
+        let heaviest = t
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        // Heaviest op's group contains it.
+        let gi = gr.group_of[heaviest];
+        assert!(gr.members[gi as usize].contains(&OpId(heaviest as u32)));
+    }
+
+    #[test]
+    fn nearby_ops_share_groups() {
+        // In a chain with one heavy op per half, the halves become the
+        // two groups.
+        let mut b = GraphBuilder::new("c", 8);
+        let x = b.input(10);
+        let h1 = b.param_layer("h1", OpKind::MatMul, x, 10, 1_000_000, 1e9);
+        let m = b.simple_layer("m", OpKind::Activation, h1, 10, 1.0);
+        let h2 = b.param_layer("h2", OpKind::MatMul, m, 10, 1_000_000, 1e9);
+        let g = b.finish(h2);
+        let gr = group_ops(&g, &times(&g), 2);
+        assert_eq!(gr.len(), 2);
+        // Input groups with the first heavy op, loss side with the second.
+        let input = g.iter().find(|(_, n)| n.kind == OpKind::Input).unwrap().0;
+        let h1_op = g.iter().find(|(_, n)| n.name == "h1/matmul").unwrap().0;
+        assert_eq!(gr.group_of[input.index()], gr.group_of[h1_op.index()]);
+    }
+}

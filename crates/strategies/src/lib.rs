@@ -1,0 +1,23 @@
+//! # heterog-strategies
+//!
+//! Deployment planners: the four DP baselines of §6.1 (EV/CP x PS/AR),
+//! re-implementations of the comparison systems of §6.8 (Horovod,
+//! FlexFlow, Post, HetPipe — each restricted to exactly the strategy
+//! space its paper explores), the operation grouping of §4.1.1, and a
+//! shared simulator-backed evaluator they all optimize against.
+
+pub mod baselines;
+pub mod evaluate;
+pub mod flexflow;
+pub mod grouping;
+pub mod hetpipe;
+pub mod planner;
+pub mod post;
+
+pub use baselines::{CpArPlanner, CpPsPlanner, EvArPlanner, EvPsPlanner, HorovodPlanner};
+pub use evaluate::{evaluate, evaluate_with_policy, steady_state_iteration_time, Evaluation};
+pub use flexflow::FlexFlowPlanner;
+pub use grouping::{group_ops, Grouping};
+pub use hetpipe::HetPipePlanner;
+pub use planner::Planner;
+pub use post::PostPlanner;

@@ -1,0 +1,17 @@
+//! The planner interface.
+
+use heterog_cluster::Cluster;
+use heterog_compile::Strategy;
+use heterog_graph::Graph;
+use heterog_profile::CostEstimator;
+
+/// Anything that maps a single-GPU training graph plus a cluster to a
+/// Part-I strategy. Planners receive the *fitted* cost model (they plan
+/// with profiled information, §3.3), never the ground truth.
+pub trait Planner {
+    /// Short display name (matches the paper's tables/figures).
+    fn name(&self) -> &'static str;
+
+    /// Produces the deployment strategy.
+    fn plan(&self, g: &Graph, cluster: &Cluster, cost: &dyn CostEstimator) -> Strategy;
+}

@@ -1,0 +1,80 @@
+//! Custom model + custom cluster: build your own training graph with
+//! `GraphBuilder` and your own machine mix with the cluster API, then
+//! let HeteroG deploy it. Also exports a Chrome-tracing timeline.
+//!
+//! Run: `cargo run --release -p heterog --example heterogeneous_cluster`
+
+use heterog::{get_runner, HeterogConfig};
+use heterog_cluster::topology::Server;
+use heterog_cluster::{Cluster, Device, GpuModel};
+use heterog_graph::{Graph, GraphBuilder, OpKind};
+
+/// A hand-built CNN-ish training graph: stem conv, two residual blocks,
+/// a classifier head.
+fn my_model(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("my_cnn", batch);
+    let x = b.input(3 * 64 * 64);
+    let stem = b.param_layer("stem", OpKind::Conv2D, x, 32 * 32 * 32, 3 * 32 * 9, 2.0e8);
+    let mut cur = stem;
+    for i in 0..2 {
+        let c1 = b.param_layer(
+            &format!("block{i}/c1"),
+            OpKind::Conv2D,
+            cur,
+            32 * 32 * 32,
+            32 * 32 * 9,
+            3.0e8,
+        );
+        let c2 = b.param_layer(
+            &format!("block{i}/c2"),
+            OpKind::Conv2D,
+            c1,
+            32 * 32 * 32,
+            32 * 32 * 9,
+            3.0e8,
+        );
+        cur = b.combine(&format!("block{i}/res"), OpKind::Add, c2, cur, 32 * 32 * 32);
+    }
+    let pool = b.simple_layer("gap", OpKind::AvgPool, cur, 32, 32.0 * 32.0 * 32.0);
+    let fc = b.param_layer("fc", OpKind::MatMul, pool, 10, 320, 640.0);
+    let sm = b.simple_layer("softmax", OpKind::Softmax, fc, 10, 50.0);
+    b.finish(sm)
+}
+
+fn main() {
+    // A 6-GPU mixed cluster: one V100 box, one P100 box, one old K80 box.
+    let cluster = Cluster::new(
+        vec![
+            Server { name: "fast-box".into(), nic_bps: 10.5e9, nvlink: true },
+            Server { name: "mid-box".into(), nic_bps: 5.3e9, nvlink: false },
+            Server { name: "old-box".into(), nic_bps: 2.5e9, nvlink: false },
+        ],
+        vec![
+            Device::new(GpuModel::TeslaV100, 0),
+            Device::new(GpuModel::TeslaV100, 0),
+            Device::new(GpuModel::TeslaP100, 1),
+            Device::new(GpuModel::TeslaP100, 1),
+            Device::new(GpuModel::TeslaK80, 2),
+            Device::new(GpuModel::TeslaK80, 2),
+        ],
+    );
+    println!(
+        "cluster: {} GPUs over {} servers, relative power {:?}",
+        cluster.num_devices(),
+        cluster.servers().len(),
+        cluster
+            .relative_powers()
+            .iter()
+            .map(|p| format!("{p:.1}"))
+            .collect::<Vec<_>>()
+    );
+
+    let runner = get_runner(|| my_model(256), cluster, HeterogConfig::quick());
+    let stats = runner.run(100);
+    println!("per-iteration: {:.4} s, throughput {:.0} samples/s", stats.per_iteration_s, stats.samples_per_second);
+
+    // Export a timeline for chrome://tracing / Perfetto.
+    let path = std::env::temp_dir().join("heterog_trace.json");
+    std::fs::write(&path, runner.trace_json()).expect("write trace");
+    println!("timeline written to {} (open in chrome://tracing)", path.display());
+}

