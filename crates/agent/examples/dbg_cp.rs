@@ -8,15 +8,31 @@ use heterog_strategies::evaluate;
 fn main() {
     let c = paper_testbed_4gpu();
     for m in [BenchmarkModel::ResNet200, BenchmarkModel::Transformer] {
-        let spec = match m.default_layers() { 0 => ModelSpec::new(m, 96), l => ModelSpec::with_layers(m, 360, l) };
+        let spec = match m.default_layers() {
+            0 => ModelSpec::new(m, 96),
+            l => ModelSpec::with_layers(m, 360, l),
+        };
         let g = spec.build();
-        for (name, s) in [("EV-AR", Strategy::even(g.len(), &c, CommMethod::AllReduce)),
-                          ("CP-AR", Strategy::proportional(g.len(), &c, CommMethod::AllReduce))] {
+        for (name, s) in [
+            ("EV-AR", Strategy::even(g.len(), &c, CommMethod::AllReduce)),
+            (
+                "CP-AR",
+                Strategy::proportional(g.len(), &c, CommMethod::AllReduce),
+            ),
+        ] {
             let e = evaluate(&g, &c, &GroundTruthCost, &s);
             let r = &e.report;
-            println!("{} {name}: iter={:.3} comp={:.3} comm={:.3} gpu_busy={:?}",
-                spec.label(), r.iteration_time, r.computation_time, r.communication_time,
-                r.gpu_busy.iter().map(|b| format!("{b:.3}")).collect::<Vec<_>>());
+            println!(
+                "{} {name}: iter={:.3} comp={:.3} comm={:.3} gpu_busy={:?}",
+                spec.label(),
+                r.iteration_time,
+                r.computation_time,
+                r.communication_time,
+                r.gpu_busy
+                    .iter()
+                    .map(|b| format!("{b:.3}"))
+                    .collect::<Vec<_>>()
+            );
         }
     }
 }

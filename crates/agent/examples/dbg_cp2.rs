@@ -8,8 +8,13 @@ use heterog_sched::{list_schedule, OrderPolicy};
 fn main() {
     let c = paper_testbed_4gpu();
     let g = ModelSpec::with_layers(BenchmarkModel::Transformer, 360, 6).build();
-    for (name, s) in [("EV-AR", Strategy::even(g.len(), &c, CommMethod::AllReduce)),
-                      ("CP-AR", Strategy::proportional(g.len(), &c, CommMethod::AllReduce))] {
+    for (name, s) in [
+        ("EV-AR", Strategy::even(g.len(), &c, CommMethod::AllReduce)),
+        (
+            "CP-AR",
+            Strategy::proportional(g.len(), &c, CommMethod::AllReduce),
+        ),
+    ] {
         let tg = compile(&g, &c, &GroundTruthCost, &s);
         let sch = list_schedule(&tg, &OrderPolicy::RankBased);
         let mut idx: Vec<usize> = (0..tg.len()).collect();
@@ -17,7 +22,13 @@ fn main() {
         println!("{name}: makespan {:.3}", sch.makespan);
         for &i in idx.iter().take(8) {
             let t = tg.task(heterog_sched::TaskId(i as u32));
-            println!("  {:.4}..{:.4}  {:>10}  {}", sch.start[i], sch.finish[i], format!("{}",t.proc), t.name);
+            println!(
+                "  {:.4}..{:.4}  {:>10}  {}",
+                sch.start[i],
+                sch.finish[i],
+                format!("{}", t.proc),
+                t.name
+            );
         }
     }
 }

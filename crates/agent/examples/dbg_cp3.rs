@@ -8,32 +8,48 @@ use heterog_sched::{list_schedule, OrderPolicy, TaskId};
 fn main() {
     let c = paper_testbed_4gpu();
     let g = ModelSpec::with_layers(BenchmarkModel::Transformer, 360, 6).build();
-    for (name, s) in [("EV-AR", Strategy::even(g.len(), &c, CommMethod::AllReduce)),
-                      ("CP-AR", Strategy::proportional(g.len(), &c, CommMethod::AllReduce))] {
+    for (name, s) in [
+        ("EV-AR", Strategy::even(g.len(), &c, CommMethod::AllReduce)),
+        (
+            "CP-AR",
+            Strategy::proportional(g.len(), &c, CommMethod::AllReduce),
+        ),
+    ] {
         let tg = compile(&g, &c, &GroundTruthCost, &s);
         let sch = list_schedule(&tg, &OrderPolicy::RankBased);
-        let mut first = f64::INFINITY; let mut last: f64 = 0.0; let mut busy = 0.0; let mut n = 0;
-        let mut ivs: Vec<(f64,f64)> = vec![];
+        let mut first = f64::INFINITY;
+        let mut last: f64 = 0.0;
+        let mut busy = 0.0;
+        let mut n = 0;
+        let mut ivs: Vec<(f64, f64)> = vec![];
         for (id, t) in tg.iter() {
             if t.kind == OpKind::NcclAllReduce {
                 first = first.min(sch.start[id.index()]);
                 last = last.max(sch.finish[id.index()]);
-                busy += t.duration; n += 1;
+                busy += t.duration;
+                n += 1;
                 ivs.push((sch.start[id.index()], sch.finish[id.index()]));
             }
         }
         // union per link? just count idle within window on L0-ish: use union over all
-        ivs.sort_by(|a,b| a.0.total_cmp(&b.0));
-        println!("{name}: makespan {:.3}  AR window [{:.3},{:.3}]  total-dur {:.3}  tasks {}", sch.makespan, first, last, busy, n);
+        ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        println!(
+            "{name}: makespan {:.3}  AR window [{:.3},{:.3}]  total-dur {:.3}  tasks {}",
+            sch.makespan, first, last, busy, n
+        );
         // when did the first wgrad complete on each device?
-        let mut firstw = vec![f64::INFINITY;4];
+        let mut firstw = [f64::INFINITY; 4];
         for (id, t) in tg.iter() {
             if t.kind == OpKind::MatMulBackpropWeight {
-                if let heterog_sched::Proc::Gpu(d) = t.proc { 
-                    firstw[d as usize] = firstw[d as usize].min(sch.finish[id.index()]); }
+                if let heterog_sched::Proc::Gpu(d) = t.proc {
+                    firstw[d as usize] = firstw[d as usize].min(sch.finish[id.index()]);
+                }
             }
         }
-        println!("  first wgrad done per GPU: {:?}", firstw.iter().map(|x| format!("{x:.3}")).collect::<Vec<_>>());
+        println!(
+            "  first wgrad done per GPU: {:?}",
+            firstw.iter().map(|x| format!("{x:.3}")).collect::<Vec<_>>()
+        );
         let _ = TaskId(0);
     }
 }

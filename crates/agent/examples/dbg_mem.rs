@@ -25,8 +25,20 @@ fn main() {
         let g = spec.build();
         let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
         let e = evaluate(&g, &c, &GroundTruthCost, &s);
-        let peak = e.report.memory.peak_bytes.iter().max().copied().unwrap_or(0);
-        println!("{:<34} EV-AR {} peak={:.1}GiB t={:.3}", spec.label(),
-            if e.oom {"OOM "} else {"ok  "}, peak as f64/(1u64<<30) as f64, e.iteration_time);
+        let peak = e
+            .report
+            .memory
+            .peak_bytes
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0);
+        println!(
+            "{:<34} EV-AR {} peak={:.1}GiB t={:.3}",
+            spec.label(),
+            if e.oom { "OOM " } else { "ok  " },
+            peak as f64 / (1u64 << 30) as f64,
+            e.iteration_time
+        );
     }
 }

@@ -19,22 +19,48 @@ fn main() {
     // compute peak time on gpu 2 via events
     let mut events: Vec<(f64, i64, usize)> = vec![];
     for (id, t) in tg.iter() {
-        if t.proc != Proc::Gpu(2) || t.output_bytes == 0 { continue; }
-        let free = tg.succs(id).iter().map(|s2| sch.finish[s2.index()]).fold(sch.finish[id.index()], f64::max);
+        if t.proc != Proc::Gpu(2) || t.output_bytes == 0 {
+            continue;
+        }
+        let free = tg
+            .succs(id)
+            .iter()
+            .map(|s2| sch.finish[s2.index()])
+            .fold(sch.finish[id.index()], f64::max);
         events.push((sch.start[id.index()], t.output_bytes as i64, id.index()));
         events.push((free, -(t.output_bytes as i64), id.index()));
     }
-    events.sort_by(|a,b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    let mut cur=0i64; let mut peak=0i64; let mut peak_t=0.0;
-    for &(t,d,_) in &events { cur+=d; if cur>peak {peak=cur; peak_t=t;} }
-    println!("gpu2 activation peak {:.2} GiB at t={:.3}", peak as f64/(1u64<<30) as f64, peak_t);
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    let mut peak_t = 0.0;
+    for &(t, d, _) in &events {
+        cur += d;
+        if cur > peak {
+            peak = cur;
+            peak_t = t;
+        }
+    }
+    println!(
+        "gpu2 activation peak {:.2} GiB at t={:.3}",
+        peak as f64 / (1u64 << 30) as f64,
+        peak_t
+    );
     // live at peak_t by kind
     for (id, t) in tg.iter() {
-        if t.proc != Proc::Gpu(2) || t.output_bytes == 0 { continue; }
-        let free = tg.succs(id).iter().map(|s2| sch.finish[s2.index()]).fold(sch.finish[id.index()], f64::max);
+        if t.proc != Proc::Gpu(2) || t.output_bytes == 0 {
+            continue;
+        }
+        let free = tg
+            .succs(id)
+            .iter()
+            .map(|s2| sch.finish[s2.index()])
+            .fold(sch.finish[id.index()], f64::max);
         if sch.start[id.index()] <= peak_t && free >= peak_t {
             *by_kind.entry(t.kind.mnemonic().to_string()).or_default() += t.output_bytes;
         }
     }
-    for (k, v) in by_kind { println!("  {k:<12} {:.2} GiB", v as f64/(1u64<<30) as f64); }
+    for (k, v) in by_kind {
+        println!("  {k:<12} {:.2} GiB", v as f64 / (1u64 << 30) as f64);
+    }
 }

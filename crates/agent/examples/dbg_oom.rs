@@ -7,8 +7,16 @@ use heterog_strategies::evaluate;
 
 fn main() {
     let servers = vec![
-        Server { name: "a".into(), nic_bps: 10e9, nvlink: true },
-        Server { name: "b".into(), nic_bps: 5e9, nvlink: false },
+        Server {
+            name: "a".into(),
+            nic_bps: 10e9,
+            nvlink: true,
+        },
+        Server {
+            name: "b".into(),
+            nic_bps: 5e9,
+            nvlink: false,
+        },
     ];
     let mut devices = vec![
         Device::new(GpuModel::TeslaV100, 0),
@@ -16,14 +24,39 @@ fn main() {
         Device::new(GpuModel::Gtx1080Ti, 1),
         Device::new(GpuModel::Gtx1080Ti, 1),
     ];
-    for d in &mut devices { d.memory_bytes = 1400 << 20; }
+    for d in &mut devices {
+        d.memory_bytes = 1400 << 20;
+    }
     let c = Cluster::new(servers, devices);
     let g = ModelSpec::new(BenchmarkModel::Vgg19, 16).build();
     let dp = Strategy::even(g.len(), &c, CommMethod::AllReduce);
     let e = evaluate(&g, &c, &GroundTruthCost, &dp);
-    println!("EV-AR oom={} peaks={:?}", e.oom, e.report.memory.peak_bytes.iter().map(|b| b>>20).collect::<Vec<_>>());
-    let planner = HeteroGPlanner { groups: 12, passes: 2, allow_mp: true };
+    println!(
+        "EV-AR oom={} peaks={:?}",
+        e.oom,
+        e.report
+            .memory
+            .peak_bytes
+            .iter()
+            .map(|b| b >> 20)
+            .collect::<Vec<_>>()
+    );
+    let planner = HeteroGPlanner {
+        groups: 12,
+        passes: 2,
+        allow_mp: true,
+    };
     let (_, eval, actions) = planner.plan_detailed(&g, &c, &GroundTruthCost);
-    println!("planner oom={} time={:.3} peaks={:?} actions={:?}", eval.oom, eval.iteration_time,
-        eval.report.memory.peak_bytes.iter().map(|b| b>>20).collect::<Vec<_>>(), actions);
+    println!(
+        "planner oom={} time={:.3} peaks={:?} actions={:?}",
+        eval.oom,
+        eval.iteration_time,
+        eval.report
+            .memory
+            .peak_bytes
+            .iter()
+            .map(|b| b >> 20)
+            .collect::<Vec<_>>(),
+        actions
+    );
 }

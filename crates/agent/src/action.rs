@@ -21,7 +21,9 @@ pub struct ActionSpace {
 impl ActionSpace {
     /// Action space for `cluster`.
     pub fn new(cluster: &Cluster) -> Self {
-        ActionSpace { num_devices: cluster.num_devices() }
+        ActionSpace {
+            num_devices: cluster.num_devices(),
+        }
     }
 
     /// Total actions per group: `M + 4`.
@@ -69,8 +71,7 @@ pub fn actions_to_strategy(
 ) -> Strategy {
     assert_eq!(actions.len(), grouping.len());
     let space = ActionSpace::new(cluster);
-    let decoded: Vec<OpStrategy> =
-        actions.iter().map(|&a| space.decode(a, cluster)).collect();
+    let decoded: Vec<OpStrategy> = actions.iter().map(|&a| space.decode(a, cluster)).collect();
     let per_op = (0..g.len())
         .map(|i| decoded[grouping.group_of[i] as usize].clone())
         .collect();
@@ -98,8 +99,14 @@ mod tests {
         assert_eq!(s.decode(3, &c), OpStrategy::Mp(DeviceId(3)));
         assert_eq!(s.decode(8, &c), OpStrategy::even(&c, CommMethod::Ps));
         assert_eq!(s.decode(9, &c), OpStrategy::even(&c, CommMethod::AllReduce));
-        assert_eq!(s.decode(10, &c), OpStrategy::proportional(&c, CommMethod::Ps));
-        assert_eq!(s.decode(11, &c), OpStrategy::proportional(&c, CommMethod::AllReduce));
+        assert_eq!(
+            s.decode(10, &c),
+            OpStrategy::proportional(&c, CommMethod::Ps)
+        );
+        assert_eq!(
+            s.decode(11, &c),
+            OpStrategy::proportional(&c, CommMethod::AllReduce)
+        );
     }
 
     #[test]
@@ -119,6 +126,9 @@ mod tests {
         let actions = vec![9usize; grouping.len()];
         let s = actions_to_strategy(&g, &c, &grouping, &actions);
         assert_eq!(s.per_op.len(), g.len());
-        assert!(s.per_op.iter().all(|o| *o == OpStrategy::even(&c, CommMethod::AllReduce)));
+        assert!(s
+            .per_op
+            .iter()
+            .all(|o| *o == OpStrategy::even(&c, CommMethod::AllReduce)));
     }
 }

@@ -17,6 +17,15 @@ use heterog_strategies::{evaluate, group_ops, grouping::avg_op_times, Evaluation
 
 use crate::action::{actions_to_strategy, ActionSpace};
 
+static CANDIDATE_EVALS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_agent_candidate_evals_total",
+    "Candidate strategies evaluated by the fast planner",
+);
+static CANDIDATES_PER_SEC: heterog_telemetry::Gauge = heterog_telemetry::Gauge::new(
+    "heterog_agent_candidates_per_sec",
+    "Candidate evaluation throughput of the last plan_detailed call",
+);
+
 /// Greedy local-search planner configuration.
 #[derive(Debug, Clone)]
 pub struct HeteroGPlanner {
@@ -31,7 +40,11 @@ pub struct HeteroGPlanner {
 
 impl Default for HeteroGPlanner {
     fn default() -> Self {
-        HeteroGPlanner { groups: 48, passes: 2, allow_mp: true }
+        HeteroGPlanner {
+            groups: 48,
+            passes: 2,
+            allow_mp: true,
+        }
     }
 }
 
@@ -44,6 +57,10 @@ impl HeteroGPlanner {
         cluster: &Cluster,
         cost: &C,
     ) -> (Strategy, Evaluation, Vec<usize>) {
+        let _span = heterog_telemetry::span("fast_plan");
+        let telemetry_on = heterog_telemetry::enabled();
+        let wall_start = telemetry_on.then(std::time::Instant::now);
+        let mut evals: u64 = 0;
         let space = ActionSpace::new(cluster);
         let times = avg_op_times(g, cluster, cost);
         let grouping = group_ops(g, &times, self.groups);
@@ -62,6 +79,7 @@ impl HeteroGPlanner {
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("four baselines");
+        evals += uniform_actions.len() as u64;
 
         // Visit groups heaviest-first.
         let mut order: Vec<usize> = (0..n).collect();
@@ -77,8 +95,9 @@ impl HeteroGPlanner {
             for &gi in &order {
                 let current_action = actions[gi];
                 let first = if self.allow_mp { 0 } else { m };
-                let candidates: Vec<usize> =
-                    (first..space.len()).filter(|&a| a != current_action).collect();
+                let candidates: Vec<usize> = (first..space.len())
+                    .filter(|&a| a != current_action)
+                    .collect();
                 let best = candidates
                     .par_iter()
                     .map(|&a| {
@@ -90,6 +109,7 @@ impl HeteroGPlanner {
                     })
                     .min_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("candidates");
+                evals += candidates.len() as u64;
                 if best.1 + 1e-9 < cur_obj {
                     actions[gi] = best.0;
                     cur_obj = best.1;
@@ -103,6 +123,14 @@ impl HeteroGPlanner {
 
         let strategy = actions_to_strategy(g, cluster, &grouping, &actions);
         let eval = evaluate(g, cluster, cost, &strategy);
+        evals += 1;
+        CANDIDATE_EVALS.add(evals);
+        if let Some(t0) = wall_start {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                CANDIDATES_PER_SEC.set(evals as f64 / secs);
+            }
+        }
         (strategy, eval, actions)
     }
 }
@@ -116,7 +144,7 @@ impl Planner for HeteroGPlanner {
         // `dyn CostEstimator` isn't Sync; bridge through a snapshotting
         // adapter is overkill — re-dispatch through a Sync wrapper.
         let wrapper = SyncCost(cost);
-        self.plan_detailed(g, cluster, &wrapper, ).0
+        self.plan_detailed(g, cluster, &wrapper).0
     }
 }
 
@@ -129,7 +157,12 @@ struct SyncCost<'a>(&'a dyn CostEstimator);
 unsafe impl Sync for SyncCost<'_> {}
 
 impl heterog_profile::CostEstimator for SyncCost<'_> {
-    fn op_time(&self, node: &heterog_graph::Node, model: heterog_cluster::GpuModel, batch: u64) -> f64 {
+    fn op_time(
+        &self,
+        node: &heterog_graph::Node,
+        model: heterog_cluster::GpuModel,
+        batch: u64,
+    ) -> f64 {
         self.0.op_time(node, model, batch)
     }
     fn transfer_time(&self, link: &heterog_cluster::Link, bytes: u64) -> f64 {
@@ -167,10 +200,17 @@ mod tests {
     fn beats_every_dp_baseline_on_vgg() {
         let g = ModelSpec::new(BenchmarkModel::Vgg19, 96).build();
         let c = paper_testbed_8gpu();
-        let planner = HeteroGPlanner { groups: 16, passes: 1, allow_mp: true };
+        let planner = HeteroGPlanner {
+            groups: 16,
+            passes: 1,
+            allow_mp: true,
+        };
         let (_, eval, _) = planner.plan_detailed(&g, &c, &GroundTruthCost);
         for comm in [CommMethod::Ps, CommMethod::AllReduce] {
-            for s in [S::even(g.len(), &c, comm), S::proportional(g.len(), &c, comm)] {
+            for s in [
+                S::even(g.len(), &c, comm),
+                S::proportional(g.len(), &c, comm),
+            ] {
                 let b = evaluate(&g, &c, &GroundTruthCost, &s);
                 assert!(
                     eval.iteration_time <= b.iteration_time + 1e-9,
@@ -189,8 +229,16 @@ mod tests {
         // still return a feasible (MP-heavy) strategy.
         use heterog_cluster::{topology::Server, Cluster, Device, GpuModel};
         let servers = vec![
-            Server { name: "a".into(), nic_bps: 10e9, nvlink: true },
-            Server { name: "b".into(), nic_bps: 5e9, nvlink: false },
+            Server {
+                name: "a".into(),
+                nic_bps: 10e9,
+                nvlink: true,
+            },
+            Server {
+                name: "b".into(),
+                nic_bps: 5e9,
+                nvlink: false,
+            },
         ];
         let mut devices = vec![
             Device::new(GpuModel::TeslaV100, 0),
@@ -209,8 +257,15 @@ mod tests {
         let c = Cluster::new(servers, devices);
         let g = ModelSpec::new(BenchmarkModel::Vgg19, 16).build();
         let dp = S::even(g.len(), &c, CommMethod::AllReduce);
-        assert!(evaluate(&g, &c, &GroundTruthCost, &dp).oom, "premise: DP must OOM");
-        let planner = HeteroGPlanner { groups: 12, passes: 2, allow_mp: true };
+        assert!(
+            evaluate(&g, &c, &GroundTruthCost, &dp).oom,
+            "premise: DP must OOM"
+        );
+        let planner = HeteroGPlanner {
+            groups: 12,
+            passes: 2,
+            allow_mp: true,
+        };
         let (_, eval, actions) = planner.plan_detailed(&g, &c, &GroundTruthCost);
         assert!(!eval.oom, "planner must repair memory");
         // Repair implies some MP actions.
@@ -222,7 +277,11 @@ mod tests {
     fn detailed_actions_match_strategy_histogram() {
         let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
         let c = paper_testbed_8gpu();
-        let planner = HeteroGPlanner { groups: 8, passes: 1, allow_mp: true };
+        let planner = HeteroGPlanner {
+            groups: 8,
+            passes: 1,
+            allow_mp: true,
+        };
         let (s, _, actions) = planner.plan_detailed(&g, &c, &GroundTruthCost);
         assert_eq!(actions.len(), 8);
         assert_eq!(s.per_op.len(), g.len());

@@ -20,7 +20,9 @@ pub struct FeatureConfig {
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { byte_log_scale: 1.0 / 30.0 }
+        FeatureConfig {
+            byte_log_scale: 1.0 / 30.0,
+        }
     }
 }
 

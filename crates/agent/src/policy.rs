@@ -97,7 +97,14 @@ impl PolicyNet {
             .map(|_| TransformerBlock::new(d, cfg.tf_heads, cfg.tf_ff, &mut rng))
             .collect();
         let head = Dense::new(d, num_actions, Activation::None, &mut rng);
-        PolicyNet { embed, gats, pool, blocks, head, cache: None }
+        PolicyNet {
+            embed,
+            gats,
+            pool,
+            blocks,
+            head,
+            cache: None,
+        }
     }
 
     /// Forward pass: node features + edges + grouping -> per-group logits.
@@ -134,7 +141,11 @@ impl PolicyNet {
     /// Backward pass from the logits gradient (accumulates all layer
     /// grads).
     pub fn backward(&mut self, dlogits: &Matrix) {
-        let cache = self.cache.as_ref().expect("forward before backward").clone();
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("forward before backward")
+            .clone();
         let mut dz = self.head.backward(dlogits);
         for b in self.blocks.iter_mut().rev() {
             dz = b.backward(&dz);
@@ -230,7 +241,12 @@ mod tests {
         let mut adam = Adam::new(0.01);
         net.step(&mut adam);
         let l1 = net.forward(&x, &e, &grouping);
-        assert!(l1.get(0, 0) > l0.get(0, 0), "{} vs {}", l1.get(0, 0), l0.get(0, 0));
+        assert!(
+            l1.get(0, 0) > l0.get(0, 0),
+            "{} vs {}",
+            l1.get(0, 0),
+            l0.get(0, 0)
+        );
     }
 
     #[test]

@@ -22,6 +22,38 @@ use crate::action::{actions_to_strategy, ActionSpace};
 use crate::features::{encode_features, graph_edges, FeatureConfig};
 use crate::policy::{PolicyConfig, PolicyNet};
 
+static EPISODES: heterog_telemetry::Counter =
+    heterog_telemetry::Counter::new("heterog_agent_episodes_total", "REINFORCE episodes trained");
+static EPISODE_REWARD: heterog_telemetry::Gauge = heterog_telemetry::Gauge::new(
+    "heterog_agent_episode_reward",
+    "Reward of the most recent episode",
+);
+static EPISODE_BASELINE: heterog_telemetry::Gauge = heterog_telemetry::Gauge::new(
+    "heterog_agent_episode_baseline",
+    "Moving-average baseline after the most recent episode",
+);
+static EPISODE_ENTROPY: heterog_telemetry::Gauge = heterog_telemetry::Gauge::new(
+    "heterog_agent_episode_entropy",
+    "Mean per-group policy entropy (nats) of the most recent episode",
+);
+
+/// Mean Shannon entropy of each row of a probability matrix, in nats.
+fn mean_row_entropy(probs: &Matrix) -> f64 {
+    if probs.rows == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for r in 0..probs.rows {
+        for c in 0..probs.cols {
+            let p = probs.data[r * probs.cols + c];
+            if p > 0.0 {
+                total -= p * p.ln();
+            }
+        }
+    }
+    total / probs.rows as f64
+}
+
 /// RL training configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainerConfig {
@@ -107,7 +139,12 @@ impl RlAgent {
     pub fn new(cfg: TrainerConfig) -> Self {
         let adam = Adam::new(cfg.lr);
         let rng = heterog_nn::init::seeded_rng(cfg.seed);
-        RlAgent { cfg, net: None, adam, rng }
+        RlAgent {
+            cfg,
+            net: None,
+            adam,
+            rng,
+        }
     }
 
     /// Trains on `graphs` (round-robin) for `cfg.episodes` episodes.
@@ -124,8 +161,7 @@ impl RlAgent {
         let mut ctxs: Vec<GraphCtx> = graphs
             .iter()
             .map(|g| {
-                let features =
-                    encode_features(g, cluster, cost, &FeatureConfig::default());
+                let features = encode_features(g, cluster, cost, &FeatureConfig::default());
                 let grouping = group_ops(g, &avg_op_times(g, cluster, cost), self.cfg.groups);
                 GraphCtx {
                     features,
@@ -152,6 +188,7 @@ impl RlAgent {
         }
         let net = self.net.as_mut().expect("initialized above");
 
+        let _span = heterog_telemetry::span("rl_train");
         for ep in 0..self.cfg.episodes {
             let ctx = &mut ctxs[ep % graphs.len()];
             let logits = net.forward(&ctx.features, &ctx.edges, &ctx.grouping);
@@ -162,7 +199,11 @@ impl RlAgent {
             let reward = eval.reward();
 
             // Track the best sampled strategy.
-            let t = if eval.oom { f64::INFINITY } else { eval.iteration_time };
+            let t = if eval.oom {
+                f64::INFINITY
+            } else {
+                eval.iteration_time
+            };
             if t < ctx.record.best_time {
                 ctx.record.best_time = t;
                 ctx.record.best_episode = ctx.record.rewards.len();
@@ -180,8 +221,18 @@ impl RlAgent {
             }
             let advantage = reward - ctx.baseline;
 
+            EPISODES.inc();
+            if heterog_telemetry::enabled() {
+                EPISODE_REWARD.set(reward);
+                EPISODE_BASELINE.set(ctx.baseline);
+                EPISODE_ENTROPY.set(mean_row_entropy(&probs));
+            }
+
             // Policy-gradient step.
-            let pg = PolicyGradient { advantage, entropy_coeff: self.cfg.entropy_coeff };
+            let pg = PolicyGradient {
+                advantage,
+                entropy_coeff: self.cfg.entropy_coeff,
+            };
             let mut dlogits = pg.logits_grad(&probs, &actions);
             // Normalize by group count so graphs of different sizes
             // produce comparable gradient magnitudes.
@@ -199,12 +250,7 @@ impl RlAgent {
 
     /// Greedy (argmax) strategy from the current policy for `g`.
     /// Panics if the agent was never trained.
-    pub fn plan<C: CostEstimator>(
-        &mut self,
-        g: &Graph,
-        cluster: &Cluster,
-        cost: &C,
-    ) -> Strategy {
+    pub fn plan<C: CostEstimator>(&mut self, g: &Graph, cluster: &Cluster, cost: &C) -> Strategy {
         let net = self.net.as_mut().expect("train before plan");
         let features = encode_features(g, cluster, cost, &FeatureConfig::default());
         let grouping = group_ops(g, &avg_op_times(g, cluster, cost), self.cfg.groups);

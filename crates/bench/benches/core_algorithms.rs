@@ -43,7 +43,9 @@ fn bench_schedule(c: &mut Criterion) {
     c.bench_function("schedule/vgg19_fifo", |b| {
         b.iter(|| list_schedule(&tg, &OrderPolicy::Fifo))
     });
-    c.bench_function("schedule/vgg19_upward_ranks", |b| b.iter(|| upward_ranks(&tg)));
+    c.bench_function("schedule/vgg19_upward_ranks", |b| {
+        b.iter(|| upward_ranks(&tg))
+    });
 }
 
 fn bench_simulate(c: &mut Criterion) {
@@ -60,7 +62,11 @@ fn bench_simulate(c: &mut Criterion) {
 fn bench_planner(c: &mut Criterion) {
     let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 192).build();
     let cluster = paper_testbed_8gpu();
-    let planner = HeteroGPlanner { groups: 8, passes: 1, allow_mp: true };
+    let planner = HeteroGPlanner {
+        groups: 8,
+        passes: 1,
+        allow_mp: true,
+    };
     let mut group = c.benchmark_group("planner");
     group.sample_size(10);
     group.bench_function("heterog_mobilenet_n8", |b| {

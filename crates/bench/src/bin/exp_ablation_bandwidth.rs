@@ -22,10 +22,14 @@ fn testbed_with_nics(gbps: f64) -> Cluster {
 }
 
 fn main() {
+    bench_init();
     let planner = heterog_planner();
     let spec = ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24);
 
-    println!("=== What-if: NIC bandwidth sweep, {} (8 GPUs) ===", spec.label());
+    println!(
+        "=== What-if: NIC bandwidth sweep, {} (8 GPUs) ===",
+        spec.label()
+    );
     println!(
         "{:>10}{:>12}{:>8}{:>8}{:>8}{:>8}{:>8}",
         "NIC Gbps", "s/iter", "MP%", "EV-PS%", "EV-AR%", "CP-PS%", "CP-AR%"

@@ -17,9 +17,10 @@ fn force_comm(s: &Strategy, comm: CommMethod) -> Strategy {
         .per_op
         .iter()
         .map(|o| match o {
-            OpStrategy::Dp { replicas, .. } => {
-                OpStrategy::Dp { replicas: replicas.clone(), comm }
-            }
+            OpStrategy::Dp { replicas, .. } => OpStrategy::Dp {
+                replicas: replicas.clone(),
+                comm,
+            },
             mp => mp.clone(),
         })
         .collect();
@@ -27,11 +28,15 @@ fn force_comm(s: &Strategy, comm: CommMethod) -> Strategy {
 }
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_8gpu();
     let planner = heterog_planner();
 
     println!("=== Ablation: hybrid vs PS-only vs AR-only aggregation (8 GPUs) ===");
-    println!("{:<34}{:>10}{:>10}{:>10}", "Model (batch size)", "Hybrid", "PS-only", "AR-only");
+    println!(
+        "{:<34}{:>10}{:>10}{:>10}",
+        "Model (batch size)", "Hybrid", "PS-only", "AR-only"
+    );
     let mut rows = Vec::new();
     for spec in [
         ModelSpec::new(BenchmarkModel::Vgg19, 192),
@@ -66,7 +71,10 @@ fn main() {
         times.insert("hybrid".to_string(), cell(&hybrid));
         times.insert("ps_only".to_string(), cell(&ps));
         times.insert("ar_only".to_string(), cell(&ar));
-        rows.push(Row { model: spec.label(), times });
+        rows.push(Row {
+            model: spec.label(),
+            times,
+        });
     }
     write_results("ablation_comm", &rows);
 }

@@ -13,10 +13,14 @@ use heterog_graph::{BenchmarkModel, ModelSpec};
 use heterog_sched::OrderPolicy;
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_8gpu();
 
     println!("=== Ablation: group count N vs plan quality and planning time ===");
-    println!("{:<30}{:>6}{:>14}{:>16}", "Model", "N", "iter time (s)", "planning (s)");
+    println!(
+        "{:<30}{:>6}{:>14}{:>16}",
+        "Model", "N", "iter time (s)", "planning (s)"
+    );
     let mut results: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     for spec in [
         ModelSpec::new(BenchmarkModel::Vgg19, 192),
@@ -25,7 +29,11 @@ fn main() {
         let g = spec.build();
         let fitted = fitted_costs(&g, &cluster);
         for n in [8usize, 16, 32, 64] {
-            let planner = HeteroGPlanner { groups: n, passes: 2, allow_mp: true };
+            let planner = HeteroGPlanner {
+                groups: n,
+                passes: 2,
+                allow_mp: true,
+            };
             let t0 = Instant::now();
             let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
             let planning = t0.elapsed().as_secs_f64();

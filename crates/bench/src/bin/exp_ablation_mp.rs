@@ -13,12 +13,19 @@ use heterog_graph::{BenchmarkModel, ModelSpec};
 use heterog_sched::OrderPolicy;
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_8gpu();
     let full = heterog_planner();
-    let dp_only = HeteroGPlanner { allow_mp: false, ..heterog_planner() };
+    let dp_only = HeteroGPlanner {
+        allow_mp: false,
+        ..heterog_planner()
+    };
 
     println!("=== Ablation: HeteroG with and without MP actions (8 GPUs) ===");
-    println!("{:<34}{:>12}{:>12}", "Model (batch size)", "Full", "DP-only");
+    println!(
+        "{:<34}{:>12}{:>12}",
+        "Model (batch size)", "Full", "DP-only"
+    );
     let mut rows = Vec::new();
     for spec in [
         ModelSpec::new(BenchmarkModel::Vgg19, 192),
@@ -39,11 +46,19 @@ fn main() {
                 format!("{:.3}", e.iteration_time)
             }
         };
-        println!("{:<34}{:>12}{:>12}", spec.label(), show(&e_full), show(&e_dp));
+        println!(
+            "{:<34}{:>12}{:>12}",
+            spec.label(),
+            show(&e_full),
+            show(&e_dp)
+        );
         let mut times = BTreeMap::new();
         times.insert("full".to_string(), cell(&e_full));
         times.insert("dp_only".to_string(), cell(&e_dp));
-        rows.push(Row { model: spec.label(), times });
+        rows.push(Row {
+            model: spec.label(),
+            times,
+        });
     }
     write_results("ablation_mp", &rows);
 }

@@ -17,6 +17,7 @@ use heterog_profile::GroundTruthCost;
 use heterog_sched::{list_schedule, OrderPolicy};
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_8gpu();
     let planner = heterog_planner();
 

@@ -29,8 +29,8 @@ fn main() {
     }
     for bin in bins {
         println!("\n################ {bin} ################\n");
-        let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
-            .status();
+        let status =
+            Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin)).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),

@@ -13,6 +13,7 @@ use heterog_sched::{
 };
 
 fn main() {
+    heterog_bench::bench_init();
     println!("=== Appendix: worst-case instance T_LS / T* as k grows ===");
     println!(
         "{:>4}{:>6}{:>12}{:>12}{:>12}{:>10}{:>16}",
@@ -32,9 +33,7 @@ fn main() {
             );
             // Theorem 1 sanity: T_LS <= sum p_i <= (#procs) * lower bound.
             assert!(strict.makespan <= tg.total_work() + 1e-6);
-            assert!(
-                strict.makespan <= tg.num_procs() as f64 * makespan_lower_bound(&tg) + 1e-6
-            );
+            assert!(strict.makespan <= tg.num_procs() as f64 * makespan_lower_bound(&tg) + 1e-6);
             results.insert(format!("h{h}_k{k}"), ratio);
         }
     }

@@ -12,10 +12,14 @@ use heterog_cluster::paper_testbed_4gpu;
 use heterog_graph::{BenchmarkModel, ModelSpec};
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_4gpu();
     let mut rows = Vec::new();
     println!("=== Fig. 3(a): per-iteration time (s), 4 GPUs (2x V100 + 2x 1080Ti) ===");
-    println!("{:<28}{:>10}{:>14}{:>12}", "Model", "Even", "Proportional", "Speed-up");
+    println!(
+        "{:<28}{:>10}{:>14}{:>12}",
+        "Model", "Even", "Proportional", "Speed-up"
+    );
     let models: Vec<ModelSpec> = BenchmarkModel::cnns()
         .into_iter()
         .map(|m| ModelSpec::new(m, 96))
@@ -37,7 +41,10 @@ fn main() {
         let mut times = BTreeMap::new();
         times.insert("even".to_string(), cell(&even));
         times.insert("proportional".to_string(), cell(&prop));
-        rows.push(Row { model: spec.label(), times });
+        rows.push(Row {
+            model: spec.label(),
+            times,
+        });
     }
     write_results("fig3a_even_vs_proportional", &rows);
 }

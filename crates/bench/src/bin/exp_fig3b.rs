@@ -13,6 +13,7 @@ use heterog_graph::{Node, OpKind, Phase, TensorMeta};
 use heterog_profile::{CostEstimator, GroundTruthCost};
 
 fn main() {
+    heterog_bench::bench_init();
     // Representative op instances (roughly VGG/Transformer shapes, as in
     // the paper's measurement).
     let ops: Vec<(OpKind, f64, &str)> = vec![
@@ -26,7 +27,10 @@ fn main() {
     ];
 
     println!("=== Fig. 3(b): normalized op time (1080Ti / V100), batch 32 ===");
-    println!("{:<18}{:>10}{:>12}{:>12}", "Operation", "V100", "1080Ti", "Ratio");
+    println!(
+        "{:<18}{:>10}{:>12}{:>12}",
+        "Operation", "V100", "1080Ti", "Ratio"
+    );
     let mut results = BTreeMap::new();
     for (kind, flops_per_sample, label) in ops {
         let node = Node::new(label, kind, Phase::Forward)
@@ -34,7 +38,13 @@ fn main() {
             .with_output(TensorMeta::activation(1024));
         let v = GroundTruthCost.op_time(&node, GpuModel::TeslaV100, 32);
         let g = GroundTruthCost.op_time(&node, GpuModel::Gtx1080Ti, 32);
-        println!("{:<18}{:>9.2}ms{:>11.2}ms{:>11.2}x", label, v * 1e3, g * 1e3, g / v);
+        println!(
+            "{:<18}{:>9.2}ms{:>11.2}ms{:>11.2}x",
+            label,
+            v * 1e3,
+            g * 1e3,
+            g / v
+        );
         results.insert(label.to_string(), g / v);
     }
 

@@ -29,6 +29,7 @@ fn describe(label: &str, e: &Evaluation) -> (String, BTreeMap<String, f64>) {
 }
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_8gpu();
     let planner = heterog_planner();
     let mut results: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
@@ -36,7 +37,10 @@ fn main() {
     println!("=== Fig. 8: computation/communication breakdown (8 GPUs) ===");
     for (spec, baseline) in [
         (ModelSpec::new(BenchmarkModel::Vgg19, 192), "CP-AR"),
-        (ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24), "CP-PS"),
+        (
+            ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24),
+            "CP-PS",
+        ),
     ] {
         let g = spec.build();
         let fitted = fitted_costs(&g, &cluster);

@@ -13,6 +13,7 @@ use heterog_graph::{BenchmarkModel, ModelSpec};
 use heterog_sched::OrderPolicy;
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_12gpu();
     let planner = heterog_planner();
     let systems = ["HetPipe", "FlexFlow", "Horovod", "Post"];
@@ -46,8 +47,10 @@ fn main() {
             speed.insert(sys.to_string(), s);
         }
         let horovod = speed["Horovod"].max(1e-9);
-        let norm: BTreeMap<String, f64> =
-            speed.iter().map(|(k, v)| (k.clone(), v / horovod)).collect();
+        let norm: BTreeMap<String, f64> = speed
+            .iter()
+            .map(|(k, v)| (k.clone(), v / horovod))
+            .collect();
         println!(
             "{:<30}{:>10.2}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
             spec.label(),

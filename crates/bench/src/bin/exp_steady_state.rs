@@ -18,11 +18,15 @@ use heterog_sched::OrderPolicy;
 use heterog_strategies::steady_state_iteration_time;
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_8gpu();
     let planner = heterog_planner();
 
     println!("=== Steady-state vs single-iteration time (HeteroG plans, 8 GPUs) ===");
-    println!("{:<34}{:>12}{:>14}{:>10}", "Model (batch size)", "single", "steady-state", "overlap");
+    println!(
+        "{:<34}{:>12}{:>14}{:>10}",
+        "Model (batch size)", "single", "steady-state", "overlap"
+    );
     let mut results: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     for spec in [
         ModelSpec::new(BenchmarkModel::Vgg19, 192),

@@ -14,6 +14,7 @@ use heterog_graph::ModelSpec;
 use heterog_sched::OrderPolicy;
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_8gpu();
     let baselines = ["EV-PS", "EV-AR", "CP-PS", "CP-AR"];
     let planner = heterog_planner();
@@ -25,43 +26,44 @@ fn main() {
         (0..8).map(|i| format!("   G{i}")).collect::<String>()
     )];
 
-    let run_set = |specs: Vec<ModelSpec>,
-                   rows: &mut Vec<Row>,
-                   histo_lines: &mut Vec<String>,
-                   tag: &str| {
-        for spec in specs {
-            let g = spec.build();
-            let fitted = fitted_costs(&g, &cluster);
-            let mut times = BTreeMap::new();
+    let run_set =
+        |specs: Vec<ModelSpec>, rows: &mut Vec<Row>, histo_lines: &mut Vec<String>, tag: &str| {
+            for spec in specs {
+                let g = spec.build();
+                let fitted = fitted_costs(&g, &cluster);
+                let mut times = BTreeMap::new();
 
-            // HeteroG (fast planner) with per-group action histogram.
-            let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
-            let eval = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
-            times.insert("HeteroG".to_string(), cell(&eval));
+                // HeteroG (fast planner) with per-group action histogram.
+                let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
+                let eval = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
+                times.insert("HeteroG".to_string(), cell(&eval));
 
-            // Strategy histogram over OPS (Table 2/3 reports op fractions).
-            let (mp, dp) = strategy.histogram(&cluster);
-            let total = g.len() as f64;
-            let pct = |x: usize| format!("{:>5.1}%", 100.0 * x as f64 / total);
-            histo_lines.push(format!(
-                "{:<34}{}{}{}{}{}{}",
-                spec.label(),
-                mp.iter().map(|&x| pct(x)).collect::<String>(),
-                pct(dp[0]),
-                pct(dp[1]),
-                pct(dp[2]),
-                pct(dp[3]),
-                pct(dp[4]),
-            ));
+                // Strategy histogram over OPS (Table 2/3 reports op fractions).
+                let (mp, dp) = strategy.histogram(&cluster);
+                let total = g.len() as f64;
+                let pct = |x: usize| format!("{:>5.1}%", 100.0 * x as f64 / total);
+                histo_lines.push(format!(
+                    "{:<34}{}{}{}{}{}{}",
+                    spec.label(),
+                    mp.iter().map(|&x| pct(x)).collect::<String>(),
+                    pct(dp[0]),
+                    pct(dp[1]),
+                    pct(dp[2]),
+                    pct(dp[3]),
+                    pct(dp[4]),
+                ));
 
-            for b in baselines {
-                let e = measure_baseline(b, &g, &cluster, &fitted);
-                times.insert(b.to_string(), cell(&e));
+                for b in baselines {
+                    let e = measure_baseline(b, &g, &cluster, &fitted);
+                    times.insert(b.to_string(), cell(&e));
+                }
+                eprintln!("[{tag}] {} done", spec.label());
+                rows.push(Row {
+                    model: spec.label(),
+                    times,
+                });
             }
-            eprintln!("[{tag}] {} done", spec.label());
-            rows.push(Row { model: spec.label(), times });
-        }
-    };
+        };
 
     run_set(table1_models_8gpu(), &mut rows, &mut histo_lines, "std");
     let split = histo_lines.len();
@@ -70,7 +72,11 @@ fn main() {
     println!("=== Table 1: per-iteration time (s), 8 GPUs ===");
     println!(
         "{}",
-        format_speedup_table(&rows, "HeteroG", &["HeteroG", "EV-PS", "EV-AR", "CP-PS", "CP-AR"])
+        format_speedup_table(
+            &rows,
+            "HeteroG",
+            &["HeteroG", "EV-PS", "EV-AR", "CP-PS", "CP-AR"]
+        )
     );
     println!("=== Table 2: % of ops per strategy (HeteroG, standard models) ===");
     for l in &histo_lines[..split] {

@@ -9,12 +9,16 @@ use heterog_cluster::paper_testbed_12gpu;
 use heterog_sched::OrderPolicy;
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_12gpu();
     let baselines = ["EV-PS", "EV-AR", "CP-PS", "CP-AR"];
     let planner = heterog_planner();
 
     let mut rows = Vec::new();
-    for spec in table4_models_12gpu().into_iter().chain(large_models_12gpu()) {
+    for spec in table4_models_12gpu()
+        .into_iter()
+        .chain(large_models_12gpu())
+    {
         let g = spec.build();
         let fitted = fitted_costs(&g, &cluster);
         let mut times = BTreeMap::new();
@@ -28,13 +32,20 @@ fn main() {
             times.insert(b.to_string(), cell(&e));
         }
         eprintln!("{} done", spec.label());
-        rows.push(Row { model: spec.label(), times });
+        rows.push(Row {
+            model: spec.label(),
+            times,
+        });
     }
 
     println!("=== Table 4: per-iteration time (s), 12 GPUs ===");
     println!(
         "{}",
-        format_speedup_table(&rows, "HeteroG", &["HeteroG", "EV-PS", "EV-AR", "CP-PS", "CP-AR"])
+        format_speedup_table(
+            &rows,
+            "HeteroG",
+            &["HeteroG", "EV-PS", "EV-AR", "CP-PS", "CP-AR"]
+        )
     );
     write_results("table4_12gpu", &rows);
 }

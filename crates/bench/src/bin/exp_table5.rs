@@ -16,12 +16,14 @@ use heterog_graph::{BenchmarkModel, ModelSpec};
 use heterog_sched::OrderPolicy;
 
 fn main() {
+    bench_init();
     let planner = heterog_planner();
     let mut all = Vec::new();
 
-    for (cluster, batch, tag) in
-        [(paper_testbed_8gpu(), 192u64, "8GPUs"), (paper_testbed_12gpu(), 288, "12GPUs")]
-    {
+    for (cluster, batch, tag) in [
+        (paper_testbed_8gpu(), 192u64, "8GPUs"),
+        (paper_testbed_12gpu(), 288, "12GPUs"),
+    ] {
         let mut rows = Vec::new();
         for model in BenchmarkModel::cnns() {
             let iters = model.iterations_to_converge().expect("CNNs have targets") as f64;
@@ -38,10 +40,16 @@ fn main() {
                 times.insert(b.to_string(), cell(&e).map(|t| t * iters / 60.0));
             }
             eprintln!("[{tag}] {} done", spec.label());
-            rows.push(Row { model: format!("{model}"), times });
+            rows.push(Row {
+                model: format!("{model}"),
+                times,
+            });
         }
         println!("=== Table 5 ({tag}, batch={batch}): end-to-end training time (minutes) ===");
-        println!("{}", format_speedup_table(&rows, "HeteroG", &["HeteroG", "CP-PS", "CP-AR"]));
+        println!(
+            "{}",
+            format_speedup_table(&rows, "HeteroG", &["HeteroG", "CP-PS", "CP-AR"])
+        );
         all.push((tag, rows));
     }
 

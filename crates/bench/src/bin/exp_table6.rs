@@ -21,7 +21,10 @@ use heterog_graph::{BenchmarkModel, ModelSpec};
 use heterog_profile::GroundTruthCost;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn cfg(episodes: usize, seed: u64) -> TrainerConfig {
@@ -42,6 +45,7 @@ fn cfg(episodes: usize, seed: u64) -> TrainerConfig {
 }
 
 fn main() {
+    heterog_bench::bench_init();
     let cluster = paper_testbed_8gpu();
     let scratch_eps = env_usize("EXP_EPISODES", 60);
     let pretrain_eps = env_usize("EXP_PRETRAIN_EPISODES", 48);

@@ -11,6 +11,7 @@ use heterog_cluster::paper_testbed_8gpu;
 use heterog_sched::OrderPolicy;
 
 fn main() {
+    bench_init();
     let cluster = paper_testbed_8gpu();
     let planner = heterog_planner();
 
@@ -26,8 +27,7 @@ fn main() {
         let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &fitted);
         let ranked = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::RankBased);
         let fifo = measure_strategy(&g, &cluster, &strategy, &OrderPolicy::Fifo);
-        let speedup =
-            (fifo.iteration_time - ranked.iteration_time) / ranked.iteration_time * 100.0;
+        let speedup = (fifo.iteration_time - ranked.iteration_time) / ranked.iteration_time * 100.0;
         println!(
             "{:<34}{:>12.3}{:>12.3}{:>9.1}%",
             spec.label(),
@@ -38,7 +38,10 @@ fn main() {
         let mut times = BTreeMap::new();
         times.insert("HeteroG-order".to_string(), Some(ranked.iteration_time));
         times.insert("FIFO-order".to_string(), Some(fifo.iteration_time));
-        rows.push(Row { model: spec.label(), times });
+        rows.push(Row {
+            model: spec.label(),
+            times,
+        });
     }
     write_results("table7_order_scheduling", &rows);
 }

@@ -18,6 +18,14 @@ pub use heterog_strategies::evaluate;
 /// Re-export for bins.
 pub use heterog_compile::Strategy;
 
+/// Experiment-entrypoint initialization: turns telemetry on when
+/// `HETEROG_TELEMETRY` is set (so any `exp_*` bin can capture counters
+/// without a code change) and leaves the zero-overhead no-op recorder in
+/// place otherwise. Call first in every experiment `main`.
+pub fn bench_init() {
+    heterog_telemetry::enable_from_env();
+}
+
 /// The eight standard model configurations of Table 1 (8 GPUs).
 pub fn table1_models_8gpu() -> Vec<ModelSpec> {
     vec![
@@ -72,7 +80,11 @@ pub fn large_models_12gpu() -> Vec<ModelSpec> {
 
 /// The default HeteroG planner used across the table experiments.
 pub fn heterog_planner() -> HeteroGPlanner {
-    HeteroGPlanner { groups: 48, passes: 2, allow_mp: true }
+    HeteroGPlanner {
+        groups: 48,
+        passes: 2,
+        allow_mp: true,
+    }
 }
 
 /// Profiles `graph` on `cluster` and returns the fitted cost model the
@@ -167,6 +179,18 @@ pub fn write_results<T: Serialize>(name: &str, value: &T) {
         }
         Err(e) => eprintln!("warning: serialize {name}: {e}"),
     }
+    // When telemetry is recording, drop the counter/span snapshot next
+    // to the result so BENCH_*.json entries carry counters, not just
+    // times.
+    if heterog_telemetry::enabled() {
+        let snap = heterog_telemetry::snapshot();
+        let tpath = dir.join(format!("{name}.telemetry.json"));
+        if let Err(e) = std::fs::write(&tpath, heterog_telemetry::export::json_snapshot(&snap)) {
+            eprintln!("warning: could not write {}: {e}", tpath.display());
+        } else {
+            eprintln!("(telemetry snapshot written to {})", tpath.display());
+        }
+    }
 }
 
 /// Ground-truth evaluation of a fixed strategy (for baselines that don't
@@ -188,7 +212,13 @@ pub fn measure_baseline(
     fitted: &CostModel,
 ) -> Evaluation {
     let planner = heterog::runner::baseline_planner(name);
-    plan_and_measure(planner.as_ref(), graph, cluster, fitted, &OrderPolicy::RankBased)
+    plan_and_measure(
+        planner.as_ref(),
+        graph,
+        cluster,
+        fitted,
+        &OrderPolicy::RankBased,
+    )
 }
 
 /// `Some(time)` when feasible, `None` on OOM — table-cell convention.

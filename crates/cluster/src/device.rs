@@ -103,7 +103,11 @@ pub struct Device {
 impl Device {
     /// A device of the given model on the given server.
     pub fn new(model: GpuModel, server: u32) -> Self {
-        Device { model, server, memory_bytes: model.memory_bytes() }
+        Device {
+            model,
+            server,
+            memory_bytes: model.memory_bytes(),
+        }
     }
 }
 

@@ -19,6 +19,6 @@ pub mod topology;
 
 pub use device::{Device, DeviceId, GpuModel};
 pub use link::{Link, LinkId, LinkKind};
-pub use testbed::{paper_testbed_12gpu, paper_testbed_4gpu, paper_testbed_8gpu};
 pub use spec::{ClusterSpec, ServerSpec, SpecError};
+pub use testbed::{paper_testbed_12gpu, paper_testbed_4gpu, paper_testbed_8gpu};
 pub use topology::{Cluster, ClusterError};

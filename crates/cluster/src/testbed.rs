@@ -16,8 +16,16 @@ use crate::topology::{Cluster, Server};
 /// The 4-GPU subset used by Fig. 3(a): two Tesla V100 + two GTX 1080 Ti.
 pub fn paper_testbed_4gpu() -> Cluster {
     let servers = vec![
-        Server { name: "v100-box".into(), nic_bps: bandwidth::NIC_100GBE, nvlink: true },
-        Server { name: "gtx-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+        Server {
+            name: "v100-box".into(),
+            nic_bps: bandwidth::NIC_100GBE,
+            nvlink: true,
+        },
+        Server {
+            name: "gtx-box-1".into(),
+            nic_bps: bandwidth::NIC_50GBE,
+            nvlink: false,
+        },
     ];
     let devices = vec![
         Device::new(GpuModel::TeslaV100, 0),
@@ -32,20 +40,36 @@ pub fn paper_testbed_4gpu() -> Cluster {
 /// with device ordering G0..G7 matching Table 2's caption.
 pub fn paper_testbed_8gpu() -> Cluster {
     let servers = vec![
-        Server { name: "v100-box".into(), nic_bps: bandwidth::NIC_100GBE, nvlink: true },
-        Server { name: "gtx-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
-        Server { name: "gtx-box-2".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
-        Server { name: "p100-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+        Server {
+            name: "v100-box".into(),
+            nic_bps: bandwidth::NIC_100GBE,
+            nvlink: true,
+        },
+        Server {
+            name: "gtx-box-1".into(),
+            nic_bps: bandwidth::NIC_50GBE,
+            nvlink: false,
+        },
+        Server {
+            name: "gtx-box-2".into(),
+            nic_bps: bandwidth::NIC_50GBE,
+            nvlink: false,
+        },
+        Server {
+            name: "p100-box-1".into(),
+            nic_bps: bandwidth::NIC_50GBE,
+            nvlink: false,
+        },
     ];
     let devices = vec![
-        Device::new(GpuModel::TeslaV100, 0),  // G0
-        Device::new(GpuModel::TeslaV100, 0),  // G1
-        Device::new(GpuModel::Gtx1080Ti, 1),  // G2
-        Device::new(GpuModel::Gtx1080Ti, 1),  // G3
-        Device::new(GpuModel::Gtx1080Ti, 2),  // G4
-        Device::new(GpuModel::Gtx1080Ti, 2),  // G5
-        Device::new(GpuModel::TeslaP100, 3),  // G6
-        Device::new(GpuModel::TeslaP100, 3),  // G7
+        Device::new(GpuModel::TeslaV100, 0), // G0
+        Device::new(GpuModel::TeslaV100, 0), // G1
+        Device::new(GpuModel::Gtx1080Ti, 1), // G2
+        Device::new(GpuModel::Gtx1080Ti, 1), // G3
+        Device::new(GpuModel::Gtx1080Ti, 2), // G4
+        Device::new(GpuModel::Gtx1080Ti, 2), // G5
+        Device::new(GpuModel::TeslaP100, 3), // G6
+        Device::new(GpuModel::TeslaP100, 3), // G7
     ];
     Cluster::new(servers, devices)
 }
@@ -54,11 +78,31 @@ pub fn paper_testbed_8gpu() -> Cluster {
 /// five machines.
 pub fn paper_testbed_12gpu() -> Cluster {
     let servers = vec![
-        Server { name: "v100-box".into(), nic_bps: bandwidth::NIC_100GBE, nvlink: true },
-        Server { name: "gtx-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
-        Server { name: "gtx-box-2".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
-        Server { name: "p100-box-1".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
-        Server { name: "p100-box-2".into(), nic_bps: bandwidth::NIC_50GBE, nvlink: false },
+        Server {
+            name: "v100-box".into(),
+            nic_bps: bandwidth::NIC_100GBE,
+            nvlink: true,
+        },
+        Server {
+            name: "gtx-box-1".into(),
+            nic_bps: bandwidth::NIC_50GBE,
+            nvlink: false,
+        },
+        Server {
+            name: "gtx-box-2".into(),
+            nic_bps: bandwidth::NIC_50GBE,
+            nvlink: false,
+        },
+        Server {
+            name: "p100-box-1".into(),
+            nic_bps: bandwidth::NIC_50GBE,
+            nvlink: false,
+        },
+        Server {
+            name: "p100-box-2".into(),
+            nic_bps: bandwidth::NIC_50GBE,
+            nvlink: false,
+        },
     ];
     let devices = vec![
         Device::new(GpuModel::TeslaV100, 0),
@@ -101,7 +145,11 @@ mod tests {
         let c = paper_testbed_12gpu();
         assert_eq!(c.num_devices(), 12);
         assert_eq!(c.servers().len(), 5);
-        let v100 = c.devices().iter().filter(|d| d.model == GpuModel::TeslaV100).count();
+        let v100 = c
+            .devices()
+            .iter()
+            .filter(|d| d.model == GpuModel::TeslaV100)
+            .count();
         assert_eq!(v100, 4);
     }
 

@@ -51,7 +51,13 @@ impl Cluster {
         let mut links: Vec<Link> = Vec::new();
         let mut add = |kind, bw, lat, label: String| {
             let id = LinkId(links.len() as u32);
-            links.push(Link { id, kind, bandwidth_bps: bw, latency_s: lat, label });
+            links.push(Link {
+                id,
+                kind,
+                bandwidth_bps: bw,
+                latency_s: lat,
+                label,
+            });
             id
         };
 
@@ -76,8 +82,18 @@ impl Cluster {
         let mut nic_out = Vec::with_capacity(servers.len());
         let mut nic_in = Vec::with_capacity(servers.len());
         for (si, s) in servers.iter().enumerate() {
-            nic_out.push(add(LinkKind::NicOut, s.nic_bps, latency::INTER, format!("srv{si}.out")));
-            nic_in.push(add(LinkKind::NicIn, s.nic_bps, latency::INTER, format!("srv{si}.in")));
+            nic_out.push(add(
+                LinkKind::NicOut,
+                s.nic_bps,
+                latency::INTER,
+                format!("srv{si}.out"),
+            ));
+            nic_in.push(add(
+                LinkKind::NicIn,
+                s.nic_bps,
+                latency::INTER,
+                format!("srv{si}.in"),
+            ));
         }
 
         // Transfer paths.
@@ -95,7 +111,12 @@ impl Cluster {
             }
         }
 
-        Cluster { servers, devices, links, paths }
+        Cluster {
+            servers,
+            devices,
+            links,
+            paths,
+        }
     }
 
     /// Number of GPUs (the paper's `M`).
@@ -210,10 +231,15 @@ pub fn uniform_cluster(model: GpuModel, n: usize, per_server: usize, nic_bps: f6
     assert!(per_server > 0);
     let num_servers = n.div_ceil(per_server);
     let servers: Vec<Server> = (0..num_servers)
-        .map(|i| Server { name: format!("srv{i}"), nic_bps, nvlink: false })
+        .map(|i| Server {
+            name: format!("srv{i}"),
+            nic_bps,
+            nvlink: false,
+        })
         .collect();
-    let devices: Vec<Device> =
-        (0..n).map(|i| Device::new(model, (i / per_server) as u32)).collect();
+    let devices: Vec<Device> = (0..n)
+        .map(|i| Device::new(model, (i / per_server) as u32))
+        .collect();
     Cluster::new(servers, devices)
 }
 
@@ -223,8 +249,16 @@ mod tests {
 
     fn two_server_cluster() -> Cluster {
         let servers = vec![
-            Server { name: "a".into(), nic_bps: 10e9, nvlink: true },
-            Server { name: "b".into(), nic_bps: 5e9, nvlink: false },
+            Server {
+                name: "a".into(),
+                nic_bps: 10e9,
+                nvlink: true,
+            },
+            Server {
+                name: "b".into(),
+                nic_bps: 5e9,
+                nvlink: false,
+            },
         ];
         let devices = vec![
             Device::new(GpuModel::TeslaV100, 0),
@@ -278,7 +312,10 @@ mod tests {
     fn nominal_time_governed_by_slower_nic() {
         let c = two_server_cluster();
         let t = c.nominal_transfer_time(DeviceId(0), DeviceId(2), 5_000_000_000);
-        assert!((t - 1.0).abs() < 0.01, "5GB over the 5GB/s NIC ≈ 1s, got {t}");
+        assert!(
+            (t - 1.0).abs() < 0.01,
+            "5GB over the 5GB/s NIC ≈ 1s, got {t}"
+        );
     }
 
     #[test]

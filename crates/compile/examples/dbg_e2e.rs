@@ -7,7 +7,12 @@ use heterog_sched::{list_schedule, OrderPolicy};
 
 fn main() {
     let c = paper_testbed_8gpu();
-    for m in [BenchmarkModel::Vgg19, BenchmarkModel::ResNet200, BenchmarkModel::Transformer, BenchmarkModel::BertLarge] {
+    for m in [
+        BenchmarkModel::Vgg19,
+        BenchmarkModel::ResNet200,
+        BenchmarkModel::Transformer,
+        BenchmarkModel::BertLarge,
+    ] {
         let spec = ModelSpec::new(m, m.default_batch_8gpu());
         let g = spec.build();
         print!("{:28}", spec.label());
@@ -15,7 +20,10 @@ fn main() {
             ("EV-PS", Strategy::even(g.len(), &c, CommMethod::Ps)),
             ("EV-AR", Strategy::even(g.len(), &c, CommMethod::AllReduce)),
             ("CP-PS", Strategy::proportional(g.len(), &c, CommMethod::Ps)),
-            ("CP-AR", Strategy::proportional(g.len(), &c, CommMethod::AllReduce)),
+            (
+                "CP-AR",
+                Strategy::proportional(g.len(), &c, CommMethod::AllReduce),
+            ),
         ] {
             let tg = compile(&g, &c, &GroundTruthCost, &s);
             let sched = list_schedule(&tg, &OrderPolicy::RankBased);

@@ -8,6 +8,19 @@ use heterog_sched::{Proc, Task, TaskGraph, TaskId};
 
 use crate::xfer::emit_transfer;
 
+static COLLECTIVES_PS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_collectives_ps_total",
+    "Parameter-server aggregation rounds emitted",
+);
+static COLLECTIVES_RING: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_collectives_ring_total",
+    "Ring AllReduce collectives emitted",
+);
+static COLLECTIVES_HIER: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_collectives_hier_total",
+    "Hierarchical AllReduce collectives emitted",
+);
+
 /// Fraction of raw link bandwidth an NCCL collective sustains across a
 /// heterogeneous PCIe/RDMA topology. 2019-era NCCL ring pipelines over
 /// mixed NVLink/PCIe/RoCE realize roughly half the slowest hop's line
@@ -75,7 +88,10 @@ pub struct PsLoadTracker {
 impl PsLoadTracker {
     /// Tracker for a cluster with `num_servers` servers.
     pub fn new(num_servers: usize) -> Self {
-        PsLoadTracker { ingress: vec![0.0; num_servers], egress: vec![0.0; num_servers] }
+        PsLoadTracker {
+            ingress: vec![0.0; num_servers],
+            egress: vec![0.0; num_servers],
+        }
     }
 
     fn load(&self, server: usize) -> f64 {
@@ -213,8 +229,12 @@ pub fn emit_ps<C: CostEstimator>(
     tracker: &mut PsLoadTracker,
 ) -> Vec<TaskId> {
     assert_eq!(devices.len(), ready.len());
+    COLLECTIVES_PS.inc();
     let ps = choose_ps_balanced(cluster, cost, devices, bytes, tracker);
-    let ps_pos = devices.iter().position(|&d| d == ps).expect("ps in devices");
+    let ps_pos = devices
+        .iter()
+        .position(|&d| d == ps)
+        .expect("ps in devices");
 
     // Reduction on the PS (local replica pre-reduction happens inside
     // the transport, as NCCL/TF do — collectives depend directly on the
@@ -309,7 +329,16 @@ pub fn emit_allreduce<C: CostEstimator>(
 
     let ring_t = ring_estimate(cluster, cost, devices, bytes);
     let hier_t = hierarchical_estimate(cluster, cost, devices, bytes);
-    let (dur, tag) = if hier_t < ring_t { (hier_t, "hier") } else { (ring_t, "ring") };
+    let (dur, tag) = if hier_t < ring_t {
+        (hier_t, "hier")
+    } else {
+        (ring_t, "ring")
+    };
+    if tag == "hier" {
+        COLLECTIVES_HIER.inc();
+    } else {
+        COLLECTIVES_RING.inc();
+    }
 
     // Occupy every channel the ring's hops traverse for the collective's
     // duration (deduplicated — cross-server hops from one box share NICs).
@@ -327,7 +356,10 @@ pub fn emit_allreduce<C: CostEstimator>(
         .into_iter()
         .map(|lid| {
             tg.add_task(Task::new(
-                format!("{name}/{tag}@{}", cluster.link(heterog_cluster::LinkId(lid)).label),
+                format!(
+                    "{name}/{tag}@{}",
+                    cluster.link(heterog_cluster::LinkId(lid)).label
+                ),
                 OpKind::NcclAllReduce,
                 Proc::Link(lid),
                 dur,
@@ -418,11 +450,20 @@ mod tests {
         use heterog_cluster::topology::Server;
         use heterog_cluster::{Cluster, Device, GpuModel};
         let servers = vec![
-            Server { name: "a".into(), nic_bps: 1.0e9, nvlink: true },
-            Server { name: "b".into(), nic_bps: 1.0e9, nvlink: true },
+            Server {
+                name: "a".into(),
+                nic_bps: 1.0e9,
+                nvlink: true,
+            },
+            Server {
+                name: "b".into(),
+                nic_bps: 1.0e9,
+                nvlink: true,
+            },
         ];
-        let devices: Vec<Device> =
-            (0..8).map(|i| Device::new(GpuModel::TeslaV100, (i / 4) as u32)).collect();
+        let devices: Vec<Device> = (0..8)
+            .map(|i| Device::new(GpuModel::TeslaV100, (i / 4) as u32))
+            .collect();
         let c = Cluster::new(servers, devices);
         let d: Vec<DeviceId> = (0..8).map(DeviceId).collect();
         let ring = ring_estimate(&c, &GroundTruthCost, &d, 128 << 20);
@@ -447,7 +488,14 @@ mod tests {
         let devices = vec![DeviceId(0), DeviceId(2), DeviceId(6)];
         let ready: Vec<Vec<TaskId>> = devices
             .iter()
-            .map(|d| vec![tg.add_task(Task::new("g", OpKind::Conv2DBackpropFilter, Proc::Gpu(d.0), 0.01))])
+            .map(|d| {
+                vec![tg.add_task(Task::new(
+                    "g",
+                    OpKind::Conv2DBackpropFilter,
+                    Proc::Gpu(d.0),
+                    0.01,
+                ))]
+            })
             .collect();
         let mut tr = PsLoadTracker::new(c.servers().len());
         let out = emit_ps(&mut tg, &c, &cost, "w0", &devices, &ready, 4 << 20, &mut tr);
@@ -455,8 +503,18 @@ mod tests {
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         assert!(s.makespan > 0.01);
         // Completion reflects push + reduce + pull across the NICs.
-        let est = ps_estimate(&c, &cost, &devices, choose_ps(&c, &cost, &devices, 4 << 20), 4 << 20);
-        assert!(s.makespan <= 0.011 + 2.0 * est, "{} vs est {est}", s.makespan);
+        let est = ps_estimate(
+            &c,
+            &cost,
+            &devices,
+            choose_ps(&c, &cost, &devices, 4 << 20),
+            4 << 20,
+        );
+        assert!(
+            s.makespan <= 0.011 + 2.0 * est,
+            "{} vs est {est}",
+            s.makespan
+        );
     }
 
     #[test]
@@ -467,7 +525,14 @@ mod tests {
         let devices = all8();
         let ready: Vec<Vec<TaskId>> = devices
             .iter()
-            .map(|d| vec![tg.add_task(Task::new("g", OpKind::Conv2DBackpropFilter, Proc::Gpu(d.0), 0.0))])
+            .map(|d| {
+                vec![tg.add_task(Task::new(
+                    "g",
+                    OpKind::Conv2DBackpropFilter,
+                    Proc::Gpu(d.0),
+                    0.0,
+                ))]
+            })
             .collect();
         let bytes: u64 = 105 << 20; // ~0.01s per 100GbE NIC pass
         let mut tr = PsLoadTracker::new(c.servers().len());
@@ -487,13 +552,24 @@ mod tests {
         let devices = all8();
         let ready: Vec<Vec<TaskId>> = devices
             .iter()
-            .map(|d| vec![tg.add_task(Task::new("g", OpKind::Conv2DBackpropFilter, Proc::Gpu(d.0), 0.01))])
+            .map(|d| {
+                vec![tg.add_task(Task::new(
+                    "g",
+                    OpKind::Conv2DBackpropFilter,
+                    Proc::Gpu(d.0),
+                    0.01,
+                ))]
+            })
             .collect();
         let out = emit_allreduce(&mut tg, &c, &cost, "w0", &devices, &ready, 4 << 20);
         assert_eq!(out.len(), 8);
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
-        let est = ring_estimate(&c, &cost, &devices, 4 << 20)
-            .min(hierarchical_estimate(&c, &cost, &devices, 4 << 20));
+        let est = ring_estimate(&c, &cost, &devices, 4 << 20).min(hierarchical_estimate(
+            &c,
+            &cost,
+            &devices,
+            4 << 20,
+        ));
         assert!(s.makespan >= 0.01 + est - 1e-9);
     }
 
@@ -506,7 +582,8 @@ mod tests {
         let d = all8();
         let bytes: u64 = 256 << 20;
         let ps = ps_estimate(&c, &cost, &d, choose_ps(&c, &cost, &d, bytes), bytes);
-        let ar = ring_estimate(&c, &cost, &d, bytes).min(hierarchical_estimate(&c, &cost, &d, bytes));
+        let ar =
+            ring_estimate(&c, &cost, &d, bytes).min(hierarchical_estimate(&c, &cost, &d, bytes));
         assert!(ar < ps, "ar {ar} vs ps {ps}");
     }
 
@@ -514,8 +591,21 @@ mod tests {
     fn single_device_allreduce_is_noop() {
         let c = paper_testbed_8gpu();
         let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
-        let ready = vec![vec![tg.add_task(Task::new("g", OpKind::NoOp, Proc::Gpu(0), 0.01))]];
-        let out = emit_allreduce(&mut tg, &c, &GroundTruthCost, "w", &[DeviceId(0)], &ready, 1 << 20);
+        let ready = vec![vec![tg.add_task(Task::new(
+            "g",
+            OpKind::NoOp,
+            Proc::Gpu(0),
+            0.01,
+        ))]];
+        let out = emit_allreduce(
+            &mut tg,
+            &c,
+            &GroundTruthCost,
+            "w",
+            &[DeviceId(0)],
+            &ready,
+            1 << 20,
+        );
         assert_eq!(out, ready[0]);
         assert_eq!(tg.len(), 1);
     }

@@ -30,6 +30,8 @@ pub mod placement;
 pub mod strategy;
 pub mod xfer;
 
-pub use lower::{compile, compile_iterations, compile_pipelined, compile_with_options, CompileOptions};
+pub use lower::{
+    compile, compile_iterations, compile_pipelined, compile_with_options, CompileOptions,
+};
 pub use placement::{resolve_placements, OpPlacement};
 pub use strategy::{CommMethod, OpStrategy, Strategy};

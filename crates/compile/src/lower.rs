@@ -10,6 +10,23 @@ use crate::collective::{emit_allreduce, emit_ps, PsLoadTracker};
 use crate::placement::{resolve_placements, OpPlacement};
 use crate::strategy::{CommMethod, Strategy};
 
+static COMPILATIONS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_compilations_total",
+    "Graph-to-task-graph lowerings performed",
+);
+static REPLICA_TASKS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_replica_tasks_total",
+    "Per-replica compute tasks created by lowering",
+);
+static SPLIT_TASKS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_split_tasks_total",
+    "Split structural tasks inserted for data-parallel fan-out",
+);
+static CONCAT_TASKS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_concat_tasks_total",
+    "Concat structural tasks inserted for data-parallel fan-in",
+);
+
 /// Training-state multiplier for pinned parameter memory: the weights
 /// themselves plus Adam's two moment tensors (the paper's testbed trains
 /// with stateful optimizers; TF1 allocates all three persistently).
@@ -57,6 +74,8 @@ pub fn compile_with_options<C: CostEstimator>(
     strategy: &Strategy,
     opts: CompileOptions,
 ) -> TaskGraph {
+    let _span = heterog_telemetry::span("compile");
+    COMPILATIONS.inc();
     let placements = resolve_placements(g, cluster, strategy);
     let mut lw = Lowerer {
         g,
@@ -106,6 +125,8 @@ pub fn compile_pipelined<C: CostEstimator>(
     if micros == 1 {
         return compile_with_options(g, cluster, cost, strategy, opts);
     }
+    let _span = heterog_telemetry::span("compile_pipelined");
+    COMPILATIONS.inc();
     let placements = resolve_placements(g, cluster, strategy);
     let micro_batches = crate::placement::split_batch(g.batch_size, micros as u64);
 
@@ -248,9 +269,7 @@ pub fn compile_iterations<C: CostEstimator>(
         if let Some(prev) = &prev_tasks {
             for (fid, apply) in apply_of.iter().enumerate() {
                 let Some(apply) = apply else { continue };
-                for (&prev_apply, &cur_f) in
-                    prev[apply.index()].iter().zip(&op_tasks[fid])
-                {
+                for (&prev_apply, &cur_f) in prev[apply.index()].iter().zip(&op_tasks[fid]) {
                     tg.add_dep(prev_apply, cur_f);
                 }
             }
@@ -323,9 +342,9 @@ fn emit_cross_micro_aggregation<C: CostEstimator>(
             gp.comm
         };
         let avail = match comm {
-            CommMethod::Ps => {
-                emit_ps(tg, cluster, cost, &node.name, &devices, &ready, bytes, ps_loads)
-            }
+            CommMethod::Ps => emit_ps(
+                tg, cluster, cost, &node.name, &devices, &ready, bytes, ps_loads,
+            ),
             CommMethod::AllReduce => {
                 emit_allreduce(tg, cluster, cost, &node.name, &devices, &ready, bytes)
             }
@@ -399,6 +418,7 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
                 }
                 let tid = self.tg.add_task(task);
                 self.op_tasks[id.index()].push(tid);
+                REPLICA_TASKS.inc();
             }
         }
     }
@@ -516,8 +536,7 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
             .iter()
             .map(|&(d, s)| (d, s))
             .fold((pv.replicas[0].0, 0u64), |acc, (d, _s)| {
-                let dev_total: u64 =
-                    pv.replicas.iter().filter(|r| r.0 == d).map(|r| r.1).sum();
+                let dev_total: u64 = pv.replicas.iter().filter(|r| r.0 == d).map(|r| r.1).sum();
                 if dev_total > acc.1 {
                     (d, dev_total)
                 } else {
@@ -569,9 +588,19 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
             .with_output(TensorMeta::fixed(elems))
             .with_flops(0.0, elems as f64);
         let duration = self.cost.op_time(&node, self.cluster.device(dev).model, 0);
+        match kind {
+            OpKind::Split => SPLIT_TASKS.inc(),
+            OpKind::Concat => CONCAT_TASKS.inc(),
+            _ => {}
+        }
         self.tg.add_task(
-            Task::new(format!("{name}/{}@{dev}", kind.mnemonic()), kind, Proc::Gpu(dev.0), duration)
-                .with_output_bytes(bytes),
+            Task::new(
+                format!("{name}/{}@{dev}", kind.mnemonic()),
+                kind,
+                Proc::Gpu(dev.0),
+                duration,
+            )
+            .with_output_bytes(bytes),
         )
     }
 
@@ -664,10 +693,10 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
 mod tests {
     use super::*;
     use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::DType;
     use heterog_graph::GraphBuilder;
     use heterog_profile::GroundTruthCost;
     use heterog_sched::{list_schedule, OrderPolicy};
-    use heterog_graph::DType;
 
     fn tiny(batch: u64) -> Graph {
         let mut b = GraphBuilder::new("tiny", batch);
@@ -718,12 +747,26 @@ mod tests {
         let c = paper_testbed_8gpu();
         let cost = GroundTruthCost;
         let ps = compile(&g, &c, &cost, &Strategy::even(g.len(), &c, CommMethod::Ps));
-        let ar = compile(&g, &c, &cost, &Strategy::even(g.len(), &c, CommMethod::AllReduce));
-        let ps_nccl = ps.iter().filter(|(_, t)| t.kind == OpKind::NcclAllReduce).count();
-        let ar_nccl = ar.iter().filter(|(_, t)| t.kind == OpKind::NcclAllReduce).count();
+        let ar = compile(
+            &g,
+            &c,
+            &cost,
+            &Strategy::even(g.len(), &c, CommMethod::AllReduce),
+        );
+        let ps_nccl = ps
+            .iter()
+            .filter(|(_, t)| t.kind == OpKind::NcclAllReduce)
+            .count();
+        let ar_nccl = ar
+            .iter()
+            .filter(|(_, t)| t.kind == OpKind::NcclAllReduce)
+            .count();
         assert_eq!(ps_nccl, 0);
         assert!(ar_nccl > 0);
-        let ps_push = ps.iter().filter(|(_, t)| t.kind == OpKind::Transfer).count();
+        let ps_push = ps
+            .iter()
+            .filter(|(_, t)| t.kind == OpKind::Transfer)
+            .count();
         assert!(ps_push > 0);
     }
 
@@ -786,9 +829,17 @@ mod tests {
             &c,
             &GroundTruthCost,
             &s,
-            CompileOptions { force_ps: true, force_allreduce: false },
+            CompileOptions {
+                force_ps: true,
+                force_allreduce: false,
+            },
         );
-        assert_eq!(tg.iter().filter(|(_, t)| t.kind == OpKind::NcclAllReduce).count(), 0);
+        assert_eq!(
+            tg.iter()
+                .filter(|(_, t)| t.kind == OpKind::NcclAllReduce)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -897,13 +948,21 @@ mod tests {
         let t1 = list_schedule(&one, &OrderPolicy::RankBased).makespan;
         let t3 = list_schedule(&three, &OrderPolicy::RankBased).makespan;
         assert!(t3 > 2.0 * t1 * 0.8, "t3 {t3} vs t1 {t1}");
-        assert!(t3 <= 3.0 * t1 + 1e-9, "pipelining cannot slow things: {t3} vs {}", 3.0 * t1);
+        assert!(
+            t3 <= 3.0 * t1 + 1e-9,
+            "pipelining cannot slow things: {t3} vs {}",
+            3.0 * t1
+        );
     }
 
     #[test]
     fn dtype_sizes_flow_through() {
         // Smoke: an I64 input doubles the transferred bytes vs I32.
-        let meta32 = TensorMeta { elems_per_sample: 10, fixed_elems: 0, dtype: DType::I32 };
+        let meta32 = TensorMeta {
+            elems_per_sample: 10,
+            fixed_elems: 0,
+            dtype: DType::I32,
+        };
         let meta64 = meta32.with_dtype(DType::I64);
         assert_eq!(meta64.bytes(4), 2 * meta32.bytes(4));
     }

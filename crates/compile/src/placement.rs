@@ -65,12 +65,12 @@ pub fn split_batch(batch: u64, n: u64) -> Vec<u64> {
 }
 
 /// Resolves every op's placement.
-pub fn resolve_placements(
-    g: &Graph,
-    cluster: &Cluster,
-    strategy: &Strategy,
-) -> Vec<OpPlacement> {
-    assert_eq!(strategy.per_op.len(), g.len(), "strategy must cover every op");
+pub fn resolve_placements(g: &Graph, cluster: &Cluster, strategy: &Strategy) -> Vec<OpPlacement> {
+    assert_eq!(
+        strategy.per_op.len(),
+        g.len(),
+        "strategy must cover every op"
+    );
     let batch = g.batch_size;
     let mut out: Vec<OpPlacement> = Vec::with_capacity(g.len());
 
@@ -83,7 +83,11 @@ pub fn resolve_placements(
                 comm: CommMethod::AllReduce,
             },
             OpStrategy::Dp { replicas, comm } => {
-                assert_eq!(replicas.len(), cluster.num_devices(), "replica vector length");
+                assert_eq!(
+                    replicas.len(),
+                    cluster.num_devices(),
+                    "replica vector length"
+                );
                 if node.batch_splittable {
                     let mut devs: Vec<DeviceId> = Vec::new();
                     for (d, &count) in replicas.iter().enumerate() {
@@ -94,7 +98,10 @@ pub fn resolve_placements(
                     if devs.is_empty() {
                         // Degenerate zero-replica decision: fall back to MP
                         // on device 0.
-                        OpPlacement { replicas: vec![(DeviceId(0), batch)], comm: *comm }
+                        OpPlacement {
+                            replicas: vec![(DeviceId(0), batch)],
+                            comm: *comm,
+                        }
                     } else {
                         // Shares are dealt per logical replica, then
                         // same-device replicas merge into one physical
@@ -115,9 +122,15 @@ pub fn resolve_placements(
                             }
                         }
                         if reps.is_empty() {
-                            OpPlacement { replicas: vec![(DeviceId(0), batch)], comm: *comm }
+                            OpPlacement {
+                                replicas: vec![(DeviceId(0), batch)],
+                                comm: *comm,
+                            }
                         } else {
-                            OpPlacement { replicas: reps, comm: *comm }
+                            OpPlacement {
+                                replicas: reps,
+                                comm: *comm,
+                            }
                         }
                     }
                 } else {
@@ -129,7 +142,10 @@ pub fn resolve_placements(
                         .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
                         .map(|(i, _)| DeviceId(i as u32))
                         .unwrap_or(DeviceId(0));
-                    OpPlacement { replicas: vec![(best, batch)], comm: *comm }
+                    OpPlacement {
+                        replicas: vec![(best, batch)],
+                        comm: *comm,
+                    }
                 }
             }
         };
@@ -218,7 +234,10 @@ mod tests {
         let s = Strategy::even(g.len(), &c, CommMethod::Ps);
         let p = resolve_placements(&g, &c, &s);
         let (fid, _) = g.iter().find(|(_, n)| n.has_params()).unwrap();
-        let (gid, _) = g.iter().find(|(_, n)| n.kind.produces_param_grad()).unwrap();
+        let (gid, _) = g
+            .iter()
+            .find(|(_, n)| n.kind.produces_param_grad())
+            .unwrap();
         assert_eq!(p[fid.index()].replicas, p[gid.index()].replicas);
     }
 
@@ -228,7 +247,10 @@ mod tests {
         let c = paper_testbed_8gpu();
         let s = Strategy::even(g.len(), &c, CommMethod::Ps);
         let p = resolve_placements(&g, &c, &s);
-        let (aid, _) = g.iter().find(|(_, n)| n.kind == OpKind::ApplyGradient).unwrap();
+        let (aid, _) = g
+            .iter()
+            .find(|(_, n)| n.kind == OpKind::ApplyGradient)
+            .unwrap();
         assert_eq!(p[aid.index()].replicas.len(), 8);
         let devs = p[aid.index()].devices();
         assert_eq!(devs.len(), 8);

@@ -39,7 +39,10 @@ pub enum OpStrategy {
 impl OpStrategy {
     /// The paper's EV scheme: one replica on every device.
     pub fn even(cluster: &Cluster, comm: CommMethod) -> Self {
-        OpStrategy::Dp { replicas: vec![1; cluster.num_devices()], comm }
+        OpStrategy::Dp {
+            replicas: vec![1; cluster.num_devices()],
+            comm,
+        }
     }
 
     /// The paper's CP scheme: replicas proportional to computation power
@@ -78,7 +81,9 @@ impl Strategy {
     /// The same decision for every op (the four DP baselines and
     /// single-device MP all use this).
     pub fn uniform(num_ops: usize, s: OpStrategy) -> Self {
-        Strategy { per_op: vec![s; num_ops] }
+        Strategy {
+            per_op: vec![s; num_ops],
+        }
     }
 
     /// EV-PS / EV-AR baseline strategy.

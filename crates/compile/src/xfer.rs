@@ -1,10 +1,36 @@
 //! Transfer emission: one task per path segment, occupied concurrently
 //! (cut-through through the switch — see `heterog-cluster`'s link model).
 
-use heterog_cluster::{Cluster, DeviceId};
+use heterog_cluster::{Cluster, DeviceId, LinkKind};
 use heterog_graph::OpKind;
 use heterog_profile::CostEstimator;
 use heterog_sched::{Proc, Task, TaskGraph, TaskId};
+
+static TRANSFER_TASKS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_transfer_tasks_total",
+    "Link-segment transfer tasks emitted",
+);
+static BYTES_NVLINK: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_bytes_nvlink_total",
+    "Bytes routed over NVLink segments",
+);
+static BYTES_PCIE: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_bytes_pcie_total",
+    "Bytes routed over PCIe segments",
+);
+static BYTES_NIC: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_bytes_nic_total",
+    "Bytes routed over NIC (cross-server) segments",
+);
+
+fn record_link_bytes(kind: LinkKind, bytes: u64) {
+    TRANSFER_TASKS.inc();
+    match kind {
+        LinkKind::NvLink => BYTES_NVLINK.add(bytes),
+        LinkKind::Pcie => BYTES_PCIE.add(bytes),
+        LinkKind::NicOut | LinkKind::NicIn => BYTES_NIC.add(bytes),
+    }
+}
 
 /// Emits the link tasks for a `from -> to` transfer of `bytes`.
 ///
@@ -29,6 +55,7 @@ pub fn emit_transfer<C: CostEstimator>(
     path.iter()
         .map(|&lid| {
             let link = cluster.link(lid);
+            record_link_bytes(link.kind, bytes);
             tg.add_task(Task::new(
                 format!("{name}/xfer@{}", link.label),
                 OpKind::Transfer,
@@ -76,8 +103,15 @@ mod tests {
     fn same_device_transfer_is_empty() {
         let c = paper_testbed_8gpu();
         let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
-        let segs =
-            emit_transfer(&mut tg, &c, &GroundTruthCost, "x", DeviceId(0), DeviceId(0), 1 << 20);
+        let segs = emit_transfer(
+            &mut tg,
+            &c,
+            &GroundTruthCost,
+            "x",
+            DeviceId(0),
+            DeviceId(0),
+            1 << 20,
+        );
         assert!(segs.is_empty());
         assert_eq!(tg.len(), 0);
     }
@@ -86,8 +120,15 @@ mod tests {
     fn intra_server_transfer_is_one_segment() {
         let c = paper_testbed_8gpu();
         let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
-        let segs =
-            emit_transfer(&mut tg, &c, &GroundTruthCost, "x", DeviceId(0), DeviceId(1), 1 << 20);
+        let segs = emit_transfer(
+            &mut tg,
+            &c,
+            &GroundTruthCost,
+            "x",
+            DeviceId(0),
+            DeviceId(1),
+            1 << 20,
+        );
         assert_eq!(segs.len(), 1);
     }
 
@@ -98,12 +139,26 @@ mod tests {
         let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
         let src = tg.add_task(Task::new("p", OpKind::NoOp, Proc::Gpu(0), 0.0));
         let dst = tg.add_task(Task::new("c", OpKind::NoOp, Proc::Gpu(2), 0.0));
-        connect_via_transfer(&mut tg, &c, &cost, "x", src, dst, DeviceId(0), DeviceId(2), 53 << 20);
+        connect_via_transfer(
+            &mut tg,
+            &c,
+            &cost,
+            "x",
+            src,
+            dst,
+            DeviceId(0),
+            DeviceId(2),
+            53 << 20,
+        );
         assert_eq!(tg.len(), 4);
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         // End-to-end governed by the slower (50GbE) NIC, not the sum.
         let slow = (53u64 << 20) as f64 / 5.3e9;
-        assert!(s.makespan < 1.3 * slow, "cut-through expected: {} vs {slow}", s.makespan);
+        assert!(
+            s.makespan < 1.3 * slow,
+            "cut-through expected: {} vs {slow}",
+            s.makespan
+        );
         assert!(s.makespan > 0.9 * slow);
     }
 

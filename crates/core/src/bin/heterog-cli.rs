@@ -54,11 +54,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "heterog-cli — HeteroG deployment planner
 
 USAGE:
-  heterog-cli plan    --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner heterog|EV-PS|EV-AR|CP-PS|CP-AR|Horovod|FlexFlow|Post|HetPipe] [--fifo]
+  heterog-cli plan    --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner heterog|EV-PS|EV-AR|CP-PS|CP-AR|Horovod|FlexFlow|Post|HetPipe] [--fifo] [--metrics-out <file.prom>] [--trace-out <file.json>]
   heterog-cli compare --model <name> [--batch N] [--layers N] [--cluster spec.json]
   heterog-cli trace   --model <name> [--batch N] [--layers N] [--cluster spec.json] --out <file.json>
   heterog-cli models                 list available benchmark models
-  heterog-cli cluster-template       print a cluster-spec JSON template";
+  heterog-cli cluster-template       print a cluster-spec JSON template
+
+OBSERVABILITY (plan):
+  --metrics-out <file>  write all pipeline metrics in Prometheus text format
+  --trace-out <file>    write the iteration timeline + host planning spans
+                        as a Chrome/Perfetto trace";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -80,7 +85,9 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn parse_model(flags: &HashMap<String, String>) -> Result<ModelSpec, String> {
-    let name = flags.get("model").ok_or("--model is required (see `heterog-cli models`)")?;
+    let name = flags
+        .get("model")
+        .ok_or("--model is required (see `heterog-cli models`)")?;
     let model = match name.to_ascii_lowercase().as_str() {
         "vgg19" | "vgg-19" => BenchmarkModel::Vgg19,
         "resnet200" | "resnet" => BenchmarkModel::ResNet200,
@@ -106,8 +113,8 @@ fn parse_model(flags: &HashMap<String, String>) -> Result<ModelSpec, String> {
 fn parse_cluster(flags: &HashMap<String, String>) -> Result<Cluster, String> {
     match flags.get("cluster") {
         Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             ClusterSpec::from_json(&json)
                 .and_then(|s| s.build())
                 .map_err(|e| e.to_string())
@@ -135,13 +142,33 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
     let cfg = config_for(flags);
-    eprintln!("planning {} on {} GPUs ...", spec.label(), cluster.num_devices());
+    // Telemetry is recorded only when an output asks for it, so the
+    // default path keeps the zero-overhead no-op recorder.
+    if flags.contains_key("metrics-out") || flags.contains_key("trace-out") {
+        heterog_telemetry::enable();
+    }
+    eprintln!(
+        "planning {} on {} GPUs ...",
+        spec.label(),
+        cluster.num_devices()
+    );
     let runner = get_runner(|| spec.build(), cluster, cfg);
     let stats = runner.run(1);
     println!("model:             {}", spec.label());
-    println!("ops / tasks:       {} / {}", runner.graph.len(), runner.task_graph.len());
-    println!("per-iteration:     {:.4} s{}", stats.per_iteration_s, if stats.oom { "  (OOM!)" } else { "" });
-    println!("throughput:        {:.0} samples/s", stats.samples_per_second);
+    println!(
+        "ops / tasks:       {} / {}",
+        runner.graph.len(),
+        runner.task_graph.len()
+    );
+    println!(
+        "per-iteration:     {:.4} s{}",
+        stats.per_iteration_s,
+        if stats.oom { "  (OOM!)" } else { "" }
+    );
+    println!(
+        "throughput:        {:.0} samples/s",
+        stats.samples_per_second
+    );
     let (mp, dp) = runner.strategy.histogram(&runner.cluster);
     let total = runner.graph.len() as f64;
     let mp_total: usize = mp.iter().sum();
@@ -154,14 +181,34 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
         100.0 * dp[3] as f64 / total,
     );
     for (g, &bytes) in stats.peak_memory.iter().enumerate() {
-        println!("  G{g} peak memory: {:.2} GiB", bytes as f64 / (1u64 << 30) as f64);
+        println!(
+            "  G{g} peak memory: {:.2} GiB",
+            bytes as f64 / (1u64 << 30) as f64
+        );
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        let snap = runner.telemetry_snapshot();
+        std::fs::write(path, heterog_telemetry::prometheus_text(&snap))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "metrics:           {} metrics -> {path}",
+            snap.metric_count()
+        );
+    }
+    if let Some(path) = flags.get("trace-out") {
+        std::fs::write(path, runner.trace_json_with_spans())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace:             written to {path} (open in Perfetto)");
     }
     Ok(())
 }
 
 fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = parse_model(flags)?;
-    println!("{:<10}{:>14}{:>16}{:>8}", "planner", "s/iteration", "samples/s", "OOM");
+    println!(
+        "{:<10}{:>14}{:>16}{:>8}",
+        "planner", "s/iteration", "samples/s", "OOM"
+    );
     for name in ["heterog", "EV-PS", "EV-AR", "CP-PS", "CP-AR", "HetPipe"] {
         let cluster = parse_cluster(flags)?;
         let cfg = if name == "heterog" {
@@ -192,7 +239,10 @@ fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_models() -> Result<(), String> {
-    println!("{:<16}{:>14}{:>12}{:>16}", "model", "params (M)", "ops", "default batch");
+    println!(
+        "{:<16}{:>14}{:>12}{:>16}",
+        "model", "params (M)", "ops", "default batch"
+    );
     for m in BenchmarkModel::all() {
         let spec = ModelSpec::new(m, 32);
         let g = spec.build();

@@ -50,14 +50,21 @@ impl HeterogConfig {
     /// A smaller/faster search for examples, tests and doctests.
     pub fn quick() -> Self {
         HeterogConfig {
-            planner: PlannerChoice::Search(HeteroGPlanner { groups: 12, passes: 1, allow_mp: true }),
+            planner: PlannerChoice::Search(HeteroGPlanner {
+                groups: 12,
+                passes: 1,
+                allow_mp: true,
+            }),
             ..Default::default()
         }
     }
 
     /// Uses a named baseline planner instead of HeteroG.
     pub fn baseline(name: &'static str) -> Self {
-        HeterogConfig { planner: PlannerChoice::Baseline(name), ..Default::default() }
+        HeterogConfig {
+            planner: PlannerChoice::Baseline(name),
+            ..Default::default()
+        }
     }
 }
 

@@ -42,3 +42,4 @@ pub use heterog_profile as profile;
 pub use heterog_sched as sched;
 pub use heterog_sim as sim;
 pub use heterog_strategies as strategies;
+pub use heterog_telemetry as telemetry;

@@ -59,7 +59,11 @@ impl DistRunner {
             steps,
             per_iteration_s: t,
             total_s: t * steps as f64,
-            samples_per_second: if t > 0.0 { self.graph.batch_size as f64 / t } else { 0.0 },
+            samples_per_second: if t > 0.0 {
+                self.graph.batch_size as f64 / t
+            } else {
+                0.0
+            },
             peak_memory: self.report.memory.peak_bytes.clone(),
             oom: self.report.memory.any_oom(),
         }
@@ -69,6 +73,22 @@ impl DistRunner {
     /// `chrome://tracing` or Perfetto).
     pub fn trace_json(&self) -> String {
         heterog_sim::chrome_trace_json(&self.task_graph, &self.report.schedule)
+    }
+
+    /// The Chrome-tracing timeline of one iteration with the host-side
+    /// planning/compilation spans merged in as a second process lane.
+    pub fn trace_json_with_spans(&self) -> String {
+        let snap = heterog_telemetry::snapshot();
+        heterog_telemetry::merge_chrome_traces(
+            &self.trace_json(),
+            &heterog_telemetry::chrome_span_events(&snap),
+        )
+    }
+
+    /// A snapshot of every metric and span recorded so far in this
+    /// process (planning, compilation, scheduling, simulation).
+    pub fn telemetry_snapshot(&self) -> heterog_telemetry::TelemetrySnapshot {
+        heterog_telemetry::snapshot()
     }
 }
 
@@ -81,6 +101,7 @@ pub fn get_runner(
     device_info: Cluster,
     config: HeterogConfig,
 ) -> DistRunner {
+    let _span = heterog_telemetry::span("get_runner");
     let graph = model_func();
 
     // Profile (the paper's Profiler; §3.3).
@@ -93,6 +114,7 @@ pub fn get_runner(
     };
 
     // Strategy making.
+    let plan_span = heterog_telemetry::span("plan");
     let strategy = match &config.planner {
         PlannerChoice::Search(p) => p.plan(&graph, &device_info, cost),
         PlannerChoice::Learned(tc) => {
@@ -102,6 +124,7 @@ pub fn get_runner(
         }
         PlannerChoice::Baseline(name) => baseline_planner(name).plan(&graph, &device_info, cost),
     };
+    drop(plan_span);
 
     // Order enforcement choice.
     let order = if config.order_scheduling {
@@ -116,7 +139,14 @@ pub fn get_runner(
     let truth_graph = compile(&graph, &device_info, &GroundTruthCost, &strategy);
     let report = simulate(&truth_graph, &device_info.memory_capacities(), &order);
 
-    DistRunner { graph, cluster: device_info, strategy, task_graph: truth_graph, order, report }
+    DistRunner {
+        graph,
+        cluster: device_info,
+        strategy,
+        task_graph: truth_graph,
+        order,
+        report,
+    }
 }
 
 /// Resolves a baseline planner by name.
@@ -173,8 +203,11 @@ mod tests {
 
     #[test]
     fn baseline_choice_works() {
-        let runner =
-            get_runner(model, paper_testbed_8gpu(), HeterogConfig::baseline("EV-AR"));
+        let runner = get_runner(
+            model,
+            paper_testbed_8gpu(),
+            HeterogConfig::baseline("EV-AR"),
+        );
         assert!(runner.run(1).per_iteration_s > 0.0);
     }
 

@@ -41,7 +41,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a new training graph for the given global mini-batch size.
     pub fn new(name: impl Into<String>, batch_size: u64) -> Self {
-        GraphBuilder { g: Graph::new(name, batch_size), apply_grads: Vec::new() }
+        GraphBuilder {
+            g: Graph::new(name, batch_size),
+            apply_grads: Vec::new(),
+        }
     }
 
     /// The mini-batch size this graph is being built for.
@@ -57,7 +60,9 @@ impl GraphBuilder {
     /// Direct edge insertion (panics on structural errors — builder misuse
     /// is a programming bug, not a runtime condition).
     pub fn add_edge(&mut self, src: OpId, dst: OpId) {
-        self.g.add_edge(src, dst).expect("builder produced invalid edge");
+        self.g
+            .add_edge(src, dst)
+            .expect("builder produced invalid edge");
     }
 
     /// Input pipeline node producing `elems_per_sample` elements per sample.
@@ -66,7 +71,10 @@ impl GraphBuilder {
             Node::new("input", OpKind::Input, Phase::Forward)
                 .with_output(TensorMeta::activation(elems_per_sample)),
         );
-        LayerRef { fwd: id, bwd_in: None }
+        LayerRef {
+            fwd: id,
+            bwd_in: None,
+        }
     }
 
     /// A generic parameterized layer: forward op `kind`, a weight-gradient
@@ -99,15 +107,23 @@ impl GraphBuilder {
         // Backward: gradient w.r.t. weights (produces the parameter grad)
         // and gradient w.r.t. input (continues the backward chain).
         let wgrad = self.g.add_node(
-            Node::new(format!("{name}/{}", wgrad_kind.mnemonic()), wgrad_kind, Phase::Backward)
-                .with_output(TensorMeta::fixed(param_elems))
-                .with_flops(flops_per_sample, 0.1 * param_elems as f64)
-                .with_grad_of(fwd),
+            Node::new(
+                format!("{name}/{}", wgrad_kind.mnemonic()),
+                wgrad_kind,
+                Phase::Backward,
+            )
+            .with_output(TensorMeta::fixed(param_elems))
+            .with_flops(flops_per_sample, 0.1 * param_elems as f64)
+            .with_grad_of(fwd),
         );
         let xgrad = self.g.add_node(
-            Node::new(format!("{name}/{}", xgrad_kind.mnemonic()), xgrad_kind, Phase::Backward)
-                .with_output(self.g.node(input.fwd).output)
-                .with_flops(flops_per_sample, 0.0),
+            Node::new(
+                format!("{name}/{}", xgrad_kind.mnemonic()),
+                xgrad_kind,
+                Phase::Backward,
+            )
+            .with_output(self.g.node(input.fwd).output)
+            .with_flops(flops_per_sample, 0.0),
         );
         // Both backward ops need the forward activations of this layer's
         // input and the incoming output-gradient (wired by the caller via
@@ -116,9 +132,13 @@ impl GraphBuilder {
         self.add_edge(input.fwd, xgrad);
 
         let apply = self.g.add_node(
-            Node::new(format!("{name}/apply"), OpKind::ApplyGradient, Phase::Update)
-                .with_output(TensorMeta::fixed(param_elems))
-                .with_flops(0.0, 2.0 * param_elems as f64),
+            Node::new(
+                format!("{name}/apply"),
+                OpKind::ApplyGradient,
+                Phase::Update,
+            )
+            .with_output(TensorMeta::fixed(param_elems))
+            .with_flops(0.0, 2.0 * param_elems as f64),
         );
         self.add_edge(wgrad, apply);
         self.apply_grads.push(apply);
@@ -130,9 +150,15 @@ impl GraphBuilder {
         // xgrad hanging off a shared entry: callers connect via bwd_in.
         // Here bwd_in is represented by wiring: next_xgrad -> {wgrad, xgrad}
         // through connect_backward().
-        let entry = BackwardEntry { wgrad: Some(wgrad), xgrad: Some(xgrad) };
+        let entry = BackwardEntry {
+            wgrad: Some(wgrad),
+            xgrad: Some(xgrad),
+        };
         let bwd_in = self.materialize_entry(entry, input);
-        LayerRef { fwd, bwd_in: Some(bwd_in) }
+        LayerRef {
+            fwd,
+            bwd_in: Some(bwd_in),
+        }
     }
 
     /// A non-parameterized layer (pooling, activation, norm without
@@ -160,7 +186,10 @@ impl GraphBuilder {
         if let Some(up) = input.bwd_in {
             self.add_edge(bwd, up);
         }
-        LayerRef { fwd, bwd_in: Some(bwd) }
+        LayerRef {
+            fwd,
+            bwd_in: Some(bwd),
+        }
     }
 
     /// Element-wise combination of two branches (residual Add, gating Mul).
@@ -196,7 +225,10 @@ impl GraphBuilder {
                 self.add_edge(bwd, up);
             }
         }
-        LayerRef { fwd, bwd_in: Some(bwd) }
+        LayerRef {
+            fwd,
+            bwd_in: Some(bwd),
+        }
     }
 
     /// Joins any number of branches into one output node (a true n-ary
@@ -229,7 +261,10 @@ impl GraphBuilder {
                 self.add_edge(bwd, up);
             }
         }
-        LayerRef { fwd, bwd_in: Some(bwd) }
+        LayerRef {
+            fwd,
+            bwd_in: Some(bwd),
+        }
     }
 
     /// Embedding lookup layer (word/position embeddings in NLP models).
@@ -249,20 +284,31 @@ impl GraphBuilder {
         );
         self.add_edge(input.fwd, fwd);
         let grad = self.g.add_node(
-            Node::new(format!("{name}/embed_grad"), OpKind::EmbeddingGrad, Phase::Backward)
-                .with_output(TensorMeta::fixed(vocab_times_dim))
-                .with_flops(out_elems as f64, 0.0)
-                .with_grad_of(fwd),
+            Node::new(
+                format!("{name}/embed_grad"),
+                OpKind::EmbeddingGrad,
+                Phase::Backward,
+            )
+            .with_output(TensorMeta::fixed(vocab_times_dim))
+            .with_flops(out_elems as f64, 0.0)
+            .with_grad_of(fwd),
         );
         self.add_edge(input.fwd, grad);
         let apply = self.g.add_node(
-            Node::new(format!("{name}/apply"), OpKind::ApplyGradient, Phase::Update)
-                .with_output(TensorMeta::fixed(vocab_times_dim))
-                .with_flops(0.0, 2.0 * vocab_times_dim as f64),
+            Node::new(
+                format!("{name}/apply"),
+                OpKind::ApplyGradient,
+                Phase::Update,
+            )
+            .with_output(TensorMeta::fixed(vocab_times_dim))
+            .with_flops(0.0, 2.0 * vocab_times_dim as f64),
         );
         self.add_edge(grad, apply);
         self.apply_grads.push(apply);
-        LayerRef { fwd, bwd_in: Some(grad) }
+        LayerRef {
+            fwd,
+            bwd_in: Some(grad),
+        }
     }
 
     /// Terminates the graph with a loss op whose backward edge starts the
@@ -348,11 +394,17 @@ mod tests {
         // input, conv fwd, wgrad, xgrad, apply, fanout, loss, loss_bp
         assert_eq!(g.len(), 8);
         // exactly one parameter-gradient producer
-        let pg: Vec<_> = g.iter().filter(|(_, n)| n.kind.produces_param_grad()).collect();
+        let pg: Vec<_> = g
+            .iter()
+            .filter(|(_, n)| n.kind.produces_param_grad())
+            .collect();
         assert_eq!(pg.len(), 1);
         assert!(pg[0].1.grad_of.is_some());
         // exactly one ApplyGradient, downstream of the grad producer
-        let ap: Vec<_> = g.iter().filter(|(_, n)| n.kind == OpKind::ApplyGradient).collect();
+        let ap: Vec<_> = g
+            .iter()
+            .filter(|(_, n)| n.kind == OpKind::ApplyGradient)
+            .collect();
         assert_eq!(ap.len(), 1);
     }
 
@@ -402,7 +454,11 @@ mod tests {
         let e = b.embedding("tok", x, 128 * 1024, 30000 * 1024);
         let g = b.finish(e);
         g.validate().unwrap();
-        let eg = g.iter().find(|(_, n)| n.kind == OpKind::EmbeddingGrad).unwrap().1;
+        let eg = g
+            .iter()
+            .find(|(_, n)| n.kind == OpKind::EmbeddingGrad)
+            .unwrap()
+            .1;
         assert!(eg.grad_of.is_some());
         assert!(!eg.output.has_batch_dim());
     }

@@ -10,7 +10,11 @@ use crate::node::Phase;
 /// Renders the graph in DOT format. Large graphs render slowly in
 /// Graphviz; `max_nodes` truncates (0 = no limit) with a summary node.
 pub fn to_dot(g: &Graph, max_nodes: usize) -> String {
-    let limit = if max_nodes == 0 { g.len() } else { max_nodes.min(g.len()) };
+    let limit = if max_nodes == 0 {
+        g.len()
+    } else {
+        max_nodes.min(g.len())
+    };
     let mut out = String::from("digraph model {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n");
     for (id, node) in g.iter().take(limit) {
         let color = match node.phase {

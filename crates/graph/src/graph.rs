@@ -72,7 +72,13 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph.
     pub fn new(name: impl Into<String>, batch_size: u64) -> Self {
-        Graph { name: name.into(), batch_size, nodes: Vec::new(), succs: Vec::new(), preds: Vec::new() }
+        Graph {
+            name: name.into(),
+            batch_size,
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        }
     }
 
     /// Number of operations.
@@ -140,7 +146,10 @@ impl Graph {
 
     /// Iterates `(id, node)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (OpId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (OpId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (OpId(i as u32), n))
     }
 
     /// Successors (consumers) of `id`.
@@ -156,18 +165,25 @@ impl Graph {
     /// All edges, in producer order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.succs.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter().map(move |&dst| Edge { src: OpId(i as u32), dst })
+            outs.iter().map(move |&dst| Edge {
+                src: OpId(i as u32),
+                dst,
+            })
         })
     }
 
     /// Nodes with no predecessors (graph inputs).
     pub fn sources(&self) -> Vec<OpId> {
-        self.op_ids().filter(|id| self.preds(*id).is_empty()).collect()
+        self.op_ids()
+            .filter(|id| self.preds(*id).is_empty())
+            .collect()
     }
 
     /// Nodes with no successors (graph outputs).
     pub fn sinks(&self) -> Vec<OpId> {
-        self.op_ids().filter(|id| self.succs(*id).is_empty()).collect()
+        self.op_ids()
+            .filter(|id| self.succs(*id).is_empty())
+            .collect()
     }
 
     /// Validates acyclicity (edge endpoint validity is enforced on
@@ -241,8 +257,14 @@ mod tests {
         let mut g = Graph::new("t", 1);
         let a = g.add_node(n("a"));
         let bogus = OpId(99);
-        assert!(matches!(g.add_edge(a, bogus), Err(GraphError::DanglingEdge(..))));
-        assert!(matches!(g.add_edge(bogus, a), Err(GraphError::DanglingEdge(..))));
+        assert!(matches!(
+            g.add_edge(a, bogus),
+            Err(GraphError::DanglingEdge(..))
+        ));
+        assert!(matches!(
+            g.add_edge(bogus, a),
+            Err(GraphError::DanglingEdge(..))
+        ));
     }
 
     #[test]
@@ -290,7 +312,10 @@ mod tests {
 
     #[test]
     fn malformed_json_rejected() {
-        assert!(matches!(Graph::from_json("not json"), Err(GraphError::Malformed)));
+        assert!(matches!(
+            Graph::from_json("not json"),
+            Err(GraphError::Malformed)
+        ));
     }
 
     #[test]

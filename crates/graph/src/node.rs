@@ -132,11 +132,11 @@ mod tests {
 
     #[test]
     fn with_output_sets_splittable() {
-        let act = Node::new("a", OpKind::MatMul, Phase::Forward)
-            .with_output(TensorMeta::activation(64));
+        let act =
+            Node::new("a", OpKind::MatMul, Phase::Forward).with_output(TensorMeta::activation(64));
         assert!(act.batch_splittable);
-        let fixed = Node::new("w", OpKind::Variable, Phase::Forward)
-            .with_output(TensorMeta::fixed(64));
+        let fixed =
+            Node::new("w", OpKind::Variable, Phase::Forward).with_output(TensorMeta::fixed(64));
         assert!(!fixed.batch_splittable);
     }
 

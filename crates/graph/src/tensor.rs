@@ -52,12 +52,20 @@ impl TensorMeta {
     /// A batch-scaled activation tensor: `elems_per_sample` elements per
     /// sample, `f32`.
     pub fn activation(elems_per_sample: u64) -> Self {
-        TensorMeta { elems_per_sample, fixed_elems: 0, dtype: DType::F32 }
+        TensorMeta {
+            elems_per_sample,
+            fixed_elems: 0,
+            dtype: DType::F32,
+        }
     }
 
     /// A batch-independent tensor (weights, gradients, scalars), `f32`.
     pub fn fixed(fixed_elems: u64) -> Self {
-        TensorMeta { elems_per_sample: 0, fixed_elems, dtype: DType::F32 }
+        TensorMeta {
+            elems_per_sample: 0,
+            fixed_elems,
+            dtype: DType::F32,
+        }
     }
 
     /// Same tensor with a different datatype.
@@ -68,7 +76,9 @@ impl TensorMeta {
 
     /// Total element count at mini-batch size `batch`.
     pub fn elems(&self, batch: u64) -> u64 {
-        self.elems_per_sample.saturating_mul(batch).saturating_add(self.fixed_elems)
+        self.elems_per_sample
+            .saturating_mul(batch)
+            .saturating_add(self.fixed_elems)
     }
 
     /// Total size in bytes at mini-batch size `batch`.
@@ -113,14 +123,22 @@ mod tests {
 
     #[test]
     fn mixed_tensor() {
-        let t = TensorMeta { elems_per_sample: 10, fixed_elems: 5, dtype: DType::F16 };
+        let t = TensorMeta {
+            elems_per_sample: 10,
+            fixed_elems: 5,
+            dtype: DType::F16,
+        };
         assert_eq!(t.elems(3), 35);
         assert_eq!(t.bytes(3), 70);
     }
 
     #[test]
     fn saturating_bytes_do_not_overflow() {
-        let t = TensorMeta { elems_per_sample: u64::MAX / 2, fixed_elems: u64::MAX / 2, dtype: DType::I64 };
+        let t = TensorMeta {
+            elems_per_sample: u64::MAX / 2,
+            fixed_elems: u64::MAX / 2,
+            dtype: DType::I64,
+        };
         // Must not panic in release or debug builds.
         let _ = t.bytes(u64::MAX);
     }

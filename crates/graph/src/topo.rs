@@ -9,10 +9,8 @@ use crate::graph::{Graph, GraphError, OpId};
 pub fn topo_sort(g: &Graph) -> Result<Vec<OpId>, GraphError> {
     let n = g.len();
     let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(OpId(i as u32)).len()).collect();
-    let mut queue: std::collections::VecDeque<OpId> = g
-        .op_ids()
-        .filter(|id| indeg[id.index()] == 0)
-        .collect();
+    let mut queue: std::collections::VecDeque<OpId> =
+        g.op_ids().filter(|id| indeg[id.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(id) = queue.pop_front() {
         order.push(id);
@@ -25,7 +23,10 @@ pub fn topo_sort(g: &Graph) -> Result<Vec<OpId>, GraphError> {
     }
     if order.len() != n {
         // Some node still has positive in-degree: it is on (or behind) a cycle.
-        let on_cycle = (0..n).find(|&i| indeg[i] > 0).map(|i| OpId(i as u32)).expect("cycle node");
+        let on_cycle = (0..n)
+            .find(|&i| indeg[i] > 0)
+            .map(|i| OpId(i as u32))
+            .expect("cycle node");
         return Err(GraphError::Cycle(on_cycle));
     }
     Ok(order)
@@ -99,8 +100,9 @@ mod tests {
 
     fn chain(k: usize) -> Graph {
         let mut g = Graph::new("chain", 1);
-        let ids: Vec<OpId> =
-            (0..k).map(|i| g.add_node(Node::new(format!("n{i}"), OpKind::NoOp, Phase::Forward))).collect();
+        let ids: Vec<OpId> = (0..k)
+            .map(|i| g.add_node(Node::new(format!("n{i}"), OpKind::NoOp, Phase::Forward)))
+            .collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1]).unwrap();
         }
@@ -111,7 +113,7 @@ mod tests {
     fn topo_sort_chain() {
         let g = chain(5);
         let order = topo_sort(&g).unwrap();
-        assert_eq!(order, (0..5).map(|i| OpId(i)).collect::<Vec<_>>());
+        assert_eq!(order, (0..5).map(OpId).collect::<Vec<_>>());
     }
 
     #[test]

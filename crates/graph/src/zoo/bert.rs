@@ -26,9 +26,21 @@ pub fn build(batch: u64, layers: u32) -> Graph {
     // Word + position + segment embeddings (position/segment folded into
     // one table for cost purposes; word table dominates).
     let word = b.embedding("embed/word", tokens, SEQ * D_MODEL, VOCAB * D_MODEL);
-    let pos = b.embedding("embed/pos", tokens, SEQ * D_MODEL, 512 * D_MODEL + 2 * D_MODEL);
+    let pos = b.embedding(
+        "embed/pos",
+        tokens,
+        SEQ * D_MODEL,
+        512 * D_MODEL + 2 * D_MODEL,
+    );
     let sum = b.combine("embed/sum", OpKind::Add, word, pos, SEQ * D_MODEL);
-    let mut cur = b.param_layer("embed/ln", OpKind::LayerNorm, sum, SEQ * D_MODEL, 2 * D_MODEL, 8.0 * (SEQ * D_MODEL) as f64);
+    let mut cur = b.param_layer(
+        "embed/ln",
+        OpKind::LayerNorm,
+        sum,
+        SEQ * D_MODEL,
+        2 * D_MODEL,
+        8.0 * (SEQ * D_MODEL) as f64,
+    );
 
     for l in 0..layers {
         cur = attention_block(&mut b, &format!("l{l}/attn"), cur, SEQ, D_MODEL, 16);
@@ -37,7 +49,14 @@ pub fn build(batch: u64, layers: u32) -> Graph {
 
     // MLM head: dense + layer norm + decode-to-vocab (weights tied with
     // the word embedding, so the decode matmul carries no extra params).
-    let pooled = b.param_layer("head/dense", OpKind::MatMul, cur, SEQ * D_MODEL, D_MODEL * D_MODEL + D_MODEL, SEQ as f64 * fc_flops(D_MODEL, D_MODEL));
+    let pooled = b.param_layer(
+        "head/dense",
+        OpKind::MatMul,
+        cur,
+        SEQ * D_MODEL,
+        D_MODEL * D_MODEL + D_MODEL,
+        SEQ as f64 * fc_flops(D_MODEL, D_MODEL),
+    );
     let logits = b.simple_layer(
         "head/decode",
         OpKind::MatMul,
@@ -45,7 +64,13 @@ pub fn build(batch: u64, layers: u32) -> Graph {
         SEQ * VOCAB / 16, // masked positions only (~1/16 of tokens scored)
         SEQ as f64 * fc_flops(D_MODEL, VOCAB / 16),
     );
-    let sm = b.simple_layer("softmax", OpKind::Softmax, logits, SEQ * VOCAB / 16, (SEQ * VOCAB / 16) as f64);
+    let sm = b.simple_layer(
+        "softmax",
+        OpKind::Softmax,
+        logits,
+        SEQ * VOCAB / 16,
+        (SEQ * VOCAB / 16) as f64,
+    );
     b.finish(sm)
 }
 

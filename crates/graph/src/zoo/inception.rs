@@ -19,17 +19,35 @@ fn inception_module(
     input: LayerRef,
     hw: u64,
     c_in: u64,
-    c_b1: u64,  // 1x1 branch
-    c_b3: u64,  // 3x3 branch (via 1x1 reduce)
-    c_b5: u64,  // double-3x3 ("5x5") branch
+    c_b1: u64,   // 1x1 branch
+    c_b3: u64,   // 3x3 branch (via 1x1 reduce)
+    c_b5: u64,   // double-3x3 ("5x5") branch
     c_pool: u64, // pooled 1x1 branch
 ) -> (LayerRef, u64) {
     let br1 = conv_bn_act(b, &format!("{name}/b1"), input, hw, hw, c_in, c_b1, 1);
 
-    let r3 = conv_bn_act(b, &format!("{name}/b3r"), input, hw, hw, c_in, c_b3 * 2 / 3, 1);
+    let r3 = conv_bn_act(
+        b,
+        &format!("{name}/b3r"),
+        input,
+        hw,
+        hw,
+        c_in,
+        c_b3 * 2 / 3,
+        1,
+    );
     let br3 = conv_bn_act(b, &format!("{name}/b3"), r3, hw, hw, c_b3 * 2 / 3, c_b3, 3);
 
-    let r5 = conv_bn_act(b, &format!("{name}/b5r"), input, hw, hw, c_in, c_b5 / 2 + 1, 1);
+    let r5 = conv_bn_act(
+        b,
+        &format!("{name}/b5r"),
+        input,
+        hw,
+        hw,
+        c_in,
+        c_b5 / 2 + 1,
+        1,
+    );
     let m5 = conv_bn_act(b, &format!("{name}/b5a"), r5, hw, hw, c_b5 / 2 + 1, c_b5, 3);
     let br5 = conv_bn_act(b, &format!("{name}/b5b"), m5, hw, hw, c_b5, c_b5, 3);
 
@@ -64,11 +82,22 @@ pub fn build(batch: u64) -> Graph {
     let s1 = conv_bn_act(&mut b, "stem/c1", x, 149, 149, 3, 32, 3);
     let s2 = conv_bn_act(&mut b, "stem/c2", s1, 147, 147, 32, 32, 3);
     let s3 = conv_bn_act(&mut b, "stem/c3", s2, 147, 147, 32, 64, 3);
-    let p1 = b.simple_layer("stem/p1", OpKind::MaxPool, s3, 73 * 73 * 64, (147u64 * 147 * 64) as f64);
+    let p1 = b.simple_layer(
+        "stem/p1",
+        OpKind::MaxPool,
+        s3,
+        73 * 73 * 64,
+        (147u64 * 147 * 64) as f64,
+    );
     let s4 = conv_bn_act(&mut b, "stem/c4", p1, 73, 73, 64, 80, 1);
     let s5 = conv_bn_act(&mut b, "stem/c5", s4, 71, 71, 80, 192, 3);
-    let mut cur =
-        b.simple_layer("stem/p2", OpKind::MaxPool, s5, 35 * 35 * 192, (71u64 * 71 * 192) as f64);
+    let mut cur = b.simple_layer(
+        "stem/p2",
+        OpKind::MaxPool,
+        s5,
+        35 * 35 * 192,
+        (71u64 * 71 * 192) as f64,
+    );
 
     let mut c_in = 192u64;
     // Three 35x35 modules.
@@ -79,16 +108,37 @@ pub fn build(batch: u64) -> Graph {
         c_in = c_out;
     }
     // Downsample to 17x17.
-    cur = b.simple_layer("red17", OpKind::MaxPool, cur, 17 * 17 * c_in, (35u64 * 35 * c_in) as f64);
+    cur = b.simple_layer(
+        "red17",
+        OpKind::MaxPool,
+        cur,
+        17 * 17 * c_in,
+        (35u64 * 35 * c_in) as f64,
+    );
     // Five 17x17 modules (the 7x1/1x7 factorized modules, approximated).
     for i in 0..5 {
-        let (out, c_out) =
-            inception_module(&mut b, &format!("m17_{i}"), cur, 17, c_in, 192, 192, 192, 192);
+        let (out, c_out) = inception_module(
+            &mut b,
+            &format!("m17_{i}"),
+            cur,
+            17,
+            c_in,
+            192,
+            192,
+            192,
+            192,
+        );
         cur = out;
         c_in = c_out;
     }
     // Downsample to 8x8.
-    cur = b.simple_layer("red8", OpKind::MaxPool, cur, 8 * 8 * c_in, (17u64 * 17 * c_in) as f64);
+    cur = b.simple_layer(
+        "red8",
+        OpKind::MaxPool,
+        cur,
+        8 * 8 * c_in,
+        (17u64 * 17 * c_in) as f64,
+    );
     // Three 8x8 modules.
     for i in 0..3 {
         let (out, c_out) =
@@ -98,7 +148,14 @@ pub fn build(batch: u64) -> Graph {
     }
 
     let gap = b.simple_layer("gap", OpKind::AvgPool, cur, c_in, (8 * 8 * c_in) as f64);
-    let fc = b.param_layer("fc", OpKind::MatMul, gap, 1000, c_in * 1000 + 1000, fc_flops(c_in, 1000));
+    let fc = b.param_layer(
+        "fc",
+        OpKind::MatMul,
+        gap,
+        1000,
+        c_in * 1000 + 1000,
+        fc_flops(c_in, 1000),
+    );
     let sm = b.simple_layer("softmax", OpKind::Softmax, fc, 1000, 5000.0);
     b.finish(sm)
 }
@@ -119,6 +176,9 @@ mod tests {
         let g = build(32);
         // Each module fans the input out to 4 branches.
         let fan_out = g.op_ids().filter(|&id| g.succs(id).len() >= 4).count();
-        assert!(fan_out >= 11, "expected >= 11 module fan-outs, got {fan_out}");
+        assert!(
+            fan_out >= 11,
+            "expected >= 11 module fan-outs, got {fan_out}"
+        );
     }
 }

@@ -25,14 +25,38 @@ fn inverted_residual(
 ) -> LayerRef {
     let c_mid = c_in * expand;
     let e = if expand > 1 {
-        conv_bn_act(b, &format!("{name}/expand"), input, hw_in, hw_in, c_in, c_mid, 1)
+        conv_bn_act(
+            b,
+            &format!("{name}/expand"),
+            input,
+            hw_in,
+            hw_in,
+            c_in,
+            c_mid,
+            1,
+        )
     } else {
         input
     };
     let d = dwconv_bn_act(b, &format!("{name}/dw"), e, hw_out, hw_out, c_mid, 3);
-    let p = conv_bn_act(b, &format!("{name}/project"), d, hw_out, hw_out, c_mid, c_out, 1);
+    let p = conv_bn_act(
+        b,
+        &format!("{name}/project"),
+        d,
+        hw_out,
+        hw_out,
+        c_mid,
+        c_out,
+        1,
+    );
     if hw_in == hw_out && c_in == c_out {
-        b.combine(&format!("{name}/res"), OpKind::Add, p, input, hw_out * hw_out * c_out)
+        b.combine(
+            &format!("{name}/res"),
+            OpKind::Add,
+            p,
+            input,
+            hw_out * hw_out * c_out,
+        )
     } else {
         p
     }
@@ -65,14 +89,30 @@ pub fn build(batch: u64) -> Graph {
             if bi == 0 && downsample {
                 hw /= 2;
             }
-            cur = inverted_residual(&mut b, &format!("s{si}/b{bi}"), cur, hw_in, hw, c_in, c_out, t);
+            cur = inverted_residual(
+                &mut b,
+                &format!("s{si}/b{bi}"),
+                cur,
+                hw_in,
+                hw,
+                c_in,
+                c_out,
+                t,
+            );
             c_in = c_out;
         }
     }
 
     let head = conv_bn_act(&mut b, "head", cur, hw, hw, c_in, 1280, 1);
     let gap = b.simple_layer("gap", OpKind::AvgPool, head, 1280, (hw * hw * 1280) as f64);
-    let fc = b.param_layer("fc", OpKind::MatMul, gap, 1000, 1280 * 1000 + 1000, fc_flops(1280, 1000));
+    let fc = b.param_layer(
+        "fc",
+        OpKind::MatMul,
+        gap,
+        1000,
+        1280 * 1000 + 1000,
+        fc_flops(1280, 1000),
+    );
     let sm = b.simple_layer("softmax", OpKind::Softmax, fc, 1000, 5000.0);
     b.finish(sm)
 }
@@ -91,7 +131,10 @@ mod tests {
     #[test]
     fn has_depthwise_convs() {
         let g = build(32);
-        let dw = g.iter().filter(|(_, n)| n.kind == OpKind::DepthwiseConv2D).count();
+        let dw = g
+            .iter()
+            .filter(|(_, n)| n.kind == OpKind::DepthwiseConv2D)
+            .count();
         assert_eq!(dw, 17); // one per inverted-residual block
     }
 
@@ -103,6 +146,9 @@ mod tests {
         let vgg = crate::zoo::vgg::build(32);
         let mn_ratio = mn.total_flops() / mn.total_param_bytes() as f64;
         let vgg_ratio = vgg.total_flops() / vgg.total_param_bytes() as f64;
-        assert!(mn_ratio < vgg_ratio * 1.1, "mn {mn_ratio:.1} vs vgg {vgg_ratio:.1}");
+        assert!(
+            mn_ratio < vgg_ratio * 1.1,
+            "mn {mn_ratio:.1} vs vgg {vgg_ratio:.1}"
+        );
     }
 }

@@ -143,12 +143,20 @@ pub struct ModelSpec {
 impl ModelSpec {
     /// Spec with the model's paper-default layer count.
     pub fn new(model: BenchmarkModel, batch_size: u64) -> Self {
-        ModelSpec { model, batch_size, layers: model.default_layers() }
+        ModelSpec {
+            model,
+            batch_size,
+            layers: model.default_layers(),
+        }
     }
 
     /// Spec with an explicit layer count (e.g. `Transformer (24 layers)`).
     pub fn with_layers(model: BenchmarkModel, batch_size: u64, layers: u32) -> Self {
-        ModelSpec { model, batch_size, layers }
+        ModelSpec {
+            model,
+            batch_size,
+            layers,
+        }
     }
 
     /// Synthesizes the training graph.
@@ -168,7 +176,10 @@ impl ModelSpec {
     /// Label in the paper's table style, e.g. `"Bert-large (24 layers)(48)"`.
     pub fn label(&self) -> String {
         if self.model.default_layers() > 0 {
-            format!("{} ({} layers)({})", self.model, self.layers, self.batch_size)
+            format!(
+                "{} ({} layers)({})",
+                self.model, self.layers, self.batch_size
+            )
         } else {
             format!("{} ({})", self.model, self.batch_size)
         }
@@ -233,16 +244,26 @@ mod tests {
 
     #[test]
     fn nlp_models_scale_with_layers() {
-        for m in [BenchmarkModel::Transformer, BenchmarkModel::BertLarge, BenchmarkModel::XlnetLarge] {
+        for m in [
+            BenchmarkModel::Transformer,
+            BenchmarkModel::BertLarge,
+            BenchmarkModel::XlnetLarge,
+        ] {
             let small = ModelSpec::with_layers(m, 16, 6).build();
             let large = ModelSpec::with_layers(m, 16, 24).build();
-            assert!(large.len() > 2 * small.len(), "{m}: op count must grow with layers");
+            assert!(
+                large.len() > 2 * small.len(),
+                "{m}: op count must grow with layers"
+            );
         }
     }
 
     #[test]
     fn labels_match_paper_style() {
-        assert_eq!(ModelSpec::new(BenchmarkModel::Vgg19, 192).label(), "VGG-19 (192)");
+        assert_eq!(
+            ModelSpec::new(BenchmarkModel::Vgg19, 192).label(),
+            "VGG-19 (192)"
+        );
         assert_eq!(
             ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24).label(),
             "Bert-large (24 layers)(48)"
@@ -255,8 +276,11 @@ mod tests {
         // holding most parameters; verify our synthesis preserves that.
         let g = ModelSpec::new(BenchmarkModel::Vgg19, 32).build();
         let max_param = g.iter().map(|(_, n)| n.param_bytes).max().unwrap();
-        assert!(max_param as f64 > 0.5 * g.total_param_bytes() as f64 * 0.6 / 1.0_f64.max(1.0) || max_param > 100_000_000,
-            "VGG-19 largest layer should be the ~103M-param FC1, got {max_param} bytes");
+        assert!(
+            max_param as f64 > 0.5 * g.total_param_bytes() as f64 * 0.6 / 1.0_f64.max(1.0)
+                || max_param > 100_000_000,
+            "VGG-19 largest layer should be the ~103M-param FC1, got {max_param} bytes"
+        );
     }
 
     #[test]
@@ -265,6 +289,9 @@ mod tests {
         // should exceed a plain chain's.
         let g = ModelSpec::new(BenchmarkModel::NasNet, 32).build();
         let branchy = g.op_ids().filter(|&id| g.succs(id).len() >= 2).count();
-        assert!(branchy as f64 > 0.1 * g.len() as f64, "NasNet should be branchy");
+        assert!(
+            branchy as f64 > 0.1 * g.len() as f64,
+            "NasNet should be branchy"
+        );
     }
 }

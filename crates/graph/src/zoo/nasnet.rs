@@ -53,11 +53,29 @@ fn cell(
     let b1b = sep_conv(b, &format!("{name}/b1b"), h1, hw, c, c, 3);
     let blk1 = b.combine(&format!("{name}/add1"), OpKind::Add, b1a, b1b, hw * hw * c);
 
-    let b2a = b.simple_layer(&format!("{name}/b2a"), OpKind::AvgPool, h0, hw * hw * c, (hw * hw * c) as f64);
+    let b2a = b.simple_layer(
+        &format!("{name}/b2a"),
+        OpKind::AvgPool,
+        h0,
+        hw * hw * c,
+        (hw * hw * c) as f64,
+    );
     let blk2 = b.combine(&format!("{name}/add2"), OpKind::Add, b2a, h1, hw * hw * c);
 
-    let b3a = b.simple_layer(&format!("{name}/b3a"), OpKind::AvgPool, h1, hw * hw * c, (hw * hw * c) as f64);
-    let b3b = b.simple_layer(&format!("{name}/b3b"), OpKind::AvgPool, h1, hw * hw * c, (hw * hw * c) as f64);
+    let b3a = b.simple_layer(
+        &format!("{name}/b3a"),
+        OpKind::AvgPool,
+        h1,
+        hw * hw * c,
+        (hw * hw * c) as f64,
+    );
+    let b3b = b.simple_layer(
+        &format!("{name}/b3b"),
+        OpKind::AvgPool,
+        h1,
+        hw * hw * c,
+        (hw * hw * c) as f64,
+    );
     let blk3 = b.combine(&format!("{name}/add3"), OpKind::Add, b3a, b3b, hw * hw * c);
 
     let b4a = sep_conv(b, &format!("{name}/b4a"), h0, hw, c, c, 3);
@@ -98,8 +116,21 @@ pub fn build(batch: u64) -> Graph {
     }
 
     let final_c = c_in;
-    let gap = b.simple_layer("gap", OpKind::AvgPool, prev, final_c, (11 * 11 * final_c) as f64);
-    let fc = b.param_layer("fc", OpKind::MatMul, gap, 1000, final_c * 1000 + 1000, fc_flops(final_c, 1000));
+    let gap = b.simple_layer(
+        "gap",
+        OpKind::AvgPool,
+        prev,
+        final_c,
+        (11 * 11 * final_c) as f64,
+    );
+    let fc = b.param_layer(
+        "fc",
+        OpKind::MatMul,
+        gap,
+        1000,
+        final_c * 1000 + 1000,
+        fc_flops(final_c, 1000),
+    );
     let sm = b.simple_layer("softmax", OpKind::Softmax, fc, 1000, 5000.0);
     b.finish(sm)
 }

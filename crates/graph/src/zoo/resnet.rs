@@ -31,7 +31,13 @@ fn bottleneck(
     } else {
         input
     };
-    b.combine(&format!("{name}/res"), OpKind::Add, e, skip, hw * hw * c_out)
+    b.combine(
+        &format!("{name}/res"),
+        OpKind::Add,
+        e,
+        skip,
+        hw * hw * c_out,
+    )
 }
 
 /// Builds the ResNet-200 training graph.
@@ -40,23 +46,49 @@ pub fn build(batch: u64) -> Graph {
     let x = b.input(3 * 224 * 224);
 
     let stem = conv_bn_act(&mut b, "stem", x, 112, 112, 3, 64, 7);
-    let mut cur = b.simple_layer("stem/pool", OpKind::MaxPool, stem, 56 * 56 * 64, (112 * 112 * 64) as f64);
+    let mut cur = b.simple_layer(
+        "stem/pool",
+        OpKind::MaxPool,
+        stem,
+        56 * 56 * 64,
+        (112 * 112 * 64) as f64,
+    );
 
     // (blocks, c_mid, c_out, spatial)
-    let stages: [(usize, u64, u64, u64); 4] =
-        [(3, 64, 256, 56), (24, 128, 512, 28), (36, 256, 1024, 14), (3, 512, 2048, 7)];
+    let stages: [(usize, u64, u64, u64); 4] = [
+        (3, 64, 256, 56),
+        (24, 128, 512, 28),
+        (36, 256, 1024, 14),
+        (3, 512, 2048, 7),
+    ];
 
     let mut c_in = 64u64;
     for (si, &(blocks, c_mid, c_out, hw)) in stages.iter().enumerate() {
         for bi in 0..blocks {
             let project = bi == 0;
-            cur = bottleneck(&mut b, &format!("s{si}/b{bi}"), cur, hw, c_in, c_mid, c_out, project);
+            cur = bottleneck(
+                &mut b,
+                &format!("s{si}/b{bi}"),
+                cur,
+                hw,
+                c_in,
+                c_mid,
+                c_out,
+                project,
+            );
             c_in = c_out;
         }
     }
 
     let gap = b.simple_layer("gap", OpKind::AvgPool, cur, 2048, (7 * 7 * 2048) as f64);
-    let fc = b.param_layer("fc", OpKind::MatMul, gap, 1000, 2048 * 1000 + 1000, fc_flops(2048, 1000));
+    let fc = b.param_layer(
+        "fc",
+        OpKind::MatMul,
+        gap,
+        1000,
+        2048 * 1000 + 1000,
+        fc_flops(2048, 1000),
+    );
     let sm = b.simple_layer("softmax", OpKind::Softmax, fc, 1000, 5000.0);
     b.finish(sm)
 }

@@ -49,9 +49,20 @@ pub(crate) fn attention_block(
         score_elems,
         2.0 * (seq * seq * d) as f64,
     );
-    let sm = b.simple_layer(&format!("{name}/softmax"), OpKind::Softmax, scores, score_elems, (5 * score_elems) as f64);
-    let attn_drop =
-        b.simple_layer(&format!("{name}/attn_drop"), OpKind::Dropout, sm, score_elems, score_elems as f64);
+    let sm = b.simple_layer(
+        &format!("{name}/softmax"),
+        OpKind::Softmax,
+        scores,
+        score_elems,
+        (5 * score_elems) as f64,
+    );
+    let attn_drop = b.simple_layer(
+        &format!("{name}/attn_drop"),
+        OpKind::Dropout,
+        sm,
+        score_elems,
+        score_elems as f64,
+    );
     let ctx = b.simple_layer(
         &format!("{name}/ctx"),
         OpKind::BatchMatMul,
@@ -67,9 +78,22 @@ pub(crate) fn attention_block(
         d * d + d,
         seq as f64 * fc_flops(d, d),
     );
-    let drop = b.simple_layer(&format!("{name}/drop"), OpKind::Dropout, proj, act, act as f64);
+    let drop = b.simple_layer(
+        &format!("{name}/drop"),
+        OpKind::Dropout,
+        proj,
+        act,
+        act as f64,
+    );
     let res = b.combine(&format!("{name}/res"), OpKind::Add, drop, input, act);
-    b.param_layer(&format!("{name}/ln"), OpKind::LayerNorm, res, act, 2 * d, 8.0 * act as f64)
+    b.param_layer(
+        &format!("{name}/ln"),
+        OpKind::LayerNorm,
+        res,
+        act,
+        2 * d,
+        8.0 * act as f64,
+    )
 }
 
 /// Position-wise feed-forward block + residual + layer norm.
@@ -90,7 +114,13 @@ pub(crate) fn ffn_block(
         d * d_ff + d_ff,
         seq as f64 * fc_flops(d, d_ff),
     );
-    let gelu = b.simple_layer(&format!("{name}/act"), OpKind::Activation, up, seq * d_ff, (seq * d_ff) as f64);
+    let gelu = b.simple_layer(
+        &format!("{name}/act"),
+        OpKind::Activation,
+        up,
+        seq * d_ff,
+        (seq * d_ff) as f64,
+    );
     let down = b.param_layer(
         &format!("{name}/ff2"),
         OpKind::MatMul,
@@ -99,9 +129,22 @@ pub(crate) fn ffn_block(
         d_ff * d + d,
         seq as f64 * fc_flops(d_ff, d),
     );
-    let drop = b.simple_layer(&format!("{name}/drop"), OpKind::Dropout, down, act, act as f64);
+    let drop = b.simple_layer(
+        &format!("{name}/drop"),
+        OpKind::Dropout,
+        down,
+        act,
+        act as f64,
+    );
     let res = b.combine(&format!("{name}/res"), OpKind::Add, drop, input, act);
-    b.param_layer(&format!("{name}/ln"), OpKind::LayerNorm, res, act, 2 * d, 8.0 * act as f64)
+    b.param_layer(
+        &format!("{name}/ln"),
+        OpKind::LayerNorm,
+        res,
+        act,
+        2 * d,
+        8.0 * act as f64,
+    )
 }
 
 /// Builds the Transformer training graph with `layers` encoder layers
@@ -128,7 +171,13 @@ pub fn build(batch: u64, layers: u32) -> Graph {
         dec = attention_block(&mut b, &format!("dec{l}/self"), dec, SEQ, D_MODEL, 8);
         // Cross-attention consumes the encoder output too.
         let cross = attention_block(&mut b, &format!("dec{l}/cross"), dec, SEQ, D_MODEL, 8);
-        dec = b.combine(&format!("dec{l}/xjoin"), OpKind::Add, cross, enc, SEQ * D_MODEL);
+        dec = b.combine(
+            &format!("dec{l}/xjoin"),
+            OpKind::Add,
+            cross,
+            enc,
+            SEQ * D_MODEL,
+        );
         dec = ffn_block(&mut b, &format!("dec{l}/ffn"), dec, SEQ, D_MODEL, D_FF);
     }
 
@@ -141,7 +190,13 @@ pub fn build(batch: u64, layers: u32) -> Graph {
         D_MODEL * VOCAB / 8,
         SEQ as f64 * fc_flops(D_MODEL, VOCAB / 8),
     );
-    let sm = b.simple_layer("softmax", OpKind::Softmax, logits, SEQ * VOCAB / 8, (SEQ * VOCAB / 8) as f64);
+    let sm = b.simple_layer(
+        "softmax",
+        OpKind::Softmax,
+        logits,
+        SEQ * VOCAB / 8,
+        (SEQ * VOCAB / 8) as f64,
+    );
     b.finish(sm)
 }
 
@@ -167,7 +222,11 @@ mod tests {
     #[test]
     fn embedding_is_large_and_unsplittable() {
         let g = build(32, 6);
-        let e = g.iter().find(|(_, n)| n.kind == OpKind::Embedding).unwrap().1;
+        let e = g
+            .iter()
+            .find(|(_, n)| n.kind == OpKind::Embedding)
+            .unwrap()
+            .1;
         assert!(e.param_bytes > 60_000_000); // 32k x 512 x 4B
     }
 }

@@ -20,6 +20,7 @@ pub fn fc_flops(d_in: u64, d_out: u64) -> f64 {
 }
 
 /// Adds a `conv -> batchnorm -> activation` trio, the standard CNN unit.
+#[allow(clippy::too_many_arguments)]
 pub fn conv_bn_act(
     b: &mut GraphBuilder,
     name: &str,
@@ -32,7 +33,7 @@ pub fn conv_bn_act(
 ) -> LayerRef {
     let out_elems = h * w * c_out;
     let conv = b.param_layer(
-        &format!("{name}"),
+        name,
         OpKind::Conv2D,
         input,
         out_elems,
@@ -47,7 +48,13 @@ pub fn conv_bn_act(
         2 * c_out,
         4.0 * out_elems as f64,
     );
-    b.simple_layer(&format!("{name}/relu"), OpKind::Activation, bn, out_elems, out_elems as f64)
+    b.simple_layer(
+        &format!("{name}/relu"),
+        OpKind::Activation,
+        bn,
+        out_elems,
+        out_elems as f64,
+    )
 }
 
 /// Adds a depthwise conv + batchnorm + activation (MobileNet/NasNet unit).
@@ -77,17 +84,19 @@ pub fn dwconv_bn_act(
         2 * c,
         4.0 * out_elems as f64,
     );
-    b.simple_layer(&format!("{name}/relu"), OpKind::Activation, bn, out_elems, out_elems as f64)
+    b.simple_layer(
+        &format!("{name}/relu"),
+        OpKind::Activation,
+        bn,
+        out_elems,
+        out_elems as f64,
+    )
 }
 
 /// Joins branches where each branch has `elems[i]` output elements per
 /// sample; the joined output carries the summed size and materializes
 /// exactly once (a real channel Concat).
-pub fn concat_branches(
-    b: &mut GraphBuilder,
-    name: &str,
-    branches: &[(LayerRef, u64)],
-) -> LayerRef {
+pub fn concat_branches(b: &mut GraphBuilder, name: &str, branches: &[(LayerRef, u64)]) -> LayerRef {
     assert!(!branches.is_empty());
     let total: u64 = branches.iter().map(|(_, e)| e).sum();
     let refs: Vec<LayerRef> = branches.iter().map(|&(r, _)| r).collect();

@@ -18,8 +18,13 @@ pub fn build(batch: u64) -> Graph {
     let x = b.input(3 * 224 * 224);
 
     // (block, convs, channels, spatial)
-    let blocks: [(usize, u64, u64); 5] =
-        [(2, 64, 224), (2, 128, 112), (4, 256, 56), (4, 512, 28), (4, 512, 14)];
+    let blocks: [(usize, u64, u64); 5] = [
+        (2, 64, 224),
+        (2, 128, 112),
+        (4, 256, 56),
+        (4, 512, 28),
+        (4, 512, 14),
+    ];
 
     let mut cur = x;
     let mut c_in = 3u64;
@@ -40,11 +45,32 @@ pub fn build(batch: u64) -> Graph {
 
     // Flatten 7x7x512 = 25088 -> FC 4096 -> FC 4096 -> FC 1000.
     let flat = b.simple_layer("flatten", OpKind::Reshape, cur, 25_088, 0.0);
-    let fc1 = b.param_layer("fc1", OpKind::MatMul, flat, 4096, 25_088 * 4096 + 4096, fc_flops(25_088, 4096));
+    let fc1 = b.param_layer(
+        "fc1",
+        OpKind::MatMul,
+        flat,
+        4096,
+        25_088 * 4096 + 4096,
+        fc_flops(25_088, 4096),
+    );
     let fc1a = b.simple_layer("fc1/relu", OpKind::Activation, fc1, 4096, 4096.0);
-    let fc2 = b.param_layer("fc2", OpKind::MatMul, fc1a, 4096, 4096 * 4096 + 4096, fc_flops(4096, 4096));
+    let fc2 = b.param_layer(
+        "fc2",
+        OpKind::MatMul,
+        fc1a,
+        4096,
+        4096 * 4096 + 4096,
+        fc_flops(4096, 4096),
+    );
     let fc2a = b.simple_layer("fc2/relu", OpKind::Activation, fc2, 4096, 4096.0);
-    let fc3 = b.param_layer("fc3", OpKind::MatMul, fc2a, 1000, 4096 * 1000 + 1000, fc_flops(4096, 1000));
+    let fc3 = b.param_layer(
+        "fc3",
+        OpKind::MatMul,
+        fc2a,
+        1000,
+        4096 * 1000 + 1000,
+        fc_flops(4096, 1000),
+    );
     let sm = b.simple_layer("softmax", OpKind::Softmax, fc3, 1000, 5000.0);
     b.finish(sm)
 }

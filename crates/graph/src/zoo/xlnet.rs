@@ -47,15 +47,51 @@ fn two_stream_attention(
     );
 
     // Content stream.
-    let c_scores = b.combine(&format!("{name}/c_scores"), OpKind::BatchMatMul, qkv, rel, HEADS * SEQ * SEQ);
-    let c_sm = b.simple_layer(&format!("{name}/c_softmax"), OpKind::Softmax, c_scores, HEADS * SEQ * SEQ, (5 * HEADS * SEQ * SEQ) as f64);
-    let c_ctx = b.simple_layer(&format!("{name}/c_ctx"), OpKind::BatchMatMul, c_sm, act, 2.0 * (SEQ * SEQ * d) as f64);
+    let c_scores = b.combine(
+        &format!("{name}/c_scores"),
+        OpKind::BatchMatMul,
+        qkv,
+        rel,
+        HEADS * SEQ * SEQ,
+    );
+    let c_sm = b.simple_layer(
+        &format!("{name}/c_softmax"),
+        OpKind::Softmax,
+        c_scores,
+        HEADS * SEQ * SEQ,
+        (5 * HEADS * SEQ * SEQ) as f64,
+    );
+    let c_ctx = b.simple_layer(
+        &format!("{name}/c_ctx"),
+        OpKind::BatchMatMul,
+        c_sm,
+        act,
+        2.0 * (SEQ * SEQ * d) as f64,
+    );
 
     // Query stream re-uses the same projections on the query input.
     let q_in = b.combine(&format!("{name}/q_in"), OpKind::Add, query, qkv, act);
-    let q_scores = b.simple_layer(&format!("{name}/q_scores"), OpKind::BatchMatMul, q_in, HEADS * SEQ * SEQ, 2.0 * (SEQ * SEQ * d) as f64);
-    let q_sm = b.simple_layer(&format!("{name}/q_softmax"), OpKind::Softmax, q_scores, HEADS * SEQ * SEQ, (5 * HEADS * SEQ * SEQ) as f64);
-    let q_ctx = b.simple_layer(&format!("{name}/q_ctx"), OpKind::BatchMatMul, q_sm, act, 2.0 * (SEQ * SEQ * d) as f64);
+    let q_scores = b.simple_layer(
+        &format!("{name}/q_scores"),
+        OpKind::BatchMatMul,
+        q_in,
+        HEADS * SEQ * SEQ,
+        2.0 * (SEQ * SEQ * d) as f64,
+    );
+    let q_sm = b.simple_layer(
+        &format!("{name}/q_softmax"),
+        OpKind::Softmax,
+        q_scores,
+        HEADS * SEQ * SEQ,
+        (5 * HEADS * SEQ * SEQ) as f64,
+    );
+    let q_ctx = b.simple_layer(
+        &format!("{name}/q_ctx"),
+        OpKind::BatchMatMul,
+        q_sm,
+        act,
+        2.0 * (SEQ * SEQ * d) as f64,
+    );
 
     // Shared output projection + residual + layer norm per stream.
     let proj = b.param_layer(
@@ -67,17 +103,41 @@ fn two_stream_attention(
         SEQ as f64 * fc_flops(d, d),
     );
     let c_res = b.combine(&format!("{name}/c_res"), OpKind::Add, proj, content, act);
-    let c_out = b.param_layer(&format!("{name}/c_ln"), OpKind::LayerNorm, c_res, act, 2 * d, 8.0 * act as f64);
+    let c_out = b.param_layer(
+        &format!("{name}/c_ln"),
+        OpKind::LayerNorm,
+        c_res,
+        act,
+        2 * d,
+        8.0 * act as f64,
+    );
 
-    let q_proj = b.simple_layer(&format!("{name}/q_proj"), OpKind::MatMul, q_ctx, act, SEQ as f64 * fc_flops(d, d));
+    let q_proj = b.simple_layer(
+        &format!("{name}/q_proj"),
+        OpKind::MatMul,
+        q_ctx,
+        act,
+        SEQ as f64 * fc_flops(d, d),
+    );
     let q_res = b.combine(&format!("{name}/q_res"), OpKind::Add, q_proj, query, act);
-    let q_out = b.simple_layer(&format!("{name}/q_ln"), OpKind::LayerNorm, q_res, act, 8.0 * act as f64);
+    let q_out = b.simple_layer(
+        &format!("{name}/q_ln"),
+        OpKind::LayerNorm,
+        q_res,
+        act,
+        8.0 * act as f64,
+    );
 
     (c_out, q_out)
 }
 
 /// Position-wise FFN shared by both streams (params once, compute twice).
-fn ffn(b: &mut GraphBuilder, name: &str, content: LayerRef, query: LayerRef) -> (LayerRef, LayerRef) {
+fn ffn(
+    b: &mut GraphBuilder,
+    name: &str,
+    content: LayerRef,
+    query: LayerRef,
+) -> (LayerRef, LayerRef) {
     let act = SEQ * D_MODEL;
     let up = b.param_layer(
         &format!("{name}/ff1"),
@@ -87,7 +147,13 @@ fn ffn(b: &mut GraphBuilder, name: &str, content: LayerRef, query: LayerRef) -> 
         D_MODEL * D_FF + D_FF,
         SEQ as f64 * fc_flops(D_MODEL, D_FF),
     );
-    let gelu = b.simple_layer(&format!("{name}/act"), OpKind::Activation, up, SEQ * D_FF, (SEQ * D_FF) as f64);
+    let gelu = b.simple_layer(
+        &format!("{name}/act"),
+        OpKind::Activation,
+        up,
+        SEQ * D_FF,
+        (SEQ * D_FF) as f64,
+    );
     let down = b.param_layer(
         &format!("{name}/ff2"),
         OpKind::MatMul,
@@ -97,14 +163,45 @@ fn ffn(b: &mut GraphBuilder, name: &str, content: LayerRef, query: LayerRef) -> 
         SEQ as f64 * fc_flops(D_FF, D_MODEL),
     );
     let c_res = b.combine(&format!("{name}/c_res"), OpKind::Add, down, content, act);
-    let c_out = b.param_layer(&format!("{name}/ln"), OpKind::LayerNorm, c_res, act, 2 * D_MODEL, 8.0 * act as f64);
+    let c_out = b.param_layer(
+        &format!("{name}/ln"),
+        OpKind::LayerNorm,
+        c_res,
+        act,
+        2 * D_MODEL,
+        8.0 * act as f64,
+    );
 
     // Query stream passes through the same FFN weights (compute only).
-    let q_up = b.simple_layer(&format!("{name}/q_ff1"), OpKind::MatMul, query, SEQ * D_FF, SEQ as f64 * fc_flops(D_MODEL, D_FF));
-    let q_act = b.simple_layer(&format!("{name}/q_act"), OpKind::Activation, q_up, SEQ * D_FF, (SEQ * D_FF) as f64);
-    let q_down = b.simple_layer(&format!("{name}/q_ff2"), OpKind::MatMul, q_act, act, SEQ as f64 * fc_flops(D_FF, D_MODEL));
+    let q_up = b.simple_layer(
+        &format!("{name}/q_ff1"),
+        OpKind::MatMul,
+        query,
+        SEQ * D_FF,
+        SEQ as f64 * fc_flops(D_MODEL, D_FF),
+    );
+    let q_act = b.simple_layer(
+        &format!("{name}/q_act"),
+        OpKind::Activation,
+        q_up,
+        SEQ * D_FF,
+        (SEQ * D_FF) as f64,
+    );
+    let q_down = b.simple_layer(
+        &format!("{name}/q_ff2"),
+        OpKind::MatMul,
+        q_act,
+        act,
+        SEQ as f64 * fc_flops(D_FF, D_MODEL),
+    );
     let q_res = b.combine(&format!("{name}/q_res"), OpKind::Add, q_down, query, act);
-    let q_out = b.simple_layer(&format!("{name}/q_ln"), OpKind::LayerNorm, q_res, act, 8.0 * act as f64);
+    let q_out = b.simple_layer(
+        &format!("{name}/q_ln"),
+        OpKind::LayerNorm,
+        q_res,
+        act,
+        8.0 * act as f64,
+    );
     (c_out, q_out)
 }
 
@@ -116,7 +213,12 @@ pub fn build(batch: u64, layers: u32) -> Graph {
 
     let word = b.embedding("embed/word", tokens, SEQ * D_MODEL, VOCAB * D_MODEL);
     // Relative segment/position encodings (learned).
-    let rel = b.embedding("embed/rel", tokens, SEQ * D_MODEL, 2 * SEQ * D_MODEL + 4 * D_MODEL);
+    let rel = b.embedding(
+        "embed/rel",
+        tokens,
+        SEQ * D_MODEL,
+        2 * SEQ * D_MODEL + 4 * D_MODEL,
+    );
     let mut content = b.combine("embed/sum", OpKind::Add, word, rel, SEQ * D_MODEL);
     let mut query = b.simple_layer("embed/qinit", OpKind::Reshape, content, SEQ * D_MODEL, 0.0);
 
@@ -129,8 +231,20 @@ pub fn build(batch: u64, layers: u32) -> Graph {
 
     // LM head over the query stream (tied embeddings).
     let merged = b.combine("head/merge", OpKind::Add, content, query, SEQ * D_MODEL);
-    let logits = b.simple_layer("head/decode", OpKind::MatMul, merged, SEQ * VOCAB / 16, SEQ as f64 * fc_flops(D_MODEL, VOCAB / 16));
-    let sm = b.simple_layer("softmax", OpKind::Softmax, logits, SEQ * VOCAB / 16, (SEQ * VOCAB / 16) as f64);
+    let logits = b.simple_layer(
+        "head/decode",
+        OpKind::MatMul,
+        merged,
+        SEQ * VOCAB / 16,
+        SEQ as f64 * fc_flops(D_MODEL, VOCAB / 16),
+    );
+    let sm = b.simple_layer(
+        "softmax",
+        OpKind::Softmax,
+        logits,
+        SEQ * VOCAB / 16,
+        (SEQ * VOCAB / 16) as f64,
+    );
     b.finish(sm)
 }
 
@@ -162,6 +276,9 @@ mod tests {
     fn two_streams_visible_in_op_count() {
         let x = build(8, 6);
         let q_ops = x.iter().filter(|(_, n)| n.name.contains("/q_")).count();
-        assert!(q_ops >= 6 * 8, "query-stream ops per layer missing, got {q_ops}");
+        assert!(
+            q_ops >= 6 * 8,
+            "query-stream ops per layer missing, got {q_ops}"
+        );
     }
 }

@@ -26,15 +26,30 @@ pub struct Adam {
 impl Adam {
     /// Adam with the usual defaults and the given learning rate.
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: 5.0, step: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: 5.0,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Applies one update across all `(param, grad)` pairs.
     pub fn step(&mut self, params_grads: &mut [(&mut [f64], &[f64])]) {
         // Lazy state init on first use.
         if self.m.len() != params_grads.len() {
-            self.m = params_grads.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
-            self.v = params_grads.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+            self.m = params_grads
+                .iter()
+                .map(|(p, _)| vec![0.0; p.len()])
+                .collect();
+            self.v = params_grads
+                .iter()
+                .map(|(p, _)| vec![0.0; p.len()])
+                .collect();
             self.step = 0;
         }
         self.step += 1;
@@ -108,7 +123,10 @@ mod tests {
         for _ in 0..300 {
             let ga = vec![2.0 * a[0]];
             let gb = vec![2.0 * (b[0] + 2.0)];
-            let mut pg = vec![(a.as_mut_slice(), ga.as_slice()), (b.as_mut_slice(), gb.as_slice())];
+            let mut pg = vec![
+                (a.as_mut_slice(), ga.as_slice()),
+                (b.as_mut_slice(), gb.as_slice()),
+            ];
             adam.step(&mut pg);
         }
         assert!(a[0].abs() < 0.01);

@@ -78,13 +78,25 @@ impl SelfAttention {
         }
         let concat = Matrix::hcat(&head_outs);
         let out = concat.matmul(&self.wo);
-        self.cache = Some(Cache { x: x.clone(), q, k, v, a: attn, concat });
+        self.cache = Some(Cache {
+            x: x.clone(),
+            q,
+            k,
+            v,
+            a: attn,
+            concat,
+        });
         out
     }
 
     /// Backward pass: accumulates weight grads, returns input grad.
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let c = self.cache.as_ref().expect("forward before backward").clone();
+        let c = self
+            .cache
+            .as_ref()
+            .expect("forward before backward")
+            .clone();
         let dh = self.wq.cols / self.heads;
         let scale = 1.0 / (dh as f64).sqrt();
 
@@ -141,7 +153,17 @@ impl SelfAttention {
 
     /// (parameter, gradient) pairs for the optimizer.
     pub fn params_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
-        let SelfAttention { wq, wk, wv, wo, gwq, gwk, gwv, gwo, .. } = self;
+        let SelfAttention {
+            wq,
+            wk,
+            wv,
+            wo,
+            gwq,
+            gwk,
+            gwv,
+            gwo,
+            ..
+        } = self;
         vec![
             (wq.data.as_mut_slice(), gwq.data.as_slice()),
             (wk.data.as_mut_slice(), gwk.data.as_slice()),
@@ -211,12 +233,7 @@ mod tests {
         a.backward(&ones);
         let eps = 1e-6;
         // Spot-check a few entries of each weight.
-        for (get, grad) in [
-            (0usize, &a.gwq),
-            (1, &a.gwk),
-            (2, &a.gwv),
-            (3, &a.gwo),
-        ] {
+        for (get, grad) in [(0usize, &a.gwq), (1, &a.gwk), (2, &a.gwv), (3, &a.gwo)] {
             for i in [0usize, 5, 11] {
                 let mut ap = base.clone();
                 let mut am = base.clone();

@@ -126,7 +126,10 @@ impl Dense {
     pub fn params_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
         // Split borrows: weights with their grads, bias with its grad.
         let Dense { w, b, gw, gb, .. } = self;
-        vec![(w.data.as_mut_slice(), gw.data.as_slice()), (b.as_mut_slice(), gb.as_slice())]
+        vec![
+            (w.data.as_mut_slice(), gw.data.as_slice()),
+            (b.as_mut_slice(), gb.as_slice()),
+        ]
     }
 }
 

@@ -96,8 +96,10 @@ impl GatLayer {
             let mut alpha: Vec<Vec<f64>> = Vec::with_capacity(o);
             let mut z = Matrix::zeros(o, dh);
             for i in 0..o {
-                let logits: Vec<f64> =
-                    nbrs[i].iter().map(|&j| leaky(s[i] + t[j as usize])).collect();
+                let logits: Vec<f64> = nbrs[i]
+                    .iter()
+                    .map(|&j| leaky(s[i] + t[j as usize]))
+                    .collect();
                 let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
                 let sum: f64 = exps.iter().sum();
@@ -117,13 +119,23 @@ impl GatLayer {
             zs.push(z);
         }
         let out = Matrix::hcat(&head_outs);
-        self.cache = Some(Cache { x: x.clone(), h: hs, alpha: alphas, z: zs });
+        self.cache = Some(Cache {
+            x: x.clone(),
+            h: hs,
+            alpha: alphas,
+            z: zs,
+        });
         out
     }
 
     /// Backward pass; `nbrs` must be the same lists used in `forward`.
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing
     pub fn backward(&mut self, grad_out: &Matrix, nbrs: &[Vec<u32>]) -> Matrix {
-        let c = self.cache.as_ref().expect("forward before backward").clone();
+        let c = self
+            .cache
+            .as_ref()
+            .expect("forward before backward")
+            .clone();
         let o = c.x.rows;
         let dh = self.w[0].cols;
         let dheads = grad_out.hsplit(self.heads);
@@ -173,7 +185,11 @@ impl GatLayer {
                 for cix in 0..dh {
                     self.ga_src[k][cix] += ds[i] * hi[cix];
                     self.ga_dst[k][cix] += dt[i] * hi[cix];
-                    dh_mat.add_at(i, cix, ds[i] * self.a_src[k][cix] + dt[i] * self.a_dst[k][cix]);
+                    dh_mat.add_at(
+                        i,
+                        cix,
+                        ds[i] * self.a_src[k][cix] + dt[i] * self.a_dst[k][cix],
+                    );
                 }
             }
             self.gw[k].add_scaled(&c.x.t_matmul(&dh_mat), 1.0);
@@ -194,7 +210,15 @@ impl GatLayer {
 
     /// (parameter, gradient) pairs for the optimizer.
     pub fn params_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
-        let GatLayer { w, a_src, a_dst, gw, ga_src, ga_dst, .. } = self;
+        let GatLayer {
+            w,
+            a_src,
+            a_dst,
+            gw,
+            ga_src,
+            ga_dst,
+            ..
+        } = self;
         let mut out: Vec<(&mut [f64], &[f64])> = Vec::new();
         for (wm, g) in w.iter_mut().zip(gw.iter()) {
             out.push((wm.data.as_mut_slice(), g.data.as_slice()));
@@ -337,8 +361,7 @@ mod tests {
         let base = GatLayer::new(3, 2, 2, &mut rng);
         let x = xavier(4, 3, &mut rng);
         let nbrs = chain_nbrs(4);
-        let loss =
-            |g: &GatLayer| g.clone().forward(&x, &nbrs).data.iter().sum::<f64>();
+        let loss = |g: &GatLayer| g.clone().forward(&x, &nbrs).data.iter().sum::<f64>();
         let mut g = base.clone();
         let y = g.forward(&x, &nbrs);
         let ones = Matrix::from_vec(y.rows, y.cols, vec![1.0; y.data.len()]);

@@ -59,6 +59,12 @@ mod tests {
     #[test]
     fn accepts_correct_gradient() {
         let x = Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
-        check_input_grad(&x, |x| x.map(|v| v * v), |x, _| x.map(|v| 2.0 * v), 1e-6, 1e-6);
+        check_input_grad(
+            &x,
+            |x| x.map(|v| v * v),
+            |x, _| x.map(|v| 2.0 * v),
+            1e-6,
+            1e-6,
+        );
     }
 }

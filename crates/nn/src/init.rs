@@ -8,7 +8,9 @@ use crate::matrix::Matrix;
 /// Xavier/Glorot-uniform initialized `rows x cols` matrix.
 pub fn xavier(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Matrix {
     let limit = (6.0 / (rows + cols) as f64).sqrt();
-    let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 

@@ -34,6 +34,7 @@ impl LayerNorm {
     }
 
     /// Forward pass.
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let d = self.gamma.len();
         assert_eq!(x.cols, d);
@@ -57,6 +58,7 @@ impl LayerNorm {
     }
 
     /// Backward pass: accumulates parameter grads, returns input grad.
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let (xhat, inv_std) = self.cache.as_ref().expect("forward before backward");
         let d = self.gamma.len() as f64;
@@ -90,8 +92,17 @@ impl LayerNorm {
 
     /// (parameter, gradient) pairs for the optimizer.
     pub fn params_grads(&mut self) -> Vec<(&mut [f64], &[f64])> {
-        let LayerNorm { gamma, beta, ggamma, gbeta, .. } = self;
-        vec![(gamma.as_mut_slice(), ggamma.as_slice()), (beta.as_mut_slice(), gbeta.as_slice())]
+        let LayerNorm {
+            gamma,
+            beta,
+            ggamma,
+            gbeta,
+            ..
+        } = self;
+        vec![
+            (gamma.as_mut_slice(), ggamma.as_slice()),
+            (beta.as_mut_slice(), gbeta.as_slice()),
+        ]
     }
 }
 
@@ -108,7 +119,12 @@ mod tests {
         let y = ln.forward(&x);
         for r in 0..2 {
             let mean: f64 = y.row(r).iter().sum::<f64>() / 4.0;
-            let var: f64 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            let var: f64 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / 4.0;
             assert!(mean.abs() < 1e-9);
             assert!((var - 1.0).abs() < 1e-3);
         }

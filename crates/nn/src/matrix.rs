@@ -16,7 +16,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix from a row-major vector (length must match).
@@ -127,8 +131,17 @@ impl Matrix {
     /// Elementwise sum (shapes must match).
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += scale * other`.
@@ -151,8 +164,17 @@ impl Matrix {
     /// Elementwise product.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Adds a row-vector (`1 x cols`) to every row.
@@ -208,7 +230,8 @@ impl Matrix {
             .map(|p| {
                 let mut m = Matrix::zeros(self.rows, w);
                 for r in 0..self.rows {
-                    m.row_mut(r).copy_from_slice(&self.row(r)[p * w..(p + 1) * w]);
+                    m.row_mut(r)
+                        .copy_from_slice(&self.row(r)[p * w..(p + 1) * w]);
                 }
                 m
             })

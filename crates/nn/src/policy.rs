@@ -73,12 +73,17 @@ pub struct PolicyGradient {
 impl PolicyGradient {
     /// Gradient of the negated objective at the logits, given row-wise
     /// probabilities and the sampled action per row.
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing
     pub fn logits_grad(&self, probs: &Matrix, actions: &[usize]) -> Matrix {
         assert_eq!(actions.len(), probs.rows);
         let mut grad = Matrix::zeros(probs.rows, probs.cols);
         for r in 0..probs.rows {
             let row = probs.row(r);
-            let h: f64 = -row.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+            let h: f64 = -row
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| p * p.ln())
+                .sum::<f64>();
             for c in 0..probs.cols {
                 let p = row[c];
                 let pg = self.advantage * (p - f64::from(c == actions[r]));
@@ -101,7 +106,14 @@ impl PolicyGradient {
     /// Total row-entropy.
     pub fn entropy(probs: &Matrix) -> f64 {
         (0..probs.rows)
-            .map(|r| -probs.row(r).iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>())
+            .map(|r| {
+                -probs
+                    .row(r)
+                    .iter()
+                    .filter(|&&p| p > 0.0)
+                    .map(|&p| p * p.ln())
+                    .sum::<f64>()
+            })
             .sum()
     }
 }
@@ -151,7 +163,10 @@ mod tests {
         // Check d(-adv*logπ(a) - λH)/dlogits numerically.
         let logits = Matrix::from_vec(2, 3, vec![0.3, -0.7, 1.2, 0.0, 0.5, -0.5]);
         let actions = vec![2usize, 0usize];
-        let pg = PolicyGradient { advantage: 1.7, entropy_coeff: 0.3 };
+        let pg = PolicyGradient {
+            advantage: 1.7,
+            entropy_coeff: 0.3,
+        };
         let obj = |l: &Matrix| {
             let p = softmax_rows(l);
             -(pg.advantage * PolicyGradient::log_prob(&p, &actions)
@@ -178,10 +193,16 @@ mod tests {
     fn higher_advantage_pushes_harder_toward_action() {
         let logits = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
         let probs = softmax_rows(&logits);
-        let g_small =
-            PolicyGradient { advantage: 0.5, entropy_coeff: 0.0 }.logits_grad(&probs, &[0]);
-        let g_big =
-            PolicyGradient { advantage: 2.0, entropy_coeff: 0.0 }.logits_grad(&probs, &[0]);
+        let g_small = PolicyGradient {
+            advantage: 0.5,
+            entropy_coeff: 0.0,
+        }
+        .logits_grad(&probs, &[0]);
+        let g_big = PolicyGradient {
+            advantage: 2.0,
+            entropy_coeff: 0.0,
+        }
+        .logits_grad(&probs, &[0]);
         // Negative gradient at the chosen action (descending increases π).
         assert!(g_small.get(0, 0) < 0.0);
         assert!(g_big.get(0, 0) < g_small.get(0, 0));

@@ -162,7 +162,10 @@ mod tests {
         let mut cm = CostModel::default();
         cm.op_fits.insert(
             (OpKind::Conv2D, GpuModel::TeslaV100),
-            LinearFit { slope: 0.0, intercept: 0.123 },
+            LinearFit {
+                slope: 0.0,
+                intercept: 0.123,
+            },
         );
         let n = conv_node();
         assert_eq!(cm.op_time(&n, GpuModel::TeslaV100, 64), 0.123);
@@ -187,8 +190,17 @@ mod tests {
         let cluster = paper_testbed_8gpu();
         // Cross-server from the 100GbE box to a 50GbE box: the 50GbE
         // ingress NIC governs.
-        let t = path_time(&GroundTruthCost, &cluster, DeviceId(0), DeviceId(2), 53 << 20);
+        let t = path_time(
+            &GroundTruthCost,
+            &cluster,
+            DeviceId(0),
+            DeviceId(2),
+            53 << 20,
+        );
         let expected = (53u64 << 20) as f64 / 5.3e9;
-        assert!((t - expected).abs() / expected < 0.05, "t={t} expected≈{expected}");
+        assert!(
+            (t - expected).abs() / expected < 0.05,
+            "t={t} expected≈{expected}"
+        );
     }
 }

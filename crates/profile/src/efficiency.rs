@@ -31,7 +31,9 @@ pub fn kind_utilization(model: GpuModel, kind: OpKind) -> f64 {
         Conv1D | DepthwiseConv2D => Class::NarrowConv,
         MatMul | BatchMatMul | MatMulBackpropInput | MatMulBackpropWeight => Class::GemmLike,
         Embedding | EmbeddingGrad => Class::Gather,
-        BatchNorm | LayerNorm | Softmax | Activation | Add | Mul | Dropout | Loss => Class::MemBound,
+        BatchNorm | LayerNorm | Softmax | Activation | Add | Mul | Dropout | Loss => {
+            Class::MemBound
+        }
         MaxPool | AvgPool => Class::MemBound,
         ApplyGradient | GradAggregate => Class::MemBound,
         Backward => Class::GemmLike,
@@ -159,7 +161,11 @@ mod tests {
 
     #[test]
     fn overheads_are_microseconds() {
-        for m in [GpuModel::TeslaV100, GpuModel::TeslaP100, GpuModel::Gtx1080Ti] {
+        for m in [
+            GpuModel::TeslaV100,
+            GpuModel::TeslaP100,
+            GpuModel::Gtx1080Ti,
+        ] {
             let o = launch_overhead_s(m);
             assert!((1e-6..2e-5).contains(&o));
         }

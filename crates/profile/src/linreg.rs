@@ -20,7 +20,10 @@ impl LinearFit {
     pub fn fit(samples: &[(f64, f64)]) -> Self {
         let n = samples.len() as f64;
         if samples.is_empty() {
-            return LinearFit { slope: 0.0, intercept: 0.0 };
+            return LinearFit {
+                slope: 0.0,
+                intercept: 0.0,
+            };
         }
         let sx: f64 = samples.iter().map(|s| s.0).sum();
         let sy: f64 = samples.iter().map(|s| s.1).sum();
@@ -29,7 +32,10 @@ impl LinearFit {
         let denom = n * sxx - sx * sx;
         if denom.abs() < 1e-30 {
             // All x identical: constant model through the mean.
-            return LinearFit { slope: 0.0, intercept: sy / n };
+            return LinearFit {
+                slope: 0.0,
+                intercept: sy / n,
+            };
         }
         let slope = (n * sxy - sx * sy) / denom;
         let intercept = (sy - slope * sx) / n;
@@ -86,7 +92,10 @@ mod tests {
 
     #[test]
     fn predictions_never_negative() {
-        let f = LinearFit { slope: -1.0, intercept: 0.5 };
+        let f = LinearFit {
+            slope: -1.0,
+            intercept: 0.5,
+        };
         assert_eq!(f.predict(100.0), 0.0);
     }
 }

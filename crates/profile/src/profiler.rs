@@ -93,8 +93,10 @@ impl Profiler {
             }
         }
 
-        let op_fits =
-            op_samples.into_iter().map(|(k, pts)| (k, LinearFit::fit(&pts))).collect();
+        let op_fits = op_samples
+            .into_iter()
+            .map(|(k, pts)| (k, LinearFit::fit(&pts)))
+            .collect();
 
         // Link profiling: transfer a sweep of sizes over each directed link.
         let sizes: [u64; 5] = [64 << 10, 1 << 20, 8 << 20, 64 << 20, 256 << 20];
@@ -141,7 +143,11 @@ mod tests {
             let truth = GroundTruthCost.op_time(node, GpuModel::TeslaV100, 64);
             let pred = cm.op_time(node, GpuModel::TeslaV100, 64);
             let rel = (pred - truth).abs() / truth;
-            assert!(rel < 0.25, "{}: pred {pred:.3e} truth {truth:.3e}", node.name);
+            assert!(
+                rel < 0.25,
+                "{}: pred {pred:.3e} truth {truth:.3e}",
+                node.name
+            );
             checked += 1;
         }
         assert!(checked > 10);
@@ -176,7 +182,10 @@ mod tests {
         let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 32).build();
         let cluster = paper_testbed_8gpu();
         let a = Profiler::default().profile(&[&g], &cluster);
-        let cfg = ProfilerConfig { seed: 7, ..Default::default() };
+        let cfg = ProfilerConfig {
+            seed: 7,
+            ..Default::default()
+        };
         let b = Profiler::new(cfg).profile(&[&g], &cluster);
         let k = (OpKind::Conv2D, GpuModel::TeslaV100);
         assert_ne!(a.op_fits.get(&k).unwrap(), b.op_fits.get(&k).unwrap());

@@ -7,7 +7,12 @@ fn main() {
     let (tg, t_star) = worst_case_instance(h, k, 1.0, 1e-9);
     let prio = adversarial_priorities(&tg, h, k);
     let s = strict_schedule(&tg, &prio);
-    println!("strict TLS={} T*={} ratio={:.2}", s.makespan, t_star, s.makespan / t_star);
+    println!(
+        "strict TLS={} T*={} ratio={:.2}",
+        s.makespan,
+        t_star,
+        s.makespan / t_star
+    );
     let chain_len = k * h;
     for j in 0..h - 1 {
         let starts: Vec<String> = (0..chain_len)
@@ -17,6 +22,8 @@ fn main() {
         println!("chain {}: p starts: {:?}", j + 1, starts);
     }
     let base = (h - 1) * chain_len;
-    let ind: Vec<String> = (0..k).map(|i| format!("{:.2}", s.start[base + i])).collect();
+    let ind: Vec<String> = (0..k)
+        .map(|i| format!("{:.2}", s.start[base + i]))
+        .collect();
     println!("independent: {:?}", ind);
 }

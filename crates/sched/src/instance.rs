@@ -42,7 +42,12 @@ pub fn worst_case_instance(h: usize, k: usize, p: f64, e: f64) -> (TaskGraph, f6
 
     // k independent p-operations on the last processor.
     for i in 0..k {
-        tg.add_task(Task::new(format!("ind_{i}"), OpKind::NoOp, Proc::Gpu((h - 1) as u32), p));
+        tg.add_task(Task::new(
+            format!("ind_{i}"),
+            OpKind::NoOp,
+            Proc::Gpu((h - 1) as u32),
+            p,
+        ));
     }
 
     let t_star = k as f64 * (p + (h as f64 - 1.0) * e) + (h as f64 - 2.0) * e;
@@ -117,7 +122,10 @@ mod tests {
             "expected near-{h}x degradation, got {ratio:.2} (T_LS={}, T*={t_star})",
             s.makespan
         );
-        assert!(ratio <= h as f64 + 1e-6, "cannot exceed the Theorem 1 bound: {ratio}");
+        assert!(
+            ratio <= h as f64 + 1e-6,
+            "cannot exceed the Theorem 1 bound: {ratio}"
+        );
     }
 
     #[test]
@@ -153,6 +161,9 @@ mod tests {
         let (tg, t_star) = worst_case_instance(h, k, 1.0, 1e-9);
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         let ratio = s.makespan / t_star;
-        assert!(ratio > 1.5, "rank-based should still degrade, got {ratio:.2}");
+        assert!(
+            ratio > 1.5,
+            "rank-based should still degrade, got {ratio:.2}"
+        );
     }
 }

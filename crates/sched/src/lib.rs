@@ -26,7 +26,7 @@ pub mod strict;
 pub mod task;
 
 pub use instance::{adversarial_priorities, worst_case_instance};
-pub use strict::strict_schedule;
 pub use list::{list_schedule, makespan_lower_bound, OrderPolicy, Schedule};
 pub use rank::upward_ranks;
+pub use strict::strict_schedule;
 pub use task::{Proc, Task, TaskGraph, TaskId};

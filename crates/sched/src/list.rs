@@ -15,6 +15,19 @@ use serde::{Deserialize, Serialize};
 use crate::rank::{critical_path, upward_ranks};
 use crate::task::{TaskGraph, TaskId};
 
+static TASKS_SCHEDULED: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_sched_tasks_scheduled_total",
+    "Tasks executed by the list scheduler",
+);
+static QUEUE_DEPTH_HIWATER: heterog_telemetry::Gauge = heterog_telemetry::Gauge::new(
+    "heterog_sched_queue_depth_hiwater",
+    "Largest per-processor ready-queue depth observed",
+);
+static SCHEDULE_SECONDS: heterog_telemetry::Histogram = heterog_telemetry::Histogram::new(
+    "heterog_sched_schedule_seconds",
+    "Wall-clock time of list_schedule calls",
+);
+
 /// How each processor orders its ready tasks.
 #[derive(Debug, Clone)]
 pub enum OrderPolicy {
@@ -103,6 +116,9 @@ impl PartialOrd for Done {
 
 /// Executes `tg` under `policy` and returns the schedule.
 pub fn list_schedule(tg: &TaskGraph, policy: &OrderPolicy) -> Schedule {
+    let _span = heterog_telemetry::span("list_schedule");
+    let telemetry_on = heterog_telemetry::enabled();
+    let wall_start = telemetry_on.then(std::time::Instant::now);
     let n = tg.len();
     let priorities: Vec<f64> = match policy {
         OrderPolicy::RankBased => upward_ranks(tg),
@@ -129,7 +145,14 @@ pub fn list_schedule(tg: &TaskGraph, policy: &OrderPolicy) -> Schedule {
         let p = tg.proc_index(tg.task(t).proc);
         let s = if fifo { *seq } else { t.0 as u64 };
         *seq += 1;
-        ready[p].push(Key { priority: priorities[t.index()], seq: s, task: t });
+        ready[p].push(Key {
+            priority: priorities[t.index()],
+            seq: s,
+            task: t,
+        });
+        if telemetry_on {
+            QUEUE_DEPTH_HIWATER.record_max(ready[p].len() as f64);
+        }
     };
 
     // Seed with dependency-free tasks (in id order, defining FIFO arrival).
@@ -167,7 +190,16 @@ pub fn list_schedule(tg: &TaskGraph, policy: &OrderPolicy) -> Schedule {
     }
 
     assert_eq!(completed, n, "deadlock: task graph must be acyclic");
-    Schedule { makespan: now, start, finish, proc_busy }
+    TASKS_SCHEDULED.add(n as u64);
+    if let Some(t0) = wall_start {
+        SCHEDULE_SECONDS.observe(t0.elapsed().as_secs_f64());
+    }
+    Schedule {
+        makespan: now,
+        start,
+        finish,
+        proc_busy,
+    }
 }
 
 fn dispatch(
@@ -185,7 +217,10 @@ fn dispatch(
     if let Some(key) = ready[p].pop() {
         busy[p] = true;
         start[key.task.index()] = now;
-        events.push(Done { time: now + tg.task(key.task).duration, task: key.task });
+        events.push(Done {
+            time: now + tg.task(key.task).duration,
+            task: key.task,
+        });
     }
 }
 

@@ -2,6 +2,11 @@
 
 use crate::task::{TaskGraph, TaskId};
 
+static RANK_SECONDS: heterog_telemetry::Histogram = heterog_telemetry::Histogram::new(
+    "heterog_sched_rank_seconds",
+    "Wall-clock time of upward-rank sweeps",
+);
+
 /// Computes the paper's rank for every task:
 ///
 /// ```text
@@ -12,17 +17,19 @@ use crate::task::{TaskGraph, TaskId};
 /// itself (HEFT's upward rank with fixed placements). Sinks rank at
 /// their own duration. Computed in one reverse-topological sweep, O(V+E).
 pub fn upward_ranks(tg: &TaskGraph) -> Vec<f64> {
-    let order = tg.topo_order();
-    let mut rank = vec![0.0f64; tg.len()];
-    for &id in order.iter().rev() {
-        let best_succ = tg
-            .succs(id)
-            .iter()
-            .map(|s| rank[s.index()])
-            .fold(0.0f64, f64::max);
-        rank[id.index()] = tg.task(id).duration + best_succ;
-    }
-    rank
+    heterog_telemetry::metrics::time_closure(&RANK_SECONDS, || {
+        let order = tg.topo_order();
+        let mut rank = vec![0.0f64; tg.len()];
+        for &id in order.iter().rev() {
+            let best_succ = tg
+                .succs(id)
+                .iter()
+                .map(|s| rank[s.index()])
+                .fold(0.0f64, f64::max);
+            rank[id.index()] = tg.task(id).duration + best_succ;
+        }
+        rank
+    })
 }
 
 /// The critical-path length: the largest rank among source tasks (equal

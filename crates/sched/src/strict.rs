@@ -44,7 +44,8 @@ pub fn strict_schedule(tg: &TaskGraph, priorities: &[f64]) -> Schedule {
     let mut proc_free = vec![0.0f64; num_procs];
     let mut proc_busy = vec![0.0f64; num_procs];
     let mut done = vec![false; n];
-    let mut remaining_preds: Vec<usize> = (0..n).map(|i| tg.preds(TaskId(i as u32)).len()).collect();
+    let mut remaining_preds: Vec<usize> =
+        (0..n).map(|i| tg.preds(TaskId(i as u32)).len()).collect();
     let mut ready_at = vec![0.0f64; n]; // max finish of preds
     let mut start = vec![f64::NAN; n];
     let mut finish = vec![f64::NAN; n];
@@ -63,7 +64,7 @@ pub fn strict_schedule(tg: &TaskGraph, priorities: &[f64]) -> Schedule {
                 continue; // head not ready; this device idles
             }
             let s = proc_free[p].max(ready_at[t.index()]);
-            if best.map_or(true, |(bs, _)| s < bs) {
+            if best.is_none_or(|(bs, _)| s < bs) {
                 best = Some((s, p));
             }
         }
@@ -86,7 +87,12 @@ pub fn strict_schedule(tg: &TaskGraph, priorities: &[f64]) -> Schedule {
     }
 
     let makespan = finish.iter().cloned().fold(0.0f64, f64::max);
-    Schedule { makespan, start, finish, proc_busy }
+    Schedule {
+        makespan,
+        start,
+        finish,
+        proc_busy,
+    }
 }
 
 #[cfg(test)]

@@ -193,7 +193,10 @@ impl TaskGraph {
 
     /// Iterates `(id, task)`.
     pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
-        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i as u32), t))
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId(i as u32), t))
     }
 
     /// Successors of `id`.

@@ -78,8 +78,16 @@ pub fn memory_usage(tg: &TaskGraph, schedule: &Schedule, capacities: &[u64]) -> 
     }
 
     let peak_bytes: Vec<u64> = peak.into_iter().map(|p| p.max(0) as u64).collect();
-    let oom = peak_bytes.iter().zip(capacities).map(|(&p, &c)| p > c).collect();
-    MemoryReport { peak_bytes, param_bytes, oom }
+    let oom = peak_bytes
+        .iter()
+        .zip(capacities)
+        .map(|(&p, &c)| p > c)
+        .collect();
+    MemoryReport {
+        peak_bytes,
+        param_bytes,
+        oom,
+    }
 }
 
 /// When `id`'s output can be freed: the max finish time over its
@@ -109,9 +117,7 @@ mod tests {
     #[test]
     fn params_always_pinned() {
         let mut tg = TaskGraph::new("p", 1, 0);
-        tg.add_task(
-            Task::new("w", OpKind::Conv2D, Proc::Gpu(0), 1.0).with_param_bytes(1000),
-        );
+        tg.add_task(Task::new("w", OpKind::Conv2D, Proc::Gpu(0), 1.0).with_param_bytes(1000));
         let s = run(&tg);
         let m = memory_usage(&tg, &s, &[10_000]);
         assert_eq!(m.param_bytes[0], 1000);

@@ -3,8 +3,30 @@
 use serde::{Deserialize, Serialize};
 
 use heterog_sched::{list_schedule, OrderPolicy, Schedule, TaskGraph};
+use heterog_telemetry::{Counter, Gauge, Histogram};
 
 use crate::memory::{memory_usage, MemoryReport};
+
+static SIMULATIONS: Counter = Counter::new(
+    "heterog_sim_simulations_total",
+    "Training-iteration simulations run",
+);
+static EVENTS_PROCESSED: Counter = Counter::new(
+    "heterog_sim_events_processed_total",
+    "Task-completion events processed by the discrete-event simulator",
+);
+static OOM_DEVICES: Counter = Counter::new(
+    "heterog_sim_oom_devices_total",
+    "GPU placements that exceeded device memory across all simulations",
+);
+static MEMORY_PEAK: Gauge = Gauge::new(
+    "heterog_sim_memory_peak_bytes",
+    "Highest per-GPU peak memory (incl. runtime workspace) seen so far",
+);
+static ITERATION_TIME: Histogram = Histogram::new(
+    "heterog_sim_iteration_time_seconds",
+    "Simulated per-iteration times",
+);
 
 /// Everything the simulator learns about one training iteration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,6 +75,7 @@ impl SimReport {
 /// * `policy` — execution-order policy (rank-based = HeteroG's scheduler;
 ///   FIFO = TensorFlow default, the §6.6 baseline).
 pub fn simulate(tg: &TaskGraph, capacities: &[u64], policy: &OrderPolicy) -> SimReport {
+    let _span = heterog_telemetry::span("simulate");
     let schedule = list_schedule(tg, policy);
     let mut memory = memory_usage(tg, &schedule, capacities);
     // Charge the framework's resident workspace on every active GPU and
@@ -72,6 +95,15 @@ pub fn simulate(tg: &TaskGraph, capacities: &[u64], policy: &OrderPolicy) -> Sim
     let (gpu_busy, link_busy) = split_busy(tg, &schedule);
     let computation_time = gpu_busy.iter().cloned().fold(0.0, f64::max);
     let communication_time = link_active_union(tg, &schedule);
+    SIMULATIONS.inc();
+    // The event-driven scheduler processes exactly one completion event
+    // per task.
+    EVENTS_PROCESSED.add(tg.len() as u64);
+    OOM_DEVICES.add(memory.oom.iter().filter(|&&o| o).count() as u64);
+    if let Some(&peak) = memory.peak_bytes.iter().max() {
+        MEMORY_PEAK.record_max(peak as f64);
+    }
+    ITERATION_TIME.observe(schedule.makespan);
     SimReport {
         iteration_time: schedule.makespan,
         memory,
@@ -151,7 +183,8 @@ mod tests {
     fn demo_graph() -> TaskGraph {
         // GPU0: a(1.0) -> link x(0.5) -> GPU1: b(1.0); GPU0 also c(2.0).
         let mut tg = TaskGraph::new("demo", 2, 1);
-        let a = tg.add_task(Task::new("a", OpKind::Conv2D, Proc::Gpu(0), 1.0).with_output_bytes(64));
+        let a =
+            tg.add_task(Task::new("a", OpKind::Conv2D, Proc::Gpu(0), 1.0).with_output_bytes(64));
         let x = tg.add_task(Task::new("x", OpKind::Transfer, Proc::Link(0), 0.5));
         let b = tg.add_task(Task::new("b", OpKind::Conv2D, Proc::Gpu(1), 1.0));
         tg.add_task(Task::new("c", OpKind::Conv2D, Proc::Gpu(0), 2.0));
@@ -205,7 +238,12 @@ mod tests {
     fn phase_breakdown_buckets() {
         let mut tg = TaskGraph::new("p", 1, 1);
         tg.add_task(Task::new("f", OpKind::Conv2D, Proc::Gpu(0), 1.0));
-        tg.add_task(Task::new("b", OpKind::Conv2DBackpropFilter, Proc::Gpu(0), 2.0));
+        tg.add_task(Task::new(
+            "b",
+            OpKind::Conv2DBackpropFilter,
+            Proc::Gpu(0),
+            2.0,
+        ));
         tg.add_task(Task::new("u", OpKind::ApplyGradient, Proc::Gpu(0), 0.25));
         tg.add_task(Task::new("x", OpKind::Transfer, Proc::Link(0), 0.5));
         let s = list_schedule(&tg, &OrderPolicy::RankBased);

@@ -92,8 +92,13 @@ mod tests {
     fn baselines_cover_every_op() {
         let g = ModelSpec::new(BenchmarkModel::Vgg19, 64).build();
         let c = paper_testbed_8gpu();
-        let planners: [&dyn Planner; 5] =
-            [&EvPsPlanner, &EvArPlanner, &CpPsPlanner, &CpArPlanner, &HorovodPlanner];
+        let planners: [&dyn Planner; 5] = [
+            &EvPsPlanner,
+            &EvArPlanner,
+            &CpPsPlanner,
+            &CpArPlanner,
+            &HorovodPlanner,
+        ];
         for p in planners {
             let s = p.plan(&g, &c, &GroundTruthCost);
             assert_eq!(s.per_op.len(), g.len(), "{}", p.name());

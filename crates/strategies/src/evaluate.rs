@@ -11,6 +11,11 @@ use heterog_profile::CostEstimator;
 use heterog_sched::OrderPolicy;
 use heterog_sim::{simulate, SimReport};
 
+static EVALUATIONS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_strategies_evaluations_total",
+    "Strategy evaluations (compile + simulate) performed",
+);
+
 /// Outcome of evaluating one strategy.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
@@ -53,6 +58,8 @@ pub fn evaluate_with_policy<C: CostEstimator>(
     strategy: &Strategy,
     policy: &OrderPolicy,
 ) -> Evaluation {
+    let _span = heterog_telemetry::span("evaluate");
+    EVALUATIONS.inc();
     let tg = compile(g, cluster, cost, strategy);
     let report = simulate(&tg, &cluster.memory_capacities(), policy);
     Evaluation {
@@ -105,7 +112,11 @@ mod tests {
             oom: false,
             report: sim_stub(),
         };
-        let b = Evaluation { iteration_time: 4.0, oom: true, ..a.clone() };
+        let b = Evaluation {
+            iteration_time: 4.0,
+            oom: true,
+            ..a.clone()
+        };
         assert_eq!(a.reward(), -2.0);
         assert_eq!(b.reward(), -20.0);
     }
@@ -131,14 +142,12 @@ mod tests {
         let c = paper_testbed_8gpu();
         let s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
         let single = evaluate(&g, &c, &GroundTruthCost, &s).iteration_time;
-        let steady = steady_state_iteration_time(
-            &g,
-            &c,
-            &GroundTruthCost,
-            &s,
-            &OrderPolicy::RankBased,
-        );
+        let steady =
+            steady_state_iteration_time(&g, &c, &GroundTruthCost, &s, &OrderPolicy::RankBased);
         assert!(steady > 0.0);
-        assert!(steady <= single * 1.001, "steady {steady} vs single {single}");
+        assert!(
+            steady <= single * 1.001,
+            "steady {steady} vs single {single}"
+        );
     }
 }

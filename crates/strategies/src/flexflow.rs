@@ -36,7 +36,12 @@ pub struct FlexFlowPlanner {
 
 impl Default for FlexFlowPlanner {
     fn default() -> Self {
-        FlexFlowPlanner { iterations: 150, groups: 48, temperature: 0.05, seed: 0xF1EF }
+        FlexFlowPlanner {
+            iterations: 150,
+            groups: 48,
+            temperature: 0.05,
+            seed: 0xF1EF,
+        }
     }
 }
 
@@ -59,7 +64,9 @@ impl Planner for FlexFlowPlanner {
         let mut best = current.clone();
         let mut best_cost = penalized(&cur_eval);
 
+        let _span = heterog_telemetry::span("flexflow_mcmc");
         for _ in 0..self.iterations {
+            crate::SEARCH_ITERATIONS.inc();
             // Propose: re-randomize one group's configuration.
             let gi = rng.gen_range(0..grouping.len());
             let choice = rng.gen_range(0..m + 2);
@@ -114,7 +121,11 @@ mod tests {
     fn search_never_worse_than_start() {
         let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
         let c = paper_testbed_8gpu();
-        let p = FlexFlowPlanner { iterations: 15, groups: 12, ..Default::default() };
+        let p = FlexFlowPlanner {
+            iterations: 15,
+            groups: 12,
+            ..Default::default()
+        };
         let found = p.plan(&g, &c, &GroundTruthCost);
         let base = Strategy::even(g.len(), &c, CommMethod::AllReduce);
         let t_found = evaluate(&g, &c, &GroundTruthCost, &found).iteration_time;
@@ -126,7 +137,11 @@ mod tests {
     fn deterministic_given_seed() {
         let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 32).build();
         let c = paper_testbed_8gpu();
-        let p = FlexFlowPlanner { iterations: 8, groups: 8, ..Default::default() };
+        let p = FlexFlowPlanner {
+            iterations: 8,
+            groups: 8,
+            ..Default::default()
+        };
         let a = p.plan(&g, &c, &GroundTruthCost);
         let b = p.plan(&g, &c, &GroundTruthCost);
         assert_eq!(a, b);

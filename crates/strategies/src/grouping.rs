@@ -18,7 +18,10 @@ pub fn avg_op_times<C: CostEstimator>(g: &Graph, cluster: &Cluster, cost: &C) ->
     models.dedup();
     g.iter()
         .map(|(_, n)| {
-            models.iter().map(|&m| cost.op_time(n, m, g.batch_size)).sum::<f64>()
+            models
+                .iter()
+                .map(|&m| cost.op_time(n, m, g.batch_size))
+                .sum::<f64>()
                 / models.len() as f64
         })
         .collect()
@@ -64,7 +67,10 @@ pub fn group_ops(g: &Graph, avg_time: &[f64], max_groups: usize) -> Grouping {
     // Top-N seeds by average execution time (ties: lower id).
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| avg_time[b].total_cmp(&avg_time[a]).then(a.cmp(&b)));
-    let seeds: Vec<OpId> = order[..max_groups].iter().map(|&i| OpId(i as u32)).collect();
+    let seeds: Vec<OpId> = order[..max_groups]
+        .iter()
+        .map(|&i| OpId(i as u32))
+        .collect();
 
     // Nearest seed via one multi-source BFS.
     let owner = topo::nearest_seed(g, &seeds);
@@ -83,7 +89,7 @@ pub fn group_ops(g: &Graph, avg_time: &[f64], max_groups: usize) -> Grouping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heterog_graph::{GraphBuilder, ModelSpec, BenchmarkModel, OpKind};
+    use heterog_graph::{BenchmarkModel, GraphBuilder, ModelSpec, OpKind};
 
     fn times(g: &Graph) -> Vec<f64> {
         g.iter().map(|(_, n)| n.flops(g.batch_size)).collect()

@@ -59,11 +59,13 @@ impl Planner for HetPipePlanner {
                     if vw.is_empty() {
                         continue;
                     }
-                    let stage =
-                        ((frac * vw.len() as f64).floor() as usize).min(vw.len() - 1);
+                    let stage = ((frac * vw.len() as f64).floor() as usize).min(vw.len() - 1);
                     replicas[vw[stage].index()] = 1;
                 }
-                OpStrategy::Dp { replicas, comm: CommMethod::Ps }
+                OpStrategy::Dp {
+                    replicas,
+                    comm: CommMethod::Ps,
+                }
             })
             .collect();
         Strategy { per_op }

@@ -6,6 +6,13 @@
 //! space its paper explores), the operation grouping of §4.1.1, and a
 //! shared simulator-backed evaluator they all optimize against.
 
+/// Search iterations across the stochastic baseline planners (FlexFlow
+/// MCMC proposals + Post CEM rounds).
+pub(crate) static SEARCH_ITERATIONS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_strategies_search_iterations_total",
+    "Search iterations across baseline planners (FlexFlow MCMC, Post CEM)",
+);
+
 pub mod baselines;
 pub mod evaluate;
 pub mod flexflow;

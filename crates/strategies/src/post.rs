@@ -41,7 +41,14 @@ pub struct PostPlanner {
 
 impl Default for PostPlanner {
     fn default() -> Self {
-        PostPlanner { iterations: 8, samples: 16, elite_frac: 0.25, alpha: 0.7, groups: 48, seed: 0x9057 }
+        PostPlanner {
+            iterations: 8,
+            samples: 16,
+            elite_frac: 0.25,
+            alpha: 0.7,
+            groups: 48,
+            seed: 0x9057,
+        }
     }
 }
 
@@ -60,7 +67,9 @@ impl Planner for PostPlanner {
         let mut probs = Matrix::from_vec(n, m, vec![1.0 / m as f64; n * m]);
         let mut best: Option<(f64, Vec<usize>)> = None;
 
+        let _span = heterog_telemetry::span("post_cem");
         for _ in 0..self.iterations {
+            crate::SEARCH_ITERATIONS.inc();
             let mut scored: Vec<(f64, Vec<usize>)> = Vec::with_capacity(self.samples);
             for _ in 0..self.samples {
                 let placement = sample_categorical(&probs, &mut rng);
@@ -69,7 +78,7 @@ impl Planner for PostPlanner {
             }
             scored.sort_by(|a, b| a.0.total_cmp(&b.0));
             let elite = ((self.samples as f64 * self.elite_frac).ceil() as usize).max(1);
-            if best.as_ref().map_or(true, |(bt, _)| scored[0].0 < *bt) {
+            if best.as_ref().is_none_or(|(bt, _)| scored[0].0 < *bt) {
                 best = Some(scored[0].clone());
             }
             // Update distribution toward elite frequencies.
@@ -126,7 +135,12 @@ mod tests {
     fn produces_pure_placement_strategy() {
         let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 32).build();
         let c = paper_testbed_8gpu();
-        let p = PostPlanner { iterations: 2, samples: 4, groups: 8, ..Default::default() };
+        let p = PostPlanner {
+            iterations: 2,
+            samples: 4,
+            groups: 8,
+            ..Default::default()
+        };
         let s = p.plan(&g, &c, &GroundTruthCost);
         assert!(s.per_op.iter().all(|o| matches!(o, OpStrategy::Mp(_))));
     }
@@ -137,7 +151,12 @@ mod tests {
         // few CEM iterations must solve exactly.
         let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
         let c = paper_testbed_8gpu();
-        let p = PostPlanner { iterations: 4, samples: 16, groups: 1, ..Default::default() };
+        let p = PostPlanner {
+            iterations: 4,
+            samples: 16,
+            groups: 1,
+            ..Default::default()
+        };
         let s = p.plan(&g, &c, &GroundTruthCost);
         let t = evaluate(&g, &c, &GroundTruthCost, &s).iteration_time;
         let best_single = (0..8)
@@ -146,6 +165,9 @@ mod tests {
                 evaluate(&g, &c, &GroundTruthCost, &ms).iteration_time
             })
             .fold(f64::INFINITY, f64::min);
-        assert!((t - best_single).abs() < 1e-9, "{t} vs best single {best_single}");
+        assert!(
+            (t - best_single).abs() < 1e-9,
+            "{t} vs best single {best_single}"
+        );
     }
 }

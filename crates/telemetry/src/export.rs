@@ -1,0 +1,189 @@
+//! Exporters: Prometheus text exposition, JSON snapshot, and Chrome /
+//! Perfetto trace events. All output is built with plain string
+//! formatting — this crate deliberately avoids a serde dependency so it
+//! can sit below every other crate in the workspace.
+
+use crate::snapshot::TelemetrySnapshot;
+use std::fmt::Write as _;
+
+/// Format an f64 the way Prometheus expects (`+Inf`, no `inf`).
+fn prom_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Minimal JSON string escaping for names/paths we generate ourselves.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number that is always valid JSON (NaN/Inf have no JSON
+/// representation; clamp them to null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format
+/// (`# HELP` / `# TYPE` headers, histogram `_bucket{le=...}` series).
+pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let _ = writeln!(out, "# HELP {} {}", c.name, c.help);
+        let _ = writeln!(out, "# TYPE {} counter", c.name);
+        let _ = writeln!(out, "{} {}", c.name, c.value);
+    }
+    for g in &snap.gauges {
+        let _ = writeln!(out, "# HELP {} {}", g.name, g.help);
+        let _ = writeln!(out, "# TYPE {} gauge", g.name);
+        let _ = writeln!(out, "{} {}", g.name, prom_f64(g.value));
+    }
+    for h in &snap.histograms {
+        let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+        let _ = writeln!(out, "# TYPE {} histogram", h.name);
+        for (bound, count) in &h.buckets {
+            let _ = writeln!(
+                out,
+                "{}_bucket{{le=\"{}\"}} {}",
+                h.name,
+                prom_f64(*bound),
+                count
+            );
+        }
+        let _ = writeln!(out, "{}_sum {}", h.name, prom_f64(h.sum));
+        let _ = writeln!(out, "{}_count {}", h.name, h.count);
+    }
+    out
+}
+
+/// Render a snapshot as a standalone JSON document:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...},
+///   "spans": [...]}`.
+pub fn json_snapshot(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, c) in snap.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {}", json_escape(c.name), c.value);
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {}",
+            json_escape(g.name),
+            json_f64(g.value)
+        );
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}}}",
+            json_escape(h.name),
+            h.count,
+            json_f64(h.sum)
+        );
+    }
+    out.push_str("\n  },\n  \"spans\": [");
+    for (i, s) in snap.spans.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"path\": \"{}\", \"start_us\": {}, \"dur_us\": {}, \"thread\": {}}}",
+            json_escape(&s.path),
+            s.start_us,
+            s.dur_us,
+            s.thread
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Host-side pid used for span events in merged traces; simulator
+/// traces use pid 0, so host spans get their own process lane.
+pub const HOST_PID: u32 = 1;
+
+/// Render completed spans as individual Chrome trace event objects
+/// (`"ph":"X"` complete events plus process/thread `"ph":"M"` metadata),
+/// ready to splice into a trace array with [`merge_chrome_traces`].
+pub fn chrome_span_events(snap: &TelemetrySnapshot) -> Vec<String> {
+    let mut events = Vec::new();
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{HOST_PID},\"tid\":0,\
+         \"args\":{{\"name\":\"heterog host (planner/compiler)\"}}}}"
+    ));
+    let mut threads: Vec<u64> = snap.spans.iter().map(|s| s.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in &threads {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{HOST_PID},\"tid\":{t},\
+             \"args\":{{\"name\":\"host thread {t}\"}}}}"
+        ));
+    }
+    for s in &snap.spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"host\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{HOST_PID},\"tid\":{}}}",
+            json_escape(&s.path),
+            s.start_us,
+            s.dur_us,
+            s.thread
+        ));
+    }
+    events
+}
+
+/// A complete standalone Chrome trace (JSON array) of the host spans.
+pub fn chrome_trace(snap: &TelemetrySnapshot) -> String {
+    merge_chrome_traces("[]", &chrome_span_events(snap))
+}
+
+/// Splice extra event objects into an existing Chrome trace JSON array
+/// (e.g. the simulator trace from `heterog_sim::chrome_trace_json`),
+/// producing one array Perfetto loads as a single timeline.
+pub fn merge_chrome_traces(base_json_array: &str, extra_events: &[String]) -> String {
+    let trimmed = base_json_array.trim_end();
+    let Some(body) = trimmed.strip_suffix(']') else {
+        // Not an array; fall back to just the extra events.
+        return merge_chrome_traces("[]", extra_events);
+    };
+    let body = body.trim_end();
+    let base_is_empty = body.trim_start() == "[";
+    let mut out = String::from(body);
+    for (i, ev) in extra_events.iter().enumerate() {
+        if i > 0 || !base_is_empty {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(ev);
+    }
+    out.push_str("\n]");
+    out
+}

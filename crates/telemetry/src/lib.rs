@@ -1,0 +1,189 @@
+//! # heterog-telemetry
+//!
+//! Lightweight observability substrate for the HeteroG pipeline: a
+//! thread-safe metrics registry (counters, gauges, histograms), RAII
+//! hierarchical spans, and exporters to Prometheus text exposition,
+//! Chrome/Perfetto trace JSON and a plain JSON snapshot.
+//!
+//! ## Design
+//!
+//! * **Statics as handles.** Every metric is a `static` with a `const`
+//!   constructor; it owns its atomics and lazily registers itself in the
+//!   global registry on first use. No lookup maps on the hot path.
+//! * **One atomic load when disabled.** Telemetry is off by default; a
+//!   disabled `Counter::add` / `span()` costs a single relaxed
+//!   `AtomicBool` load and returns. The planner search loops call these
+//!   millions of times, so this is the load-bearing property (asserted
+//!   by `disabled_counter_overhead_is_negligible`).
+//! * **rayon-compatible.** All recording paths take `&'static self` and
+//!   synchronize with atomics (metrics) or a `parking_lot::Mutex`
+//!   (spans), so planner workers can record from any thread.
+//!
+//! ## Naming convention
+//!
+//! Metrics are Prometheus-style: `heterog_<crate>_<what>[_total|_bytes|
+//! _seconds]`, e.g. `heterog_sim_events_processed_total`,
+//! `heterog_sched_schedule_seconds`. The `<crate>` segment is the
+//! namespace (sim, compile, sched, agent, strategies, core).
+
+pub mod export;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use export::{
+    chrome_span_events, chrome_trace, json_snapshot, merge_chrome_traces, prometheus_text,
+};
+pub use metrics::{disable, enable, enable_from_env, enabled, reset, Counter, Gauge, Histogram};
+pub use snapshot::{
+    snapshot, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, TelemetrySnapshot,
+};
+pub use span::{span, SpanGuard, SpanRecord};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    // Telemetry state is process-global; serialize the tests that
+    // enable/reset it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    static TEST_COUNTER: Counter = Counter::new("heterog_test_events_total", "test counter");
+    static TEST_GAUGE: Gauge = Gauge::new("heterog_test_depth", "test gauge");
+    static TEST_HISTO: Histogram = Histogram::new("heterog_test_latency_seconds", "test histo");
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        disable();
+        TEST_COUNTER.add(5);
+        TEST_GAUGE.set(3.0);
+        TEST_HISTO.observe(0.1);
+        let _ = span("ignored");
+        let snap = snapshot();
+        assert_eq!(snap.counter("heterog_test_events_total").unwrap_or(0), 0);
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        enable();
+        TEST_COUNTER.add(2);
+        TEST_COUNTER.inc();
+        TEST_GAUGE.set(1.5);
+        TEST_GAUGE.record_max(9.0);
+        TEST_GAUGE.record_max(4.0); // lower than current max: ignored
+        TEST_HISTO.observe(0.001);
+        TEST_HISTO.observe(2.0);
+        let snap = snapshot();
+        assert_eq!(snap.counter("heterog_test_events_total"), Some(3));
+        assert_eq!(snap.gauge("heterog_test_depth"), Some(9.0));
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "heterog_test_latency_seconds")
+            .expect("histogram registered");
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 2.001).abs() < 1e-12);
+        // Buckets are cumulative and end with +Inf covering everything.
+        assert_eq!(h.buckets.last().unwrap().1, 2);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        enable();
+        {
+            let _outer = span("plan");
+            let _inner = span("compile");
+        }
+        let snap = snapshot();
+        disable();
+        reset();
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"plan"), "{paths:?}");
+        assert!(paths.contains(&"plan/compile"), "{paths:?}");
+        // Inner closes first, so it is recorded first.
+        assert_eq!(snap.spans[0].path, "plan/compile");
+    }
+
+    #[test]
+    fn top_spans_aggregates_by_path() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        enable();
+        for _ in 0..3 {
+            let _s = span("phase_a");
+        }
+        {
+            let _s = span("phase_b");
+        }
+        let snap = snapshot();
+        disable();
+        reset();
+        let top = snap.top_spans(5);
+        assert!(top.len() == 2);
+        assert!(top.iter().any(|(p, _)| p == "phase_a"));
+    }
+
+    /// The acceptance criterion behind "telemetry disabled changes
+    /// exp_table1 wall-clock by < 2%": a disabled counter add must cost
+    /// on the order of one atomic load. 10M disabled adds finish in well
+    /// under a second even on slow CI (observed: single-digit ms); the
+    /// bench loops record ~1e5 events per experiment, so the disabled
+    /// path contributes microseconds to multi-second experiments.
+    #[test]
+    fn disabled_counter_overhead_is_negligible() {
+        let _g = TEST_LOCK.lock();
+        disable();
+        let start = std::time::Instant::now();
+        for i in 0..10_000_000u64 {
+            TEST_COUNTER.add(std::hint::black_box(i) & 1);
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed.as_secs_f64() < 1.0,
+            "10M disabled counter adds took {elapsed:?}; the disabled path must be ~1 atomic load"
+        );
+    }
+
+    #[test]
+    fn prometheus_export_has_type_lines() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        enable();
+        TEST_COUNTER.inc();
+        TEST_GAUGE.set(2.0);
+        TEST_HISTO.observe(0.5);
+        let text = prometheus_text(&snapshot());
+        disable();
+        reset();
+        assert!(text.contains("# TYPE heterog_test_events_total counter"));
+        assert!(text.contains("# TYPE heterog_test_depth gauge"));
+        assert!(text.contains("# TYPE heterog_test_latency_seconds histogram"));
+        assert!(text.contains("heterog_test_latency_seconds_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("heterog_test_latency_seconds_count 1"));
+    }
+
+    #[test]
+    fn merge_traces_concatenates_event_arrays() {
+        let base = r#"[{"name":"a","ph":"X"}]"#;
+        let extra = vec![r#"{"name":"b","ph":"X"}"#.to_string()];
+        let merged = merge_chrome_traces(base, &extra);
+        assert!(merged.starts_with('['));
+        assert!(merged.ends_with(']'));
+        assert!(merged.contains(r#""name":"a""#));
+        assert!(merged.contains(r#""name":"b""#));
+        // Empty base array also merges.
+        let merged2 = merge_chrome_traces("[]", &extra);
+        assert!(merged2.contains(r#""name":"b""#));
+        assert!(!merged2.contains("[,"));
+    }
+}

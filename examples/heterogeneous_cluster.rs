@@ -45,9 +45,21 @@ fn main() {
     // A 6-GPU mixed cluster: one V100 box, one P100 box, one old K80 box.
     let cluster = Cluster::new(
         vec![
-            Server { name: "fast-box".into(), nic_bps: 10.5e9, nvlink: true },
-            Server { name: "mid-box".into(), nic_bps: 5.3e9, nvlink: false },
-            Server { name: "old-box".into(), nic_bps: 2.5e9, nvlink: false },
+            Server {
+                name: "fast-box".into(),
+                nic_bps: 10.5e9,
+                nvlink: true,
+            },
+            Server {
+                name: "mid-box".into(),
+                nic_bps: 5.3e9,
+                nvlink: false,
+            },
+            Server {
+                name: "old-box".into(),
+                nic_bps: 2.5e9,
+                nvlink: false,
+            },
         ],
         vec![
             Device::new(GpuModel::TeslaV100, 0),
@@ -71,10 +83,16 @@ fn main() {
 
     let runner = get_runner(|| my_model(256), cluster, HeterogConfig::quick());
     let stats = runner.run(100);
-    println!("per-iteration: {:.4} s, throughput {:.0} samples/s", stats.per_iteration_s, stats.samples_per_second);
+    println!(
+        "per-iteration: {:.4} s, throughput {:.0} samples/s",
+        stats.per_iteration_s, stats.samples_per_second
+    );
 
     // Export a timeline for chrome://tracing / Perfetto.
     let path = std::env::temp_dir().join("heterog_trace.json");
     std::fs::write(&path, runner.trace_json()).expect("write trace");
-    println!("timeline written to {} (open in chrome://tracing)", path.display());
+    println!(
+        "timeline written to {} (open in chrome://tracing)",
+        path.display()
+    );
 }

@@ -17,16 +17,28 @@ fn main() {
 
     // Pure DP: every baseline overflows.
     for baseline in ["EV-PS", "EV-AR", "CP-PS", "CP-AR"] {
-        let runner = get_runner(|| spec.build(), paper_testbed_8gpu(), HeterogConfig::baseline(baseline));
+        let runner = get_runner(
+            || spec.build(),
+            paper_testbed_8gpu(),
+            HeterogConfig::baseline(baseline),
+        );
         let stats = runner.run(1);
         println!(
             "  {baseline:<6}: {}",
-            if stats.oom { "OOM".to_string() } else { format!("{:.3} s/iter", stats.per_iteration_s) }
+            if stats.oom {
+                "OOM".to_string()
+            } else {
+                format!("{:.3} s/iter", stats.per_iteration_s)
+            }
         );
     }
 
     // HeteroG finds a feasible mixed plan.
-    let runner = get_runner(|| spec.build(), paper_testbed_8gpu(), HeterogConfig::default());
+    let runner = get_runner(
+        || spec.build(),
+        paper_testbed_8gpu(),
+        HeterogConfig::default(),
+    );
     let stats = runner.run(1);
     assert!(!stats.oom, "HeteroG must find a feasible deployment");
     println!("  HeteroG: {:.3} s/iter (feasible)", stats.per_iteration_s);
@@ -40,7 +52,10 @@ fn main() {
             println!("  MP on G{i}: {:.1}%", 100.0 * count as f64 / total);
         }
     }
-    for (label, count) in ["EV-PS", "EV-AR", "CP-PS", "CP-AR", "other DP"].iter().zip(dp) {
+    for (label, count) in ["EV-PS", "EV-AR", "CP-PS", "CP-AR", "other DP"]
+        .iter()
+        .zip(dp)
+    {
         if count > 0 {
             println!("  {label}: {:.1}%", 100.0 * count as f64 / total);
         }

@@ -1,0 +1,56 @@
+//! Observability: plan VGG-19 on the 8-GPU testbed with telemetry on,
+//! then dump every recorded metric (Prometheus text), the merged
+//! simulator + host-span Perfetto trace, and the top-5 phases by span
+//! time.
+//!
+//! Run: `cargo run --release -p heterog --example observability`
+//!
+//! Open `observability_trace.json` at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): process 0 is the simulated iteration (one track
+//! per GPU/link, flow arrows following tensors across devices), process
+//! 1 is the host-side planning/compilation span timeline.
+
+use heterog::{get_runner, telemetry, HeterogConfig};
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+
+fn main() {
+    // Telemetry is off by default (a no-op recorder costing one atomic
+    // load per metric call); turn it on before planning.
+    telemetry::enable();
+
+    let model_func = || ModelSpec::new(BenchmarkModel::Vgg19, 192).build();
+    let runner = get_runner(model_func, paper_testbed_8gpu(), HeterogConfig::quick());
+    let stats = runner.run(1);
+    println!(
+        "planned {} -> {:.3} s/iteration\n",
+        runner.graph.name, stats.per_iteration_s
+    );
+
+    let snap = runner.telemetry_snapshot();
+
+    // 1. Prometheus text exposition of every metric the pipeline hit.
+    let prom = telemetry::prometheus_text(&snap);
+    std::fs::write("observability_metrics.prom", &prom).expect("write metrics");
+    println!(
+        "wrote observability_metrics.prom ({} metrics: {} counters, {} gauges, {} histograms)",
+        snap.metric_count(),
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len()
+    );
+    for c in &snap.counters {
+        println!("  {} = {}", c.name, c.value);
+    }
+
+    // 2. Merged Perfetto trace: simulated iteration + host spans.
+    let trace = runner.trace_json_with_spans();
+    std::fs::write("observability_trace.json", trace).expect("write trace");
+    println!("\nwrote observability_trace.json (open in https://ui.perfetto.dev)");
+
+    // 3. Where did the planning time go?
+    println!("\ntop 5 phases by span time:");
+    for (path, secs) in snap.top_spans(5) {
+        println!("  {secs:>9.4} s  {path}");
+    }
+}

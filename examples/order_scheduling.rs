@@ -20,10 +20,19 @@ fn main() {
     // (a uniform DP plan mostly schedules itself; cf. Table 7).
     let cluster = paper_testbed_8gpu();
     let g = ModelSpec::with_layers(BenchmarkModel::XlnetLarge, 48, 24).build();
-    let planner = HeteroGPlanner { groups: 16, passes: 1, allow_mp: true };
+    let planner = HeteroGPlanner {
+        groups: 16,
+        passes: 1,
+        allow_mp: true,
+    };
     let (strategy, _, _) = planner.plan_detailed(&g, &cluster, &GroundTruthCost);
     let tg = compile(&g, &cluster, &GroundTruthCost, &strategy);
-    println!("{}: {} tasks over {} processors", tg.name, tg.len(), tg.num_procs());
+    println!(
+        "{}: {} tasks over {} processors",
+        tg.name,
+        tg.len(),
+        tg.num_procs()
+    );
 
     let ranked = list_schedule(&tg, &OrderPolicy::RankBased);
     let fifo = list_schedule(&tg, &OrderPolicy::Fifo);

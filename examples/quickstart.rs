@@ -32,10 +32,16 @@ fn main() {
     println!("ops:              {}", runner.graph.len());
     println!("distributed tasks: {}", runner.task_graph.len());
     println!("per-iteration:    {:.3} s", stats.per_iteration_s);
-    println!("throughput:       {:.0} samples/s", stats.samples_per_second);
+    println!(
+        "throughput:       {:.0} samples/s",
+        stats.samples_per_second
+    );
     println!("1000 steps in:    {:.1} s (simulated)", stats.total_s);
     let peak = stats.peak_memory.iter().max().copied().unwrap_or(0);
-    println!("peak GPU memory:  {:.2} GiB", peak as f64 / (1u64 << 30) as f64);
+    println!(
+        "peak GPU memory:  {:.2} GiB",
+        peak as f64 / (1u64 << 30) as f64
+    );
 
     // Compare with plain data parallelism.
     let dp = get_runner(

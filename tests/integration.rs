@@ -28,7 +28,10 @@ fn every_model_compiles_and_simulates_under_every_baseline() {
                     "{m} failed"
                 );
                 // Every task got scheduled.
-                assert!(r.schedule.finish.iter().all(|f| f.is_finite()), "{m}: unscheduled tasks");
+                assert!(
+                    r.schedule.finish.iter().all(|f| f.is_finite()),
+                    "{m}: unscheduled tasks"
+                );
             }
         }
     }
@@ -59,8 +62,16 @@ fn rank_order_never_loses_to_fifo_across_models() {
 #[test]
 fn planner_beats_baselines_on_three_testbeds() {
     let g = ModelSpec::new(BenchmarkModel::Vgg19, 96).build();
-    let planner = HeteroGPlanner { groups: 12, passes: 1, allow_mp: true };
-    for cluster in [paper_testbed_4gpu(), paper_testbed_8gpu(), paper_testbed_12gpu()] {
+    let planner = HeteroGPlanner {
+        groups: 12,
+        passes: 1,
+        allow_mp: true,
+    };
+    for cluster in [
+        paper_testbed_4gpu(),
+        paper_testbed_8gpu(),
+        paper_testbed_12gpu(),
+    ] {
         let (_, eval, _) = planner.plan_detailed(&g, &cluster, &GroundTruthCost);
         for comm in [CommMethod::Ps, CommMethod::AllReduce] {
             let base = evaluate(
@@ -88,7 +99,11 @@ fn planning_on_fitted_costs_transfers_to_ground_truth() {
     let cluster = paper_testbed_8gpu();
     let g = ModelSpec::new(BenchmarkModel::InceptionV3, 96).build();
     let fitted = Profiler::default().profile(&[&g], &cluster);
-    let planner = HeteroGPlanner { groups: 12, passes: 1, allow_mp: true };
+    let planner = HeteroGPlanner {
+        groups: 12,
+        passes: 1,
+        allow_mp: true,
+    };
     let strategy = planner.plan(&g, &cluster, &fitted);
     let ours = evaluate(&g, &cluster, &GroundTruthCost, &strategy);
     let base = evaluate(
@@ -128,7 +143,10 @@ fn breakdown_is_consistent_with_makespan() {
     assert!(r.overlap_ratio() >= 1.0 || r.communication_time == 0.0);
     let bd = time_breakdown(&tg, &r.schedule);
     assert!(bd.iter().all(|&x| x >= 0.0));
-    assert!(bd[0] > 0.0 && bd[1] > 0.0, "forward and backward time must be non-zero");
+    assert!(
+        bd[0] > 0.0 && bd[1] > 0.0,
+        "forward and backward time must be non-zero"
+    );
 }
 
 #[test]
@@ -156,9 +174,17 @@ fn search_planners_run_on_fitted_costs() {
     let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
     let fitted = Profiler::default().profile(&[&g], &cluster);
     for planner in [
-        Box::new(heterog_strategies::FlexFlowPlanner { iterations: 6, groups: 6, ..Default::default() })
-            as Box<dyn Planner>,
-        Box::new(heterog_strategies::PostPlanner { iterations: 2, samples: 4, groups: 6, ..Default::default() }),
+        Box::new(heterog_strategies::FlexFlowPlanner {
+            iterations: 6,
+            groups: 6,
+            ..Default::default()
+        }) as Box<dyn Planner>,
+        Box::new(heterog_strategies::PostPlanner {
+            iterations: 2,
+            samples: 4,
+            groups: 6,
+            ..Default::default()
+        }),
         Box::new(heterog_strategies::HetPipePlanner),
     ] {
         let s = planner.plan(&g, &cluster, &fitted);

@@ -15,11 +15,7 @@ use heterog_sim::memory_usage;
 
 /// A random placed DAG: `n` tasks over `gpus` GPUs and `links` links,
 /// edges only from lower to higher index (guaranteed acyclic).
-fn arb_task_graph(
-    max_tasks: usize,
-    gpus: u32,
-    links: u32,
-) -> impl Strategy<Value = TaskGraph> {
+fn arb_task_graph(max_tasks: usize, gpus: u32, links: u32) -> impl Strategy<Value = TaskGraph> {
     (2..max_tasks)
         .prop_flat_map(move |n| {
             let task = (0u32..gpus + links, 0.0f64..2.0, 0u64..1000);
@@ -34,8 +30,16 @@ fn arb_task_graph(
                 .iter()
                 .enumerate()
                 .map(|(i, &(p, dur, bytes))| {
-                    let proc = if p < gpus { Proc::Gpu(p) } else { Proc::Link(p - gpus) };
-                    let kind = if p < gpus { OpKind::MatMul } else { OpKind::Transfer };
+                    let proc = if p < gpus {
+                        Proc::Gpu(p)
+                    } else {
+                        Proc::Link(p - gpus)
+                    };
+                    let kind = if p < gpus {
+                        OpKind::MatMul
+                    } else {
+                        OpKind::Transfer
+                    };
                     tg.add_task(
                         Task::new(format!("t{i}"), kind, proc, dur).with_output_bytes(bytes),
                     )
@@ -180,7 +184,10 @@ proptest! {
 fn generator_produces_acyclic_graphs() {
     let mut runner = proptest::test_runner::TestRunner::deterministic();
     for _ in 0..16 {
-        let tg = arb_task_graph(16, 2, 1).new_tree(&mut runner).unwrap().current();
+        let tg = arb_task_graph(16, 2, 1)
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
         let order = tg.topo_order();
         assert_eq!(order.len(), tg.len());
     }
@@ -202,9 +209,9 @@ mod compile_props {
     /// simple layers with occasional residual joins.
     fn arb_training_graph() -> impl Strategy<Value = Graph> {
         (
-            2usize..8,                                     // layers
-            8u64..64,                                      // batch
-            proptest::collection::vec(0u8..3, 2..8),       // layer kinds
+            2usize..8,                               // layers
+            8u64..64,                                // batch
+            proptest::collection::vec(0u8..3, 2..8), // layer kinds
         )
             .prop_map(|(_, batch, kinds)| {
                 let mut b = GraphBuilder::new("prop_model", batch);

@@ -9,7 +9,11 @@ use heterog_graph::{BenchmarkModel, ModelSpec, OpKind};
 use heterog_profile::GroundTruthCost;
 use heterog_sched::{Proc, TaskGraph};
 
-fn compile_model(m: BenchmarkModel, batch: u64, s: &dyn Fn(usize) -> Strategy) -> (TaskGraph, heterog_graph::Graph) {
+fn compile_model(
+    m: BenchmarkModel,
+    batch: u64,
+    s: &dyn Fn(usize) -> Strategy,
+) -> (TaskGraph, heterog_graph::Graph) {
     let g = ModelSpec::new(m, batch).build();
     let cluster = paper_testbed_8gpu();
     let strategy = s(g.len());
@@ -96,10 +100,16 @@ fn every_apply_depends_on_every_replica_gradient() {
             .copied()
             .find(|&s| g.node(s).kind == OpKind::ApplyGradient)
             .unwrap();
-        let grads: Vec<_> =
-            tg.iter().filter(|(_, t)| t.origin == Some(gid)).map(|(i, _)| i).collect();
-        let applies: Vec<_> =
-            tg.iter().filter(|(_, t)| t.origin == Some(apply)).map(|(i, _)| i).collect();
+        let grads: Vec<_> = tg
+            .iter()
+            .filter(|(_, t)| t.origin == Some(gid))
+            .map(|(i, _)| i)
+            .collect();
+        let applies: Vec<_> = tg
+            .iter()
+            .filter(|(_, t)| t.origin == Some(apply))
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(grads.len(), 8, "{}", node.name);
         assert_eq!(applies.len(), 8);
         // Forward reachability from each gradient replica.
@@ -166,8 +176,14 @@ fn uniform_strategy_needs_no_reconciliation() {
     let (tg, _) = compile_model(BenchmarkModel::ResNet200, 64, &|n| {
         Strategy::even(n, &paper_testbed_8gpu(), CommMethod::AllReduce)
     });
-    let splits = tg.iter().filter(|(_, t)| matches!(t.kind, OpKind::Split | OpKind::Concat)).count();
-    assert_eq!(splits, 0, "uniform EV strategy must not insert Split/Concat");
+    let splits = tg
+        .iter()
+        .filter(|(_, t)| matches!(t.kind, OpKind::Split | OpKind::Concat))
+        .count();
+    assert_eq!(
+        splits, 0,
+        "uniform EV strategy must not insert Split/Concat"
+    );
 }
 
 /// OOM strategies are flagged, feasible ones are not (ground truth
@@ -183,11 +199,18 @@ fn oom_detection_matches_capacity() {
     let s = Strategy::even(g.len(), &cluster, CommMethod::AllReduce);
     let tg = compile(&g, &cluster, &GroundTruthCost, &s);
     let r = simulate(&tg, &cluster.memory_capacities(), &OrderPolicy::RankBased);
-    assert!(r.memory.any_oom(), "XLNet-large (48 layers) replicas must not fit");
+    assert!(
+        r.memory.any_oom(),
+        "XLNet-large (48 layers) replicas must not fit"
+    );
     // BERT-large at batch 24 fits comfortably.
     let g2 = ModelSpec::with_layers(BenchmarkModel::BertLarge, 24, 24).build();
     let s2 = Strategy::even(g2.len(), &cluster, CommMethod::AllReduce);
     let tg2 = compile(&g2, &cluster, &GroundTruthCost, &s2);
     let r2 = simulate(&tg2, &cluster.memory_capacities(), &OrderPolicy::RankBased);
-    assert!(!r2.memory.any_oom(), "BERT-large @24 should fit: peaks {:?}", r2.memory.peak_bytes);
+    assert!(
+        !r2.memory.any_oom(),
+        "BERT-large @24 should fit: peaks {:?}",
+        r2.memory.peak_bytes
+    );
 }
