@@ -151,8 +151,9 @@ impl Planner for HeteroGPlanner {
 /// `&dyn CostEstimator` made Sync for rayon: cost estimators in this
 /// workspace are pure functions of their inputs (the trait has no &mut
 /// methods and all implementations are immutable), so sharing the
-/// reference across threads is sound.
-struct SyncCost<'a>(&'a dyn CostEstimator);
+/// reference across threads is sound. Also used by the trainer's batched
+/// rollouts, which fan candidate evaluations out over rayon.
+pub(crate) struct SyncCost<'a>(pub(crate) &'a dyn CostEstimator);
 
 unsafe impl Sync for SyncCost<'_> {}
 

@@ -8,6 +8,7 @@
 //! regularizer and a moving-average baseline]."
 
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use heterog_cluster::Cluster;
@@ -16,9 +17,10 @@ use heterog_graph::Graph;
 use heterog_nn::policy::argmax_rows;
 use heterog_nn::{sample_categorical, softmax_rows, Adam, Matrix, PolicyGradient};
 use heterog_profile::CostEstimator;
-use heterog_strategies::{evaluate, group_ops, grouping::avg_op_times, Grouping};
+use heterog_strategies::{group_ops, grouping::avg_op_times, EvalCache, Evaluation, Grouping};
 
 use crate::action::{actions_to_strategy, ActionSpace};
+use crate::fast::SyncCost;
 use crate::features::{encode_features, graph_edges, FeatureConfig};
 use crate::policy::{PolicyConfig, PolicyNet};
 
@@ -35,6 +37,14 @@ static EPISODE_BASELINE: heterog_telemetry::Gauge = heterog_telemetry::Gauge::ne
 static EPISODE_ENTROPY: heterog_telemetry::Gauge = heterog_telemetry::Gauge::new(
     "heterog_agent_episode_entropy",
     "Mean per-group policy entropy (nats) of the most recent episode",
+);
+static TRAIN_EVALS_PER_SEC: heterog_telemetry::Gauge = heterog_telemetry::Gauge::new(
+    "heterog_agent_train_evals_per_sec",
+    "Candidate evaluations per wall-clock second of the last train call",
+);
+static TRAIN_CACHE_HIT_RATE: heterog_telemetry::Gauge = heterog_telemetry::Gauge::new(
+    "heterog_agent_eval_cache_hit_rate",
+    "Evaluation-cache hit rate of the agent's lifetime so far",
 );
 
 /// Mean Shannon entropy of each row of a probability matrix, in nats.
@@ -71,6 +81,24 @@ pub struct TrainerConfig {
     pub groups: usize,
     /// Sampling seed.
     pub seed: u64,
+    /// Candidate rollouts per episode (the batched-rollout K). With
+    /// K = 1 the trainer is bit-identical to the original serial path;
+    /// K > 1 samples K placements from the episode's (fixed) policy,
+    /// evaluates them in parallel through the shared [`EvalCache`], and
+    /// averages their policy gradients — more reward signal per forward/
+    /// backward pass.
+    #[serde(default = "default_rollout_k")]
+    pub rollout_k: usize,
+    /// Force serial candidate evaluation even when `rollout_k > 1`.
+    /// Results are identical either way (each candidate draws from its
+    /// own seed-derived RNG stream and evaluation is pure); this exists
+    /// so tests can assert exactly that.
+    #[serde(default)]
+    pub serial_eval: bool,
+}
+
+fn default_rollout_k() -> usize {
+    1
 }
 
 impl Default for TrainerConfig {
@@ -83,8 +111,26 @@ impl Default for TrainerConfig {
             baseline_decay: 0.9,
             groups: 32,
             seed: 0x5EED,
+            rollout_k: default_rollout_k(),
+            serial_eval: false,
         }
     }
+}
+
+/// SplitMix64 finalizer: decorrelates the per-candidate RNG streams
+/// derived from `(seed, episode, candidate)`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seed of candidate `ci`'s RNG stream in episode `ep`: a fixed function
+/// of the configuration seed only, so batched sampling is deterministic
+/// regardless of evaluation order or thread scheduling.
+fn candidate_seed(seed: u64, ep: u64, ci: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(ep.wrapping_add(1) ^ splitmix64(ci.wrapping_add(1))))
 }
 
 /// One graph's training trajectory.
@@ -132,6 +178,11 @@ pub struct RlAgent {
     net: Option<PolicyNet>,
     adam: Adam,
     rng: ChaCha8Rng,
+    /// Strategy-evaluation memo shared across episodes and train calls.
+    /// As the policy sharpens, sampled placements collapse onto a small
+    /// set of distinct strategies; hits skip the whole
+    /// compile→schedule→simulate pipeline.
+    cache: EvalCache,
 }
 
 impl RlAgent {
@@ -144,7 +195,13 @@ impl RlAgent {
             net: None,
             adam,
             rng,
+            cache: EvalCache::new(),
         }
+    }
+
+    /// Evaluation-cache hits/misses accumulated by this agent.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
     }
 
     /// Trains on `graphs` (round-robin) for `cfg.episodes` episodes.
@@ -189,29 +246,74 @@ impl RlAgent {
         let net = self.net.as_mut().expect("initialized above");
 
         let _span = heterog_telemetry::span("rl_train");
+        let telemetry_on = heterog_telemetry::enabled();
+        let wall_start = telemetry_on.then(std::time::Instant::now);
+        let mut total_evals: u64 = 0;
+        let k = self.cfg.rollout_k.max(1);
+        let sync_cost = SyncCost(cost);
         for ep in 0..self.cfg.episodes {
             let ctx = &mut ctxs[ep % graphs.len()];
             let logits = net.forward(&ctx.features, &ctx.edges, &ctx.grouping);
             let probs = softmax_rows(&logits);
-            let actions = sample_categorical(&probs, &mut self.rng);
-            let strategy = actions_to_strategy(&ctx.graph, cluster, &ctx.grouping, &actions);
-            let eval = evaluate(&ctx.graph, cluster, cost, &strategy);
-            let reward = eval.reward();
 
-            // Track the best sampled strategy.
-            let t = if eval.oom {
-                f64::INFINITY
+            // Sample K candidate placements from the episode's (fixed)
+            // policy. K = 1 draws from the master stream — bit-identical
+            // to the pre-batched trainer; K > 1 gives every candidate
+            // its own seed-derived stream so the batch is deterministic
+            // under any evaluation order.
+            let all_actions: Vec<Vec<usize>> = if k == 1 {
+                vec![sample_categorical(&probs, &mut self.rng)]
             } else {
-                eval.iteration_time
+                (0..k)
+                    .map(|ci| {
+                        let mut rng = heterog_nn::init::seeded_rng(candidate_seed(
+                            self.cfg.seed,
+                            ep as u64,
+                            ci as u64,
+                        ));
+                        sample_categorical(&probs, &mut rng)
+                    })
+                    .collect()
             };
-            if t < ctx.record.best_time {
-                ctx.record.best_time = t;
-                ctx.record.best_episode = ctx.record.rewards.len();
-                ctx.best = Some((t, strategy));
+            let strategies: Vec<Strategy> = all_actions
+                .iter()
+                .map(|a| actions_to_strategy(&ctx.graph, cluster, &ctx.grouping, a))
+                .collect();
+            let cache = &self.cache;
+            let graph = &ctx.graph;
+            let evals: Vec<Evaluation> = if k == 1 || self.cfg.serial_eval {
+                strategies
+                    .iter()
+                    .map(|s| cache.evaluate(graph, cluster, &sync_cost, s))
+                    .collect()
+            } else {
+                strategies
+                    .par_iter()
+                    .map(|s| cache.evaluate(graph, cluster, &sync_cost, s))
+                    .collect()
+            };
+            total_evals += k as u64;
+            let rewards: Vec<f64> = evals.iter().map(Evaluation::reward).collect();
+
+            // Track the best sampled strategy across the whole batch.
+            for (ci, eval) in evals.iter().enumerate() {
+                let t = if eval.oom {
+                    f64::INFINITY
+                } else {
+                    eval.iteration_time
+                };
+                if t < ctx.record.best_time {
+                    ctx.record.best_time = t;
+                    ctx.record.best_episode = ctx.record.rewards.len();
+                    ctx.best = Some((t, strategies[ci].clone()));
+                }
             }
+            let reward = rewards.iter().sum::<f64>() / k as f64;
             ctx.record.rewards.push(reward);
 
-            // Moving-average baseline (per graph).
+            // Moving-average baseline (per graph), fed the batch-mean
+            // reward; per-candidate advantages subtract the updated
+            // baseline, which reduces exactly to the serial rule at K=1.
             if !ctx.baseline_init {
                 ctx.baseline = reward;
                 ctx.baseline_init = true;
@@ -219,30 +321,49 @@ impl RlAgent {
                 ctx.baseline = self.cfg.baseline_decay * ctx.baseline
                     + (1.0 - self.cfg.baseline_decay) * reward;
             }
-            let advantage = reward - ctx.baseline;
 
             EPISODES.inc();
-            if heterog_telemetry::enabled() {
+            if telemetry_on {
                 EPISODE_REWARD.set(reward);
                 EPISODE_BASELINE.set(ctx.baseline);
                 EPISODE_ENTROPY.set(mean_row_entropy(&probs));
             }
 
-            // Policy-gradient step.
-            let pg = PolicyGradient {
-                advantage,
-                entropy_coeff: self.cfg.entropy_coeff,
-            };
-            let mut dlogits = pg.logits_grad(&probs, &actions);
-            // Normalize by group count so graphs of different sizes
-            // produce comparable gradient magnitudes.
-            let scale = 1.0 / (ctx.grouping.len() as f64);
+            // Policy-gradient step: sum the per-candidate gradients and
+            // average. Normalizing by group count keeps graphs of
+            // different sizes producing comparable gradient magnitudes.
+            let mut dlogits: Option<Matrix> = None;
+            for (ci, actions) in all_actions.iter().enumerate() {
+                let pg = PolicyGradient {
+                    advantage: rewards[ci] - ctx.baseline,
+                    entropy_coeff: self.cfg.entropy_coeff,
+                };
+                let d = pg.logits_grad(&probs, actions);
+                match &mut dlogits {
+                    None => dlogits = Some(d),
+                    Some(sum) => {
+                        for (s, v) in sum.data.iter_mut().zip(&d.data) {
+                            *s += v;
+                        }
+                    }
+                }
+            }
+            let mut dlogits = dlogits.expect("k >= 1");
+            let scale = 1.0 / (ctx.grouping.len() as f64 * k as f64);
             for v in &mut dlogits.data {
                 *v *= scale;
             }
             net.zero_grad();
             net.backward(&dlogits);
             net.step(&mut self.adam);
+        }
+
+        if let Some(t0) = wall_start {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                TRAIN_EVALS_PER_SEC.set(total_evals as f64 / secs);
+            }
+            TRAIN_CACHE_HIT_RATE.set(self.cache.hit_rate());
         }
 
         ctxs.into_iter().map(|c| c.record).collect()
@@ -287,6 +408,7 @@ mod tests {
     use heterog_cluster::paper_testbed_8gpu;
     use heterog_graph::{BenchmarkModel, ModelSpec};
     use heterog_profile::GroundTruthCost;
+    use heterog_strategies::evaluate;
 
     fn tiny_cfg(episodes: usize) -> TrainerConfig {
         TrainerConfig {
@@ -358,6 +480,69 @@ mod tests {
         restored.load_policy(&json).unwrap();
         let s2 = restored.plan(&g, &c, &GroundTruthCost);
         assert_eq!(s1, s2, "restored policy must plan identically");
+    }
+
+    #[test]
+    fn batched_rollouts_are_deterministic_across_runs_and_eval_modes() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let cfg = TrainerConfig {
+            rollout_k: 3,
+            ..tiny_cfg(6)
+        };
+        let run = |serial: bool| {
+            let mut agent = RlAgent::new(TrainerConfig {
+                serial_eval: serial,
+                ..cfg.clone()
+            });
+            let recs = agent.train(&[&g], &c, &GroundTruthCost);
+            let plan = agent.plan(&g, &c, &GroundTruthCost);
+            let policy = agent.save_policy().unwrap();
+            (recs, plan, policy)
+        };
+        let (recs_a, plan_a, policy_a) = run(false);
+        let (recs_b, plan_b, policy_b) = run(false);
+        let (recs_c, plan_c, policy_c) = run(true);
+        let bits = |recs: &[TrainRecord]| -> Vec<u64> {
+            recs[0].rewards.iter().map(|r| r.to_bits()).collect()
+        };
+        // Two parallel runs: bit-identical rewards, policies, and plans.
+        assert_eq!(bits(&recs_a), bits(&recs_b));
+        assert_eq!(policy_a, policy_b);
+        assert_eq!(plan_a, plan_b);
+        // Serial evaluation of the same batch: also identical — thread
+        // scheduling must not leak into results.
+        assert_eq!(bits(&recs_a), bits(&recs_c));
+        assert_eq!(policy_a, policy_c);
+        assert_eq!(plan_a, plan_c);
+    }
+
+    #[test]
+    fn rollout_k_one_matches_legacy_serial_trainer() {
+        // K = 1 must draw from the master RNG stream, making the batched
+        // trainer bit-identical to the original single-candidate path:
+        // replay it manually and compare rewards.
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let mut agent = RlAgent::new(tiny_cfg(4));
+        let recs = agent.train(&[&g], &c, &GroundTruthCost);
+        let (hits, misses) = agent.cache_stats();
+        assert_eq!(hits + misses, 4, "one evaluation per episode at K=1");
+
+        let mut replay = RlAgent::new(tiny_cfg(4));
+        let recs2 = replay.train(&[&g], &c, &GroundTruthCost);
+        assert_eq!(
+            recs[0]
+                .rewards
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<_>>(),
+            recs2[0]
+                .rewards
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -10,9 +10,11 @@ use heterog_cluster::paper_testbed_8gpu;
 use heterog_compile::{compile, CommMethod, Strategy};
 use heterog_graph::{BenchmarkModel, ModelSpec};
 use heterog_profile::GroundTruthCost;
-use heterog_sched::{list_schedule, upward_ranks, OrderPolicy};
-use heterog_sim::simulate;
-use heterog_strategies::{group_ops, grouping::avg_op_times};
+use heterog_sched::{
+    list_schedule, list_schedule_into, upward_ranks, OrderPolicy, Schedule, ScheduleScratch,
+};
+use heterog_sim::{simulate, simulate_into, SimReport, SimScratch};
+use heterog_strategies::{evaluate, group_ops, grouping::avg_op_times, EvalCache};
 
 fn bench_grouping(c: &mut Criterion) {
     let g = ModelSpec::new(BenchmarkModel::InceptionV3, 192).build();
@@ -46,6 +48,12 @@ fn bench_schedule(c: &mut Criterion) {
     c.bench_function("schedule/vgg19_upward_ranks", |b| {
         b.iter(|| upward_ranks(&tg))
     });
+    // Allocation-free hot path: reuse scratch + output across calls.
+    let mut scratch = ScheduleScratch::default();
+    let mut out = Schedule::default();
+    c.bench_function("schedule/vgg19_rank_scratch_reuse", |b| {
+        b.iter(|| list_schedule_into(&tg, &OrderPolicy::RankBased, &mut scratch, &mut out))
+    });
 }
 
 fn bench_simulate(c: &mut Criterion) {
@@ -56,6 +64,33 @@ fn bench_simulate(c: &mut Criterion) {
     let caps = cluster.memory_capacities();
     c.bench_function("simulate/vgg19_full_report", |b| {
         b.iter(|| simulate(&tg, &caps, &OrderPolicy::RankBased))
+    });
+    let mut scratch = SimScratch::default();
+    let mut report = SimReport::default();
+    c.bench_function("simulate/vgg19_scratch_reuse", |b| {
+        b.iter(|| {
+            simulate_into(
+                &tg,
+                &caps,
+                &OrderPolicy::RankBased,
+                &mut scratch,
+                &mut report,
+            )
+        })
+    });
+}
+
+fn bench_eval_cache(c: &mut Criterion) {
+    let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+    let cluster = paper_testbed_8gpu();
+    let s = Strategy::even(g.len(), &cluster, CommMethod::AllReduce);
+    c.bench_function("evaluate/mobilenet_fresh", |b| {
+        b.iter(|| evaluate(&g, &cluster, &GroundTruthCost, &s))
+    });
+    let cache = EvalCache::new();
+    cache.evaluate(&g, &cluster, &GroundTruthCost, &s);
+    c.bench_function("evaluate/mobilenet_cache_hit", |b| {
+        b.iter(|| cache.evaluate(&g, &cluster, &GroundTruthCost, &s))
     });
 }
 
@@ -90,6 +125,7 @@ criterion_group!(
     bench_compile,
     bench_schedule,
     bench_simulate,
+    bench_eval_cache,
     bench_planner,
     bench_model_zoo
 );

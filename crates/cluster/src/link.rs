@@ -20,6 +20,8 @@
 //! pushing gradients to one parameter server serialize on that server's
 //! ingress NIC, exactly the PS bottleneck of §2.3.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 /// Index of a link processor inside a [`crate::Cluster`].
@@ -65,8 +67,9 @@ pub struct Link {
     /// NIC doorbell...). Small but load-bearing for many-small-tensor
     /// models like ResNet/NasNet.
     pub latency_s: f64,
-    /// Human-readable label, e.g. `"G0->G1"` or `"srv2.in"`.
-    pub label: String,
+    /// Human-readable label, e.g. `"G0->G1"` or `"srv2.in"`. Shared
+    /// (`Arc`) so lazily-named link tasks can hold it without copying.
+    pub label: Arc<str>,
 }
 
 impl Link {

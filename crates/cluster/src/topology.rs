@@ -56,7 +56,7 @@ impl Cluster {
                 kind,
                 bandwidth_bps: bw,
                 latency_s: lat,
-                label,
+                label: label.into(),
             });
             id
         };
@@ -222,6 +222,38 @@ impl Cluster {
     pub fn is_homogeneous(&self) -> bool {
         self.devices.windows(2).all(|w| w[0].model == w[1].model)
     }
+
+    /// Structural fingerprint of the cluster: a stable 64-bit hash over
+    /// servers (name, NIC bandwidth, NVLink flag), devices (model,
+    /// server, memory) and link processors (kind, bandwidth, latency).
+    ///
+    /// Two clusters with the same fingerprint present the same hardware
+    /// to the compiler and simulator, so strategy evaluations cached
+    /// under one are valid for the other (see `heterog-strategies`'s
+    /// `EvalCache`). Floats hash by bit pattern.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.servers.len().hash(&mut h);
+        for s in &self.servers {
+            s.name.hash(&mut h);
+            s.nic_bps.to_bits().hash(&mut h);
+            s.nvlink.hash(&mut h);
+        }
+        self.devices.len().hash(&mut h);
+        for d in &self.devices {
+            d.model.hash(&mut h);
+            d.server.hash(&mut h);
+            d.memory_bytes.hash(&mut h);
+        }
+        self.links.len().hash(&mut h);
+        for l in &self.links {
+            l.kind.hash(&mut h);
+            l.bandwidth_bps.to_bits().hash(&mut h);
+            l.latency_s.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 /// Convenience builder for uniform test clusters: `n` GPUs of one model
@@ -365,6 +397,24 @@ mod tests {
     fn heterogeneous_detection() {
         let c = two_server_cluster();
         assert!(!c.is_homogeneous());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminates() {
+        let a = two_server_cluster();
+        let b = two_server_cluster();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A rebuilt-identical cluster matches; hardware changes don't.
+        let u1 = uniform_cluster(GpuModel::TeslaV100, 8, 4, 10e9);
+        let u2 = uniform_cluster(GpuModel::TeslaV100, 8, 4, 10e9);
+        assert_eq!(u1.fingerprint(), u2.fingerprint());
+        let slower_nic = uniform_cluster(GpuModel::TeslaV100, 8, 4, 5e9);
+        let other_model = uniform_cluster(GpuModel::TeslaP100, 8, 4, 10e9);
+        let fewer_gpus = uniform_cluster(GpuModel::TeslaV100, 4, 4, 10e9);
+        assert_ne!(u1.fingerprint(), slower_nic.fingerprint());
+        assert_ne!(u1.fingerprint(), other_model.fingerprint());
+        assert_ne!(u1.fingerprint(), fewer_gpus.fingerprint());
+        assert_ne!(a.fingerprint(), u1.fingerprint());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Gradient-aggregation lowering: PS push/pull and AllReduce (ring or
 //! hierarchical) expansion into link-occupancy tasks.
 
+use std::sync::Arc;
+
 use heterog_cluster::{Cluster, DeviceId};
 use heterog_graph::{Node, OpKind, Phase, TensorMeta};
 use heterog_profile::{path_time, CostEstimator};
-use heterog_sched::{Proc, Task, TaskGraph, TaskId};
+use heterog_sched::{Proc, Task, TaskGraph, TaskId, TaskName};
 
 use crate::xfer::emit_transfer;
 
@@ -222,7 +224,7 @@ pub fn emit_ps<C: CostEstimator>(
     tg: &mut TaskGraph,
     cluster: &Cluster,
     cost: &C,
-    name: &str,
+    base: &Arc<str>,
     devices: &[DeviceId],
     ready: &[Vec<TaskId>],
     bytes: u64,
@@ -241,7 +243,11 @@ pub fn emit_ps<C: CostEstimator>(
     // replica gradients so no GPU-queue priority inversion occurs).
     let agg = tg.add_task(
         Task::new(
-            format!("{name}/ps_agg@{ps}"),
+            TaskName::Tagged {
+                base: base.clone(),
+                tag: "ps_agg",
+                dev: ps.0,
+            },
             OpKind::GradAggregate,
             Proc::Gpu(ps.0),
             reduce_time(cost, cluster, ps, bytes, devices.len()),
@@ -257,7 +263,7 @@ pub fn emit_ps<C: CostEstimator>(
         if d == ps {
             continue;
         }
-        let segs = emit_transfer(tg, cluster, cost, &format!("{name}/push"), d, ps, bytes);
+        let segs = emit_transfer(tg, cluster, cost, base, "push/xfer", d, ps, bytes);
         for s in segs {
             for &r in &ready[i] {
                 tg.add_dep(r, s);
@@ -272,10 +278,14 @@ pub fn emit_ps<C: CostEstimator>(
         if d == ps {
             continue;
         }
-        let segs = emit_transfer(tg, cluster, cost, &format!("{name}/pull"), ps, d, bytes);
+        let segs = emit_transfer(tg, cluster, cost, base, "pull/xfer", ps, d, bytes);
         // A zero-cost arrival marker on the destination joins the segments.
         let arrive = tg.add_task(Task::new(
-            format!("{name}/pull_done@{d}"),
+            TaskName::Tagged {
+                base: base.clone(),
+                tag: "pull_done",
+                dev: d.0,
+            },
             OpKind::GradAggregate,
             Proc::Gpu(d.0),
             0.0,
@@ -301,7 +311,7 @@ pub fn emit_allreduce<C: CostEstimator>(
     tg: &mut TaskGraph,
     cluster: &Cluster,
     cost: &C,
-    name: &str,
+    base: &Arc<str>,
     devices: &[DeviceId],
     ready: &[Vec<TaskId>],
     bytes: u64,
@@ -316,7 +326,11 @@ pub fn emit_allreduce<C: CostEstimator>(
         }
         let d = devices[0];
         let join = tg.add_task(Task::new(
-            format!("{name}/local_join@{d}"),
+            TaskName::Tagged {
+                base: base.clone(),
+                tag: "local_join",
+                dev: d.0,
+            },
             OpKind::GradAggregate,
             Proc::Gpu(d.0),
             0.0,
@@ -356,10 +370,11 @@ pub fn emit_allreduce<C: CostEstimator>(
         .into_iter()
         .map(|lid| {
             tg.add_task(Task::new(
-                format!(
-                    "{name}/{tag}@{}",
-                    cluster.link(heterog_cluster::LinkId(lid)).label
-                ),
+                TaskName::OnLink {
+                    base: base.clone(),
+                    tag,
+                    label: cluster.link(heterog_cluster::LinkId(lid)).label.clone(),
+                },
                 OpKind::NcclAllReduce,
                 Proc::Link(lid),
                 dur,
@@ -382,7 +397,11 @@ pub fn emit_allreduce<C: CostEstimator>(
         // AllReduce updates the gradient buffer in place: the memory is
         // already accounted at the gradient producer.
         let done = tg.add_task(Task::new(
-            format!("{name}/ar_done@{d}"),
+            TaskName::Tagged {
+                base: base.clone(),
+                tag: "ar_done",
+                dev: d.0,
+            },
             OpKind::GradAggregate,
             Proc::Gpu(d.0),
             0.0,
@@ -498,7 +517,8 @@ mod tests {
             })
             .collect();
         let mut tr = PsLoadTracker::new(c.servers().len());
-        let out = emit_ps(&mut tg, &c, &cost, "w0", &devices, &ready, 4 << 20, &mut tr);
+        let w0: Arc<str> = Arc::from("w0");
+        let out = emit_ps(&mut tg, &c, &cost, &w0, &devices, &ready, 4 << 20, &mut tr);
         assert_eq!(out.len(), 3);
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         assert!(s.makespan > 0.01);
@@ -536,7 +556,8 @@ mod tests {
             .collect();
         let bytes: u64 = 105 << 20; // ~0.01s per 100GbE NIC pass
         let mut tr = PsLoadTracker::new(c.servers().len());
-        let _ = emit_ps(&mut tg, &c, &cost, "w0", &devices, &ready, bytes, &mut tr);
+        let w0: Arc<str> = Arc::from("w0");
+        let _ = emit_ps(&mut tg, &c, &cost, &w0, &devices, &ready, bytes, &mut tr);
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         // 6 cross-server pushes serialize into the PS box, then 6 pulls
         // serialize out: >= 12 NIC passes of ~10ms each.
@@ -561,7 +582,8 @@ mod tests {
                 ))]
             })
             .collect();
-        let out = emit_allreduce(&mut tg, &c, &cost, "w0", &devices, &ready, 4 << 20);
+        let w0: Arc<str> = Arc::from("w0");
+        let out = emit_allreduce(&mut tg, &c, &cost, &w0, &devices, &ready, 4 << 20);
         assert_eq!(out.len(), 8);
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         let est = ring_estimate(&c, &cost, &devices, 4 << 20).min(hierarchical_estimate(
@@ -601,7 +623,7 @@ mod tests {
             &mut tg,
             &c,
             &GroundTruthCost,
-            "w",
+            &Arc::from("w"),
             &[DeviceId(0)],
             &ready,
             1 << 20,

@@ -1,10 +1,12 @@
 //! The main lowering: (graph, cluster, cost model, strategy) -> placed,
 //! priced task graph.
 
+use std::sync::Arc;
+
 use heterog_cluster::{Cluster, DeviceId};
 use heterog_graph::{Graph, Node, OpId, OpKind, Phase, TensorMeta};
 use heterog_profile::CostEstimator;
-use heterog_sched::{Proc, Task, TaskGraph, TaskId};
+use heterog_sched::{Proc, Task, TaskGraph, TaskId, TaskName};
 
 use crate::collective::{emit_allreduce, emit_ps, PsLoadTracker};
 use crate::placement::{resolve_placements, OpPlacement};
@@ -31,6 +33,11 @@ static CONCAT_TASKS: heterog_telemetry::Counter = heterog_telemetry::Counter::ne
 /// themselves plus Adam's two moment tensors (the paper's testbed trains
 /// with stateful optimizers; TF1 allocates all three persistently).
 pub const OPTIMIZER_STATE_FACTOR: u64 = 3;
+
+/// One shared, refcounted name base per op.
+fn base_names(g: &Graph) -> Vec<Arc<str>> {
+    g.iter().map(|(_, n)| Arc::from(n.name.as_str())).collect()
+}
 
 /// Op kinds whose outputs are computed in place (or fused) by real
 /// frameworks — they add no resident activation memory, though their
@@ -90,7 +97,8 @@ pub fn compile_with_options<C: CostEstimator>(
         placements,
         op_tasks: vec![Vec::new(); g.len()],
         ps_loads: PsLoadTracker::new(cluster.servers().len()),
-        name_suffix: String::new(),
+        base_names: base_names(g),
+        suffix: Arc::from(""),
         pin_params: true,
         emit_applies: true,
         share_override: None,
@@ -166,7 +174,8 @@ pub fn compile_pipelined<C: CostEstimator>(
             placements: placements.clone(),
             op_tasks: vec![Vec::new(); g.len()],
             ps_loads: PsLoadTracker::new(cluster.servers().len()),
-            name_suffix: format!("~u{mi}"),
+            base_names: base_names(g),
+            suffix: format!("~u{mi}").into(),
             pin_params: mi == active[0].0,
             emit_applies: mi == last_mi,
             share_override: Some(shares),
@@ -253,7 +262,8 @@ pub fn compile_iterations<C: CostEstimator>(
             placements: placements.clone(),
             op_tasks: vec![Vec::new(); g.len()],
             ps_loads: PsLoadTracker::new(cluster.servers().len()),
-            name_suffix: format!("~i{it}"),
+            base_names: base_names(g),
+            suffix: format!("~i{it}").into(),
             pin_params: it == 0,
             emit_applies: true,
             share_override: None,
@@ -341,12 +351,11 @@ fn emit_cross_micro_aggregation<C: CostEstimator>(
         } else {
             gp.comm
         };
+        let base: Arc<str> = Arc::from(node.name.as_str());
         let avail = match comm {
-            CommMethod::Ps => emit_ps(
-                tg, cluster, cost, &node.name, &devices, &ready, bytes, ps_loads,
-            ),
+            CommMethod::Ps => emit_ps(tg, cluster, cost, &base, &devices, &ready, bytes, ps_loads),
             CommMethod::AllReduce => {
-                emit_allreduce(tg, cluster, cost, &node.name, &devices, &ready, bytes)
+                emit_allreduce(tg, cluster, cost, &base, &devices, &ready, bytes)
             }
         };
         for (a, t) in avail.iter().zip(applies) {
@@ -364,12 +373,17 @@ struct Lowerer<'a, C: CostEstimator> {
     placements: Vec<OpPlacement>,
     op_tasks: Vec<Vec<TaskId>>,
     ps_loads: PsLoadTracker,
+    /// Per-op shared name bases: every task name derived from op `i`
+    /// holds a refcounted clone of `base_names[i]` instead of a
+    /// formatted copy (lazy [`TaskName`]s — rendering happens only on
+    /// export/debug, never on the compile→schedule→simulate hot path).
+    base_names: Vec<Arc<str>>,
     /// Micro-batch pipelining support (the §7 extension): task-name
     /// suffix, whether this pass pins parameters (only the first
     /// micro-batch does), whether ApplyGradient tasks are emitted (only
     /// the last micro-batch's pass does), and optional per-op per-replica
     /// share overrides replacing the placement's full-batch shares.
-    name_suffix: String,
+    suffix: Arc<str>,
     pin_params: bool,
     emit_applies: bool,
     share_override: Option<Vec<Vec<u64>>>,
@@ -391,7 +405,12 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
                 let model = self.cluster.device(dev).model;
                 let duration = self.cost.op_time(node, model, share);
                 let mut task = Task::new(
-                    format!("{}{}@{dev}#{ri}", node.name, self.name_suffix),
+                    TaskName::Replica {
+                        base: self.base_names[id.index()].clone(),
+                        suffix: self.suffix.clone(),
+                        dev: dev.0,
+                        replica: ri as u32,
+                    },
                     node.kind,
                     Proc::Gpu(dev.0),
                     duration,
@@ -449,6 +468,7 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
         let tu = self.op_tasks[u.index()].clone();
         let tv = self.op_tasks[v.index()].clone();
         let node_u = self.g.node(u).clone();
+        let base_u = self.base_names[u.index()].clone();
 
         // Identical distributions: replica-to-replica, no communication.
         if pu.replicas == pv.replicas {
@@ -463,15 +483,15 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
             if pv.single_instance() {
                 let (v_dev, _) = pv.replicas[0];
                 let bytes = node_u.output.bytes(u_share);
-                self.connect(tu[0], tv[0], u_dev, v_dev, bytes, &node_u.name);
+                self.connect(tu[0], tv[0], u_dev, v_dev, bytes, &base_u);
             } else if node_u.output.has_batch_dim() {
                 // Scatter: Split on u's device, shard transfers out.
                 let total = node_u.output.bytes(u_share);
-                let split = self.structural_task(OpKind::Split, u_dev, total, &node_u.name);
+                let split = self.structural_task(OpKind::Split, u_dev, total, &base_u);
                 self.tg.add_dep(tu[0], split);
                 for (i, &(d, share)) in pv.replicas.iter().enumerate() {
                     let bytes = node_u.output.bytes(share);
-                    self.connect(split, tv[i], u_dev, d, bytes, &node_u.name);
+                    self.connect(split, tv[i], u_dev, d, bytes, &base_u);
                 }
             } else {
                 // Broadcast a batch-less tensor to every consumer device.
@@ -489,13 +509,18 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
                                     &mut self.tg,
                                     self.cluster,
                                     self.cost,
-                                    &node_u.name,
+                                    &base_u,
+                                    "xfer",
                                     u_dev,
                                     d,
                                     bytes,
                                 );
                                 let arrive = self.tg.add_task(Task::new(
-                                    format!("{}/bcast_done@{d}", node_u.name),
+                                    TaskName::Tagged {
+                                        base: base_u.clone(),
+                                        tag: "bcast_done",
+                                        dev: d.0,
+                                    },
                                     OpKind::NoOp,
                                     Proc::Gpu(d.0),
                                     0.0,
@@ -520,10 +545,10 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
             // Gather: transfers into a Concat on v's device.
             let (v_dev, _) = pv.replicas[0];
             let total = node_u.output.bytes(pu.replicas.iter().map(|r| r.1).sum());
-            let concat = self.structural_task(OpKind::Concat, v_dev, total, &node_u.name);
+            let concat = self.structural_task(OpKind::Concat, v_dev, total, &base_u);
             for (i, &(d, share)) in pu.replicas.iter().enumerate() {
                 let bytes = node_u.output.bytes(share);
-                self.connect(tu[i], concat, d, v_dev, bytes, &node_u.name);
+                self.connect(tu[i], concat, d, v_dev, bytes, &base_u);
             }
             self.tg.add_dep(concat, tv[0]);
             return;
@@ -545,16 +570,16 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
             })
             .0;
         let total = node_u.output.bytes(pu.replicas.iter().map(|r| r.1).sum());
-        let concat = self.structural_task(OpKind::Concat, hub, total, &node_u.name);
+        let concat = self.structural_task(OpKind::Concat, hub, total, &base_u);
         for (i, &(d, share)) in pu.replicas.iter().enumerate() {
             let bytes = node_u.output.bytes(share);
-            self.connect(tu[i], concat, d, hub, bytes, &node_u.name);
+            self.connect(tu[i], concat, d, hub, bytes, &base_u);
         }
-        let split = self.structural_task(OpKind::Split, hub, total, &node_u.name);
+        let split = self.structural_task(OpKind::Split, hub, total, &base_u);
         self.tg.add_dep(concat, split);
         for (i, &(d, share)) in pv.replicas.iter().enumerate() {
             let bytes = node_u.output.bytes(share);
-            self.connect(split, tv[i], hub, d, bytes, &node_u.name);
+            self.connect(split, tv[i], hub, d, bytes, &base_u);
         }
     }
 
@@ -566,13 +591,14 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
         from: DeviceId,
         to: DeviceId,
         bytes: u64,
-        name: &str,
+        base: &Arc<str>,
     ) {
         crate::xfer::connect_via_transfer(
             &mut self.tg,
             self.cluster,
             self.cost,
-            name,
+            base,
+            "xfer",
             a,
             b,
             from,
@@ -582,7 +608,13 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
     }
 
     /// A Split/Concat task priced as a memory-bound op over `bytes`.
-    fn structural_task(&mut self, kind: OpKind, dev: DeviceId, bytes: u64, name: &str) -> TaskId {
+    fn structural_task(
+        &mut self,
+        kind: OpKind,
+        dev: DeviceId,
+        bytes: u64,
+        base: &Arc<str>,
+    ) -> TaskId {
         let elems = bytes / 4;
         let node = Node::new("struct", kind, Phase::Forward)
             .with_output(TensorMeta::fixed(elems))
@@ -595,7 +627,11 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
         }
         self.tg.add_task(
             Task::new(
-                format!("{name}/{}@{dev}", kind.mnemonic()),
+                TaskName::Tagged {
+                    base: base.clone(),
+                    tag: kind.mnemonic(),
+                    dev: dev.0,
+                },
                 kind,
                 Proc::Gpu(dev.0),
                 duration,
@@ -661,12 +697,13 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
             } else {
                 gp.comm
             };
+            let base = self.base_names[gid.index()].clone();
             let avail = match comm {
                 CommMethod::Ps => emit_ps(
                     &mut self.tg,
                     self.cluster,
                     self.cost,
-                    &node.name,
+                    &base,
                     &devices,
                     &ready,
                     bytes,
@@ -676,7 +713,7 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
                     &mut self.tg,
                     self.cluster,
                     self.cost,
-                    &node.name,
+                    &base,
                     &devices,
                     &ready,
                     bytes,

@@ -22,7 +22,7 @@ pub enum CommMethod {
 }
 
 /// Parallelism decision for one operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpStrategy {
     /// Model parallelism: a single un-replicated instance on one device.
     Mp(DeviceId),
@@ -71,7 +71,7 @@ impl OpStrategy {
 }
 
 /// A complete Part-I strategy: one decision per op of the original graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Strategy {
     /// Indexed by `OpId`.
     pub per_op: Vec<OpStrategy>,

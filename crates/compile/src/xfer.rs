@@ -1,10 +1,12 @@
 //! Transfer emission: one task per path segment, occupied concurrently
 //! (cut-through through the switch — see `heterog-cluster`'s link model).
 
+use std::sync::Arc;
+
 use heterog_cluster::{Cluster, DeviceId, LinkKind};
 use heterog_graph::OpKind;
 use heterog_profile::CostEstimator;
-use heterog_sched::{Proc, Task, TaskGraph, TaskId};
+use heterog_sched::{Proc, Task, TaskGraph, TaskId, TaskName};
 
 static TRANSFER_TASKS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
     "heterog_compile_transfer_tasks_total",
@@ -39,11 +41,17 @@ fn record_link_bytes(kind: LinkKind, bytes: u64) {
 /// are *not* chained — they overlap as a cut-through stream — so callers
 /// must make the producer feed every returned task and the consumer wait
 /// on every returned task.
+///
+/// Segment names render as `"{base}/{tag}@{label}"` but are stored
+/// lazily ([`TaskName::OnLink`]): three refcount bumps instead of a
+/// `format!` per segment on the compile hot path.
+#[allow(clippy::too_many_arguments)]
 pub fn emit_transfer<C: CostEstimator>(
     tg: &mut TaskGraph,
     cluster: &Cluster,
     cost: &C,
-    name: &str,
+    base: &Arc<str>,
+    tag: &'static str,
     from: DeviceId,
     to: DeviceId,
     bytes: u64,
@@ -57,7 +65,11 @@ pub fn emit_transfer<C: CostEstimator>(
             let link = cluster.link(lid);
             record_link_bytes(link.kind, bytes);
             tg.add_task(Task::new(
-                format!("{name}/xfer@{}", link.label),
+                TaskName::OnLink {
+                    base: base.clone(),
+                    tag,
+                    label: link.label.clone(),
+                },
                 OpKind::Transfer,
                 Proc::Link(lid.0),
                 cost.transfer_time(link, bytes),
@@ -74,14 +86,15 @@ pub fn connect_via_transfer<C: CostEstimator>(
     tg: &mut TaskGraph,
     cluster: &Cluster,
     cost: &C,
-    name: &str,
+    base: &Arc<str>,
+    tag: &'static str,
     producer: TaskId,
     consumer: TaskId,
     from: DeviceId,
     to: DeviceId,
     bytes: u64,
 ) {
-    let segs = emit_transfer(tg, cluster, cost, name, from, to, bytes);
+    let segs = emit_transfer(tg, cluster, cost, base, tag, from, to, bytes);
     if segs.is_empty() {
         tg.add_dep(producer, consumer);
         return;
@@ -99,6 +112,10 @@ mod tests {
     use heterog_profile::GroundTruthCost;
     use heterog_sched::{list_schedule, OrderPolicy};
 
+    fn base(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
     #[test]
     fn same_device_transfer_is_empty() {
         let c = paper_testbed_8gpu();
@@ -107,7 +124,8 @@ mod tests {
             &mut tg,
             &c,
             &GroundTruthCost,
-            "x",
+            &base("x"),
+            "xfer",
             DeviceId(0),
             DeviceId(0),
             1 << 20,
@@ -124,12 +142,22 @@ mod tests {
             &mut tg,
             &c,
             &GroundTruthCost,
-            "x",
+            &base("x"),
+            "xfer",
             DeviceId(0),
             DeviceId(1),
             1 << 20,
         );
         assert_eq!(segs.len(), 1);
+        // Lazy name renders exactly like the old eager format.
+        assert_eq!(
+            tg.task(segs[0]).name.to_string(),
+            format!(
+                "x/xfer@{}",
+                c.link(c.path_between(DeviceId(0), DeviceId(1)).unwrap()[0])
+                    .label
+            )
+        );
     }
 
     #[test]
@@ -143,7 +171,8 @@ mod tests {
             &mut tg,
             &c,
             &cost,
-            "x",
+            &base("x"),
+            "xfer",
             src,
             dst,
             DeviceId(0),
@@ -171,13 +200,15 @@ mod tests {
         let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
         let dst_dev = DeviceId(0);
         let sink = tg.add_task(Task::new("sink", OpKind::NoOp, Proc::Gpu(0), 0.0));
+        let push = base("push");
         for i in 2..8 {
             let p = tg.add_task(Task::new("src", OpKind::NoOp, Proc::Gpu(i), 0.0));
             connect_via_transfer(
                 &mut tg,
                 &c,
                 &cost,
-                "push",
+                &push,
+                "xfer",
                 p,
                 sink,
                 DeviceId(i),

@@ -26,7 +26,10 @@ pub mod strict;
 pub mod task;
 
 pub use instance::{adversarial_priorities, worst_case_instance};
-pub use list::{list_schedule, makespan_lower_bound, OrderPolicy, Schedule};
-pub use rank::upward_ranks;
+pub use list::{
+    list_schedule, list_schedule_into, list_schedule_observed, makespan_lower_bound, NoHook,
+    OrderPolicy, Schedule, ScheduleHook, ScheduleScratch,
+};
+pub use rank::{critical_path, critical_path_from, upward_ranks, upward_ranks_into, RankScratch};
 pub use strict::strict_schedule;
-pub use task::{Proc, Task, TaskGraph, TaskId};
+pub use task::{Proc, Task, TaskGraph, TaskId, TaskName};

@@ -6,13 +6,25 @@
 //! finished). With rank priorities this is exactly the paper's order
 //! scheduling heuristic; with arrival-order priorities it models
 //! TensorFlow's default FIFO executor (the §6.6 baseline).
+//!
+//! The executor exists in three layers so the planner reward path can
+//! run allocation-free:
+//!
+//! * [`list_schedule`] — the convenient entry point; allocates a fresh
+//!   [`ScheduleScratch`] per call.
+//! * [`list_schedule_into`] — reuses caller-owned scratch buffers and an
+//!   output [`Schedule`]; zero heap allocations after warm-up.
+//! * [`list_schedule_observed`] — additionally invokes a monomorphized
+//!   [`ScheduleHook`] at every task start/finish, which is how the
+//!   simulator fuses memory accounting into the event loop without the
+//!   scheduler depending on it.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::rank::{critical_path, upward_ranks};
+use crate::rank::{critical_path_from, upward_ranks, upward_ranks_into, RankScratch};
 use crate::task::{TaskGraph, TaskId};
 
 static TASKS_SCHEDULED: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
@@ -41,7 +53,7 @@ pub enum OrderPolicy {
 }
 
 /// The result of executing a task graph under a policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Schedule {
     /// End-to-end execution time (per-iteration time).
     pub makespan: f64,
@@ -62,6 +74,44 @@ impl Schedule {
             self.proc_busy[proc] / self.makespan
         }
     }
+}
+
+/// Observer called from inside the scheduling event loop. Monomorphized,
+/// so [`NoHook`] compiles to the plain loop. The simulator's memory
+/// tracker implements this to collect alloc/free events in the same pass
+/// that computes the schedule.
+pub trait ScheduleHook {
+    /// `task` was dispatched at `time`.
+    #[inline]
+    fn on_start(&mut self, task: TaskId, time: f64) {
+        let _ = (task, time);
+    }
+    /// `task` completed at `time` (all of its successors have been
+    /// notified *after* this call returns).
+    #[inline]
+    fn on_finish(&mut self, task: TaskId, time: f64) {
+        let _ = (task, time);
+    }
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl ScheduleHook for NoHook {}
+
+/// Reusable buffers for [`list_schedule_into`]: per-processor ready
+/// heaps, the event queue, indegrees and rank buffers. A warm scratch
+/// (one prior call on a graph at least as large) makes scheduling
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleScratch {
+    ready: Vec<BinaryHeap<Key>>,
+    busy: Vec<bool>,
+    indeg: Vec<u32>,
+    events: BinaryHeap<Done>,
+    ranks: Vec<f64>,
+    rank_scratch: RankScratch,
 }
 
 /// Heap key: higher priority first; among equals, lower sequence first.
@@ -114,39 +164,111 @@ impl PartialOrd for Done {
     }
 }
 
-/// Executes `tg` under `policy` and returns the schedule.
+/// A borrowed view of per-task priorities. `Fifo` uses a uniform view
+/// (ordering comes from arrival seq) and `Priorities` borrows the
+/// caller's vector — neither allocates.
+#[derive(Clone, Copy)]
+enum Prio<'a> {
+    Uniform,
+    Slice(&'a [f64]),
+}
+
+impl Prio<'_> {
+    #[inline]
+    fn get(self, i: usize) -> f64 {
+        match self {
+            Prio::Uniform => 0.0,
+            Prio::Slice(s) => s[i],
+        }
+    }
+}
+
+/// Executes `tg` under `policy` and returns the schedule. Allocates
+/// fresh buffers; hot loops should hold a [`ScheduleScratch`] and call
+/// [`list_schedule_into`] instead.
 pub fn list_schedule(tg: &TaskGraph, policy: &OrderPolicy) -> Schedule {
+    let mut scratch = ScheduleScratch::default();
+    let mut out = Schedule::default();
+    list_schedule_into(tg, policy, &mut scratch, &mut out);
+    out
+}
+
+/// [`list_schedule`] into caller-owned scratch and output buffers —
+/// zero heap allocations per call after warm-up.
+pub fn list_schedule_into(
+    tg: &TaskGraph,
+    policy: &OrderPolicy,
+    scratch: &mut ScheduleScratch,
+    out: &mut Schedule,
+) {
+    list_schedule_observed(tg, policy, scratch, out, &mut NoHook);
+}
+
+/// [`list_schedule_into`] with a [`ScheduleHook`] observing every task
+/// start and finish. The hook does not influence the schedule.
+pub fn list_schedule_observed<H: ScheduleHook>(
+    tg: &TaskGraph,
+    policy: &OrderPolicy,
+    scratch: &mut ScheduleScratch,
+    out: &mut Schedule,
+    hook: &mut H,
+) {
     let _span = heterog_telemetry::span("list_schedule");
     let telemetry_on = heterog_telemetry::enabled();
     let wall_start = telemetry_on.then(std::time::Instant::now);
     let n = tg.len();
-    let priorities: Vec<f64> = match policy {
-        OrderPolicy::RankBased => upward_ranks(tg),
-        OrderPolicy::Fifo => vec![0.0; n], // ordering comes from arrival seq
+    let num_procs = tg.num_procs();
+
+    let ScheduleScratch {
+        ready,
+        busy,
+        indeg,
+        events,
+        ranks,
+        rank_scratch,
+    } = scratch;
+
+    let priorities: Prio<'_> = match policy {
+        OrderPolicy::RankBased => {
+            upward_ranks_into(tg, rank_scratch, ranks);
+            Prio::Slice(ranks)
+        }
+        OrderPolicy::Fifo => Prio::Uniform, // ordering comes from arrival seq
         OrderPolicy::Priorities(p) => {
             assert_eq!(p.len(), n, "priority vector length mismatch");
-            p.clone()
+            Prio::Slice(p)
         }
     };
     let fifo = matches!(policy, OrderPolicy::Fifo);
 
-    let num_procs = tg.num_procs();
-    let mut ready: Vec<BinaryHeap<Key>> = (0..num_procs).map(|_| BinaryHeap::new()).collect();
-    let mut busy = vec![false; num_procs];
-    let mut proc_busy = vec![0.0f64; num_procs];
-    let mut indeg: Vec<usize> = (0..n).map(|i| tg.preds(TaskId(i as u32)).len()).collect();
-    let mut start = vec![f64::NAN; n];
-    let mut finish = vec![f64::NAN; n];
-    let mut events: BinaryHeap<Done> = BinaryHeap::new();
+    if ready.len() < num_procs {
+        ready.resize_with(num_procs, BinaryHeap::new);
+    }
+    let ready = &mut ready[..num_procs];
+    for h in ready.iter_mut() {
+        h.clear();
+    }
+    busy.clear();
+    busy.resize(num_procs, false);
+    indeg.clear();
+    indeg.extend(tg.task_ids().map(|t| tg.in_degree(t) as u32));
+    events.clear();
+    out.start.clear();
+    out.start.resize(n, f64::NAN);
+    out.finish.clear();
+    out.finish.resize(n, f64::NAN);
+    out.proc_busy.clear();
+    out.proc_busy.resize(num_procs, 0.0);
+
     let mut arrival_seq: u64 = 0;
     let mut completed = 0usize;
 
-    let push_ready = |t: TaskId, ready: &mut Vec<BinaryHeap<Key>>, seq: &mut u64| {
+    let push_ready = |t: TaskId, ready: &mut [BinaryHeap<Key>], seq: &mut u64| {
         let p = tg.proc_index(tg.task(t).proc);
         let s = if fifo { *seq } else { t.0 as u64 };
         *seq += 1;
         ready[p].push(Key {
-            priority: priorities[t.index()],
+            priority: priorities.get(t.index()),
             seq: s,
             task: t,
         });
@@ -158,35 +280,36 @@ pub fn list_schedule(tg: &TaskGraph, policy: &OrderPolicy) -> Schedule {
     // Seed with dependency-free tasks (in id order, defining FIFO arrival).
     for t in tg.task_ids() {
         if indeg[t.index()] == 0 {
-            push_ready(t, &mut ready, &mut arrival_seq);
+            push_ready(t, ready, &mut arrival_seq);
         }
     }
 
     // Dispatch everything possible at t = 0.
     let mut now = 0.0f64;
     for p in 0..num_procs {
-        dispatch(p, now, tg, &mut ready, &mut busy, &mut start, &mut events);
+        dispatch(p, now, tg, ready, busy, &mut out.start, events, hook);
     }
 
     while let Some(Done { time, task }) = events.pop() {
         debug_assert!(time >= now - 1e-12);
         now = time;
-        finish[task.index()] = now;
+        out.finish[task.index()] = now;
         completed += 1;
         let p = tg.proc_index(tg.task(task).proc);
-        proc_busy[p] += tg.task(task).duration;
+        out.proc_busy[p] += tg.task(task).duration;
         busy[p] = false;
+        hook.on_finish(task, now);
 
         // Newly-ready successors.
         for &s in tg.succs(task) {
             indeg[s.index()] -= 1;
             if indeg[s.index()] == 0 {
-                push_ready(s, &mut ready, &mut arrival_seq);
+                push_ready(s, ready, &mut arrival_seq);
                 let sp = tg.proc_index(tg.task(s).proc);
-                dispatch(sp, now, tg, &mut ready, &mut busy, &mut start, &mut events);
+                dispatch(sp, now, tg, ready, busy, &mut out.start, events, hook);
             }
         }
-        dispatch(p, now, tg, &mut ready, &mut busy, &mut start, &mut events);
+        dispatch(p, now, tg, ready, busy, &mut out.start, events, hook);
     }
 
     assert_eq!(completed, n, "deadlock: task graph must be acyclic");
@@ -194,15 +317,11 @@ pub fn list_schedule(tg: &TaskGraph, policy: &OrderPolicy) -> Schedule {
     if let Some(t0) = wall_start {
         SCHEDULE_SECONDS.observe(t0.elapsed().as_secs_f64());
     }
-    Schedule {
-        makespan: now,
-        start,
-        finish,
-        proc_busy,
-    }
+    out.makespan = now;
 }
 
-fn dispatch(
+#[allow(clippy::too_many_arguments)]
+fn dispatch<H: ScheduleHook>(
     p: usize,
     now: f64,
     tg: &TaskGraph,
@@ -210,6 +329,7 @@ fn dispatch(
     busy: &mut [bool],
     start: &mut [f64],
     events: &mut BinaryHeap<Done>,
+    hook: &mut H,
 ) {
     if busy[p] {
         return;
@@ -217,6 +337,7 @@ fn dispatch(
     if let Some(key) = ready[p].pop() {
         busy[p] = true;
         start[key.task.index()] = now;
+        hook.on_start(key.task, now);
         events.push(Done {
             time: now + tg.task(key.task).duration,
             task: key.task,
@@ -227,14 +348,15 @@ fn dispatch(
 /// A lower bound on the optimal makespan `T*`: the max of the critical
 /// path and the heaviest single processor's total work. Used to verify
 /// Theorem 1 (`T_LS <= (M + M^2) T*`) without solving the NP-hard
-/// problem exactly.
+/// problem exactly. One upward-rank sweep covers both terms.
 pub fn makespan_lower_bound(tg: &TaskGraph) -> f64 {
+    let ranks = upward_ranks(tg);
     let mut per_proc = vec![0.0f64; tg.num_procs()];
     for (_, t) in tg.iter() {
         per_proc[tg.proc_index(t.proc)] += t.duration;
     }
     let heaviest = per_proc.into_iter().fold(0.0f64, f64::max);
-    heaviest.max(critical_path(tg))
+    heaviest.max(critical_path_from(&ranks))
 }
 
 #[cfg(test)]
@@ -361,5 +483,80 @@ mod tests {
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         let total: f64 = s.proc_busy.iter().sum();
         assert!((total - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_schedule() {
+        let mut scratch = ScheduleScratch::default();
+        let mut out = Schedule::default();
+        // Alternate between a larger and a smaller graph to exercise
+        // buffer shrink/regrow paths.
+        for gpus in [3u32, 1, 2] {
+            let mut tg = TaskGraph::new("s", gpus, 1);
+            let mut prev = None;
+            for i in 0..(gpus * 4) {
+                let id = tg.add_task(g("t", i % gpus, 1.0 + i as f64 * 0.25));
+                if let Some(p) = prev {
+                    tg.add_dep(p, id);
+                }
+                prev = Some(id);
+            }
+            for policy in [
+                OrderPolicy::RankBased,
+                OrderPolicy::Fifo,
+                OrderPolicy::Priorities(vec![1.0; tg.len()]),
+            ] {
+                let fresh = list_schedule(&tg, &policy);
+                list_schedule_into(&tg, &policy, &mut scratch, &mut out);
+                assert_eq!(fresh.makespan, out.makespan);
+                assert_eq!(fresh.start, out.start);
+                assert_eq!(fresh.finish, out.finish);
+                assert_eq!(fresh.proc_busy, out.proc_busy);
+            }
+        }
+    }
+
+    #[test]
+    fn hook_sees_every_start_and_finish_in_time_order() {
+        struct Recorder {
+            starts: Vec<(TaskId, f64)>,
+            finishes: Vec<(TaskId, f64)>,
+        }
+        impl ScheduleHook for Recorder {
+            fn on_start(&mut self, task: TaskId, time: f64) {
+                self.starts.push((task, time));
+            }
+            fn on_finish(&mut self, task: TaskId, time: f64) {
+                self.finishes.push((task, time));
+            }
+        }
+        let mut tg = TaskGraph::new("h", 2, 0);
+        let a = tg.add_task(g("a", 0, 1.0));
+        let b = tg.add_task(g("b", 1, 2.0));
+        let c = tg.add_task(g("c", 0, 1.0));
+        tg.add_dep(a, c);
+        tg.add_dep(b, c);
+        let mut hook = Recorder {
+            starts: Vec::new(),
+            finishes: Vec::new(),
+        };
+        let mut scratch = ScheduleScratch::default();
+        let mut out = Schedule::default();
+        list_schedule_observed(
+            &tg,
+            &OrderPolicy::RankBased,
+            &mut scratch,
+            &mut out,
+            &mut hook,
+        );
+        assert_eq!(hook.starts.len(), 3);
+        assert_eq!(hook.finishes.len(), 3);
+        for (t, time) in &hook.starts {
+            assert_eq!(out.start[t.index()], *time);
+        }
+        for (t, time) in &hook.finishes {
+            assert_eq!(out.finish[t.index()], *time);
+        }
+        assert!(hook.finishes.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 }

@@ -7,6 +7,14 @@ static RANK_SECONDS: heterog_telemetry::Histogram = heterog_telemetry::Histogram
     "Wall-clock time of upward-rank sweeps",
 );
 
+/// Reusable buffers for rank sweeps: with a warm scratch,
+/// [`upward_ranks_into`] performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct RankScratch {
+    indeg: Vec<u32>,
+    order: Vec<TaskId>,
+}
+
 /// Computes the paper's rank for every task:
 ///
 /// ```text
@@ -17,10 +25,20 @@ static RANK_SECONDS: heterog_telemetry::Histogram = heterog_telemetry::Histogram
 /// itself (HEFT's upward rank with fixed placements). Sinks rank at
 /// their own duration. Computed in one reverse-topological sweep, O(V+E).
 pub fn upward_ranks(tg: &TaskGraph) -> Vec<f64> {
+    let mut scratch = RankScratch::default();
+    let mut rank = Vec::new();
+    upward_ranks_into(tg, &mut scratch, &mut rank);
+    rank
+}
+
+/// [`upward_ranks`] into caller-owned buffers — allocation-free once the
+/// scratch and `rank` vector have grown to the graph's size.
+pub fn upward_ranks_into(tg: &TaskGraph, scratch: &mut RankScratch, rank: &mut Vec<f64>) {
     heterog_telemetry::metrics::time_closure(&RANK_SECONDS, || {
-        let order = tg.topo_order();
-        let mut rank = vec![0.0f64; tg.len()];
-        for &id in order.iter().rev() {
+        tg.topo_order_into(&mut scratch.indeg, &mut scratch.order);
+        rank.clear();
+        rank.resize(tg.len(), 0.0);
+        for &id in scratch.order.iter().rev() {
             let best_succ = tg
                 .succs(id)
                 .iter()
@@ -28,14 +46,21 @@ pub fn upward_ranks(tg: &TaskGraph) -> Vec<f64> {
                 .fold(0.0f64, f64::max);
             rank[id.index()] = tg.task(id).duration + best_succ;
         }
-        rank
     })
 }
 
+/// The critical-path length given an already-computed rank vector: the
+/// largest rank overall. Lets callers derive the bound from the same
+/// sweep they scheduled with.
+pub fn critical_path_from(ranks: &[f64]) -> f64 {
+    ranks.iter().copied().fold(0.0, f64::max)
+}
+
 /// The critical-path length: the largest rank among source tasks (equal
-/// to the largest rank overall). A lower bound on any schedule.
+/// to the largest rank overall). A lower bound on any schedule. One
+/// rank sweep, no re-run.
 pub fn critical_path(tg: &TaskGraph) -> f64 {
-    upward_ranks(tg).into_iter().fold(0.0, f64::max)
+    critical_path_from(&upward_ranks(tg))
 }
 
 /// Ranks a specific task (convenience for tests/debugging).
@@ -98,5 +123,21 @@ mod tests {
         let b = tg.add_task(t(2.5));
         tg.add_dep(a, b);
         assert_eq!(rank_of(&tg, a), 4.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_computation() {
+        let mut scratch = RankScratch::default();
+        let mut rank = Vec::new();
+        for size in [3usize, 7, 2] {
+            let mut tg = TaskGraph::new("s", 1, 0);
+            let ids: Vec<_> = (0..size).map(|i| tg.add_task(t(i as f64 + 1.0))).collect();
+            for w in ids.windows(2) {
+                tg.add_dep(w[0], w[1]);
+            }
+            upward_ranks_into(&tg, &mut scratch, &mut rank);
+            assert_eq!(rank, upward_ranks(&tg));
+            assert_eq!(critical_path_from(&rank), critical_path(&tg));
+        }
     }
 }

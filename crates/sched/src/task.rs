@@ -1,6 +1,23 @@
 //! The placed task graph: the distributed training DAG after Part-I
 //! decisions, with every task bound to a processor (GPU or link) and
 //! priced by the cost model.
+//!
+//! Two representation choices keep the compile -> schedule -> simulate
+//! reward path allocation-light:
+//!
+//! * **CSR adjacency.** Edges are stored as a flat insertion-ordered
+//!   list; the successor/predecessor index (`succ_off`/`succ_idx` plus
+//!   the pred counterpart) is built lazily on first traversal and
+//!   invalidated on mutation. Iteration order matches the old
+//!   `Vec<Vec<TaskId>>` representation exactly (per-source insertion
+//!   order), so schedules are bit-identical.
+//! * **Lazy task names.** A [`TaskName`] stores shared `Arc<str>`
+//!   components and renders the human-readable string only when asked
+//!   (display, tracing, serialization) — the compiler no longer
+//!   `format!`s a `String` per task on the reward path.
+
+use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -50,11 +67,104 @@ impl std::fmt::Display for Proc {
     }
 }
 
+/// A lazily-rendered task name.
+///
+/// The compiler emits millions of tasks across a planner search; naming
+/// each with `format!` dominated compile-time allocations. The composed
+/// variants hold `Arc<str>` pieces shared across tasks and render the
+/// exact same strings the old eager formatting produced:
+///
+/// * [`TaskName::Replica`] -> `"{base}{suffix}@G{dev}#{replica}"`
+/// * [`TaskName::Tagged`]  -> `"{base}/{tag}@G{dev}"`
+/// * [`TaskName::OnLink`]  -> `"{base}/{tag}@{label}"`
+///
+/// Serialization renders the string (JSON is unchanged); deserialization
+/// restores a [`TaskName::Full`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(into = "String", from = "String")]
+pub enum TaskName {
+    /// A fully materialized name.
+    Full(Box<str>),
+    /// A per-replica compute task: `"{base}{suffix}@G{dev}#{replica}"`.
+    Replica {
+        /// Originating op name.
+        base: Arc<str>,
+        /// Pass suffix (`""`, `"~u3"`, `"~i1"`, ...).
+        suffix: Arc<str>,
+        /// GPU index.
+        dev: u32,
+        /// Replica index within the op's placement.
+        replica: u32,
+    },
+    /// A structural/marker task on a GPU: `"{base}/{tag}@G{dev}"`.
+    Tagged {
+        /// Originating op name.
+        base: Arc<str>,
+        /// Role tag (`"split"`, `"ps_agg"`, `"ar_done"`, ...).
+        tag: &'static str,
+        /// GPU index.
+        dev: u32,
+    },
+    /// A communication task on a link: `"{base}/{tag}@{label}"`.
+    OnLink {
+        /// Originating op name.
+        base: Arc<str>,
+        /// Role tag (`"xfer"`, `"push/xfer"`, `"ring"`, ...).
+        tag: &'static str,
+        /// The link's label (e.g. `"G0->G1"`, `"srv2.in"`).
+        label: Arc<str>,
+    },
+}
+
+impl TaskName {
+    /// Renders the name to an owned `String`.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for TaskName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskName::Full(s) => f.write_str(s),
+            TaskName::Replica {
+                base,
+                suffix,
+                dev,
+                replica,
+            } => write!(f, "{base}{suffix}@G{dev}#{replica}"),
+            TaskName::Tagged { base, tag, dev } => write!(f, "{base}/{tag}@G{dev}"),
+            TaskName::OnLink { base, tag, label } => write!(f, "{base}/{tag}@{label}"),
+        }
+    }
+}
+
+impl From<String> for TaskName {
+    fn from(s: String) -> Self {
+        TaskName::Full(s.into_boxed_str())
+    }
+}
+
+impl From<&str> for TaskName {
+    fn from(s: &str) -> Self {
+        TaskName::Full(s.into())
+    }
+}
+
+impl From<TaskName> for String {
+    fn from(n: TaskName) -> String {
+        match n {
+            TaskName::Full(s) => s.into_string(),
+            other => other.to_string(),
+        }
+    }
+}
+
 /// One schedulable task (computation op replica or communication op).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Task {
-    /// Human-readable name, e.g. `"b3/conv2d_7@G2"`.
-    pub name: String,
+    /// Human-readable name, e.g. `"b3/conv2d_7@G2"` (lazily rendered).
+    pub name: TaskName,
     /// Op kind (communication kinds run on link processors).
     pub kind: OpKind,
     /// The processor this task is bound to.
@@ -76,7 +186,7 @@ pub struct Task {
 
 impl Task {
     /// Minimal constructor; builder-style setters fill in the rest.
-    pub fn new(name: impl Into<String>, kind: OpKind, proc: Proc, duration: f64) -> Self {
+    pub fn new(name: impl Into<TaskName>, kind: OpKind, proc: Proc, duration: f64) -> Self {
         Task {
             name: name.into(),
             kind,
@@ -114,6 +224,55 @@ impl Task {
     }
 }
 
+/// Compressed-sparse-row adjacency, built lazily from the edge list.
+/// `succ_idx[succ_off[i]..succ_off[i+1]]` are `i`'s successors in
+/// insertion order (likewise for predecessors).
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    succ_off: Vec<u32>,
+    succ_idx: Vec<TaskId>,
+    pred_off: Vec<u32>,
+    pred_idx: Vec<TaskId>,
+}
+
+impl Csr {
+    /// Builds both directions with a stable counting sort: per-source
+    /// (and per-destination) order equals edge insertion order, matching
+    /// the former `Vec<Vec<TaskId>>` push order exactly.
+    fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut succ_off = vec![0u32; n + 1];
+        let mut pred_off = vec![0u32; n + 1];
+        for &(s, d) in edges {
+            succ_off[s as usize + 1] += 1;
+            pred_off[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_cursor = succ_off.clone();
+        let mut pred_cursor = pred_off.clone();
+        let mut succ_idx = vec![TaskId(0); edges.len()];
+        let mut pred_idx = vec![TaskId(0); edges.len()];
+        for &(s, d) in edges {
+            succ_idx[succ_cursor[s as usize] as usize] = TaskId(d);
+            succ_cursor[s as usize] += 1;
+            pred_idx[pred_cursor[d as usize] as usize] = TaskId(s);
+            pred_cursor[d as usize] += 1;
+        }
+        Csr {
+            succ_off,
+            succ_idx,
+            pred_off,
+            pred_idx,
+        }
+    }
+}
+
+fn edge_key(src: u32, dst: u32) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
 /// The placed task DAG.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TaskGraph {
@@ -124,8 +283,14 @@ pub struct TaskGraph {
     /// Number of link processors.
     pub num_links: u32,
     tasks: Vec<Task>,
-    succs: Vec<Vec<TaskId>>,
-    preds: Vec<Vec<TaskId>>,
+    /// `(src, dst)` precedence edges in insertion order, deduplicated.
+    edges: Vec<(u32, u32)>,
+    /// Dedup index over `edges`; rebuilt lazily after deserialization.
+    #[serde(skip)]
+    edge_set: HashSet<u64>,
+    /// Lazily-built CSR adjacency; cleared by any mutation.
+    #[serde(skip)]
+    csr: OnceLock<Csr>,
 }
 
 impl TaskGraph {
@@ -136,8 +301,9 @@ impl TaskGraph {
             num_gpus,
             num_links,
             tasks: Vec::new(),
-            succs: Vec::new(),
-            preds: Vec::new(),
+            edges: Vec::new(),
+            edge_set: HashSet::new(),
+            csr: OnceLock::new(),
         }
     }
 
@@ -160,8 +326,7 @@ impl TaskGraph {
         }
         let id = TaskId(self.tasks.len() as u32);
         self.tasks.push(task);
-        self.succs.push(Vec::new());
-        self.preds.push(Vec::new());
+        self.csr.take();
         id
     }
 
@@ -170,9 +335,14 @@ impl TaskGraph {
     pub fn add_dep(&mut self, src: TaskId, dst: TaskId) {
         assert!(src.index() < self.tasks.len() && dst.index() < self.tasks.len());
         assert_ne!(src, dst, "self-dependency on {src}");
-        if !self.succs[src.index()].contains(&dst) {
-            self.succs[src.index()].push(dst);
-            self.preds[dst.index()].push(src);
+        if self.edge_set.len() != self.edges.len() {
+            // The dedup set is not serialized; rebuild it on the first
+            // mutation after deserialization.
+            self.edge_set = self.edges.iter().map(|&(s, d)| edge_key(s, d)).collect();
+        }
+        if self.edge_set.insert(edge_key(src.0, dst.0)) {
+            self.edges.push((src.0, dst.0));
+            self.csr.take();
         }
     }
 
@@ -199,14 +369,38 @@ impl TaskGraph {
             .map(|(i, t)| (TaskId(i as u32), t))
     }
 
+    fn csr(&self) -> &Csr {
+        self.csr
+            .get_or_init(|| Csr::build(self.tasks.len(), &self.edges))
+    }
+
     /// Successors of `id`.
     pub fn succs(&self, id: TaskId) -> &[TaskId] {
-        &self.succs[id.index()]
+        let c = self.csr();
+        &c.succ_idx[c.succ_off[id.index()] as usize..c.succ_off[id.index() + 1] as usize]
     }
 
     /// Predecessors of `id`.
     pub fn preds(&self, id: TaskId) -> &[TaskId] {
-        &self.preds[id.index()]
+        let c = self.csr();
+        &c.pred_idx[c.pred_off[id.index()] as usize..c.pred_off[id.index() + 1] as usize]
+    }
+
+    /// Number of successors of `id`.
+    pub fn out_degree(&self, id: TaskId) -> usize {
+        let c = self.csr();
+        (c.succ_off[id.index() + 1] - c.succ_off[id.index()]) as usize
+    }
+
+    /// Number of predecessors of `id`.
+    pub fn in_degree(&self, id: TaskId) -> usize {
+        let c = self.csr();
+        (c.pred_off[id.index() + 1] - c.pred_off[id.index()]) as usize
+    }
+
+    /// Number of precedence edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
     }
 
     /// Total processor count `M + #links` (the paper bounds #links by `M^2`).
@@ -230,22 +424,39 @@ impl TaskGraph {
     /// Kahn topological order; panics on cyclic task graphs (the compiler
     /// can never legally produce one).
     pub fn topo_order(&self) -> Vec<TaskId> {
+        let mut indeg = Vec::new();
+        let mut order = Vec::new();
+        self.topo_order_into(&mut indeg, &mut order);
+        order
+    }
+
+    /// [`TaskGraph::topo_order`] into caller-owned buffers — allocation
+    /// free after warm-up. `order` doubles as the FIFO work queue (a vec
+    /// with a head cursor visits tasks in exactly the order a `VecDeque`
+    /// would), so the sequence matches the allocating version.
+    pub fn topo_order_into(&self, indeg: &mut Vec<u32>, order: &mut Vec<TaskId>) {
         let n = self.len();
-        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
-        let mut queue: std::collections::VecDeque<TaskId> =
-            self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(t) = queue.pop_front() {
-            order.push(t);
-            for &s in &self.succs[t.index()] {
+        indeg.clear();
+        indeg.extend(self.task_ids().map(|t| self.in_degree(t) as u32));
+        order.clear();
+        order.reserve(n);
+        for t in self.task_ids() {
+            if indeg[t.index()] == 0 {
+                order.push(t);
+            }
+        }
+        let mut head = 0;
+        while head < order.len() {
+            let t = order[head];
+            head += 1;
+            for &s in self.succs(t) {
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {
-                    queue.push_back(s);
+                    order.push(s);
                 }
             }
         }
         assert_eq!(order.len(), n, "task graph contains a cycle");
-        order
     }
 }
 
@@ -263,6 +474,8 @@ mod tests {
         assert_eq!(tg.succs(a), &[b]);
         assert_eq!(tg.preds(b), &[a]);
         assert_eq!(tg.total_work(), 1.5);
+        assert_eq!(tg.out_degree(a), 1);
+        assert_eq!(tg.in_degree(b), 1);
     }
 
     #[test]
@@ -302,5 +515,109 @@ mod tests {
         let order = tg.topo_order();
         assert_eq!(order.len(), 3);
         assert_eq!(order[2], c);
+    }
+
+    #[test]
+    fn csr_invalidated_by_mutation_after_read() {
+        let mut tg = TaskGraph::new("t", 1, 0);
+        let a = tg.add_task(Task::new("a", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        let b = tg.add_task(Task::new("b", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        tg.add_dep(a, b);
+        assert_eq!(tg.succs(a), &[b]); // forces the CSR build
+        let c = tg.add_task(Task::new("c", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        tg.add_dep(a, c);
+        assert_eq!(tg.succs(a), &[b, c]);
+        assert_eq!(tg.preds(c), &[a]);
+        assert_eq!(tg.topo_order().len(), 3);
+    }
+
+    #[test]
+    fn csr_preserves_insertion_order() {
+        let mut tg = TaskGraph::new("t", 1, 0);
+        let ids: Vec<TaskId> = (0..5)
+            .map(|i| tg.add_task(Task::new(format!("t{i}"), OpKind::NoOp, Proc::Gpu(0), 1.0)))
+            .collect();
+        // Successors of 0 added out of id order; CSR must keep that order.
+        tg.add_dep(ids[0], ids[3]);
+        tg.add_dep(ids[0], ids[1]);
+        tg.add_dep(ids[0], ids[4]);
+        tg.add_dep(ids[2], ids[4]);
+        assert_eq!(tg.succs(ids[0]), &[ids[3], ids[1], ids[4]]);
+        assert_eq!(tg.preds(ids[4]), &[ids[0], ids[2]]);
+    }
+
+    #[test]
+    fn lazy_names_render_like_eager_formatting() {
+        use std::sync::Arc;
+        let base: Arc<str> = Arc::from("b3/conv2d_7");
+        let suffix: Arc<str> = Arc::from("~u2");
+        let replica = TaskName::Replica {
+            base: base.clone(),
+            suffix,
+            dev: 2,
+            replica: 1,
+        };
+        assert_eq!(replica.to_string(), "b3/conv2d_7~u2@G2#1");
+        let tagged = TaskName::Tagged {
+            base: base.clone(),
+            tag: "ps_agg",
+            dev: 0,
+        };
+        assert_eq!(tagged.to_string(), "b3/conv2d_7/ps_agg@G0");
+        let on_link = TaskName::OnLink {
+            base,
+            tag: "push/xfer",
+            label: Arc::from("srv1.in"),
+        };
+        assert_eq!(on_link.to_string(), "b3/conv2d_7/push/xfer@srv1.in");
+    }
+
+    /// True when a real serde_json is linked (the offline build
+    /// substitutes a stub whose `to_string` returns an empty string).
+    fn real_serde() -> bool {
+        serde_json::to_string(&0u32)
+            .map(|s| s == "0")
+            .unwrap_or(false)
+    }
+
+    #[test]
+    fn task_names_serialize_as_plain_strings() {
+        if !real_serde() {
+            return;
+        }
+        let t = Task::new(
+            TaskName::Tagged {
+                base: Arc::from("w"),
+                tag: "ar_done",
+                dev: 3,
+            },
+            OpKind::GradAggregate,
+            Proc::Gpu(0),
+            0.0,
+        );
+        let json = serde_json::to_value(&t).unwrap();
+        assert_eq!(json["name"], "w/ar_done@G3");
+        let back: Task = serde_json::from_value(json).unwrap();
+        assert_eq!(back.name.to_string(), "w/ar_done@G3");
+    }
+
+    #[test]
+    fn graph_serde_roundtrip_preserves_edges_and_dedup() {
+        if !real_serde() {
+            return;
+        }
+        let mut tg = TaskGraph::new("t", 1, 0);
+        let a = tg.add_task(Task::new("a", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        let b = tg.add_task(Task::new("b", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        tg.add_dep(a, b);
+        let json = serde_json::to_string(&tg).unwrap();
+        let mut back: TaskGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.succs(a), &[b]);
+        // Post-deserialize mutation rebuilds the dedup set.
+        back.add_dep(a, b);
+        assert_eq!(back.succs(a).len(), 1);
+        let c = back.add_task(Task::new("c", OpKind::NoOp, Proc::Gpu(0), 1.0));
+        back.add_dep(b, c);
+        assert_eq!(back.topo_order(), vec![a, b, c]);
     }
 }

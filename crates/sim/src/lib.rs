@@ -27,5 +27,5 @@ pub mod trace;
 
 pub use gantt::{render_gantt, render_gpu_gantt};
 pub use memory::{memory_usage, MemoryReport};
-pub use report::{simulate, time_breakdown, SimReport};
+pub use report::{simulate, simulate_into, time_breakdown, SimReport, SimScratch};
 pub use trace::chrome_trace_json;

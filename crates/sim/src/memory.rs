@@ -20,7 +20,7 @@ use heterog_sched::{Proc, Schedule, TaskGraph, TaskId};
 pub const RUNTIME_WORKSPACE_BYTES: u64 = 5 * (1 << 28); // 1.25 GiB
 
 /// Per-GPU memory accounting result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MemoryReport {
     /// Peak bytes per GPU (params + live activations).
     pub peak_bytes: Vec<u64>,

@@ -4,12 +4,14 @@
 //! device, to set bad rewards for strategies leading to memory
 //! overflow").
 
+use std::cell::RefCell;
+
 use heterog_cluster::Cluster;
 use heterog_compile::{compile, Strategy};
 use heterog_graph::Graph;
 use heterog_profile::CostEstimator;
 use heterog_sched::OrderPolicy;
-use heterog_sim::{simulate, SimReport};
+use heterog_sim::{simulate_into, SimReport, SimScratch};
 
 static EVALUATIONS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
     "heterog_strategies_evaluations_total",
@@ -50,6 +52,13 @@ pub fn evaluate<C: CostEstimator>(
     evaluate_with_policy(g, cluster, cost, strategy, &OrderPolicy::RankBased)
 }
 
+thread_local! {
+    /// Per-thread simulator scratch: every evaluation on a thread reuses
+    /// the same event/heap buffers, so the schedule+simulate stage of the
+    /// hot path stops allocating after the first (largest) evaluation.
+    static SIM_SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::default());
+}
+
 /// [`evaluate`] under an explicit execution-order policy.
 pub fn evaluate_with_policy<C: CostEstimator>(
     g: &Graph,
@@ -61,7 +70,16 @@ pub fn evaluate_with_policy<C: CostEstimator>(
     let _span = heterog_telemetry::span("evaluate");
     EVALUATIONS.inc();
     let tg = compile(g, cluster, cost, strategy);
-    let report = simulate(&tg, &cluster.memory_capacities(), policy);
+    let mut report = SimReport::default();
+    SIM_SCRATCH.with(|s| {
+        simulate_into(
+            &tg,
+            &cluster.memory_capacities(),
+            policy,
+            &mut s.borrow_mut(),
+            &mut report,
+        )
+    });
     Evaluation {
         iteration_time: report.iteration_time,
         oom: report.memory.any_oom(),
@@ -123,7 +141,7 @@ mod tests {
 
     fn sim_stub() -> SimReport {
         let tg = heterog_sched::TaskGraph::new("x", 1, 0);
-        simulate(&tg, &[1], &OrderPolicy::RankBased)
+        heterog_sim::simulate(&tg, &[1], &OrderPolicy::RankBased)
     }
 
     #[test]

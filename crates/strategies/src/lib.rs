@@ -14,6 +14,7 @@ pub(crate) static SEARCH_ITERATIONS: heterog_telemetry::Counter = heterog_teleme
 );
 
 pub mod baselines;
+pub mod cache;
 pub mod evaluate;
 pub mod flexflow;
 pub mod grouping;
@@ -22,6 +23,7 @@ pub mod planner;
 pub mod post;
 
 pub use baselines::{CpArPlanner, CpPsPlanner, EvArPlanner, EvPsPlanner, HorovodPlanner};
+pub use cache::EvalCache;
 pub use evaluate::{evaluate, evaluate_with_policy, steady_state_iteration_time, Evaluation};
 pub use flexflow::FlexFlowPlanner;
 pub use grouping::{group_ops, Grouping};
