@@ -223,6 +223,48 @@ impl Cluster {
         self.devices.windows(2).all(|w| w[0].model == w[1].model)
     }
 
+    /// Scales the bandwidth of every link of `kind` (all links when
+    /// `None`) by `factor`, in place. Used by what-if sensitivity
+    /// analysis ("NIC at 2x bandwidth"); the servers' nominal `nic_bps`
+    /// is left untouched — the link processors are what the compiler and
+    /// simulator price transfers against, and [`Self::fingerprint`]
+    /// hashes them, so caches keyed on the fingerprint stay correct.
+    pub fn scale_link_bandwidth(&mut self, kind: Option<LinkKind>, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bandwidth factor must be positive, got {factor}"
+        );
+        for l in &mut self.links {
+            if kind.is_none() || kind == Some(l.kind) {
+                l.bandwidth_bps *= factor;
+            }
+        }
+    }
+
+    /// Replaces one device's GPU model in place; its memory capacity
+    /// follows the new model. Used by what-if sensitivity analysis
+    /// ("what if G3 were a V100").
+    pub fn set_device_model(&mut self, id: DeviceId, model: GpuModel) {
+        let d = &mut self.devices[id.index()];
+        d.model = model;
+        d.memory_bytes = model.memory_bytes();
+    }
+
+    /// A new cluster with one device removed (remaining devices shift
+    /// down to stay contiguous). Servers are kept even if they end up
+    /// empty, so NIC channels for the other machines are unchanged.
+    pub fn without_device(&self, id: DeviceId) -> Cluster {
+        assert!(id.index() < self.devices.len(), "device {id} out of range");
+        let devices = self
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != id.index())
+            .map(|(_, d)| *d)
+            .collect();
+        Cluster::new(self.servers.clone(), devices)
+    }
+
     /// Structural fingerprint of the cluster: a stable 64-bit hash over
     /// servers (name, NIC bandwidth, NVLink flag), devices (model,
     /// server, memory) and link processors (kind, bandwidth, latency).
@@ -415,6 +457,64 @@ mod tests {
         assert_ne!(u1.fingerprint(), other_model.fingerprint());
         assert_ne!(u1.fingerprint(), fewer_gpus.fingerprint());
         assert_ne!(a.fingerprint(), u1.fingerprint());
+    }
+
+    #[test]
+    fn scale_link_bandwidth_targets_one_kind() {
+        let mut c = two_server_cluster();
+        let nic_before: Vec<f64> = c
+            .links()
+            .iter()
+            .filter(|l| l.kind == LinkKind::NicIn)
+            .map(|l| l.bandwidth_bps)
+            .collect();
+        let fp_before = c.fingerprint();
+        c.scale_link_bandwidth(Some(LinkKind::NicIn), 2.0);
+        let nic_after: Vec<f64> = c
+            .links()
+            .iter()
+            .filter(|l| l.kind == LinkKind::NicIn)
+            .map(|l| l.bandwidth_bps)
+            .collect();
+        for (b, a) in nic_before.iter().zip(&nic_after) {
+            assert_eq!(*a, 2.0 * b);
+        }
+        // Other kinds untouched; fingerprint sees the change.
+        assert!(c
+            .links()
+            .iter()
+            .filter(|l| l.kind == LinkKind::NvLink)
+            .all(|l| l.bandwidth_bps == bandwidth::NVLINK));
+        assert_ne!(c.fingerprint(), fp_before);
+    }
+
+    #[test]
+    fn set_device_model_updates_power_and_memory() {
+        let mut c = two_server_cluster();
+        c.set_device_model(DeviceId(2), GpuModel::TeslaV100);
+        assert_eq!(c.device(DeviceId(2)).model, GpuModel::TeslaV100);
+        assert_eq!(
+            c.device(DeviceId(2)).memory_bytes,
+            GpuModel::TeslaV100.memory_bytes()
+        );
+        let p = c.relative_powers();
+        assert_eq!(p[2], p[0]);
+    }
+
+    #[test]
+    fn without_device_shifts_and_keeps_paths_valid() {
+        let c = two_server_cluster();
+        let smaller = c.without_device(DeviceId(1));
+        assert_eq!(smaller.num_devices(), 3);
+        // Old G2/G3 (the 1080Ti server) are now G1/G2 and still reachable.
+        assert_eq!(smaller.device(DeviceId(1)).model, GpuModel::Gtx1080Ti);
+        for a in smaller.device_ids() {
+            for b in smaller.device_ids() {
+                if a != b {
+                    assert!(smaller.path_between(a, b).is_ok());
+                }
+            }
+        }
     }
 
     #[test]

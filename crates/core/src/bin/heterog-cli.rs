@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! heterog-cli plan    --model resnet200 --batch 192 [--cluster spec.json] [--planner heterog]
+//! heterog-cli explain --model vgg19 --batch 192 [--html-out report.html] [--json-out report.json]
 //! heterog-cli compare --model vgg19 --batch 192 [--cluster spec.json]
 //! heterog-cli trace   --model bert --batch 48 --out trace.json
 //! heterog-cli models
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
     let flags = parse_flags(&args[1..]);
     let result = match cmd.as_str() {
         "plan" => cmd_plan(&flags),
+        "explain" => cmd_explain(&flags),
         "compare" => cmd_compare(&flags),
         "trace" => cmd_trace(&flags),
         "models" => cmd_models(),
@@ -55,6 +57,7 @@ const USAGE: &str = "heterog-cli — HeteroG deployment planner
 
 USAGE:
   heterog-cli plan    --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner heterog|EV-PS|EV-AR|CP-PS|CP-AR|Horovod|FlexFlow|Post|HetPipe] [--fifo] [--metrics-out <file.prom>] [--trace-out <file.json>]
+  heterog-cli explain --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner <name>] [--top-k N] [--no-whatif] [--html-out <file.html>] [--json-out <file.json>] [--diff-against <file.json>]
   heterog-cli compare --model <name> [--batch N] [--layers N] [--cluster spec.json]
   heterog-cli trace   --model <name> [--batch N] [--layers N] [--cluster spec.json] --out <file.json>
   heterog-cli models                 list available benchmark models
@@ -63,7 +66,14 @@ USAGE:
 OBSERVABILITY (plan):
   --metrics-out <file>  write all pipeline metrics in Prometheus text format
   --trace-out <file>    write the iteration timeline + host planning spans
-                        as a Chrome/Perfetto trace";
+                        as a Chrome/Perfetto trace
+
+EXPLAIN:
+  --top-k N             keep the N best what-if interventions (default 5)
+  --no-whatif           skip the what-if sensitivity loop
+  --html-out <file>     self-contained HTML report with embedded timeline
+  --json-out <file>     machine-readable report (diffable artifact)
+  --diff-against <file> run-diff this plan against a previous --json-out";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -199,6 +209,45 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, runner.trace_json_with_spans())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("trace:             written to {path} (open in Perfetto)");
+    }
+    Ok(())
+}
+
+fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = parse_model(flags)?;
+    let cluster = parse_cluster(flags)?;
+    let cfg = config_for(flags);
+    let mut opts = heterog::explain::ExplainOptions::default();
+    if let Some(k) = flags.get("top-k") {
+        opts.top_k = k.parse().map_err(|_| format!("bad --top-k {k:?}"))?;
+    }
+    if flags.contains_key("no-whatif") {
+        opts.run_whatif = false;
+    }
+    eprintln!(
+        "planning {} on {} GPUs ...",
+        spec.label(),
+        cluster.num_devices()
+    );
+    let runner = get_runner(|| spec.build(), cluster, cfg);
+    let report = runner.explain_with(&opts);
+    print!("{}", heterog::explain::render_text(&report));
+    if let Some(path) = flags.get("json-out") {
+        std::fs::write(path, heterog::explain::to_json(&report))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("json report written to {path}");
+    }
+    if let Some(path) = flags.get("html-out") {
+        let html = heterog::explain::render_html(&report, &runner.trace_json());
+        std::fs::write(path, html).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("html report written to {path}");
+    }
+    if let Some(path) = flags.get("diff-against") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let before = heterog::explain::digest_from_json(&json)?;
+        let d = heterog::explain::diff(&before, &report.digest());
+        println!("\ndiff against {path}:");
+        print!("{}", heterog::explain::render_diff_text(&d));
     }
     Ok(())
 }

@@ -90,6 +90,29 @@ impl DistRunner {
     pub fn telemetry_snapshot(&self) -> heterog_telemetry::TelemetrySnapshot {
         heterog_telemetry::snapshot()
     }
+
+    /// Explains the deployment: simulated critical path, makespan
+    /// attribution, stragglers, and ranked what-if interventions.
+    pub fn explain(&self) -> heterog_explain::ExplainReport {
+        self.explain_with(&heterog_explain::ExplainOptions::default())
+    }
+
+    /// [`DistRunner::explain`] with explicit options (what-if set,
+    /// top-k, or disabling the sensitivity loop entirely).
+    pub fn explain_with(
+        &self,
+        opts: &heterog_explain::ExplainOptions,
+    ) -> heterog_explain::ExplainReport {
+        heterog_explain::explain(
+            &self.graph,
+            &self.cluster,
+            &self.strategy,
+            &self.task_graph,
+            &self.order,
+            &self.report,
+            opts,
+        )
+    }
 }
 
 /// Converts a single-GPU model into a distributed runner (§3.5's

@@ -1,0 +1,299 @@
+//! Run-diff: compare two explain reports and classify every tracked
+//! metric as a regression, an improvement, or unchanged.
+//!
+//! Diffing works on [`ReportDigest`] — the diffable scalar subset of an
+//! [`crate::ExplainReport`] — so a current in-memory report can be
+//! compared against a previous run loaded from its JSON artifact
+//! (`heterog-cli explain --json-out` then `--diff-against`).
+
+use serde::{Deserialize, Serialize};
+
+/// Relative change below which two values are considered equal.
+const REL_EPS: f64 = 5e-3;
+/// Absolute change below which two values are considered equal (sub-µs
+/// wobble on second-scale metrics).
+const ABS_EPS: f64 = 1e-6;
+
+/// The diffable scalar subset of an explain report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReportDigest {
+    /// Model label.
+    pub model: String,
+    /// Per-iteration time, seconds.
+    pub makespan: f64,
+    /// Critical-path compute seconds.
+    pub compute: f64,
+    /// Critical-path collective seconds.
+    pub collective: f64,
+    /// Critical-path transfer seconds.
+    pub transfer: f64,
+    /// Critical-path idle seconds.
+    pub idle: f64,
+    /// Mean GPU utilization (0..1).
+    pub mean_gpu_utilization: f64,
+    /// Per-device utilization (index = device id).
+    pub device_utilization: Vec<f64>,
+    /// Whether any device overflowed memory.
+    pub oom: bool,
+}
+
+/// One metric's before/after pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiffEntry {
+    /// Metric name, e.g. `makespan` or `G3 utilization`.
+    pub metric: String,
+    /// Value in the baseline report.
+    pub before: f64,
+    /// Value in the compared report.
+    pub after: f64,
+    /// `after - before`.
+    pub delta: f64,
+}
+
+/// Classified comparison of two reports.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExplainDiff {
+    /// Metrics that got worse (slower, less utilized, newly OOM).
+    pub regressions: Vec<DiffEntry>,
+    /// Metrics that got better.
+    pub improvements: Vec<DiffEntry>,
+    /// Metrics within tolerance of each other.
+    pub unchanged: usize,
+}
+
+impl ExplainDiff {
+    /// True when nothing regressed.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn changed(before: f64, after: f64) -> bool {
+    let diff = (after - before).abs();
+    diff > ABS_EPS && diff > REL_EPS * before.abs().max(after.abs())
+}
+
+/// Compares `after` against the `before` baseline. For time-like metrics
+/// an increase is a regression; for utilization a decrease is.
+pub fn diff(before: &ReportDigest, after: &ReportDigest) -> ExplainDiff {
+    let mut d = ExplainDiff::default();
+    let mut classify = |metric: String, b: f64, a: f64, higher_is_worse: bool| {
+        if !changed(b, a) {
+            d.unchanged += 1;
+            return;
+        }
+        let entry = DiffEntry {
+            metric,
+            before: b,
+            after: a,
+            delta: a - b,
+        };
+        let worse = if higher_is_worse { a > b } else { a < b };
+        if worse {
+            d.regressions.push(entry);
+        } else {
+            d.improvements.push(entry);
+        }
+    };
+
+    classify("makespan".into(), before.makespan, after.makespan, true);
+    classify(
+        "critical compute".into(),
+        before.compute,
+        after.compute,
+        true,
+    );
+    classify(
+        "critical collective".into(),
+        before.collective,
+        after.collective,
+        true,
+    );
+    classify(
+        "critical transfer".into(),
+        before.transfer,
+        after.transfer,
+        true,
+    );
+    classify("critical idle".into(), before.idle, after.idle, true);
+    classify(
+        "mean GPU utilization".into(),
+        before.mean_gpu_utilization,
+        after.mean_gpu_utilization,
+        false,
+    );
+    let shared = before
+        .device_utilization
+        .len()
+        .min(after.device_utilization.len());
+    for g in 0..shared {
+        classify(
+            format!("G{g} utilization"),
+            before.device_utilization[g],
+            after.device_utilization[g],
+            false,
+        );
+    }
+    // OOM flips are always significant.
+    match (before.oom, after.oom) {
+        (false, true) => d.regressions.push(DiffEntry {
+            metric: "OOM".into(),
+            before: 0.0,
+            after: 1.0,
+            delta: 1.0,
+        }),
+        (true, false) => d.improvements.push(DiffEntry {
+            metric: "OOM".into(),
+            before: 1.0,
+            after: 0.0,
+            delta: -1.0,
+        }),
+        _ => d.unchanged += 1,
+    }
+    d
+}
+
+/// Parses a digest back out of an explain report's JSON artifact (the
+/// format written by [`crate::render::to_json`]).
+pub fn digest_from_json(json: &str) -> Result<ReportDigest, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("invalid explain JSON: {e}"))?;
+    let f = |path: &[&str]| -> Result<f64, String> {
+        let mut cur = &v;
+        for key in path {
+            cur = cur
+                .get(key)
+                .ok_or_else(|| format!("explain JSON missing {}", path.join(".")))?;
+        }
+        cur.as_f64()
+            .ok_or_else(|| format!("explain JSON: {} is not a number", path.join(".")))
+    };
+    let model = v
+        .get("model")
+        .and_then(|m| m.as_str())
+        .unwrap_or_default()
+        .to_string();
+    let device_utilization = v
+        .get("devices")
+        .and_then(|d| d.as_array())
+        .map(|rows| {
+            rows.iter()
+                .map(|r| r.get("utilization").and_then(|u| u.as_f64()).unwrap_or(0.0))
+                .collect()
+        })
+        .unwrap_or_default();
+    let oom = v.get("oom").and_then(|o| o.as_bool()).unwrap_or(false);
+    Ok(ReportDigest {
+        model,
+        makespan: f(&["makespan"])?,
+        compute: f(&["attribution", "compute"])?,
+        collective: f(&["attribution", "collective"])?,
+        transfer: f(&["attribution", "transfer"])?,
+        idle: f(&["attribution", "idle"])?,
+        mean_gpu_utilization: f(&["mean_gpu_utilization"])?,
+        device_utilization,
+        oom,
+    })
+}
+
+/// Renders a diff as an aligned terminal block.
+pub fn render_diff_text(d: &ExplainDiff) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run-diff: {} regression(s), {} improvement(s), {} unchanged",
+        d.regressions.len(),
+        d.improvements.len(),
+        d.unchanged
+    );
+    for (title, entries) in [
+        ("regressions", &d.regressions),
+        ("improvements", &d.improvements),
+    ] {
+        if entries.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  {title}:");
+        for e in entries {
+            let _ = writeln!(
+                out,
+                "    {:<24} {:>12.6} -> {:>12.6}  ({:+.2}%)",
+                e.metric,
+                e.before,
+                e.after,
+                if e.before.abs() > 0.0 {
+                    100.0 * e.delta / e.before.abs()
+                } else {
+                    100.0
+                }
+            );
+        }
+    }
+    if d.is_clean() {
+        let _ = writeln!(out, "  zero regressions");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest() -> ReportDigest {
+        ReportDigest {
+            model: "m".into(),
+            makespan: 0.10,
+            compute: 0.06,
+            collective: 0.02,
+            transfer: 0.01,
+            idle: 0.01,
+            mean_gpu_utilization: 0.7,
+            device_utilization: vec![0.8, 0.6],
+            oom: false,
+        }
+    }
+
+    #[test]
+    fn self_diff_reports_zero_regressions() {
+        let d = digest();
+        let out = diff(&d, &d);
+        assert!(out.is_clean());
+        assert!(out.improvements.is_empty());
+        assert!(out.unchanged > 0);
+        assert!(render_diff_text(&out).contains("zero regressions"));
+    }
+
+    #[test]
+    fn slower_makespan_is_a_regression() {
+        let before = digest();
+        let mut after = digest();
+        after.makespan = 0.12;
+        let out = diff(&before, &after);
+        assert!(!out.is_clean());
+        assert!(out.regressions.iter().any(|e| e.metric == "makespan"));
+        // The reverse comparison calls it an improvement.
+        let rev = diff(&after, &before);
+        assert!(rev.is_clean());
+        assert!(rev.improvements.iter().any(|e| e.metric == "makespan"));
+    }
+
+    #[test]
+    fn new_oom_is_a_regression() {
+        let before = digest();
+        let mut after = digest();
+        after.oom = true;
+        let out = diff(&before, &after);
+        assert!(out.regressions.iter().any(|e| e.metric == "OOM"));
+    }
+
+    #[test]
+    fn tiny_wobble_is_unchanged() {
+        let before = digest();
+        let mut after = digest();
+        after.makespan += 1e-9;
+        let out = diff(&before, &after);
+        assert!(out.is_clean());
+        assert!(out.improvements.is_empty());
+    }
+}

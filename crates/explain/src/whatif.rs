@@ -1,0 +1,400 @@
+//! What-if sensitivity: re-simulate the same model under perturbed
+//! hardware or strategy and rank interventions by predicted makespan
+//! delta.
+//!
+//! Each intervention clones the cluster/strategy, applies one concrete
+//! change ("NIC links at 2x bandwidth", "G3 upgraded to a V100", "PS ->
+//! ring all-reduce"), recompiles against the analytic ground-truth cost
+//! oracle and re-simulates. The loop shares one [`SimScratch`] across all
+//! interventions, so after the first (largest) graph it stays on the
+//! allocation-free hot path the planners use.
+
+use serde::{Deserialize, Serialize};
+
+use heterog_cluster::{Cluster, DeviceId, GpuModel, LinkKind};
+use heterog_compile::{compile, CommMethod, OpStrategy, Strategy};
+use heterog_graph::Graph;
+use heterog_profile::GroundTruthCost;
+use heterog_sched::OrderPolicy;
+use heterog_sim::{simulate_into, SimReport, SimScratch};
+
+/// One concrete perturbation of the deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Intervention {
+    /// Multiply the bandwidth of every link of one kind.
+    ScaleLinkClass {
+        /// Which physical link class to scale.
+        kind: LinkKind,
+        /// Bandwidth multiplier (2.0 = twice as fast).
+        factor: f64,
+    },
+    /// Swap one GPU for a different model.
+    UpgradeDevice {
+        /// Device to upgrade.
+        device: u32,
+        /// Replacement model.
+        to: GpuModel,
+    },
+    /// Remove one GPU; its replicas fold onto the remaining devices.
+    RemoveDevice {
+        /// Device to remove.
+        device: u32,
+    },
+    /// Switch every data-parallel op group's aggregation method.
+    SwitchComm {
+        /// New method for all DP groups.
+        to: CommMethod,
+    },
+    /// Flip the execution-order policy (rank-based <-> FIFO).
+    FlipOrder,
+}
+
+impl Intervention {
+    /// Human-readable label for tables and JSON.
+    pub fn label(&self, cluster: &Cluster) -> String {
+        match self {
+            Intervention::ScaleLinkClass { kind, factor } => {
+                format!("{kind:?} links at {factor}x bandwidth")
+            }
+            Intervention::UpgradeDevice { device, to } => {
+                let from = cluster.device(DeviceId(*device)).model.name();
+                format!("G{device} upgraded {from} -> {}", to.name())
+            }
+            Intervention::RemoveDevice { device } => {
+                let model = cluster.device(DeviceId(*device)).model.name();
+                format!("G{device} ({model}) removed")
+            }
+            Intervention::SwitchComm { to } => match to {
+                CommMethod::Ps => "all DP groups switched to parameter server".to_string(),
+                CommMethod::AllReduce => "all DP groups switched to ring all-reduce".to_string(),
+            },
+            Intervention::FlipOrder => "execution order flipped (rank-based <-> FIFO)".to_string(),
+        }
+    }
+
+    /// Applies the perturbation, producing the cluster/strategy/policy to
+    /// re-simulate.
+    pub fn apply(
+        &self,
+        cluster: &Cluster,
+        strategy: &Strategy,
+        policy: &OrderPolicy,
+    ) -> (Cluster, Strategy, OrderPolicy) {
+        match self {
+            Intervention::ScaleLinkClass { kind, factor } => {
+                let mut c = cluster.clone();
+                c.scale_link_bandwidth(Some(*kind), *factor);
+                (c, strategy.clone(), policy.clone())
+            }
+            Intervention::UpgradeDevice { device, to } => {
+                let mut c = cluster.clone();
+                c.set_device_model(DeviceId(*device), *to);
+                (c, strategy.clone(), policy.clone())
+            }
+            Intervention::RemoveDevice { device } => (
+                cluster.without_device(DeviceId(*device)),
+                strategy_without_device(strategy, *device as usize),
+                policy.clone(),
+            ),
+            Intervention::SwitchComm { to } => {
+                (cluster.clone(), switch_comm(strategy, *to), policy.clone())
+            }
+            Intervention::FlipOrder => {
+                let flipped = match policy {
+                    OrderPolicy::Fifo => OrderPolicy::RankBased,
+                    _ => OrderPolicy::Fifo,
+                };
+                (cluster.clone(), strategy.clone(), flipped)
+            }
+        }
+    }
+}
+
+/// Every data-parallel group switched to `to`; MP placements unchanged.
+pub fn switch_comm(strategy: &Strategy, to: CommMethod) -> Strategy {
+    let per_op = strategy
+        .per_op
+        .iter()
+        .map(|op| match op {
+            OpStrategy::Dp { replicas, .. } => OpStrategy::Dp {
+                replicas: replicas.clone(),
+                comm: to,
+            },
+            mp => mp.clone(),
+        })
+        .collect();
+    Strategy { per_op }
+}
+
+/// Remaps a strategy onto the cluster with device `dev` removed: replica
+/// counts for `dev` are dropped (the compiler re-splits the batch over
+/// the survivors), MP placements on `dev` fall back to device 0, and
+/// device indices above `dev` shift down.
+pub fn strategy_without_device(strategy: &Strategy, dev: usize) -> Strategy {
+    let per_op = strategy
+        .per_op
+        .iter()
+        .map(|op| match op {
+            OpStrategy::Mp(d) => {
+                let i = d.index();
+                let remapped = if i == dev {
+                    0
+                } else if i > dev {
+                    i - 1
+                } else {
+                    i
+                };
+                OpStrategy::Mp(DeviceId(remapped as u32))
+            }
+            OpStrategy::Dp { replicas, comm } => {
+                let mut r: Vec<u32> = replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != dev)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if !r.is_empty() && r.iter().sum::<u32>() == 0 {
+                    // Every replica lived on the removed device: keep the
+                    // op runnable on the first survivor.
+                    r[0] = 1;
+                }
+                OpStrategy::Dp {
+                    replicas: r,
+                    comm: *comm,
+                }
+            }
+        })
+        .collect();
+    Strategy { per_op }
+}
+
+/// The outcome of re-simulating one intervention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhatIfOutcome {
+    /// What was changed.
+    pub label: String,
+    /// Predicted per-iteration time under the change, seconds.
+    pub makespan: f64,
+    /// `baseline - perturbed` makespan: positive = the change speeds the
+    /// step up, negative = it slows it down.
+    pub delta: f64,
+    /// Whether the perturbed deployment overflows any device.
+    pub oom: bool,
+}
+
+impl WhatIfOutcome {
+    /// Relative improvement (`delta / baseline`), 0 for a zero baseline.
+    pub fn delta_fraction(&self, baseline: f64) -> f64 {
+        if baseline > 0.0 {
+            self.delta / baseline
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A sensible default intervention set derived from the deployment: 2x
+/// bandwidth per link class present, upgrading each slower GPU class's
+/// first device to the fastest model present, removing the slowest GPU,
+/// flipping the aggregation method of all DP groups, and flipping the
+/// execution-order policy.
+pub fn default_interventions(cluster: &Cluster, strategy: &Strategy) -> Vec<Intervention> {
+    let mut out = Vec::new();
+
+    let mut kinds: Vec<LinkKind> = cluster.links().iter().map(|l| l.kind).collect();
+    kinds.sort_by_key(|k| format!("{k:?}"));
+    kinds.dedup();
+    for kind in kinds {
+        out.push(Intervention::ScaleLinkClass { kind, factor: 2.0 });
+    }
+
+    let best = cluster
+        .devices()
+        .iter()
+        .map(|d| d.model)
+        .max_by(|a, b| a.base_tflops().total_cmp(&b.base_tflops()));
+    if let Some(best) = best {
+        let mut seen: Vec<GpuModel> = Vec::new();
+        for (i, d) in cluster.devices().iter().enumerate() {
+            if d.model != best && !seen.contains(&d.model) {
+                seen.push(d.model);
+                out.push(Intervention::UpgradeDevice {
+                    device: i as u32,
+                    to: best,
+                });
+            }
+        }
+    }
+
+    if cluster.num_devices() > 2 {
+        let slowest = cluster
+            .devices()
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.model.base_tflops().total_cmp(&b.model.base_tflops()))
+            .map(|(i, _)| i as u32);
+        if let Some(device) = slowest {
+            out.push(Intervention::RemoveDevice { device });
+        }
+    }
+
+    let has_ps = strategy.per_op.iter().any(|op| {
+        matches!(
+            op,
+            OpStrategy::Dp {
+                comm: CommMethod::Ps,
+                ..
+            }
+        )
+    });
+    let has_ar = strategy.per_op.iter().any(|op| {
+        matches!(
+            op,
+            OpStrategy::Dp {
+                comm: CommMethod::AllReduce,
+                ..
+            }
+        )
+    });
+    if has_ps {
+        out.push(Intervention::SwitchComm {
+            to: CommMethod::AllReduce,
+        });
+    }
+    if has_ar {
+        out.push(Intervention::SwitchComm { to: CommMethod::Ps });
+    }
+
+    out.push(Intervention::FlipOrder);
+    out
+}
+
+/// Re-simulates every intervention and returns the outcomes ranked by
+/// predicted improvement (largest `delta` first), truncated to `top_k`.
+/// One scratch is shared across the loop, keeping it allocation-free
+/// after the first compile+simulate.
+pub fn run_whatif(
+    g: &Graph,
+    cluster: &Cluster,
+    strategy: &Strategy,
+    policy: &OrderPolicy,
+    base_makespan: f64,
+    interventions: &[Intervention],
+    top_k: usize,
+) -> Vec<WhatIfOutcome> {
+    let _span = heterog_telemetry::span("explain.whatif");
+    let mut scratch = SimScratch::default();
+    let mut report = SimReport::default();
+    let mut out = Vec::with_capacity(interventions.len());
+    for iv in interventions {
+        let started = std::time::Instant::now();
+        let (c2, s2, p2) = iv.apply(cluster, strategy, policy);
+        let tg = compile(g, &c2, &GroundTruthCost, &s2);
+        simulate_into(&tg, &c2.memory_capacities(), &p2, &mut scratch, &mut report);
+        crate::WHATIF_SIMULATIONS.inc();
+        crate::WHATIF_SECONDS.observe(started.elapsed().as_secs_f64());
+        out.push(WhatIfOutcome {
+            label: iv.label(cluster),
+            makespan: report.iteration_time,
+            delta: base_makespan - report.iteration_time,
+            oom: report.memory.any_oom(),
+        });
+    }
+    out.sort_by(|a, b| b.delta.total_cmp(&a.delta));
+    out.truncate(top_k);
+    if let Some(best) = out.first() {
+        crate::BEST_WHATIF_DELTA.set(best.delta);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::{BenchmarkModel, ModelSpec};
+    use heterog_strategies::evaluate;
+
+    fn setup() -> (Graph, Cluster, Strategy) {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(g.len(), &c, CommMethod::Ps);
+        (g, c, s)
+    }
+
+    #[test]
+    fn default_set_covers_links_devices_and_comm() {
+        let (_, c, s) = setup();
+        let ivs = default_interventions(&c, &s);
+        assert!(ivs
+            .iter()
+            .any(|i| matches!(i, Intervention::ScaleLinkClass { .. })));
+        assert!(ivs
+            .iter()
+            .any(|i| matches!(i, Intervention::RemoveDevice { .. })));
+        assert!(ivs.iter().any(|i| matches!(
+            i,
+            Intervention::SwitchComm {
+                to: CommMethod::AllReduce
+            }
+        )));
+        assert!(ivs.contains(&Intervention::FlipOrder));
+    }
+
+    #[test]
+    fn nic_speedup_improves_ps_bound_plan() {
+        let (g, c, s) = setup();
+        let base = evaluate(&g, &c, &GroundTruthCost, &s).iteration_time;
+        let ivs = [
+            Intervention::ScaleLinkClass {
+                kind: LinkKind::NicIn,
+                factor: 2.0,
+            },
+            Intervention::ScaleLinkClass {
+                kind: LinkKind::NicOut,
+                factor: 2.0,
+            },
+        ];
+        let out = run_whatif(&g, &c, &s, &OrderPolicy::RankBased, base, &ivs, 10);
+        assert_eq!(out.len(), 2);
+        // An even-PS plan on the paper testbed is NIC-bound: doubling NIC
+        // bandwidth must strictly help.
+        assert!(
+            out[0].delta > 0.0,
+            "expected a NIC speedup to help, got {:?}",
+            out
+        );
+        for o in &out {
+            assert!((o.delta - (base - o.makespan)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn remove_device_keeps_strategy_consistent() {
+        let (g, c, s) = setup();
+        let iv = Intervention::RemoveDevice { device: 0 };
+        let (c2, s2, p2) = iv.apply(&c, &s, &OrderPolicy::RankBased);
+        assert_eq!(c2.num_devices(), c.num_devices() - 1);
+        for op in &s2.per_op {
+            if let OpStrategy::Dp { replicas, .. } = op {
+                assert_eq!(replicas.len(), c2.num_devices());
+                assert!(replicas.iter().sum::<u32>() > 0);
+            }
+        }
+        // The perturbed deployment must compile and simulate cleanly.
+        let tg = compile(&g, &c2, &GroundTruthCost, &s2);
+        let r = heterog_sim::simulate(&tg, &c2.memory_capacities(), &p2);
+        assert!(r.iteration_time > 0.0);
+    }
+
+    #[test]
+    fn switch_comm_flips_every_dp_group() {
+        let (_, _, s) = setup();
+        let flipped = switch_comm(&s, CommMethod::AllReduce);
+        for op in &flipped.per_op {
+            if let OpStrategy::Dp { comm, .. } = op {
+                assert_eq!(*comm, CommMethod::AllReduce);
+            }
+        }
+    }
+}

@@ -63,7 +63,10 @@ impl SimReport {
     /// ratio the paper quotes in §6.7 (1.31 for CP-AR VGG19, 1.47 for
     /// HeteroG, ...). Higher = better overlap.
     pub fn overlap_ratio(&self) -> f64 {
-        if self.iteration_time <= 0.0 {
+        // The NaN check matters: a NaN makespan (e.g. a default report
+        // that never ran) passes `<= 0.0` and would poison downstream
+        // aggregates.
+        if self.iteration_time.is_nan() || self.iteration_time <= 0.0 {
             return 0.0;
         }
         (self.computation_time + self.communication_time) / self.iteration_time
@@ -71,7 +74,7 @@ impl SimReport {
 
     /// Mean GPU utilization.
     pub fn mean_gpu_utilization(&self) -> f64 {
-        if self.iteration_time <= 0.0 || self.gpu_busy.is_empty() {
+        if self.iteration_time.is_nan() || self.iteration_time <= 0.0 || self.gpu_busy.is_empty() {
             return 0.0;
         }
         self.gpu_busy.iter().sum::<f64>() / (self.gpu_busy.len() as f64 * self.iteration_time)
@@ -366,6 +369,44 @@ mod tests {
         tg.add_dep(a, x2); // x2 starts at 0.5
         let r = simulate(&tg, &[8 << 30], &OrderPolicy::RankBased);
         assert!((r.communication_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_reports_yield_finite_ratios() {
+        // Empty device list / zero makespan / NaN makespan must all
+        // produce 0.0, never NaN or infinity.
+        let empty = SimReport::default();
+        assert_eq!(empty.overlap_ratio(), 0.0);
+        assert_eq!(empty.mean_gpu_utilization(), 0.0);
+
+        let zero_makespan = SimReport {
+            gpu_busy: vec![0.0, 0.0],
+            ..SimReport::default()
+        };
+        assert_eq!(zero_makespan.overlap_ratio(), 0.0);
+        assert_eq!(zero_makespan.mean_gpu_utilization(), 0.0);
+
+        let nan = SimReport {
+            iteration_time: f64::NAN,
+            computation_time: 1.0,
+            communication_time: 1.0,
+            gpu_busy: vec![1.0],
+            ..SimReport::default()
+        };
+        assert_eq!(nan.overlap_ratio(), 0.0);
+        assert_eq!(nan.mean_gpu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_simulation_has_finite_ratios() {
+        // An empty task graph on one GPU: makespan 0, no busy time.
+        let tg = TaskGraph::new("empty", 1, 0);
+        let r = simulate(&tg, &[1 << 30], &OrderPolicy::RankBased);
+        assert_eq!(r.iteration_time, 0.0);
+        assert!(r.overlap_ratio().is_finite());
+        assert!(r.mean_gpu_utilization().is_finite());
+        assert_eq!(r.overlap_ratio(), 0.0);
+        assert_eq!(r.mean_gpu_utilization(), 0.0);
     }
 
     #[test]

@@ -41,6 +41,19 @@ static CACHE_MISSES: heterog_telemetry::Counter = heterog_telemetry::Counter::ne
     "Strategy evaluations computed on cache miss",
 );
 
+// Process-global totals across every cache instance, always on (not
+// gated on `HETEROG_TELEMETRY`) — surfaced by explain-report footers
+// via [`crate::evaluate::eval_stats`].
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn global_cache_totals() -> (u64, u64) {
+    (
+        GLOBAL_HITS.load(Ordering::Relaxed),
+        GLOBAL_MISSES.load(Ordering::Relaxed),
+    )
+}
+
 /// A concurrent memo of strategy evaluations for one or more
 /// (graph, cluster) contexts.
 #[derive(Debug, Default)]
@@ -104,6 +117,7 @@ impl EvalCache {
         let key = full_key(context_key(g, cluster, policy), strategy);
         if let Some(hit) = self.lookup(key, strategy) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
             CACHE_HITS.inc();
             return hit;
         }
@@ -112,6 +126,7 @@ impl EvalCache {
         // a racing duplicate computation is wasteful but never wrong.
         let eval = evaluate_with_policy(g, cluster, cost, strategy, policy);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
         CACHE_MISSES.inc();
         let mut map = self.map.lock().expect("eval cache poisoned");
         let bucket = map.entry(key).or_default();

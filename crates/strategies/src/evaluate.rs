@@ -5,6 +5,7 @@
 //! overflow").
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use heterog_cluster::Cluster;
 use heterog_compile::{compile, Strategy};
@@ -17,6 +18,43 @@ static EVALUATIONS: heterog_telemetry::Counter = heterog_telemetry::Counter::new
     "heterog_strategies_evaluations_total",
     "Strategy evaluations (compile + simulate) performed",
 );
+
+// Process-global planner-loop counters. Unlike the telemetry statics
+// above these are NOT gated on `HETEROG_TELEMETRY`: explain-report
+// footers surface them unconditionally.
+static EVAL_COUNT: AtomicU64 = AtomicU64::new(0);
+static EVAL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_evaluation(nanos: u64) {
+    EVAL_COUNT.fetch_add(1, Ordering::Relaxed);
+    EVAL_NANOS.fetch_add(nanos, Ordering::Relaxed);
+}
+
+/// Process-wide planner-loop statistics (always on, cheap relaxed
+/// atomics): evaluation count and wall time across every planner and
+/// thread, plus global [`crate::EvalCache`] hit/miss totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalStats {
+    /// Strategy evaluations (compile + simulate) this process ran.
+    pub evaluations: u64,
+    /// Wall time spent inside evaluations, seconds.
+    pub eval_seconds: f64,
+    /// Evaluations served from any `EvalCache`.
+    pub cache_hits: u64,
+    /// Evaluations computed on cache miss.
+    pub cache_misses: u64,
+}
+
+/// Snapshots the process-global planner-loop statistics.
+pub fn eval_stats() -> EvalStats {
+    let (hits, misses) = crate::cache::global_cache_totals();
+    EvalStats {
+        evaluations: EVAL_COUNT.load(Ordering::Relaxed),
+        eval_seconds: EVAL_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+        cache_hits: hits,
+        cache_misses: misses,
+    }
+}
 
 /// Outcome of evaluating one strategy.
 #[derive(Debug, Clone)]
@@ -69,6 +107,7 @@ pub fn evaluate_with_policy<C: CostEstimator>(
 ) -> Evaluation {
     let _span = heterog_telemetry::span("evaluate");
     EVALUATIONS.inc();
+    let started = std::time::Instant::now();
     let tg = compile(g, cluster, cost, strategy);
     let mut report = SimReport::default();
     SIM_SCRATCH.with(|s| {
@@ -80,6 +119,7 @@ pub fn evaluate_with_policy<C: CostEstimator>(
             &mut report,
         )
     });
+    record_evaluation(started.elapsed().as_nanos() as u64);
     Evaluation {
         iteration_time: report.iteration_time,
         oom: report.memory.any_oom(),

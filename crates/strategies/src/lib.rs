@@ -24,7 +24,9 @@ pub mod post;
 
 pub use baselines::{CpArPlanner, CpPsPlanner, EvArPlanner, EvPsPlanner, HorovodPlanner};
 pub use cache::EvalCache;
-pub use evaluate::{evaluate, evaluate_with_policy, steady_state_iteration_time, Evaluation};
+pub use evaluate::{
+    eval_stats, evaluate, evaluate_with_policy, steady_state_iteration_time, EvalStats, Evaluation,
+};
 pub use flexflow::FlexFlowPlanner;
 pub use grouping::{group_ops, Grouping};
 pub use hetpipe::HetPipePlanner;

@@ -75,6 +75,16 @@ pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
         }
         let _ = writeln!(out, "{}_sum {}", h.name, prom_f64(h.sum));
         let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        // Pre-computed quantiles as summary-style series, so dashboards
+        // get p50/p90/p99 without a `histogram_quantile` recording rule.
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "{}{{quantile=\"{label}\"}} {}",
+                h.name,
+                prom_f64(h.quantile(q))
+            );
+        }
     }
     out
 }
@@ -103,10 +113,13 @@ pub fn json_snapshot(snap: &TelemetrySnapshot) -> String {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
-            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}}}",
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
             json_escape(h.name),
             h.count,
-            json_f64(h.sum)
+            json_f64(h.sum),
+            json_f64(h.quantile(0.5)),
+            json_f64(h.quantile(0.9)),
+            json_f64(h.quantile(0.99))
         );
     }
     out.push_str("\n  },\n  \"spans\": [");

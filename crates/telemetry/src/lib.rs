@@ -173,6 +173,81 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        // Synthetic cumulative buckets: 10 observations uniform in
+        // (0, 1e-6], 10 more in (1e-6, 4e-6].
+        let h = HistogramSnapshot {
+            name: "q",
+            help: "",
+            count: 20,
+            sum: 0.0,
+            buckets: vec![(1e-6, 10), (4e-6, 20), (f64::INFINITY, 20)],
+        };
+        assert!((h.quantile(0.5) - 1e-6).abs() < 1e-18);
+        // p75 = halfway through the second bucket: 1e-6 + 0.5 * 3e-6.
+        assert!((h.quantile(0.75) - 2.5e-6).abs() < 1e-18);
+        assert_eq!(h.quantile(0.0), 0.0);
+        // Quantiles clamp to the largest finite bound for overflow.
+        let overflow = HistogramSnapshot {
+            name: "o",
+            help: "",
+            count: 5,
+            sum: 0.0,
+            buckets: vec![(1e-6, 0), (4e-6, 0), (f64::INFINITY, 5)],
+        };
+        assert_eq!(overflow.quantile(0.99), 4e-6);
+        // Empty histograms report 0, not NaN.
+        let empty = HistogramSnapshot {
+            name: "e",
+            help: "",
+            count: 0,
+            sum: 0.0,
+            buckets: vec![(1e-6, 0), (f64::INFINITY, 0)],
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn exported_quantiles_round_trip() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        enable();
+        for _ in 0..10 {
+            TEST_HISTO.observe(0.002);
+        }
+        TEST_HISTO.observe(0.5);
+        let snap = snapshot();
+        let text = prometheus_text(&snap);
+        let json = json_snapshot(&snap);
+        disable();
+        reset();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "heterog_test_latency_seconds")
+            .expect("histogram registered");
+        // Prometheus text carries summary-style quantile series that
+        // match the snapshot's own computation.
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            let needle = format!(
+                "heterog_test_latency_seconds{{quantile=\"{label}\"}} {}",
+                h.quantile(q)
+            );
+            assert!(text.contains(&needle), "missing {needle:?} in:\n{text}");
+        }
+        // And the JSON snapshot exposes the same values under p50/p90/p99.
+        for key in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        let needle = format!("\"p99\": {}", h.quantile(0.99));
+        assert!(json.contains(&needle), "missing {needle:?} in:\n{json}");
+        // p50 sits in the bucket holding the 0.002s observations, far
+        // below the 0.5s outlier that dominates p99.
+        assert!(h.quantile(0.5) < 0.02);
+        assert!(h.quantile(0.99) > 0.1);
+    }
+
+    #[test]
     fn merge_traces_concatenates_event_arrays() {
         let base = r#"[{"name":"a","ph":"X"}]"#;
         let extra = vec![r#"{"name":"b","ph":"X"}"#.to_string()];

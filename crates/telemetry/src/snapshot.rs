@@ -31,6 +31,39 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the cumulative
+    /// buckets, interpolating linearly within the winning bucket the way
+    /// Prometheus' `histogram_quantile` does. Returns 0 for an empty
+    /// histogram; observations that landed in the `+Inf` overflow bucket
+    /// clamp to the largest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut prev_bound = 0.0;
+        let mut prev_cum = 0u64;
+        for &(bound, cum) in &self.buckets {
+            if (cum as f64) >= rank {
+                if bound.is_infinite() {
+                    // No upper edge to interpolate toward.
+                    return prev_bound;
+                }
+                let in_bucket = (cum - prev_cum) as f64;
+                if in_bucket == 0.0 {
+                    return bound;
+                }
+                let frac = (rank - prev_cum as f64) / in_bucket;
+                return prev_bound + frac * (bound - prev_bound);
+            }
+            prev_bound = bound;
+            prev_cum = cum;
+        }
+        prev_bound
+    }
+}
+
 /// A consistent-enough copy of every registered metric plus completed
 /// spans. "Consistent enough": each value is read atomically but the
 /// set is not a global atomic snapshot, which is fine for reporting.

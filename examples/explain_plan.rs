@@ -1,0 +1,47 @@
+//! Explain a plan: where does the iteration time go, and what would
+//! change it?
+//!
+//! After `get_runner` plans and compiles a deployment, `explain()` walks
+//! the simulated schedule backwards to recover the critical path, buckets
+//! the makespan into compute / collective / transfer / idle, identifies
+//! which GPU model or link class gates the step, and re-simulates a set
+//! of what-if interventions ("NIC at 2x bandwidth", "swap PS for ring
+//! all-reduce") ranked by predicted makespan delta.
+//!
+//! Run: `cargo run --release -p heterog --example explain_plan`
+
+use heterog::explain::{render_html, to_json, ExplainOptions};
+use heterog::{get_runner, HeterogConfig};
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+
+fn main() {
+    // Plan VGG-19 on the paper's 8-GPU testbed.
+    let model_func = || ModelSpec::new(BenchmarkModel::Vgg19, 192).build();
+    let runner = get_runner(model_func, paper_testbed_8gpu(), HeterogConfig::quick());
+
+    // The full report: critical path, attribution, stragglers, what-ifs.
+    let report = runner.explain_with(&ExplainOptions {
+        top_k: 5,
+        ..ExplainOptions::default()
+    });
+    print!("{}", heterog::explain::render_text(&report));
+
+    // The same report as artifacts: a diffable JSON document and a
+    // self-contained HTML page with the iteration timeline embedded.
+    let json = to_json(&report);
+    let html = render_html(&report, &runner.trace_json());
+    std::fs::write("explain_plan.json", &json).expect("write json");
+    std::fs::write("explain_plan.html", &html).expect("write html");
+    println!(
+        "\nartifacts: explain_plan.json ({} bytes), explain_plan.html ({} bytes)",
+        json.len(),
+        html.len()
+    );
+
+    // Run-diff: a report diffed against itself is clean — in CI you
+    // would diff against the artifact from the previous release.
+    let diff = heterog::explain::diff(&report.digest(), &report.digest());
+    print!("{}", heterog::explain::render_diff_text(&diff));
+    assert!(diff.is_clean());
+}

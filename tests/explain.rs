@@ -1,0 +1,94 @@
+//! Cross-crate explain integration tests: the ISSUE's acceptance
+//! criteria, end-to-end through `get_runner` -> `DistRunner::explain`.
+
+use heterog::explain::{self, ExplainOptions};
+use heterog::{get_runner, HeterogConfig};
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+
+fn quickstart_runner() -> heterog::DistRunner {
+    get_runner(
+        || ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build(),
+        paper_testbed_8gpu(),
+        HeterogConfig::quick(),
+    )
+}
+
+#[test]
+fn critical_path_segments_sum_to_the_makespan() {
+    let runner = quickstart_runner();
+    let rep = runner.explain_with(&ExplainOptions {
+        run_whatif: false,
+        ..ExplainOptions::default()
+    });
+    assert!(rep.makespan > 0.0);
+    assert!(!rep.critical_path.is_empty());
+    // Segment durations + idle gaps tile [0, makespan] exactly.
+    let segment_sum: f64 = rep.critical_path.segments.iter().map(|s| s.duration).sum();
+    let covered = segment_sum + rep.critical_path.total_idle;
+    assert!(
+        (covered - rep.makespan).abs() <= 1e-9 * rep.makespan,
+        "critical path covers {covered} of makespan {}",
+        rep.makespan
+    );
+    // And the attribution re-buckets the same quantity.
+    assert!((rep.attribution.total() - rep.makespan).abs() <= 1e-9 * rep.makespan);
+}
+
+#[test]
+fn whatif_finds_an_intervention_that_moves_the_makespan() {
+    let runner = quickstart_runner();
+    let rep = runner.explain();
+    assert!(!rep.whatif.is_empty());
+    assert!(
+        rep.whatif.iter().any(|w| w.delta.abs() > 0.0),
+        "expected at least one intervention with a nonzero predicted delta"
+    );
+    // Ranked by predicted improvement, best first.
+    for pair in rep.whatif.windows(2) {
+        assert!(pair[0].delta >= pair[1].delta);
+    }
+}
+
+#[test]
+fn self_diff_via_json_artifact_reports_zero_regressions() {
+    let runner = quickstart_runner();
+    let rep = runner.explain_with(&ExplainOptions {
+        run_whatif: false,
+        ..ExplainOptions::default()
+    });
+    // Round-trip the digest through the JSON artifact, as
+    // `heterog-cli explain --json-out` then `--diff-against` would.
+    let json = explain::to_json(&rep);
+    let before = explain::digest_from_json(&json).expect("parse own artifact");
+    let d = explain::diff(&before, &rep.digest());
+    assert!(d.is_clean(), "self-diff regressed: {:?}", d.regressions);
+    assert!(d.improvements.is_empty());
+    let text = explain::render_diff_text(&d);
+    assert!(text.contains("zero regressions"));
+}
+
+#[test]
+fn renderers_cover_the_report() {
+    let runner = quickstart_runner();
+    let rep = runner.explain();
+    let text = explain::render_text(&rep);
+    assert!(text.contains("simulated critical path"));
+    assert!(text.contains("planner loop:"));
+    let html = explain::render_html(&rep, &runner.trace_json());
+    assert!(html.contains("Simulated critical path"));
+    assert!(html.contains("const TRACE ="));
+}
+
+#[test]
+fn eval_stats_footer_counts_planner_work() {
+    // `get_runner` with the search planner runs many evaluations; the
+    // always-on counters must see them even with telemetry disabled.
+    let runner = quickstart_runner();
+    let rep = runner.explain_with(&ExplainOptions {
+        run_whatif: false,
+        ..ExplainOptions::default()
+    });
+    assert!(rep.eval_stats.evaluations > 0);
+    assert!(rep.eval_stats.eval_seconds > 0.0);
+}

@@ -161,6 +161,24 @@ proptest! {
         prop_assert!(max - min <= 1);
     }
 
+    /// `time_breakdown` is a partition of total work: every component is
+    /// non-negative, the four components sum to the per-processor busy
+    /// total, and that total never exceeds procs x makespan (each
+    /// processor is busy at most the whole iteration).
+    #[test]
+    fn time_breakdown_partitions_total_work(tg in arb_task_graph(24, 3, 2)) {
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        let bd = heterog_sim::time_breakdown(&tg, &s);
+        for (i, component) in bd.iter().enumerate() {
+            prop_assert!(*component >= 0.0, "component {i} negative: {component}");
+        }
+        let total: f64 = bd.iter().sum();
+        let busy: f64 = s.proc_busy.iter().sum();
+        prop_assert!((total - busy).abs() <= 1e-9 * busy.max(1.0),
+            "breakdown {total} != busy {busy}");
+        prop_assert!(total <= tg.num_procs() as f64 * s.makespan + 1e-9);
+    }
+
     /// Least-squares fits interpolate affine data exactly and never
     /// predict negative times.
     #[test]
