@@ -98,6 +98,19 @@ pub struct Device {
     /// Memory capacity in bytes (defaults to the model's capacity; kept
     /// separate so experiments can shrink memory to force OOM).
     pub memory_bytes: u64,
+    /// Runtime speed multiplier on the model's nominal throughput:
+    /// 1.0 = healthy, 0.5 = running at half speed (thermal throttling, a
+    /// sick kernel driver, a noisy neighbour). Compute durations on the
+    /// device scale by `1 / speed_factor`; memory capacity is unaffected.
+    #[serde(default = "default_speed_factor")]
+    pub speed_factor: f64,
+}
+
+// Referenced by the serde(default) attribute above so deployments
+// serialized before the field existed deserialize as healthy devices.
+#[allow(dead_code)]
+fn default_speed_factor() -> f64 {
+    1.0
 }
 
 impl Device {
@@ -107,7 +120,14 @@ impl Device {
             model,
             server,
             memory_bytes: model.memory_bytes(),
+            speed_factor: 1.0,
         }
+    }
+
+    /// The device's effective sustained throughput: the model's baseline
+    /// scaled by the runtime [`Self::speed_factor`].
+    pub fn effective_tflops(&self) -> f64 {
+        self.model.base_tflops() * self.speed_factor
     }
 }
 
@@ -133,5 +153,19 @@ mod tests {
         let d = Device::new(GpuModel::TeslaP100, 3);
         assert_eq!(d.memory_bytes, GpuModel::TeslaP100.memory_bytes());
         assert_eq!(d.server, 3);
+        assert_eq!(d.speed_factor, 1.0);
+        assert_eq!(d.effective_tflops(), GpuModel::TeslaP100.base_tflops());
+    }
+
+    #[test]
+    fn throttled_device_loses_effective_throughput() {
+        let mut d = Device::new(GpuModel::TeslaV100, 0);
+        d.speed_factor = 0.5;
+        assert_eq!(
+            d.effective_tflops(),
+            GpuModel::TeslaV100.base_tflops() / 2.0
+        );
+        // Memory capacity is unaffected by runtime slowdowns.
+        assert_eq!(d.memory_bytes, GpuModel::TeslaV100.memory_bytes());
     }
 }

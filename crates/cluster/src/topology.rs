@@ -191,9 +191,11 @@ impl Cluster {
     }
 
     /// Relative computation power per device, normalized so the minimum
-    /// is 1.0 — drives proportional (CP-*) replica allocation.
+    /// is 1.0 — drives proportional (CP-*) replica allocation. Runtime
+    /// slowdowns ([`Device::speed_factor`]) count: a throttled V100 can
+    /// rank below a healthy 1080 Ti.
     pub fn relative_powers(&self) -> Vec<f64> {
-        let powers: Vec<f64> = self.devices.iter().map(|d| d.model.base_tflops()).collect();
+        let powers: Vec<f64> = self.devices.iter().map(|d| d.effective_tflops()).collect();
         let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
         powers.into_iter().map(|p| p / min).collect()
     }
@@ -250,18 +252,75 @@ impl Cluster {
         d.memory_bytes = model.memory_bytes();
     }
 
+    /// Scales one device's runtime speed factor in place ("G3 is running
+    /// at half speed"): `factor` multiplies the current
+    /// [`Device::speed_factor`], so a 0.5 slowdown followed by a 2.0
+    /// recovery restores nominal throughput. Compute durations on the
+    /// device scale by the inverse; memory capacity is unchanged.
+    pub fn scale_device_speed(&mut self, id: DeviceId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "speed factor must be positive, got {factor}"
+        );
+        self.devices[id.index()].speed_factor *= factor;
+    }
+
+    /// Builder-style [`Self::scale_link_bandwidth`]: a new cluster with
+    /// every link of `kind` (all links when `None`) scaled by `factor`.
+    pub fn with_scaled_link(&self, kind: Option<LinkKind>, factor: f64) -> Cluster {
+        let mut c = self.clone();
+        c.scale_link_bandwidth(kind, factor);
+        c
+    }
+
+    /// Builder-style [`Self::scale_device_speed`]: a new cluster with one
+    /// device's speed factor multiplied by `factor`.
+    pub fn with_scaled_device(&self, id: DeviceId, factor: f64) -> Cluster {
+        let mut c = self.clone();
+        c.scale_device_speed(id, factor);
+        c
+    }
+
+    /// Builder-style [`Self::set_device_model`]: a new cluster with one
+    /// device swapped for a different GPU model.
+    pub fn with_device_model(&self, id: DeviceId, model: GpuModel) -> Cluster {
+        let mut c = self.clone();
+        c.set_device_model(id, model);
+        c
+    }
+
     /// A new cluster with one device removed (remaining devices shift
     /// down to stay contiguous). Servers are kept even if they end up
     /// empty, so NIC channels for the other machines are unchanged.
+    /// Surviving devices keep their runtime speed factors; link-class
+    /// bandwidth scaling applied via [`Self::scale_link_bandwidth`] is
+    /// reset to nominal by the rebuild (callers tracking degraded links
+    /// re-apply it — see `heterog-elastic`'s cluster state).
     pub fn without_device(&self, id: DeviceId) -> Cluster {
         assert!(id.index() < self.devices.len(), "device {id} out of range");
-        let devices = self
+        let devices: Vec<Device> = self
             .devices
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != id.index())
             .map(|(_, d)| *d)
             .collect();
+        Cluster::new(self.servers.clone(), devices)
+    }
+
+    /// A new cluster with a healthy device of `model` added to an
+    /// existing server ("a spare GPU joins"). The new device takes the
+    /// highest id; existing ids are unchanged. As with
+    /// [`Self::without_device`], the rebuild resets link-class bandwidth
+    /// scaling to nominal.
+    pub fn with_joined_device(&self, server: u32, model: GpuModel) -> Cluster {
+        assert!(
+            (server as usize) < self.servers.len(),
+            "server {server} out of range ({} servers)",
+            self.servers.len()
+        );
+        let mut devices = self.devices.clone();
+        devices.push(Device::new(model, server));
         Cluster::new(self.servers.clone(), devices)
     }
 
@@ -287,6 +346,7 @@ impl Cluster {
             d.model.hash(&mut h);
             d.server.hash(&mut h);
             d.memory_bytes.hash(&mut h);
+            d.speed_factor.to_bits().hash(&mut h);
         }
         self.links.len().hash(&mut h);
         for l in &self.links {
@@ -515,6 +575,91 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scale_device_speed_compounds_and_discriminates_fingerprint() {
+        let mut c = two_server_cluster();
+        let fp0 = c.fingerprint();
+        c.scale_device_speed(DeviceId(0), 0.5);
+        c.scale_device_speed(DeviceId(0), 0.5);
+        assert_eq!(c.device(DeviceId(0)).speed_factor, 0.25);
+        assert_ne!(c.fingerprint(), fp0, "slowdown must change the fingerprint");
+        // Recovery restores nominal speed and the original fingerprint.
+        c.scale_device_speed(DeviceId(0), 4.0);
+        assert_eq!(c.device(DeviceId(0)).speed_factor, 1.0);
+        assert_eq!(c.fingerprint(), fp0);
+    }
+
+    #[test]
+    fn throttled_v100_ranks_below_healthy_1080ti() {
+        let mut c = two_server_cluster();
+        c.scale_device_speed(DeviceId(0), 0.25);
+        let p = c.relative_powers();
+        // V100 at quarter speed (3.5 TF) is now the slowest device.
+        assert_eq!(p[0], 1.0);
+        assert!(p[2] > 1.0);
+    }
+
+    #[test]
+    fn builder_mutations_leave_original_untouched() {
+        let c = two_server_cluster();
+        let fp = c.fingerprint();
+        let scaled = c.with_scaled_link(Some(LinkKind::NicOut), 0.5);
+        let slowed = c.with_scaled_device(DeviceId(1), 0.5);
+        let upgraded = c.with_device_model(DeviceId(2), GpuModel::TeslaV100);
+        assert_eq!(c.fingerprint(), fp);
+        for other in [&scaled, &slowed, &upgraded] {
+            assert_ne!(other.fingerprint(), fp);
+        }
+        assert_eq!(
+            scaled
+                .links()
+                .iter()
+                .find(|l| l.kind == LinkKind::NicOut)
+                .unwrap()
+                .bandwidth_bps,
+            0.5 * c
+                .links()
+                .iter()
+                .find(|l| l.kind == LinkKind::NicOut)
+                .unwrap()
+                .bandwidth_bps
+        );
+    }
+
+    #[test]
+    fn joined_device_takes_highest_id_and_is_reachable() {
+        let c = two_server_cluster();
+        let bigger = c.with_joined_device(1, GpuModel::TeslaV100);
+        assert_eq!(bigger.num_devices(), 5);
+        let new_id = DeviceId(4);
+        assert_eq!(bigger.device(new_id).model, GpuModel::TeslaV100);
+        assert_eq!(bigger.device(new_id).server, 1);
+        assert_eq!(bigger.device(new_id).speed_factor, 1.0);
+        // Existing devices keep their ids and models.
+        for i in 0..4u32 {
+            assert_eq!(
+                bigger.device(DeviceId(i)).model,
+                c.device(DeviceId(i)).model
+            );
+        }
+        for a in bigger.device_ids() {
+            for b in bigger.device_ids() {
+                if a != b {
+                    assert!(bigger.path_between(a, b).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn without_device_preserves_survivor_speed_factors() {
+        let mut c = two_server_cluster();
+        c.scale_device_speed(DeviceId(3), 0.5);
+        let smaller = c.without_device(DeviceId(0));
+        // Old G3 is now G2 and still throttled.
+        assert_eq!(smaller.device(DeviceId(2)).speed_factor, 0.5);
     }
 
     #[test]

@@ -426,7 +426,8 @@ pub fn reduce_time<C: CostEstimator>(
     let node = Node::new("reduce", OpKind::GradAggregate, Phase::Update)
         .with_output(TensorMeta::fixed(elems))
         .with_flops(0.0, 2.0 * elems as f64 * n.saturating_sub(1) as f64);
-    cost.op_time(&node, cluster.device(dev).model, 0)
+    let device = cluster.device(dev);
+    cost.op_time(&node, device.model, 0) / device.speed_factor
 }
 
 /// Groups `devices` by hosting server (order-preserving).

@@ -34,4 +34,4 @@ pub use lower::{
     compile, compile_iterations, compile_pipelined, compile_with_options, CompileOptions,
 };
 pub use placement::{resolve_placements, OpPlacement};
-pub use strategy::{CommMethod, OpStrategy, Strategy};
+pub use strategy::{CommMethod, OpStrategy, Strategy, StrategyError};

@@ -402,8 +402,10 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
                     Some(sh) => sh[id.index()][ri],
                     None => full_share,
                 };
-                let model = self.cluster.device(dev).model;
-                let duration = self.cost.op_time(node, model, share);
+                let device = self.cluster.device(dev);
+                // A throttled device (speed_factor < 1) runs every op
+                // proportionally slower than its model's nominal speed.
+                let duration = self.cost.op_time(node, device.model, share) / device.speed_factor;
                 let mut task = Task::new(
                     TaskName::Replica {
                         base: self.base_names[id.index()].clone(),
@@ -619,7 +621,8 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
         let node = Node::new("struct", kind, Phase::Forward)
             .with_output(TensorMeta::fixed(elems))
             .with_flops(0.0, elems as f64);
-        let duration = self.cost.op_time(&node, self.cluster.device(dev).model, 0);
+        let device = self.cluster.device(dev);
+        let duration = self.cost.op_time(&node, device.model, 0) / device.speed_factor;
         match kind {
             OpKind::Split => SPLIT_TASKS.inc(),
             OpKind::Concat => CONCAT_TASKS.inc(),
@@ -753,6 +756,32 @@ mod tests {
         let sched = list_schedule(&tg, &OrderPolicy::RankBased);
         assert!(sched.makespan > 0.0);
         assert!(sched.finish.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn throttled_device_prices_its_tasks_slower() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = Strategy::uniform(g.len(), crate::OpStrategy::Mp(DeviceId(0)));
+        let healthy = compile(&g, &c, &GroundTruthCost, &s);
+        let slowed = compile(
+            &g,
+            &c.with_scaled_device(DeviceId(0), 0.5),
+            &GroundTruthCost,
+            &s,
+        );
+        assert_eq!(healthy.len(), slowed.len());
+        for (id, t) in healthy.iter() {
+            let t2 = slowed.task(id);
+            // Everything lives on the throttled G0: exactly 2x slower.
+            assert!(
+                (t2.duration - 2.0 * t.duration).abs() <= 1e-12 * t.duration.max(1.0),
+                "task {} expected 2x of {}, got {}",
+                t.name.render(),
+                t.duration,
+                t2.duration
+            );
+        }
     }
 
     #[test]

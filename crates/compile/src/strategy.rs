@@ -8,8 +8,42 @@
 //! replica vectors (used by the planner's local search).
 
 use serde::{Deserialize, Serialize};
+use thiserror::Error;
 
 use heterog_cluster::{Cluster, DeviceId};
+
+/// Why a strategy cannot be deployed on a given cluster. Produced by
+/// [`Strategy::validate`]; the elastic runtime's repair invariant is
+/// that repaired strategies always pass.
+#[derive(Debug, Clone, PartialEq, Eq, Error)]
+pub enum StrategyError {
+    /// An MP placement names a device the cluster does not have.
+    #[error("op {op}: MP placement on {device} but the cluster has {devices} devices")]
+    MpOutOfRange {
+        /// Offending op index.
+        op: usize,
+        /// The out-of-range placement.
+        device: DeviceId,
+        /// Devices actually present.
+        devices: usize,
+    },
+    /// A DP replica vector's length disagrees with the device count.
+    #[error("op {op}: replica vector has {len} entries but the cluster has {devices} devices")]
+    ReplicaLengthMismatch {
+        /// Offending op index.
+        op: usize,
+        /// Replica-vector length.
+        len: usize,
+        /// Devices actually present.
+        devices: usize,
+    },
+    /// A DP op has no replicas anywhere.
+    #[error("op {op}: replica vector sums to zero")]
+    NoReplicas {
+        /// Offending op index.
+        op: usize,
+    },
+}
 
 /// Gradient-aggregation method for a data-parallel op's parameter
 /// gradients (§2.1).
@@ -96,6 +130,41 @@ impl Strategy {
         Self::uniform(num_ops, OpStrategy::proportional(cluster, comm))
     }
 
+    /// Checks that every decision is deployable on `cluster`: MP
+    /// placements name existing devices, DP replica vectors have one
+    /// entry per device and at least one replica overall. This is the
+    /// invariant fault repair must preserve — a repaired strategy may
+    /// never reference a removed device.
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), StrategyError> {
+        let m = cluster.num_devices();
+        for (op, s) in self.per_op.iter().enumerate() {
+            match s {
+                OpStrategy::Mp(d) => {
+                    if d.index() >= m {
+                        return Err(StrategyError::MpOutOfRange {
+                            op,
+                            device: *d,
+                            devices: m,
+                        });
+                    }
+                }
+                OpStrategy::Dp { replicas, .. } => {
+                    if replicas.len() != m {
+                        return Err(StrategyError::ReplicaLengthMismatch {
+                            op,
+                            len: replicas.len(),
+                            devices: m,
+                        });
+                    }
+                    if replicas.iter().sum::<u32>() == 0 {
+                        return Err(StrategyError::NoReplicas { op });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Histogram over the paper's Table-2 buckets: per-device MP counts
     /// (length M), then [EV-PS, EV-AR, CP-PS, CP-AR, other-DP].
     pub fn histogram(&self, cluster: &Cluster) -> (Vec<usize>, [usize; 5]) {
@@ -155,6 +224,40 @@ mod tests {
             }
             _ => panic!("expected DP"),
         }
+    }
+
+    #[test]
+    fn validate_catches_every_invalid_shape() {
+        let c = paper_testbed_8gpu();
+        let ok = Strategy::even(3, &c, CommMethod::Ps);
+        assert_eq!(ok.validate(&c), Ok(()));
+
+        let mut mp_bad = ok.clone();
+        mp_bad.per_op[1] = OpStrategy::Mp(DeviceId(8));
+        assert!(matches!(
+            mp_bad.validate(&c),
+            Err(StrategyError::MpOutOfRange { op: 1, .. })
+        ));
+
+        let mut short = ok.clone();
+        short.per_op[2] = OpStrategy::Dp {
+            replicas: vec![1; 7],
+            comm: CommMethod::Ps,
+        };
+        assert!(matches!(
+            short.validate(&c),
+            Err(StrategyError::ReplicaLengthMismatch { op: 2, len: 7, .. })
+        ));
+
+        let mut empty = ok;
+        empty.per_op[0] = OpStrategy::Dp {
+            replicas: vec![0; 8],
+            comm: CommMethod::AllReduce,
+        };
+        assert!(matches!(
+            empty.validate(&c),
+            Err(StrategyError::NoReplicas { op: 0 })
+        ));
     }
 
     #[test]

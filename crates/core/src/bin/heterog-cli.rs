@@ -6,6 +6,7 @@
 //! heterog-cli explain --model vgg19 --batch 192 [--html-out report.html] [--json-out report.json]
 //! heterog-cli compare --model vgg19 --batch 192 [--cluster spec.json]
 //! heterog-cli trace   --model bert --batch 48 --out trace.json
+//! heterog-cli elastic --model vgg19 --iters 50 --seed 42 --policy migrate-replicas
 //! heterog-cli models
 //! heterog-cli cluster-template
 //! ```
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&flags),
         "compare" => cmd_compare(&flags),
         "trace" => cmd_trace(&flags),
+        "elastic" => cmd_elastic(&flags),
         "models" => cmd_models(),
         "cluster-template" => {
             println!("{}", ClusterSpec::paper_8gpu().to_json());
@@ -60,6 +62,7 @@ USAGE:
   heterog-cli explain --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner <name>] [--top-k N] [--no-whatif] [--html-out <file.html>] [--json-out <file.json>] [--diff-against <file.json>]
   heterog-cli compare --model <name> [--batch N] [--layers N] [--cluster spec.json]
   heterog-cli trace   --model <name> [--batch N] [--layers N] [--cluster spec.json] --out <file.json>
+  heterog-cli elastic --model <name> [--batch N] [--cluster spec.json] [--planner <name>] [--iters N] [--policy full-replan|migrate-replicas|collective-fallback|compare] [--faults <script> | --seed N [--num-faults N]] [--json-out <file.json>]
   heterog-cli models                 list available benchmark models
   heterog-cli cluster-template       print a cluster-spec JSON template
 
@@ -73,7 +76,16 @@ EXPLAIN:
   --no-whatif           skip the what-if sensitivity loop
   --html-out <file>     self-contained HTML report with embedded timeline
   --json-out <file>     machine-readable report (diffable artifact)
-  --diff-against <file> run-diff this plan against a previous --json-out";
+  --diff-against <file> run-diff this plan against a previous --json-out
+
+ELASTIC:
+  --iters N             training iterations to simulate (default 50)
+  --policy <name>       repair policy, or `compare` to sweep all three
+  --faults <script>     explicit timeline, e.g. `10:fail:3,25:slow:0:0.5,
+                        30:link:nicout:0.25,40:linkup:nicout,45:join:0:v100`
+  --seed N              generate a deterministic timeline instead (default 42)
+  --num-faults N        events in the generated timeline (default 3)
+  --json-out <file>     write the canonical run report (byte-stable per seed)";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -107,7 +119,12 @@ fn parse_model(flags: &HashMap<String, String>) -> Result<ModelSpec, String> {
         "transformer" => BenchmarkModel::Transformer,
         "bert" | "bert-large" => BenchmarkModel::BertLarge,
         "xlnet" | "xlnet-large" => BenchmarkModel::XlnetLarge,
-        other => return Err(format!("unknown model {other:?}")),
+        other => {
+            return Err(format!(
+                "unknown model {other:?} (valid: vgg19, resnet200, inception, mobilenet, \
+                 nasnet, transformer, bert, xlnet; see `heterog-cli models`)"
+            ))
+        }
     };
     let batch = match flags.get("batch") {
         Some(b) => b.parse().map_err(|_| format!("bad --batch {b:?}"))?,
@@ -284,6 +301,88 @@ fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
     let runner = get_runner(|| spec.build(), cluster, config_for(flags));
     std::fs::write(out, runner.trace_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("one-iteration timeline written to {out} (open in chrome://tracing)");
+    Ok(())
+}
+
+fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
+    use heterog::elastic::{render_policy_comparison, ElasticOptions, FaultScript, RepairPolicy};
+
+    let spec = parse_model(flags)?;
+    let cluster = parse_cluster(flags)?;
+    let cfg = config_for(flags);
+
+    let mut opts = ElasticOptions::default();
+    if let Some(n) = flags.get("iters") {
+        opts.iterations = n.parse().map_err(|_| format!("bad --iters {n:?}"))?;
+        if opts.iterations == 0 {
+            return Err("--iters must be at least 1".into());
+        }
+    }
+
+    // The timeline: explicit script, or deterministic generation.
+    let script = match flags.get("faults") {
+        Some(s) => FaultScript::parse(s)?,
+        None => {
+            let seed = match flags.get("seed") {
+                Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}"))?,
+                None => 42,
+            };
+            let n = match flags.get("num-faults") {
+                Some(s) => s.parse().map_err(|_| format!("bad --num-faults {s:?}"))?,
+                None => 3,
+            };
+            FaultScript::generate(seed, opts.iterations, n, &cluster)
+        }
+    };
+
+    eprintln!(
+        "planning {} on {} GPUs ...",
+        spec.label(),
+        cluster.num_devices()
+    );
+    let runner = get_runner(|| spec.build(), cluster, cfg);
+
+    let compare = matches!(flags.get("policy").map(String::as_str), Some("compare"))
+        || flags.contains_key("compare");
+    if compare {
+        // Sweep every policy over the same timeline and diff digests.
+        let mut reports = Vec::new();
+        for p in RepairPolicy::ALL {
+            opts.policy = p;
+            eprintln!("running {} iterations under {} ...", opts.iterations, p);
+            reports.push(runner.elastic_run(&script, &opts).report);
+        }
+        for r in &reports {
+            println!("{}", r.summary());
+        }
+        println!();
+        print!("{}", render_policy_comparison(&reports[0], &reports[1]));
+        println!();
+        print!("{}", render_policy_comparison(&reports[0], &reports[2]));
+        if let Some(path) = flags.get("json-out") {
+            // `compare` writes the first (full-replan) report.
+            std::fs::write(path, reports[0].to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("json report written to {path}");
+        }
+        return Ok(());
+    }
+
+    if let Some(p) = flags.get("policy") {
+        opts.policy = RepairPolicy::parse(p)?;
+    }
+    eprintln!(
+        "running {} iterations under {} ...",
+        opts.iterations, opts.policy
+    );
+    let outcome = runner.elastic_run(&script, &opts);
+    print!("{}", outcome.report.render_text());
+    println!("{}", outcome.report.summary());
+    if let Some(path) = flags.get("json-out") {
+        std::fs::write(path, outcome.report.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("json report written to {path}");
+    }
     Ok(())
 }
 

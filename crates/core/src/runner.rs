@@ -1,6 +1,6 @@
 //! `get_runner` and the distributed runner (§3.5).
 
-use heterog_agent::RlAgent;
+use heterog_agent::{HeteroGPlanner, RlAgent};
 use heterog_cluster::Cluster;
 use heterog_compile::{compile, Strategy};
 use heterog_graph::Graph;
@@ -46,6 +46,9 @@ pub struct DistRunner {
     pub order: OrderPolicy,
     /// The one-iteration simulation report.
     pub report: SimReport,
+    /// The planner that produced (and can reproduce) the strategy —
+    /// kept so the elastic runtime can replan after a cluster fault.
+    pub planner: Box<dyn Planner>,
 }
 
 impl DistRunner {
@@ -113,6 +116,28 @@ impl DistRunner {
             opts,
         )
     }
+
+    /// Runs the plan elastically: `opts.iterations` simulated training
+    /// iterations against `script`'s fault timeline, repairing the plan
+    /// with `opts.policy` whenever the cluster changes under it. The
+    /// run starts from this runner's cluster but re-plans from scratch
+    /// so the report's baseline matches its own planner (for the
+    /// `Learned` choice the search planner stands in — retraining the
+    /// RL agent mid-run would dominate recovery cost).
+    pub fn elastic_run(
+        &self,
+        script: &heterog_elastic::FaultScript,
+        opts: &heterog_elastic::ElasticOptions,
+    ) -> heterog_elastic::ElasticOutcome {
+        heterog_elastic::elastic_run(
+            &self.graph,
+            &self.cluster,
+            &GroundTruthCost,
+            self.planner.as_ref(),
+            script,
+            opts,
+        )
+    }
 }
 
 /// Converts a single-GPU model into a distributed runner (§3.5's
@@ -136,16 +161,24 @@ pub fn get_runner(
         &GroundTruthCost
     };
 
-    // Strategy making.
+    // Strategy making. Besides the strategy itself, keep a planner the
+    // elastic runtime can re-invoke on a mutated cluster; the learned
+    // agent is plan-once, so the search planner stands in for replans.
     let plan_span = heterog_telemetry::span("plan");
-    let strategy = match &config.planner {
-        PlannerChoice::Search(p) => p.plan(&graph, &device_info, cost),
+    let (strategy, planner): (Strategy, Box<dyn Planner>) = match &config.planner {
+        PlannerChoice::Search(p) => (p.plan(&graph, &device_info, cost), Box::new(p.clone())),
         PlannerChoice::Learned(tc) => {
             let mut agent = RlAgent::new(tc.clone());
             agent.train(&[&graph], &device_info, &cost);
-            agent.plan(&graph, &device_info, &cost)
+            (
+                agent.plan(&graph, &device_info, &cost),
+                Box::new(HeteroGPlanner::default()),
+            )
         }
-        PlannerChoice::Baseline(name) => baseline_planner(name).plan(&graph, &device_info, cost),
+        PlannerChoice::Baseline(name) => {
+            let p = baseline_planner(name);
+            (p.plan(&graph, &device_info, cost), p)
+        }
     };
     drop(plan_span);
 
@@ -169,6 +202,7 @@ pub fn get_runner(
         task_graph: truth_graph,
         order,
         report,
+        planner,
     }
 }
 

@@ -1,0 +1,424 @@
+//! Fault timelines: what goes wrong, and when.
+//!
+//! A [`FaultScript`] is a sorted list of `(iteration, FaultEvent)`
+//! pairs. Scripts come from two places: the compact text format parsed
+//! by [`FaultScript::parse`] (what `heterog-cli elastic --faults` takes)
+//! and the seeded generator [`FaultScript::generate`], which derives a
+//! deterministic random timeline from a 64-bit seed — the same seed
+//! always produces the same script, which is what makes whole elastic
+//! runs reproducible.
+
+use heterog_cluster::{Cluster, GpuModel, LinkKind};
+
+/// One thing that goes wrong (or right) in the cluster mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// A GPU drops out of the cluster permanently.
+    DeviceFailure {
+        /// Device id at the time the fault fires.
+        device: u32,
+    },
+    /// A GPU keeps running but at `factor` of its nominal speed
+    /// (thermal throttling, a sick driver). Factors multiply on repeat.
+    DeviceSlowdown {
+        /// Device id at the time the fault fires.
+        device: u32,
+        /// Speed multiplier, `0 < factor`; `< 1` slows the device down.
+        factor: f64,
+    },
+    /// Every link of one class (or all links, `kind: None`) changes
+    /// bandwidth by `factor`; `< 1` degrades, `> 1` upgrades.
+    LinkDegradation {
+        /// Which link class, `None` = all links.
+        kind: Option<LinkKind>,
+        /// Bandwidth multiplier.
+        factor: f64,
+    },
+    /// A previously degraded link class returns to nominal bandwidth.
+    LinkRecovery {
+        /// Which link class, `None` = all classes.
+        kind: Option<LinkKind>,
+    },
+    /// A fresh GPU joins an existing server (takes the highest id).
+    DeviceJoin {
+        /// Hosting server index.
+        server: u32,
+        /// Model of the joining GPU.
+        model: GpuModel,
+    },
+}
+
+fn link_kind_token(kind: &Option<LinkKind>) -> &'static str {
+    match kind {
+        None => "all",
+        Some(LinkKind::NvLink) => "nvlink",
+        Some(LinkKind::Pcie) => "pcie",
+        Some(LinkKind::NicOut) => "nicout",
+        Some(LinkKind::NicIn) => "nicin",
+    }
+}
+
+fn parse_link_kind(s: &str) -> Result<Option<LinkKind>, String> {
+    match s {
+        "all" => Ok(None),
+        "nvlink" => Ok(Some(LinkKind::NvLink)),
+        "pcie" => Ok(Some(LinkKind::Pcie)),
+        "nicout" => Ok(Some(LinkKind::NicOut)),
+        "nicin" => Ok(Some(LinkKind::NicIn)),
+        other => Err(format!(
+            "unknown link kind {other:?} (valid: nvlink, pcie, nicout, nicin, all)"
+        )),
+    }
+}
+
+fn gpu_model_token(model: GpuModel) -> &'static str {
+    match model {
+        GpuModel::TeslaV100 => "v100",
+        GpuModel::TeslaP100 => "p100",
+        GpuModel::Gtx1080Ti => "1080ti",
+        GpuModel::TeslaK80 => "k80",
+    }
+}
+
+fn parse_gpu_model(s: &str) -> Result<GpuModel, String> {
+    match s {
+        "v100" => Ok(GpuModel::TeslaV100),
+        "p100" => Ok(GpuModel::TeslaP100),
+        "1080ti" => Ok(GpuModel::Gtx1080Ti),
+        "k80" => Ok(GpuModel::TeslaK80),
+        other => Err(format!(
+            "unknown GPU model {other:?} (valid: v100, p100, 1080ti, k80)"
+        )),
+    }
+}
+
+impl FaultEvent {
+    /// Human-readable description for reports.
+    pub fn label(&self) -> String {
+        match self {
+            FaultEvent::DeviceFailure { device } => format!("G{device} failed"),
+            FaultEvent::DeviceSlowdown { device, factor } => {
+                format!("G{device} slowed to {factor}x")
+            }
+            FaultEvent::LinkDegradation { kind, factor } => {
+                format!("{} links at {factor}x bandwidth", link_kind_token(kind))
+            }
+            FaultEvent::LinkRecovery { kind } => {
+                format!("{} links recovered", link_kind_token(kind))
+            }
+            FaultEvent::DeviceJoin { server, model } => {
+                format!("{} joined server {server}", model.name())
+            }
+        }
+    }
+
+    /// The event's token in the script text format (without the
+    /// iteration prefix).
+    pub fn script_token(&self) -> String {
+        match self {
+            FaultEvent::DeviceFailure { device } => format!("fail:{device}"),
+            FaultEvent::DeviceSlowdown { device, factor } => format!("slow:{device}:{factor}"),
+            FaultEvent::LinkDegradation { kind, factor } => {
+                format!("link:{}:{factor}", link_kind_token(kind))
+            }
+            FaultEvent::LinkRecovery { kind } => format!("linkup:{}", link_kind_token(kind)),
+            FaultEvent::DeviceJoin { server, model } => {
+                format!("join:{server}:{}", gpu_model_token(*model))
+            }
+        }
+    }
+}
+
+/// A fault timeline: `(iteration, event)` pairs sorted by iteration.
+/// Multiple events may share an iteration; they apply in script order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultScript {
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultScript {
+    /// A script from explicit pairs (sorted by iteration, stably, so
+    /// same-iteration events keep their given order).
+    pub fn new(mut events: Vec<(u64, FaultEvent)>) -> Self {
+        events.sort_by_key(|(i, _)| *i);
+        FaultScript { events }
+    }
+
+    /// Parses the compact text format: comma-separated
+    /// `iteration:event` tokens, where `event` is one of
+    ///
+    /// * `fail:<device>` — device failure
+    /// * `slow:<device>:<factor>` — device slowdown
+    /// * `link:<kind>:<factor>` — link class degradation
+    ///   (`kind`: `nvlink`, `pcie`, `nicout`, `nicin`, `all`)
+    /// * `linkup:<kind>` — link class recovery
+    /// * `join:<server>:<model>` — device join
+    ///   (`model`: `v100`, `p100`, `1080ti`, `k80`)
+    ///
+    /// Example: `10:fail:3,25:slow:0:0.5,40:link:nicout:0.25,60:linkup:nicout`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let mut parts = tok.split(':');
+            let iter: u64 = parts
+                .next()
+                .ok_or_else(|| format!("empty fault token in {tok:?}"))?
+                .parse()
+                .map_err(|_| format!("bad iteration in fault token {tok:?}"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("fault token {tok:?} is missing an event"))?;
+            let args: Vec<&str> = parts.collect();
+            let arity = |n: usize| -> Result<(), String> {
+                if args.len() == n {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "fault token {tok:?}: {kind} takes {n} argument(s), got {}",
+                        args.len()
+                    ))
+                }
+            };
+            let parse_f64 = |s: &str| -> Result<f64, String> {
+                let f: f64 = s
+                    .parse()
+                    .map_err(|_| format!("bad factor {s:?} in fault token {tok:?}"))?;
+                if f.is_finite() && f > 0.0 {
+                    Ok(f)
+                } else {
+                    Err(format!("factor in {tok:?} must be finite and positive"))
+                }
+            };
+            let event = match kind {
+                "fail" => {
+                    arity(1)?;
+                    FaultEvent::DeviceFailure {
+                        device: args[0]
+                            .parse()
+                            .map_err(|_| format!("bad device in fault token {tok:?}"))?,
+                    }
+                }
+                "slow" => {
+                    arity(2)?;
+                    FaultEvent::DeviceSlowdown {
+                        device: args[0]
+                            .parse()
+                            .map_err(|_| format!("bad device in fault token {tok:?}"))?,
+                        factor: parse_f64(args[1])?,
+                    }
+                }
+                "link" => {
+                    arity(2)?;
+                    FaultEvent::LinkDegradation {
+                        kind: parse_link_kind(args[0])?,
+                        factor: parse_f64(args[1])?,
+                    }
+                }
+                "linkup" => {
+                    arity(1)?;
+                    FaultEvent::LinkRecovery {
+                        kind: parse_link_kind(args[0])?,
+                    }
+                }
+                "join" => {
+                    arity(2)?;
+                    FaultEvent::DeviceJoin {
+                        server: args[0]
+                            .parse()
+                            .map_err(|_| format!("bad server in fault token {tok:?}"))?,
+                        model: parse_gpu_model(args[1])?,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} in {tok:?} (valid: fail, slow, link, linkup, join)"
+                    ))
+                }
+            };
+            events.push((iter, event));
+        }
+        Ok(FaultScript::new(events))
+    }
+
+    /// Renders the script back into the text format [`parse`](Self::parse)
+    /// accepts (`parse(to_script(s)) == s`).
+    pub fn to_script(&self) -> String {
+        self.events
+            .iter()
+            .map(|(i, e)| format!("{i}:{}", e.script_token()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// A deterministic pseudo-random timeline of `faults` events over
+    /// `iterations` iterations of a run on `cluster`. The same
+    /// `(seed, iterations, faults, cluster shape)` always yields the
+    /// same script. Events land in `[1, iterations)` so iteration 0
+    /// establishes a healthy baseline; failures never shrink the
+    /// cluster below two devices.
+    pub fn generate(seed: u64, iterations: u64, faults: usize, cluster: &Cluster) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let span = iterations.saturating_sub(1).max(1);
+        let mut events = Vec::with_capacity(faults);
+        // Track the evolving device population so generated device ids
+        // are valid when the event fires (the engine re-checks anyway).
+        let mut devices = cluster.num_devices() as u64;
+        let servers = cluster.servers().len().max(1) as u64;
+        let models: Vec<GpuModel> = cluster.devices().iter().map(|d| d.model).collect();
+        let mut degraded_kinds: Vec<Option<LinkKind>> = Vec::new();
+        let link_kinds = [
+            None,
+            Some(LinkKind::Pcie),
+            Some(LinkKind::NicOut),
+            Some(LinkKind::NicIn),
+        ];
+        let mut iters: Vec<u64> = (0..faults).map(|_| 1 + rng.below(span)).collect();
+        iters.sort_unstable();
+        for at in iters {
+            let roll = rng.below(100);
+            let event = if roll < 30 && devices > 2 {
+                devices -= 1;
+                FaultEvent::DeviceFailure {
+                    device: rng.below(devices + 1) as u32,
+                }
+            } else if roll < 55 {
+                FaultEvent::DeviceSlowdown {
+                    device: rng.below(devices) as u32,
+                    factor: [0.25, 0.5, 0.75][rng.below(3) as usize],
+                }
+            } else if roll < 75 {
+                let kind = link_kinds[rng.below(link_kinds.len() as u64) as usize];
+                degraded_kinds.push(kind);
+                FaultEvent::LinkDegradation {
+                    kind,
+                    factor: [0.25, 0.5][rng.below(2) as usize],
+                }
+            } else if roll < 85 && !degraded_kinds.is_empty() {
+                let kind = degraded_kinds.remove(rng.below(degraded_kinds.len() as u64) as usize);
+                FaultEvent::LinkRecovery { kind }
+            } else {
+                devices += 1;
+                FaultEvent::DeviceJoin {
+                    server: rng.below(servers) as u32,
+                    model: models[rng.below(models.len() as u64) as usize],
+                }
+            };
+            events.push((at, event));
+        }
+        FaultScript { events }
+    }
+
+    /// All events, sorted by iteration.
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+
+    /// The events scheduled exactly at `iteration`, in script order.
+    pub fn events_at(&self, iteration: u64) -> &[(u64, FaultEvent)] {
+        let lo = self.events.partition_point(|(i, _)| *i < iteration);
+        let hi = self.events.partition_point(|(i, _)| *i <= iteration);
+        &self.events[lo..hi]
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// SplitMix64 — the stub `rand` crate is nonfunctional, and a hand-rolled
+/// generator keeps fault timelines bit-reproducible across platforms
+/// anyway (the determinism tests compare whole report JSON strings).
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+
+    #[test]
+    fn parse_round_trips_through_to_script() {
+        let text = "10:fail:3,25:slow:0:0.5,40:link:nicout:0.25,60:linkup:nicout,70:join:1:v100";
+        let s = FaultScript::parse(text).expect("valid script");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.to_script(), text);
+        assert_eq!(FaultScript::parse(&s.to_script()).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in [
+            "x:fail:0",
+            "10:fail",
+            "10:fail:one",
+            "10:slow:0:-1",
+            "10:slow:0:nan",
+            "10:link:ethernet:0.5",
+            "10:join:0:a100",
+            "10:frob:1",
+        ] {
+            assert!(FaultScript::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn events_at_slices_by_iteration() {
+        let s = FaultScript::parse("5:fail:0,5:link:all:0.5,9:slow:1:0.5").unwrap();
+        assert_eq!(s.events_at(5).len(), 2);
+        assert_eq!(s.events_at(9).len(), 1);
+        assert_eq!(s.events_at(6).len(), 0);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_in_range() {
+        let c = paper_testbed_8gpu();
+        let a = FaultScript::generate(42, 50, 6, &c);
+        let b = FaultScript::generate(42, 50, 6, &c);
+        assert_eq!(a, b, "same seed must give the same script");
+        assert_eq!(a.len(), 6);
+        for (i, _) in a.events() {
+            assert!((1..50).contains(i), "event at {i} out of range");
+        }
+        let other = FaultScript::generate(43, 50, 6, &c);
+        assert_ne!(a, other, "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_scripts_round_trip_through_text() {
+        let c = paper_testbed_8gpu();
+        for seed in 0..20 {
+            let s = FaultScript::generate(seed, 80, 8, &c);
+            assert_eq!(
+                FaultScript::parse(&s.to_script()).unwrap(),
+                s,
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # heterog-elastic
+//!
+//! The elastic training runtime: executes a deployment plan over many
+//! simulated training iterations against a fault timeline, and repairs
+//! the plan when the cluster changes under it.
+//!
+//! The paper plans once for a fixed heterogeneous cluster; real
+//! clusters drift — GPUs fail or throttle, links congest and recover,
+//! spare devices join. This crate closes that loop:
+//!
+//! * [`FaultScript`] — the timeline of [`FaultEvent`]s (device failure,
+//!   device slowdown, link degradation/recovery, late join), either
+//!   scripted in a compact text format or generated deterministically
+//!   from a seed.
+//! * [`ClusterState`] — the live cluster plus the link-health ledger
+//!   that survives structural rebuilds.
+//! * [`RepairPolicy`] — full replan, replica migration, or collective
+//!   fallback, built on `heterog_strategies::repair`'s operators.
+//! * [`elastic_run`] — the engine: per-iteration simulation, fault
+//!   detection through the simulator, repair, and deterministic
+//!   recovery accounting into an [`ElasticRunReport`].
+//!
+//! Reports from different policies over the same timeline are
+//! comparable via [`render_policy_comparison`], which reuses
+//! heterog-explain's digest diff.
+
+pub mod engine;
+pub mod fault;
+pub mod policy;
+pub mod report;
+pub mod state;
+
+pub use engine::{elastic_run, ElasticOptions, ElasticOutcome};
+pub use fault::{FaultEvent, FaultScript};
+pub use policy::RepairPolicy;
+pub use report::{render_policy_comparison, ElasticRunReport, FaultMarker, RepairDecision};
+pub use state::{ClusterState, FaultSkip};

@@ -1,0 +1,258 @@
+//! The evolving cluster of an elastic run.
+//!
+//! [`ClusterState`] owns the current [`Cluster`] plus the bookkeeping
+//! the builder API loses across structural rebuilds:
+//! `Cluster::without_device` and `Cluster::with_joined_device` rebuild
+//! the link table from scratch at nominal bandwidths, so the state
+//! tracks cumulative per-link-class scale factors and re-applies them
+//! after every rebuild. Device speed factors survive rebuilds on their
+//! own (they live on the `Device`), so only link health needs this.
+
+use heterog_cluster::{Cluster, DeviceId, LinkKind};
+use heterog_strategies::DeviceMap;
+
+use crate::fault::FaultEvent;
+
+/// Cumulative bandwidth scale slots: all-links plus one per link class.
+const SCALE_SLOTS: [Option<LinkKind>; 5] = [
+    None,
+    Some(LinkKind::NvLink),
+    Some(LinkKind::Pcie),
+    Some(LinkKind::NicOut),
+    Some(LinkKind::NicIn),
+];
+
+fn slot(kind: Option<LinkKind>) -> usize {
+    SCALE_SLOTS.iter().position(|s| *s == kind).expect("slot")
+}
+
+/// Why a fault event could not be applied to the current cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSkip {
+    /// The event names a device the cluster no longer has.
+    NoSuchDevice(u32),
+    /// The event names a server outside the cluster.
+    NoSuchServer(u32),
+    /// Removing the device would leave fewer than two GPUs.
+    LastDevices,
+}
+
+impl std::fmt::Display for FaultSkip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSkip::NoSuchDevice(d) => write!(f, "device G{d} does not exist"),
+            FaultSkip::NoSuchServer(s) => write!(f, "server {s} does not exist"),
+            FaultSkip::LastDevices => write!(f, "cannot drop below two devices"),
+        }
+    }
+}
+
+/// The live cluster plus the link-health ledger.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    cluster: Cluster,
+    /// Cumulative bandwidth factor per [`SCALE_SLOTS`] entry.
+    link_scale: [f64; SCALE_SLOTS.len()],
+}
+
+impl ClusterState {
+    /// Starts from a healthy cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        ClusterState {
+            cluster,
+            link_scale: [1.0; SCALE_SLOTS.len()],
+        }
+    }
+
+    /// The cluster as it currently stands.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Re-applies the cumulative link scales after a structural rebuild
+    /// reset the link table to nominal bandwidths.
+    fn reapply_link_scales(&mut self) {
+        for (i, kind) in SCALE_SLOTS.iter().enumerate() {
+            if self.link_scale[i] != 1.0 {
+                self.cluster.scale_link_bandwidth(*kind, self.link_scale[i]);
+            }
+        }
+    }
+
+    /// Applies one fault event, returning how device ids moved (the
+    /// identity map for faults that do not change the device set), or a
+    /// [`FaultSkip`] explaining why the event is a no-op on the current
+    /// cluster.
+    pub fn apply(&mut self, event: &FaultEvent) -> Result<DeviceMap, FaultSkip> {
+        let m = self.cluster.num_devices();
+        match event {
+            FaultEvent::DeviceFailure { device } => {
+                let d = *device as usize;
+                if d >= m {
+                    return Err(FaultSkip::NoSuchDevice(*device));
+                }
+                if m <= 2 {
+                    return Err(FaultSkip::LastDevices);
+                }
+                self.cluster = self.cluster.without_device(DeviceId(*device));
+                self.reapply_link_scales();
+                Ok(DeviceMap::removal(m, d))
+            }
+            FaultEvent::DeviceSlowdown { device, factor } => {
+                if *device as usize >= m {
+                    return Err(FaultSkip::NoSuchDevice(*device));
+                }
+                // In-place: the link table is untouched.
+                self.cluster.scale_device_speed(DeviceId(*device), *factor);
+                Ok(DeviceMap::identity(m))
+            }
+            FaultEvent::LinkDegradation { kind, factor } => {
+                self.link_scale[slot(*kind)] *= factor;
+                self.cluster.scale_link_bandwidth(*kind, *factor);
+                Ok(DeviceMap::identity(m))
+            }
+            FaultEvent::LinkRecovery { kind } => {
+                match kind {
+                    Some(_) => {
+                        let s = slot(*kind);
+                        if self.link_scale[s] != 1.0 {
+                            self.cluster
+                                .scale_link_bandwidth(*kind, 1.0 / self.link_scale[s]);
+                            self.link_scale[s] = 1.0;
+                        }
+                    }
+                    // `linkup:all` clears every slot, including per-class
+                    // degradations.
+                    None => {
+                        for (i, k) in SCALE_SLOTS.iter().enumerate() {
+                            if self.link_scale[i] != 1.0 {
+                                self.cluster
+                                    .scale_link_bandwidth(*k, 1.0 / self.link_scale[i]);
+                                self.link_scale[i] = 1.0;
+                            }
+                        }
+                    }
+                }
+                Ok(DeviceMap::identity(m))
+            }
+            FaultEvent::DeviceJoin { server, model } => {
+                if *server as usize >= self.cluster.servers().len() {
+                    return Err(FaultSkip::NoSuchServer(*server));
+                }
+                self.cluster = self.cluster.with_joined_device(*server, *model);
+                self.reapply_link_scales();
+                Ok(DeviceMap::join(m))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::{paper_testbed_8gpu, GpuModel};
+
+    #[test]
+    fn link_degradation_survives_a_device_failure() {
+        let c = paper_testbed_8gpu();
+        let mut st = ClusterState::new(c.clone());
+        st.apply(&FaultEvent::LinkDegradation {
+            kind: Some(LinkKind::NicOut),
+            factor: 0.5,
+        })
+        .unwrap();
+        let degraded_bw: Vec<f64> = st
+            .cluster()
+            .links()
+            .iter()
+            .filter(|l| l.kind == LinkKind::NicOut)
+            .map(|l| l.bandwidth_bps)
+            .collect();
+        // A structural rebuild resets the link table; the state must
+        // re-apply the degradation.
+        st.apply(&FaultEvent::DeviceFailure { device: 7 }).unwrap();
+        for l in st.cluster().links() {
+            if l.kind == LinkKind::NicOut {
+                assert!(
+                    degraded_bw.contains(&l.bandwidth_bps),
+                    "NicOut bandwidth {} not at the degraded level",
+                    l.bandwidth_bps
+                );
+            }
+        }
+        let nominal: Vec<f64> = c
+            .links()
+            .iter()
+            .filter(|l| l.kind == LinkKind::NicOut)
+            .map(|l| l.bandwidth_bps)
+            .collect();
+        assert!(degraded_bw.iter().all(|b| !nominal.contains(b)));
+    }
+
+    #[test]
+    fn recovery_restores_nominal_bandwidth() {
+        let c = paper_testbed_8gpu();
+        let mut st = ClusterState::new(c.clone());
+        st.apply(&FaultEvent::LinkDegradation {
+            kind: Some(LinkKind::NicIn),
+            factor: 0.25,
+        })
+        .unwrap();
+        st.apply(&FaultEvent::LinkDegradation {
+            kind: None,
+            factor: 0.5,
+        })
+        .unwrap();
+        st.apply(&FaultEvent::LinkRecovery { kind: None }).unwrap();
+        for (l, orig) in st.cluster().links().iter().zip(c.links()) {
+            assert!(
+                (l.bandwidth_bps - orig.bandwidth_bps).abs() < 1e-6 * orig.bandwidth_bps,
+                "{:?} at {} vs nominal {}",
+                l.kind,
+                l.bandwidth_bps,
+                orig.bandwidth_bps
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_events_are_skipped_not_applied() {
+        let c = paper_testbed_8gpu();
+        let mut st = ClusterState::new(c.clone());
+        assert_eq!(
+            st.apply(&FaultEvent::DeviceFailure { device: 99 }),
+            Err(FaultSkip::NoSuchDevice(99))
+        );
+        assert_eq!(
+            st.apply(&FaultEvent::DeviceJoin {
+                server: 99,
+                model: GpuModel::TeslaV100
+            }),
+            Err(FaultSkip::NoSuchServer(99))
+        );
+        assert_eq!(st.cluster().fingerprint(), c.fingerprint());
+
+        // Drain down to two devices; the next failure must be refused.
+        for _ in 0..6 {
+            st.apply(&FaultEvent::DeviceFailure { device: 0 }).unwrap();
+        }
+        assert_eq!(st.cluster().num_devices(), 2);
+        assert_eq!(
+            st.apply(&FaultEvent::DeviceFailure { device: 0 }),
+            Err(FaultSkip::LastDevices)
+        );
+    }
+
+    #[test]
+    fn slowdown_keeps_link_table_intact() {
+        let c = paper_testbed_8gpu();
+        let mut st = ClusterState::new(c.clone());
+        st.apply(&FaultEvent::DeviceSlowdown {
+            device: 0,
+            factor: 0.5,
+        })
+        .unwrap();
+        assert_eq!(st.cluster().device(DeviceId(0)).speed_factor, 0.5);
+        assert_eq!(st.cluster().num_links(), c.num_links());
+    }
+}

@@ -153,6 +153,36 @@ pub fn diff(before: &ReportDigest, after: &ReportDigest) -> ExplainDiff {
     d
 }
 
+/// A coarse digest built straight from one simulated iteration, without
+/// running the full critical-path attribution. The time-breakdown
+/// fields use the simulator's flat accounting (bottleneck-GPU busy time
+/// for compute, link-active union for transfer, the remainder as idle;
+/// no collective split), so quick digests are comparable with each
+/// other — which is what the elastic runtime needs to [`diff`] the same
+/// fault timeline under different repair policies — but not with
+/// digests from full explain reports.
+pub fn quick_digest(model: &str, report: &heterog_sim::SimReport) -> ReportDigest {
+    let makespan = report.iteration_time;
+    let util = |busy: f64| {
+        if makespan.is_nan() || makespan <= 0.0 {
+            0.0
+        } else {
+            busy / makespan
+        }
+    };
+    ReportDigest {
+        model: model.to_string(),
+        makespan,
+        compute: report.computation_time,
+        collective: 0.0,
+        transfer: report.communication_time,
+        idle: (makespan - report.computation_time).max(0.0),
+        mean_gpu_utilization: report.mean_gpu_utilization(),
+        device_utilization: report.gpu_busy.iter().map(|&b| util(b)).collect(),
+        oom: report.memory.any_oom(),
+    }
+}
+
 /// Parses a digest back out of an explain report's JSON artifact (the
 /// format written by [`crate::render::to_json`]).
 pub fn digest_from_json(json: &str) -> Result<ReportDigest, String> {

@@ -40,7 +40,9 @@ pub use attribution::{
     attribute, device_rows, stragglers, Attribution, DeviceRow, LinkClassRow, ModelClassRow,
     StragglerReport, StrategyMix,
 };
-pub use diff::{diff, digest_from_json, render_diff_text, DiffEntry, ExplainDiff, ReportDigest};
+pub use diff::{
+    diff, digest_from_json, quick_digest, render_diff_text, DiffEntry, ExplainDiff, ReportDigest,
+};
 pub use path::{critical_path, segment_kind, CriticalPath, PathEdge, PathSegment, SegmentKind};
 pub use render::{render_html, render_text, to_json};
 pub use whatif::{

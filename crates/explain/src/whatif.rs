@@ -18,6 +18,11 @@ use heterog_profile::GroundTruthCost;
 use heterog_sched::OrderPolicy;
 use heterog_sim::{simulate_into, SimReport, SimScratch};
 
+// The perturbation operators started here and moved to
+// `heterog_strategies::repair` when the elastic runtime needed them for
+// plan repair; re-exported so existing callers keep their paths.
+pub use heterog_strategies::repair::{strategy_without_device, switch_comm};
+
 /// One concrete perturbation of the deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Intervention {
@@ -81,16 +86,16 @@ impl Intervention {
         policy: &OrderPolicy,
     ) -> (Cluster, Strategy, OrderPolicy) {
         match self {
-            Intervention::ScaleLinkClass { kind, factor } => {
-                let mut c = cluster.clone();
-                c.scale_link_bandwidth(Some(*kind), *factor);
-                (c, strategy.clone(), policy.clone())
-            }
-            Intervention::UpgradeDevice { device, to } => {
-                let mut c = cluster.clone();
-                c.set_device_model(DeviceId(*device), *to);
-                (c, strategy.clone(), policy.clone())
-            }
+            Intervention::ScaleLinkClass { kind, factor } => (
+                cluster.with_scaled_link(Some(*kind), *factor),
+                strategy.clone(),
+                policy.clone(),
+            ),
+            Intervention::UpgradeDevice { device, to } => (
+                cluster.with_device_model(DeviceId(*device), *to),
+                strategy.clone(),
+                policy.clone(),
+            ),
             Intervention::RemoveDevice { device } => (
                 cluster.without_device(DeviceId(*device)),
                 strategy_without_device(strategy, *device as usize),
@@ -108,64 +113,6 @@ impl Intervention {
             }
         }
     }
-}
-
-/// Every data-parallel group switched to `to`; MP placements unchanged.
-pub fn switch_comm(strategy: &Strategy, to: CommMethod) -> Strategy {
-    let per_op = strategy
-        .per_op
-        .iter()
-        .map(|op| match op {
-            OpStrategy::Dp { replicas, .. } => OpStrategy::Dp {
-                replicas: replicas.clone(),
-                comm: to,
-            },
-            mp => mp.clone(),
-        })
-        .collect();
-    Strategy { per_op }
-}
-
-/// Remaps a strategy onto the cluster with device `dev` removed: replica
-/// counts for `dev` are dropped (the compiler re-splits the batch over
-/// the survivors), MP placements on `dev` fall back to device 0, and
-/// device indices above `dev` shift down.
-pub fn strategy_without_device(strategy: &Strategy, dev: usize) -> Strategy {
-    let per_op = strategy
-        .per_op
-        .iter()
-        .map(|op| match op {
-            OpStrategy::Mp(d) => {
-                let i = d.index();
-                let remapped = if i == dev {
-                    0
-                } else if i > dev {
-                    i - 1
-                } else {
-                    i
-                };
-                OpStrategy::Mp(DeviceId(remapped as u32))
-            }
-            OpStrategy::Dp { replicas, comm } => {
-                let mut r: Vec<u32> = replicas
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != dev)
-                    .map(|(_, &v)| v)
-                    .collect();
-                if !r.is_empty() && r.iter().sum::<u32>() == 0 {
-                    // Every replica lived on the removed device: keep the
-                    // op runnable on the first survivor.
-                    r[0] = 1;
-                }
-                OpStrategy::Dp {
-                    replicas: r,
-                    comm: *comm,
-                }
-            }
-        })
-        .collect();
-    Strategy { per_op }
 }
 
 /// The outcome of re-simulating one intervention.

@@ -18,8 +18,17 @@
 //! concurrent misses on the same key may both evaluate (the pipeline is
 //! deterministic, so both compute the identical value and the second
 //! insert is a no-op).
+//!
+//! The cache is bounded per *context* (one context = one
+//! graph/cluster-fingerprint/policy combination): the elastic runtime
+//! re-plans on a mutated cluster after every fault, and each mutation
+//! has a fresh fingerprint, so an unbounded cache would accumulate one
+//! dead context per fault forever. When the number of distinct contexts
+//! exceeds the capacity, the oldest-inserted context's entries are
+//! evicted wholesale. Hit/miss counters are monotone and unaffected by
+//! eviction (an evicted entry simply misses again).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -40,6 +49,10 @@ static CACHE_MISSES: heterog_telemetry::Counter = heterog_telemetry::Counter::ne
     "heterog_strategies_eval_cache_misses_total",
     "Strategy evaluations computed on cache miss",
 );
+static CACHE_EVICTIONS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_strategies_eval_cache_evicted_contexts_total",
+    "Whole evaluation contexts evicted when the cache hit capacity",
+);
 
 // Process-global totals across every cache instance, always on (not
 // gated on `HETEROG_TELEMETRY`) — surfaced by explain-report footers
@@ -54,15 +67,37 @@ pub(crate) fn global_cache_totals() -> (u64, u64) {
     )
 }
 
-/// A concurrent memo of strategy evaluations for one or more
-/// (graph, cluster) contexts.
+/// Contexts a default-constructed cache holds before evicting. One
+/// context per (graph, cluster fingerprint, order policy); a planner
+/// run uses one, an elastic run uses one per cluster mutation. 64 is
+/// far above any run in the repo while still bounding a fault-storm.
+pub const DEFAULT_CONTEXT_CAPACITY: usize = 64;
+
 #[derive(Debug, Default)]
-pub struct EvalCache {
+struct CacheInner {
     /// `hash(context, strategy)` -> strategies sharing that hash. The
     /// equality check on the stored strategy makes collisions harmless.
-    map: Mutex<HashMap<u64, Vec<(Strategy, Evaluation)>>>,
+    map: HashMap<u64, Vec<(Strategy, Evaluation)>>,
+    /// Every full key inserted under a given context, for eviction.
+    ctx_keys: HashMap<u64, Vec<u64>>,
+    /// Contexts in insertion order; front is evicted first.
+    ctx_order: VecDeque<u64>,
+}
+
+/// A concurrent, bounded memo of strategy evaluations for one or more
+/// (graph, cluster) contexts.
+#[derive(Debug)]
+pub struct EvalCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CONTEXT_CAPACITY)
+    }
 }
 
 /// 64-bit key context: what besides the strategy determines the result.
@@ -89,9 +124,28 @@ fn full_key(ctx: u64, strategy: &Strategy) -> u64 {
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty cache holding up to [`DEFAULT_CONTEXT_CAPACITY`]
+    /// contexts.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache bounded to `contexts` distinct
+    /// (graph, cluster, policy) contexts (minimum 1). When a new
+    /// context would exceed the bound, the oldest-inserted context's
+    /// entries are dropped.
+    pub fn with_capacity(contexts: usize) -> Self {
+        EvalCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: contexts.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum distinct contexts retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Cached [`crate::evaluate`]: rank-based order policy.
@@ -114,7 +168,8 @@ impl EvalCache {
         strategy: &Strategy,
         policy: &OrderPolicy,
     ) -> Evaluation {
-        let key = full_key(context_key(g, cluster, policy), strategy);
+        let ctx = context_key(g, cluster, policy);
+        let key = full_key(ctx, strategy);
         if let Some(hit) = self.lookup(key, strategy) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
@@ -128,17 +183,30 @@ impl EvalCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
         CACHE_MISSES.inc();
-        let mut map = self.map.lock().expect("eval cache poisoned");
-        let bucket = map.entry(key).or_default();
+        let mut inner = self.inner.lock().expect("eval cache poisoned");
+        if !inner.ctx_keys.contains_key(&ctx) {
+            while inner.ctx_order.len() >= self.capacity {
+                let oldest = inner.ctx_order.pop_front().expect("order tracks ctx_keys");
+                for k in inner.ctx_keys.remove(&oldest).unwrap_or_default() {
+                    inner.map.remove(&k);
+                }
+                CACHE_EVICTIONS.inc();
+            }
+            inner.ctx_order.push_back(ctx);
+        }
+        let bucket = inner.map.entry(key).or_default();
         if !bucket.iter().any(|(s, _)| s == strategy) {
             bucket.push((strategy.clone(), eval.clone()));
+            inner.ctx_keys.entry(ctx).or_default().push(key);
         }
         eval
     }
 
     fn lookup(&self, key: u64, strategy: &Strategy) -> Option<Evaluation> {
-        let map = self.map.lock().expect("eval cache poisoned");
-        map.get(&key)?
+        let inner = self.inner.lock().expect("eval cache poisoned");
+        inner
+            .map
+            .get(&key)?
             .iter()
             .find(|(s, _)| s == strategy)
             .map(|(_, e)| e.clone())
@@ -154,14 +222,24 @@ impl EvalCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Distinct strategies stored.
+    /// Distinct strategies currently stored (shrinks on eviction).
     pub fn len(&self) -> usize {
-        self.map
+        self.inner
             .lock()
             .expect("eval cache poisoned")
+            .map
             .values()
             .map(Vec::len)
             .sum()
+    }
+
+    /// Distinct (graph, cluster, policy) contexts currently resident.
+    pub fn contexts(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("eval cache poisoned")
+            .ctx_order
+            .len()
     }
 
     /// True when nothing is cached yet.
@@ -211,6 +289,7 @@ mod tests {
         cache.evaluate(&g, &c, &GroundTruthCost, &s1);
         assert_eq!((cache.hits(), cache.misses()), (3, 2));
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.contexts(), 1);
         assert!((cache.hit_rate() - 0.6).abs() < 1e-12);
     }
 
@@ -247,6 +326,7 @@ mod tests {
         let on_slow = cache.evaluate(&g, &slow, &GroundTruthCost, &s);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.contexts(), 2);
         assert!(
             on_slow.iteration_time > on_fast.iteration_time,
             "slow NIC must simulate slower: {} vs {}",
@@ -264,5 +344,39 @@ mod tests {
         cache.evaluate_with_policy(&g, &c, &GroundTruthCost, &s, &OrderPolicy::RankBased);
         cache.evaluate_with_policy(&g, &c, &GroundTruthCost, &s, &OrderPolicy::Fifo);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_context_and_keeps_counters_correct() {
+        let g = mobilenet();
+        let c1 = uniform_cluster(GpuModel::TeslaV100, 4, 4, 10e9);
+        let c2 = uniform_cluster(GpuModel::TeslaV100, 4, 4, 5e9);
+        let c3 = uniform_cluster(GpuModel::TeslaV100, 4, 4, 1e9);
+        let cache = EvalCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let s = Strategy::even(g.len(), &c1, CommMethod::AllReduce);
+
+        cache.evaluate(&g, &c1, &GroundTruthCost, &s); // miss, ctx1 in
+        cache.evaluate(&g, &c2, &GroundTruthCost, &s); // miss, ctx2 in
+        assert_eq!(cache.contexts(), 2);
+        cache.evaluate(&g, &c3, &GroundTruthCost, &s); // miss, evicts ctx1
+        assert_eq!(cache.contexts(), 2);
+        assert_eq!(cache.len(), 2, "evicted context's entries are gone");
+
+        // ctx2 and ctx3 survived: both hit.
+        cache.evaluate(&g, &c2, &GroundTruthCost, &s);
+        cache.evaluate(&g, &c3, &GroundTruthCost, &s);
+        assert_eq!((cache.hits(), cache.misses()), (2, 3));
+
+        // ctx1 was evicted: same inputs miss again, and the fresh value
+        // still equals a direct evaluation (eviction never corrupts).
+        let fresh = crate::evaluate(&g, &c1, &GroundTruthCost, &s);
+        let re = cache.evaluate(&g, &c1, &GroundTruthCost, &s);
+        assert_eq!((cache.hits(), cache.misses()), (2, 4));
+        assert_eq!(re.iteration_time.to_bits(), fresh.iteration_time.to_bits());
+        // Re-inserting ctx1 evicted the then-oldest ctx2.
+        assert_eq!(cache.contexts(), 2);
+        cache.evaluate(&g, &c2, &GroundTruthCost, &s);
+        assert_eq!((cache.hits(), cache.misses()), (2, 5));
     }
 }

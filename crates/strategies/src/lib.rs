@@ -21,6 +21,7 @@ pub mod grouping;
 pub mod hetpipe;
 pub mod planner;
 pub mod post;
+pub mod repair;
 
 pub use baselines::{CpArPlanner, CpPsPlanner, EvArPlanner, EvPsPlanner, HorovodPlanner};
 pub use cache::EvalCache;
@@ -32,3 +33,6 @@ pub use grouping::{group_ops, Grouping};
 pub use hetpipe::HetPipePlanner;
 pub use planner::Planner;
 pub use post::PostPlanner;
+pub use repair::{
+    migrate_replicas, rebalance_replicas, strategy_without_device, switch_comm, DeviceMap,
+};

@@ -1,0 +1,416 @@
+//! Plan-repair operators: remap a Part-I strategy onto a mutated
+//! cluster without re-running the planner.
+//!
+//! These are the building blocks of `heterog-elastic`'s repair policies
+//! (and of `heterog-explain`'s what-if perturbations, which predate them
+//! and now share the implementation):
+//!
+//! * [`strategy_without_device`] — drop a removed device's replicas and
+//!   shift indices (the what-if `RemoveDevice` semantics: survivors keep
+//!   their counts, the batch re-splits over fewer replicas).
+//! * [`migrate_replicas`] — the elastic `MigrateReplicas` semantics:
+//!   evict replicas from removed devices and redistribute the *same
+//!   total* proportionally to the survivors' effective compute power.
+//! * [`rebalance_replicas`] — re-split every DP op's replica total over
+//!   all devices proportionally to effective power (used after
+//!   slowdowns and late joins, where no device disappeared but the
+//!   power distribution changed).
+//! * [`switch_comm`] — flip every DP group's gradient-aggregation
+//!   method (the `CollectiveFallback` building block).
+//!
+//! All operators are pure and deterministic; every result satisfies
+//! `Strategy::validate` on the target cluster.
+
+use heterog_cluster::{Cluster, DeviceId};
+use heterog_compile::{CommMethod, OpStrategy, Strategy};
+
+/// How device ids moved when the cluster changed shape: `map[old]` is
+/// the surviving device's new id, or `None` if `old` was removed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceMap {
+    map: Vec<Option<u32>>,
+    new_len: usize,
+}
+
+impl DeviceMap {
+    /// No topology change (`m` devices keep their ids). Used for faults
+    /// that change speed, not shape (slowdowns, link degradation).
+    pub fn identity(m: usize) -> Self {
+        DeviceMap {
+            map: (0..m as u32).map(Some).collect(),
+            new_len: m,
+        }
+    }
+
+    /// Device `removed` is gone; higher ids shift down by one (the
+    /// contiguity rule of `Cluster::without_device`).
+    pub fn removal(old_len: usize, removed: usize) -> Self {
+        assert!(removed < old_len, "removed device {removed} out of range");
+        let map = (0..old_len)
+            .map(|i| match i.cmp(&removed) {
+                std::cmp::Ordering::Less => Some(i as u32),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(i as u32 - 1),
+            })
+            .collect();
+        DeviceMap {
+            map,
+            new_len: old_len - 1,
+        }
+    }
+
+    /// A device joined with the highest id; existing ids are unchanged
+    /// (the `Cluster::with_joined_device` rule).
+    pub fn join(old_len: usize) -> Self {
+        DeviceMap {
+            map: (0..old_len as u32).map(Some).collect(),
+            new_len: old_len + 1,
+        }
+    }
+
+    /// Where device `old` lives now (`None` = removed).
+    pub fn get(&self, old: usize) -> Option<u32> {
+        self.map.get(old).copied().flatten()
+    }
+
+    /// Device count before the change.
+    pub fn old_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Device count after the change.
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// True when no device moved or disappeared and none joined.
+    pub fn is_identity(&self) -> bool {
+        self.new_len == self.map.len()
+            && self
+                .map
+                .iter()
+                .enumerate()
+                .all(|(i, d)| *d == Some(i as u32))
+    }
+}
+
+/// The device with the highest effective throughput (ties break toward
+/// the lowest id) — where orphaned MP placements land.
+fn strongest_device(cluster: &Cluster) -> DeviceId {
+    let mut best = 0usize;
+    let mut best_power = f64::NEG_INFINITY;
+    for (i, d) in cluster.devices().iter().enumerate() {
+        let p = d.effective_tflops();
+        if p > best_power {
+            best_power = p;
+            best = i;
+        }
+    }
+    DeviceId(best as u32)
+}
+
+/// Splits `total` into `weights.len()` integer shares proportional to
+/// `weights` (largest-remainder rounding, ties toward lower indices).
+/// Deterministic; shares sum exactly to `total`.
+fn proportional_shares(total: u32, weights: &[f64]) -> Vec<u32> {
+    let sum: f64 = weights.iter().sum();
+    if total == 0 || sum <= 0.0 || weights.is_empty() {
+        return vec![0; weights.len()];
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+    let mut shares: Vec<u32> = exact.iter().map(|e| e.floor() as u32).collect();
+    let assigned: u32 = shares.iter().sum();
+    // Hand the leftover replicas to the largest fractional parts.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    for &i in order.iter().take((total - assigned) as usize) {
+        shares[i] += 1;
+    }
+    shares
+}
+
+/// Evicts replicas from devices the map removed and redistributes the
+/// *same total* over the surviving devices proportionally to their
+/// effective compute power; surviving devices keep their own replicas.
+/// MP placements on removed devices move to the strongest survivor.
+/// DP vectors are sized for `cluster` (zeros for freshly joined
+/// devices — use [`rebalance_replicas`] to shift load onto them).
+pub fn migrate_replicas(strategy: &Strategy, map: &DeviceMap, cluster: &Cluster) -> Strategy {
+    let new_m = cluster.num_devices();
+    assert_eq!(
+        map.new_len(),
+        new_m,
+        "device map targets {} devices but the cluster has {new_m}",
+        map.new_len()
+    );
+    let powers: Vec<f64> = cluster
+        .devices()
+        .iter()
+        .map(|d| d.effective_tflops())
+        .collect();
+    let per_op = strategy
+        .per_op
+        .iter()
+        .map(|op| match op {
+            OpStrategy::Mp(d) => match map.get(d.index()) {
+                Some(n) => OpStrategy::Mp(DeviceId(n)),
+                None => OpStrategy::Mp(strongest_device(cluster)),
+            },
+            OpStrategy::Dp { replicas, comm } => {
+                let mut kept = vec![0u32; new_m];
+                let mut lost = 0u32;
+                for (i, &r) in replicas.iter().enumerate() {
+                    match map.get(i) {
+                        Some(n) => kept[n as usize] += r,
+                        None => lost += r,
+                    }
+                }
+                if lost > 0 {
+                    // Redistribute evicted replicas by survivor power.
+                    let extra = proportional_shares(lost, &powers);
+                    for (k, e) in kept.iter_mut().zip(&extra) {
+                        *k += e;
+                    }
+                    // Rounding can strand everything on zero only when
+                    // the op had no survivors and no power-weighted
+                    // shares — keep it runnable regardless.
+                    if kept.iter().sum::<u32>() == 0 {
+                        kept[strongest_device(cluster).index()] = lost.max(1);
+                    }
+                }
+                OpStrategy::Dp {
+                    replicas: kept,
+                    comm: *comm,
+                }
+            }
+        })
+        .collect();
+    Strategy { per_op }
+}
+
+/// Re-splits every DP op's replica total over all of `cluster`'s
+/// devices proportionally to effective compute power (the CP rule
+/// applied to the *current* runtime speeds). MP placements are kept
+/// (remapped through `map` when the shape changed). Guarantees at
+/// least one replica per DP op.
+pub fn rebalance_replicas(strategy: &Strategy, map: &DeviceMap, cluster: &Cluster) -> Strategy {
+    let powers: Vec<f64> = cluster
+        .devices()
+        .iter()
+        .map(|d| d.effective_tflops())
+        .collect();
+    let per_op = strategy
+        .per_op
+        .iter()
+        .map(|op| match op {
+            OpStrategy::Mp(d) => match map.get(d.index()) {
+                Some(n) => OpStrategy::Mp(DeviceId(n)),
+                None => OpStrategy::Mp(strongest_device(cluster)),
+            },
+            OpStrategy::Dp { replicas, comm } => {
+                let total = replicas.iter().sum::<u32>().max(1);
+                let mut shares = proportional_shares(total, &powers);
+                if shares.iter().sum::<u32>() == 0 {
+                    shares[strongest_device(cluster).index()] = total;
+                }
+                OpStrategy::Dp {
+                    replicas: shares,
+                    comm: *comm,
+                }
+            }
+        })
+        .collect();
+    Strategy { per_op }
+}
+
+/// Every data-parallel group switched to `to`; MP placements unchanged.
+pub fn switch_comm(strategy: &Strategy, to: CommMethod) -> Strategy {
+    let per_op = strategy
+        .per_op
+        .iter()
+        .map(|op| match op {
+            OpStrategy::Dp { replicas, .. } => OpStrategy::Dp {
+                replicas: replicas.clone(),
+                comm: to,
+            },
+            mp => mp.clone(),
+        })
+        .collect();
+    Strategy { per_op }
+}
+
+/// Remaps a strategy onto the cluster with device `dev` removed: replica
+/// counts for `dev` are dropped (the compiler re-splits the batch over
+/// the survivors), MP placements on `dev` fall back to device 0, and
+/// device indices above `dev` shift down.
+///
+/// This is the what-if `RemoveDevice` semantics (capacity simply
+/// shrinks); the elastic runtime's `MigrateReplicas` policy uses
+/// [`migrate_replicas`] instead, which preserves the replica total.
+pub fn strategy_without_device(strategy: &Strategy, dev: usize) -> Strategy {
+    let per_op = strategy
+        .per_op
+        .iter()
+        .map(|op| match op {
+            OpStrategy::Mp(d) => {
+                let i = d.index();
+                let remapped = if i == dev {
+                    0
+                } else if i > dev {
+                    i - 1
+                } else {
+                    i
+                };
+                OpStrategy::Mp(DeviceId(remapped as u32))
+            }
+            OpStrategy::Dp { replicas, comm } => {
+                let mut r: Vec<u32> = replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != dev)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if !r.is_empty() && r.iter().sum::<u32>() == 0 {
+                    // Every replica lived on the removed device: keep the
+                    // op runnable on the first survivor.
+                    r[0] = 1;
+                }
+                OpStrategy::Dp {
+                    replicas: r,
+                    comm: *comm,
+                }
+            }
+        })
+        .collect();
+    Strategy { per_op }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+
+    #[test]
+    fn device_map_shapes() {
+        let id = DeviceMap::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.get(3), Some(3));
+
+        let rm = DeviceMap::removal(4, 1);
+        assert!(!rm.is_identity());
+        assert_eq!(rm.new_len(), 3);
+        assert_eq!(rm.get(0), Some(0));
+        assert_eq!(rm.get(1), None);
+        assert_eq!(rm.get(2), Some(1));
+        assert_eq!(rm.get(3), Some(2));
+
+        let join = DeviceMap::join(4);
+        assert!(!join.is_identity());
+        assert_eq!(join.new_len(), 5);
+        assert_eq!(join.get(3), Some(3));
+        assert_eq!(join.get(4), None, "the joined device has no old id");
+    }
+
+    #[test]
+    fn proportional_shares_sum_exactly() {
+        let shares = proportional_shares(7, &[2.0, 1.0, 1.0]);
+        assert_eq!(shares.iter().sum::<u32>(), 7);
+        assert!(shares[0] >= shares[1]);
+        assert_eq!(proportional_shares(0, &[1.0, 1.0]), vec![0, 0]);
+        assert_eq!(proportional_shares(3, &[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn migrate_preserves_replica_totals() {
+        let c = paper_testbed_8gpu();
+        let s = Strategy::proportional(10, &c, CommMethod::AllReduce);
+        let total_before: u32 = match &s.per_op[0] {
+            OpStrategy::Dp { replicas, .. } => replicas.iter().sum(),
+            _ => unreachable!(),
+        };
+        let smaller = c.without_device(DeviceId(0));
+        let map = DeviceMap::removal(8, 0);
+        let migrated = migrate_replicas(&s, &map, &smaller);
+        assert_eq!(migrated.validate(&smaller), Ok(()));
+        for op in &migrated.per_op {
+            if let OpStrategy::Dp { replicas, .. } = op {
+                assert_eq!(replicas.len(), 7);
+                assert_eq!(
+                    replicas.iter().sum::<u32>(),
+                    total_before,
+                    "migration must preserve the replica total"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_moves_orphaned_mp_to_strongest_survivor() {
+        let c = paper_testbed_8gpu();
+        let s = Strategy::uniform(3, OpStrategy::Mp(DeviceId(0)));
+        let smaller = c.without_device(DeviceId(0));
+        let map = DeviceMap::removal(8, 0);
+        let migrated = migrate_replicas(&s, &map, &smaller);
+        assert_eq!(migrated.validate(&smaller), Ok(()));
+        match &migrated.per_op[0] {
+            // Old G1 (the other V100) is now G0 — the strongest survivor.
+            OpStrategy::Mp(d) => assert_eq!(*d, DeviceId(0)),
+            _ => panic!("MP must stay MP"),
+        }
+    }
+
+    #[test]
+    fn rebalance_shifts_load_off_throttled_device() {
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(5, &c, CommMethod::AllReduce);
+        // G0 at 1/8 speed: proportional rebalancing should strip it.
+        let throttled = c.with_scaled_device(DeviceId(0), 0.125);
+        let map = DeviceMap::identity(8);
+        let rb = rebalance_replicas(&s, &map, &throttled);
+        assert_eq!(rb.validate(&throttled), Ok(()));
+        for op in &rb.per_op {
+            if let OpStrategy::Dp { replicas, .. } = op {
+                assert_eq!(replicas.iter().sum::<u32>(), 8);
+                assert!(
+                    replicas[0] == 0,
+                    "a device at 1/8 speed should lose its replica share, got {replicas:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_uses_a_joined_device() {
+        let c = paper_testbed_8gpu();
+        let s = Strategy::proportional(4, &c, CommMethod::Ps);
+        let bigger = c.with_joined_device(0, heterog_cluster::GpuModel::TeslaV100);
+        let map = DeviceMap::join(8);
+        let rb = rebalance_replicas(&s, &map, &bigger);
+        assert_eq!(rb.validate(&bigger), Ok(()));
+        for op in &rb.per_op {
+            if let OpStrategy::Dp { replicas, .. } = op {
+                assert_eq!(replicas.len(), 9);
+                assert!(
+                    replicas[8] > 0,
+                    "a joined V100 must receive replicas, got {replicas:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn switch_comm_flips_every_dp_group() {
+        let c = paper_testbed_8gpu();
+        let s = Strategy::even(6, &c, CommMethod::Ps);
+        let flipped = switch_comm(&s, CommMethod::AllReduce);
+        for op in &flipped.per_op {
+            if let OpStrategy::Dp { comm, .. } = op {
+                assert_eq!(*comm, CommMethod::AllReduce);
+            }
+        }
+    }
+}

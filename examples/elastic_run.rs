@@ -1,0 +1,57 @@
+//! Survive a failure: run a plan elastically through a fault timeline.
+//!
+//! The planner assumes a fixed cluster; this example breaks that
+//! assumption mid-run — a GPU dies at iteration 10, the PCIe fabric
+//! degrades at 25 and recovers at 35, and a spare V100 joins at 40 —
+//! and compares how the three repair policies cope:
+//!
+//! * `full-replan` — re-run the whole planner on the mutated cluster
+//!   (best repaired throughput, most recovery effort),
+//! * `migrate-replicas` — redistribute the dead GPU's replicas over the
+//!   survivors proportionally to their compute power (no search),
+//! * `collective-fallback` — also re-pick PS vs ring all-reduce for the
+//!   degraded links.
+//!
+//! Run: `cargo run --release -p heterog --example elastic_run`
+
+use heterog::elastic::{render_policy_comparison, ElasticOptions, FaultScript, RepairPolicy};
+use heterog::{get_runner, HeterogConfig};
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+
+fn main() {
+    let model_func = || ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+    let runner = get_runner(model_func, paper_testbed_8gpu(), HeterogConfig::quick());
+
+    // A scripted timeline (use `FaultScript::generate(seed, ...)` for a
+    // random-but-deterministic one).
+    let script = FaultScript::parse("10:fail:3,25:link:pcie:0.25,35:linkup:pcie,40:join:0:v100")
+        .expect("valid script");
+
+    let mut reports = Vec::new();
+    for policy in RepairPolicy::ALL {
+        let outcome = runner.elastic_run(
+            &script,
+            &ElasticOptions {
+                iterations: 50,
+                policy,
+                ..ElasticOptions::default()
+            },
+        );
+        // The repaired plan never references the removed device.
+        outcome
+            .strategy
+            .validate(&outcome.cluster)
+            .expect("repaired strategy is deployable");
+        println!("{}", outcome.report.summary());
+        reports.push(outcome.report);
+    }
+
+    // Full text report for the cheapest policy to read end-to-end.
+    println!();
+    print!("{}", reports[1].render_text());
+
+    // Cross-policy diff (reuses heterog-explain's digest diff).
+    println!();
+    print!("{}", render_policy_comparison(&reports[0], &reports[1]));
+}

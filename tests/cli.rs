@@ -1,0 +1,72 @@
+//! End-to-end tests of the `heterog-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_heterog-cli"))
+}
+
+#[test]
+fn unknown_model_error_lists_valid_names() {
+    let out = cli()
+        .args(["plan", "--model", "alexnet"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown model \"alexnet\""), "stderr: {err}");
+    for name in ["vgg19", "resnet200", "mobilenet", "bert", "xlnet"] {
+        assert!(err.contains(name), "missing {name} in: {err}");
+    }
+}
+
+#[test]
+fn elastic_runs_scripted_fault_and_writes_json() {
+    let json_path = std::env::temp_dir().join("heterog_cli_elastic_test.json");
+    let out = cli()
+        .args([
+            "elastic",
+            "--model",
+            "mobilenet",
+            "--planner",
+            "CP-AR",
+            "--iters",
+            "20",
+            "--faults",
+            "5:fail:2,12:link:nicout:0.5",
+            "--policy",
+            "migrate-replicas",
+            "--json-out",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("elastic[mobilenet_v2/migrate-replicas]"),
+        "missing summary line in: {stdout}"
+    );
+    assert!(stdout.contains("fail:2"), "missing fault marker: {stdout}");
+    let json = std::fs::read_to_string(&json_path).expect("json artifact");
+    std::fs::remove_file(&json_path).ok();
+    assert!(json.contains("\"policy\": \"migrate-replicas\""));
+    assert!(json.contains("\"final_devices\": 7"));
+}
+
+#[test]
+fn elastic_rejects_bad_policy_and_bad_script() {
+    let out = cli()
+        .args(["elastic", "--model", "mobilenet", "--policy", "reboot"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown repair policy"));
+
+    let out = cli()
+        .args(["elastic", "--model", "mobilenet", "--faults", "nonsense"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+}

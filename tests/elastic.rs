@@ -1,0 +1,144 @@
+//! Integration and property tests for the elastic runtime: repaired
+//! plans never reference removed devices, stay simulable and
+//! OOM-checked under arbitrary fault timelines, runs are deterministic
+//! per seed, and every zoo model survives a 50-iteration faulted run.
+
+use proptest::prelude::*;
+
+use heterog::elastic::{elastic_run, ElasticOptions, FaultScript, RepairPolicy};
+use heterog::{get_runner, HeterogConfig};
+use heterog_cluster::paper_testbed_8gpu;
+use heterog_compile::{compile, OpStrategy};
+use heterog_graph::{BenchmarkModel, Graph, ModelSpec};
+use heterog_profile::GroundTruthCost;
+use heterog_sched::OrderPolicy;
+use heterog_sim::simulate;
+use heterog_strategies::CpArPlanner;
+
+fn small_model() -> Graph {
+    ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under any generated fault timeline and any repair policy, the
+    /// surviving strategy is valid for the surviving cluster — it never
+    /// places a replica or a PS shard (a DP column) or an MP instance
+    /// on a removed device — and it still compiles into a simulable,
+    /// OOM-checked plan.
+    #[test]
+    fn repaired_plans_survive_any_fault_script(seed in 0u64..1000, policy_idx in 0usize..3) {
+        let g = small_model();
+        let cluster = paper_testbed_8gpu();
+        let script = FaultScript::generate(seed, 12, 3, &cluster);
+        let opts = ElasticOptions {
+            iterations: 12,
+            policy: RepairPolicy::ALL[policy_idx],
+            ..ElasticOptions::default()
+        };
+        let out = elastic_run(&g, &cluster, &GroundTruthCost, &CpArPlanner, &script, &opts);
+
+        // The invariant: no reference to a removed device survives.
+        prop_assert!(out.strategy.validate(&out.cluster).is_ok());
+        let m = out.cluster.num_devices();
+        for s in &out.strategy.per_op {
+            match s {
+                OpStrategy::Mp(d) => prop_assert!(d.index() < m),
+                OpStrategy::Dp { replicas, .. } => {
+                    prop_assert_eq!(replicas.len(), m);
+                    prop_assert!(replicas.iter().sum::<u32>() >= 1);
+                }
+            }
+        }
+
+        // The surviving plan is simulable and OOM-checked end to end.
+        let tg = compile(&g, &out.cluster, &GroundTruthCost, &out.strategy);
+        let report = simulate(&tg, &out.cluster.memory_capacities(), &OrderPolicy::RankBased);
+        prop_assert!(report.iteration_time.is_finite() && report.iteration_time > 0.0);
+        prop_assert_eq!(report.memory.peak_bytes.len(), m as usize);
+        prop_assert_eq!(out.report.final_oom, report.memory.any_oom());
+
+        // Bookkeeping is consistent.
+        prop_assert_eq!(out.report.makespans.len(), 12);
+        prop_assert_eq!(out.report.final_devices, m as u32);
+        prop_assert!(out.report.makespans.iter().all(|t| t.is_finite() && *t > 0.0));
+    }
+}
+
+/// The same `--seed` produces a byte-identical report JSON, including
+/// through the `DistRunner` wiring (wall-clock never leaks in).
+#[test]
+fn identical_seeds_give_identical_report_json() {
+    let run = || {
+        let runner = get_runner(small_model, paper_testbed_8gpu(), HeterogConfig::quick());
+        let script = FaultScript::generate(7, 30, 3, &runner.cluster);
+        let opts = ElasticOptions {
+            iterations: 30,
+            policy: RepairPolicy::CollectiveFallback,
+            ..ElasticOptions::default()
+        };
+        runner.elastic_run(&script, &opts).report
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+    assert!(!a.to_json().is_empty());
+}
+
+/// Every zoo model completes a 50-iteration elastic run with at least
+/// two applied faults and ends with a deployable plan.
+#[test]
+fn every_zoo_model_survives_a_50_iteration_run() {
+    let cluster = paper_testbed_8gpu();
+    // Two structural faults plus a link wobble, all guaranteed to apply.
+    let script = FaultScript::parse("10:fail:1,25:link:nicout:0.5,40:slow:0:0.5").unwrap();
+    for m in BenchmarkModel::all() {
+        let g = ModelSpec::new(m, m.default_batch_8gpu()).build();
+        let opts = ElasticOptions {
+            iterations: 50,
+            policy: RepairPolicy::MigrateReplicas,
+            ..ElasticOptions::default()
+        };
+        let out = elastic_run(&g, &cluster, &GroundTruthCost, &CpArPlanner, &script, &opts);
+        assert_eq!(out.report.iterations, 50, "{m:?}");
+        assert_eq!(out.report.makespans.len(), 50, "{m:?}");
+        let applied = out.report.faults.iter().filter(|f| f.applied).count();
+        assert!(applied >= 2, "{m:?}: only {applied} faults applied");
+        assert!(out.strategy.validate(&out.cluster).is_ok(), "{m:?}");
+        assert_eq!(out.cluster.num_devices(), 7, "{m:?}");
+    }
+}
+
+/// Recovery accounting: a device failure shows up as a decision whose
+/// degraded makespan is at least the repaired one, and the time-lost
+/// ledger matches the makespan series.
+#[test]
+fn recovery_accounting_is_internally_consistent() {
+    let g = small_model();
+    let cluster = paper_testbed_8gpu();
+    let script = FaultScript::parse("10:fail:3").unwrap();
+    for policy in RepairPolicy::ALL {
+        let opts = ElasticOptions {
+            iterations: 30,
+            policy,
+            ..ElasticOptions::default()
+        };
+        let out = elastic_run(&g, &cluster, &GroundTruthCost, &CpArPlanner, &script, &opts);
+        let r = &out.report;
+        assert_eq!(r.decisions.len(), 1, "{policy}");
+        let d = &r.decisions[0];
+        assert_eq!(d.iteration, 10);
+        assert!(
+            d.degraded_makespan >= d.repaired_makespan - 1e-9,
+            "{policy}"
+        );
+        assert_eq!(d.devices_after, 7);
+        let sum: f64 = r.makespans.iter().sum();
+        assert!((sum - r.total_time).abs() < 1e-6, "{policy}");
+        assert!(
+            (r.time_lost - (r.total_time - 30.0 * r.baseline_makespan)).abs() < 1e-6,
+            "{policy}"
+        );
+    }
+}
