@@ -80,6 +80,10 @@ impl HeteroGPlanner {
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("four baselines");
         evals += uniform_actions.len() as u64;
+        heterog_events::emit_with(|| heterog_events::EventKind::RunStarted {
+            phase: "plan-search".into(),
+            total_units: (self.passes * n) as u64,
+        });
 
         // Visit groups heaviest-first.
         let mut order: Vec<usize> = (0..n).collect();
@@ -90,7 +94,8 @@ impl HeteroGPlanner {
             .collect();
         order.sort_by(|&a, &b| group_cost[b].total_cmp(&group_cost[a]));
 
-        for _ in 0..self.passes {
+        let mut visited: u64 = 0;
+        for pass in 0..self.passes {
             let mut improved = false;
             for &gi in &order {
                 let current_action = actions[gi];
@@ -115,6 +120,19 @@ impl HeteroGPlanner {
                     cur_obj = best.1;
                     improved = true;
                 }
+                visited += 1;
+                heterog_events::emit_with(|| {
+                    let stats = heterog_strategies::eval_stats();
+                    heterog_events::EventKind::SearchIteration {
+                        pass: pass as u64,
+                        visited,
+                        evals,
+                        best_makespan: cur_obj,
+                        candidate_makespan: best.1,
+                        cache_hits: stats.cache_hits,
+                        cache_misses: stats.cache_misses,
+                    }
+                });
             }
             if !improved {
                 break;

@@ -251,6 +251,10 @@ impl RlAgent {
         let mut total_evals: u64 = 0;
         let k = self.cfg.rollout_k.max(1);
         let sync_cost = SyncCost(cost);
+        heterog_events::emit_with(|| heterog_events::EventKind::RunStarted {
+            phase: "rl-train".into(),
+            total_units: self.cfg.episodes as u64,
+        });
         for ep in 0..self.cfg.episodes {
             let ctx = &mut ctxs[ep % graphs.len()];
             let logits = net.forward(&ctx.features, &ctx.edges, &ctx.grouping);
@@ -328,6 +332,15 @@ impl RlAgent {
                 EPISODE_BASELINE.set(ctx.baseline);
                 EPISODE_ENTROPY.set(mean_row_entropy(&probs));
             }
+            heterog_events::emit_with(|| heterog_events::EventKind::RlEpisode {
+                episode: ep as u64,
+                reward,
+                baseline: ctx.baseline,
+                entropy: mean_row_entropy(&probs),
+                best_time: ctx.record.best_time,
+                cache_hits: cache.hits(),
+                cache_misses: cache.misses(),
+            });
 
             // Policy-gradient step: sum the per-candidate gradients and
             // average. Normalizing by group count keeps graphs of

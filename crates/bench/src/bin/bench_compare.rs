@@ -1,0 +1,112 @@
+//! Bench-regression gate: diff a fresh `BENCH_eval_throughput.json`
+//! against the committed baseline and fail on a large regression.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--max-regression 0.25]
+//! ```
+//!
+//! Compares the throughput fields (`serial_evals_per_sec`,
+//! `batched_cached_evals_per_sec`) and the derived `speedup`. A fresh
+//! value more than `--max-regression` (default 25%) below the baseline
+//! exits nonzero with a per-field report; improvements and small noise
+//! pass. CI runs this as a *non-blocking* step — machine throughput
+//! varies wildly across runners, so the gate informs rather than
+//! merges-blocks, but the artifact diff is printed either way.
+//!
+//! Run: `cargo run --release -p heterog-bench --bin bench_compare -- \
+//!       BENCH_eval_throughput.json fresh.json`
+
+use std::process::ExitCode;
+
+/// Throughput-style fields where *lower is worse*: gate on these.
+const GATED: [&str; 3] = [
+    "serial_evals_per_sec",
+    "batched_cached_evals_per_sec",
+    "speedup",
+];
+
+/// Context fields echoed in the report but never gated.
+const INFORMATIONAL: [&str; 4] = ["total_evals", "threads", "cache_hit_rate", "cache_misses"];
+
+fn load(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn num(v: &serde_json::Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(serde_json::Value::as_f64)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.25_f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-regression" {
+            let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                eprintln!("bad --max-regression value");
+                return ExitCode::FAILURE;
+            };
+            max_regression = v;
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--max-regression 0.25]");
+        return ExitCode::FAILURE;
+    };
+
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("bench compare: {baseline_path} (baseline) vs {fresh_path} (fresh)");
+    println!(
+        "{:<32}{:>14}{:>14}{:>10}  verdict",
+        "field", "baseline", "fresh", "delta"
+    );
+
+    let mut failed = false;
+    for key in GATED {
+        let (Some(b), Some(f)) = (num(&baseline, key), num(&fresh, key)) else {
+            println!("{key:<32}{:>14}{:>14}{:>10}  MISSING (fail)", "?", "?", "?");
+            failed = true;
+            continue;
+        };
+        let delta = if b != 0.0 { (f - b) / b } else { 0.0 };
+        let regressed = delta < -max_regression;
+        println!(
+            "{key:<32}{b:>14.3}{f:>14.3}{:>9.1}%  {}",
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= regressed;
+    }
+    for key in INFORMATIONAL {
+        if let (Some(b), Some(f)) = (num(&baseline, key), num(&fresh, key)) {
+            println!("{key:<32}{b:>14.3}{f:>14.3}{:>10}  (info)", "");
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "FAIL: throughput regressed more than {:.0}% vs committed baseline",
+            max_regression * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "PASS: no gated field regressed more than {:.0}%",
+            max_regression * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -6,6 +6,7 @@
 //! heterog-cli explain --model vgg19 --batch 192 [--html-out report.html] [--json-out report.json]
 //! heterog-cli compare --model vgg19 --batch 192 [--cluster spec.json]
 //! heterog-cli trace   --model bert --batch 48 --out trace.json
+//! heterog-cli train   --model mobilenet --episodes 50 --seed 7
 //! heterog-cli elastic --model vgg19 --iters 50 --seed 42 --policy migrate-replicas
 //! heterog-cli models
 //! heterog-cli cluster-template
@@ -14,10 +15,19 @@
 //! Without `--cluster`, the paper's 8-GPU testbed is used. Argument
 //! parsing is hand-rolled (no CLI-framework dependency) per the
 //! workspace's minimal-deps policy.
+//!
+//! `plan`, `train` and `elastic` accept `--progress` (live status line
+//! on stderr), `--events-out <file.jsonl>` (structured event stream with
+//! a run-manifest header) and `--flight-out <file.json>` (crash flight
+//! recorder, also dumped automatically when an elastic fault fires).
+//! All three observe the run without changing its results: stdout bytes
+//! are identical with or without them.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
+use heterog::events as ev;
 use heterog::{get_runner, HeterogConfig};
 use heterog_cluster::{paper_testbed_8gpu, Cluster, ClusterSpec};
 use heterog_graph::{BenchmarkModel, ModelSpec};
@@ -34,6 +44,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&flags),
         "compare" => cmd_compare(&flags),
         "trace" => cmd_trace(&flags),
+        "train" => cmd_train(&flags),
         "elastic" => cmd_elastic(&flags),
         "models" => cmd_models(),
         "cluster-template" => {
@@ -62,6 +73,7 @@ USAGE:
   heterog-cli explain --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner <name>] [--top-k N] [--no-whatif] [--html-out <file.html>] [--json-out <file.json>] [--diff-against <file.json>]
   heterog-cli compare --model <name> [--batch N] [--layers N] [--cluster spec.json]
   heterog-cli trace   --model <name> [--batch N] [--layers N] [--cluster spec.json] --out <file.json>
+  heterog-cli train   --model <name> [--batch N] [--layers N] [--cluster spec.json] [--episodes N] [--seed N] [--rollout-k N] [--groups N]
   heterog-cli elastic --model <name> [--batch N] [--cluster spec.json] [--planner <name>] [--iters N] [--policy full-replan|migrate-replicas|collective-fallback|compare] [--faults <script> | --seed N [--num-faults N]] [--json-out <file.json>]
   heterog-cli models                 list available benchmark models
   heterog-cli cluster-template       print a cluster-spec JSON template
@@ -70,6 +82,23 @@ OBSERVABILITY (plan):
   --metrics-out <file>  write all pipeline metrics in Prometheus text format
   --trace-out <file>    write the iteration timeline + host planning spans
                         as a Chrome/Perfetto trace
+
+LIVE EVENTS (plan, train, elastic):
+  --progress            live status line on stderr (~10 Hz): completion,
+                        best-makespan sparkline, evals/s, cache hit rate, ETA
+  --events-out <file>   stream every pipeline event as one JSON line, after
+                        a run-manifest header (model, cluster fingerprint,
+                        seed, argv) with monotone sequence numbers
+  --flight-out <file>   write the crash flight recorder (last events +
+                        manifest + telemetry) here; elastic writes it
+                        automatically when an injected fault applies
+  None of these change results: stdout is byte-identical either way.
+
+TRAIN:
+  --episodes N          REINFORCE episodes (default 50)
+  --seed N              sampling seed (default 0x5EED)
+  --rollout-k N         candidate rollouts per episode (default 1)
+  --groups N            operation groups (default 32)
 
 EXPLAIN:
   --top-k N             keep the N best what-if interventions (default 5)
@@ -150,30 +179,118 @@ fn parse_cluster(flags: &HashMap<String, String>) -> Result<Cluster, String> {
     }
 }
 
-fn config_for(flags: &HashMap<String, String>) -> HeterogConfig {
+const BASELINE_PLANNERS: [&str; 8] = [
+    "EV-PS", "EV-AR", "CP-PS", "CP-AR", "Horovod", "FlexFlow", "Post", "HetPipe",
+];
+
+fn config_for(flags: &HashMap<String, String>) -> Result<HeterogConfig, String> {
     let mut cfg = match flags.get("planner").map(String::as_str) {
         None | Some("heterog") | Some("HeteroG") => HeterogConfig::default(),
-        Some(name) => {
+        Some(name) if BASELINE_PLANNERS.contains(&name) => {
             // Leak one small string per process to satisfy the 'static
             // baseline-name API; fine for a CLI.
             HeterogConfig::baseline(Box::leak(name.to_string().into_boxed_str()))
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown planner {other:?} (valid: heterog, {})",
+                BASELINE_PLANNERS.join(", ")
+            ))
         }
     };
     if flags.contains_key("fifo") {
         cfg.order_scheduling = false;
     }
-    cfg
+    Ok(cfg)
+}
+
+/// A live-events session: holds the background sink pump while the
+/// command runs. [`EventsSession::finish`] drains and flushes it.
+struct EventsSession {
+    pump: Option<ev::EventPump>,
+    active: bool,
+}
+
+impl EventsSession {
+    fn finish(self) {
+        if let Some(p) = self.pump {
+            p.finish();
+        }
+    }
+}
+
+/// Enables the event bus, registers the run manifest, installs the
+/// panic-time flight recorder, and starts the `--events-out` /
+/// `--progress` sinks — but only when one of the live-events flags is
+/// present; otherwise the bus stays disabled (one relaxed atomic load
+/// per would-be event) and nothing changes.
+fn setup_events(
+    command: &str,
+    flags: &HashMap<String, String>,
+    spec: &ModelSpec,
+    cluster: &Cluster,
+    planner: &str,
+    seed: u64,
+) -> Result<EventsSession, String> {
+    let want_progress = flags.contains_key("progress");
+    let want_jsonl = flags.contains_key("events-out");
+    let want_flight = flags.contains_key("flight-out");
+    if !want_progress && !want_jsonl && !want_flight {
+        return Ok(EventsSession {
+            pump: None,
+            active: false,
+        });
+    }
+    ev::enable();
+    let manifest = ev::RunManifest {
+        command: command.to_string(),
+        argv: std::env::args().collect(),
+        model: spec.label(),
+        batch_size: spec.batch_size,
+        cluster_fingerprint: cluster.fingerprint(),
+        num_devices: cluster.num_devices() as u32,
+        planner: planner.to_string(),
+        seed,
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        started_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        events_capacity: ev::DEFAULT_CAPACITY,
+    };
+    ev::set_manifest(manifest.clone());
+    ev::install_panic_hook();
+    let mut sinks: Vec<Box<dyn ev::EventSink + Send>> = Vec::new();
+    if let Some(path) = flags.get("events-out") {
+        let sink = ev::JsonlSink::create(Path::new(path), &manifest)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        sinks.push(Box::new(sink));
+    }
+    if want_progress {
+        sinks.push(Box::new(ev::ProgressRenderer::new()));
+    }
+    let pump = if sinks.is_empty() {
+        None
+    } else {
+        Some(ev::EventPump::spawn(sinks))
+    };
+    Ok(EventsSession { pump, active: true })
 }
 
 fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
-    let cfg = config_for(flags);
+    let cfg = config_for(flags)?;
     // Telemetry is recorded only when an output asks for it, so the
     // default path keeps the zero-overhead no-op recorder.
     if flags.contains_key("metrics-out") || flags.contains_key("trace-out") {
         heterog_telemetry::enable();
     }
+    let planner_name = flags
+        .get("planner")
+        .map(String::as_str)
+        .unwrap_or("heterog");
+    let session = setup_events("plan", flags, &spec, &cluster, planner_name, 0)?;
     eprintln!(
         "planning {} on {} GPUs ...",
         spec.label(),
@@ -227,13 +344,28 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("trace:             written to {path} (open in Perfetto)");
     }
+    session.finish();
+    if let Some(path) = flags.get("flight-out") {
+        ev::dump_flight(Path::new(path), "requested")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("flight recorder written to {path}");
+    }
+    // A plan that overflows device memory would refuse to launch in a
+    // real deployment; scripts relying on the exit code must see that.
+    if stats.oom {
+        return Err(format!(
+            "plan overflows device memory (per-iteration {:.4} s); \
+             try a smaller --batch or a different --planner",
+            stats.per_iteration_s
+        ));
+    }
     Ok(())
 }
 
 fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
-    let cfg = config_for(flags);
+    let cfg = config_for(flags)?;
     let mut opts = heterog::explain::ExplainOptions::default();
     if let Some(k) = flags.get("top-k") {
         opts.top_k = k.parse().map_err(|_| format!("bad --top-k {k:?}"))?;
@@ -298,9 +430,78 @@ fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
     let out = flags.get("out").ok_or("--out <file.json> is required")?;
-    let runner = get_runner(|| spec.build(), cluster, config_for(flags));
+    let runner = get_runner(|| spec.build(), cluster, config_for(flags)?);
     std::fs::write(out, runner.trace_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("one-iteration timeline written to {out} (open in chrome://tracing)");
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    use heterog::agent::{RlAgent, TrainerConfig};
+    use heterog::profile::GroundTruthCost;
+    use heterog::strategies::evaluate;
+
+    let spec = parse_model(flags)?;
+    let cluster = parse_cluster(flags)?;
+    let mut cfg = TrainerConfig {
+        episodes: 50,
+        ..TrainerConfig::default()
+    };
+    if let Some(n) = flags.get("episodes") {
+        cfg.episodes = n.parse().map_err(|_| format!("bad --episodes {n:?}"))?;
+        if cfg.episodes == 0 {
+            return Err("--episodes must be at least 1".into());
+        }
+    }
+    if let Some(s) = flags.get("seed") {
+        cfg.seed = s.parse().map_err(|_| format!("bad --seed {s:?}"))?;
+    }
+    if let Some(k) = flags.get("rollout-k") {
+        cfg.rollout_k = k.parse().map_err(|_| format!("bad --rollout-k {k:?}"))?;
+        if cfg.rollout_k == 0 {
+            return Err("--rollout-k must be at least 1".into());
+        }
+    }
+    if let Some(g) = flags.get("groups") {
+        cfg.groups = g.parse().map_err(|_| format!("bad --groups {g:?}"))?;
+        if cfg.groups == 0 {
+            return Err("--groups must be at least 1".into());
+        }
+    }
+
+    let session = setup_events("train", flags, &spec, &cluster, "learned", cfg.seed)?;
+    eprintln!(
+        "training the policy for {} episodes on {} ({} GPUs) ...",
+        cfg.episodes,
+        spec.label(),
+        cluster.num_devices()
+    );
+    let g = spec.build();
+    let mut agent = RlAgent::new(cfg.clone());
+    let recs = agent.train(&[&g], &cluster, &GroundTruthCost);
+    let rec = recs.first().ok_or("trainer returned no record")?;
+
+    let learned = agent.plan(&g, &cluster, &GroundTruthCost);
+    let eval = evaluate(&g, &cluster, &GroundTruthCost, &learned);
+
+    println!("model:             {}", spec.label());
+    println!("episodes:          {}", rec.rewards.len());
+    println!(
+        "best sampled:      {:.4} s/iter (episode {})",
+        rec.best_time,
+        rec.best_episode + 1
+    );
+    println!("greedy policy:     {:.4} s/iter", eval.iteration_time);
+    println!("episodes to best:  {}", rec.episodes_to_within(1e-9).max(1));
+    session.finish();
+    if let Some(path) = flags.get("flight-out") {
+        ev::dump_flight(Path::new(path), "requested")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("flight recorder written to {path}");
+    }
+    if eval.oom {
+        return Err("learned plan overflows device memory".into());
+    }
     Ok(())
 }
 
@@ -309,7 +510,7 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
-    let cfg = config_for(flags);
+    let cfg = config_for(flags)?;
 
     let mut opts = ElasticOptions::default();
     if let Some(n) = flags.get("iters") {
@@ -320,13 +521,13 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     // The timeline: explicit script, or deterministic generation.
+    let seed = match flags.get("seed") {
+        Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}"))?,
+        None => 42,
+    };
     let script = match flags.get("faults") {
         Some(s) => FaultScript::parse(s)?,
         None => {
-            let seed = match flags.get("seed") {
-                Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}"))?,
-                None => 42,
-            };
             let n = match flags.get("num-faults") {
                 Some(s) => s.parse().map_err(|_| format!("bad --num-faults {s:?}"))?,
                 None => 3,
@@ -335,6 +536,11 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
 
+    let planner_name = flags
+        .get("planner")
+        .map(String::as_str)
+        .unwrap_or("heterog");
+    let session = setup_events("elastic", flags, &spec, &cluster, planner_name, seed)?;
     eprintln!(
         "planning {} on {} GPUs ...",
         spec.label(),
@@ -365,6 +571,7 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("json report written to {path}");
         }
+        session.finish();
         return Ok(());
     }
 
@@ -382,6 +589,28 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, outcome.report.to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("json report written to {path}");
+    }
+    let events_active = session.active;
+    session.finish();
+    if events_active {
+        // Fault injection is the non-panic trigger for the flight
+        // recorder: dump the last-N window whenever a scripted fault
+        // actually applied (or unconditionally if a path was given).
+        let fault_applied = outcome.report.faults.iter().any(|f| f.applied);
+        if fault_applied || flags.contains_key("flight-out") {
+            let path = match flags.get("flight-out") {
+                Some(p) => std::path::PathBuf::from(p),
+                None => ev::default_flight_path(Path::new(".")),
+            };
+            let reason = if fault_applied {
+                "fault-injected"
+            } else {
+                "requested"
+            };
+            ev::dump_flight(&path, reason)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("flight recorder written to {}", path.display());
+        }
     }
     Ok(())
 }

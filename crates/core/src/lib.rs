@@ -37,6 +37,7 @@ pub use heterog_agent as agent;
 pub use heterog_cluster as cluster;
 pub use heterog_compile as compile;
 pub use heterog_elastic as elastic;
+pub use heterog_events as events;
 pub use heterog_explain as explain;
 pub use heterog_graph as graph;
 pub use heterog_nn as nn;

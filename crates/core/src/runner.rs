@@ -94,6 +94,16 @@ impl DistRunner {
         heterog_telemetry::snapshot()
     }
 
+    /// A polling cursor over the live event stream ([`heterog_events`]).
+    /// The bus is process-global; this is a convenience for embedders
+    /// (e.g. a serve daemon) that hold a runner and want to stream
+    /// search/sim/elastic progress to clients over a channel instead of
+    /// a file. Call [`heterog_events::enable`] first — the bus is off
+    /// (and near-free) by default.
+    pub fn subscribe_events(&self) -> heterog_events::Subscription {
+        heterog_events::subscribe()
+    }
+
     /// Explains the deployment: simulated critical path, makespan
     /// attribution, stragglers, and ranked what-if interventions.
     pub fn explain(&self) -> heterog_explain::ExplainReport {

@@ -131,6 +131,11 @@ pub fn elastic_run(
     let mut current = cache.evaluate_with_policy(g, state.cluster(), &cost, &strategy, &opts.order);
     let baseline_makespan = current.iteration_time;
 
+    heterog_events::emit_with(|| heterog_events::EventKind::RunStarted {
+        phase: "elastic".into(),
+        total_units: opts.iterations,
+    });
+
     let mut makespans = Vec::with_capacity(opts.iterations as usize);
     let mut faults = Vec::new();
     let mut decisions = Vec::new();
@@ -148,6 +153,11 @@ pub fn elastic_run(
                 match state.apply(ev) {
                     Ok(map) => {
                         FAULTS_INJECTED.inc();
+                        heterog_events::emit_with(|| heterog_events::EventKind::Fault {
+                            iteration: i,
+                            label: ev.label(),
+                            applied: true,
+                        });
                         faults.push(FaultMarker {
                             iteration: i,
                             label: ev.label(),
@@ -163,6 +173,11 @@ pub fn elastic_run(
                     }
                     Err(skip) => {
                         FAULTS_SKIPPED.inc();
+                        heterog_events::emit_with(|| heterog_events::EventKind::Fault {
+                            iteration: i,
+                            label: format!("{} (skipped: {skip})", ev.label()),
+                            applied: false,
+                        });
                         faults.push(FaultMarker {
                             iteration: i,
                             label: format!("{} (skipped: {skip})", ev.label()),
@@ -201,6 +216,14 @@ pub fn elastic_run(
                 let cost_s = (1 + stall) as f64
                     * (degraded.iteration_time - repaired.iteration_time).max(0.0);
                 recovery_cost_s += cost_s;
+                heterog_events::emit_with(|| heterog_events::EventKind::Repair {
+                    iteration: i,
+                    action: action.to_string(),
+                    degraded_makespan: degraded.iteration_time,
+                    repaired_makespan: repaired.iteration_time,
+                    repair_evals,
+                    stall_iterations: stall,
+                });
                 decisions.push(RepairDecision {
                     iteration: i,
                     fault: applied
@@ -225,6 +248,10 @@ pub fn elastic_run(
                 current = repaired;
                 // The fault iteration itself runs degraded.
                 makespans.push(degraded_makespan);
+                heterog_events::emit_with(|| heterog_events::EventKind::ElasticIteration {
+                    iteration: i,
+                    makespan: degraded_makespan,
+                });
                 continue;
             }
         }
@@ -234,6 +261,11 @@ pub fn elastic_run(
         } else {
             makespans.push(current.iteration_time);
         }
+        let charged = *makespans.last().expect("pushed above");
+        heterog_events::emit_with(|| heterog_events::EventKind::ElasticIteration {
+            iteration: i,
+            makespan: charged,
+        });
     }
 
     let total_time: f64 = makespans.iter().sum();

@@ -1,0 +1,151 @@
+//! The crash flight recorder.
+//!
+//! The event ring *is* the flight recorder: it always holds the last N
+//! events. This module turns that window into a post-mortem artifact —
+//! a single JSON document combining the run manifest, the event window,
+//! the dropped-events counter, and a full telemetry snapshot — written
+//! either on demand ([`dump_flight`], e.g. after an injected elastic
+//! fault) or automatically on panic ([`install_panic_hook`]).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::bus::snapshot_ring;
+use crate::event::esc;
+use crate::manifest::manifest;
+
+/// Builds the flight-recorder document: manifest + last-N event window +
+/// dropped counter + telemetry snapshot, as pretty-enough JSON. `reason`
+/// records why the dump fired (`panic`, `fault-injected`, `requested`).
+pub fn flight_json(reason: &str) -> String {
+    let (events, dropped) = snapshot_ring();
+    let manifest_json = manifest()
+        .map(|m| m.to_json())
+        .unwrap_or_else(|| "null".to_string());
+    let telemetry = heterog_telemetry::json_snapshot(&heterog_telemetry::snapshot());
+    let mut out = String::with_capacity(events.len() * 96 + telemetry.len() + 512);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"reason\": \"{}\",\n", esc(reason)));
+    out.push_str(&format!("  \"manifest\": {manifest_json},\n"));
+    out.push_str(&format!("  \"dropped_events\": {dropped},\n"));
+    out.push_str(&format!("  \"window_len\": {},\n", events.len()));
+    out.push_str("  \"events\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        let sep = if i + 1 == events.len() { "" } else { "," };
+        out.push_str(&format!("    {}{sep}\n", e.to_json_line()));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"telemetry\": {telemetry}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the flight document to `path`. Returns the path on success.
+pub fn dump_flight(path: &Path, reason: &str) -> std::io::Result<PathBuf> {
+    std::fs::write(path, flight_json(reason))?;
+    Ok(path.to_path_buf())
+}
+
+/// `heterog-flight-<unix_ts>.json` inside `dir`.
+pub fn default_flight_path(dir: &Path) -> PathBuf {
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    dir.join(format!("heterog-flight-{ts}.json"))
+}
+
+static HOOK_INSTALLED: AtomicBool = AtomicBool::new(false);
+static DUMPING: AtomicBool = AtomicBool::new(false);
+
+/// Installs a panic hook that dumps the flight recorder to the current
+/// directory before delegating to the previous hook. Idempotent; the
+/// dump itself is guarded against recursive panics, and the ring is read
+/// with `try_lock` so a panic under the ring lock cannot deadlock.
+pub fn install_panic_hook() {
+    if HOOK_INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !DUMPING.swap(true, Ordering::SeqCst) {
+            let path = default_flight_path(Path::new("."));
+            match dump_flight(&path, "panic") {
+                Ok(p) => eprintln!("flight recorder written to {}", p.display()),
+                Err(e) => eprintln!("flight recorder write failed: {e}"),
+            }
+            DUMPING.store(false, Ordering::SeqCst);
+        }
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{emit, enable_with_capacity, reset, TEST_LOCK};
+    use crate::event::EventKind;
+    use crate::manifest::{clear_manifest, set_manifest, RunManifest};
+
+    #[test]
+    fn flight_json_carries_manifest_window_and_telemetry() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        enable_with_capacity(3);
+        set_manifest(RunManifest {
+            command: "elastic".into(),
+            model: "resnet50".into(),
+            seed: 7,
+            ..Default::default()
+        });
+        for i in 0..5 {
+            emit(EventKind::Probe {
+                producer: 0,
+                index: i,
+            });
+        }
+        let doc = flight_json("fault-injected");
+        reset();
+        clear_manifest();
+        assert!(doc.contains("\"reason\": \"fault-injected\""));
+        assert!(doc.contains("\"command\":\"elastic\""));
+        assert!(doc.contains("\"dropped_events\": 2"));
+        assert!(doc.contains("\"window_len\": 3"));
+        // Window holds the *last* three events.
+        assert!(doc.contains("\"index\":4"));
+        assert!(!doc.contains("\"index\":0,"));
+        assert!(doc.contains("\"telemetry\":"));
+        assert!(doc.contains("\"counters\""));
+    }
+
+    #[test]
+    fn flight_json_without_manifest_is_still_valid() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        clear_manifest();
+        let doc = flight_json("requested");
+        assert!(doc.contains("\"manifest\": null"));
+        assert!(doc.contains("\"events\": [\n  ]"));
+    }
+
+    #[test]
+    fn dump_writes_the_file() {
+        let _g = TEST_LOCK.lock();
+        reset();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("heterog-flight-test-{}.json", std::process::id()));
+        dump_flight(&path, "requested").unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(body.contains("\"reason\": \"requested\""));
+    }
+
+    #[test]
+    fn default_path_shape() {
+        let p = default_flight_path(Path::new("/tmp"));
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("heterog-flight-"));
+        assert!(name.ends_with(".json"));
+    }
+}

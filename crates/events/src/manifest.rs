@@ -1,0 +1,128 @@
+//! Run manifests: the self-describing header of every event stream.
+//!
+//! A manifest records everything needed to reproduce the run that
+//! produced an `events.jsonl` or flight-recorder artifact: the command
+//! and its full argv, the model/cluster/planner/seed, and the crate
+//! version. It is written as the first line of every JSONL stream and
+//! embedded in every flight dump.
+
+use parking_lot::Mutex;
+
+use crate::event::esc;
+
+/// Everything needed to reproduce the run this stream came from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunManifest {
+    /// Subcommand (`plan`, `train`, `elastic`, ...).
+    pub command: String,
+    /// Full CLI argv as invoked.
+    pub argv: Vec<String>,
+    /// Model name (`mobilenet_v2`, `bert_large`, ...).
+    pub model: String,
+    /// Global batch size.
+    pub batch_size: u64,
+    /// `Cluster::fingerprint()` — hashes device types, memory, links.
+    pub cluster_fingerprint: u64,
+    /// GPU count in the cluster.
+    pub num_devices: u32,
+    /// Planner name (`heterog`, `data-parallel`, ...).
+    pub planner: String,
+    /// RNG seed the run was started with.
+    pub seed: u64,
+    /// Workspace crate version (`CARGO_PKG_VERSION` of the binary).
+    pub version: String,
+    /// Wall-clock start, seconds since the Unix epoch.
+    pub started_unix: u64,
+    /// Event-ring capacity (the flight recorder's last-N window).
+    pub events_capacity: usize,
+}
+
+impl RunManifest {
+    /// One self-describing JSON line (no trailing newline), tagged
+    /// `"type":"manifest"` so stream consumers can key on it.
+    pub fn to_json(&self) -> String {
+        let argv: Vec<String> = self
+            .argv
+            .iter()
+            .map(|a| format!("\"{}\"", esc(a)))
+            .collect();
+        format!(
+            "{{\"type\":\"manifest\",\"command\":\"{}\",\"argv\":[{}],\"model\":\"{}\",\"batch_size\":{},\"cluster_fingerprint\":{},\"num_devices\":{},\"planner\":\"{}\",\"seed\":{},\"version\":\"{}\",\"started_unix\":{},\"events_capacity\":{}}}",
+            esc(&self.command),
+            argv.join(","),
+            esc(&self.model),
+            self.batch_size,
+            self.cluster_fingerprint,
+            self.num_devices,
+            esc(&self.planner),
+            self.seed,
+            self.version,
+            self.started_unix,
+            self.events_capacity,
+        )
+    }
+}
+
+static CURRENT: Mutex<Option<RunManifest>> = Mutex::new(None);
+
+/// Registers the manifest of the run in progress, so flight dumps (which
+/// may fire from a panic hook with no context) can embed it.
+pub fn set_manifest(m: RunManifest) {
+    *CURRENT.lock() = Some(m);
+}
+
+/// The manifest of the run in progress, if one was registered.
+pub fn manifest() -> Option<RunManifest> {
+    CURRENT.lock().clone()
+}
+
+/// Clears the registered manifest (tests).
+pub fn clear_manifest() {
+    *CURRENT.lock() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            command: "plan".into(),
+            argv: vec!["heterog-cli".into(), "plan".into(), "--model".into()],
+            model: "mobilenet_v2".into(),
+            batch_size: 64,
+            cluster_fingerprint: 0xdead_beef,
+            num_devices: 8,
+            planner: "heterog".into(),
+            seed: 42,
+            version: "0.1.0".into(),
+            started_unix: 1_700_000_000,
+            events_capacity: 16_384,
+        }
+    }
+
+    #[test]
+    fn manifest_json_is_tagged_and_complete() {
+        let line = sample().to_json();
+        assert!(line.starts_with("{\"type\":\"manifest\""));
+        assert!(line.contains("\"command\":\"plan\""));
+        assert!(line.contains("\"argv\":[\"heterog-cli\",\"plan\",\"--model\"]"));
+        assert!(line.contains("\"model\":\"mobilenet_v2\""));
+        assert!(line.contains("\"batch_size\":64"));
+        assert!(line.contains(&format!("\"cluster_fingerprint\":{}", 0xdead_beefu64)));
+        assert!(line.contains("\"seed\":42"));
+        assert!(line.contains("\"events_capacity\":16384"));
+        assert!(line.ends_with('}'));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        clear_manifest();
+        assert!(manifest().is_none());
+        set_manifest(sample());
+        assert_eq!(manifest(), Some(sample()));
+        clear_manifest();
+        assert!(manifest().is_none());
+    }
+}

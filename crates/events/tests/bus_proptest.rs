@@ -1,0 +1,116 @@
+//! Property tests for the bounded event bus.
+//!
+//! The bus is process-global, so every case takes `GUARD` (the test
+//! harness runs `#[test]` fns on parallel threads) and `reset()`s the
+//! bus before and after touching it.
+//!
+//! Properties:
+//! * sequence numbers are assigned contiguously from 0 and the ring
+//!   retains exactly the newest `min(emitted, capacity)` of them;
+//! * the dropped-events counter is *exact*: `max(0, emitted - capacity)`,
+//!   single-threaded or not;
+//! * under concurrent producers, each producer's surviving events form a
+//!   gap-free suffix of that producer's own emission order — drop-oldest
+//!   never reorders or punches holes in a single producer's stream.
+
+use std::sync::Mutex;
+
+use heterog_events as ev;
+use heterog_events::EventKind;
+use proptest::prelude::*;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A panicking proptest case poisons the mutex; later cases still
+    // need the bus, so take the guard either way.
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn seqs_contiguous_and_dropped_exact(n in 1..400usize, cap in 1..64usize) {
+        let _g = lock();
+        ev::reset();
+        ev::enable_with_capacity(cap);
+        for i in 0..n {
+            ev::emit(EventKind::Probe { producer: 0, index: i as u64 });
+        }
+        let (window, d) = ev::snapshot_ring();
+        let emitted = ev::emitted();
+        let dropped = ev::dropped();
+        ev::reset();
+
+        prop_assert_eq!(emitted, n as u64);
+        prop_assert_eq!(dropped, n.saturating_sub(cap) as u64);
+        prop_assert_eq!(d, dropped);
+        prop_assert_eq!(window.len(), n.min(cap));
+        // The ring holds exactly the newest seqs, contiguously.
+        let first = (n - n.min(cap)) as u64;
+        for (offset, e) in window.iter().enumerate() {
+            prop_assert_eq!(e.seq, first + offset as u64);
+        }
+    }
+
+    #[test]
+    fn per_producer_streams_survive_as_gap_free_suffixes(
+        producers in 1..6usize,
+        per_producer in 1..80usize,
+        cap in 1..128usize,
+    ) {
+        let _g = lock();
+        ev::reset();
+        ev::enable_with_capacity(cap);
+
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        ev::emit(EventKind::Probe {
+                            producer: p as u64,
+                            index: i as u64,
+                        });
+                    }
+                });
+            }
+        });
+
+        let (window, _) = ev::snapshot_ring();
+        let total = producers * per_producer;
+        let emitted = ev::emitted();
+        let dropped = ev::dropped();
+        ev::reset();
+
+        // Dropped is exact regardless of interleaving: every push past
+        // capacity evicts exactly one event.
+        prop_assert_eq!(emitted, total as u64);
+        prop_assert_eq!(dropped, total.saturating_sub(cap) as u64);
+        prop_assert_eq!(window.len(), total.min(cap));
+
+        // Global seqs in the window are contiguous (drop-oldest trims a
+        // prefix, never the middle).
+        for w in window.windows(2) {
+            prop_assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+
+        // Per producer: surviving indices are consecutive and end at the
+        // producer's last emission — a gap-free suffix of its stream.
+        for p in 0..producers as u64 {
+            let indices: Vec<u64> = window
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Probe { producer, index } if producer == p => Some(index),
+                    _ => None,
+                })
+                .collect();
+            for w in indices.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1);
+            }
+            if let Some(&last) = indices.last() {
+                prop_assert_eq!(last, per_producer as u64 - 1);
+            }
+        }
+    }
+}

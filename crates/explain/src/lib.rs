@@ -82,6 +82,8 @@ pub struct EvalStatsSnapshot {
     pub cache_hits: u64,
     /// Evaluations computed on cache miss.
     pub cache_misses: u64,
+    /// Whole evaluation contexts evicted when a cache hit capacity.
+    pub cache_evictions: u64,
 }
 
 impl EvalStatsSnapshot {
@@ -112,6 +114,7 @@ impl From<heterog_strategies::evaluate::EvalStats> for EvalStatsSnapshot {
             eval_seconds: s.eval_seconds,
             cache_hits: s.cache_hits,
             cache_misses: s.cache_misses,
+            cache_evictions: s.cache_evictions,
         }
     }
 }

@@ -190,13 +190,14 @@ pub fn render_text(rep: &ExplainReport) -> String {
     let e = &rep.eval_stats;
     let _ = writeln!(
         out,
-        "\nplanner loop: {} evaluations in {:.2} s ({:.0} evals/s), eval cache: {} hits / {} misses ({} hit rate)",
+        "\nplanner loop: {} evaluations in {:.2} s ({:.0} evals/s), eval cache: {} hits / {} misses ({} hit rate), {} contexts evicted",
         e.evaluations,
         e.eval_seconds,
         e.evals_per_sec(),
         e.cache_hits,
         e.cache_misses,
         pct(e.hit_rate()),
+        e.cache_evictions,
     );
     out
 }
@@ -342,12 +343,13 @@ pub fn to_json(rep: &ExplainReport) -> String {
     let e = &rep.eval_stats;
     let _ = writeln!(
         out,
-        "  \"eval_stats\": {{\"evaluations\": {}, \"eval_seconds\": {}, \"evals_per_sec\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+        "  \"eval_stats\": {{\"evaluations\": {}, \"eval_seconds\": {}, \"evals_per_sec\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}}",
         e.evaluations,
         num(e.eval_seconds),
         num(e.evals_per_sec()),
         e.cache_hits,
-        e.cache_misses
+        e.cache_misses,
+        e.cache_evictions
     );
     out.push_str("}\n");
     out
@@ -503,13 +505,14 @@ pub fn render_html(rep: &ExplainReport, trace_json: &str) -> String {
 
     let e = &rep.eval_stats;
     let footer = format!(
-        "planner loop: {} evaluations in {:.2} s ({:.0} evals/s) — eval cache {} hits / {} misses ({} hit rate)",
+        "planner loop: {} evaluations in {:.2} s ({:.0} evals/s) — eval cache {} hits / {} misses ({} hit rate), {} contexts evicted",
         e.evaluations,
         e.eval_seconds,
         e.evals_per_sec(),
         e.cache_hits,
         e.cache_misses,
-        pct(e.hit_rate())
+        pct(e.hit_rate()),
+        e.cache_evictions
     );
 
     // `</` must not appear inside the inline <script> payload.

@@ -264,6 +264,24 @@ pub fn simulate_into(
         MEMORY_PEAK.record_max(peak as f64);
     }
     ITERATION_TIME.observe(out.schedule.makespan);
+
+    if heterog_events::enabled() {
+        let oom_devices = memory.oom.iter().filter(|&&o| o).count() as u64;
+        heterog_events::emit(heterog_events::EventKind::SimEpoch {
+            tasks: tg.len() as u64,
+            makespan: out.schedule.makespan,
+            oom_devices,
+        });
+        for g in 0..num_gpus {
+            if memory.oom[g] {
+                heterog_events::emit(heterog_events::EventKind::Oom {
+                    device: g as u64,
+                    peak_bytes: memory.peak_bytes[g],
+                    capacity_bytes: capacities[g],
+                });
+            }
+        }
+    }
 }
 
 /// Union length of all intervals during which >= 1 link is transferring.

@@ -59,11 +59,13 @@ static CACHE_EVICTIONS: heterog_telemetry::Counter = heterog_telemetry::Counter:
 // via [`crate::evaluate::eval_stats`].
 static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
-pub(crate) fn global_cache_totals() -> (u64, u64) {
+pub(crate) fn global_cache_totals() -> (u64, u64, u64) {
     (
         GLOBAL_HITS.load(Ordering::Relaxed),
         GLOBAL_MISSES.load(Ordering::Relaxed),
+        GLOBAL_EVICTIONS.load(Ordering::Relaxed),
     )
 }
 
@@ -191,6 +193,7 @@ impl EvalCache {
                     inner.map.remove(&k);
                 }
                 CACHE_EVICTIONS.inc();
+                GLOBAL_EVICTIONS.fetch_add(1, Ordering::Relaxed);
             }
             inner.ctx_order.push_back(ctx);
         }

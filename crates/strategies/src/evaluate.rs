@@ -43,16 +43,19 @@ pub struct EvalStats {
     pub cache_hits: u64,
     /// Evaluations computed on cache miss.
     pub cache_misses: u64,
+    /// Whole evaluation contexts evicted when a cache hit capacity.
+    pub cache_evictions: u64,
 }
 
 /// Snapshots the process-global planner-loop statistics.
 pub fn eval_stats() -> EvalStats {
-    let (hits, misses) = crate::cache::global_cache_totals();
+    let (hits, misses, evictions) = crate::cache::global_cache_totals();
     EvalStats {
         evaluations: EVAL_COUNT.load(Ordering::Relaxed),
         eval_seconds: EVAL_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
         cache_hits: hits,
         cache_misses: misses,
+        cache_evictions: evictions,
     }
 }
 
@@ -120,9 +123,14 @@ pub fn evaluate_with_policy<C: CostEstimator>(
         )
     });
     record_evaluation(started.elapsed().as_nanos() as u64);
+    let oom = report.memory.any_oom();
+    heterog_events::emit_with(|| heterog_events::EventKind::StrategyEvaluated {
+        makespan: report.iteration_time,
+        oom,
+    });
     Evaluation {
         iteration_time: report.iteration_time,
-        oom: report.memory.any_oom(),
+        oom,
         report,
     }
 }

@@ -56,6 +56,175 @@ fn elastic_runs_scripted_fault_and_writes_json() {
 }
 
 #[test]
+fn unknown_planner_exits_nonzero_and_lists_valid_names() {
+    let out = cli()
+        .args(["plan", "--model", "mobilenet", "--planner", "sgd"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success(), "unknown planner must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown planner \"sgd\""), "stderr: {err}");
+    for name in ["heterog", "EV-PS", "CP-AR", "HetPipe"] {
+        assert!(err.contains(name), "missing {name} in: {err}");
+    }
+}
+
+#[test]
+fn plan_that_overflows_memory_exits_nonzero() {
+    // A batch this size cannot fit any placement on the 8-GPU testbed;
+    // the CLI must still print the report but exit nonzero so scripts
+    // notice the undeployable plan.
+    let out = cli()
+        .args(["plan", "--model", "mobilenet", "--batch", "65536"])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "OOM plan must exit nonzero");
+    assert!(stdout.contains("(OOM!)"), "stdout: {stdout}");
+    assert!(
+        stderr.contains("overflows device memory"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn progress_and_events_do_not_change_plan_stdout() {
+    let events_path = std::env::temp_dir().join(format!(
+        "heterog_cli_events_identity_{}.jsonl",
+        std::process::id()
+    ));
+    let plain = cli()
+        .args(["plan", "--model", "mobilenet"])
+        .output()
+        .expect("run cli");
+    let observed = cli()
+        .args([
+            "plan",
+            "--model",
+            "mobilenet",
+            "--progress",
+            "--events-out",
+            events_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cli");
+    assert!(plain.status.success());
+    assert!(observed.status.success());
+    // The tentpole invariant: observing a run never changes its result.
+    assert_eq!(
+        plain.stdout, observed.stdout,
+        "stdout must be byte-identical with and without live events"
+    );
+
+    // The stream itself: manifest header first, then events with
+    // strictly monotone sequence numbers, every line valid JSON.
+    let stream = std::fs::read_to_string(&events_path).expect("events file");
+    std::fs::remove_file(&events_path).ok();
+    let mut lines = stream.lines();
+    let header: serde_json::Value =
+        serde_json::from_str(lines.next().expect("manifest line")).expect("manifest is JSON");
+    assert_eq!(header["type"], "manifest");
+    assert_eq!(header["command"], "plan");
+    assert_eq!(header["model"], "mobilenet_v2");
+    assert!(header["cluster_fingerprint"].is_u64());
+    assert!(header["argv"].is_array());
+    let mut prev_seq: Option<u64> = None;
+    let mut n_events = 0u64;
+    for line in lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("event line is JSON");
+        if v["type"] == "gap" {
+            continue;
+        }
+        let seq = v["seq"].as_u64().expect("event has seq");
+        if let Some(p) = prev_seq {
+            assert!(seq > p, "seq must be strictly monotone: {p} then {seq}");
+        }
+        prev_seq = Some(seq);
+        n_events += 1;
+    }
+    assert!(
+        n_events > 10,
+        "a plan search should stream many events, got {n_events}"
+    );
+}
+
+#[test]
+fn elastic_fault_writes_flight_recorder() {
+    let dir = std::env::temp_dir();
+    let flight_path = dir.join(format!("heterog_cli_flight_{}.json", std::process::id()));
+    let out = cli()
+        .args([
+            "elastic",
+            "--model",
+            "mobilenet",
+            "--iters",
+            "15",
+            "--faults",
+            "5:fail:2",
+            "--policy",
+            "migrate-replicas",
+            "--events-out",
+            dir.join(format!("heterog_cli_flight_{}.jsonl", std::process::id()))
+                .to_str()
+                .unwrap(),
+            "--flight-out",
+            flight_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cli");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    let flight = std::fs::read_to_string(&flight_path).expect("flight artifact");
+    std::fs::remove_file(&flight_path).ok();
+    std::fs::remove_file(dir.join(format!("heterog_cli_flight_{}.jsonl", std::process::id()))).ok();
+    let doc: serde_json::Value = serde_json::from_str(&flight).expect("flight is JSON");
+    assert_eq!(doc["reason"], "fault-injected");
+    assert_eq!(doc["manifest"]["command"], "elastic");
+    assert!(doc["window_len"].as_u64().unwrap() > 0);
+    let events = doc["events"].as_array().expect("events window");
+    assert!(
+        events.iter().any(|e| e["type"] == "fault"),
+        "flight window must contain the injected fault"
+    );
+}
+
+#[test]
+fn train_smoke_runs_and_streams_episodes() {
+    let events_path = std::env::temp_dir().join(format!(
+        "heterog_cli_train_events_{}.jsonl",
+        std::process::id()
+    ));
+    let out = cli()
+        .args([
+            "train",
+            "--model",
+            "mobilenet",
+            "--episodes",
+            "3",
+            "--groups",
+            "4",
+            "--seed",
+            "7",
+            "--events-out",
+            events_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cli");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("best sampled:"), "stdout: {stdout}");
+    let stream = std::fs::read_to_string(&events_path).expect("events file");
+    std::fs::remove_file(&events_path).ok();
+    let episodes = stream
+        .lines()
+        .filter(|l| l.contains("\"type\":\"rl_episode\""))
+        .count();
+    assert_eq!(episodes, 3, "one rl_episode event per episode:\n{stream}");
+}
+
+#[test]
 fn elastic_rejects_bad_policy_and_bad_script() {
     let out = cli()
         .args(["elastic", "--model", "mobilenet", "--policy", "reboot"])
