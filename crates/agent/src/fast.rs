@@ -13,7 +13,11 @@ use heterog_cluster::Cluster;
 use heterog_compile::Strategy;
 use heterog_graph::Graph;
 use heterog_profile::CostEstimator;
-use heterog_strategies::{evaluate, group_ops, grouping::avg_op_times, Evaluation, Planner};
+use heterog_sched::OrderPolicy;
+use heterog_strategies::{
+    evaluate, group_ops, grouping::avg_op_times, Evaluation, IncrementalEvaluator, Perturbation,
+    Planner,
+};
 
 use crate::action::{actions_to_strategy, ActionSpace};
 
@@ -85,6 +89,20 @@ impl HeteroGPlanner {
             total_units: (self.passes * n) as u64,
         });
 
+        // Anchor an incremental evaluator on the incumbent: single-group
+        // neighborhood moves that keep the replica split (PS<->AllReduce
+        // flips) are then served by an aggregation-only staged recompile
+        // instead of a full compile+simulate; replica-changing moves fall
+        // back to the full pipeline inside the evaluator, bit-identically.
+        let rank_based = OrderPolicy::RankBased;
+        let mut evaluator = IncrementalEvaluator::new(
+            g,
+            cost,
+            cluster,
+            &actions_to_strategy(g, cluster, &grouping, &actions),
+            &rank_based,
+        );
+
         // Visit groups heaviest-first.
         let mut order: Vec<usize> = (0..n).collect();
         let group_cost: Vec<f64> = grouping
@@ -109,7 +127,7 @@ impl HeteroGPlanner {
                         let mut trial = actions.clone();
                         trial[gi] = a;
                         let s = actions_to_strategy(g, cluster, &grouping, &trial);
-                        let e = evaluate(g, cluster, cost, &s);
+                        let (e, _) = evaluator.evaluate_perturbed(Perturbation::Strategy(&s));
                         (a, objective(&e, cluster))
                     })
                     .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -119,6 +137,13 @@ impl HeteroGPlanner {
                     actions[gi] = best.0;
                     cur_obj = best.1;
                     improved = true;
+                    // The incumbent moved: re-anchor so later groups'
+                    // comm flips stay on the staged fast path.
+                    evaluator.rebase(
+                        cluster,
+                        &actions_to_strategy(g, cluster, &grouping, &actions),
+                        &rank_based,
+                    );
                 }
                 visited += 1;
                 heterog_events::emit_with(|| {
@@ -140,7 +165,13 @@ impl HeteroGPlanner {
         }
 
         let strategy = actions_to_strategy(g, cluster, &grouping, &actions);
-        let eval = evaluate(g, cluster, cost, &strategy);
+        // The evaluator is re-anchored on every improvement, so its base
+        // is the final strategy's evaluation already.
+        let eval = if *evaluator.strategy() == strategy {
+            evaluator.base().clone()
+        } else {
+            evaluate(g, cluster, cost, &strategy)
+        };
         evals += 1;
         CANDIDATE_EVALS.add(evals);
         if let Some(t0) = wall_start {

@@ -25,8 +25,24 @@ const GATED: [&str; 3] = [
     "speedup",
 ];
 
+/// Newer throughput fields, gated only when the baseline has them too.
+/// Baselines written before the perturbation-workload section lack
+/// these keys; a missing baseline entry prints "(new, skipped)" instead
+/// of failing, so old artifacts stay diffable.
+const GATED_OPTIONAL: [&str; 3] = [
+    "perturbation_full_evals_per_sec",
+    "perturbation_incremental_evals_per_sec",
+    "perturbation_speedup",
+];
+
 /// Context fields echoed in the report but never gated.
-const INFORMATIONAL: [&str; 4] = ["total_evals", "threads", "cache_hit_rate", "cache_misses"];
+const INFORMATIONAL: [&str; 5] = [
+    "total_evals",
+    "threads",
+    "cache_hit_rate",
+    "cache_misses",
+    "perturbation_total_evals",
+];
 
 fn load(path: &str) -> Result<serde_json::Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -79,6 +95,23 @@ fn main() -> ExitCode {
         let (Some(b), Some(f)) = (num(&baseline, key), num(&fresh, key)) else {
             println!("{key:<32}{:>14}{:>14}{:>10}  MISSING (fail)", "?", "?", "?");
             failed = true;
+            continue;
+        };
+        let delta = if b != 0.0 { (f - b) / b } else { 0.0 };
+        let regressed = delta < -max_regression;
+        println!(
+            "{key:<32}{b:>14.3}{f:>14.3}{:>9.1}%  {}",
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= regressed;
+    }
+    for key in GATED_OPTIONAL {
+        let Some(f) = num(&fresh, key) else {
+            continue;
+        };
+        let Some(b) = num(&baseline, key) else {
+            println!("{key:<32}{:>14}{f:>14.3}{:>10}  (new, skipped)", "-", "");
             continue;
         };
         let delta = if b != 0.0 { (f - b) / b } else { 0.0 };

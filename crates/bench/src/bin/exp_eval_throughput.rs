@@ -31,11 +31,15 @@ use rayon::prelude::*;
 
 use heterog_agent::{actions_to_strategy, ActionSpace, RlAgent, TrainerConfig};
 use heterog_bench::{evaluate, Strategy};
-use heterog_cluster::paper_testbed_8gpu;
+use heterog_cluster::{paper_testbed_8gpu, Cluster, DeviceId, GpuModel, LinkKind};
+use heterog_compile::CommMethod;
 use heterog_graph::{BenchmarkModel, ModelSpec};
 use heterog_nn::init::seeded_rng;
 use heterog_profile::GroundTruthCost;
-use heterog_strategies::{group_ops, grouping::avg_op_times, EvalCache, Evaluation};
+use heterog_sched::OrderPolicy;
+use heterog_strategies::{
+    group_ops, grouping::avg_op_times, EvalCache, Evaluation, IncrementalEvaluator, Perturbation,
+};
 
 fn threads() -> usize {
     std::thread::available_parallelism()
@@ -128,6 +132,70 @@ fn main() {
     let plan_matches = par_agent.plan(&g, &cluster, &cost) == ser_agent.plan(&g, &cluster, &cost);
     assert!(plan_matches, "parallel rollouts must not change plan()");
 
+    // Perturbation workload: what-if engines, repair scoring, and the
+    // RL agent's neighborhood moves all evaluate *small deltas* of one
+    // base deployment. Replay the same perturbation stream through the
+    // full pipeline (fresh compile+simulate per query, the seed path)
+    // and through the incremental evaluator (re-price + dirty-region
+    // resim); both must be bit-identical.
+    let (pert_pool_n, pert_repeats) = if smoke { (6, 4) } else { (24, 8) };
+    let base_strategy = Strategy::even(g.len(), &cluster, CommMethod::AllReduce);
+    let kinds = [
+        LinkKind::Pcie,
+        LinkKind::NicOut,
+        LinkKind::NicIn,
+        LinkKind::NvLink,
+    ];
+    let pert_pool: Vec<Cluster> = (0..pert_pool_n)
+        .map(|i| {
+            let f = 0.4 + 0.1 * (i % 13) as f64;
+            match i % 3 {
+                0 => cluster.with_scaled_link(Some(kinds[i % kinds.len()]), f),
+                1 => cluster.with_scaled_link(None, f),
+                _ => cluster.with_device_model(
+                    DeviceId((i % cluster.num_devices()) as u32),
+                    if i % 2 == 0 {
+                        GpuModel::TeslaK80
+                    } else {
+                        GpuModel::TeslaV100
+                    },
+                ),
+            }
+        })
+        .collect();
+    let pert_workload: Vec<&Cluster> = (0..pert_repeats).flat_map(|_| pert_pool.iter()).collect();
+    let pert_total = pert_workload.len();
+    let policy = OrderPolicy::RankBased;
+
+    let t2 = Instant::now();
+    let pert_full: Vec<Evaluation> = pert_workload
+        .iter()
+        .map(|c2| evaluate(&g, c2, &cost, &base_strategy))
+        .collect();
+    let pert_full_secs = t2.elapsed().as_secs_f64();
+
+    let t3 = Instant::now();
+    let inc_eval = IncrementalEvaluator::new(&g, &cost, &cluster, &base_strategy, &policy);
+    let inc_setup_secs = t3.elapsed().as_secs_f64();
+    let t4 = Instant::now();
+    let pert_inc: Vec<Evaluation> = pert_workload
+        .iter()
+        .map(|c2| inc_eval.evaluate_perturbed(Perturbation::Cluster(c2)).0)
+        .collect();
+    let pert_inc_secs = t4.elapsed().as_secs_f64();
+
+    let pert_identical = pert_full
+        .iter()
+        .zip(&pert_inc)
+        .all(|(a, b)| eval_bits(a) == eval_bits(b));
+    assert!(
+        pert_identical,
+        "incremental perturbed evaluations must be bit-identical to full ones"
+    );
+    let pert_full_rate = pert_total as f64 / pert_full_secs;
+    let pert_inc_rate = pert_total as f64 / pert_inc_secs;
+    let pert_speedup = pert_full_secs / pert_inc_secs;
+
     let serial_rate = total as f64 / serial_secs;
     let batched_rate = total as f64 / batched_secs;
     let speedup = serial_secs / batched_secs;
@@ -140,16 +208,29 @@ fn main() {
         cache.hit_rate() * 100.0
     );
     println!("results bit-identical: {identical}   plan matches serial: {plan_matches}");
+    println!(
+        "perturbation workload: {pert_total} queries ({pert_pool_n} distinct cluster deltas x \
+         {pert_repeats} visits)"
+    );
+    println!("  full re-simulation:  {pert_full_secs:8.3}s  {pert_full_rate:9.1} evals/s");
+    println!(
+        "  incremental resim:   {pert_inc_secs:8.3}s  {pert_inc_rate:9.1} evals/s \
+         (+{inc_setup_secs:.3}s one-time anchor)"
+    );
+    println!(
+        "  speedup: {pert_speedup:.2}x (target >=10x)   bit-identical: {pert_identical}"
+    );
 
     // Hand-formatted JSON: flat numbers only, no serde dependency on
     // this path (keeps the artifact identical across toolchains).
     let json = format!(
-        "{{\n  \"model\": \"mobilenet_v2\",\n  \"batch_size\": 64,\n  \"cluster\": \"paper_testbed_8gpu\",\n  \"smoke\": {smoke},\n  \"distinct_strategies\": {pool_n},\n  \"visits_per_strategy\": {repeats},\n  \"total_evals\": {total},\n  \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.6},\n  \"serial_evals_per_sec\": {serial_rate:.3},\n  \"batched_cached_secs\": {batched_secs:.6},\n  \"batched_cached_evals_per_sec\": {batched_rate:.3},\n  \"speedup\": {speedup:.3},\n  \"target_speedup\": 5.0,\n  \"meets_target\": {meets},\n  \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"results_bit_identical\": {identical},\n  \"plan_matches_serial\": {plan_matches}\n}}\n",
+        "{{\n  \"model\": \"mobilenet_v2\",\n  \"batch_size\": 64,\n  \"cluster\": \"paper_testbed_8gpu\",\n  \"smoke\": {smoke},\n  \"distinct_strategies\": {pool_n},\n  \"visits_per_strategy\": {repeats},\n  \"total_evals\": {total},\n  \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.6},\n  \"serial_evals_per_sec\": {serial_rate:.3},\n  \"batched_cached_secs\": {batched_secs:.6},\n  \"batched_cached_evals_per_sec\": {batched_rate:.3},\n  \"speedup\": {speedup:.3},\n  \"target_speedup\": 5.0,\n  \"meets_target\": {meets},\n  \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"results_bit_identical\": {identical},\n  \"plan_matches_serial\": {plan_matches},\n  \"perturbation_total_evals\": {pert_total},\n  \"perturbation_full_secs\": {pert_full_secs:.6},\n  \"perturbation_full_evals_per_sec\": {pert_full_rate:.3},\n  \"perturbation_incremental_setup_secs\": {inc_setup_secs:.6},\n  \"perturbation_incremental_secs\": {pert_inc_secs:.6},\n  \"perturbation_incremental_evals_per_sec\": {pert_inc_rate:.3},\n  \"perturbation_speedup\": {pert_speedup:.3},\n  \"perturbation_target_speedup\": 10.0,\n  \"perturbation_meets_target\": {pert_meets},\n  \"perturbation_bit_identical\": {pert_identical}\n}}\n",
         threads = threads(),
         meets = speedup >= 5.0,
         hits = cache.hits(),
         misses = cache.misses(),
         hit_rate = cache.hit_rate(),
+        pert_meets = pert_speedup >= 10.0,
     );
     let path = "BENCH_eval_throughput.json";
     match std::fs::write(path, &json) {

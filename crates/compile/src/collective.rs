@@ -8,6 +8,7 @@ use heterog_graph::{Node, OpKind, Phase, TensorMeta};
 use heterog_profile::{path_time, CostEstimator};
 use heterog_sched::{Proc, Task, TaskGraph, TaskId, TaskName};
 
+use crate::price::{CollectiveRec, PriceBook, PsRound};
 use crate::xfer::emit_transfer;
 
 static COLLECTIVES_PS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
@@ -218,7 +219,9 @@ pub fn hierarchical_estimate<C: CostEstimator>(
 /// gradient into a `GradAggregate` on the PS, then pulls back out.
 /// `ready[d]` is the task holding device `d`'s locally-combined gradient;
 /// returns per-device tasks whose completion means "aggregated gradient
-/// available on this device" (same order as `devices`).
+/// available on this device" (same order as `devices`). The round's
+/// non-derivable pricing decisions are recorded into `book` (see
+/// [`crate::price`]).
 #[allow(clippy::too_many_arguments)]
 pub fn emit_ps<C: CostEstimator>(
     tg: &mut TaskGraph,
@@ -229,6 +232,7 @@ pub fn emit_ps<C: CostEstimator>(
     ready: &[Vec<TaskId>],
     bytes: u64,
     tracker: &mut PsLoadTracker,
+    book: &mut PriceBook,
 ) -> Vec<TaskId> {
     assert_eq!(devices.len(), ready.len());
     COLLECTIVES_PS.inc();
@@ -254,6 +258,12 @@ pub fn emit_ps<C: CostEstimator>(
         )
         .with_output_bytes(bytes),
     );
+    book.ps_rounds.push(PsRound {
+        devices: devices.to_vec(),
+        bytes,
+        chosen: ps,
+        agg,
+    });
     for &r in &ready[ps_pos] {
         tg.add_dep(r, agg);
     }
@@ -315,6 +325,7 @@ pub fn emit_allreduce<C: CostEstimator>(
     devices: &[DeviceId],
     ready: &[Vec<TaskId>],
     bytes: u64,
+    book: &mut PriceBook,
 ) -> Vec<TaskId> {
     assert_eq!(devices.len(), ready.len());
     let n = devices.len();
@@ -381,6 +392,11 @@ pub fn emit_allreduce<C: CostEstimator>(
             ))
         })
         .collect();
+    book.collectives.push(CollectiveRec {
+        devices: devices.to_vec(),
+        bytes,
+        link_tasks: link_tasks.clone(),
+    });
 
     for rs in ready {
         for &r in rs {
@@ -518,9 +534,13 @@ mod tests {
             })
             .collect();
         let mut tr = PsLoadTracker::new(c.servers().len());
+        let mut book = PriceBook::default();
         let w0: Arc<str> = Arc::from("w0");
-        let out = emit_ps(&mut tg, &c, &cost, &w0, &devices, &ready, 4 << 20, &mut tr);
+        let out = emit_ps(
+            &mut tg, &c, &cost, &w0, &devices, &ready, 4 << 20, &mut tr, &mut book,
+        );
         assert_eq!(out.len(), 3);
+        assert_eq!(book.ps_rounds.len(), 1);
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         assert!(s.makespan > 0.01);
         // Completion reflects push + reduce + pull across the NICs.
@@ -557,8 +577,11 @@ mod tests {
             .collect();
         let bytes: u64 = 105 << 20; // ~0.01s per 100GbE NIC pass
         let mut tr = PsLoadTracker::new(c.servers().len());
+        let mut book = PriceBook::default();
         let w0: Arc<str> = Arc::from("w0");
-        let _ = emit_ps(&mut tg, &c, &cost, &w0, &devices, &ready, bytes, &mut tr);
+        let _ = emit_ps(
+            &mut tg, &c, &cost, &w0, &devices, &ready, bytes, &mut tr, &mut book,
+        );
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         // 6 cross-server pushes serialize into the PS box, then 6 pulls
         // serialize out: >= 12 NIC passes of ~10ms each.
@@ -584,8 +607,12 @@ mod tests {
             })
             .collect();
         let w0: Arc<str> = Arc::from("w0");
-        let out = emit_allreduce(&mut tg, &c, &cost, &w0, &devices, &ready, 4 << 20);
+        let mut book = PriceBook::default();
+        let out = emit_allreduce(
+            &mut tg, &c, &cost, &w0, &devices, &ready, 4 << 20, &mut book,
+        );
         assert_eq!(out.len(), 8);
+        assert_eq!(book.collectives.len(), 1);
         let s = list_schedule(&tg, &OrderPolicy::RankBased);
         let est = ring_estimate(&c, &cost, &devices, 4 << 20).min(hierarchical_estimate(
             &c,
@@ -628,6 +655,7 @@ mod tests {
             &[DeviceId(0)],
             &ready,
             1 << 20,
+            &mut PriceBook::default(),
         );
         assert_eq!(out, ready[0]);
         assert_eq!(tg.len(), 1);

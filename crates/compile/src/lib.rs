@@ -27,11 +27,14 @@
 pub mod collective;
 pub mod lower;
 pub mod placement;
+pub mod price;
 pub mod strategy;
 pub mod xfer;
 
 pub use lower::{
-    compile, compile_iterations, compile_pipelined, compile_with_options, CompileOptions,
+    compile, compile_iterations, compile_pipelined, compile_priced, compile_staged,
+    compile_with_book, compile_with_options, CompileOptions, StagedCompile,
 };
 pub use placement::{resolve_placements, OpPlacement};
+pub use price::{reprice, reprice_into, structure_compatible, PriceBook, RepriceError};
 pub use strategy::{CommMethod, OpStrategy, Strategy, StrategyError};

@@ -10,6 +10,7 @@ use heterog_sched::{Proc, Task, TaskGraph, TaskId, TaskName};
 
 use crate::collective::{emit_allreduce, emit_ps, PsLoadTracker};
 use crate::placement::{resolve_placements, OpPlacement};
+use crate::price::PriceBook;
 use crate::strategy::{CommMethod, Strategy};
 
 static COMPILATIONS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
@@ -81,6 +82,21 @@ pub fn compile_with_options<C: CostEstimator>(
     strategy: &Strategy,
     opts: CompileOptions,
 ) -> TaskGraph {
+    let mut book = PriceBook::default();
+    compile_with_book(g, cluster, cost, strategy, opts, &mut book)
+}
+
+/// [`compile_with_options`] that also records the non-derivable pricing
+/// decisions (PS choices, AllReduce collectives) into `book`, enabling
+/// [`crate::price::reprice`] under perturbed clusters.
+pub fn compile_with_book<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+    opts: CompileOptions,
+    book: &mut PriceBook,
+) -> TaskGraph {
     let _span = heterog_telemetry::span("compile");
     COMPILATIONS.inc();
     let placements = resolve_placements(g, cluster, strategy);
@@ -88,7 +104,6 @@ pub fn compile_with_options<C: CostEstimator>(
         g,
         cluster,
         cost,
-        opts,
         tg: TaskGraph::new(
             format!("{}@dist", g.name),
             cluster.num_devices() as u32,
@@ -105,8 +120,137 @@ pub fn compile_with_options<C: CostEstimator>(
     };
     lw.create_replica_tasks();
     lw.wire_edges();
-    lw.emit_gradient_aggregation();
+    emit_aggregation_pass(
+        &mut lw.tg,
+        g,
+        cluster,
+        cost,
+        opts,
+        &lw.placements,
+        &lw.op_tasks,
+        &lw.base_names,
+        &mut lw.ps_loads,
+        book,
+    );
     lw.tg
+}
+
+/// [`compile`] returning the [`PriceBook`] alongside the task graph.
+pub fn compile_priced<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+) -> (TaskGraph, PriceBook) {
+    let mut book = PriceBook::default();
+    let tg = compile_with_book(g, cluster, cost, strategy, CompileOptions::default(), &mut book);
+    (tg, book)
+}
+
+/// A compilation paused after replica creation and edge wiring — i.e.
+/// everything *except* gradient aggregation, which is the only stage
+/// that reads the per-op communication method or the cluster's prices
+/// beyond task durations. [`StagedCompile::finish`] clones the pre-
+/// aggregation graph and runs the aggregation stage for any strategy
+/// whose replica placement matches (e.g. a PS<->AllReduce flip), bit-
+/// identical to a fresh `compile` at a fraction of the cost.
+#[derive(Debug, Clone)]
+pub struct StagedCompile {
+    pre_agg: TaskGraph,
+    placements: Vec<OpPlacement>,
+    op_tasks: Vec<Vec<TaskId>>,
+    base_names: Vec<Arc<str>>,
+}
+
+/// Compiles `g` up to (but excluding) gradient aggregation.
+pub fn compile_staged<C: CostEstimator>(
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    strategy: &Strategy,
+) -> StagedCompile {
+    let _span = heterog_telemetry::span("compile_staged");
+    let placements = resolve_placements(g, cluster, strategy);
+    let mut lw = Lowerer {
+        g,
+        cluster,
+        cost,
+        tg: TaskGraph::new(
+            format!("{}@dist", g.name),
+            cluster.num_devices() as u32,
+            cluster.num_links() as u32,
+        ),
+        placements,
+        op_tasks: vec![Vec::new(); g.len()],
+        ps_loads: PsLoadTracker::new(cluster.servers().len()),
+        base_names: base_names(g),
+        suffix: Arc::from(""),
+        pin_params: true,
+        emit_applies: true,
+        share_override: None,
+    };
+    lw.create_replica_tasks();
+    lw.wire_edges();
+    StagedCompile {
+        pre_agg: lw.tg,
+        placements: lw.placements,
+        op_tasks: lw.op_tasks,
+        base_names: lw.base_names,
+    }
+}
+
+impl StagedCompile {
+    /// The placements this staged compilation was built from.
+    pub fn placements(&self) -> &[OpPlacement] {
+        &self.placements
+    }
+
+    /// True when `other`'s replica placement matches this staged
+    /// compilation's per-op replicas exactly — the precondition for
+    /// [`StagedCompile::finish`]. Communication methods may differ.
+    pub fn replicas_match(&self, other: &[OpPlacement]) -> bool {
+        self.placements.len() == other.len()
+            && self
+                .placements
+                .iter()
+                .zip(other)
+                .all(|(a, b)| a.replicas == b.replicas)
+    }
+
+    /// Completes the compilation by running the aggregation stage with
+    /// `placements`' communication methods (replicas must match — see
+    /// [`StagedCompile::replicas_match`]). `cluster` must be
+    /// structure-compatible with the one the stage was built on; its
+    /// prices are used for the aggregation tasks, so callers re-pricing
+    /// under a perturbed cluster should follow with
+    /// [`crate::price::reprice_into`] on the result.
+    pub fn finish<C: CostEstimator>(
+        &self,
+        g: &Graph,
+        cluster: &Cluster,
+        cost: &C,
+        placements: &[OpPlacement],
+        opts: CompileOptions,
+        book: &mut PriceBook,
+    ) -> TaskGraph {
+        debug_assert!(self.replicas_match(placements));
+        COMPILATIONS.inc();
+        let mut tg = self.pre_agg.clone();
+        let mut ps_loads = PsLoadTracker::new(cluster.servers().len());
+        emit_aggregation_pass(
+            &mut tg,
+            g,
+            cluster,
+            cost,
+            opts,
+            placements,
+            &self.op_tasks,
+            &self.base_names,
+            &mut ps_loads,
+            book,
+        );
+        tg
+    }
 }
 
 /// Micro-batch pipelined compilation — the §7 extension ("we can further
@@ -169,7 +313,6 @@ pub fn compile_pipelined<C: CostEstimator>(
             g,
             cluster,
             cost,
-            opts,
             tg,
             placements: placements.clone(),
             op_tasks: vec![Vec::new(); g.len()],
@@ -257,7 +400,6 @@ pub fn compile_iterations<C: CostEstimator>(
             g,
             cluster,
             cost,
-            opts,
             tg,
             placements: placements.clone(),
             op_tasks: vec![Vec::new(); g.len()],
@@ -270,7 +412,18 @@ pub fn compile_iterations<C: CostEstimator>(
         };
         lw.create_replica_tasks();
         lw.wire_edges();
-        lw.emit_gradient_aggregation();
+        emit_aggregation_pass(
+            &mut lw.tg,
+            g,
+            cluster,
+            cost,
+            opts,
+            &lw.placements,
+            &lw.op_tasks,
+            &lw.base_names,
+            &mut lw.ps_loads,
+            &mut PriceBook::default(),
+        );
         let op_tasks = lw.op_tasks.clone();
         tg = lw.tg;
 
@@ -352,10 +505,13 @@ fn emit_cross_micro_aggregation<C: CostEstimator>(
             gp.comm
         };
         let base: Arc<str> = Arc::from(node.name.as_str());
+        let mut book = PriceBook::default();
         let avail = match comm {
-            CommMethod::Ps => emit_ps(tg, cluster, cost, &base, &devices, &ready, bytes, ps_loads),
+            CommMethod::Ps => emit_ps(
+                tg, cluster, cost, &base, &devices, &ready, bytes, ps_loads, &mut book,
+            ),
             CommMethod::AllReduce => {
-                emit_allreduce(tg, cluster, cost, &base, &devices, &ready, bytes)
+                emit_allreduce(tg, cluster, cost, &base, &devices, &ready, bytes, &mut book)
             }
         };
         for (a, t) in avail.iter().zip(applies) {
@@ -368,7 +524,6 @@ struct Lowerer<'a, C: CostEstimator> {
     g: &'a Graph,
     cluster: &'a Cluster,
     cost: &'a C,
-    opts: CompileOptions,
     tg: TaskGraph,
     placements: Vec<OpPlacement>,
     op_tasks: Vec<Vec<TaskId>>,
@@ -643,88 +798,92 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
         )
     }
 
-    fn emit_gradient_aggregation(&mut self) {
-        for (gid, node) in self.g.iter() {
-            if !node.kind.produces_param_grad() {
-                continue;
+}
+
+/// The gradient-aggregation stage of lowering, shared by the one-shot
+/// compile path, [`compile_iterations`], and [`StagedCompile::finish`].
+/// Reads per-op communication methods from `placements` (subject to the
+/// force-PS/AR overrides in `opts`), appends the aggregation tasks to
+/// `tg`, and records their pricing decisions into `book`.
+#[allow(clippy::too_many_arguments)]
+fn emit_aggregation_pass<C: CostEstimator>(
+    tg: &mut TaskGraph,
+    g: &Graph,
+    cluster: &Cluster,
+    cost: &C,
+    opts: CompileOptions,
+    placements: &[OpPlacement],
+    op_tasks: &[Vec<TaskId>],
+    base_names: &[Arc<str>],
+    ps_loads: &mut PsLoadTracker,
+    book: &mut PriceBook,
+) {
+    for (gid, node) in g.iter() {
+        if !node.kind.produces_param_grad() {
+            continue;
+        }
+        let Some(apply) = g
+            .succs(gid)
+            .iter()
+            .copied()
+            .find(|&s| g.node(s).kind == OpKind::ApplyGradient)
+        else {
+            continue; // gradient without an update consumer
+        };
+
+        let gp = &placements[gid.index()];
+        let g_tasks = &op_tasks[gid.index()];
+        let bytes = node.output.bytes(0).max(node.output.bytes(1));
+        let devices = gp.devices();
+
+        // Per-device replica-gradient sets: the collective transport
+        // consumes them directly (local pre-reduction happens inside
+        // NCCL/the PS push path, so no separate GPU task competes
+        // with backward compute for the device queue).
+        let ready: Vec<Vec<TaskId>> = devices
+            .iter()
+            .map(|&d| {
+                gp.replicas
+                    .iter()
+                    .zip(g_tasks)
+                    .filter(|((rd, _), _)| *rd == d)
+                    .map(|(_, &t)| t)
+                    .collect()
+            })
+            .collect();
+
+        let apply_tasks = &op_tasks[apply.index()];
+        debug_assert_eq!(
+            apply_tasks.len(),
+            devices.len(),
+            "ApplyGradient placement must mirror the gradient's devices"
+        );
+
+        if devices.len() == 1 {
+            for &r in &ready[0] {
+                tg.add_dep(r, apply_tasks[0]);
             }
-            let Some(apply) = self
-                .g
-                .succs(gid)
-                .iter()
-                .copied()
-                .find(|&s| self.g.node(s).kind == OpKind::ApplyGradient)
-            else {
-                continue; // gradient without an update consumer
-            };
+            continue;
+        }
 
-            let gp = self.placements[gid.index()].clone();
-            let g_tasks = self.op_tasks[gid.index()].clone();
-            let bytes = node.output.bytes(0).max(node.output.bytes(1));
-            let devices = gp.devices();
-
-            // Per-device replica-gradient sets: the collective transport
-            // consumes them directly (local pre-reduction happens inside
-            // NCCL/the PS push path, so no separate GPU task competes
-            // with backward compute for the device queue).
-            let ready: Vec<Vec<TaskId>> = devices
-                .iter()
-                .map(|&d| {
-                    gp.replicas
-                        .iter()
-                        .zip(&g_tasks)
-                        .filter(|((rd, _), _)| *rd == d)
-                        .map(|(_, &t)| t)
-                        .collect()
-                })
-                .collect();
-
-            let apply_tasks = self.op_tasks[apply.index()].clone();
-            debug_assert_eq!(
-                apply_tasks.len(),
-                devices.len(),
-                "ApplyGradient placement must mirror the gradient's devices"
-            );
-
-            if devices.len() == 1 {
-                for &r in &ready[0] {
-                    self.tg.add_dep(r, apply_tasks[0]);
-                }
-                continue;
+        let comm = if opts.force_ps {
+            CommMethod::Ps
+        } else if opts.force_allreduce {
+            CommMethod::AllReduce
+        } else {
+            gp.comm
+        };
+        let base = base_names[gid.index()].clone();
+        let avail = match comm {
+            CommMethod::Ps => emit_ps(
+                tg, cluster, cost, &base, &devices, &ready, bytes, ps_loads, book,
+            ),
+            CommMethod::AllReduce => {
+                emit_allreduce(tg, cluster, cost, &base, &devices, &ready, bytes, book)
             }
-
-            let comm = if self.opts.force_ps {
-                CommMethod::Ps
-            } else if self.opts.force_allreduce {
-                CommMethod::AllReduce
-            } else {
-                gp.comm
-            };
-            let base = self.base_names[gid.index()].clone();
-            let avail = match comm {
-                CommMethod::Ps => emit_ps(
-                    &mut self.tg,
-                    self.cluster,
-                    self.cost,
-                    &base,
-                    &devices,
-                    &ready,
-                    bytes,
-                    &mut self.ps_loads,
-                ),
-                CommMethod::AllReduce => emit_allreduce(
-                    &mut self.tg,
-                    self.cluster,
-                    self.cost,
-                    &base,
-                    &devices,
-                    &ready,
-                    bytes,
-                ),
-            };
-            for (a, t) in avail.iter().zip(&apply_tasks) {
-                self.tg.add_dep(*a, *t);
-            }
+        };
+        for (a, t) in avail.iter().zip(apply_tasks) {
+            tg.add_dep(*a, *t);
         }
     }
 }

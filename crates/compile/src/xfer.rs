@@ -64,16 +64,19 @@ pub fn emit_transfer<C: CostEstimator>(
         .map(|&lid| {
             let link = cluster.link(lid);
             record_link_bytes(link.kind, bytes);
-            tg.add_task(Task::new(
-                TaskName::OnLink {
-                    base: base.clone(),
-                    tag,
-                    label: link.label.clone(),
-                },
-                OpKind::Transfer,
-                Proc::Link(lid.0),
-                cost.transfer_time(link, bytes),
-            ))
+            tg.add_task(
+                Task::new(
+                    TaskName::OnLink {
+                        base: base.clone(),
+                        tag,
+                        label: link.label.clone(),
+                    },
+                    OpKind::Transfer,
+                    Proc::Link(lid.0),
+                    cost.transfer_time(link, bytes),
+                )
+                .with_comm_bytes(bytes),
+            )
         })
         .collect()
 }

@@ -70,11 +70,11 @@ const USAGE: &str = "heterog-cli — HeteroG deployment planner
 
 USAGE:
   heterog-cli plan    --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner heterog|EV-PS|EV-AR|CP-PS|CP-AR|Horovod|FlexFlow|Post|HetPipe] [--fifo] [--metrics-out <file.prom>] [--trace-out <file.json>]
-  heterog-cli explain --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner <name>] [--top-k N] [--no-whatif] [--html-out <file.html>] [--json-out <file.json>] [--diff-against <file.json>]
+  heterog-cli explain --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner <name>] [--top-k N] [--no-whatif] [--no-incremental] [--html-out <file.html>] [--json-out <file.json>] [--diff-against <file.json>]
   heterog-cli compare --model <name> [--batch N] [--layers N] [--cluster spec.json]
   heterog-cli trace   --model <name> [--batch N] [--layers N] [--cluster spec.json] --out <file.json>
   heterog-cli train   --model <name> [--batch N] [--layers N] [--cluster spec.json] [--episodes N] [--seed N] [--rollout-k N] [--groups N]
-  heterog-cli elastic --model <name> [--batch N] [--cluster spec.json] [--planner <name>] [--iters N] [--policy full-replan|migrate-replicas|collective-fallback|compare] [--faults <script> | --seed N [--num-faults N]] [--json-out <file.json>]
+  heterog-cli elastic --model <name> [--batch N] [--cluster spec.json] [--planner <name>] [--iters N] [--policy full-replan|migrate-replicas|collective-fallback|compare] [--no-incremental] [--faults <script> | --seed N [--num-faults N]] [--json-out <file.json>]
   heterog-cli models                 list available benchmark models
   heterog-cli cluster-template       print a cluster-spec JSON template
 
@@ -103,6 +103,10 @@ TRAIN:
 EXPLAIN:
   --top-k N             keep the N best what-if interventions (default 5)
   --no-whatif           skip the what-if sensitivity loop
+  --no-incremental      score each what-if with a fresh full simulation
+                        instead of dirty-region re-simulation (also valid
+                        under ELASTIC for repair scoring; results are
+                        bit-identical either way, only the cost changes)
   --html-out <file>     self-contained HTML report with embedded timeline
   --json-out <file>     machine-readable report (diffable artifact)
   --diff-against <file> run-diff this plan against a previous --json-out
@@ -373,6 +377,9 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     if flags.contains_key("no-whatif") {
         opts.run_whatif = false;
     }
+    if flags.contains_key("no-incremental") {
+        opts.incremental = false;
+    }
     eprintln!(
         "planning {} on {} GPUs ...",
         spec.label(),
@@ -518,6 +525,9 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
         if opts.iterations == 0 {
             return Err("--iters must be at least 1".into());
         }
+    }
+    if flags.contains_key("no-incremental") {
+        opts.incremental = false;
     }
 
     // The timeline: explicit script, or deterministic generation.

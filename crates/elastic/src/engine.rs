@@ -17,7 +17,7 @@ use heterog_profile::CostEstimator;
 use heterog_sched::OrderPolicy;
 use heterog_strategies::{
     eval_stats, migrate_replicas, rebalance_replicas, switch_comm, DeviceMap, EvalCache,
-    Evaluation, Planner,
+    Evaluation, IncrementalEvaluator, Perturbation, Planner,
 };
 
 use crate::fault::{FaultEvent, FaultScript};
@@ -63,6 +63,12 @@ pub struct ElasticOptions {
     /// `EvalCache` context capacity — one context per cluster mutation,
     /// so this bounds memory across long fault storms.
     pub cache_contexts: usize,
+    /// Score repair candidates through the incremental evaluator
+    /// (dirty-region re-simulation anchored on the degraded deployment)
+    /// instead of fresh compile+simulate runs. Makespans are
+    /// bit-identical either way; only the repair-effort accounting
+    /// (`repair_evals`, stalls) shrinks.
+    pub incremental: bool,
 }
 
 impl Default for ElasticOptions {
@@ -73,6 +79,7 @@ impl Default for ElasticOptions {
             order: OrderPolicy::RankBased,
             evals_per_iteration: 25,
             cache_contexts: 16,
+            incremental: true,
         }
     }
 }
@@ -188,24 +195,53 @@ pub fn elastic_run(
             }
             if !applied.is_empty() {
                 // Detection: simulate the carried plan on the mutated
-                // cluster — this is the fault's measured impact.
-                let degraded =
-                    cache.evaluate_with_policy(g, state.cluster(), &cost, &strategy, &opts.order);
+                // cluster — this is the fault's measured impact. With
+                // incremental repair the same evaluation anchors an
+                // [`IncrementalEvaluator`] that then scores repair
+                // candidates by dirty-region re-simulation.
+                let evaluator = opts.incremental.then(|| {
+                    IncrementalEvaluator::new(g, &cost, state.cluster(), &strategy, &opts.order)
+                });
+                let degraded = match &evaluator {
+                    Some(ev) => ev.base().clone(),
+                    None => cache.evaluate_with_policy(
+                        g,
+                        state.cluster(),
+                        &cost,
+                        &strategy,
+                        &opts.order,
+                    ),
+                };
 
                 let evals_before = eval_stats().evaluations;
                 let started = std::time::Instant::now();
-                let (repaired_strategy, action) =
-                    repair(g, &state, cost, planner, &cache, &strategy, &applied, opts);
+                let (repaired_strategy, action) = repair(
+                    g,
+                    &state,
+                    cost,
+                    planner,
+                    &cache,
+                    evaluator.as_ref(),
+                    &strategy,
+                    &applied,
+                    opts,
+                );
                 repaired_strategy
                     .validate(state.cluster())
                     .expect("repair produced a strategy referencing missing devices");
-                let repaired = cache.evaluate_with_policy(
-                    g,
-                    state.cluster(),
-                    &cost,
-                    &repaired_strategy,
-                    &opts.order,
-                );
+                let repaired = match &evaluator {
+                    Some(ev) => {
+                        ev.evaluate_perturbed(Perturbation::Strategy(&repaired_strategy))
+                            .0
+                    }
+                    None => cache.evaluate_with_policy(
+                        g,
+                        state.cluster(),
+                        &cost,
+                        &repaired_strategy,
+                        &opts.order,
+                    ),
+                };
                 RECOVERY_SECONDS.observe(started.elapsed().as_secs_f64());
                 let repair_evals = eval_stats().evaluations - evals_before;
                 let stall = if opts.evals_per_iteration == 0 {
@@ -296,7 +332,10 @@ pub fn elastic_run(
 }
 
 /// Runs one repair according to the policy; `strategy` has already been
-/// validity-migrated onto the mutated cluster.
+/// validity-migrated onto the mutated cluster. When `evaluator` is
+/// present (incremental mode), candidate scoring goes through its
+/// staged/dirty-region fast paths instead of fresh compiles — the
+/// chosen strategy is identical either way.
 #[allow(clippy::too_many_arguments)]
 fn repair(
     g: &Graph,
@@ -304,6 +343,7 @@ fn repair(
     cost: &dyn CostEstimator,
     planner: &dyn Planner,
     cache: &EvalCache,
+    evaluator: Option<&IncrementalEvaluator<'_, &dyn CostEstimator>>,
     strategy: &Strategy,
     applied: &[&FaultEvent],
     opts: &ElasticOptions,
@@ -351,7 +391,10 @@ fn repair(
             ];
             let mut best: Option<(Strategy, &'static str, Evaluation)> = None;
             for (cand, label) in candidates {
-                let eval = cache.evaluate_with_policy(g, cluster, &cost, &cand, &opts.order);
+                let eval = match evaluator {
+                    Some(ev) => ev.evaluate_perturbed(Perturbation::Strategy(&cand)).0,
+                    None => cache.evaluate_with_policy(g, cluster, &cost, &cand, &opts.order),
+                };
                 let better = match &best {
                     None => true,
                     Some((_, _, b)) => {
@@ -522,6 +565,48 @@ mod tests {
             "joined GPU left idle: {:?}",
             out.strategy.per_op[0]
         );
+    }
+
+    #[test]
+    fn incremental_and_full_repairs_choose_identical_plans() {
+        let (g, c) = setup();
+        let script = FaultScript::parse("3:link:nicout:0.25,8:linkup:nicout").unwrap();
+        let run = |incremental| {
+            elastic_run(
+                &g,
+                &c,
+                &GroundTruthCost,
+                &CpArPlanner,
+                &script,
+                &ElasticOptions {
+                    iterations: 14,
+                    policy: RepairPolicy::CollectiveFallback,
+                    incremental,
+                    ..ElasticOptions::default()
+                },
+            )
+        };
+        let fast = run(true);
+        let slow = run(false);
+        let (rf, rs) = (&fast.report, &slow.report);
+        assert_eq!(rf.baseline_makespan.to_bits(), rs.baseline_makespan.to_bits());
+        assert_eq!(rf.final_makespan.to_bits(), rs.final_makespan.to_bits());
+        assert_eq!(rf.decisions.len(), rs.decisions.len());
+        let (mut fast_evals, mut slow_evals) = (0u64, 0u64);
+        for (a, b) in rf.decisions.iter().zip(&rs.decisions) {
+            // Same fault, same chosen repair, same simulated makespans —
+            // only the effort accounting may differ.
+            assert_eq!(a.action, b.action);
+            assert_eq!(a.degraded_makespan.to_bits(), b.degraded_makespan.to_bits());
+            assert_eq!(a.repaired_makespan.to_bits(), b.repaired_makespan.to_bits());
+            fast_evals += a.repair_evals;
+            slow_evals += b.repair_evals;
+        }
+        assert!(
+            fast_evals < slow_evals,
+            "incremental repair must cut fresh evaluations ({fast_evals} vs {slow_evals})"
+        );
+        assert_eq!(fast.strategy, slow.strategy);
     }
 
     #[test]

@@ -116,6 +116,20 @@ pub enum EventKind {
         /// Iterations stalled at the degraded makespan.
         stall_iterations: u64,
     },
+    /// An incremental re-simulation replayed only the dirty suffix of a
+    /// previously simulated task graph (what-if sweeps, repair scoring,
+    /// RL reward probes).
+    IncrementalResim {
+        /// Tasks actually re-executed (graph size minus the skipped
+        /// prefix; equals `total` on a full compile-free replay).
+        replayed: u64,
+        /// Tasks in the graph.
+        total: u64,
+        /// Duration- or priority-dirty tasks that triggered the replay.
+        dirty: u64,
+        /// Makespan of the perturbed schedule.
+        makespan: f64,
+    },
     /// Test/benchmark probe carrying a producer id and the producer's
     /// own gap-free index; also the extension point for external
     /// subscribers that need an opaque marker in the stream.
@@ -140,6 +154,7 @@ impl EventKind {
             EventKind::ElasticIteration { .. } => "elastic_iteration",
             EventKind::Fault { .. } => "fault",
             EventKind::Repair { .. } => "repair",
+            EventKind::IncrementalResim { .. } => "incremental_resim",
             EventKind::Probe { .. } => "probe",
         }
     }
@@ -277,6 +292,17 @@ impl Event {
                     num(*repaired_makespan),
                 ));
             }
+            EventKind::IncrementalResim {
+                replayed,
+                total,
+                dirty,
+                makespan,
+            } => {
+                line.push_str(&format!(
+                    ",\"replayed\":{replayed},\"total\":{total},\"dirty\":{dirty},\"makespan\":{}",
+                    num(*makespan)
+                ));
+            }
             EventKind::Probe { producer, index } => {
                 line.push_str(&format!(",\"producer\":{producer},\"index\":{index}"));
             }
@@ -398,6 +424,12 @@ mod tests {
                 repaired_makespan: 0.0,
                 repair_evals: 0,
                 stall_iterations: 0,
+            },
+            EventKind::IncrementalResim {
+                replayed: 0,
+                total: 0,
+                dirty: 0,
+                makespan: 0.0,
             },
             EventKind::Probe {
                 producer: 0,

@@ -46,8 +46,8 @@ pub use diff::{
 pub use path::{critical_path, segment_kind, CriticalPath, PathEdge, PathSegment, SegmentKind};
 pub use render::{render_html, render_text, to_json};
 pub use whatif::{
-    default_interventions, run_whatif, strategy_without_device, switch_comm, Intervention,
-    WhatIfOutcome,
+    default_interventions, run_whatif, run_whatif_with, strategy_without_device, switch_comm,
+    Intervention, WhatIfOutcome,
 };
 
 static EXPLAIN_REPORTS: Counter =
@@ -84,6 +84,10 @@ pub struct EvalStatsSnapshot {
     pub cache_misses: u64,
     /// Whole evaluation contexts evicted when a cache hit capacity.
     pub cache_evictions: u64,
+    /// Perturbed evaluations served by an incremental fast path.
+    pub incremental_fast: u64,
+    /// Perturbed evaluations that fell back to a full compile+simulate.
+    pub incremental_full: u64,
 }
 
 impl EvalStatsSnapshot {
@@ -105,6 +109,17 @@ impl EvalStatsSnapshot {
             0.0
         }
     }
+
+    /// Fraction of perturbed evaluations served incrementally (0 when
+    /// none were attempted).
+    pub fn incremental_hit_rate(&self) -> f64 {
+        let total = (self.incremental_fast + self.incremental_full) as f64;
+        if total > 0.0 {
+            self.incremental_fast as f64 / total
+        } else {
+            0.0
+        }
+    }
 }
 
 impl From<heterog_strategies::evaluate::EvalStats> for EvalStatsSnapshot {
@@ -115,6 +130,8 @@ impl From<heterog_strategies::evaluate::EvalStats> for EvalStatsSnapshot {
             cache_hits: s.cache_hits,
             cache_misses: s.cache_misses,
             cache_evictions: s.cache_evictions,
+            incremental_fast: s.incremental_fast,
+            incremental_full: s.incremental_full,
         }
     }
 }
@@ -129,6 +146,10 @@ pub struct ExplainOptions {
     /// Intervention set; `None` derives [`default_interventions`] from
     /// the deployment.
     pub interventions: Option<Vec<Intervention>>,
+    /// Serve what-if interventions through the incremental evaluator
+    /// (dirty-region re-simulation). Off = fresh compile+simulate per
+    /// intervention; results are bit-identical either way.
+    pub incremental: bool,
 }
 
 impl Default for ExplainOptions {
@@ -137,6 +158,7 @@ impl Default for ExplainOptions {
             top_k: 5,
             run_whatif: true,
             interventions: None,
+            incremental: true,
         }
     }
 }
@@ -223,7 +245,7 @@ pub fn explain(
                 derived.as_slice()
             }
         };
-        run_whatif(
+        run_whatif_with(
             graph,
             cluster,
             strategy,
@@ -231,6 +253,7 @@ pub fn explain(
             report.iteration_time,
             interventions,
             opts.top_k,
+            opts.incremental,
         )
     } else {
         Vec::new()

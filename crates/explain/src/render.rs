@@ -199,6 +199,13 @@ pub fn render_text(rep: &ExplainReport) -> String {
         pct(e.hit_rate()),
         e.cache_evictions,
     );
+    let _ = writeln!(
+        out,
+        "incremental: {} fast / {} full ({} served incrementally)",
+        e.incremental_fast,
+        e.incremental_full,
+        pct(e.incremental_hit_rate()),
+    );
     out
 }
 
@@ -343,13 +350,16 @@ pub fn to_json(rep: &ExplainReport) -> String {
     let e = &rep.eval_stats;
     let _ = writeln!(
         out,
-        "  \"eval_stats\": {{\"evaluations\": {}, \"eval_seconds\": {}, \"evals_per_sec\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}}",
+        "  \"eval_stats\": {{\"evaluations\": {}, \"eval_seconds\": {}, \"evals_per_sec\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \"incremental_fast\": {}, \"incremental_full\": {}, \"incremental_hit_rate\": {}}}",
         e.evaluations,
         num(e.eval_seconds),
         num(e.evals_per_sec()),
         e.cache_hits,
         e.cache_misses,
-        e.cache_evictions
+        e.cache_evictions,
+        e.incremental_fast,
+        e.incremental_full,
+        num(e.incremental_hit_rate())
     );
     out.push_str("}\n");
     out
@@ -505,14 +515,17 @@ pub fn render_html(rep: &ExplainReport, trace_json: &str) -> String {
 
     let e = &rep.eval_stats;
     let footer = format!(
-        "planner loop: {} evaluations in {:.2} s ({:.0} evals/s) — eval cache {} hits / {} misses ({} hit rate), {} contexts evicted",
+        "planner loop: {} evaluations in {:.2} s ({:.0} evals/s) — eval cache {} hits / {} misses ({} hit rate), {} contexts evicted — incremental {} fast / {} full ({} served incrementally)",
         e.evaluations,
         e.eval_seconds,
         e.evals_per_sec(),
         e.cache_hits,
         e.cache_misses,
         pct(e.hit_rate()),
-        e.cache_evictions
+        e.cache_evictions,
+        e.incremental_fast,
+        e.incremental_full,
+        pct(e.incremental_hit_rate())
     );
 
     // `</` must not appear inside the inline <script> payload.

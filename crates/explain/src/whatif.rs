@@ -17,6 +17,7 @@ use heterog_graph::Graph;
 use heterog_profile::GroundTruthCost;
 use heterog_sched::OrderPolicy;
 use heterog_sim::{simulate_into, SimReport, SimScratch};
+use heterog_strategies::{Evaluation, IncrementalEvaluator, Perturbation};
 
 // The perturbation operators started here and moved to
 // `heterog_strategies::repair` when the elastic runtime needed them for
@@ -216,10 +217,45 @@ pub fn default_interventions(cluster: &Cluster, strategy: &Strategy) -> Vec<Inte
     out
 }
 
+/// Evaluates one intervention through the cheapest sound incremental
+/// path: cluster-only interventions re-price + dirty-region re-simulate,
+/// comm flips finish the staged compile, order flips re-simulate the
+/// cached graph, and device removal (structure change) falls back to the
+/// full pipeline inside the evaluator. Bit-identical to a fresh
+/// compile + simulate in every case.
+fn eval_intervention(
+    ev: &IncrementalEvaluator<'_, GroundTruthCost>,
+    iv: &Intervention,
+    cluster: &Cluster,
+    strategy: &Strategy,
+    policy: &OrderPolicy,
+) -> Evaluation {
+    match iv {
+        Intervention::ScaleLinkClass { .. } | Intervention::UpgradeDevice { .. } => {
+            let (c2, _, _) = iv.apply(cluster, strategy, policy);
+            ev.evaluate_perturbed(Perturbation::Cluster(&c2)).0
+        }
+        Intervention::RemoveDevice { .. } => {
+            let (c2, s2, _) = iv.apply(cluster, strategy, policy);
+            ev.evaluate_perturbed(Perturbation::ClusterAndStrategy(&c2, &s2))
+                .0
+        }
+        Intervention::SwitchComm { .. } => {
+            let (_, s2, _) = iv.apply(cluster, strategy, policy);
+            ev.evaluate_perturbed(Perturbation::Strategy(&s2)).0
+        }
+        Intervention::FlipOrder => {
+            let (_, _, p2) = iv.apply(cluster, strategy, policy);
+            ev.evaluate_perturbed(Perturbation::Policy(&p2)).0
+        }
+    }
+}
+
 /// Re-simulates every intervention and returns the outcomes ranked by
 /// predicted improvement (largest `delta` first), truncated to `top_k`.
-/// One scratch is shared across the loop, keeping it allocation-free
-/// after the first compile+simulate.
+/// Uses the incremental evaluator (one shared compile, dirty-region
+/// replay per intervention); see [`run_whatif_with`] for the escape
+/// hatch.
 pub fn run_whatif(
     g: &Graph,
     cluster: &Cluster,
@@ -229,22 +265,70 @@ pub fn run_whatif(
     interventions: &[Intervention],
     top_k: usize,
 ) -> Vec<WhatIfOutcome> {
+    run_whatif_with(
+        g,
+        cluster,
+        strategy,
+        policy,
+        base_makespan,
+        interventions,
+        top_k,
+        true,
+    )
+}
+
+/// [`run_whatif`] with an explicit incremental toggle. With
+/// `incremental` off, every intervention pays a fresh compile+simulate
+/// (the pre-incremental behaviour, kept as a verification path: both
+/// modes produce bit-identical outcomes). One scratch is shared across
+/// the loop either way.
+#[allow(clippy::too_many_arguments)]
+pub fn run_whatif_with(
+    g: &Graph,
+    cluster: &Cluster,
+    strategy: &Strategy,
+    policy: &OrderPolicy,
+    base_makespan: f64,
+    interventions: &[Intervention],
+    top_k: usize,
+    incremental: bool,
+) -> Vec<WhatIfOutcome> {
     let _span = heterog_telemetry::span("explain.whatif");
+    let evaluator = if incremental && !interventions.is_empty() {
+        Some(IncrementalEvaluator::new(
+            g,
+            &GroundTruthCost,
+            cluster,
+            strategy,
+            policy,
+        ))
+    } else {
+        None
+    };
     let mut scratch = SimScratch::default();
     let mut report = SimReport::default();
     let mut out = Vec::with_capacity(interventions.len());
     for iv in interventions {
         let started = std::time::Instant::now();
-        let (c2, s2, p2) = iv.apply(cluster, strategy, policy);
-        let tg = compile(g, &c2, &GroundTruthCost, &s2);
-        simulate_into(&tg, &c2.memory_capacities(), &p2, &mut scratch, &mut report);
+        let (makespan, oom) = match &evaluator {
+            Some(ev) => {
+                let e = eval_intervention(ev, iv, cluster, strategy, policy);
+                (e.iteration_time, e.oom)
+            }
+            None => {
+                let (c2, s2, p2) = iv.apply(cluster, strategy, policy);
+                let tg = compile(g, &c2, &GroundTruthCost, &s2);
+                simulate_into(&tg, &c2.memory_capacities(), &p2, &mut scratch, &mut report);
+                (report.iteration_time, report.memory.any_oom())
+            }
+        };
         crate::WHATIF_SIMULATIONS.inc();
         crate::WHATIF_SECONDS.observe(started.elapsed().as_secs_f64());
         out.push(WhatIfOutcome {
             label: iv.label(cluster),
-            makespan: report.iteration_time,
-            delta: base_makespan - report.iteration_time,
-            oom: report.memory.any_oom(),
+            makespan,
+            delta: base_makespan - makespan,
+            oom,
         });
     }
     out.sort_by(|a, b| b.delta.total_cmp(&a.delta));
@@ -332,6 +416,23 @@ mod tests {
         let tg = compile(&g, &c2, &GroundTruthCost, &s2);
         let r = heterog_sim::simulate(&tg, &c2.memory_capacities(), &p2);
         assert!(r.iteration_time > 0.0);
+    }
+
+    #[test]
+    fn incremental_and_full_whatif_are_bit_identical() {
+        let (g, c, s) = setup();
+        let base = evaluate(&g, &c, &GroundTruthCost, &s).iteration_time;
+        let ivs = default_interventions(&c, &s);
+        let pol = OrderPolicy::RankBased;
+        let fast = run_whatif_with(&g, &c, &s, &pol, base, &ivs, ivs.len(), true);
+        let slow = run_whatif_with(&g, &c, &s, &pol, base, &ivs, ivs.len(), false);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "{}", a.label);
+            assert_eq!(a.delta.to_bits(), b.delta.to_bits());
+            assert_eq!(a.oom, b.oom);
+        }
     }
 
     #[test]

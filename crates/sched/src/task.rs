@@ -182,6 +182,11 @@ pub struct Task {
     /// Samples processed by this replica (0 for non-batch tasks) —
     /// recorded for debugging/traces.
     pub batch_share: u64,
+    /// Payload bytes carried by a link task (0 for compute tasks).
+    /// Together with `origin`/`batch_share` this makes task durations
+    /// re-derivable after a hardware perturbation without recompiling.
+    #[serde(default)]
+    pub comm_bytes: u64,
 }
 
 impl Task {
@@ -196,6 +201,7 @@ impl Task {
             param_bytes: 0,
             origin: None,
             batch_share: 0,
+            comm_bytes: 0,
         }
     }
 
@@ -220,6 +226,12 @@ impl Task {
     /// Records this replica's batch share.
     pub fn with_batch_share(mut self, share: u64) -> Self {
         self.batch_share = share;
+        self
+    }
+
+    /// Records the payload bytes of a link task.
+    pub fn with_comm_bytes(mut self, bytes: u64) -> Self {
+        self.comm_bytes = bytes;
         self
     }
 }

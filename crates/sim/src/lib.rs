@@ -21,11 +21,15 @@
 //! and exports Chrome-tracing timelines for inspection.
 
 pub mod gantt;
+pub mod incremental;
 pub mod memory;
 pub mod report;
 pub mod trace;
 
 pub use gantt::{render_gantt, render_gpu_gantt};
+pub use incremental::{
+    incremental_sim_stats, IncrementalSim, IncrementalSimStats, ResimOptions, ResimOutcome,
+};
 pub use memory::{memory_usage, MemoryReport};
 pub use report::{simulate, simulate_into, time_breakdown, SimReport, SimScratch};
 pub use trace::chrome_trace_json;

@@ -86,15 +86,22 @@ impl SimReport {
 /// makes simulation allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct SimScratch {
-    sched: ScheduleScratch,
+    pub(crate) sched: ScheduleScratch,
     /// (time, gpu, ±bytes) alloc/free events collected by the hook.
-    events: Vec<(f64, u32, i64)>,
+    pub(crate) events: Vec<(f64, u32, i64)>,
     /// Remaining-consumer counts per task (reference counting).
-    remaining: Vec<u32>,
-    cur: Vec<i64>,
-    peak: Vec<i64>,
-    active: Vec<bool>,
-    intervals: Vec<(f64, f64)>,
+    pub(crate) remaining: Vec<u32>,
+    pub(crate) cur: Vec<i64>,
+    pub(crate) peak: Vec<i64>,
+    pub(crate) active: Vec<bool>,
+    pub(crate) intervals: Vec<(f64, f64)>,
+    /// Duration-dirty tasks of the current incremental resim.
+    pub(crate) dirty: Vec<heterog_sched::TaskId>,
+    /// Priority-dirty tasks of the current incremental resim.
+    pub(crate) prio_dirty: Vec<heterog_sched::TaskId>,
+    /// The perturbed graph's upward ranks (incremental resim).
+    pub(crate) new_ranks: Vec<f64>,
+    pub(crate) rank_scratch: heterog_sched::RankScratch,
 }
 
 /// The fused memory tracker: observes the scheduling event loop and
@@ -104,10 +111,10 @@ pub struct SimScratch {
 /// which happens while processing the last consumer's completion event,
 /// i.e. at the max consumer finish time (tasks without consumers free at
 /// their own finish).
-struct MemHook<'a> {
-    tg: &'a TaskGraph,
-    events: &'a mut Vec<(f64, u32, i64)>,
-    remaining: &'a mut [u32],
+pub(crate) struct MemHook<'a> {
+    pub(crate) tg: &'a TaskGraph,
+    pub(crate) events: &'a mut Vec<(f64, u32, i64)>,
+    pub(crate) remaining: &'a mut [u32],
 }
 
 impl MemHook<'_> {
@@ -156,12 +163,26 @@ impl ScheduleHook for MemHook<'_> {
 /// * `policy` — execution-order policy (rank-based = HeteroG's scheduler;
 ///   FIFO = TensorFlow default, the §6.6 baseline).
 ///
-/// Allocates fresh buffers; hot loops should hold a [`SimScratch`] and
-/// call [`simulate_into`] instead.
+/// Delegates to [`simulate_into`] through a thread-local [`SimScratch`],
+/// so repeated calls are allocation-free after warm-up; hot loops that
+/// want explicit control still hold their own scratch and call
+/// [`simulate_into`].
 pub fn simulate(tg: &TaskGraph, capacities: &[u64], policy: &OrderPolicy) -> SimReport {
-    let mut scratch = SimScratch::default();
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<SimScratch> =
+            std::cell::RefCell::new(SimScratch::default());
+    }
     let mut out = SimReport::default();
-    simulate_into(tg, capacities, policy, &mut scratch, &mut out);
+    SCRATCH.with(|s| {
+        // A fresh scratch covers the (impossible today) reentrant case.
+        match s.try_borrow_mut() {
+            Ok(mut scratch) => simulate_into(tg, capacities, policy, &mut scratch, &mut out),
+            Err(_) => {
+                let mut scratch = SimScratch::default();
+                simulate_into(tg, capacities, policy, &mut scratch, &mut out)
+            }
+        }
+    });
     out
 }
 
@@ -187,6 +208,7 @@ pub fn simulate_into(
         peak,
         active,
         intervals,
+        ..
     } = scratch;
 
     // Pinned parameters and per-GPU activity in one pre-pass; seed the
@@ -213,6 +235,58 @@ pub fn simulate_into(
         remaining,
     };
     list_schedule_observed(tg, policy, sched, &mut out.schedule, &mut hook);
+
+    finalize_report(tg, capacities, active, events, cur, peak, intervals, out);
+    let memory = &out.memory;
+
+    SIMULATIONS.inc();
+    // The event-driven scheduler processes exactly one completion event
+    // per task.
+    EVENTS_PROCESSED.add(tg.len() as u64);
+    OOM_DEVICES.add(memory.oom.iter().filter(|&&o| o).count() as u64);
+    if let Some(&peak) = memory.peak_bytes.iter().max() {
+        MEMORY_PEAK.record_max(peak as f64);
+    }
+    ITERATION_TIME.observe(out.schedule.makespan);
+
+    if heterog_events::enabled() {
+        let oom_devices = memory.oom.iter().filter(|&&o| o).count() as u64;
+        heterog_events::emit(heterog_events::EventKind::SimEpoch {
+            tasks: tg.len() as u64,
+            makespan: out.schedule.makespan,
+            oom_devices,
+        });
+        for g in 0..num_gpus {
+            if memory.oom[g] {
+                heterog_events::emit(heterog_events::EventKind::Oom {
+                    device: g as u64,
+                    peak_bytes: memory.peak_bytes[g],
+                    capacity_bytes: capacities[g],
+                });
+            }
+        }
+    }
+}
+
+/// Everything downstream of the event loop: sort the alloc/free events,
+/// sweep peaks, charge workspace, derive OOM flags, and fill the busy /
+/// overlap / iteration-time fields. `out.memory.param_bytes` and
+/// `out.schedule` must already be populated. Shared verbatim by
+/// [`simulate_into`] and the incremental re-simulator so both produce
+/// bit-identical reports from identical schedules.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finalize_report(
+    tg: &TaskGraph,
+    capacities: &[u64],
+    active: &[bool],
+    events: &mut Vec<(f64, u32, i64)>,
+    cur: &mut Vec<i64>,
+    peak: &mut Vec<i64>,
+    intervals: &mut Vec<(f64, f64)>,
+    out: &mut SimReport,
+) {
+    let num_gpus = tg.num_gpus as usize;
+    let memory = &mut out.memory;
 
     // Sweep: sort by time; at equal times apply frees before allocations
     // — reference counts drop the moment the last consumer completes, so
@@ -254,34 +328,6 @@ pub fn simulate_into(
     out.computation_time = out.gpu_busy.iter().cloned().fold(0.0, f64::max);
     out.communication_time = link_active_union(tg, &out.schedule, intervals);
     out.iteration_time = out.schedule.makespan;
-
-    SIMULATIONS.inc();
-    // The event-driven scheduler processes exactly one completion event
-    // per task.
-    EVENTS_PROCESSED.add(tg.len() as u64);
-    OOM_DEVICES.add(memory.oom.iter().filter(|&&o| o).count() as u64);
-    if let Some(&peak) = memory.peak_bytes.iter().max() {
-        MEMORY_PEAK.record_max(peak as f64);
-    }
-    ITERATION_TIME.observe(out.schedule.makespan);
-
-    if heterog_events::enabled() {
-        let oom_devices = memory.oom.iter().filter(|&&o| o).count() as u64;
-        heterog_events::emit(heterog_events::EventKind::SimEpoch {
-            tasks: tg.len() as u64,
-            makespan: out.schedule.makespan,
-            oom_devices,
-        });
-        for g in 0..num_gpus {
-            if memory.oom[g] {
-                heterog_events::emit(heterog_events::EventKind::Oom {
-                    device: g as u64,
-                    peak_bytes: memory.peak_bytes[g],
-                    capacity_bytes: capacities[g],
-                });
-            }
-        }
-    }
 }
 
 /// Union length of all intervals during which >= 1 link is transferring.

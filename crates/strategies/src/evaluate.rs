@@ -45,17 +45,39 @@ pub struct EvalStats {
     pub cache_misses: u64,
     /// Whole evaluation contexts evicted when a cache hit capacity.
     pub cache_evictions: u64,
+    /// Perturbed evaluations served by an incremental fast path
+    /// (re-price + dirty-region re-simulation, staged recompile, or
+    /// cached-graph reorder) instead of a full compile + simulate.
+    pub incremental_fast: u64,
+    /// Perturbed evaluations that fell back to the full pipeline.
+    pub incremental_full: u64,
+}
+
+impl EvalStats {
+    /// Fraction of perturbed evaluations served incrementally; 0 when
+    /// none were attempted.
+    pub fn incremental_hit_rate(&self) -> f64 {
+        let total = self.incremental_fast + self.incremental_full;
+        if total == 0 {
+            0.0
+        } else {
+            self.incremental_fast as f64 / total as f64
+        }
+    }
 }
 
 /// Snapshots the process-global planner-loop statistics.
 pub fn eval_stats() -> EvalStats {
     let (hits, misses, evictions) = crate::cache::global_cache_totals();
+    let (incremental_fast, incremental_full) = crate::incremental::incremental_totals();
     EvalStats {
         evaluations: EVAL_COUNT.load(Ordering::Relaxed),
         eval_seconds: EVAL_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
         cache_hits: hits,
         cache_misses: misses,
         cache_evictions: evictions,
+        incremental_fast,
+        incremental_full,
     }
 }
 

@@ -17,6 +17,7 @@ pub mod baselines;
 pub mod cache;
 pub mod evaluate;
 pub mod flexflow;
+pub mod incremental;
 pub mod grouping;
 pub mod hetpipe;
 pub mod planner;
@@ -31,6 +32,7 @@ pub use evaluate::{
 pub use flexflow::FlexFlowPlanner;
 pub use grouping::{group_ops, Grouping};
 pub use hetpipe::HetPipePlanner;
+pub use incremental::{EvalMode, IncrementalEvaluator, Perturbation};
 pub use planner::Planner;
 pub use post::PostPlanner;
 pub use repair::{

@@ -225,7 +225,7 @@ mod compile_props {
 
     /// A random layered training graph: a chain of parameterized and
     /// simple layers with occasional residual joins.
-    fn arb_training_graph() -> impl Strategy<Value = Graph> {
+    pub(crate) fn arb_training_graph() -> impl Strategy<Value = Graph> {
         (
             2usize..8,                               // layers
             8u64..64,                                // batch
@@ -344,6 +344,191 @@ mod compile_props {
                     prop_assert!(r[t.index()] >= r[succ.index()] - 1e-12);
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-simulation properties: any sequence of perturbed queries
+// against an `IncrementalEvaluator` must be bit-identical to a fresh full
+// compile+schedule+simulate of the same deployment, for every checkpoint
+// spacing and fallback threshold (including the degenerate ones: 0.0 forces
+// the full-replay path on every query, 1.0 forbids it).
+// ---------------------------------------------------------------------------
+
+mod incremental_props {
+    use super::*;
+    use heterog_cluster::{paper_testbed_4gpu, Cluster, DeviceId, GpuModel, LinkKind};
+    use heterog_compile::{CommMethod, OpStrategy, Strategy as PlanStrategy};
+    use heterog_profile::GroundTruthCost;
+    use heterog_sim::ResimOptions;
+    use heterog_strategies::{
+        evaluate_with_policy, Evaluation, IncrementalEvaluator, Perturbation,
+    };
+    use proptest::test_runner::TestCaseError;
+
+    const KINDS: [LinkKind; 4] = [
+        LinkKind::NvLink,
+        LinkKind::Pcie,
+        LinkKind::NicOut,
+        LinkKind::NicIn,
+    ];
+    const MODELS: [GpuModel; 4] = [
+        GpuModel::TeslaV100,
+        GpuModel::TeslaP100,
+        GpuModel::Gtx1080Ti,
+        GpuModel::TeslaK80,
+    ];
+
+    /// One owned perturbation drawn by proptest; realized against a
+    /// concrete graph/cluster inside the test.
+    #[derive(Debug, Clone)]
+    enum PertSpec {
+        /// Scale one link class (or all links) by a factor.
+        ScaleLink(Option<usize>, f64),
+        /// Swap one device's GPU model.
+        SwapModel(usize, usize),
+        /// Replace the strategy (choices indexed modulo their length).
+        Strategy(Vec<usize>),
+        /// Flip the order policy (true = FIFO).
+        Policy(bool),
+        /// Cluster and strategy changed together.
+        Combined(usize, usize, Vec<usize>),
+    }
+
+    fn arb_pert() -> impl Strategy<Value = PertSpec> {
+        prop_oneof![
+            (proptest::option::of(0usize..4), 0.25f64..2.0)
+                .prop_map(|(k, f)| PertSpec::ScaleLink(k, f)),
+            (0usize..4, 0usize..4).prop_map(|(d, m)| PertSpec::SwapModel(d, m)),
+            proptest::collection::vec(0usize..8, 1..24).prop_map(PertSpec::Strategy),
+            proptest::bool::ANY.prop_map(PertSpec::Policy),
+            (0usize..4, 0usize..4, proptest::collection::vec(0usize..8, 1..24))
+                .prop_map(|(d, m, c)| PertSpec::Combined(d, m, c)),
+        ]
+    }
+
+    /// Realizes raw action choices as a per-op strategy over the 4-GPU
+    /// testbed's 8-way action space.
+    fn strategy_from(cluster: &Cluster, num_ops: usize, choices: &[usize]) -> PlanStrategy {
+        let per_op = (0..num_ops)
+            .map(|i| match choices[i % choices.len()] {
+                c @ 0..=3 => OpStrategy::Mp(DeviceId(c as u32)),
+                4 => OpStrategy::even(cluster, CommMethod::Ps),
+                5 => OpStrategy::even(cluster, CommMethod::AllReduce),
+                6 => OpStrategy::proportional(cluster, CommMethod::Ps),
+                _ => OpStrategy::proportional(cluster, CommMethod::AllReduce),
+            })
+            .collect();
+        PlanStrategy { per_op }
+    }
+
+    fn assert_bits_eq(got: &Evaluation, want: &Evaluation) -> Result<(), TestCaseError> {
+        prop_assert_eq!(got.iteration_time.to_bits(), want.iteration_time.to_bits());
+        prop_assert_eq!(got.oom, want.oom);
+        prop_assert_eq!(
+            got.report.schedule.makespan.to_bits(),
+            want.report.schedule.makespan.to_bits()
+        );
+        prop_assert_eq!(&got.report.memory.peak_bytes, &want.report.memory.peak_bytes);
+        for (a, b) in got.report.gpu_busy.iter().zip(&want.report.gpu_busy) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        Ok(())
+    }
+
+    proptest! {
+        // Each case pays one full evaluation per perturbed query for the
+        // reference result, so keep the case count modest.
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random perturbation sequences served incrementally match the
+        /// full pipeline bit for bit, across checkpoint spacings
+        /// (boundary cases included) and fallback thresholds (0.0 =
+        /// always fall back, 1.0 = never).
+        #[test]
+        fn perturbation_sequences_are_bit_identical(
+            g in super::compile_props::arb_training_graph(),
+            specs in proptest::collection::vec(arb_pert(), 1..5),
+            ckpt in prop_oneof![Just(0.02f64), Just(0.125), Just(0.5), Just(1.0)],
+            fallback in prop_oneof![Just(0.0f64), Just(0.35), Just(1.0)],
+        ) {
+            let cluster = paper_testbed_4gpu();
+            let cost = GroundTruthCost;
+            let base_s = PlanStrategy::even(g.len(), &cluster, CommMethod::AllReduce);
+            let policy = OrderPolicy::RankBased;
+            let opts = ResimOptions {
+                checkpoint_interval_frac: ckpt,
+                fallback_dirty_frac: fallback,
+            };
+            let ev = IncrementalEvaluator::with_options(
+                &g, &cost, &cluster, &base_s, &policy, opts,
+            );
+            assert_bits_eq(
+                ev.base(),
+                &evaluate_with_policy(&g, &cluster, &cost, &base_s, &policy),
+            )?;
+            for spec in &specs {
+                match spec {
+                    PertSpec::ScaleLink(kind, factor) => {
+                        let c2 = cluster.with_scaled_link(kind.map(|k| KINDS[k]), *factor);
+                        let (got, _) = ev.evaluate_perturbed(Perturbation::Cluster(&c2));
+                        let want = evaluate_with_policy(&g, &c2, &cost, &base_s, &policy);
+                        assert_bits_eq(&got, &want)?;
+                    }
+                    PertSpec::SwapModel(dev, model) => {
+                        let c2 = cluster.with_device_model(DeviceId(*dev as u32), MODELS[*model]);
+                        let (got, _) = ev.evaluate_perturbed(Perturbation::Cluster(&c2));
+                        let want = evaluate_with_policy(&g, &c2, &cost, &base_s, &policy);
+                        assert_bits_eq(&got, &want)?;
+                    }
+                    PertSpec::Strategy(choices) => {
+                        let s2 = strategy_from(&cluster, g.len(), choices);
+                        let (got, _) = ev.evaluate_perturbed(Perturbation::Strategy(&s2));
+                        let want = evaluate_with_policy(&g, &cluster, &cost, &s2, &policy);
+                        assert_bits_eq(&got, &want)?;
+                    }
+                    PertSpec::Policy(fifo) => {
+                        let p2 = if *fifo { OrderPolicy::Fifo } else { OrderPolicy::RankBased };
+                        let (got, _) = ev.evaluate_perturbed(Perturbation::Policy(&p2));
+                        let want = evaluate_with_policy(&g, &cluster, &cost, &base_s, &p2);
+                        assert_bits_eq(&got, &want)?;
+                    }
+                    PertSpec::Combined(dev, model, choices) => {
+                        let c2 = cluster.with_device_model(DeviceId(*dev as u32), MODELS[*model]);
+                        let s2 = strategy_from(&c2, g.len(), choices);
+                        let (got, _) =
+                            ev.evaluate_perturbed(Perturbation::ClusterAndStrategy(&c2, &s2));
+                        let want = evaluate_with_policy(&g, &c2, &cost, &s2, &policy);
+                        assert_bits_eq(&got, &want)?;
+                    }
+                }
+            }
+        }
+
+        /// Re-anchoring mid-sequence preserves bit-identity: rebase onto
+        /// a perturbed strategy, then query around the new anchor.
+        #[test]
+        fn rebase_preserves_bit_identity(
+            g in super::compile_props::arb_training_graph(),
+            choices in proptest::collection::vec(0usize..8, 1..24),
+            factor in 0.25f64..2.0,
+        ) {
+            let cluster = paper_testbed_4gpu();
+            let cost = GroundTruthCost;
+            let base_s = PlanStrategy::even(g.len(), &cluster, CommMethod::Ps);
+            let policy = OrderPolicy::RankBased;
+            let mut ev = IncrementalEvaluator::new(&g, &cost, &cluster, &base_s, &policy);
+            let s2 = strategy_from(&cluster, g.len(), &choices);
+            ev.rebase(&cluster, &s2, &policy);
+            assert_bits_eq(
+                ev.base(),
+                &evaluate_with_policy(&g, &cluster, &cost, &s2, &policy),
+            )?;
+            let c2 = cluster.with_scaled_link(None, factor);
+            let (got, _) = ev.evaluate_perturbed(Perturbation::Cluster(&c2));
+            let want = evaluate_with_policy(&g, &c2, &cost, &s2, &policy);
+            assert_bits_eq(&got, &want)?;
         }
     }
 }
