@@ -1,10 +1,15 @@
-//! The `N x (M+4)` action space (§4.1.2).
+//! The `N x (M+6)` action space (§4.1.2, widened).
 //!
 //! "each of the first M elements represents placing operations in this
 //! group to the corresponding device using model parallelism ... The
 //! last 4 elements correspond to ... the four combinations between two
 //! replication decisions (one replica per device / proportional) and two
 //! communication methods (PS or AllReduce)."
+//!
+//! Beyond the paper's `M + 4`, two SPMD-sharding actions widen the
+//! space: even shards (`SH-EV`) and compute-power-proportional shards
+//! (`SH-CP`) over dimension 0, lowered to all-gather/reduce-scatter
+//! collectives instead of gradient aggregation.
 
 use heterog_cluster::{Cluster, DeviceId};
 use heterog_compile::{CommMethod, OpStrategy, Strategy};
@@ -26,9 +31,9 @@ impl ActionSpace {
         }
     }
 
-    /// Total actions per group: `M + 4`.
+    /// Total actions per group: `M + 6`.
     pub fn len(&self) -> usize {
-        self.num_devices + 4
+        self.num_devices + 6
     }
 
     /// Never empty.
@@ -39,13 +44,15 @@ impl ActionSpace {
     /// Decodes one action index into an [`OpStrategy`].
     pub fn decode(&self, action: usize, cluster: &Cluster) -> OpStrategy {
         let m = self.num_devices;
-        assert!(action < m + 4, "action {action} out of range");
+        assert!(action < m + 6, "action {action} out of range");
         match action {
             a if a < m => OpStrategy::Mp(DeviceId(a as u32)),
             a if a == m => OpStrategy::even(cluster, CommMethod::Ps),
             a if a == m + 1 => OpStrategy::even(cluster, CommMethod::AllReduce),
             a if a == m + 2 => OpStrategy::proportional(cluster, CommMethod::Ps),
-            _ => OpStrategy::proportional(cluster, CommMethod::AllReduce),
+            a if a == m + 3 => OpStrategy::proportional(cluster, CommMethod::AllReduce),
+            a if a == m + 4 => OpStrategy::shard_even(cluster, 0),
+            _ => OpStrategy::shard_proportional(cluster, 0),
         }
     }
 
@@ -57,7 +64,9 @@ impl ActionSpace {
             a if a == m => "EV-PS".into(),
             a if a == m + 1 => "EV-AR".into(),
             a if a == m + 2 => "CP-PS".into(),
-            _ => "CP-AR".into(),
+            a if a == m + 3 => "CP-AR".into(),
+            a if a == m + 4 => "SH-EV".into(),
+            _ => "SH-CP".into(),
         }
     }
 }
@@ -75,7 +84,7 @@ pub fn actions_to_strategy(
     let per_op = (0..g.len())
         .map(|i| decoded[grouping.group_of[i] as usize].clone())
         .collect();
-    Strategy { per_op }
+    Strategy::from_per_op(per_op)
 }
 
 #[cfg(test)]
@@ -87,9 +96,9 @@ mod tests {
     use heterog_strategies::{group_ops, grouping::avg_op_times};
 
     #[test]
-    fn space_size_is_m_plus_4() {
+    fn space_size_is_m_plus_6() {
         let c = paper_testbed_8gpu();
-        assert_eq!(ActionSpace::new(&c).len(), 12);
+        assert_eq!(ActionSpace::new(&c).len(), 14);
     }
 
     #[test]
@@ -107,6 +116,8 @@ mod tests {
             s.decode(11, &c),
             OpStrategy::proportional(&c, CommMethod::AllReduce)
         );
+        assert_eq!(s.decode(12, &c), OpStrategy::shard_even(&c, 0));
+        assert_eq!(s.decode(13, &c), OpStrategy::shard_proportional(&c, 0));
     }
 
     #[test]
@@ -116,6 +127,8 @@ mod tests {
         assert_eq!(s.label(0), "G0");
         assert_eq!(s.label(8), "EV-PS");
         assert_eq!(s.label(11), "CP-AR");
+        assert_eq!(s.label(12), "SH-EV");
+        assert_eq!(s.label(13), "SH-CP");
     }
 
     #[test]

@@ -1,17 +1,26 @@
-//! Bench-regression gate: diff a fresh `BENCH_eval_throughput.json`
-//! against the committed baseline and fail on a large regression.
+//! Bench-regression gate: diff a fresh bench artifact against the
+//! committed baseline and fail on a large regression.
 //!
 //! ```text
 //! bench_compare <baseline.json> <fresh.json> [--max-regression 0.25]
 //! ```
 //!
-//! Compares the throughput fields (`serial_evals_per_sec`,
-//! `batched_cached_evals_per_sec`) and the derived `speedup`. A fresh
-//! value more than `--max-regression` (default 25%) below the baseline
-//! exits nonzero with a per-field report; improvements and small noise
-//! pass. CI runs this as a *non-blocking* step — machine throughput
-//! varies wildly across runners, so the gate informs rather than
-//! merges-blocks, but the artifact diff is printed either way.
+//! Two artifact kinds are recognized by their fields:
+//!
+//! * **eval-throughput** (`BENCH_eval_throughput.json`) — compares the
+//!   throughput fields (`serial_evals_per_sec`,
+//!   `batched_cached_evals_per_sec`) and the derived `speedup`.
+//! * **strategy-space** (`BENCH_strategy_space.json`, detected by its
+//!   `wins` field) — gates on `wins` (models where the widened
+//!   Shard/Pipeline space beats the best replicate/MP-only plan) and
+//!   `mean_improvement_pct`. These come from the deterministic
+//!   simulator, so any drop is a planner/lowering change, not noise.
+//!
+//! A fresh value more than `--max-regression` (default 25%) below the
+//! baseline exits nonzero with a per-field report; improvements and
+//! small noise pass. CI runs this as a *non-blocking* step — machine
+//! throughput varies wildly across runners, so the gate informs rather
+//! than merges-blocks, but the artifact diff is printed either way.
 //!
 //! Run: `cargo run --release -p heterog-bench --bin bench_compare -- \
 //!       BENCH_eval_throughput.json fresh.json`
@@ -43,6 +52,12 @@ const INFORMATIONAL: [&str; 5] = [
     "cache_misses",
     "perturbation_total_evals",
 ];
+
+/// Strategy-space artifacts (`exp_strategy_space`): *lower is worse*.
+const SS_GATED: [&str; 2] = ["wins", "mean_improvement_pct"];
+
+/// Strategy-space context fields, never gated.
+const SS_INFORMATIONAL: [&str; 1] = ["models"];
 
 fn load(path: &str) -> Result<serde_json::Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -84,6 +99,15 @@ fn main() -> ExitCode {
         }
     };
 
+    // Artifact kind: strategy-space artifacts carry `wins`, throughput
+    // artifacts carry evals/sec fields.
+    let strategy_space = fresh.get("wins").is_some() || baseline.get("wins").is_some();
+    let (gated, gated_optional, informational): (&[&str], &[&str], &[&str]) = if strategy_space {
+        (&SS_GATED, &[], &SS_INFORMATIONAL)
+    } else {
+        (&GATED, &GATED_OPTIONAL, &INFORMATIONAL)
+    };
+
     println!("bench compare: {baseline_path} (baseline) vs {fresh_path} (fresh)");
     println!(
         "{:<32}{:>14}{:>14}{:>10}  verdict",
@@ -91,7 +115,7 @@ fn main() -> ExitCode {
     );
 
     let mut failed = false;
-    for key in GATED {
+    for &key in gated {
         let (Some(b), Some(f)) = (num(&baseline, key), num(&fresh, key)) else {
             println!("{key:<32}{:>14}{:>14}{:>10}  MISSING (fail)", "?", "?", "?");
             failed = true;
@@ -106,7 +130,7 @@ fn main() -> ExitCode {
         );
         failed |= regressed;
     }
-    for key in GATED_OPTIONAL {
+    for &key in gated_optional {
         let Some(f) = num(&fresh, key) else {
             continue;
         };
@@ -123,7 +147,7 @@ fn main() -> ExitCode {
         );
         failed |= regressed;
     }
-    for key in INFORMATIONAL {
+    for &key in informational {
         if let (Some(b), Some(f)) = (num(&baseline, key), num(&fresh, key)) {
             println!("{key:<32}{b:>14.3}{f:>14.3}{:>10}  (info)", "");
         }
@@ -131,7 +155,7 @@ fn main() -> ExitCode {
 
     if failed {
         eprintln!(
-            "FAIL: throughput regressed more than {:.0}% vs committed baseline",
+            "FAIL: gated fields regressed more than {:.0}% vs committed baseline",
             max_regression * 100.0
         );
         ExitCode::FAILURE

@@ -24,7 +24,7 @@ fn force_comm(s: &Strategy, comm: CommMethod) -> Strategy {
             mp => mp.clone(),
         })
         .collect();
-    Strategy { per_op }
+    Strategy::from_per_op(per_op).with_stages(s.stages.clone())
 }
 
 fn main() {

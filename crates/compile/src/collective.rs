@@ -8,7 +8,7 @@ use heterog_graph::{Node, OpKind, Phase, TensorMeta};
 use heterog_profile::{path_time, CostEstimator};
 use heterog_sched::{Proc, Task, TaskGraph, TaskId, TaskName};
 
-use crate::price::{CollectiveRec, PriceBook, PsRound};
+use crate::price::{CollectiveKind, CollectiveRec, PriceBook, PsRound};
 use crate::xfer::emit_transfer;
 
 static COLLECTIVES_PS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
@@ -22,6 +22,14 @@ static COLLECTIVES_RING: heterog_telemetry::Counter = heterog_telemetry::Counter
 static COLLECTIVES_HIER: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
     "heterog_compile_collectives_hier_total",
     "Hierarchical AllReduce collectives emitted",
+);
+static COLLECTIVES_AG: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_collectives_allgather_total",
+    "All-gather collectives emitted (SPMD shard boundaries)",
+);
+static COLLECTIVES_RS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_compile_collectives_reducescatter_total",
+    "Reduce-scatter collectives emitted (SPMD shard boundaries)",
 );
 
 /// Fraction of raw link bandwidth an NCCL collective sustains across a
@@ -183,6 +191,26 @@ pub fn ring_estimate<C: CostEstimator>(
         .fold(f64::INFINITY, f64::min);
     let step = chunk / (bw * NCCL_BUS_EFFICIENCY) + NCCL_HOP_LATENCY_S;
     NCCL_LAUNCH_OVERHEAD_S + 2.0 * (n as f64 - 1.0) * step
+}
+
+/// One-pass ring collective duration (all-gather / reduce-scatter):
+/// `(n-1)` pipelined steps of `bytes/n` on the slowest participating
+/// hop, at NCCL's sustained bus efficiency, plus the launch overhead.
+/// An all-gather and a reduce-scatter are duals — each moves every slice
+/// past every device exactly once — so one estimate serves both, and a
+/// ring AllReduce (= reduce-scatter + all-gather) costs exactly two of
+/// these minus one launch.
+pub fn one_pass_estimate(cluster: &Cluster, devices: &[DeviceId], bytes: u64) -> f64 {
+    let n = devices.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let chunk = bytes.div_ceil(n as u64) as f64;
+    let bw = (0..n)
+        .map(|i| path_bandwidth(cluster, devices[i], devices[(i + 1) % n]))
+        .fold(f64::INFINITY, f64::min);
+    let step = chunk / (bw * NCCL_BUS_EFFICIENCY) + NCCL_HOP_LATENCY_S;
+    NCCL_LAUNCH_OVERHEAD_S + (n as f64 - 1.0) * step
 }
 
 /// Hierarchical AllReduce duration: intra-server reduce to a leader,
@@ -393,6 +421,7 @@ pub fn emit_allreduce<C: CostEstimator>(
         })
         .collect();
     book.collectives.push(CollectiveRec {
+        kind: CollectiveKind::AllReduce,
         devices: devices.to_vec(),
         bytes,
         link_tasks: link_tasks.clone(),
@@ -422,6 +451,131 @@ pub fn emit_allreduce<C: CostEstimator>(
             Proc::Gpu(d.0),
             0.0,
         ));
+        for &lt in &link_tasks {
+            tg.add_dep(lt, done);
+        }
+        out.push(done);
+    }
+    out
+}
+
+/// Emits a one-pass ring collective (all-gather or reduce-scatter) over
+/// the SPMD shard group into `tg`. `bytes` is the *full* (unsharded)
+/// tensor size — the ring moves `bytes/n` chunks `n-1` steps, same as one
+/// AllReduce pass. `ready[i]` holds device `i`'s local slice / partial
+/// tensor; `marker_bytes[i]` is charged to device `i`'s completion marker
+/// (the gathered remainder for an all-gather — the device already holds
+/// its own slice — and 0 for an in-place reduce-scatter). Returns one
+/// completion marker per device, in `devices` order. Recorded into `book`
+/// with the collective's kind so re-pricing patches the right formula.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_one_pass_collective<C: CostEstimator>(
+    tg: &mut TaskGraph,
+    cluster: &Cluster,
+    _cost: &C,
+    base: &Arc<str>,
+    devices: &[DeviceId],
+    ready: &[Vec<TaskId>],
+    bytes: u64,
+    kind: CollectiveKind,
+    marker_bytes: &[u64],
+    book: &mut PriceBook,
+) -> Vec<TaskId> {
+    assert_eq!(devices.len(), ready.len());
+    assert_eq!(devices.len(), marker_bytes.len());
+    let (op_kind, tag, done_tag) = match kind {
+        CollectiveKind::AllGather => (OpKind::AllGather, "ag", "ag_done"),
+        CollectiveKind::ReduceScatter => (OpKind::ReduceScatter, "rs", "rs_done"),
+        CollectiveKind::AllReduce => {
+            unreachable!("AllReduce goes through emit_allreduce")
+        }
+    };
+    let n = devices.len();
+    if n == 1 {
+        // A single slice is the whole tensor; nothing moves.
+        if ready[0].len() == 1 {
+            return vec![ready[0][0]];
+        }
+        let d = devices[0];
+        let join = tg.add_task(Task::new(
+            TaskName::Tagged {
+                base: base.clone(),
+                tag: "local_join",
+                dev: d.0,
+            },
+            OpKind::GradAggregate,
+            Proc::Gpu(d.0),
+            0.0,
+        ));
+        for &r in &ready[0] {
+            tg.add_dep(r, join);
+        }
+        return vec![join];
+    }
+    match kind {
+        CollectiveKind::AllGather => COLLECTIVES_AG.inc(),
+        CollectiveKind::ReduceScatter => COLLECTIVES_RS.inc(),
+        CollectiveKind::AllReduce => unreachable!(),
+    }
+
+    let dur = one_pass_estimate(cluster, devices, bytes);
+    // Occupy every channel the ring's hops traverse (deduplicated), the
+    // same link-occupancy model as `emit_allreduce`.
+    let mut lids: Vec<u32> = Vec::new();
+    for i in 0..n {
+        let a = devices[i];
+        let b = devices[(i + 1) % n];
+        for &lid in cluster.path_between(a, b).expect("mesh path") {
+            if !lids.contains(&lid.0) {
+                lids.push(lid.0);
+            }
+        }
+    }
+    let link_tasks: Vec<TaskId> = lids
+        .into_iter()
+        .map(|lid| {
+            tg.add_task(Task::new(
+                TaskName::OnLink {
+                    base: base.clone(),
+                    tag,
+                    label: cluster.link(heterog_cluster::LinkId(lid)).label.clone(),
+                },
+                op_kind,
+                Proc::Link(lid),
+                dur,
+            ))
+        })
+        .collect();
+    book.collectives.push(CollectiveRec {
+        kind,
+        devices: devices.to_vec(),
+        bytes,
+        link_tasks: link_tasks.clone(),
+    });
+
+    for rs in ready {
+        for &r in rs {
+            for &lt in &link_tasks {
+                tg.add_dep(r, lt);
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for (i, &d) in devices.iter().enumerate() {
+        let done = tg.add_task(
+            Task::new(
+                TaskName::Tagged {
+                    base: base.clone(),
+                    tag: done_tag,
+                    dev: d.0,
+                },
+                OpKind::GradAggregate,
+                Proc::Gpu(d.0),
+                0.0,
+            )
+            .with_output_bytes(marker_bytes[i]),
+        );
         for &lt in &link_tasks {
             tg.add_dep(lt, done);
         }
@@ -659,6 +813,58 @@ mod tests {
         );
         assert_eq!(out, ready[0]);
         assert_eq!(tg.len(), 1);
+    }
+
+    #[test]
+    fn one_pass_is_roughly_half_an_allreduce() {
+        // AG/RS move each chunk (n-1) hops; a ring AR moves it 2(n-1).
+        // Modulo launch overhead, one pass costs about half the AR.
+        let c = paper_testbed_8gpu();
+        let d = all8();
+        let bytes: u64 = 256 << 20;
+        let one = one_pass_estimate(&c, &d, bytes);
+        let ar = ring_estimate(&c, &GroundTruthCost, &d, bytes);
+        assert!(one < ar, "one-pass {one} vs AR {ar}");
+        assert!(
+            (2.0 * (one - NCCL_LAUNCH_OVERHEAD_S) - (ar - NCCL_LAUNCH_OVERHEAD_S)).abs()
+                < 0.1 * ar,
+            "one-pass {one} should be ~half of AR {ar}"
+        );
+        assert_eq!(one_pass_estimate(&c, &d[..1], bytes), 0.0);
+    }
+
+    #[test]
+    fn emit_one_pass_records_kind_and_charges_markers() {
+        let c = paper_testbed_8gpu();
+        let cost = GroundTruthCost;
+        let mut tg = TaskGraph::new("t", 8, c.num_links() as u32);
+        let devices = vec![DeviceId(0), DeviceId(1)];
+        let ready: Vec<Vec<TaskId>> = devices
+            .iter()
+            .map(|d| vec![tg.add_task(Task::new("s", OpKind::MatMul, Proc::Gpu(d.0), 0.01))])
+            .collect();
+        let mut book = PriceBook::default();
+        let out = emit_one_pass_collective(
+            &mut tg,
+            &c,
+            &cost,
+            &Arc::from("act"),
+            &devices,
+            &ready,
+            8 << 20,
+            CollectiveKind::AllGather,
+            &[6 << 20, 2 << 20],
+            &mut book,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(book.collectives.len(), 1);
+        assert_eq!(book.collectives[0].kind, CollectiveKind::AllGather);
+        assert_eq!(tg.task(out[0]).output_bytes, 6 << 20);
+        assert_eq!(tg.task(out[1]).output_bytes, 2 << 20);
+        let link_dur = tg.task(book.collectives[0].link_tasks[0]).duration;
+        assert!((link_dur - one_pass_estimate(&c, &devices, 8 << 20)).abs() < 1e-12);
+        let s = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert!(s.makespan >= 0.01 + link_dur - 1e-9);
     }
 
     #[test]

@@ -8,9 +8,9 @@ use heterog_graph::{Graph, Node, OpId, OpKind, Phase, TensorMeta};
 use heterog_profile::CostEstimator;
 use heterog_sched::{Proc, Task, TaskGraph, TaskId, TaskName};
 
-use crate::collective::{emit_allreduce, emit_ps, PsLoadTracker};
+use crate::collective::{emit_allreduce, emit_one_pass_collective, emit_ps, PsLoadTracker};
 use crate::placement::{resolve_placements, OpPlacement};
-use crate::price::PriceBook;
+use crate::price::{CollectiveKind, PriceBook};
 use crate::strategy::{CommMethod, Strategy};
 
 static COMPILATIONS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
@@ -117,9 +117,14 @@ pub fn compile_with_book<C: CostEstimator>(
         pin_params: true,
         emit_applies: true,
         share_override: None,
+        book: PriceBook::default(),
+        gathered: vec![None; g.len()],
+        scattered: vec![None; g.len()],
     };
     lw.create_replica_tasks();
     lw.wire_edges();
+    book.ps_rounds.append(&mut lw.book.ps_rounds);
+    book.collectives.append(&mut lw.book.collectives);
     emit_aggregation_pass(
         &mut lw.tg,
         g,
@@ -160,6 +165,11 @@ pub struct StagedCompile {
     placements: Vec<OpPlacement>,
     op_tasks: Vec<Vec<TaskId>>,
     base_names: Vec<Arc<str>>,
+    /// Pricing records produced during wiring (shard-boundary all-gather
+    /// and reduce-scatter collectives), replayed into the caller's book
+    /// on every [`StagedCompile::finish`] — the cloned pre-aggregation
+    /// graph preserves the recorded task ids.
+    wire_book: PriceBook,
 }
 
 /// Compiles `g` up to (but excluding) gradient aggregation.
@@ -188,6 +198,9 @@ pub fn compile_staged<C: CostEstimator>(
         pin_params: true,
         emit_applies: true,
         share_override: None,
+        book: PriceBook::default(),
+        gathered: vec![None; g.len()],
+        scattered: vec![None; g.len()],
     };
     lw.create_replica_tasks();
     lw.wire_edges();
@@ -196,6 +209,7 @@ pub fn compile_staged<C: CostEstimator>(
         placements: lw.placements,
         op_tasks: lw.op_tasks,
         base_names: lw.base_names,
+        wire_book: lw.book,
     }
 }
 
@@ -207,14 +221,16 @@ impl StagedCompile {
 
     /// True when `other`'s replica placement matches this staged
     /// compilation's per-op replicas exactly — the precondition for
-    /// [`StagedCompile::finish`]. Communication methods may differ.
+    /// [`StagedCompile::finish`]. Communication methods may differ;
+    /// shard dimensions may not (a Shard<->Dp flip with identical shares
+    /// changes the wiring, not just aggregation).
     pub fn replicas_match(&self, other: &[OpPlacement]) -> bool {
         self.placements.len() == other.len()
             && self
                 .placements
                 .iter()
                 .zip(other)
-                .all(|(a, b)| a.replicas == b.replicas)
+                .all(|(a, b)| a.replicas == b.replicas && a.shard_dim == b.shard_dim)
     }
 
     /// Completes the compilation by running the aggregation stage with
@@ -236,6 +252,9 @@ impl StagedCompile {
         debug_assert!(self.replicas_match(placements));
         COMPILATIONS.inc();
         let mut tg = self.pre_agg.clone();
+        book.ps_rounds.extend(self.wire_book.ps_rounds.iter().cloned());
+        book.collectives
+            .extend(self.wire_book.collectives.iter().cloned());
         let mut ps_loads = PsLoadTracker::new(cluster.servers().len());
         emit_aggregation_pass(
             &mut tg,
@@ -322,6 +341,9 @@ pub fn compile_pipelined<C: CostEstimator>(
             pin_params: mi == active[0].0,
             emit_applies: mi == last_mi,
             share_override: Some(shares),
+            book: PriceBook::default(),
+            gathered: vec![None; g.len()],
+            scattered: vec![None; g.len()],
         };
         lw.create_replica_tasks();
         lw.wire_edges();
@@ -409,6 +431,9 @@ pub fn compile_iterations<C: CostEstimator>(
             pin_params: it == 0,
             emit_applies: true,
             share_override: None,
+            book: PriceBook::default(),
+            gathered: vec![None; g.len()],
+            scattered: vec![None; g.len()],
         };
         lw.create_replica_tasks();
         lw.wire_edges();
@@ -491,6 +516,18 @@ fn emit_cross_micro_aggregation<C: CostEstimator>(
         let applies = &apply_tasks[apply.index()];
         debug_assert_eq!(applies.len(), devices.len());
 
+        // Sharded parameters: every device owns its slice's gradient —
+        // apply locally, no cross-device aggregation (see
+        // `emit_aggregation_pass`).
+        if gp.shard_dim.is_some() {
+            for (rs, &a) in ready.iter().zip(applies) {
+                for &r in rs {
+                    tg.add_dep(r, a);
+                }
+            }
+            continue;
+        }
+
         if devices.len() == 1 {
             for &r in &ready[0] {
                 tg.add_dep(r, applies[0]);
@@ -542,6 +579,16 @@ struct Lowerer<'a, C: CostEstimator> {
     pin_params: bool,
     emit_applies: bool,
     share_override: Option<Vec<Vec<u64>>>,
+    /// Pricing decisions made while *wiring* (the SPMD shard boundaries'
+    /// all-gather / reduce-scatter collectives), merged into the caller's
+    /// book after lowering so re-pricing can patch them.
+    book: PriceBook,
+    /// Per-op cached all-gather completion markers: every consumer of a
+    /// sharded forward op shares one collective instead of re-gathering.
+    gathered: Vec<Option<Vec<TaskId>>>,
+    /// Per-op cached reduce-scatter completion markers (sharded backward
+    /// boundaries), shared across consumers likewise.
+    scattered: Vec<Option<Vec<TaskId>>>,
 }
 
 impl<'a, C: CostEstimator> Lowerer<'a, C> {
@@ -551,6 +598,14 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
                 continue; // pipelined: updates happen once, after the last micro-batch
             }
             let placement = self.placements[id.index()].clone();
+            // SPMD-sharded ops partition their output and parameters
+            // *exactly* (slices sum to the full tensor, largest-remainder
+            // rounding), rather than pricing each replica independently.
+            let shard_shares: Vec<u64> = placement.replicas.iter().map(|r| r.1).collect();
+            let shard_total: u64 = shard_shares.iter().sum();
+            let param_slices: Option<Vec<u64>> = placement
+                .shard_dim
+                .map(|_| heterog_graph::proportional_split(node.param_bytes, &shard_shares));
             let mut param_assigned: Vec<DeviceId> = Vec::new();
             for (ri, &(dev, full_share)) in placement.replicas.iter().enumerate() {
                 let share = match &self.share_override {
@@ -581,15 +636,22 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
                 .with_output_bytes(
                     if node.kind == OpKind::ApplyGradient || is_in_place(node.kind) {
                         0
+                    } else if placement.shard_dim.is_some() {
+                        node.output.shard_bytes(shard_total, &shard_shares, ri)
                     } else {
                         node.output.bytes(share)
                     },
                 );
                 // Parameters are pinned once per distinct device, along
                 // with the optimizer's per-parameter state (and only by
-                // the first micro-batch's pass).
+                // the first micro-batch's pass). A sharded op pins only
+                // its slice of the parameters — the SPMD memory payoff.
                 if self.pin_params && node.param_bytes > 0 && !param_assigned.contains(&dev) {
-                    task = task.with_param_bytes(node.param_bytes * OPTIMIZER_STATE_FACTOR);
+                    let pinned = match &param_slices {
+                        Some(slices) => slices[ri],
+                        None => node.param_bytes,
+                    };
+                    task = task.with_param_bytes(pinned * OPTIMIZER_STATE_FACTOR);
                     param_assigned.push(dev);
                 }
                 let tid = self.tg.add_task(task);
@@ -620,17 +682,93 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
         if self.op_tasks[u.index()].is_empty() || self.op_tasks[v.index()].is_empty() {
             return; // endpoint not emitted in this pass (pipelined applies)
         }
-        let pu = self.placements[u.index()].clone();
+        let mut pu = self.placements[u.index()].clone();
         let pv = self.placements[v.index()].clone();
-        let tu = self.op_tasks[u.index()].clone();
+        let mut tu = self.op_tasks[u.index()].clone();
         let tv = self.op_tasks[v.index()].clone();
         let node_u = self.g.node(u).clone();
         let base_u = self.base_names[u.index()].clone();
 
         // Identical distributions: replica-to-replica, no communication.
-        if pu.replicas == pv.replicas {
+        // For *sharded* ops this only holds between an op and its own
+        // backward twin (their slices cover the same parameter rows); two
+        // distinct ops sharded identically still exchange full tensors.
+        if pu.replicas == pv.replicas
+            && pu.shard_dim == pv.shard_dim
+            && (pu.shard_dim.is_none() || self.g.node(v).grad_of == Some(u))
+        {
             for (a, b) in tu.iter().zip(&tv) {
                 self.tg.add_dep(*a, *b);
+            }
+            return;
+        }
+
+        // SPMD shard boundary, producer side. A sharded forward op holds
+        // activation *slices*: consumers that are not identically sharded
+        // need the full tensor, so the slices are all-gathered across the
+        // shard group (once, cached — every consumer reuses it). A
+        // sharded backward op holds *partial sums* of the input gradient:
+        // those are reduce-scattered, after which each participant owns
+        // its batch-share-sized slice of the summed tensor — exactly the
+        // ordinary DP distribution the generic logic below reconciles.
+        if pu.shard_dim.is_some() && !pu.single_instance() {
+            if node_u.phase == Phase::Backward {
+                tu = self.reduce_scattered(u, &node_u, &base_u);
+                pu.shard_dim = None;
+                // Post-scatter the distribution may now match the
+                // consumer exactly (e.g. a DP op with the same shares).
+                if pu.replicas == pv.replicas && pv.shard_dim.is_none() {
+                    for (a, b) in tu.iter().zip(&tv) {
+                        self.tg.add_dep(*a, *b);
+                    }
+                    return;
+                }
+            } else {
+                let markers = self.gathered(u, &node_u, &base_u);
+                let participants: Vec<DeviceId> = pu.replicas.iter().map(|r| r.0).collect();
+                let total: u64 = pu.replicas.iter().map(|r| r.1).sum();
+                for (i, &(d, share)) in pv.replicas.iter().enumerate() {
+                    // A sharded (or batch-less) consumer reads the full
+                    // gathered tensor; a batch-slicing consumer reads its
+                    // slice.
+                    let bytes = if pv.shard_dim.is_some() || !node_u.output.has_batch_dim() {
+                        node_u.output.bytes(total)
+                    } else {
+                        node_u.output.bytes(share)
+                    };
+                    match participants.iter().position(|&p| p == d) {
+                        Some(j) => self.tg.add_dep(markers[j], tv[i]),
+                        None => self.connect(markers[0], tv[i], participants[0], d, bytes, &base_u),
+                    }
+                }
+                return;
+            }
+        }
+
+        // SPMD shard boundary, consumer side: a sharded op splits its
+        // *weights*, not its input — every shard replica reads the full
+        // input tensor (gathered to a hub first if the producer is
+        // distributed).
+        if pv.shard_dim.is_some() && !pv.single_instance() {
+            let total_u: u64 = pu.replicas.iter().map(|r| r.1).sum();
+            let full = node_u.output.bytes(total_u);
+            let (src_dev, src_task) = if pu.single_instance() {
+                (pu.replicas[0].0, tu[0])
+            } else {
+                let hub = heaviest_device(&pu);
+                let concat = self.structural_task(OpKind::Concat, hub, full, &base_u);
+                for (i, &(d, share)) in pu.replicas.iter().enumerate() {
+                    let bytes = node_u.output.bytes(share);
+                    self.connect(tu[i], concat, d, hub, bytes, &base_u);
+                }
+                (hub, concat)
+            };
+            for (i, &(d, _)) in pv.replicas.iter().enumerate() {
+                if d == src_dev {
+                    self.tg.add_dep(src_task, tv[i]);
+                } else {
+                    self.connect(src_task, tv[i], src_dev, d, full, &base_u);
+                }
             }
             return;
         }
@@ -798,6 +936,88 @@ impl<'a, C: CostEstimator> Lowerer<'a, C> {
         )
     }
 
+    /// All-gathers a sharded forward op's output slices into a full
+    /// tensor on every participant (cached — consumers share one
+    /// collective). Each participant's completion marker is charged the
+    /// gathered *remainder* (the full tensor minus the slice it already
+    /// owns), so peak memory reflects the materialized full activation.
+    fn gathered(&mut self, u: OpId, node: &Node, base: &Arc<str>) -> Vec<TaskId> {
+        if let Some(m) = &self.gathered[u.index()] {
+            return m.clone();
+        }
+        let p = self.placements[u.index()].clone();
+        let devices: Vec<DeviceId> = p.replicas.iter().map(|r| r.0).collect();
+        let shares: Vec<u64> = p.replicas.iter().map(|r| r.1).collect();
+        let total: u64 = shares.iter().sum();
+        let full = node.output.bytes(total);
+        let ready: Vec<Vec<TaskId>> = self.op_tasks[u.index()]
+            .iter()
+            .map(|&t| vec![t])
+            .collect();
+        let marker_bytes: Vec<u64> = (0..devices.len())
+            .map(|i| full - node.output.shard_bytes(total, &shares, i))
+            .collect();
+        let m = emit_one_pass_collective(
+            &mut self.tg,
+            self.cluster,
+            self.cost,
+            base,
+            &devices,
+            &ready,
+            full,
+            CollectiveKind::AllGather,
+            &marker_bytes,
+            &mut self.book,
+        );
+        self.gathered[u.index()] = Some(m.clone());
+        m
+    }
+
+    /// Reduce-scatters a sharded backward op's partial input-gradient
+    /// sums across its shard group (cached). Afterwards each participant
+    /// owns its share-sized slice of the summed tensor in place, so the
+    /// markers carry no extra bytes.
+    fn reduce_scattered(&mut self, u: OpId, node: &Node, base: &Arc<str>) -> Vec<TaskId> {
+        if let Some(m) = &self.scattered[u.index()] {
+            return m.clone();
+        }
+        let p = self.placements[u.index()].clone();
+        let devices: Vec<DeviceId> = p.replicas.iter().map(|r| r.0).collect();
+        let total: u64 = p.replicas.iter().map(|r| r.1).sum();
+        let full = node.output.bytes(total);
+        let ready: Vec<Vec<TaskId>> = self.op_tasks[u.index()]
+            .iter()
+            .map(|&t| vec![t])
+            .collect();
+        let marker_bytes = vec![0u64; devices.len()];
+        let m = emit_one_pass_collective(
+            &mut self.tg,
+            self.cluster,
+            self.cost,
+            base,
+            &devices,
+            &ready,
+            full,
+            CollectiveKind::ReduceScatter,
+            &marker_bytes,
+            &mut self.book,
+        );
+        self.scattered[u.index()] = Some(m.clone());
+        m
+    }
+}
+
+/// The device hosting the largest total share of a placement (ties go to
+/// the earliest replica's device).
+fn heaviest_device(p: &OpPlacement) -> DeviceId {
+    let mut best = (p.replicas[0].0, 0u64);
+    for &(d, _) in &p.replicas {
+        let total: u64 = p.replicas.iter().filter(|r| r.0 == d).map(|r| r.1).sum();
+        if total > best.1 {
+            best = (d, total);
+        }
+    }
+    best.0
 }
 
 /// The gradient-aggregation stage of lowering, shared by the one-shot
@@ -858,6 +1078,20 @@ fn emit_aggregation_pass<C: CostEstimator>(
             devices.len(),
             "ApplyGradient placement must mirror the gradient's devices"
         );
+
+        // SPMD-sharded parameters need no gradient aggregation at all:
+        // each device computed exactly the gradient slice for the
+        // parameter slice it owns, and applies it locally. This is the
+        // sharding payoff — the per-iteration gradient collective
+        // vanishes, traded for the (smaller) forward all-gather.
+        if gp.shard_dim.is_some() {
+            for (rs, &a) in ready.iter().zip(apply_tasks) {
+                for &r in rs {
+                    tg.add_dep(r, a);
+                }
+            }
+            continue;
+        }
 
         if devices.len() == 1 {
             for &r in &ready[0] {
@@ -1178,6 +1412,162 @@ mod tests {
             "pipelining cannot slow things: {t3} vs {}",
             3.0 * t1
         );
+    }
+
+    fn shard_strategy(g: &Graph, c: &heterog_cluster::Cluster) -> Strategy {
+        Strategy::uniform(g.len(), crate::OpStrategy::shard_proportional(c, 0))
+    }
+
+    #[test]
+    fn shard_emits_one_pass_collectives_and_no_grad_allreduce() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = shard_strategy(&g, &c);
+        let (tg, book) = compile_priced(&g, &c, &GroundTruthCost, &s);
+        let ag = tg.iter().filter(|(_, t)| t.kind == OpKind::AllGather).count();
+        let rs = tg
+            .iter()
+            .filter(|(_, t)| t.kind == OpKind::ReduceScatter)
+            .count();
+        let ar = tg
+            .iter()
+            .filter(|(_, t)| t.kind == OpKind::NcclAllReduce)
+            .count();
+        assert!(ag > 0, "forward shard boundaries must all-gather");
+        assert!(rs > 0, "backward shard boundaries must reduce-scatter");
+        assert_eq!(ar, 0, "sharded gradients need no allreduce");
+        assert!(book
+            .collectives
+            .iter()
+            .any(|c| c.kind == CollectiveKind::AllGather));
+        assert!(book
+            .collectives
+            .iter()
+            .any(|c| c.kind == CollectiveKind::ReduceScatter));
+        let sched = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert!(sched.makespan.is_finite() && sched.makespan > 0.0);
+    }
+
+    #[test]
+    fn shard_pins_param_slices_not_full_copies() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = shard_strategy(&g, &c);
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        let (fid, fnode) = g.iter().find(|(_, n)| n.name == "l1/matmul").unwrap();
+        let pinned: u64 = tg
+            .iter()
+            .filter(|(_, t)| t.origin == Some(fid))
+            .map(|(_, t)| t.param_bytes)
+            .sum();
+        // Slices partition the parameters exactly once across the
+        // cluster — not one full copy per device as DP replication pins.
+        assert_eq!(pinned, fnode.param_bytes * OPTIMIZER_STATE_FACTOR);
+        // Output slices partition the full activation exactly.
+        let out: u64 = tg
+            .iter()
+            .filter(|(_, t)| t.origin == Some(fid))
+            .map(|(_, t)| t.output_bytes)
+            .sum();
+        assert_eq!(out, fnode.output.bytes(64));
+    }
+
+    #[test]
+    fn shard_consumers_share_one_cached_allgather() {
+        // Two consumers of the same sharded op must reuse one collective.
+        let mut b = GraphBuilder::new("fan", 64);
+        let x = b.input(1000);
+        let l1 = b.param_layer("l1", OpKind::MatMul, x, 500, 500_000, 1e6);
+        let a = b.param_layer("a", OpKind::MatMul, l1, 100, 50_000, 2e5);
+        let bb = b.param_layer("b", OpKind::MatMul, l1, 100, 50_000, 2e5);
+        let join = b.join("join", OpKind::Add, &[a, bb], 100);
+        let g = b.finish(join);
+        let c = paper_testbed_8gpu();
+        let mut s = Strategy::even(g.len(), &c, CommMethod::AllReduce);
+        let (l1id, _) = g.iter().find(|(_, n)| n.name == "l1/matmul").unwrap();
+        s.per_op[l1id.index()] = crate::OpStrategy::shard_proportional(&c, 0);
+        let (_, book) = compile_priced(&g, &c, &GroundTruthCost, &s);
+        let ags = book
+            .collectives
+            .iter()
+            .filter(|c| c.kind == CollectiveKind::AllGather)
+            .count();
+        assert_eq!(ags, 1, "the forward all-gather must be cached");
+    }
+
+    #[test]
+    fn staged_finish_is_bit_identical_for_shard_plans() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let s = shard_strategy(&g, &c);
+        let (fresh, fresh_book) = compile_priced(&g, &c, &GroundTruthCost, &s);
+        let staged = compile_staged(&g, &c, &GroundTruthCost, &s);
+        let placements = resolve_placements(&g, &c, &s);
+        assert!(staged.replicas_match(&placements));
+        let mut book = PriceBook::default();
+        let fin = staged.finish(
+            &g,
+            &c,
+            &GroundTruthCost,
+            &placements,
+            CompileOptions::default(),
+            &mut book,
+        );
+        assert_eq!(fresh.len(), fin.len());
+        for (id, t) in fresh.iter() {
+            let t2 = fin.task(id);
+            assert_eq!(t.duration.to_bits(), t2.duration.to_bits());
+            assert_eq!(t.output_bytes, t2.output_bytes);
+        }
+        assert_eq!(fresh_book.collectives.len(), book.collectives.len());
+    }
+
+    #[test]
+    fn shard_dim_flip_defeats_replicas_match() {
+        // Same proportional shares, but Shard vs Dp wiring differ: the
+        // staged fast path must refuse.
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let staged = compile_staged(&g, &c, &GroundTruthCost, &shard_strategy(&g, &c));
+        let dp = resolve_placements(
+            &g,
+            &c,
+            &Strategy::proportional(g.len(), &c, CommMethod::AllReduce),
+        );
+        assert!(!staged.replicas_match(&dp));
+    }
+
+    #[test]
+    fn pipeline_stages_confine_ops_to_their_devices() {
+        let g = tiny(64);
+        let c = paper_testbed_8gpu();
+        let stages = vec![
+            vec![DeviceId(0), DeviceId(1)],
+            vec![DeviceId(2), DeviceId(3)],
+        ];
+        // First half of the ops on stage 0, second half on stage 1.
+        let cut = g.len() / 2;
+        let per_op = (0..g.len())
+            .map(|i| crate::OpStrategy::Pipeline {
+                stage: usize::from(i >= cut),
+            })
+            .collect();
+        let s = Strategy::from_per_op(per_op).with_stages(stages.clone());
+        s.validate(&c).unwrap();
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        for (_, t) in tg.iter() {
+            let Some(origin) = t.origin else { continue };
+            let stage = &stages[usize::from(origin.index() >= cut)];
+            if let Proc::Gpu(d) = t.proc {
+                assert!(
+                    stage.contains(&DeviceId(d)),
+                    "{} must stay in its stage",
+                    t.name.render()
+                );
+            }
+        }
+        let sched = list_schedule(&tg, &OrderPolicy::RankBased);
+        assert!(sched.makespan.is_finite() && sched.makespan > 0.0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use heterog_cluster::{Cluster, DeviceId};
-use heterog_graph::{Graph, OpId, OpKind};
+use heterog_graph::{proportional_split, Graph, OpId, OpKind};
 
 use crate::strategy::{CommMethod, OpStrategy, Strategy};
 
@@ -22,11 +22,18 @@ use crate::strategy::{CommMethod, OpStrategy, Strategy};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpPlacement {
     /// `(device, batch_share)` per replica instance. Single-instance ops
-    /// have one entry carrying the full batch.
+    /// have one entry carrying the full batch. For SPMD-sharded ops the
+    /// share is the proportional slice of the batch each shard owns.
     pub replicas: Vec<(DeviceId, u64)>,
     /// Aggregation method for this op's parameter gradients (meaningful
     /// on gradient-producing ops; carried everywhere for simplicity).
     pub comm: CommMethod,
+    /// `Some(dim)` when the op is SPMD-sharded along `dim`: replicas are
+    /// *slices* of one logical instance (parameters partitioned, no
+    /// gradient aggregation, boundary all-gather/reduce-scatter) rather
+    /// than independent data-parallel replicas.
+    #[serde(default)]
+    pub shard_dim: Option<u32>,
 }
 
 impl OpPlacement {
@@ -64,6 +71,73 @@ pub fn split_batch(batch: u64, n: u64) -> Vec<u64> {
     (0..n).map(|i| base + u64::from(i < rem)).collect()
 }
 
+/// Places one op across devices with weight-proportional batch shares
+/// (largest-remainder exact split; zero-share devices dropped). Shared by
+/// the Shard and Pipeline arms: a shard weight vector and a stage's
+/// compute-power vector resolve identically, differing only in whether
+/// the instances are slices (`shard_dim`) or replicas.
+fn resolve_weighted(
+    batch: u64,
+    weights: &[u64],
+    batch_splittable: bool,
+    shard_dim: Option<u32>,
+    comm: CommMethod,
+) -> OpPlacement {
+    let participants: Vec<DeviceId> = weights
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0)
+        .map(|(i, _)| DeviceId(i as u32))
+        .collect();
+    if participants.is_empty() {
+        return OpPlacement {
+            replicas: vec![(DeviceId(0), batch)],
+            comm,
+            shard_dim: None,
+        };
+    }
+    if !batch_splittable || participants.len() == 1 {
+        // Non-splittable (or single-participant) ops collapse to one full
+        // instance on the heaviest-weighted device (ties: lowest id) —
+        // a single slice is the whole tensor, so no shard marker.
+        let best = weights
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &w)| (w, std::cmp::Reverse(i)))
+            .map(|(i, _)| DeviceId(i as u32))
+            .unwrap_or(DeviceId(0));
+        return OpPlacement {
+            replicas: vec![(best, batch)],
+            comm,
+            shard_dim: None,
+        };
+    }
+    let active: Vec<u64> = participants.iter().map(|d| weights[d.index()]).collect();
+    let shares = proportional_split(batch, &active);
+    let reps: Vec<(DeviceId, u64)> = participants
+        .into_iter()
+        .zip(shares)
+        .filter(|&(_, s)| s > 0)
+        .collect();
+    match reps.len() {
+        0 => OpPlacement {
+            replicas: vec![(DeviceId(0), batch)],
+            comm,
+            shard_dim: None,
+        },
+        1 => OpPlacement {
+            replicas: reps,
+            comm,
+            shard_dim: None,
+        },
+        _ => OpPlacement {
+            replicas: reps,
+            comm,
+            shard_dim,
+        },
+    }
+}
+
 /// Resolves every op's placement.
 pub fn resolve_placements(g: &Graph, cluster: &Cluster, strategy: &Strategy) -> Vec<OpPlacement> {
     assert_eq!(
@@ -81,6 +155,7 @@ pub fn resolve_placements(g: &Graph, cluster: &Cluster, strategy: &Strategy) -> 
             OpStrategy::Mp(d) => OpPlacement {
                 replicas: vec![(*d, batch)],
                 comm: CommMethod::AllReduce,
+                shard_dim: None,
             },
             OpStrategy::Dp { replicas, comm } => {
                 assert_eq!(
@@ -101,6 +176,7 @@ pub fn resolve_placements(g: &Graph, cluster: &Cluster, strategy: &Strategy) -> 
                         OpPlacement {
                             replicas: vec![(DeviceId(0), batch)],
                             comm: *comm,
+                            shard_dim: None,
                         }
                     } else {
                         // Shares are dealt per logical replica, then
@@ -125,11 +201,13 @@ pub fn resolve_placements(g: &Graph, cluster: &Cluster, strategy: &Strategy) -> 
                             OpPlacement {
                                 replicas: vec![(DeviceId(0), batch)],
                                 comm: *comm,
+                                shard_dim: None,
                             }
                         } else {
                             OpPlacement {
                                 replicas: reps,
                                 comm: *comm,
+                                shard_dim: None,
                             }
                         }
                     }
@@ -145,8 +223,45 @@ pub fn resolve_placements(g: &Graph, cluster: &Cluster, strategy: &Strategy) -> 
                     OpPlacement {
                         replicas: vec![(best, batch)],
                         comm: *comm,
+                        shard_dim: None,
                     }
                 }
+            }
+            OpStrategy::Shard { dim, shards } => {
+                assert_eq!(shards.len(), cluster.num_devices(), "shard vector length");
+                resolve_weighted(
+                    batch,
+                    &shards.iter().map(|&w| w as u64).collect::<Vec<_>>(),
+                    node.batch_splittable,
+                    Some(*dim),
+                    // Sharded parameters are partitioned, never aggregated;
+                    // the comm field is irrelevant but AllReduce keeps the
+                    // degenerate single-slice fallback sane.
+                    CommMethod::AllReduce,
+                )
+            }
+            OpStrategy::Pipeline { stage } => {
+                let devs = strategy
+                    .stages
+                    .get(*stage)
+                    .unwrap_or_else(|| panic!("pipeline stage {stage} not defined"));
+                assert!(!devs.is_empty(), "pipeline stage {stage} is empty");
+                // Compute-power-proportional shares within the stage,
+                // sparse over the stage's device set.
+                let mut weights = vec![0u64; cluster.num_devices()];
+                for d in devs {
+                    // Milli-TFLOPS resolution keeps small speed-factor
+                    // differences visible after integer rounding.
+                    weights[d.index()] =
+                        ((cluster.device(*d).effective_tflops() * 1000.0).round() as u64).max(1);
+                }
+                resolve_weighted(
+                    batch,
+                    &weights,
+                    node.batch_splittable,
+                    None,
+                    CommMethod::AllReduce,
+                )
             }
         };
         out.push(placement);
@@ -178,6 +293,9 @@ pub fn resolve_placements(g: &Graph, cluster: &Cluster, strategy: &Strategy) -> 
             out[id.index()] = OpPlacement {
                 replicas: devices.into_iter().map(|d| (d, batch)).collect(),
                 comm: out[p.index()].comm,
+                // Carried so lowering knows the update applies to an owned
+                // parameter slice (no aggregation collective precedes it).
+                shard_dim: out[p.index()].shard_dim,
             };
         }
     }
@@ -282,6 +400,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shard_places_proportional_slices() {
+        let g = tiny();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::uniform(g.len(), OpStrategy::shard_proportional(&c, 0));
+        let p = resolve_placements(&g, &c, &s);
+        let input = g.iter().find(|(_, n)| n.kind == OpKind::Input).unwrap().0;
+        let pl = &p[input.index()];
+        assert_eq!(pl.shard_dim, Some(0));
+        let total: u64 = pl.replicas.iter().map(|r| r.1).sum();
+        assert_eq!(total, 64, "slices must partition the batch exactly");
+        // V100 (G0) slice strictly larger than 1080Ti (G2).
+        let share = |d: u32| {
+            pl.replicas
+                .iter()
+                .find(|(dev, _)| *dev == DeviceId(d))
+                .map(|r| r.1)
+                .unwrap_or(0)
+        };
+        assert!(share(0) > share(2));
+        // Gradient ops inherit the shard placement (pass 2).
+        let (gid, _) = g
+            .iter()
+            .find(|(_, n)| n.kind.produces_param_grad())
+            .unwrap();
+        assert_eq!(p[gid.index()].shard_dim, Some(0));
+        // Non-splittable ops collapse to one unsharded instance.
+        for (id, n) in g.iter() {
+            if !n.batch_splittable && n.grad_of.is_none() && n.kind != OpKind::ApplyGradient {
+                assert!(p[id.index()].single_instance());
+                assert_eq!(p[id.index()].shard_dim, None);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_places_within_the_stage() {
+        let g = tiny();
+        let c = paper_testbed_8gpu();
+        let stages: Vec<Vec<DeviceId>> =
+            vec![(0..4).map(DeviceId).collect(), (4..8).map(DeviceId).collect()];
+        let s = Strategy::uniform(g.len(), OpStrategy::Pipeline { stage: 1 }).with_stages(stages);
+        let p = resolve_placements(&g, &c, &s);
+        let input = g.iter().find(|(_, n)| n.kind == OpKind::Input).unwrap().0;
+        let pl = &p[input.index()];
+        assert_eq!(pl.shard_dim, None);
+        assert!(pl.replicas.iter().all(|(d, _)| d.index() >= 4));
+        let total: u64 = pl.replicas.iter().map(|r| r.1).sum();
+        assert_eq!(total, 64);
     }
 
     #[test]

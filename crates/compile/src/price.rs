@@ -26,7 +26,8 @@ use heterog_profile::CostEstimator;
 use heterog_sched::{Proc, TaskGraph, TaskId};
 
 use crate::collective::{
-    choose_ps_balanced, hierarchical_estimate, reduce_time, ring_estimate, PsLoadTracker,
+    choose_ps_balanced, hierarchical_estimate, one_pass_estimate, reduce_time, ring_estimate,
+    PsLoadTracker,
 };
 
 /// One recorded parameter-server aggregation round, in emission order.
@@ -43,9 +44,25 @@ pub struct PsRound {
     pub agg: TaskId,
 }
 
-/// One recorded AllReduce collective (n >= 2 devices).
+/// Which collective a [`CollectiveRec`] prices. AllReduce serves DP
+/// gradient aggregation; all-gather and reduce-scatter are the SPMD
+/// sharding boundary collectives (forward reassembly / backward
+/// partial-sum scatter) and use the one-pass ring estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Ring or hierarchical AllReduce (auto-selected by estimate).
+    AllReduce,
+    /// One-pass ring all-gather.
+    AllGather,
+    /// One-pass ring reduce-scatter.
+    ReduceScatter,
+}
+
+/// One recorded collective (n >= 2 devices).
 #[derive(Debug, Clone)]
 pub struct CollectiveRec {
+    /// Which collective this is (selects the re-pricing formula).
+    pub kind: CollectiveKind,
     /// Participating devices, in placement order.
     pub devices: Vec<DeviceId>,
     /// Gradient tensor size.
@@ -180,7 +197,7 @@ pub fn reprice_into<C: CostEstimator>(
             Proc::Link(l) => match t.kind {
                 OpKind::Transfer => cost.transfer_time(cluster.link(LinkId(l)), t.comm_bytes),
                 // Collective link tasks are patched from the book below.
-                OpKind::NcclAllReduce => continue,
+                OpKind::NcclAllReduce | OpKind::AllGather | OpKind::ReduceScatter => continue,
                 _ => return Err(RepriceError::Underivable),
             },
         };
@@ -197,10 +214,21 @@ pub fn reprice_into<C: CostEstimator>(
         );
     }
     for coll in &book.collectives {
-        let ring_t = ring_estimate(cluster, cost, &coll.devices, coll.bytes);
-        let hier_t = hierarchical_estimate(cluster, cost, &coll.devices, coll.bytes);
-        // Same tie-break as `emit_allreduce` (hier wins strictly).
-        let dur = if hier_t < ring_t { hier_t } else { ring_t };
+        let dur = match coll.kind {
+            CollectiveKind::AllReduce => {
+                let ring_t = ring_estimate(cluster, cost, &coll.devices, coll.bytes);
+                let hier_t = hierarchical_estimate(cluster, cost, &coll.devices, coll.bytes);
+                // Same tie-break as `emit_allreduce` (hier wins strictly).
+                if hier_t < ring_t {
+                    hier_t
+                } else {
+                    ring_t
+                }
+            }
+            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => {
+                one_pass_estimate(cluster, &coll.devices, coll.bytes)
+            }
+        };
         for &lt in &coll.link_tasks {
             out.task_mut(lt).duration = dur;
         }

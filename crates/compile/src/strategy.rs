@@ -6,19 +6,55 @@
 //! AllReduce} aggregation. [`OpStrategy`] is the per-op decision after
 //! group expansion; the generic `Dp` variant also admits arbitrary
 //! replica vectors (used by the planner's local search).
+//!
+//! Beyond the paper, two widened variants (ROADMAP item 2, following HAP
+//! and HeteroShard):
+//!
+//! * [`OpStrategy::Shard`] — SPMD tensor sharding: one instance per
+//!   participating device, each owning a contiguous slice of the op's
+//!   tensors along `dim`, sized proportionally to the per-device `shards`
+//!   weights (HAP's computation-power-proportional sharding triples).
+//!   Sharded parameters need **no** gradient aggregation — each device
+//!   owns and updates its slice — at the price of boundary collectives:
+//!   an all-gather where a sharded output feeds a non-sharded consumer
+//!   and a reduce-scatter on the backward boundary.
+//! * [`OpStrategy::Pipeline`] — contiguous pipeline stages: the op runs
+//!   on stage `stage`'s device set ([`Strategy::stages`], the HeteroShard
+//!   `[start, end)` shape), replicated proportionally to compute power
+//!   within the stage; activations hop stage-to-stage over the priced
+//!   links.
 
 use serde::{Deserialize, Serialize};
 use thiserror::Error;
 
 use heterog_cluster::{Cluster, DeviceId};
 
+/// Human-readable roster of a cluster's devices, e.g.
+/// `"G0 (Tesla V100), G1 (GTX 1080Ti)"`. Embedded in validation errors so
+/// the message names what *would* be valid, not just a count.
+pub fn device_roster(cluster: &Cluster) -> String {
+    let mut s = String::new();
+    for (i, d) in cluster.devices().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{} ({})", DeviceId(i as u32), d.model.name()));
+    }
+    s
+}
+
 /// Why a strategy cannot be deployed on a given cluster. Produced by
 /// [`Strategy::validate`]; the elastic runtime's repair invariant is
-/// that repaired strategies always pass.
+/// that repaired strategies always pass. Every device-related variant
+/// names the offending [`DeviceId`] and, where the device does not exist,
+/// lists the valid roster (id + GPU model name).
 #[derive(Debug, Clone, PartialEq, Eq, Error)]
 pub enum StrategyError {
     /// An MP placement names a device the cluster does not have.
-    #[error("op {op}: MP placement on {device} but the cluster has {devices} devices")]
+    #[error(
+        "op {op}: MP placement on {device} but the cluster has {devices} devices \
+         (valid: {valid})"
+    )]
     MpOutOfRange {
         /// Offending op index.
         op: usize,
@@ -26,6 +62,8 @@ pub enum StrategyError {
         device: DeviceId,
         /// Devices actually present.
         devices: usize,
+        /// Roster of valid devices (`G<i> (<model>)`).
+        valid: String,
     },
     /// A DP replica vector's length disagrees with the device count.
     #[error("op {op}: replica vector has {len} entries but the cluster has {devices} devices")]
@@ -42,6 +80,82 @@ pub enum StrategyError {
     NoReplicas {
         /// Offending op index.
         op: usize,
+    },
+    /// A shard-weight vector assigns work to a device the cluster does
+    /// not have (the elastic invariant: shard vectors must not reference
+    /// removed devices).
+    #[error(
+        "op {op}: shard weight on {device} but the cluster has {devices} devices \
+         (valid: {valid})"
+    )]
+    ShardDeviceMissing {
+        /// Offending op index.
+        op: usize,
+        /// The missing device the shard vector assigns weight to.
+        device: DeviceId,
+        /// Devices actually present.
+        devices: usize,
+        /// Roster of valid devices (`G<i> (<model>)`).
+        valid: String,
+    },
+    /// A shard-weight vector's length disagrees with the device count
+    /// (with no out-of-range weight actually set).
+    #[error("op {op}: shard vector has {len} entries but the cluster has {devices} devices")]
+    ShardLengthMismatch {
+        /// Offending op index.
+        op: usize,
+        /// Shard-vector length.
+        len: usize,
+        /// Devices actually present.
+        devices: usize,
+    },
+    /// A shard-weight vector sums to zero (no device owns any slice).
+    #[error("op {op}: shard vector sums to zero")]
+    NoShards {
+        /// Offending op index.
+        op: usize,
+    },
+    /// A pipeline op references a stage the strategy does not define.
+    #[error("op {op}: pipeline stage {stage} but the strategy defines {stages} stages")]
+    StageOutOfRange {
+        /// Offending op index.
+        op: usize,
+        /// Referenced stage.
+        stage: usize,
+        /// Stages actually defined.
+        stages: usize,
+    },
+    /// A referenced pipeline stage has an empty device set.
+    #[error("pipeline stage {stage} has no devices")]
+    EmptyStage {
+        /// Offending stage index.
+        stage: usize,
+    },
+    /// A referenced pipeline stage names a device the cluster does not
+    /// have.
+    #[error(
+        "pipeline stage {stage}: device {device} is not in the cluster \
+         ({devices} devices; valid: {valid})"
+    )]
+    StageDeviceMissing {
+        /// Offending stage index.
+        stage: usize,
+        /// The missing device.
+        device: DeviceId,
+        /// Devices actually present.
+        devices: usize,
+        /// Roster of valid devices (`G<i> (<model>)`).
+        valid: String,
+    },
+    /// A referenced pipeline stage lists the same device twice.
+    #[error("pipeline stage {stage}: device {device} ({name}) listed more than once")]
+    DuplicateStageDevice {
+        /// Offending stage index.
+        stage: usize,
+        /// The duplicated device.
+        device: DeviceId,
+        /// The device's GPU model name in the cluster.
+        name: String,
     },
 }
 
@@ -68,6 +182,29 @@ pub enum OpStrategy {
         /// Gradient-aggregation method.
         comm: CommMethod,
     },
+    /// SPMD sharding: split the op's tensors along dimension `dim` with
+    /// one slice per device of nonzero weight, slice sizes proportional
+    /// to `shards[d]` (length = number of GPUs, sum >= 1). Parameters are
+    /// partitioned — no gradient aggregation — and boundary
+    /// all-gather/reduce-scatter collectives reassemble activations where
+    /// a non-sharded consumer/producer meets the shard group.
+    Shard {
+        /// Tensor dimension the slices cut along (0 = batch dim; the
+        /// cost model only depends on slice *sizes*, so `dim` is carried
+        /// for explain/serialization fidelity).
+        dim: u32,
+        /// Proportional shard weight per device (length = number of
+        /// GPUs; zero = the device owns no slice).
+        shards: Vec<u32>,
+    },
+    /// Pipeline parallelism: the op belongs to contiguous stage `stage`
+    /// and runs data-parallel across that stage's device set
+    /// ([`Strategy::stages`]), with compute-power-proportional replica
+    /// shares and AllReduce aggregation within the stage.
+    Pipeline {
+        /// Index into [`Strategy::stages`].
+        stage: usize,
+    },
 }
 
 impl OpStrategy {
@@ -90,11 +227,38 @@ impl OpStrategy {
         OpStrategy::Dp { replicas, comm }
     }
 
-    /// Total replica count (1 for MP).
+    /// Even SPMD sharding along `dim`: equal-weight slices on every
+    /// device.
+    pub fn shard_even(cluster: &Cluster, dim: u32) -> Self {
+        OpStrategy::Shard {
+            dim,
+            shards: vec![1; cluster.num_devices()],
+        }
+    }
+
+    /// Compute-power-proportional SPMD sharding along `dim` (HAP): slice
+    /// weights scale with each device's effective TFLOPS, at 4x the CP
+    /// resolution so a 1.5x-faster device gets a 3:2 (not 2:1) slice.
+    pub fn shard_proportional(cluster: &Cluster, dim: u32) -> Self {
+        let shards = cluster
+            .relative_powers()
+            .into_iter()
+            .map(|p| ((p * 4.0).round() as u32).max(1))
+            .collect();
+        OpStrategy::Shard { dim, shards }
+    }
+
+    /// Total replica count (1 for MP; shard/pipeline count participating
+    /// instances — one per shard slice, 1 for pipeline since the stage's
+    /// fan-out lives in [`Strategy::stages`]).
     pub fn total_replicas(&self) -> u32 {
         match self {
             OpStrategy::Mp(_) => 1,
             OpStrategy::Dp { replicas, .. } => replicas.iter().sum(),
+            OpStrategy::Shard { shards, .. } => {
+                shards.iter().filter(|&&w| w > 0).count() as u32
+            }
+            OpStrategy::Pipeline { .. } => 1,
         }
     }
 
@@ -102,22 +266,53 @@ impl OpStrategy {
     pub fn is_dp(&self) -> bool {
         matches!(self, OpStrategy::Dp { .. })
     }
+
+    /// True for SPMD-sharded strategies.
+    pub fn is_shard(&self) -> bool {
+        matches!(self, OpStrategy::Shard { .. })
+    }
+
+    /// True for pipeline-stage strategies.
+    pub fn is_pipeline(&self) -> bool {
+        matches!(self, OpStrategy::Pipeline { .. })
+    }
 }
 
-/// A complete Part-I strategy: one decision per op of the original graph.
+/// A complete Part-I strategy: one decision per op of the original graph,
+/// plus the pipeline-stage device sets any [`OpStrategy::Pipeline`]
+/// decisions index into.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Strategy {
     /// Indexed by `OpId`.
     pub per_op: Vec<OpStrategy>,
+    /// Device set per pipeline stage (empty when no op pipelines). Stages
+    /// are contiguous layer ranges by construction of the seeding pass;
+    /// the representation itself only requires that every
+    /// `Pipeline { stage }` decision indexes into this table.
+    #[serde(default)]
+    pub stages: Vec<Vec<DeviceId>>,
 }
 
 impl Strategy {
+    /// A strategy from per-op decisions with no pipeline stages (the
+    /// common case for MP/DP/Shard-only plans).
+    pub fn from_per_op(per_op: Vec<OpStrategy>) -> Self {
+        Strategy {
+            per_op,
+            stages: Vec::new(),
+        }
+    }
+
+    /// The same strategy with the given pipeline-stage device sets.
+    pub fn with_stages(mut self, stages: Vec<Vec<DeviceId>>) -> Self {
+        self.stages = stages;
+        self
+    }
+
     /// The same decision for every op (the four DP baselines and
     /// single-device MP all use this).
     pub fn uniform(num_ops: usize, s: OpStrategy) -> Self {
-        Strategy {
-            per_op: vec![s; num_ops],
-        }
+        Strategy::from_per_op(vec![s; num_ops])
     }
 
     /// EV-PS / EV-AR baseline strategy.
@@ -132,11 +327,14 @@ impl Strategy {
 
     /// Checks that every decision is deployable on `cluster`: MP
     /// placements name existing devices, DP replica vectors have one
-    /// entry per device and at least one replica overall. This is the
-    /// invariant fault repair must preserve — a repaired strategy may
-    /// never reference a removed device.
+    /// entry per device and at least one replica overall, shard vectors
+    /// never weight a removed device, and pipeline decisions index
+    /// defined, non-empty, duplicate-free stages of existing devices.
+    /// This is the invariant fault repair must preserve — a repaired
+    /// strategy may never reference a removed device.
     pub fn validate(&self, cluster: &Cluster) -> Result<(), StrategyError> {
         let m = cluster.num_devices();
+        let mut used_stages: Vec<bool> = vec![false; self.stages.len()];
         for (op, s) in self.per_op.iter().enumerate() {
             match s {
                 OpStrategy::Mp(d) => {
@@ -145,6 +343,7 @@ impl Strategy {
                             op,
                             device: *d,
                             devices: m,
+                            valid: device_roster(cluster),
                         });
                     }
                 }
@@ -160,14 +359,79 @@ impl Strategy {
                         return Err(StrategyError::NoReplicas { op });
                     }
                 }
+                OpStrategy::Shard { shards, .. } => {
+                    if shards.len() != m {
+                        // A longer vector that still weights a trailing
+                        // (removed) device is the elastic hazard; name
+                        // that device rather than just the length.
+                        if let Some((i, _)) = shards
+                            .iter()
+                            .enumerate()
+                            .find(|&(i, &w)| i >= m && w > 0)
+                        {
+                            return Err(StrategyError::ShardDeviceMissing {
+                                op,
+                                device: DeviceId(i as u32),
+                                devices: m,
+                                valid: device_roster(cluster),
+                            });
+                        }
+                        return Err(StrategyError::ShardLengthMismatch {
+                            op,
+                            len: shards.len(),
+                            devices: m,
+                        });
+                    }
+                    if shards.iter().sum::<u32>() == 0 {
+                        return Err(StrategyError::NoShards { op });
+                    }
+                }
+                OpStrategy::Pipeline { stage } => {
+                    if *stage >= self.stages.len() {
+                        return Err(StrategyError::StageOutOfRange {
+                            op,
+                            stage: *stage,
+                            stages: self.stages.len(),
+                        });
+                    }
+                    used_stages[*stage] = true;
+                }
+            }
+        }
+        for (stage, devs) in self.stages.iter().enumerate() {
+            if !used_stages[stage] {
+                continue;
+            }
+            if devs.is_empty() {
+                return Err(StrategyError::EmptyStage { stage });
+            }
+            let mut seen = vec![false; m];
+            for d in devs {
+                if d.index() >= m {
+                    return Err(StrategyError::StageDeviceMissing {
+                        stage,
+                        device: *d,
+                        devices: m,
+                        valid: device_roster(cluster),
+                    });
+                }
+                if seen[d.index()] {
+                    return Err(StrategyError::DuplicateStageDevice {
+                        stage,
+                        device: *d,
+                        name: cluster.device(*d).model.name().to_string(),
+                    });
+                }
+                seen[d.index()] = true;
             }
         }
         Ok(())
     }
 
-    /// Histogram over the paper's Table-2 buckets: per-device MP counts
-    /// (length M), then [EV-PS, EV-AR, CP-PS, CP-AR, other-DP].
-    pub fn histogram(&self, cluster: &Cluster) -> (Vec<usize>, [usize; 5]) {
+    /// Histogram over the paper's Table-2 buckets plus the widened
+    /// variants: per-device MP counts (length M), then
+    /// `[EV-PS, EV-AR, CP-PS, CP-AR, other-DP, Shard, Pipeline]`.
+    pub fn histogram(&self, cluster: &Cluster) -> (Vec<usize>, [usize; 7]) {
         let m = cluster.num_devices();
         let even: Vec<u32> = vec![1; m];
         let prop: Vec<u32> = match OpStrategy::proportional(cluster, CommMethod::Ps) {
@@ -175,7 +439,7 @@ impl Strategy {
             _ => unreachable!(),
         };
         let mut mp = vec![0usize; m];
-        let mut dp = [0usize; 5];
+        let mut dp = [0usize; 7];
         for s in &self.per_op {
             match s {
                 OpStrategy::Mp(d) => mp[d.index()] += 1,
@@ -195,6 +459,8 @@ impl Strategy {
                     };
                     dp[idx] += 1;
                 }
+                OpStrategy::Shard { .. } => dp[5] += 1,
+                OpStrategy::Pipeline { .. } => dp[6] += 1,
             }
         }
         (mp, dp)
@@ -223,6 +489,21 @@ mod tests {
                 assert!(replicas[6] >= 1); // P100
             }
             _ => panic!("expected DP"),
+        }
+    }
+
+    #[test]
+    fn shard_proportional_orders_by_power() {
+        let c = paper_testbed_8gpu();
+        match OpStrategy::shard_proportional(&c, 0) {
+            OpStrategy::Shard { dim, shards } => {
+                assert_eq!(dim, 0);
+                assert_eq!(shards.len(), 8);
+                // V100 slice strictly larger than 1080Ti slice.
+                assert!(shards[0] > shards[2]);
+                assert!(shards.iter().all(|&w| w >= 1));
+            }
+            _ => panic!("expected Shard"),
         }
     }
 
@@ -260,15 +541,180 @@ mod tests {
         ));
     }
 
+    /// The test harness may link a stub `thiserror` whose derive renders
+    /// `Display` via `Debug`; message-text assertions only hold under
+    /// the real derive.
+    fn real_display() -> bool {
+        let e = StrategyError::NoReplicas { op: 7 };
+        e.to_string() != format!("{e:?}")
+    }
+
+    #[test]
+    fn validation_errors_name_devices_and_roster() {
+        let c = paper_testbed_8gpu();
+        let mut s = Strategy::even(2, &c, CommMethod::Ps);
+        s.per_op[0] = OpStrategy::Mp(DeviceId(11));
+        let err = s.validate(&c).unwrap_err();
+        match &err {
+            StrategyError::MpOutOfRange {
+                op, device, valid, ..
+            } => {
+                assert_eq!(*op, 0);
+                assert_eq!(*device, DeviceId(11));
+                assert!(valid.contains("G0 (Tesla V100)"), "roster: {valid}");
+                assert!(valid.contains("GTX 1080Ti"), "model names: {valid}");
+            }
+            other => panic!("expected MpOutOfRange, got {other:?}"),
+        }
+        if real_display() {
+            let msg = err.to_string();
+            assert!(msg.contains("G11"), "missing offending id: {msg}");
+            assert!(msg.contains("G0 (Tesla V100)"), "missing roster: {msg}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_stale_shard_vectors() {
+        let c = paper_testbed_8gpu();
+        let mut s = Strategy::even(2, &c, CommMethod::Ps);
+        // Shard vector from a 9-device cluster, weighting the removed G8.
+        let mut shards = vec![1u32; 9];
+        shards[8] = 3;
+        s.per_op[1] = OpStrategy::Shard { dim: 0, shards };
+        match s.validate(&c) {
+            Err(StrategyError::ShardDeviceMissing { op: 1, device, .. }) => {
+                assert_eq!(device, DeviceId(8));
+            }
+            other => panic!("expected ShardDeviceMissing, got {other:?}"),
+        }
+
+        // Same length but only zero weight past the end: a plain length
+        // mismatch.
+        let mut s2 = Strategy::even(1, &c, CommMethod::Ps);
+        s2.per_op[0] = OpStrategy::Shard {
+            dim: 0,
+            shards: vec![0u32; 9].iter().enumerate().map(|(i, _)| u32::from(i < 8)).collect(),
+        };
+        assert!(matches!(
+            s2.validate(&c),
+            Err(StrategyError::ShardLengthMismatch { op: 0, len: 9, .. })
+        ));
+
+        // All-zero shard vector.
+        let mut s3 = Strategy::even(1, &c, CommMethod::Ps);
+        s3.per_op[0] = OpStrategy::Shard {
+            dim: 0,
+            shards: vec![0; 8],
+        };
+        assert!(matches!(
+            s3.validate(&c),
+            Err(StrategyError::NoShards { op: 0 })
+        ));
+    }
+
+    #[test]
+    fn validate_checks_pipeline_stages() {
+        let c = paper_testbed_8gpu();
+
+        // Undefined stage.
+        let s = Strategy::uniform(2, OpStrategy::Pipeline { stage: 0 });
+        assert!(matches!(
+            s.validate(&c),
+            Err(StrategyError::StageOutOfRange { op: 0, stage: 0, .. })
+        ));
+
+        // Good: two stages covering disjoint halves.
+        let good = Strategy {
+            per_op: vec![
+                OpStrategy::Pipeline { stage: 0 },
+                OpStrategy::Pipeline { stage: 1 },
+            ],
+            stages: vec![
+                (0..4).map(DeviceId).collect(),
+                (4..8).map(DeviceId).collect(),
+            ],
+        };
+        assert_eq!(good.validate(&c), Ok(()));
+
+        // Stage referencing a removed device.
+        let mut stale = good.clone();
+        stale.stages[1] = vec![DeviceId(4), DeviceId(9)];
+        match stale.validate(&c) {
+            Err(StrategyError::StageDeviceMissing { stage: 1, device, .. }) => {
+                assert_eq!(device, DeviceId(9));
+            }
+            other => panic!("expected StageDeviceMissing, got {other:?}"),
+        }
+
+        // Duplicate device in a stage names the device's model.
+        let mut dup = good.clone();
+        dup.stages[0] = vec![DeviceId(0), DeviceId(0)];
+        match dup.validate(&c) {
+            Err(StrategyError::DuplicateStageDevice {
+                stage: 0,
+                device,
+                name,
+            }) => {
+                assert_eq!(device, DeviceId(0));
+                assert_eq!(name, "Tesla V100");
+            }
+            other => panic!("expected DuplicateStageDevice, got {other:?}"),
+        }
+        if real_display() {
+            let msg = dup.validate(&c).unwrap_err().to_string();
+            assert!(msg.contains("G0") && msg.contains("Tesla V100"), "{msg}");
+        }
+
+        // Empty referenced stage.
+        let mut empty = good.clone();
+        empty.stages[0].clear();
+        assert!(matches!(
+            empty.validate(&c),
+            Err(StrategyError::EmptyStage { stage: 0 })
+        ));
+
+        // An *unreferenced* stale stage is tolerated (repair may shrink
+        // the op set before garbage-collecting stages).
+        let mut unused = good;
+        unused.per_op[1] = OpStrategy::Mp(DeviceId(0));
+        unused.stages[1] = vec![DeviceId(42)];
+        assert_eq!(unused.validate(&c), Ok(()));
+    }
+
     #[test]
     fn histogram_buckets() {
         let c = paper_testbed_8gpu();
-        let mut s = Strategy::even(10, &c, CommMethod::AllReduce);
+        let mut s = Strategy::even(12, &c, CommMethod::AllReduce);
         s.per_op[0] = OpStrategy::Mp(DeviceId(0));
         s.per_op[1] = OpStrategy::proportional(&c, CommMethod::Ps);
+        s.per_op[2] = OpStrategy::shard_proportional(&c, 0);
+        s.per_op[3] = OpStrategy::Pipeline { stage: 0 };
+        s.stages = vec![(0..8).map(DeviceId).collect()];
         let (mp, dp) = s.histogram(&c);
         assert_eq!(mp[0], 1);
         assert_eq!(dp[1], 8); // EV-AR
         assert_eq!(dp[2], 1); // CP-PS
+        assert_eq!(dp[5], 1); // Shard
+        assert_eq!(dp[6], 1); // Pipeline
+    }
+
+    /// True when a real serde_json is linked (the offline build
+    /// substitutes a stub whose `to_string` returns an empty string).
+    fn real_serde() -> bool {
+        serde_json::to_string(&0u32)
+            .map(|s| s == "0")
+            .unwrap_or(false)
+    }
+
+    #[test]
+    fn strategy_without_stages_deserializes() {
+        if !real_serde() {
+            return;
+        }
+        // Plans serialized before `stages` existed must round-trip.
+        let json = r#"{"per_op":[{"Mp":0}]}"#;
+        let s: Strategy = serde_json::from_str(json).unwrap();
+        assert!(s.stages.is_empty());
+        assert_eq!(s.per_op.len(), 1);
     }
 }

@@ -69,7 +69,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "heterog-cli — HeteroG deployment planner
 
 USAGE:
-  heterog-cli plan    --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner heterog|EV-PS|EV-AR|CP-PS|CP-AR|Horovod|FlexFlow|Post|HetPipe] [--fifo] [--metrics-out <file.prom>] [--trace-out <file.json>]
+  heterog-cli plan    --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner heterog|EV-PS|EV-AR|CP-PS|CP-AR|Horovod|FlexFlow|Post|HetPipe|Shard-CP|Shard-CP-PS|Pipeline] [--strategy shard-cp|pipeline] [--fifo] [--metrics-out <file.prom>] [--trace-out <file.json>]
   heterog-cli explain --model <name> [--batch N] [--layers N] [--cluster spec.json] [--planner <name>] [--top-k N] [--no-whatif] [--no-incremental] [--html-out <file.html>] [--json-out <file.json>] [--diff-against <file.json>]
   heterog-cli compare --model <name> [--batch N] [--layers N] [--cluster spec.json]
   heterog-cli trace   --model <name> [--batch N] [--layers N] [--cluster spec.json] --out <file.json>
@@ -183,11 +183,43 @@ fn parse_cluster(flags: &HashMap<String, String>) -> Result<Cluster, String> {
     }
 }
 
-const BASELINE_PLANNERS: [&str; 8] = [
-    "EV-PS", "EV-AR", "CP-PS", "CP-AR", "Horovod", "FlexFlow", "Post", "HetPipe",
+const BASELINE_PLANNERS: [&str; 11] = [
+    "EV-PS",
+    "EV-AR",
+    "CP-PS",
+    "CP-AR",
+    "Horovod",
+    "FlexFlow",
+    "Post",
+    "HetPipe",
+    "Shard-CP",
+    "Shard-CP-PS",
+    "Pipeline",
 ];
 
 fn config_for(flags: &HashMap<String, String>) -> Result<HeterogConfig, String> {
+    // `--strategy shard-cp|pipeline` forces a widened-space seed plan;
+    // it is shorthand for the corresponding `--planner` baseline.
+    let forced = match flags.get("strategy").map(String::as_str) {
+        None => None,
+        Some("shard-cp") => Some("Shard-CP"),
+        Some("pipeline") => Some("Pipeline"),
+        Some(other) => {
+            return Err(format!(
+                "unknown --strategy {other:?} (valid: shard-cp, pipeline)"
+            ))
+        }
+    };
+    if let Some(name) = forced {
+        if flags.get("planner").is_some_and(|p| p != name) {
+            return Err("--strategy and --planner conflict; pass only one".into());
+        }
+        let mut cfg = HeterogConfig::baseline(name);
+        if flags.contains_key("fifo") {
+            cfg.order_scheduling = false;
+        }
+        return Ok(cfg);
+    }
     let mut cfg = match flags.get("planner").map(String::as_str) {
         None | Some("heterog") | Some("HeteroG") => HeterogConfig::default(),
         Some(name) if BASELINE_PLANNERS.contains(&name) => {
@@ -321,12 +353,14 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     let total = runner.graph.len() as f64;
     let mp_total: usize = mp.iter().sum();
     println!(
-        "strategy mix:      {:.1}% MP, {:.1}% EV-PS, {:.1}% EV-AR, {:.1}% CP-PS, {:.1}% CP-AR",
+        "strategy mix:      {:.1}% MP, {:.1}% EV-PS, {:.1}% EV-AR, {:.1}% CP-PS, {:.1}% CP-AR, {:.1}% shard, {:.1}% pipeline",
         100.0 * mp_total as f64 / total,
         100.0 * dp[0] as f64 / total,
         100.0 * dp[1] as f64 / total,
         100.0 * dp[2] as f64 / total,
         100.0 * dp[3] as f64 / total,
+        100.0 * dp[5] as f64 / total,
+        100.0 * dp[6] as f64 / total,
     );
     for (g, &bytes) in stats.peak_memory.iter().enumerate() {
         println!(

@@ -9,7 +9,7 @@ use heterog_sched::{OrderPolicy, TaskGraph};
 use heterog_sim::{simulate, SimReport};
 use heterog_strategies::{
     CpArPlanner, CpPsPlanner, EvArPlanner, EvPsPlanner, FlexFlowPlanner, HetPipePlanner,
-    HorovodPlanner, Planner, PostPlanner,
+    HorovodPlanner, PipelinePlanner, Planner, PostPlanner, ShardCpPlanner,
 };
 
 use crate::config::{HeterogConfig, PlannerChoice};
@@ -227,6 +227,11 @@ pub fn baseline_planner(name: &str) -> Box<dyn Planner> {
         "FlexFlow" => Box::new(FlexFlowPlanner::default()),
         "Post" => Box::new(PostPlanner::default()),
         "HetPipe" => Box::new(HetPipePlanner),
+        "Shard-CP" => Box::new(ShardCpPlanner::default()),
+        "Shard-CP-PS" => Box::new(ShardCpPlanner {
+            comm: heterog_compile::CommMethod::Ps,
+        }),
+        "Pipeline" => Box::new(PipelinePlanner),
         other => panic!("unknown baseline planner {other:?}"),
     }
 }

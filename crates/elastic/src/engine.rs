@@ -559,6 +559,12 @@ mod tests {
         let uses_new = out.strategy.per_op.iter().any(|op| match op {
             heterog_compile::OpStrategy::Dp { replicas, .. } => replicas[8] > 0,
             heterog_compile::OpStrategy::Mp(d) => d.index() == 8,
+            heterog_compile::OpStrategy::Shard { shards, .. } => shards[8] > 0,
+            heterog_compile::OpStrategy::Pipeline { stage } => out
+                .strategy
+                .stages
+                .get(*stage)
+                .is_some_and(|s| s.contains(&heterog_cluster::DeviceId(8))),
         });
         assert!(
             uses_new,

@@ -15,7 +15,8 @@ use serde::{Deserialize, Serialize};
 
 use heterog_cluster::{Cluster, DeviceId};
 use heterog_compile::Strategy;
-use heterog_sched::Proc;
+use heterog_graph::OpKind;
+use heterog_sched::{Proc, TaskGraph};
 use heterog_sim::SimReport;
 
 use crate::path::{CriticalPath, SegmentKind};
@@ -53,6 +54,41 @@ impl Attribution {
     pub fn total(&self) -> f64 {
         self.compute + self.collective + self.transfer + self.idle
     }
+}
+
+/// Busy link seconds split by collective flavour, summed over the whole
+/// task graph (not just the critical path — a gather off the path still
+/// costs link bandwidth and shows up in overlap).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CollectiveBreakdown {
+    /// Ring/hierarchical all-reduce link seconds (DP gradient sync).
+    pub all_reduce_s: f64,
+    /// All-gather link seconds (sharded forward boundaries).
+    pub all_gather_s: f64,
+    /// Reduce-scatter link seconds (sharded backward boundaries).
+    pub reduce_scatter_s: f64,
+}
+
+impl CollectiveBreakdown {
+    /// Sum over all three flavours.
+    pub fn total(&self) -> f64 {
+        self.all_reduce_s + self.all_gather_s + self.reduce_scatter_s
+    }
+}
+
+/// Sums scheduled link-task durations by collective kind. Zero across
+/// the board for plans with no collectives (pure MP, PS-only DP).
+pub fn collective_breakdown(tg: &TaskGraph) -> CollectiveBreakdown {
+    let mut b = CollectiveBreakdown::default();
+    for (_, t) in tg.iter() {
+        match t.kind {
+            OpKind::NcclAllReduce => b.all_reduce_s += t.duration,
+            OpKind::AllGather => b.all_gather_s += t.duration,
+            OpKind::ReduceScatter => b.reduce_scatter_s += t.duration,
+            _ => {}
+        }
+    }
+    b
 }
 
 /// Computes attribution from the critical path.
@@ -140,6 +176,10 @@ pub struct StrategyMix {
     pub cp_ar: usize,
     /// Data-parallel ops with a custom replica vector.
     pub other_dp: usize,
+    /// SPMD-sharded ops (`OpStrategy::Shard`).
+    pub shard: usize,
+    /// Pipeline-stage ops (`OpStrategy::Pipeline`).
+    pub pipeline: usize,
 }
 
 /// Which hardware gates the step, and how balanced the plan is.
@@ -295,6 +335,8 @@ pub fn stragglers(
         cp_ps: dp[2],
         cp_ar: dp[3],
         other_dp: dp[4],
+        shard: dp[5],
+        pipeline: dp[6],
     };
 
     StragglerReport {
@@ -336,6 +378,20 @@ mod tests {
         assert!((a.compute - 2.0).abs() < 1e-12);
         assert!((a.transfer - 0.5).abs() < 1e-12);
         assert_eq!(a.collective, 0.0);
+    }
+
+    #[test]
+    fn collective_breakdown_splits_by_kind() {
+        let mut tg = TaskGraph::new("coll", 2, 3);
+        tg.add_task(Task::new("ar", OpKind::NcclAllReduce, Proc::Link(0), 0.25));
+        tg.add_task(Task::new("ag", OpKind::AllGather, Proc::Link(1), 0.5));
+        tg.add_task(Task::new("rs", OpKind::ReduceScatter, Proc::Link(2), 0.125));
+        tg.add_task(Task::new("c", OpKind::Conv2D, Proc::Gpu(0), 9.0));
+        let b = collective_breakdown(&tg);
+        assert!((b.all_reduce_s - 0.25).abs() < 1e-12);
+        assert!((b.all_gather_s - 0.5).abs() < 1e-12);
+        assert!((b.reduce_scatter_s - 0.125).abs() < 1e-12);
+        assert!((b.total() - 0.875).abs() < 1e-12);
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod render;
 pub mod whatif;
 
 pub use attribution::{
-    attribute, device_rows, stragglers, Attribution, DeviceRow, LinkClassRow, ModelClassRow,
-    StragglerReport, StrategyMix,
+    attribute, collective_breakdown, device_rows, stragglers, Attribution, CollectiveBreakdown,
+    DeviceRow, LinkClassRow, ModelClassRow, StragglerReport, StrategyMix,
 };
 pub use diff::{
     diff, digest_from_json, quick_digest, render_diff_text, DiffEntry, ExplainDiff, ReportDigest,
@@ -186,6 +186,10 @@ pub struct ExplainReport {
     pub critical_path: CriticalPath,
     /// Where the makespan goes.
     pub attribution: Attribution,
+    /// Link seconds by collective flavour (whole graph, not just the
+    /// critical path) — how much wire time the strategy's all-reduces,
+    /// all-gathers, and reduce-scatters cost.
+    pub collectives: CollectiveBreakdown,
     /// Per-device breakdown.
     pub devices: Vec<DeviceRow>,
     /// Straggler / imbalance analysis.
@@ -273,6 +277,7 @@ pub fn explain(
         oom: report.memory.any_oom(),
         critical_path: cp,
         attribution: attr,
+        collectives: collective_breakdown(task_graph),
         devices,
         stragglers,
         whatif,
@@ -324,6 +329,32 @@ mod tests {
             rep.whatif.iter().any(|w| w.delta.abs() > 0.0),
             "at least one intervention must move the makespan"
         );
+    }
+
+    #[test]
+    fn shard_plan_report_attributes_gather_and_scatter_time() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let s = Strategy::uniform(g.len(), heterog_compile::OpStrategy::shard_proportional(&c, 0));
+        let tg = compile(&g, &c, &GroundTruthCost, &s);
+        let policy = OrderPolicy::RankBased;
+        let r = simulate(&tg, &c.memory_capacities(), &policy);
+        let opts = ExplainOptions {
+            run_whatif: false,
+            ..ExplainOptions::default()
+        };
+        let rep = explain(&g, &c, &s, &tg, &policy, &r, &opts);
+        assert!(
+            rep.collectives.all_gather_s > 0.0,
+            "sharded forward boundaries must cost all-gather wire time"
+        );
+        assert!(
+            rep.collectives.reduce_scatter_s > 0.0,
+            "sharded backward boundaries must cost reduce-scatter wire time"
+        );
+        assert_eq!(rep.collectives.all_reduce_s, 0.0);
+        assert_eq!(rep.stragglers.strategy_mix.shard, g.len());
+        assert_eq!(rep.stragglers.strategy_mix.other_dp, 0);
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl SegmentKind {
 /// Classifies a task for makespan attribution.
 pub fn segment_kind(task: &Task) -> SegmentKind {
     match task.kind {
-        OpKind::NcclAllReduce | OpKind::GradAggregate => SegmentKind::Collective,
+        OpKind::NcclAllReduce
+        | OpKind::AllGather
+        | OpKind::ReduceScatter
+        | OpKind::GradAggregate => SegmentKind::Collective,
         _ if task.proc.is_link() => SegmentKind::Transfer,
         _ => SegmentKind::Compute,
     }

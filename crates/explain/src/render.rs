@@ -161,9 +161,17 @@ pub fn render_text(rep: &ExplainReport) -> String {
     let m = &rep.stragglers.strategy_mix;
     let _ = writeln!(
         out,
-        "  strategy mix: {} MP, {} EV-PS, {} EV-AR, {} CP-PS, {} CP-AR, {} other DP",
-        m.mp, m.ev_ps, m.ev_ar, m.cp_ps, m.cp_ar, m.other_dp
+        "  strategy mix: {} MP, {} EV-PS, {} EV-AR, {} CP-PS, {} CP-AR, {} other DP, {} shard, {} pipeline",
+        m.mp, m.ev_ps, m.ev_ar, m.cp_ps, m.cp_ar, m.other_dp, m.shard, m.pipeline
     );
+    let cb = &rep.collectives;
+    if cb.total() > 0.0 {
+        let _ = writeln!(
+            out,
+            "  collective wire time: {:.4} s all-reduce, {:.4} s all-gather, {:.4} s reduce-scatter",
+            cb.all_reduce_s, cb.all_gather_s, cb.reduce_scatter_s
+        );
+    }
 
     if !rep.whatif.is_empty() {
         let _ = writeln!(out, "\nwhat-if (top {} interventions):", rep.whatif.len());
@@ -261,6 +269,15 @@ pub fn to_json(rep: &ExplainReport) -> String {
         num(a.idle)
     );
 
+    let cb = &rep.collectives;
+    let _ = writeln!(
+        out,
+        "  \"collectives\": {{\"all_reduce_s\": {}, \"all_gather_s\": {}, \"reduce_scatter_s\": {}}},",
+        num(cb.all_reduce_s),
+        num(cb.all_gather_s),
+        num(cb.reduce_scatter_s)
+    );
+
     out.push_str("  \"critical_path\": [");
     for (i, s) in rep.critical_path.segments.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };
@@ -331,6 +348,13 @@ pub fn to_json(rep: &ExplainReport) -> String {
             .as_ref()
             .map_or("null".to_string(), |k| format!("\"{}\"", esc(k))),
         num(st.replica_imbalance)
+    );
+
+    let m = &st.strategy_mix;
+    let _ = writeln!(
+        out,
+        "  \"strategy_mix\": {{\"mp\": {}, \"ev_ps\": {}, \"ev_ar\": {}, \"cp_ps\": {}, \"cp_ar\": {}, \"other_dp\": {}, \"shard\": {}, \"pipeline\": {}}},",
+        m.mp, m.ev_ps, m.ev_ar, m.cp_ps, m.cp_ar, m.other_dp, m.shard, m.pipeline
     );
 
     out.push_str("  \"whatif\": [");
@@ -487,10 +511,19 @@ pub fn render_html(rep: &ExplainReport, trace_json: &str) -> String {
     }
     let _ = writeln!(
         body,
-        "<li>replica imbalance: <b>{}</b> — {}</li></ul>",
+        "<li>replica imbalance: <b>{}</b> — {}</li>",
         pct(rep.stragglers.replica_imbalance),
         html_esc(&rep.stragglers.imbalance_note)
     );
+    let cb = &rep.collectives;
+    if cb.total() > 0.0 {
+        let _ = writeln!(
+            body,
+            "<li>collective wire time: <b>{:.4} s</b> all-reduce, <b>{:.4} s</b> all-gather, <b>{:.4} s</b> reduce-scatter</li>",
+            cb.all_reduce_s, cb.all_gather_s, cb.reduce_scatter_s
+        );
+    }
+    let _ = writeln!(body, "</ul>");
 
     if !rep.whatif.is_empty() {
         let _ = writeln!(body, "<h2>What-if sensitivity</h2>");

@@ -78,6 +78,61 @@ impl Intervention {
         }
     }
 
+    /// Why this intervention cannot change the deployment, or `None`
+    /// when it genuinely applies. A strategy flip aimed at a variant no
+    /// op currently uses (e.g. `SwitchComm` on an all-`Shard` plan)
+    /// would re-simulate an identical deployment and rank a no-op
+    /// candidate; [`run_whatif_with`] skips it and logs the reason
+    /// instead.
+    pub fn skip_reason(&self, cluster: &Cluster, strategy: &Strategy) -> Option<String> {
+        match self {
+            Intervention::SwitchComm { to } => {
+                let flippable = strategy
+                    .per_op
+                    .iter()
+                    .any(|op| matches!(op, OpStrategy::Dp { comm, .. } if comm != to));
+                if flippable {
+                    None
+                } else {
+                    let (_, dp) = strategy.histogram(cluster);
+                    Some(format!(
+                        "no data-parallel op group uses a different aggregation method \
+                         ({} shard, {} pipeline ops are not comm-flippable)",
+                        dp[5], dp[6]
+                    ))
+                }
+            }
+            Intervention::UpgradeDevice { device, to } => {
+                if (*device as usize) >= cluster.num_devices() {
+                    return Some(format!(
+                        "G{device} is not in the cluster (devices are G0..G{})",
+                        cluster.num_devices().saturating_sub(1)
+                    ));
+                }
+                let d = cluster.device(DeviceId(*device));
+                (d.model == *to).then(|| format!("G{device} already is a {}", to.name()))
+            }
+            Intervention::ScaleLinkClass { kind, .. } => {
+                if cluster.links().iter().any(|l| l.kind == *kind) {
+                    None
+                } else {
+                    Some(format!("cluster has no {kind:?} links"))
+                }
+            }
+            Intervention::RemoveDevice { device } => {
+                if (*device as usize) < cluster.num_devices() {
+                    None
+                } else {
+                    Some(format!(
+                        "G{device} is not in the cluster (devices are G0..G{})",
+                        cluster.num_devices().saturating_sub(1)
+                    ))
+                }
+            }
+            Intervention::FlipOrder => None,
+        }
+    }
+
     /// Applies the perturbation, producing the cluster/strategy/policy to
     /// re-simulate.
     pub fn apply(
@@ -309,6 +364,23 @@ pub fn run_whatif_with(
     let mut report = SimReport::default();
     let mut out = Vec::with_capacity(interventions.len());
     for iv in interventions {
+        if let Some(reason) = iv.skip_reason(cluster, strategy) {
+            // Logged, not ranked: a no-op candidate with delta 0 would
+            // silently crowd real interventions out of the top-k table.
+            // `label()` indexes cluster devices, so name out-of-range
+            // device interventions without it.
+            let label = match iv {
+                Intervention::UpgradeDevice { device, .. }
+                | Intervention::RemoveDevice { device }
+                    if (*device as usize) >= cluster.num_devices() =>
+                {
+                    format!("G{device} (unknown device)")
+                }
+                _ => iv.label(cluster),
+            };
+            eprintln!("heterog-explain: skipping what-if '{label}': {reason}");
+            continue;
+        }
         let started = std::time::Instant::now();
         let (makespan, oom) = match &evaluator {
             Some(ev) => {
@@ -433,6 +505,50 @@ mod tests {
             assert_eq!(a.delta.to_bits(), b.delta.to_bits());
             assert_eq!(a.oom, b.oom);
         }
+    }
+
+    #[test]
+    fn inapplicable_strategy_flip_is_skipped_not_ranked_as_noop() {
+        let (g, c, _) = setup();
+        // All-shard plan: no DP group exists, so a comm flip cannot
+        // change the deployment and must be skipped with a reason.
+        let s = Strategy::uniform(g.len(), OpStrategy::shard_proportional(&c, 0));
+        let iv = Intervention::SwitchComm {
+            to: CommMethod::AllReduce,
+        };
+        let reason = iv.skip_reason(&c, &s).expect("flip must not apply");
+        assert!(reason.contains("shard"), "reason names the variant: {reason}");
+        let base = evaluate(&g, &c, &GroundTruthCost, &s).iteration_time;
+        let out = run_whatif(
+            &g,
+            &c,
+            &s,
+            &OrderPolicy::RankBased,
+            base,
+            std::slice::from_ref(&iv),
+            10,
+        );
+        assert!(out.is_empty(), "skipped interventions produce no outcome");
+
+        // The same flip on a DP plan applies as before.
+        let (_, _, dp) = setup();
+        assert_eq!(iv.skip_reason(&c, &dp), None);
+    }
+
+    #[test]
+    fn out_of_range_device_interventions_are_skipped() {
+        let (_, c, s) = setup();
+        let gone = c.num_devices() as u32 + 3;
+        assert!(Intervention::RemoveDevice { device: gone }
+            .skip_reason(&c, &s)
+            .is_some());
+        let model = c.device(DeviceId(0)).model;
+        assert!(Intervention::UpgradeDevice {
+            device: 0,
+            to: model
+        }
+        .skip_reason(&c, &s)
+        .is_some_and(|r| r.contains("already")));
     }
 
     #[test]

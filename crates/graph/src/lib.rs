@@ -33,5 +33,5 @@ pub use graph::{Edge, Graph, GraphError, OpId};
 pub use node::{Node, Phase};
 pub use op::OpKind;
 pub use stats::GraphStats;
-pub use tensor::{DType, TensorMeta};
+pub use tensor::{proportional_split, DType, TensorMeta};
 pub use zoo::{BenchmarkModel, ModelSpec};

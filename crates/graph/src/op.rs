@@ -83,6 +83,12 @@ pub enum OpKind {
     GradAggregate,
     /// One stage of an NCCL-style collective AllReduce.
     NcclAllReduce,
+    /// NCCL-style all-gather reassembling a dimension-sharded tensor on
+    /// every participating device (SPMD sharding, forward boundary).
+    AllGather,
+    /// NCCL-style reduce-scatter summing partial tensors and leaving each
+    /// device with its shard (SPMD sharding, backward boundary).
+    ReduceScatter,
     /// Point-to-point tensor transfer placed on a link-device.
     Transfer,
     /// Synthetic source/sink used by the scheduler's worst-case instance
@@ -100,13 +106,18 @@ impl OpKind {
                 | OpKind::Concat
                 | OpKind::GradAggregate
                 | OpKind::NcclAllReduce
+                | OpKind::AllGather
+                | OpKind::ReduceScatter
                 | OpKind::Transfer
         )
     }
 
     /// True for communication operations (scheduled on link-devices, §4.2).
     pub fn is_communication(self) -> bool {
-        matches!(self, OpKind::NcclAllReduce | OpKind::Transfer)
+        matches!(
+            self,
+            OpKind::NcclAllReduce | OpKind::AllGather | OpKind::ReduceScatter | OpKind::Transfer
+        )
     }
 
     /// True for backward-pass operations that produce a *parameter*
@@ -151,6 +162,8 @@ impl OpKind {
             OpKind::Concat => "concat",
             OpKind::GradAggregate => "grad_agg",
             OpKind::NcclAllReduce => "nccl_allreduce",
+            OpKind::AllGather => "all_gather",
+            OpKind::ReduceScatter => "reduce_scatter",
             OpKind::Transfer => "transfer",
             OpKind::NoOp => "noop",
         }

@@ -48,6 +48,47 @@ pub struct TensorMeta {
     pub dtype: DType,
 }
 
+/// Split `total` into `weights.len()` integer parts proportional to
+/// `weights`, using largest-remainder rounding so the parts sum to `total`
+/// exactly. Zero-weight entries get zero; if every weight is zero the split
+/// degenerates to even largest-remainder shares.
+///
+/// This is the single source of truth for SPMD shard sizing: both the
+/// placement resolver (batch shares) and the lowering pass (shard byte
+/// counts) derive their proportions from it, so "shard sizes sum to the
+/// full dimension" holds by construction.
+pub fn proportional_split(total: u64, weights: &[u64]) -> Vec<u64> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let wsum: u128 = weights.iter().map(|&w| w as u128).sum();
+    if wsum == 0 {
+        // Degenerate: treat as even weights.
+        return proportional_split(total, &vec![1u64; n]);
+    }
+    let mut parts: Vec<u64> = Vec::with_capacity(n);
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(n);
+    let total128 = total as u128;
+    for (i, &w) in weights.iter().enumerate() {
+        let num = total128 * w as u128;
+        parts.push((num / wsum) as u64);
+        remainders.push((num % wsum, i));
+    }
+    let assigned: u64 = parts.iter().sum();
+    let mut leftover = total - assigned;
+    // Largest remainder first; ties broken by lower index for determinism.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        parts[i] += 1;
+        leftover -= 1;
+    }
+    parts
+}
+
 impl TensorMeta {
     /// A batch-scaled activation tensor: `elems_per_sample` elements per
     /// sample, `f32`.
@@ -91,6 +132,13 @@ impl TensorMeta {
     pub fn has_batch_dim(&self) -> bool {
         self.elems_per_sample > 0
     }
+
+    /// Byte size of shard `index` when this tensor is split along one
+    /// dimension into parts proportional to `weights` (SPMD sharding).
+    /// The shards partition `bytes(batch)` exactly.
+    pub fn shard_bytes(&self, batch: u64, weights: &[u64], index: usize) -> u64 {
+        proportional_split(self.bytes(batch), weights)[index]
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +178,28 @@ mod tests {
         };
         assert_eq!(t.elems(3), 35);
         assert_eq!(t.bytes(3), 70);
+    }
+
+    #[test]
+    fn proportional_split_is_exact() {
+        assert_eq!(proportional_split(10, &[1, 1, 1]), vec![4, 3, 3]);
+        assert_eq!(proportional_split(100, &[3, 1]), vec![75, 25]);
+        assert_eq!(proportional_split(7, &[2, 0, 5]), vec![2, 0, 5]);
+        // All-zero weights fall back to even shares.
+        assert_eq!(proportional_split(5, &[0, 0]), vec![3, 2]);
+        assert_eq!(proportional_split(0, &[4, 9]), vec![0, 0]);
+        assert!(proportional_split(10, &[]).is_empty());
+        // Exact-sum invariant on an uneven case.
+        let parts = proportional_split(1_000_003, &[7, 11, 13, 3]);
+        assert_eq!(parts.iter().sum::<u64>(), 1_000_003);
+    }
+
+    #[test]
+    fn shard_bytes_partition_the_tensor() {
+        let t = TensorMeta::activation(333);
+        let weights = [5u64, 3, 2];
+        let total: u64 = (0..3).map(|i| t.shard_bytes(64, &weights, i)).sum();
+        assert_eq!(total, t.bytes(64));
     }
 
     #[test]

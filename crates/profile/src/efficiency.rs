@@ -38,7 +38,8 @@ pub fn kind_utilization(model: GpuModel, kind: OpKind) -> f64 {
         ApplyGradient | GradAggregate => Class::MemBound,
         Backward => Class::GemmLike,
         Reshape | Split | Concat | NoOp => Class::Trivial,
-        NcclAllReduce | Transfer => Class::Trivial, // costed by links, not FLOPs
+        // costed by links, not FLOPs
+        NcclAllReduce | AllGather | ReduceScatter | Transfer => Class::Trivial,
         Input | Variable => Class::Trivial,
     };
     class.utilization(model)

@@ -68,7 +68,7 @@ impl Planner for HetPipePlanner {
                 }
             })
             .collect();
-        Strategy { per_op }
+        Strategy::from_per_op(per_op)
     }
 }
 

@@ -582,6 +582,29 @@ mod tests {
     }
 
     #[test]
+    fn shard_base_is_incremental_but_shard_dp_flip_is_not() {
+        let (g, c, _) = setup();
+        let s = Strategy::uniform(
+            g.len(),
+            heterog_compile::OpStrategy::shard_proportional(&c, 0),
+        );
+        let pol = OrderPolicy::RankBased;
+        let ev = IncrementalEvaluator::new(&g, &GroundTruthCost, &c, &s, &pol);
+        let c2 = c.with_scaled_link(Some(LinkKind::Pcie), 0.5);
+        let mode = assert_matches_full(&ev, &g, Perturbation::Cluster(&c2), &c2, &s, &pol);
+        assert!(
+            matches!(mode, EvalMode::Incremental(_)),
+            "shard plans must reprice incrementally, got {mode:?}"
+        );
+        // A Shard->Dp flip changes the wiring (collectives appear and
+        // vanish), not just aggregation: the staged fast path must
+        // refuse and fall back to a full compile — never a wrong answer.
+        let dp = Strategy::proportional(g.len(), &c, CommMethod::AllReduce);
+        let mode = assert_matches_full(&ev, &g, Perturbation::Strategy(&dp), &c, &dp, &pol);
+        assert_eq!(mode, EvalMode::Full);
+    }
+
+    #[test]
     fn rebase_moves_the_anchor() {
         let (g, c, s) = setup();
         let pol = OrderPolicy::RankBased;

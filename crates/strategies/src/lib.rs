@@ -23,6 +23,7 @@ pub mod hetpipe;
 pub mod planner;
 pub mod post;
 pub mod repair;
+pub mod seed;
 
 pub use baselines::{CpArPlanner, CpPsPlanner, EvArPlanner, EvPsPlanner, HorovodPlanner};
 pub use cache::EvalCache;
@@ -37,4 +38,7 @@ pub use planner::Planner;
 pub use post::PostPlanner;
 pub use repair::{
     migrate_replicas, rebalance_replicas, strategy_without_device, switch_comm, DeviceMap,
+};
+pub use seed::{
+    dp_stage_cuts, propose_shard_weights, stage_device_sets, PipelinePlanner, ShardCpPlanner,
 };

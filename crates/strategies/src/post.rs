@@ -121,7 +121,7 @@ fn placement_to_strategy(g: &Graph, group_of: &[u32], placement: &[usize]) -> St
     let per_op = (0..g.len())
         .map(|i| OpStrategy::Mp(DeviceId(placement[group_of[i] as usize] as u32)))
         .collect();
-    Strategy { per_op }
+    Strategy::from_per_op(per_op)
 }
 
 #[cfg(test)]

@@ -133,12 +133,69 @@ fn proportional_shares(total: u32, weights: &[f64]) -> Vec<u32> {
     shares
 }
 
+/// Remaps every pipeline stage's device set through `map`: surviving
+/// devices keep their (renumbered) slots, removed devices drop out, and
+/// a stage losing every device falls back to the strongest survivor so
+/// pipelined ops stay runnable.
+fn remap_stages(
+    stages: &[Vec<DeviceId>],
+    map: &DeviceMap,
+    cluster: &Cluster,
+) -> Vec<Vec<DeviceId>> {
+    stages
+        .iter()
+        .map(|devs| {
+            let mut out: Vec<DeviceId> = devs
+                .iter()
+                .filter_map(|d| map.get(d.index()).map(DeviceId))
+                .collect();
+            if out.is_empty() && !devs.is_empty() {
+                out.push(strongest_device(cluster));
+            }
+            out
+        })
+        .collect()
+}
+
+/// Evicts a shard vector's weight from removed devices and hands it to
+/// the survivors proportionally to compute power (the shard analogue of
+/// replica migration: slice fractions move, the partition stays exact
+/// because lowering re-splits from the weights).
+fn migrate_shard_weights(
+    shards: &[u32],
+    map: &DeviceMap,
+    cluster: &Cluster,
+    powers: &[f64],
+) -> Vec<u32> {
+    let new_m = cluster.num_devices();
+    let mut kept = vec![0u32; new_m];
+    let mut lost = 0u32;
+    for (i, &w) in shards.iter().enumerate() {
+        match map.get(i) {
+            Some(n) => kept[n as usize] += w,
+            None => lost += w,
+        }
+    }
+    if lost > 0 {
+        let extra = proportional_shares(lost, powers);
+        for (k, e) in kept.iter_mut().zip(&extra) {
+            *k += e;
+        }
+    }
+    if kept.iter().sum::<u32>() == 0 {
+        kept[strongest_device(cluster).index()] = 1;
+    }
+    kept
+}
+
 /// Evicts replicas from devices the map removed and redistributes the
 /// *same total* over the surviving devices proportionally to their
 /// effective compute power; surviving devices keep their own replicas.
 /// MP placements on removed devices move to the strongest survivor.
-/// DP vectors are sized for `cluster` (zeros for freshly joined
-/// devices — use [`rebalance_replicas`] to shift load onto them).
+/// Shard vectors migrate their weight the same way; pipeline stages keep
+/// their surviving members (empty stages fall back to the strongest
+/// survivor). DP vectors are sized for `cluster` (zeros for freshly
+/// joined devices — use [`rebalance_replicas`] to shift load onto them).
 pub fn migrate_replicas(strategy: &Strategy, map: &DeviceMap, cluster: &Cluster) -> Strategy {
     let new_m = cluster.num_devices();
     assert_eq!(
@@ -187,9 +244,14 @@ pub fn migrate_replicas(strategy: &Strategy, map: &DeviceMap, cluster: &Cluster)
                     comm: *comm,
                 }
             }
+            OpStrategy::Shard { dim, shards } => OpStrategy::Shard {
+                dim: *dim,
+                shards: migrate_shard_weights(shards, map, cluster, &powers),
+            },
+            OpStrategy::Pipeline { stage } => OpStrategy::Pipeline { stage: *stage },
         })
         .collect();
-    Strategy { per_op }
+    Strategy::from_per_op(per_op).with_stages(remap_stages(&strategy.stages, map, cluster))
 }
 
 /// Re-splits every DP op's replica total over all of `cluster`'s
@@ -222,12 +284,27 @@ pub fn rebalance_replicas(strategy: &Strategy, map: &DeviceMap, cluster: &Cluste
                     comm: *comm,
                 }
             }
+            OpStrategy::Shard { dim, shards } => {
+                // Re-proportion the slice weights to the current powers,
+                // keeping the weight total (slice granularity) intact.
+                let total = shards.iter().sum::<u32>().max(1);
+                let mut w = proportional_shares(total, &powers);
+                if w.iter().sum::<u32>() == 0 {
+                    w[strongest_device(cluster).index()] = total;
+                }
+                OpStrategy::Shard {
+                    dim: *dim,
+                    shards: w,
+                }
+            }
+            OpStrategy::Pipeline { stage } => OpStrategy::Pipeline { stage: *stage },
         })
         .collect();
-    Strategy { per_op }
+    Strategy::from_per_op(per_op).with_stages(remap_stages(&strategy.stages, map, cluster))
 }
 
-/// Every data-parallel group switched to `to`; MP placements unchanged.
+/// Every data-parallel group switched to `to`; MP, shard (no gradient
+/// aggregation to switch) and pipeline placements unchanged.
 pub fn switch_comm(strategy: &Strategy, to: CommMethod) -> Strategy {
     let per_op = strategy
         .per_op
@@ -237,10 +314,10 @@ pub fn switch_comm(strategy: &Strategy, to: CommMethod) -> Strategy {
                 replicas: replicas.clone(),
                 comm: to,
             },
-            mp => mp.clone(),
+            other => other.clone(),
         })
         .collect();
-    Strategy { per_op }
+    Strategy::from_per_op(per_op).with_stages(strategy.stages.clone())
 }
 
 /// Remaps a strategy onto the cluster with device `dev` removed: replica
@@ -284,9 +361,46 @@ pub fn strategy_without_device(strategy: &Strategy, dev: usize) -> Strategy {
                     comm: *comm,
                 }
             }
+            OpStrategy::Shard { dim, shards } => {
+                let mut w: Vec<u32> = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != dev)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if !w.is_empty() && w.iter().sum::<u32>() == 0 {
+                    w[0] = 1;
+                }
+                OpStrategy::Shard {
+                    dim: *dim,
+                    shards: w,
+                }
+            }
+            OpStrategy::Pipeline { stage } => OpStrategy::Pipeline { stage: *stage },
         })
         .collect();
-    Strategy { per_op }
+    let stages = strategy
+        .stages
+        .iter()
+        .map(|devs| {
+            let mut out: Vec<DeviceId> = devs
+                .iter()
+                .filter(|d| d.index() != dev)
+                .map(|d| {
+                    if d.index() > dev {
+                        DeviceId(d.0 - 1)
+                    } else {
+                        *d
+                    }
+                })
+                .collect();
+            if out.is_empty() && !devs.is_empty() {
+                out.push(DeviceId(0));
+            }
+            out
+        })
+        .collect();
+    Strategy::from_per_op(per_op).with_stages(stages)
 }
 
 #[cfg(test)]
@@ -400,6 +514,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn migrate_repairs_shard_vectors_and_stages() {
+        let c = paper_testbed_8gpu();
+        let mut s = Strategy::uniform(4, OpStrategy::shard_proportional(&c, 0)).with_stages(vec![
+            vec![DeviceId(0), DeviceId(1)],
+            (2..8).map(DeviceId).collect(),
+        ]);
+        s.per_op[3] = OpStrategy::Pipeline { stage: 0 };
+        let smaller = c.without_device(DeviceId(0));
+        let map = DeviceMap::removal(8, 0);
+        let migrated = migrate_replicas(&s, &map, &smaller);
+        assert_eq!(migrated.validate(&smaller), Ok(()));
+        match &migrated.per_op[0] {
+            OpStrategy::Shard { shards, .. } => {
+                assert_eq!(shards.len(), 7);
+                assert!(shards.iter().sum::<u32>() > 0);
+            }
+            other => panic!("shard must stay shard, got {other:?}"),
+        }
+        // Stage 0 lost G0 but keeps old G1 (now G0).
+        assert_eq!(migrated.stages[0], vec![DeviceId(0)]);
+        assert_eq!(migrated.stages[1].len(), 6);
+    }
+
+    #[test]
+    fn stage_losing_all_devices_falls_back_to_strongest() {
+        let c = paper_testbed_8gpu();
+        let s = Strategy::uniform(1, OpStrategy::Pipeline { stage: 0 })
+            .with_stages(vec![vec![DeviceId(7)]]);
+        let smaller = c.without_device(DeviceId(7));
+        let map = DeviceMap::removal(8, 7);
+        let migrated = migrate_replicas(&s, &map, &smaller);
+        assert_eq!(migrated.validate(&smaller), Ok(()));
+        assert_eq!(migrated.stages[0].len(), 1);
+    }
+
+    #[test]
+    fn without_device_drops_shard_entry_and_shifts_stage_ids() {
+        let c = paper_testbed_8gpu();
+        let s = Strategy::uniform(2, OpStrategy::shard_even(&c, 0))
+            .with_stages(vec![vec![DeviceId(2), DeviceId(5)]]);
+        let repaired = strategy_without_device(&s, 3);
+        match &repaired.per_op[0] {
+            OpStrategy::Shard { shards, .. } => assert_eq!(shards.len(), 7),
+            other => panic!("expected shard, got {other:?}"),
+        }
+        assert_eq!(repaired.stages[0], vec![DeviceId(2), DeviceId(4)]);
+        let smaller = c.without_device(DeviceId(3));
+        assert_eq!(repaired.validate(&smaller), Ok(()));
     }
 
     #[test]

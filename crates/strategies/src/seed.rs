@@ -1,0 +1,327 @@
+//! Seeding passes for the widened strategy space: compute-power-
+//! proportional shard vectors and dynamic-programming pipeline stage
+//! cuts.
+//!
+//! The RL agent and the hill-climbing planner both search per-group
+//! actions; a good starting point in the widened space matters because
+//! `Shard` and `Pipeline` plans are far from any replicate/MP plan in
+//! edit distance. Two seeds are produced here:
+//!
+//! * **Shard-CP** — every op SPMD-sharded over dimension 0 with shard
+//!   sizes proportional to device compute power (the HAP-style layout);
+//!   gradients never aggregate, forward/backward boundaries lower to
+//!   all-gather/reduce-scatter.
+//! * **Pipeline** — servers become contiguous pipeline stages; ops are
+//!   assigned to stages by a dynamic program that minimizes the
+//!   bottleneck stage time `segment_cost / stage_power` over all
+//!   contiguous cuts of the depth-ordered op sequence.
+
+use heterog_cluster::{Cluster, DeviceId};
+use heterog_compile::{CommMethod, OpStrategy, Strategy};
+use heterog_graph::{topo, Graph, Phase};
+use heterog_profile::CostEstimator;
+
+use crate::grouping::avg_op_times;
+use crate::planner::Planner;
+
+/// Compute-power-proportional shard weights (one per device, all
+/// nonzero) — the shard vector the seeding pass proposes for `Shard`
+/// ops. Quarter-power resolution, matching
+/// [`OpStrategy::shard_proportional`].
+pub fn propose_shard_weights(cluster: &Cluster) -> Vec<u32> {
+    match OpStrategy::shard_proportional(cluster, 0) {
+        OpStrategy::Shard { shards, .. } => shards,
+        _ => unreachable!("shard_proportional returns Shard"),
+    }
+}
+
+/// Dynamic program over contiguous stage cuts: splits `costs` (one entry
+/// per op, already in execution order) into `powers.len()` contiguous
+/// segments minimizing the bottleneck `segment_cost / stage_power`.
+/// Returns `powers.len() + 1` boundaries with `b[0] == 0` and
+/// `b[last] == costs.len()`; stage `k` owns ops `b[k]..b[k+1]`.
+pub fn dp_stage_cuts(costs: &[f64], powers: &[f64]) -> Vec<usize> {
+    let n = costs.len();
+    let k = powers.len().max(1);
+    let mut prefix = vec![0.0f64; n + 1];
+    for (i, c) in costs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+
+    // f[j][i]: best bottleneck covering the first i ops with j stages;
+    // cut[j][i]: where stage j starts in that optimum.
+    let mut f = vec![vec![f64::INFINITY; n + 1]; k + 1];
+    let mut cut = vec![vec![0usize; n + 1]; k + 1];
+    f[0][0] = 0.0;
+    for j in 1..=k {
+        let p = powers.get(j - 1).copied().unwrap_or(1.0).max(1e-12);
+        for i in 0..=n {
+            for s in 0..=i {
+                if !f[j - 1][s].is_finite() {
+                    continue;
+                }
+                let v = f[j - 1][s].max((prefix[i] - prefix[s]) / p);
+                if v < f[j][i] {
+                    f[j][i] = v;
+                    cut[j][i] = s;
+                }
+            }
+        }
+    }
+
+    let mut b = vec![0usize; k + 1];
+    b[k] = n;
+    for j in (1..=k).rev() {
+        b[j - 1] = cut[j][b[j]];
+    }
+    b
+}
+
+/// Stage device sets for [`PipelinePlanner`]: one stage per physical
+/// server, in server order — intra-stage traffic stays on the fast
+/// local links and only stage boundaries cross the NIC.
+pub fn stage_device_sets(cluster: &Cluster) -> Vec<Vec<DeviceId>> {
+    cluster
+        .devices_by_server()
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Hybrid Shard-CP seed: ops whose parameters outweigh their activations
+/// are SPMD-sharded with power-proportional shard sizes; everything else
+/// stays proportional data-parallel. The per-op comparison mirrors the
+/// wire-cost trade: replicating an op costs a gradient collective over
+/// `param_bytes` every iteration, sharding it costs boundary all-gather/
+/// reduce-scatter over the (full-batch) activation instead — so the
+/// heavy FC / embedding / projection layers shard and the activation-
+/// heavy convolutions replicate, per-op, HAP-style.
+///
+/// `comm` is the aggregation method for the ops that *stay* replicated
+/// (AllReduce by default; PS pays off on the transformer models, so the
+/// search seeds both variants).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCpPlanner {
+    /// Gradient aggregation for the unsharded (replicated) ops.
+    pub comm: CommMethod,
+}
+
+impl Default for ShardCpPlanner {
+    fn default() -> Self {
+        ShardCpPlanner {
+            comm: CommMethod::AllReduce,
+        }
+    }
+}
+
+impl Planner for ShardCpPlanner {
+    fn name(&self) -> &'static str {
+        match self.comm {
+            CommMethod::AllReduce => "Shard-CP",
+            CommMethod::Ps => "Shard-CP-PS",
+        }
+    }
+
+    fn plan(&self, g: &Graph, cluster: &Cluster, _cost: &dyn CostEstimator) -> Strategy {
+        let batch = g.batch_size;
+        let shard = OpStrategy::shard_proportional(cluster, 0);
+        let dp = OpStrategy::proportional(cluster, self.comm);
+
+        // Pass 1: parameterized forward ops where the per-iteration
+        // gradient collective (~2x param_bytes on the wire) exceeds the
+        // sharding traffic it is traded for: the boundary all-gather +
+        // reduce-scatter over the full-batch output (~2x output bytes)
+        // plus, in the worst case of an unsharded producer, redistributing
+        // the full input to every shard instance (~n x input bytes).
+        let n_dev = cluster.num_devices() as u64;
+        let free = |n: &heterog_graph::Node| {
+            n.phase == Phase::Forward && n.batch_splittable && n.param_bytes == 0
+        };
+        let mut pass1 = vec![false; g.len()];
+        for (id, n) in g.iter() {
+            if n.phase != Phase::Forward || !n.batch_splittable {
+                continue;
+            }
+            let input: u64 = g
+                .preds(id)
+                .iter()
+                .map(|p| g.node(*p).output.bytes(batch))
+                .sum();
+            if 2 * n.param_bytes > 2 * n.output.bytes(batch) + n_dev * input {
+                pass1[id.index()] = true;
+            }
+        }
+
+        // Pass 2: parameter-less splittable forward ops *sandwiched
+        // between* sharded ops join the region, so interleaved
+        // activation/dropout ops don't force a gather-and-redistribute
+        // mid-chain. Reachability must hold in both directions — marking
+        // everything merely downstream of a shard would drag the whole
+        // residual stream (and its big activations) into the region. Op
+        // ids are topo-ordered by the builders, so one forward and one
+        // reverse sweep suffice.
+        let mut from_shard = pass1.clone();
+        for (id, n) in g.iter() {
+            if free(n) && g.preds(id).iter().any(|p| from_shard[p.index()]) {
+                from_shard[id.index()] = true;
+            }
+        }
+        let mut to_shard = pass1.clone();
+        for idx in (0..g.len()).rev() {
+            let id = heterog_graph::OpId(idx as u32);
+            if free(g.node(id)) && g.succs(id).iter().any(|s| to_shard[s.index()]) {
+                to_shard[idx] = true;
+            }
+        }
+        let marked: Vec<bool> = (0..g.len())
+            .map(|i| {
+                pass1[i]
+                    || (free(g.node(heterog_graph::OpId(i as u32))) && from_shard[i] && to_shard[i])
+            })
+            .collect();
+
+        let mut per_op: Vec<OpStrategy> = marked
+            .iter()
+            .map(|&m| if m { shard.clone() } else { dp.clone() })
+            .collect();
+        // Backward ops mirror their forward twin (placement colocates
+        // them anyway; keeping the strategy entries consistent makes
+        // histograms and explain's strategy mix tell the truth).
+        for (id, n) in g.iter() {
+            if let Some(f) = n.grad_of {
+                per_op[id.index()] = per_op[f.index()].clone();
+            }
+        }
+        Strategy::from_per_op(per_op)
+    }
+}
+
+/// Contiguous-pipeline seed: DP stage cuts of the depth-ordered op
+/// sequence onto per-server device sets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelinePlanner;
+
+impl Planner for PipelinePlanner {
+    fn name(&self) -> &'static str {
+        "Pipeline"
+    }
+
+    fn plan(&self, g: &Graph, cluster: &Cluster, cost: &dyn CostEstimator) -> Strategy {
+        let stages = stage_device_sets(cluster);
+        if stages.len() <= 1 {
+            // One server: a single stage spanning every device.
+            let stages = vec![cluster.device_ids().collect::<Vec<_>>()];
+            return Strategy::uniform(g.len(), OpStrategy::Pipeline { stage: 0 })
+                .with_stages(stages);
+        }
+        let powers: Vec<f64> = stages
+            .iter()
+            .map(|devs| {
+                devs.iter()
+                    .map(|d| cluster.device(*d).effective_tflops())
+                    .sum()
+            })
+            .collect();
+
+        let depths = topo::depths(g).expect("training graphs are acyclic");
+        let times = avg_op_times(g, cluster, &cost);
+        let mut order: Vec<usize> = (0..g.len()).collect();
+        order.sort_by_key(|&i| (depths[i], i));
+        let costs: Vec<f64> = order.iter().map(|&i| times[i]).collect();
+
+        let b = dp_stage_cuts(&costs, &powers);
+        let mut stage_of = vec![0usize; g.len()];
+        for j in 0..stages.len() {
+            for t in b[j]..b[j + 1] {
+                stage_of[order[t]] = j;
+            }
+        }
+        let per_op = stage_of
+            .iter()
+            .map(|&s| OpStrategy::Pipeline { stage: s })
+            .collect();
+        Strategy::from_per_op(per_op).with_stages(stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::{BenchmarkModel, ModelSpec};
+    use heterog_profile::GroundTruthCost;
+
+    #[test]
+    fn dp_cuts_balance_equal_powers() {
+        let costs = vec![1.0; 10];
+        let b = dp_stage_cuts(&costs, &[1.0, 1.0]);
+        assert_eq!(b, vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn dp_cuts_load_the_faster_stage_heavier() {
+        let costs = vec![1.0; 9];
+        let b = dp_stage_cuts(&costs, &[2.0, 1.0]);
+        // Optimal bottleneck puts ~2/3 of the work on the 2x stage.
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), 9);
+        assert_eq!(b[1], 6, "6/2.0 = 3/1.0: perfectly balanced");
+    }
+
+    #[test]
+    fn dp_cuts_are_monotone_boundaries() {
+        let costs: Vec<f64> = (0..17).map(|i| 0.5 + (i % 5) as f64).collect();
+        let b = dp_stage_cuts(&costs, &[1.0, 3.0, 2.0]);
+        assert_eq!(b.len(), 4);
+        for w in b.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn shard_cp_seed_proposes_nonzero_power_weights() {
+        let c = paper_testbed_8gpu();
+        let w = propose_shard_weights(&c);
+        assert_eq!(w.len(), c.num_devices());
+        assert!(w.iter().all(|&x| x > 0));
+        // V100s (devices 0,1) outweigh the 1080Ti class.
+        assert!(w[0] > w[7]);
+    }
+
+    #[test]
+    fn pipeline_seed_validates_and_spans_all_servers() {
+        let g = ModelSpec::new(BenchmarkModel::Vgg19, 64).build();
+        let c = paper_testbed_8gpu();
+        let s = PipelinePlanner.plan(&g, &c, &GroundTruthCost);
+        s.validate(&c).expect("pipeline seed is well-formed");
+        assert_eq!(s.stages.len(), stage_device_sets(&c).len());
+        let mut used = vec![false; s.stages.len()];
+        for op in &s.per_op {
+            if let OpStrategy::Pipeline { stage } = op {
+                used[*stage] = true;
+            }
+        }
+        assert!(used.iter().all(|&u| u), "every stage receives ops: {used:?}");
+    }
+
+    #[test]
+    fn seeds_execute_end_to_end() {
+        let g = ModelSpec::new(BenchmarkModel::MobileNetV2, 64).build();
+        let c = paper_testbed_8gpu();
+        let shard_ar = ShardCpPlanner::default();
+        let shard_ps = ShardCpPlanner {
+            comm: CommMethod::Ps,
+        };
+        for p in [&shard_ar as &dyn Planner, &shard_ps, &PipelinePlanner] {
+            let s = p.plan(&g, &c, &GroundTruthCost);
+            s.validate(&c).expect("seed validates");
+            let e = evaluate(&g, &c, &GroundTruthCost, &s);
+            assert!(
+                e.iteration_time.is_finite() && e.iteration_time > 0.0,
+                "{}",
+                p.name()
+            );
+        }
+    }
+}

@@ -356,6 +356,231 @@ mod compile_props {
 // the full-replay path on every query, 1.0 forbids it).
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Widened-strategy-space properties (ROADMAP item 2): sharded plans must be
+// shape- and memory-consistent — shard slices partition the full batch,
+// activation and parameter tensors exactly; the per-device pinned-parameter
+// accounting derived from the strategy's shard arithmetic alone matches
+// `simulate`'s memory report; and `Strategy::validate` rejects shard vectors
+// that still weight a removed device (the elastic repair invariant).
+// ---------------------------------------------------------------------------
+
+mod shard_props {
+    use super::*;
+    use heterog_cluster::{paper_testbed_4gpu, DeviceId};
+    use heterog_compile::{
+        compile, lower::OPTIMIZER_STATE_FACTOR, OpStrategy, Strategy as PlanStrategy,
+        StrategyError,
+    };
+    use heterog_graph::{proportional_split, Graph};
+    use heterog_profile::GroundTruthCost;
+    use heterog_sim::memory_usage;
+
+    /// A random shard-weight vector over the 4-GPU testbed; at least one
+    /// device must own a slice (the all-zero vector is invalid by
+    /// construction, tested separately below).
+    fn arb_shards() -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::vec(0u32..4, 4).prop_map(|mut w| {
+            if w.iter().all(|&x| x == 0) {
+                w[0] = 1;
+            }
+            w
+        })
+    }
+
+    /// Mirrors the placement/lowering shard arithmetic to predict, from
+    /// the strategy alone, how many pinned parameter (+optimizer-state)
+    /// bytes each device must report: splittable param ops with >=2
+    /// nonzero-share participants pin `proportional_split` slices of the
+    /// parameters; everything else collapses to one full pin on the
+    /// heaviest-weighted device.
+    fn expected_param_pins(g: &Graph, shards: &[u32], num_devices: usize) -> Vec<u64> {
+        let mut out = vec![0u64; num_devices];
+        let participants: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0)
+            .map(|(i, _)| i)
+            .collect();
+        for (_, node) in g.iter() {
+            if node.param_bytes == 0 {
+                continue;
+            }
+            let full_pin = node.param_bytes * OPTIMIZER_STATE_FACTOR;
+            if participants.is_empty() {
+                out[0] += full_pin;
+                continue;
+            }
+            if !node.batch_splittable || participants.len() == 1 {
+                let best = shards
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &w)| (w, std::cmp::Reverse(i)))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                out[best] += full_pin;
+                continue;
+            }
+            let active: Vec<u64> = participants.iter().map(|&i| shards[i] as u64).collect();
+            let shares = proportional_split(g.batch_size, &active);
+            let reps: Vec<(usize, u64)> = participants
+                .iter()
+                .copied()
+                .zip(shares)
+                .filter(|&(_, s)| s > 0)
+                .collect();
+            match reps.len() {
+                0 => out[0] += full_pin,
+                1 => out[reps[0].0] += full_pin,
+                _ => {
+                    let shard_shares: Vec<u64> = reps.iter().map(|r| r.1).collect();
+                    let slices = proportional_split(node.param_bytes, &shard_shares);
+                    for (&(d, _), slice) in reps.iter().zip(&slices) {
+                        out[d] += slice * OPTIMIZER_STATE_FACTOR;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The single source of shard sizing: slices partition the total
+        /// exactly, one slice per weight, and (given any positive weight)
+        /// zero-weight entries own nothing.
+        #[test]
+        fn proportional_split_partitions_exactly(
+            total in 0u64..1_000_000,
+            weights in proptest::collection::vec(0u64..16, 1..12),
+        ) {
+            let parts = proportional_split(total, &weights);
+            prop_assert_eq!(parts.len(), weights.len());
+            prop_assert_eq!(parts.iter().sum::<u64>(), total);
+            if weights.iter().any(|&w| w > 0) {
+                for (i, &w) in weights.iter().enumerate() {
+                    if w == 0 {
+                        prop_assert_eq!(parts[i], 0, "zero weight {i} owns a slice");
+                    }
+                }
+            }
+        }
+
+        /// Sharded plans are shape-consistent after lowering: per op, the
+        /// task batch shares sum to the global batch, the forward output
+        /// slices sum to the full activation, and the pinned parameter
+        /// slices partition the parameters (x optimizer state) exactly
+        /// once — not once per device as DP replication would.
+        #[test]
+        fn shard_slices_partition_batch_outputs_and_params(
+            g in super::compile_props::arb_training_graph(),
+            shards in arb_shards(),
+        ) {
+            let cluster = paper_testbed_4gpu();
+            let s = PlanStrategy::uniform(g.len(), OpStrategy::Shard { dim: 0, shards });
+            prop_assert!(s.validate(&cluster).is_ok());
+            let tg = compile(&g, &cluster, &GroundTruthCost, &s);
+            for (id, node) in g.iter() {
+                let tasks: Vec<_> = tg.iter().filter(|(_, t)| t.origin == Some(id)).collect();
+                prop_assert!(!tasks.is_empty(), "op {} lost in lowering", &node.name);
+                if node.batch_splittable {
+                    let total: u64 = tasks.iter().map(|(_, t)| t.batch_share).sum();
+                    prop_assert_eq!(total, g.batch_size, "batch not conserved at {}", &node.name);
+                }
+                if node.kind == OpKind::MatMul && node.phase == heterog_graph::Phase::Forward {
+                    let out: u64 = tasks.iter().map(|(_, t)| t.output_bytes).sum();
+                    prop_assert_eq!(
+                        out,
+                        node.output.bytes(g.batch_size),
+                        "output slices of {} do not partition the activation",
+                        &node.name
+                    );
+                }
+                if node.param_bytes > 0 {
+                    let pinned: u64 = tasks.iter().map(|(_, t)| t.param_bytes).sum();
+                    prop_assert_eq!(
+                        pinned,
+                        node.param_bytes * OPTIMIZER_STATE_FACTOR,
+                        "param slices of {} do not partition the parameters",
+                        &node.name
+                    );
+                }
+            }
+        }
+
+        /// Per-device memory accounting: the pinned parameter bytes that
+        /// `simulate`'s memory report attributes to each device equal the
+        /// prediction computed from the strategy's shard arithmetic alone,
+        /// and every device's peak covers its pins.
+        #[test]
+        fn shard_memory_accounting_matches_simulate(
+            g in super::compile_props::arb_training_graph(),
+            shards in arb_shards(),
+        ) {
+            let cluster = paper_testbed_4gpu();
+            let s = PlanStrategy::uniform(
+                g.len(),
+                OpStrategy::Shard { dim: 0, shards: shards.clone() },
+            );
+            let tg = compile(&g, &cluster, &GroundTruthCost, &s);
+            let sched = list_schedule(&tg, &OrderPolicy::RankBased);
+            let mem = memory_usage(&tg, &sched, &cluster.memory_capacities());
+            let expected = expected_param_pins(&g, &shards, cluster.num_devices());
+            prop_assert_eq!(
+                &mem.param_bytes, &expected,
+                "per-device param accounting diverged from the strategy arithmetic"
+            );
+            for d in 0..cluster.num_devices() {
+                prop_assert!(mem.peak_bytes[d] >= mem.param_bytes[d]);
+            }
+        }
+
+        /// The elastic repair invariant: a shard vector that was valid on
+        /// the full testbed must be rejected once a device it references
+        /// is removed — naming the removed device when it still owns a
+        /// slice, and the length mismatch otherwise. The all-zero vector
+        /// is rejected outright.
+        #[test]
+        fn validate_rejects_shards_on_removed_devices(
+            g in super::compile_props::arb_training_graph(),
+            shards in arb_shards(),
+        ) {
+            let cluster = paper_testbed_4gpu();
+            let s = PlanStrategy::uniform(
+                g.len(),
+                OpStrategy::Shard { dim: 0, shards: shards.clone() },
+            );
+            prop_assert!(s.validate(&cluster).is_ok());
+            let shrunk = cluster.without_device(DeviceId(3));
+            let err = s.validate(&shrunk);
+            prop_assert!(err.is_err(), "shard vector for 4 devices accepted on 3");
+            match err.unwrap_err() {
+                StrategyError::ShardDeviceMissing { device, .. } => {
+                    prop_assert!(shards[3] > 0, "named a device that owned no slice");
+                    prop_assert_eq!(device, DeviceId(3));
+                }
+                StrategyError::ShardLengthMismatch { len, devices, .. } => {
+                    prop_assert_eq!(shards[3], 0, "missing device not named");
+                    prop_assert_eq!(len, 4);
+                    prop_assert_eq!(devices, 3);
+                }
+                other => prop_assert!(false, "unexpected error {other:?}"),
+            }
+            let zeros = PlanStrategy::uniform(
+                g.len(),
+                OpStrategy::Shard { dim: 0, shards: vec![0; 4] },
+            );
+            if g.len() > 0 {
+                prop_assert_eq!(
+                    zeros.validate(&cluster),
+                    Err(StrategyError::NoShards { op: 0 })
+                );
+            }
+        }
+    }
+}
+
 mod incremental_props {
     use super::*;
     use heterog_cluster::{paper_testbed_4gpu, Cluster, DeviceId, GpuModel, LinkKind};
