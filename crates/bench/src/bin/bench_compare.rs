@@ -15,6 +15,14 @@
 //!   Shard/Pipeline space beats the best replicate/MP-only plan) and
 //!   `mean_improvement_pct`. These come from the deterministic
 //!   simulator, so any drop is a planner/lowering change, not noise.
+//! * **elastic-recovery** (`BENCH_elastic_recovery.json`, detected by
+//!   its `policies` field) — gates per model on summed `repair_evals`
+//!   (*higher* is worse: repairs getting more expensive) and on the
+//!   `migrate_below_replan` bit flipping true→false. Models present in
+//!   only one artifact (a smoke run covers fewer models than the
+//!   committed full baseline) print "(new, skipped)" instead of
+//!   failing; the cross-model `migrate_faster_models` count is
+//!   informational for the same reason.
 //!
 //! A fresh value more than `--max-regression` (default 25%) below the
 //! baseline exits nonzero with a per-field report; improvements and
@@ -68,6 +76,95 @@ fn num(v: &serde_json::Value, key: &str) -> Option<f64> {
     v.get(key).and_then(serde_json::Value::as_f64)
 }
 
+/// Compares elastic-recovery artifacts; returns whether a gated field
+/// regressed. Per model: summed `repair_evals` (higher is worse) and
+/// the `migrate_below_replan` bit (true→false is a regression). Models
+/// missing from the baseline are skipped, so smoke artifacts stay
+/// diffable against the committed full baseline.
+fn compare_elastic(
+    baseline: &serde_json::Value,
+    fresh: &serde_json::Value,
+    max_regression: f64,
+) -> bool {
+    use std::collections::HashMap;
+    let arr = |v: &serde_json::Value| -> Vec<serde_json::Value> {
+        v.get("models")
+            .and_then(|m| m.as_array())
+            .cloned()
+            .unwrap_or_default()
+    };
+    let base_models: HashMap<String, serde_json::Value> = arr(baseline)
+        .into_iter()
+        .filter_map(|m| Some((m.get("model")?.as_str()?.to_string(), m)))
+        .collect();
+    let sum_evals = |m: &serde_json::Value| -> f64 {
+        m.get("repair_evals")
+            .and_then(|r| r.as_array())
+            .map(|a| a.iter().filter_map(serde_json::Value::as_f64).sum())
+            .unwrap_or(0.0)
+    };
+    let mut failed = false;
+    for m in arr(fresh) {
+        let name = m
+            .get("model")
+            .and_then(|n| n.as_str())
+            .unwrap_or("?")
+            .to_string();
+        let f_evals = sum_evals(&m);
+        let key = format!("{name} repair_evals");
+        let Some(b) = base_models.get(&name) else {
+            println!(
+                "{key:<32}{:>14}{f_evals:>14.3}{:>10}  (new, skipped)",
+                "-", ""
+            );
+            continue;
+        };
+        let b_evals = sum_evals(b);
+        // Higher is worse here: repairing got more expensive.
+        let delta = if b_evals != 0.0 {
+            (f_evals - b_evals) / b_evals
+        } else if f_evals > 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        let regressed = delta > max_regression;
+        println!(
+            "{key:<32}{b_evals:>14.3}{f_evals:>14.3}{:>9.1}%  {}",
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= regressed;
+
+        let key = format!("{name} migrate_below_replan");
+        let bit = |v: &serde_json::Value| {
+            v.get("migrate_below_replan")
+                .and_then(serde_json::Value::as_bool)
+                .unwrap_or(false)
+        };
+        let (b_bit, f_bit) = (bit(b), bit(&m));
+        let regressed = b_bit && !f_bit;
+        println!(
+            "{key:<32}{b_bit:>14}{f_bit:>14}{:>10}  {}",
+            "",
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= regressed;
+    }
+    // Smoke and full artifacts cover different model counts, so the
+    // aggregate migrate-wins count can only inform, never gate.
+    if let (Some(b), Some(f)) = (
+        num(baseline, "migrate_faster_models"),
+        num(fresh, "migrate_faster_models"),
+    ) {
+        println!(
+            "{:<32}{b:>14.3}{f:>14.3}{:>10}  (info)",
+            "migrate_faster_models", ""
+        );
+    }
+    failed
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
@@ -99,8 +196,10 @@ fn main() -> ExitCode {
         }
     };
 
-    // Artifact kind: strategy-space artifacts carry `wins`, throughput
-    // artifacts carry evals/sec fields.
+    // Artifact kind: elastic-recovery artifacts carry `policies`,
+    // strategy-space artifacts carry `wins`, throughput artifacts carry
+    // evals/sec fields.
+    let elastic = fresh.get("policies").is_some() || baseline.get("policies").is_some();
     let strategy_space = fresh.get("wins").is_some() || baseline.get("wins").is_some();
     let (gated, gated_optional, informational): (&[&str], &[&str], &[&str]) = if strategy_space {
         (&SS_GATED, &[], &SS_INFORMATIONAL)
@@ -113,6 +212,22 @@ fn main() -> ExitCode {
         "{:<32}{:>14}{:>14}{:>10}  verdict",
         "field", "baseline", "fresh", "delta"
     );
+
+    if elastic {
+        return if compare_elastic(&baseline, &fresh, max_regression) {
+            eprintln!(
+                "FAIL: gated fields regressed more than {:.0}% vs committed baseline",
+                max_regression * 100.0
+            );
+            ExitCode::FAILURE
+        } else {
+            println!(
+                "PASS: no gated field regressed more than {:.0}%",
+                max_regression * 100.0
+            );
+            ExitCode::SUCCESS
+        };
+    }
 
     let mut failed = false;
     for &key in gated {

@@ -22,12 +22,19 @@
 //! recorder, also dumped automatically when an elastic fault fires).
 //! All three observe the run without changing its results: stdout bytes
 //! are identical with or without them.
+//!
+//! Every `plan`/`explain`/`train`/`elastic` invocation that reaches a
+//! terminal state is additionally archived under `.heterog/runs/`
+//! (override with `--runs-dir` or `$HETEROG_RUNS_DIR`, opt out with
+//! `--no-archive`). `heterog-cli runs` queries the store.
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use heterog::events as ev;
+use heterog::runs;
 use heterog::{get_runner, HeterogConfig};
 use heterog_cluster::{paper_testbed_8gpu, Cluster, ClusterSpec};
 use heterog_graph::{BenchmarkModel, ModelSpec};
@@ -46,6 +53,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&flags),
         "train" => cmd_train(&flags),
         "elastic" => cmd_elastic(&flags),
+        "runs" => cmd_runs(&args[1..]),
         "models" => cmd_models(),
         "cluster-template" => {
             println!("{}", ClusterSpec::paper_8gpu().to_json());
@@ -75,6 +83,12 @@ USAGE:
   heterog-cli trace   --model <name> [--batch N] [--layers N] [--cluster spec.json] --out <file.json>
   heterog-cli train   --model <name> [--batch N] [--layers N] [--cluster spec.json] [--episodes N] [--seed N] [--rollout-k N] [--groups N]
   heterog-cli elastic --model <name> [--batch N] [--cluster spec.json] [--planner <name>] [--iters N] [--policy full-replan|migrate-replicas|collective-fallback|compare] [--no-incremental] [--faults <script> | --seed N [--num-faults N]] [--json-out <file.json>]
+  heterog-cli runs    list [--model <name>] [--planner <name>] [--fingerprint N] [--seed N]
+  heterog-cli runs    show <id-prefix>
+  heterog-cli runs    diff <before-id> <after-id>      nonzero exit on regression
+  heterog-cli runs    timeline [--model <name>] [--planner <name>]
+  heterog-cli runs    gc [--keep N]                    keep newest N per (model, planner)
+  heterog-cli runs    dashboard --out <file.html>
   heterog-cli models                 list available benchmark models
   heterog-cli cluster-template       print a cluster-spec JSON template
 
@@ -93,6 +107,17 @@ LIVE EVENTS (plan, train, elastic):
                         manifest + telemetry) here; elastic writes it
                         automatically when an injected fault applies
   None of these change results: stdout is byte-identical either way.
+
+RUN ARCHIVE (plan, explain, train, elastic):
+  Every invocation that reaches a terminal state is archived as
+  .heterog/runs/<run-id>/ — the event stream (with manifest header),
+  the plan's report digest, the terminal evaluation and a telemetry
+  snapshot. Invocations that fail before planning leave nothing behind.
+  --runs-dir <dir>      archive here instead (or set $HETEROG_RUNS_DIR)
+  --no-archive          disable archiving for this invocation
+  Query with `heterog-cli runs list|show|diff|timeline|gc|dashboard`;
+  `runs diff` exits nonzero when the newer run regressed, so it can
+  gate CI. Archiving writes only at exit and never touches stdout.
 
 TRAIN:
   --episodes N          REINFORCE episodes (default 50)
@@ -245,21 +270,46 @@ fn config_for(flags: &HashMap<String, String>) -> Result<HeterogConfig, String> 
 struct EventsSession {
     pump: Option<ev::EventPump>,
     active: bool,
+    archive: Option<runs::ArchiveHandle>,
 }
 
 impl EventsSession {
+    /// The archive handle, when this invocation archives itself.
+    fn archive(&self) -> Option<&runs::ArchiveHandle> {
+        self.archive.as_ref()
+    }
+
     fn finish(self) {
         if let Some(p) = self.pump {
             p.finish();
         }
+        if let Some(h) = &self.archive {
+            if let Some(dir) = h.archived_to() {
+                eprintln!("run archived: {} -> {}", h.run_id(), dir.display());
+            }
+        }
     }
+}
+
+/// The run-store root for this invocation: `--runs-dir` beats
+/// `$HETEROG_RUNS_DIR` beats `.heterog/runs`.
+fn runs_root(flags: &HashMap<String, String>) -> PathBuf {
+    flags
+        .get("runs-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(runs::default_location)
 }
 
 /// Enables the event bus, registers the run manifest, installs the
 /// panic-time flight recorder, and starts the `--events-out` /
-/// `--progress` sinks — but only when one of the live-events flags is
-/// present; otherwise the bus stays disabled (one relaxed atomic load
-/// per would-be event) and nothing changes.
+/// `--progress` sinks plus (by default) the run archiver. With
+/// `--no-archive` and none of the live-events flags, the bus stays
+/// disabled (one relaxed atomic load per would-be event) and nothing
+/// changes.
+///
+/// The archiver only writes when the command later marks the run
+/// terminal via [`runs::ArchiveHandle::mark_finished`]; an invocation
+/// that errors out first leaves no run directory behind.
 fn setup_events(
     command: &str,
     flags: &HashMap<String, String>,
@@ -271,10 +321,12 @@ fn setup_events(
     let want_progress = flags.contains_key("progress");
     let want_jsonl = flags.contains_key("events-out");
     let want_flight = flags.contains_key("flight-out");
-    if !want_progress && !want_jsonl && !want_flight {
+    let want_archive = !flags.contains_key("no-archive");
+    if !want_progress && !want_jsonl && !want_flight && !want_archive {
         return Ok(EventsSession {
             pump: None,
             active: false,
+            archive: None,
         });
     }
     ev::enable();
@@ -305,15 +357,30 @@ fn setup_events(
     if want_progress {
         sinks.push(Box::new(ev::ProgressRenderer::new()));
     }
+    let archive = if want_archive {
+        let handle = runs::ArchiveHandle::new(runs_root(flags), manifest.clone());
+        // Route flight-recorder dumps (panic hook included) into the
+        // run's directory so a crash dump and its stream stay together.
+        ev::set_default_flight_file(Some(handle.flight_path()));
+        sinks.push(Box::new(runs::RunArchiver::new(handle.clone())));
+        Some(handle)
+    } else {
+        None
+    };
     let pump = if sinks.is_empty() {
         None
     } else {
         Some(ev::EventPump::spawn(sinks))
     };
-    Ok(EventsSession { pump, active: true })
+    Ok(EventsSession {
+        pump,
+        active: true,
+        archive,
+    })
 }
 
 fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let started = Instant::now();
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
     let cfg = config_for(flags)?;
@@ -382,6 +449,21 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("trace:             written to {path} (open in Perfetto)");
     }
+    if let Some(h) = session.archive() {
+        let outcome = if stats.oom { "oom" } else { "ok" };
+        h.set_digest(&heterog::explain::quick_digest(
+            &spec.label(),
+            &runner.report,
+        ));
+        h.set_evaluation(runs::StoredEvaluation {
+            outcome: outcome.into(),
+            makespan: stats.per_iteration_s,
+            oom: stats.oom,
+            samples_per_second: stats.samples_per_second,
+            wall_s: started.elapsed().as_secs_f64(),
+        });
+        h.mark_finished(outcome, stats.per_iteration_s, stats.oom);
+    }
     session.finish();
     if let Some(path) = flags.get("flight-out") {
         ev::dump_flight(Path::new(path), "requested")
@@ -401,6 +483,7 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let started = Instant::now();
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
     let cfg = config_for(flags)?;
@@ -414,6 +497,11 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
     if flags.contains_key("no-incremental") {
         opts.incremental = false;
     }
+    let planner_name = flags
+        .get("planner")
+        .map(String::as_str)
+        .unwrap_or("heterog");
+    let session = setup_events("explain", flags, &spec, &cluster, planner_name, 0)?;
     eprintln!(
         "planning {} on {} GPUs ...",
         spec.label(),
@@ -439,6 +527,20 @@ fn cmd_explain(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("\ndiff against {path}:");
         print!("{}", heterog::explain::render_diff_text(&d));
     }
+    if let Some(h) = session.archive() {
+        let digest = report.digest();
+        let outcome = if digest.oom { "oom" } else { "ok" };
+        h.set_evaluation(runs::StoredEvaluation {
+            outcome: outcome.into(),
+            makespan: digest.makespan,
+            oom: digest.oom,
+            samples_per_second: 0.0,
+            wall_s: started.elapsed().as_secs_f64(),
+        });
+        h.mark_finished(outcome, digest.makespan, digest.oom);
+        h.set_digest(&digest);
+    }
+    session.finish();
     Ok(())
 }
 
@@ -482,6 +584,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     use heterog::profile::GroundTruthCost;
     use heterog::strategies::evaluate;
 
+    let started = Instant::now();
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
     let mut cfg = TrainerConfig {
@@ -534,6 +637,22 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     println!("greedy policy:     {:.4} s/iter", eval.iteration_time);
     println!("episodes to best:  {}", rec.episodes_to_within(1e-9).max(1));
+    if let Some(h) = session.archive() {
+        let outcome = if eval.oom { "oom" } else { "ok" };
+        h.set_digest(&heterog::explain::quick_digest(&spec.label(), &eval.report));
+        h.set_evaluation(runs::StoredEvaluation {
+            outcome: outcome.into(),
+            makespan: eval.iteration_time,
+            oom: eval.oom,
+            samples_per_second: if eval.iteration_time > 0.0 {
+                spec.batch_size as f64 / eval.iteration_time
+            } else {
+                0.0
+            },
+            wall_s: started.elapsed().as_secs_f64(),
+        });
+        h.mark_finished(outcome, eval.iteration_time, eval.oom);
+    }
     session.finish();
     if let Some(path) = flags.get("flight-out") {
         ev::dump_flight(Path::new(path), "requested")
@@ -549,6 +668,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
     use heterog::elastic::{render_policy_comparison, ElasticOptions, FaultScript, RepairPolicy};
 
+    let started = Instant::now();
     let spec = parse_model(flags)?;
     let cluster = parse_cluster(flags)?;
     let cfg = config_for(flags)?;
@@ -615,6 +735,20 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("json report written to {path}");
         }
+        if let Some(h) = session.archive() {
+            // `compare` archives the first (full-replan) report too.
+            let r = &reports[0];
+            let outcome = if r.final_oom { "oom" } else { "ok" };
+            h.set_digest(&r.digest);
+            h.set_evaluation(runs::StoredEvaluation {
+                outcome: outcome.into(),
+                makespan: r.final_makespan,
+                oom: r.final_oom,
+                samples_per_second: 0.0,
+                wall_s: started.elapsed().as_secs_f64(),
+            });
+            h.mark_finished(outcome, r.final_makespan, r.final_oom);
+        }
         session.finish();
         return Ok(());
     }
@@ -633,6 +767,19 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, outcome.report.to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("json report written to {path}");
+    }
+    if let Some(h) = session.archive() {
+        let r = &outcome.report;
+        let verdict = if r.final_oom { "oom" } else { "ok" };
+        h.set_digest(&r.digest);
+        h.set_evaluation(runs::StoredEvaluation {
+            outcome: verdict.into(),
+            makespan: r.final_makespan,
+            oom: r.final_oom,
+            samples_per_second: 0.0,
+            wall_s: started.elapsed().as_secs_f64(),
+        });
+        h.mark_finished(verdict, r.final_makespan, r.final_oom);
     }
     let events_active = session.active;
     session.finish();
@@ -655,6 +802,254 @@ fn cmd_elastic(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             eprintln!("flight recorder written to {}", path.display());
         }
+    }
+    Ok(())
+}
+
+/// The non-flag operands of an argv tail, skipping `--key value` pairs
+/// with the same pairing rule as [`parse_flags`].
+fn split_positional(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Loads every listed run in full, skipping unreadable directories.
+fn load_all(store: &runs::RunStore) -> Vec<runs::StoredRun> {
+    store
+        .list()
+        .into_iter()
+        .filter_map(|r| store.load(&r.id).ok())
+        .collect()
+}
+
+fn cmd_runs(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first() else {
+        return Err(
+            "runs: an action is required (list, show, diff, timeline, gc, dashboard)".into(),
+        );
+    };
+    let flags = parse_flags(&args[1..]);
+    let positional = split_positional(&args[1..]);
+    let store = runs::RunStore::open(runs_root(&flags));
+    match action.as_str() {
+        "list" => runs_list(&store, &flags),
+        "show" => {
+            let prefix = positional
+                .first()
+                .ok_or("runs show: a run id (or unique prefix) is required")?;
+            runs_show(&store, prefix)
+        }
+        "diff" => {
+            let [before, after] = positional.as_slice() else {
+                return Err("runs diff: exactly two run ids are required".into());
+            };
+            runs_diff(&store, before, after)
+        }
+        "timeline" => runs_timeline(&store, &flags),
+        "gc" => {
+            let keep = match flags.get("keep") {
+                Some(k) => k.parse().map_err(|_| format!("bad --keep {k:?}"))?,
+                None => 10,
+            };
+            let removed = store.gc(keep).map_err(|e| format!("gc failed: {e}"))?;
+            println!(
+                "kept the newest {keep} run(s) per (model, planner); removed {}",
+                removed.len()
+            );
+            for id in removed {
+                println!("  removed {id}");
+            }
+            Ok(())
+        }
+        "dashboard" => {
+            let out = flags
+                .get("out")
+                .ok_or("runs dashboard: --out <file.html> is required")?;
+            let loaded = load_all(&store);
+            std::fs::write(out, runs::render_dashboard(&loaded))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("dashboard over {} run(s) written to {out}", loaded.len());
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown runs action {other:?} (valid: list, show, diff, timeline, gc, dashboard)"
+        )),
+    }
+}
+
+fn runs_list(store: &runs::RunStore, flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut rows = store.list();
+    if let Some(m) = flags.get("model") {
+        rows.retain(|r| &r.manifest.model == m);
+    }
+    if let Some(p) = flags.get("planner") {
+        rows.retain(|r| &r.manifest.planner == p);
+    }
+    if let Some(f) = flags.get("fingerprint") {
+        let f: u64 = f.parse().map_err(|_| format!("bad --fingerprint {f:?}"))?;
+        rows.retain(|r| r.manifest.cluster_fingerprint == f);
+    }
+    if let Some(s) = flags.get("seed") {
+        let s: u64 = s.parse().map_err(|_| format!("bad --seed {s:?}"))?;
+        rows.retain(|r| r.manifest.seed == s);
+    }
+    println!(
+        "{:<22}{:<9}{:<14}{:<12}{:>6}{:>12}{:>9}",
+        "run", "command", "model", "planner", "batch", "s/iter", "outcome"
+    );
+    let n = rows.len();
+    for r in rows {
+        let (makespan, outcome) = match &r.evaluation {
+            Some(e) => (format!("{:.4}", e.makespan), e.outcome.clone()),
+            None => ("-".into(), "?".into()),
+        };
+        println!(
+            "{:<22}{:<9}{:<14}{:<12}{:>6}{:>12}{:>9}",
+            r.id,
+            r.manifest.command,
+            r.manifest.model,
+            r.manifest.planner,
+            r.manifest.batch_size,
+            makespan,
+            outcome
+        );
+    }
+    eprintln!("{n} run(s) in {}", store.root().display());
+    Ok(())
+}
+
+fn runs_show(store: &runs::RunStore, prefix: &str) -> Result<(), String> {
+    let id = store.resolve(prefix)?;
+    let run = store.load(&id)?;
+    let m = run.manifest();
+    println!("run {id}");
+    println!("  command:      {} ({})", m.command, m.argv.join(" "));
+    println!("  model:        {} (batch {})", m.model, m.batch_size);
+    println!(
+        "  cluster:      {} device(s), fingerprint {}",
+        m.num_devices, m.cluster_fingerprint
+    );
+    println!("  planner:      {} (seed {})", m.planner, m.seed);
+    println!("  started:      {} (unix)", m.started_unix);
+    println!(
+        "  stream:       {} event(s), {} missed, {} unknown{}",
+        run.log.events.len(),
+        run.log.missed,
+        run.log.unknown,
+        if run.log.truncated { ", truncated" } else { "" }
+    );
+    if run.has_flight {
+        println!(
+            "  flight:       {} (crash/fault dump)",
+            run.dir.join(runs::FLIGHT_FILE).display()
+        );
+    }
+    if let Some(e) = &run.evaluation {
+        println!(
+            "  outcome:      {} — {:.4} s/iter, {:.0} samples/s, {:.2} s wall",
+            e.outcome, e.makespan, e.samples_per_second, e.wall_s
+        );
+    }
+    if let Some(d) = &run.digest {
+        println!(
+            "  digest:       makespan {:.4} s{}",
+            d.makespan,
+            if d.oom { " (OOM)" } else { "" }
+        );
+        println!(
+            "    compute {:.4}  collective {:.4}  transfer {:.4}  idle {:.4}",
+            d.compute, d.collective, d.transfer, d.idle
+        );
+        println!(
+            "    mean GPU utilization {:.1}% over {} device(s)",
+            100.0 * d.mean_gpu_utilization,
+            d.device_utilization.len()
+        );
+    }
+    let progress = runs::search_progress(&run.log);
+    if !progress.is_empty() {
+        println!(
+            "  search:       {} {:.4} -> {:.4} s ({} samples)",
+            ev::sparkline(&progress, 40),
+            progress.first().copied().unwrap_or(f64::NAN),
+            progress.last().copied().unwrap_or(f64::NAN),
+            progress.len()
+        );
+    }
+    Ok(())
+}
+
+fn runs_diff(store: &runs::RunStore, before: &str, after: &str) -> Result<(), String> {
+    let load_digest = |prefix: &str| -> Result<(String, heterog::explain::ReportDigest), String> {
+        let id = store.resolve(prefix)?;
+        let run = store.load(&id)?;
+        let digest = run
+            .digest
+            .ok_or_else(|| format!("run {id} has no stored digest to diff"))?;
+        Ok((id, digest))
+    };
+    let (before_id, b) = load_digest(before)?;
+    let (after_id, a) = load_digest(after)?;
+    let d = heterog::explain::diff(&b, &a);
+    println!("diff {before_id} -> {after_id}:");
+    print!("{}", heterog::explain::render_diff_text(&d));
+    if !d.is_clean() {
+        return Err(format!(
+            "{} regression(s) between {before_id} and {after_id}",
+            d.regressions.len()
+        ));
+    }
+    Ok(())
+}
+
+fn runs_timeline(store: &runs::RunStore, flags: &HashMap<String, String>) -> Result<(), String> {
+    let loaded = load_all(store);
+    let mut printed = false;
+    for ((model, planner), points) in runs::timelines(&loaded) {
+        if flags.get("model").is_some_and(|m| *m != model) {
+            continue;
+        }
+        if flags.get("planner").is_some_and(|p| *p != planner) {
+            continue;
+        }
+        printed = true;
+        println!("{model} / {planner}");
+        println!(
+            "  {:<22}{:>12}{:>12}{:>10}{:>9}{:>8}{:>6}",
+            "run", "started", "best s/it", "evals/s", "cache", "repair", "OOM"
+        );
+        for p in points {
+            println!(
+                "  {:<22}{:>12}{:>12}{:>10.1}{:>8.0}%{:>8}{:>6}",
+                p.id,
+                p.started_unix,
+                if p.best_makespan.is_finite() {
+                    format!("{:.4}", p.best_makespan)
+                } else {
+                    "-".into()
+                },
+                p.evals_per_sec,
+                100.0 * p.cache_hit_rate,
+                p.repair_evals,
+                if p.oom { "yes" } else { "no" }
+            );
+        }
+    }
+    if !printed {
+        println!("no matching runs in {}", store.root().display());
     }
     Ok(())
 }

@@ -42,6 +42,7 @@ pub use heterog_explain as explain;
 pub use heterog_graph as graph;
 pub use heterog_nn as nn;
 pub use heterog_profile as profile;
+pub use heterog_runs as runs;
 pub use heterog_sched as sched;
 pub use heterog_sim as sim;
 pub use heterog_strategies as strategies;

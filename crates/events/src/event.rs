@@ -130,6 +130,20 @@ pub enum EventKind {
         /// Makespan of the perturbed schedule.
         makespan: f64,
     },
+    /// The invocation reached a terminal state and its results are
+    /// final. Emitted exactly once, last, by the CLI (and any embedder
+    /// that wants its runs archived): the run archiver refuses to
+    /// materialize a run directory for a stream that never carried one,
+    /// so aborted invocations leave nothing behind.
+    RunFinished {
+        /// Terminal outcome: `ok`, `oom`, or `error`.
+        outcome: String,
+        /// Final per-iteration makespan, seconds (NaN when the command
+        /// has no single-plan makespan, e.g. a failed invocation).
+        makespan: f64,
+        /// Whether the final plan overflowed device memory.
+        oom: bool,
+    },
     /// Test/benchmark probe carrying a producer id and the producer's
     /// own gap-free index; also the extension point for external
     /// subscribers that need an opaque marker in the stream.
@@ -155,6 +169,7 @@ impl EventKind {
             EventKind::Fault { .. } => "fault",
             EventKind::Repair { .. } => "repair",
             EventKind::IncrementalResim { .. } => "incremental_resim",
+            EventKind::RunFinished { .. } => "run_finished",
             EventKind::Probe { .. } => "probe",
         }
     }
@@ -303,6 +318,17 @@ impl Event {
                     num(*makespan)
                 ));
             }
+            EventKind::RunFinished {
+                outcome,
+                makespan,
+                oom,
+            } => {
+                line.push_str(&format!(
+                    ",\"outcome\":\"{}\",\"makespan\":{},\"oom\":{oom}",
+                    esc(outcome),
+                    num(*makespan)
+                ));
+            }
             EventKind::Probe { producer, index } => {
                 line.push_str(&format!(",\"producer\":{producer},\"index\":{index}"));
             }
@@ -430,6 +456,11 @@ mod tests {
                 total: 0,
                 dirty: 0,
                 makespan: 0.0,
+            },
+            EventKind::RunFinished {
+                outcome: "ok".into(),
+                makespan: 0.0,
+                oom: false,
             },
             EventKind::Probe {
                 producer: 0,

@@ -11,6 +11,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use parking_lot::Mutex;
+
 use crate::bus::snapshot_ring;
 use crate::event::esc;
 use crate::manifest::manifest;
@@ -41,14 +43,42 @@ pub fn flight_json(reason: &str) -> String {
     out
 }
 
-/// Writes the flight document to `path`. Returns the path on success.
+/// Writes the flight document to `path` (creating parent directories —
+/// a crash dump may land in a run directory that does not exist yet).
+/// Returns the path on success.
 pub fn dump_flight(path: &Path, reason: &str) -> std::io::Result<PathBuf> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     std::fs::write(path, flight_json(reason))?;
     Ok(path.to_path_buf())
 }
 
+static FLIGHT_FILE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Routes *default* flight dumps (the panic hook, elastic's
+/// fault-applied auto-dump) to an explicit file — the run archiver
+/// points this at `<runs>/<run-id>/flight.json` so crash dumps land
+/// inside their run directory instead of littering the CWD with
+/// wall-clock-named files. `None` restores the timestamped default.
+pub fn set_default_flight_file(path: Option<PathBuf>) {
+    *FLIGHT_FILE.lock() = path;
+}
+
+/// The configured default flight file, if one was registered.
+pub fn default_flight_file() -> Option<PathBuf> {
+    FLIGHT_FILE.lock().clone()
+}
+
+/// The registered flight file when one is set (see
+/// [`set_default_flight_file`]); otherwise
 /// `heterog-flight-<unix_ts>.json` inside `dir`.
 pub fn default_flight_path(dir: &Path) -> PathBuf {
+    if let Some(p) = FLIGHT_FILE.lock().as_ref() {
+        return p.clone();
+    }
     let ts = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -143,9 +173,22 @@ mod tests {
 
     #[test]
     fn default_path_shape() {
+        let _g = TEST_LOCK.lock();
+        set_default_flight_file(None);
         let p = default_flight_path(Path::new("/tmp"));
         let name = p.file_name().unwrap().to_string_lossy().into_owned();
         assert!(name.starts_with("heterog-flight-"));
         assert!(name.ends_with(".json"));
+    }
+
+    #[test]
+    fn configured_flight_file_overrides_the_default() {
+        let _g = TEST_LOCK.lock();
+        let want = PathBuf::from("/tmp/runs/r42/flight.json");
+        set_default_flight_file(Some(want.clone()));
+        assert_eq!(default_flight_path(Path::new(".")), want);
+        assert_eq!(default_flight_file(), Some(want));
+        set_default_flight_file(None);
+        assert!(default_flight_file().is_none());
     }
 }

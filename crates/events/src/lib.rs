@@ -39,6 +39,7 @@ pub mod event;
 pub mod flight;
 pub mod manifest;
 pub mod progress;
+pub mod reader;
 pub mod sink;
 
 pub use bus::{
@@ -46,7 +47,11 @@ pub use bus::{
     snapshot_ring, subscribe, Subscription, DEFAULT_CAPACITY,
 };
 pub use event::{Event, EventKind};
-pub use flight::{default_flight_path, dump_flight, flight_json, install_panic_hook};
+pub use flight::{
+    default_flight_file, default_flight_path, dump_flight, flight_json, install_panic_hook,
+    set_default_flight_file,
+};
 pub use manifest::{clear_manifest, manifest, set_manifest, RunManifest};
-pub use progress::ProgressRenderer;
+pub use progress::{sparkline, ProgressRenderer};
+pub use reader::{parse_jsonl, read_jsonl, EventLog};
 pub use sink::{EventPump, EventSink, JsonlSink};

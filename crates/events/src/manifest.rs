@@ -63,6 +63,48 @@ impl RunManifest {
     }
 }
 
+impl RunManifest {
+    /// Parses a manifest back out of its [`RunManifest::to_json`] line
+    /// (or any JSON object carrying the same fields). Missing optional
+    /// fields default; a line that is not a manifest-tagged object is an
+    /// error.
+    pub fn from_json(line: &str) -> Result<RunManifest, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("invalid manifest JSON: {e}"))?;
+        if v.get("type").and_then(|t| t.as_str()) != Some("manifest") {
+            return Err("not a manifest line (missing \"type\":\"manifest\")".into());
+        }
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_str())
+                .unwrap_or_default()
+                .to_string()
+        };
+        let u = |key: &str| v.get(key).and_then(serde_json::Value::as_u64).unwrap_or(0);
+        Ok(RunManifest {
+            command: s("command"),
+            argv: v
+                .get("argv")
+                .and_then(|a| a.as_array())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|x| x.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            model: s("model"),
+            batch_size: u("batch_size"),
+            cluster_fingerprint: u("cluster_fingerprint"),
+            num_devices: u("num_devices") as u32,
+            planner: s("planner"),
+            seed: u("seed"),
+            version: s("version"),
+            started_unix: u("started_unix"),
+            events_capacity: u("events_capacity") as usize,
+        })
+    }
+}
+
 static CURRENT: Mutex<Option<RunManifest>> = Mutex::new(None);
 
 /// Registers the manifest of the run in progress, so flight dumps (which
@@ -114,6 +156,18 @@ mod tests {
         assert!(line.contains("\"events_capacity\":16384"));
         assert!(line.ends_with('}'));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let m = sample();
+        assert_eq!(RunManifest::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn from_json_rejects_non_manifest_lines() {
+        assert!(RunManifest::from_json("{\"type\":\"gap\",\"missed\":3}").is_err());
+        assert!(RunManifest::from_json("not json").is_err());
     }
 
     #[test]

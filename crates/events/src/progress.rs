@@ -19,7 +19,8 @@ const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇'
 
 /// Downsamples `series` to at most `width` buckets (bucket mean) and
 /// renders each as a Unicode block scaled between the series min/max.
-fn sparkline(series: &[f64], width: usize) -> String {
+/// Shared with `heterog-runs`' stored-run renderer.
+pub fn sparkline(series: &[f64], width: usize) -> String {
     let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
     if finite.is_empty() {
         return String::new();

@@ -1,0 +1,181 @@
+//! Store round-trip integration tests: what goes into `archive` must
+//! come back out of `load` bit-identically (acceptance criterion for
+//! the run store), plus listing, prefix resolution and gc retention.
+
+use std::path::PathBuf;
+
+use heterog_events::RunManifest;
+use heterog_explain::ReportDigest;
+use heterog_runs::{
+    RunParts, RunStore, StoredEvaluation, DIGEST_FILE, EVALUATION_FILE, EVENTS_FILE,
+};
+
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("heterog-store-it-{tag}-{}", std::process::id()))
+}
+
+fn manifest(model: &str, planner: &str, started: u64) -> RunManifest {
+    RunManifest {
+        command: "plan".into(),
+        argv: vec!["heterog-cli".into(), "plan".into()],
+        model: model.into(),
+        batch_size: 64,
+        cluster_fingerprint: 0xfeed_f00d,
+        num_devices: 8,
+        planner: planner.into(),
+        seed: 42,
+        version: "0.1.0".into(),
+        started_unix: started,
+        events_capacity: 16_384,
+    }
+}
+
+fn parts(id: &str, m: RunManifest, with_artifacts: bool) -> RunParts {
+    let lines = vec![
+        r#"{"seq":0,"ts":0.1,"type":"strategy_evaluated","makespan":0.5,"oom":false}"#.to_string(),
+        r#"{"type":"gap","missed":2}"#.to_string(),
+        r#"{"seq":3,"ts":0.9,"type":"run_finished","outcome":"ok","makespan":0.4,"oom":false}"#
+            .to_string(),
+    ];
+    RunParts {
+        run_id: id.into(),
+        manifest: m,
+        lines,
+        digest_json: with_artifacts.then(|| {
+            serde_json::to_string(&ReportDigest {
+                model: "mobilenet_v2".into(),
+                makespan: 0.4,
+                compute: 0.3,
+                ..Default::default()
+            })
+            .unwrap()
+        }),
+        evaluation: with_artifacts.then(|| StoredEvaluation {
+            outcome: "ok".into(),
+            makespan: 0.4,
+            oom: false,
+            samples_per_second: 160.0,
+            wall_s: 1.5,
+        }),
+        telemetry_json: with_artifacts.then(|| "{\"counters\": {}}".to_string()),
+    }
+}
+
+#[test]
+fn archive_round_trip_is_bit_identical() {
+    let root = temp_root("roundtrip");
+    std::fs::remove_dir_all(&root).ok();
+    let store = RunStore::open(&root);
+    let p = parts(
+        "r100-00000001",
+        manifest("mobilenet_v2", "heterog", 100),
+        true,
+    );
+    let dir = store.archive(&p).unwrap();
+
+    // The stream on disk is exactly the manifest header plus the lines.
+    let expected_stream = format!("{}\n{}\n", p.manifest.to_json(), p.lines.join("\n"));
+    let on_disk = std::fs::read_to_string(dir.join(EVENTS_FILE)).unwrap();
+    assert_eq!(
+        on_disk, expected_stream,
+        "events.jsonl must be bit-identical"
+    );
+
+    // The digest is stored verbatim.
+    let digest_on_disk = std::fs::read_to_string(dir.join(DIGEST_FILE)).unwrap();
+    assert_eq!(Some(digest_on_disk), p.digest_json);
+
+    // And the decode path reproduces every part.
+    let run = store.load(&p.run_id).unwrap();
+    assert_eq!(run.log.manifest.as_ref(), Some(&p.manifest));
+    assert_eq!(run.log.events.len(), 2);
+    assert_eq!(run.log.missed, 2);
+    assert!(run.log.finished().is_some());
+    assert_eq!(run.evaluation, p.evaluation);
+    let digest = run.digest.expect("digest must load");
+    assert_eq!(
+        serde_json::to_string(&digest).unwrap(),
+        p.digest_json.clone().unwrap(),
+        "digest must survive serde round-trip unchanged"
+    );
+    // Evaluation JSON round-trips through serde identically too.
+    let eval_text = std::fs::read_to_string(dir.join(EVALUATION_FILE)).unwrap();
+    let eval_back: StoredEvaluation = serde_json::from_str(&eval_text).unwrap();
+    assert_eq!(Some(eval_back), p.evaluation);
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn list_is_sorted_and_skips_junk() {
+    let root = temp_root("list");
+    std::fs::remove_dir_all(&root).ok();
+    let store = RunStore::open(&root);
+    store
+        .archive(&parts("r200-bb", manifest("vgg19", "CP-AR", 200), false))
+        .unwrap();
+    store
+        .archive(&parts(
+            "r100-aa",
+            manifest("mobilenet_v2", "heterog", 100),
+            true,
+        ))
+        .unwrap();
+    // Junk the lister must ignore: a stray file, a hidden dir, a dir
+    // without a manifest.
+    std::fs::write(root.join("notes.txt"), "x").unwrap();
+    std::fs::create_dir_all(root.join(".tmp-r300-cc")).unwrap();
+    std::fs::create_dir_all(root.join("empty-dir")).unwrap();
+
+    let rows = store.list();
+    assert_eq!(
+        rows.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+        vec!["r100-aa", "r200-bb"],
+        "sorted by start time, junk skipped"
+    );
+    assert!(rows[0].evaluation.is_some());
+    assert!(rows[1].evaluation.is_none());
+
+    // Prefix resolution: unique prefix resolves, shared prefix errors.
+    assert_eq!(store.resolve("r100").unwrap(), "r100-aa");
+    assert!(store.resolve("r").unwrap_err().contains("ambiguous"));
+    assert!(store.resolve("zzz").unwrap_err().contains("no run"));
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn gc_keeps_newest_per_model_planner_pair() {
+    let root = temp_root("gc");
+    std::fs::remove_dir_all(&root).ok();
+    let store = RunStore::open(&root);
+    store
+        .archive(&parts(
+            "r100-m1",
+            manifest("mobilenet_v2", "heterog", 100),
+            false,
+        ))
+        .unwrap();
+    store
+        .archive(&parts(
+            "r200-m2",
+            manifest("mobilenet_v2", "heterog", 200),
+            false,
+        ))
+        .unwrap();
+    store
+        .archive(&parts("r150-v1", manifest("vgg19", "CP-AR", 150), false))
+        .unwrap();
+
+    let removed = store.gc(1).unwrap();
+    // Only the older mobilenet/heterog run goes; the vgg series is a
+    // different key and stays even though keep=1.
+    assert_eq!(removed, vec!["r100-m1".to_string()]);
+    let left: Vec<String> = store.list().into_iter().map(|r| r.id).collect();
+    assert_eq!(left, vec!["r150-v1".to_string(), "r200-m2".to_string()]);
+
+    // gc with headroom removes nothing.
+    assert!(store.gc(5).unwrap().is_empty());
+
+    std::fs::remove_dir_all(&root).ok();
+}

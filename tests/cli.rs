@@ -224,6 +224,157 @@ fn train_smoke_runs_and_streams_episodes() {
     assert_eq!(episodes, 3, "one rl_episode event per episode:\n{stream}");
 }
 
+/// The run id from a `run archived: <id> -> <dir>` stderr notice.
+fn archived_id(stderr: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stderr);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("run archived: "))
+        .unwrap_or_else(|| panic!("no archive notice in stderr:\n{text}"));
+    line["run archived: ".len()..]
+        .split_whitespace()
+        .next()
+        .expect("notice carries an id")
+        .to_string()
+}
+
+#[test]
+fn failed_invocation_leaves_no_run_directory() {
+    let store = std::env::temp_dir().join(format!("heterog_cli_norun_{}", std::process::id()));
+    std::fs::remove_dir_all(&store).ok();
+    let cases: [&[&str]; 2] = [
+        &["plan", "--model", "alexnet"],
+        &["plan", "--model", "mobilenet", "--planner", "sgd"],
+    ];
+    for bad_args in cases {
+        let out = cli()
+            .args(bad_args)
+            .env("HETEROG_RUNS_DIR", &store)
+            .output()
+            .expect("run cli");
+        assert!(!out.status.success());
+    }
+    // Neither failure may leave a run directory (or even the store root).
+    assert!(
+        !store.exists() || std::fs::read_dir(&store).unwrap().next().is_none(),
+        "failed invocations must not archive"
+    );
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn runs_store_archives_lists_diffs_and_gcs() {
+    let store = std::env::temp_dir().join(format!("heterog_cli_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&store).ok();
+    let plan = |batch: &str| {
+        let out = cli()
+            .args(["plan", "--model", "mobilenet", "--batch", batch])
+            .env("HETEROG_RUNS_DIR", &store)
+            .output()
+            .expect("run cli");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        archived_id(&out.stderr)
+    };
+    let baseline = plan("64");
+    let bigger = plan("256");
+
+    // list sees both runs.
+    let out = cli()
+        .args(["runs", "list"])
+        .env("HETEROG_RUNS_DIR", &store)
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let listing = String::from_utf8_lossy(&out.stdout);
+    assert!(listing.contains(&baseline), "listing: {listing}");
+    assert!(listing.contains(&bigger), "listing: {listing}");
+    assert!(listing.contains("mobilenet_v2"), "listing: {listing}");
+
+    // show renders the stored run (digest + search sparkline included).
+    let out = cli()
+        .args(["runs", "show", &baseline])
+        .env("HETEROG_RUNS_DIR", &store)
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let shown = String::from_utf8_lossy(&out.stdout);
+    assert!(shown.contains("digest:"), "show: {shown}");
+    assert!(shown.contains("search:"), "show: {shown}");
+
+    // Self-diff is clean and exits zero.
+    let out = cli()
+        .args(["runs", "diff", &baseline, &baseline])
+        .env("HETEROG_RUNS_DIR", &store)
+        .output()
+        .expect("run cli");
+    assert!(out.status.success(), "self-diff must be clean");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("zero regressions"));
+
+    // Quadrupling the batch regresses the per-iteration makespan; the
+    // diff must say so AND exit nonzero so it can gate CI.
+    let out = cli()
+        .args(["runs", "diff", &baseline, &bigger])
+        .env("HETEROG_RUNS_DIR", &store)
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success(), "regressed diff must exit nonzero");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("makespan"));
+
+    // gc --keep 1: both runs share (model, planner), the older goes.
+    let out = cli()
+        .args(["runs", "gc", "--keep", "1"])
+        .env("HETEROG_RUNS_DIR", &store)
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let left: Vec<_> = std::fs::read_dir(&store)
+        .expect("store root")
+        .flatten()
+        .filter(|e| !e.file_name().to_string_lossy().starts_with('.'))
+        .collect();
+    assert_eq!(left.len(), 1, "gc --keep 1 must leave one run");
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn elastic_fault_flight_lands_in_run_directory() {
+    let store = std::env::temp_dir().join(format!("heterog_cli_flightdir_{}", std::process::id()));
+    std::fs::remove_dir_all(&store).ok();
+    // No --flight-out: the automatic fault dump must land inside the
+    // archived run directory instead of littering the CWD.
+    let out = cli()
+        .args([
+            "elastic",
+            "--model",
+            "mobilenet",
+            "--iters",
+            "15",
+            "--faults",
+            "5:fail:2",
+            "--policy",
+            "migrate-replicas",
+        ])
+        .env("HETEROG_RUNS_DIR", &store)
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let id = archived_id(&out.stderr);
+    let flight = store.join(&id).join("flight.json");
+    assert!(flight.exists(), "fault dump must land in the run dir");
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&flight).unwrap()).expect("flight is JSON");
+    assert_eq!(doc["reason"], "fault-injected");
+    std::fs::remove_dir_all(&store).ok();
+}
+
 #[test]
 fn elastic_rejects_bad_policy_and_bad_script() {
     let out = cli()
