@@ -23,6 +23,18 @@
 //!   committed full baseline) print "(new, skipped)" instead of
 //!   failing; the cross-model `migrate_faster_models` count is
 //!   informational for the same reason.
+//! * **archive-overhead** (`BENCH_archive_overhead.json`, detected by
+//!   its `overhead_pct` field) — gates on `overhead_pct` (*higher* is
+//!   worse: the archiver eating into planning time). A baseline without
+//!   the field prints "(new, skipped)", so the gate can land before the
+//!   baseline artifact does. Absolute ms/plan figures are machine-bound
+//!   and stay informational.
+//! * **serve-throughput** (`BENCH_serve_throughput.json`, detected by
+//!   its `plans_per_sec` field) — gates on `plans_per_sec` and
+//!   `cross_tenant_hit_rate` (both lower-is-worse: throughput collapse
+//!   or the shared memo silently losing cross-tenant reuse), with the
+//!   same "(new, skipped)" tolerance. Latency percentiles and the
+//!   coalesce rate vary with runner core count, so they only inform.
 //!
 //! A fresh value more than `--max-regression` (default 25%) below the
 //! baseline exits nonzero with a per-field report; improvements and
@@ -66,6 +78,31 @@ const SS_GATED: [&str; 2] = ["wins", "mean_improvement_pct"];
 
 /// Strategy-space context fields, never gated.
 const SS_INFORMATIONAL: [&str; 1] = ["models"];
+
+/// Archive-overhead artifacts: `overhead_pct` is *higher is worse*.
+const ARCH_GATED_HIGHER: [&str; 1] = ["overhead_pct"];
+
+/// Archive-overhead context fields (machine-bound wall clock).
+const ARCH_INFORMATIONAL: [&str; 3] = [
+    "plain_ms_per_plan",
+    "archived_ms_per_plan",
+    "events_per_run",
+];
+
+/// Serve-throughput artifacts: *lower is worse*, skipped when the
+/// baseline predates the field.
+const SERVE_GATED: [&str; 2] = ["plans_per_sec", "cross_tenant_hit_rate"];
+
+/// Serve-throughput context fields (latency and mix vary per runner).
+const SERVE_INFORMATIONAL: [&str; 7] = [
+    "p50_ms",
+    "p99_ms",
+    "coalesce_rate",
+    "memo_hit_rate",
+    "evalcache_hit_rate",
+    "requests",
+    "workers",
+];
 
 fn load(path: &str) -> Result<serde_json::Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -197,14 +234,26 @@ fn main() -> ExitCode {
     };
 
     // Artifact kind: elastic-recovery artifacts carry `policies`,
-    // strategy-space artifacts carry `wins`, throughput artifacts carry
-    // evals/sec fields.
+    // strategy-space artifacts carry `wins`, archive artifacts carry
+    // `overhead_pct`, serve artifacts carry `plans_per_sec`, and eval
+    // throughput artifacts carry evals/sec fields.
     let elastic = fresh.get("policies").is_some() || baseline.get("policies").is_some();
     let strategy_space = fresh.get("wins").is_some() || baseline.get("wins").is_some();
-    let (gated, gated_optional, informational): (&[&str], &[&str], &[&str]) = if strategy_space {
-        (&SS_GATED, &[], &SS_INFORMATIONAL)
+    let archive = fresh.get("overhead_pct").is_some() || baseline.get("overhead_pct").is_some();
+    let serve = fresh.get("plans_per_sec").is_some() || baseline.get("plans_per_sec").is_some();
+    let (gated, gated_optional, gated_higher, informational): (
+        &[&str],
+        &[&str],
+        &[&str],
+        &[&str],
+    ) = if strategy_space {
+        (&SS_GATED, &[], &[], &SS_INFORMATIONAL)
+    } else if archive {
+        (&[], &[], &ARCH_GATED_HIGHER, &ARCH_INFORMATIONAL)
+    } else if serve {
+        (&[], &SERVE_GATED, &[], &SERVE_INFORMATIONAL)
     } else {
-        (&GATED, &GATED_OPTIONAL, &INFORMATIONAL)
+        (&GATED, &GATED_OPTIONAL, &[], &INFORMATIONAL)
     };
 
     println!("bench compare: {baseline_path} (baseline) vs {fresh_path} (fresh)");
@@ -255,6 +304,26 @@ fn main() -> ExitCode {
         };
         let delta = if b != 0.0 { (f - b) / b } else { 0.0 };
         let regressed = delta < -max_regression;
+        println!(
+            "{key:<32}{b:>14.3}{f:>14.3}{:>9.1}%  {}",
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        failed |= regressed;
+    }
+    for &key in gated_higher {
+        let Some(f) = num(&fresh, key) else {
+            continue;
+        };
+        let Some(b) = num(&baseline, key) else {
+            println!("{key:<32}{:>14}{f:>14.3}{:>10}  (new, skipped)", "-", "");
+            continue;
+        };
+        // Higher is worse (e.g. archiver overhead growing). A baseline
+        // near zero would make the relative delta explode, so fall back
+        // to gating on the absolute rise there.
+        let delta = if b.abs() > 1e-9 { (f - b) / b.abs() } else { f - b };
+        let regressed = delta > max_regression;
         println!(
             "{key:<32}{b:>14.3}{f:>14.3}{:>9.1}%  {}",
             delta * 100.0,

@@ -216,10 +216,27 @@ pub fn get_runner(
     }
 }
 
-/// Resolves a baseline planner by name.
-pub fn baseline_planner(name: &str) -> Box<dyn Planner> {
-    match name {
-        "EV-PS" => Box::new(EvPsPlanner),
+/// Every baseline planner name [`baseline_planner`] resolves, in the
+/// paper's comparison order. The CLI's `compare` command and the serve
+/// API's planner validation both enumerate this list.
+pub const BASELINE_PLANNER_NAMES: [&str; 11] = [
+    "EV-PS",
+    "EV-AR",
+    "CP-PS",
+    "CP-AR",
+    "Horovod",
+    "FlexFlow",
+    "Post",
+    "HetPipe",
+    "Shard-CP",
+    "Shard-CP-PS",
+    "Pipeline",
+];
+
+/// Resolves a baseline planner by name, or `None` for an unknown name.
+pub fn try_baseline_planner(name: &str) -> Option<Box<dyn Planner>> {
+    Some(match name {
+        "EV-PS" => Box::new(EvPsPlanner) as Box<dyn Planner>,
         "EV-AR" => Box::new(EvArPlanner),
         "CP-PS" => Box::new(CpPsPlanner),
         "CP-AR" => Box::new(CpArPlanner),
@@ -232,8 +249,16 @@ pub fn baseline_planner(name: &str) -> Box<dyn Planner> {
             comm: heterog_compile::CommMethod::Ps,
         }),
         "Pipeline" => Box::new(PipelinePlanner),
-        other => panic!("unknown baseline planner {other:?}"),
-    }
+        _ => return None,
+    })
+}
+
+/// Resolves a baseline planner by name.
+///
+/// # Panics
+/// On a name not in [`BASELINE_PLANNER_NAMES`].
+pub fn baseline_planner(name: &str) -> Box<dyn Planner> {
+    try_baseline_planner(name).unwrap_or_else(|| panic!("unknown baseline planner {name:?}"))
 }
 
 #[cfg(test)]

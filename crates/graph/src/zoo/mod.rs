@@ -106,6 +106,44 @@ impl BenchmarkModel {
         }
     }
 
+    /// Canonical CLI/API names, one per model, in table order. These are
+    /// the names [`BenchmarkModel::parse`] lists in its error message.
+    pub fn canonical_names() -> [&'static str; 8] {
+        [
+            "vgg19",
+            "resnet200",
+            "inception",
+            "mobilenet",
+            "nasnet",
+            "transformer",
+            "bert",
+            "xlnet",
+        ]
+    }
+
+    /// Parses a user-supplied model name (case-insensitive, with the
+    /// common aliases). The error lists every valid canonical name —
+    /// the CLI and the serve API both surface it verbatim, so a typo
+    /// gets the same help everywhere.
+    pub fn parse(name: &str) -> Result<BenchmarkModel, String> {
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "vgg19" | "vgg-19" => BenchmarkModel::Vgg19,
+            "resnet200" | "resnet" => BenchmarkModel::ResNet200,
+            "inception" | "inception_v3" | "inceptionv3" => BenchmarkModel::InceptionV3,
+            "mobilenet" | "mobilenet_v2" | "mobilenetv2" => BenchmarkModel::MobileNetV2,
+            "nasnet" => BenchmarkModel::NasNet,
+            "transformer" => BenchmarkModel::Transformer,
+            "bert" | "bert-large" => BenchmarkModel::BertLarge,
+            "xlnet" | "xlnet-large" => BenchmarkModel::XlnetLarge,
+            other => {
+                return Err(format!(
+                    "unknown model {other:?} (valid: {})",
+                    BenchmarkModel::canonical_names().join(", ")
+                ))
+            }
+        })
+    }
+
     /// Iterations to reach the target top-5 accuracy (Table 5; derived
     /// from the paper's end-to-end minutes ÷ per-iteration seconds).
     /// Only the five CNNs appear in Table 5.
@@ -173,6 +211,24 @@ impl ModelSpec {
         }
     }
 
+    /// The name [`ModelSpec::build`] stamps on the synthesized graph
+    /// (`Graph::name`): lowercase snake case, layer-suffixed for the
+    /// depth-parameterized models. Run manifests and `runs list
+    /// --model` filter on this stable identifier, not the display
+    /// label.
+    pub fn graph_name(&self) -> String {
+        match self.model {
+            BenchmarkModel::Vgg19 => "vgg19".to_string(),
+            BenchmarkModel::ResNet200 => "resnet200".to_string(),
+            BenchmarkModel::InceptionV3 => "inception_v3".to_string(),
+            BenchmarkModel::MobileNetV2 => "mobilenet_v2".to_string(),
+            BenchmarkModel::NasNet => "nasnet".to_string(),
+            BenchmarkModel::Transformer => format!("transformer_{}l", self.layers),
+            BenchmarkModel::BertLarge => format!("bert_large_{}l", self.layers),
+            BenchmarkModel::XlnetLarge => format!("xlnet_large_{}l", self.layers),
+        }
+    }
+
     /// Label in the paper's table style, e.g. `"Bert-large (24 layers)(48)"`.
     pub fn label(&self) -> String {
         if self.model.default_layers() > 0 {
@@ -190,6 +246,14 @@ impl ModelSpec {
 mod tests {
     use super::*;
     use crate::stats::GraphStats;
+
+    #[test]
+    fn graph_name_matches_built_graph() {
+        for m in BenchmarkModel::all() {
+            let spec = ModelSpec::new(m, 32);
+            assert_eq!(spec.graph_name(), spec.build().name, "{m}");
+        }
+    }
 
     #[test]
     fn all_models_build_valid_graphs() {
@@ -268,6 +332,26 @@ mod tests {
             ModelSpec::with_layers(BenchmarkModel::BertLarge, 48, 24).label(),
             "Bert-large (24 layers)(48)"
         );
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_lists_names_on_error() {
+        for name in BenchmarkModel::canonical_names() {
+            assert!(BenchmarkModel::parse(name).is_ok(), "{name} must parse");
+        }
+        assert_eq!(
+            BenchmarkModel::parse("BERT-Large").unwrap(),
+            BenchmarkModel::BertLarge
+        );
+        assert_eq!(
+            BenchmarkModel::parse("mobilenet_v2").unwrap(),
+            BenchmarkModel::MobileNetV2
+        );
+        let err = BenchmarkModel::parse("alexnet").unwrap_err();
+        assert!(err.contains("unknown model \"alexnet\""), "{err}");
+        for name in BenchmarkModel::canonical_names() {
+            assert!(err.contains(name), "error must list {name}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Request validation: JSON body → [`JobSpec`], with every failure
+//! mapped to a 4xx JSON error *before* the job touches the admission
+//! queue — invalid requests never occupy queue slots.
+//!
+//! The unknown-model error is [`BenchmarkModel::parse`]'s, verbatim:
+//! the same "valid: vgg19, resnet200, ..." list the CLI prints, so a
+//! typo gets identical help over HTTP and on the command line.
+
+use heterog_cluster::{paper_testbed_8gpu, ClusterSpec};
+use heterog_elastic::RepairPolicy;
+use heterog_graph::{BenchmarkModel, ModelSpec};
+
+use crate::jobs::{JobKind, JobSpec};
+
+/// A rejected request: HTTP status plus the error message for the
+/// `{"error": ...}` body.
+#[derive(Debug)]
+pub struct ApiError {
+    /// 4xx status code.
+    pub status: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// The validated request plus per-request (non-coalescable) options.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// Tenant the job is charged to.
+    pub tenant: String,
+    /// The job content.
+    pub spec: JobSpec,
+    /// Block the HTTP response until the job completes.
+    pub wait: bool,
+}
+
+/// Parses and validates a `POST /v1/<kind>` body.
+///
+/// `tenants`: optional allowlist; a tenant outside it is rejected with
+/// `403` listing the valid tenants (mirroring the unknown-model error's
+/// shape).
+pub fn parse_request(
+    kind: &str,
+    body: &[u8],
+    wait_query: bool,
+    tenants: Option<&[String]>,
+) -> Result<ParsedRequest, ApiError> {
+    let v: serde_json::Value = if body.is_empty() {
+        serde_json::Value::Object(serde_json::Map::new())
+    } else {
+        serde_json::from_slice(body)
+            .map_err(|e| ApiError::bad_request(format!("body is not valid JSON: {e}")))?
+    };
+
+    let tenant = v
+        .get("tenant")
+        .and_then(serde_json::Value::as_str)
+        .map(str::to_string)
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| ApiError::bad_request("\"tenant\" is required"))?;
+    if let Some(allowed) = tenants {
+        if !allowed.iter().any(|t| t == &tenant) {
+            return Err(ApiError {
+                status: 403,
+                message: format!(
+                    "unknown tenant {tenant:?} (valid: {})",
+                    allowed.join(", ")
+                ),
+            });
+        }
+    }
+
+    let model_name = v
+        .get("model")
+        .and_then(serde_json::Value::as_str)
+        .ok_or_else(|| ApiError::bad_request("\"model\" is required"))?;
+    let model = BenchmarkModel::parse(model_name).map_err(ApiError::bad_request)?;
+    let batch = match v.get("batch") {
+        Some(b) => b
+            .as_u64()
+            .filter(|&b| b > 0)
+            .ok_or_else(|| ApiError::bad_request("\"batch\" must be a positive integer"))?,
+        None => model.default_batch_8gpu(),
+    };
+    let layers = match v.get("layers") {
+        Some(l) => l
+            .as_u64()
+            .and_then(|l| u32::try_from(l).ok())
+            .ok_or_else(|| ApiError::bad_request("\"layers\" must be a small integer"))?,
+        None => model.default_layers(),
+    };
+    let model = ModelSpec::with_layers(model, batch, layers);
+
+    let planner = v
+        .get("planner")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("heterog")
+        .to_string();
+    if planner != "heterog" && !heterog::BASELINE_PLANNER_NAMES.contains(&planner.as_str()) {
+        return Err(ApiError::bad_request(format!(
+            "unknown planner {planner:?} (valid: heterog, {})",
+            heterog::BASELINE_PLANNER_NAMES.join(", ")
+        )));
+    }
+
+    let cluster = match v.get("cluster") {
+        Some(c) => {
+            // `Value`'s Display is compact JSON, so round-tripping the
+            // sub-object through it feeds `ClusterSpec::from_json` the
+            // exact bytes the client sent for that key.
+            let json = c.to_string();
+            ClusterSpec::from_json(&json)
+                .and_then(|s| s.build())
+                .map_err(|e| ApiError::bad_request(format!("cluster spec: {e}")))?
+        }
+        None => paper_testbed_8gpu(),
+    };
+
+    let fifo = v
+        .get("fifo")
+        .and_then(serde_json::Value::as_bool)
+        .unwrap_or(false);
+    let wait = wait_query
+        || v.get("wait")
+            .and_then(serde_json::Value::as_bool)
+            .unwrap_or(false);
+
+    let kind = match kind {
+        "plan" => JobKind::Plan,
+        "explain" => JobKind::Explain {
+            top_k: v
+                .get("top_k")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(3) as usize,
+            whatif: v
+                .get("whatif")
+                .and_then(serde_json::Value::as_bool)
+                .unwrap_or(false),
+        },
+        "elastic" => {
+            let policy = v
+                .get("policy")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("migrate-replicas")
+                .to_string();
+            RepairPolicy::parse(&policy).map_err(ApiError::bad_request)?;
+            JobKind::Elastic {
+                iterations: v
+                    .get("iterations")
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(20)
+                    .clamp(1, 10_000),
+                faults: v
+                    .get("faults")
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(2)
+                    .min(64) as usize,
+                seed: v.get("seed").and_then(serde_json::Value::as_u64).unwrap_or(0),
+                policy,
+            }
+        }
+        other => {
+            return Err(ApiError {
+                status: 404,
+                message: format!("unknown request kind {other:?}"),
+            })
+        }
+    };
+
+    Ok(ParsedRequest {
+        tenant,
+        spec: JobSpec {
+            kind,
+            model,
+            cluster,
+            planner,
+            fifo,
+        },
+        wait,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_plan_request_fills_defaults() {
+        let r = parse_request(
+            "plan",
+            br#"{"tenant":"alice","model":"mobilenet"}"#,
+            false,
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.tenant, "alice");
+        assert_eq!(r.spec.planner, "heterog");
+        assert_eq!(r.spec.model.batch_size, 192);
+        assert!(!r.wait);
+        assert_eq!(r.spec.cluster.num_devices(), 8);
+    }
+
+    #[test]
+    fn unknown_model_lists_valid_names() {
+        let err = parse_request(
+            "plan",
+            br#"{"tenant":"alice","model":"alexnet"}"#,
+            false,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("unknown model \"alexnet\""));
+        assert!(err.message.contains("mobilenet"), "{}", err.message);
+        assert!(err.message.contains("xlnet"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_tenant_is_403_listing_valid_tenants() {
+        let allow = vec!["alice".to_string(), "bob".to_string()];
+        let err = parse_request(
+            "plan",
+            br#"{"tenant":"mallory","model":"mobilenet"}"#,
+            false,
+            Some(&allow),
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 403);
+        assert!(err.message.contains("unknown tenant \"mallory\""));
+        assert!(err.message.contains("alice, bob"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_planner_is_rejected() {
+        let err = parse_request(
+            "plan",
+            br#"{"tenant":"a","model":"vgg19","planner":"oracle"}"#,
+            false,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("unknown planner \"oracle\""));
+        assert!(err.message.contains("CP-AR"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_tenant_is_rejected() {
+        let err = parse_request("plan", br#"{"model":"vgg19"}"#, false, None).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("tenant"));
+    }
+
+    #[test]
+    fn elastic_request_parses_options() {
+        let r = parse_request(
+            "elastic",
+            br#"{"tenant":"a","model":"mobilenet","iterations":10,"faults":1,"seed":7,"policy":"replan","wait":true}"#,
+            false,
+            None,
+        )
+        .unwrap();
+        assert!(r.wait);
+        match r.spec.kind {
+            JobKind::Elastic {
+                iterations,
+                faults,
+                seed,
+                ref policy,
+            } => {
+                assert_eq!((iterations, faults, seed), (10, 1, 7));
+                assert_eq!(policy, "replan");
+            }
+            ref k => panic!("wrong kind {k:?}"),
+        }
+    }
+}

@@ -1,0 +1,581 @@
+//! Job execution: where a validated request meets the planner stack.
+//!
+//! The engine owns the two layers of cross-tenant sharing:
+//!
+//! 1. A **plan memo** keyed on (model spec, cluster fingerprint,
+//!    *effective* planner, order policy) holding the chosen
+//!    [`Strategy`]. Tenants asking for the same deployment skip the
+//!    search entirely; the entry remembers which tenant planted it, so
+//!    a hit from a different tenant is counted as *cross-tenant* — the
+//!    measurable form of "similar clusters warm each other".
+//! 2. The process-wide [`ShardedEvalCache`]: every memoized strategy is
+//!    still re-evaluated through it, so repeated requests turn into
+//!    cache hits instead of fresh compile→schedule→simulate runs, and
+//!    concurrent tenants with *different* contexts land on different
+//!    shards (no lock convoy).
+//!
+//! **Degradation** is decided here, at execution time, from the queue
+//! depth the worker observed when it dequeued the job: past the
+//! threshold, a `heterog` search request runs the greedy
+//! [`DEGRADED_PLANNER`] baseline instead. The response records both the
+//! requested and the effective planner plus `degraded: true`; because
+//! the memo keys on the *effective* planner, degraded results never
+//! poison the full-search memo, and an explicitly requested baseline
+//! shares its memo slot with the degraded path.
+//!
+//! Every job's event window is captured off the global bus at stage
+//! boundaries and, when an archive root is configured, replayed through
+//! [`RunArchiver`] into the run store — service traffic lands in the
+//! same `heterog-cli runs` history as local invocations. Window
+//! attribution is exact with one worker; with several, concurrent
+//! jobs' events may interleave into each other's windows (documented
+//! in DESIGN §14).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use heterog_agent::HeteroGPlanner;
+use heterog_cluster::Cluster;
+use heterog_compile::Strategy;
+use heterog_elastic::{ElasticOptions, FaultScript, RepairPolicy};
+use heterog_events::{EventKind, EventSink, RunManifest};
+use heterog_graph::Graph;
+use heterog_profile::GroundTruthCost;
+use heterog_runs::{ArchiveHandle, RunArchiver, StoredEvaluation};
+use heterog_sched::OrderPolicy;
+use heterog_strategies::{Evaluation, ShardedEvalCache};
+use parking_lot::Mutex;
+
+use crate::http::json_str;
+use crate::jobs::{Job, JobKind, JobResult};
+
+/// The heuristic baseline a degraded search falls back to: critical-path
+/// placement with AllReduce aggregation — the strongest cheap baseline
+/// in the paper's comparison set.
+pub const DEGRADED_PLANNER: &str = "CP-AR";
+
+/// Plan-memo entries retained before the memo is wholesale cleared. A
+/// service sees a bounded model zoo × planner set, so this is far above
+/// steady state; the clear is a safety valve against adversarial spec
+/// churn, not an LRU.
+const MEMO_CAPACITY: usize = 4096;
+
+static DEGRADED_TOTAL: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_serve_degraded_total",
+    "Jobs where load shedding downgraded the search planner to the heuristic baseline",
+);
+static MEMO_HITS: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_serve_plan_memo_hits_total",
+    "Jobs whose strategy came from the cross-tenant plan memo",
+);
+static MEMO_CROSS_TENANT: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_serve_plan_memo_cross_tenant_hits_total",
+    "Plan-memo hits on an entry first planted by a different tenant",
+);
+static JOBS_COMPLETED: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_serve_jobs_completed_total",
+    "Jobs that reached a terminal Done state",
+);
+static JOBS_FAILED: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_serve_jobs_failed_total",
+    "Jobs that reached a terminal Failed state",
+);
+static JOBS_ARCHIVED: heterog_telemetry::Counter = heterog_telemetry::Counter::new(
+    "heterog_serve_jobs_archived_total",
+    "Completed jobs archived into the run store",
+);
+
+/// Monotone engine counters, mirrored into telemetry but always on so
+/// [`crate::server::ServeStats`] works without `heterog_telemetry::enable`.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Jobs downgraded by load shedding.
+    pub degraded: AtomicU64,
+    /// Plan-memo hits.
+    pub memo_hits: AtomicU64,
+    /// Plan-memo misses (searches actually run).
+    pub memo_misses: AtomicU64,
+    /// Memo hits planted by a different tenant.
+    pub cross_tenant_hits: AtomicU64,
+    /// Jobs completed.
+    pub completed: AtomicU64,
+    /// Jobs failed.
+    pub failed: AtomicU64,
+    /// Jobs archived into the run store.
+    pub archived: AtomicU64,
+}
+
+struct MemoEntry {
+    strategy: Strategy,
+    first_tenant: String,
+}
+
+/// The shared planning engine: memo + eval cache + degradation policy.
+pub struct Engine {
+    /// The process-wide sharded evaluation cache.
+    pub cache: ShardedEvalCache,
+    memo: Mutex<HashMap<u64, MemoEntry>>,
+    /// Queue depth at/past which `heterog` requests degrade (0 = never).
+    pub degrade_depth: usize,
+    /// Search width for `heterog` requests (candidate groups).
+    pub search_groups: usize,
+    /// Search passes for `heterog` requests.
+    pub search_passes: usize,
+    /// Run-store root; `None` disables archiving.
+    pub archive_root: Option<PathBuf>,
+    /// Always-on engine counters.
+    pub counters: EngineCounters,
+}
+
+impl Engine {
+    /// An engine with `shards`×`contexts_per_shard` of eval cache.
+    pub fn new(
+        shards: usize,
+        contexts_per_shard: usize,
+        degrade_depth: usize,
+        search_groups: usize,
+        search_passes: usize,
+        archive_root: Option<PathBuf>,
+    ) -> Self {
+        Engine {
+            cache: ShardedEvalCache::with_capacity(shards, contexts_per_shard),
+            memo: Mutex::new(HashMap::new()),
+            degrade_depth,
+            search_groups,
+            search_passes,
+            archive_root,
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// Executes `job` to a terminal state. `queue_depth` is the backlog
+    /// observed at dequeue time — the degradation signal.
+    pub fn execute(&self, job: &Job, queue_depth: usize) {
+        job.set_running();
+        match catch_unwind(AssertUnwindSafe(|| self.run(job, queue_depth))) {
+            Ok(result) => {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                JOBS_COMPLETED.inc();
+                job.complete(Arc::new(result));
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "planner panicked".to_string());
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                JOBS_FAILED.inc();
+                job.fail(msg);
+            }
+        }
+    }
+
+    fn run(&self, job: &Job, queue_depth: usize) -> JobResult {
+        let started = Instant::now();
+        let spec = &job.spec;
+        let g = spec.model.build();
+        let cluster = &spec.cluster;
+        let policy = if spec.fifo {
+            OrderPolicy::Fifo
+        } else {
+            OrderPolicy::RankBased
+        };
+
+        // Capture this job's event window: drop everything already in
+        // the ring (other jobs' history), then poll at stage boundaries.
+        let mut sub = heterog_events::subscribe();
+        let mut scratch = Vec::new();
+        sub.poll_into(&mut scratch);
+        scratch.clear();
+
+        let degraded =
+            self.degrade_depth > 0 && queue_depth >= self.degrade_depth && spec.planner == "heterog";
+        let effective: &str = if degraded {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            DEGRADED_TOTAL.inc();
+            DEGRADED_PLANNER
+        } else {
+            spec.planner.as_str()
+        };
+
+        heterog_events::emit_with(|| EventKind::RunStarted {
+            phase: format!("serve-{}", spec.kind.name()),
+            total_units: 0,
+        });
+
+        let result = match &spec.kind {
+            JobKind::Plan => {
+                let (strategy, memo_hit, cross_tenant) =
+                    self.resolve_strategy(job, &g, cluster, effective);
+                self.capture(job, &mut sub, &mut scratch);
+                let eval = self
+                    .cache
+                    .evaluate_with_policy(&g, cluster, &GroundTruthCost, &strategy, &policy);
+                let body = plan_body(spec, &g, cluster, effective, degraded, &strategy, &eval);
+                Stage {
+                    body,
+                    eval: Some(eval),
+                    memo_hit,
+                    cross_tenant,
+                }
+            }
+            JobKind::Explain { top_k, whatif } => {
+                let (strategy, memo_hit, cross_tenant) =
+                    self.resolve_strategy(job, &g, cluster, effective);
+                self.capture(job, &mut sub, &mut scratch);
+                let eval = self
+                    .cache
+                    .evaluate_with_policy(&g, cluster, &GroundTruthCost, &strategy, &policy);
+                let task_graph = heterog_compile::compile(&g, cluster, &GroundTruthCost, &strategy);
+                let opts = heterog_explain::ExplainOptions {
+                    top_k: *top_k,
+                    run_whatif: *whatif,
+                    interventions: None,
+                    incremental: true,
+                };
+                let report = heterog_explain::explain(
+                    &g,
+                    cluster,
+                    &strategy,
+                    &task_graph,
+                    &policy,
+                    &eval.report,
+                    &opts,
+                );
+                let body = explain_body(spec, effective, degraded, &eval, &report);
+                Stage {
+                    body,
+                    eval: Some(eval),
+                    memo_hit,
+                    cross_tenant,
+                }
+            }
+            JobKind::Elastic {
+                iterations,
+                faults,
+                seed,
+                policy: repair,
+            } => {
+                // The elastic engine plans (and re-plans after faults)
+                // internally, so the plan memo does not apply here.
+                let planner = self.planner_for(effective);
+                let script = FaultScript::generate(*seed, *iterations, *faults, cluster);
+                let opts = ElasticOptions {
+                    iterations: *iterations,
+                    policy: RepairPolicy::parse(repair).expect("policy validated at admission"),
+                    order: policy.clone(),
+                    ..ElasticOptions::default()
+                };
+                let outcome = heterog_elastic::elastic_run(
+                    &g,
+                    cluster,
+                    &GroundTruthCost,
+                    planner.as_ref(),
+                    &script,
+                    &opts,
+                );
+                self.capture(job, &mut sub, &mut scratch);
+                // Price the surviving deployment through the shared
+                // cache: the final makespan is then cross-tenant warm
+                // like any plan result.
+                let eval = self.cache.evaluate_with_policy(
+                    &g,
+                    &outcome.cluster,
+                    &GroundTruthCost,
+                    &outcome.strategy,
+                    &policy,
+                );
+                let body = elastic_body(spec, effective, degraded, &eval, &outcome.report);
+                Stage {
+                    body,
+                    eval: Some(eval),
+                    memo_hit: false,
+                    cross_tenant: false,
+                }
+            }
+        };
+
+        let (makespan, oom) = result
+            .eval
+            .as_ref()
+            .map(|e| (e.iteration_time, e.oom))
+            .unwrap_or((0.0, false));
+        let outcome_str = if oom { "oom" } else { "ok" };
+
+        // Terminal signal + archive. mark_finished emits RunFinished on
+        // the bus; the final capture below folds it into the window.
+        let archive = self.archive_handle(job, cluster, effective);
+        if let Some(handle) = &archive {
+            if let Some(eval) = &result.eval {
+                handle.set_digest(&heterog_explain::quick_digest(
+                    &spec.model.label(),
+                    &eval.report,
+                ));
+            }
+            handle.set_evaluation(StoredEvaluation {
+                outcome: outcome_str.to_string(),
+                makespan,
+                oom,
+                samples_per_second: if makespan > 0.0 {
+                    spec.model.batch_size as f64 / makespan
+                } else {
+                    0.0
+                },
+                wall_s: started.elapsed().as_secs_f64(),
+            });
+            handle.mark_finished(outcome_str, makespan, oom);
+        } else {
+            heterog_events::emit(EventKind::RunFinished {
+                outcome: outcome_str.to_string(),
+                makespan,
+                oom,
+            });
+        }
+        self.capture(job, &mut sub, &mut scratch);
+
+        if let Some(handle) = archive {
+            let mut sink = RunArchiver::new(handle);
+            for e in job.events.lock().iter() {
+                sink.on_event(e);
+            }
+            heterog_events::EventSink::finish(&mut sink);
+            self.counters.archived.fetch_add(1, Ordering::Relaxed);
+            JOBS_ARCHIVED.inc();
+        }
+
+        JobResult {
+            body: result.body,
+            planner_used: effective.to_string(),
+            degraded,
+            memo_hit: result.memo_hit,
+            cross_tenant: result.cross_tenant,
+            makespan,
+            oom,
+        }
+    }
+
+    /// Memoized planning: returns (strategy, memo_hit, cross_tenant).
+    fn resolve_strategy(
+        &self,
+        job: &Job,
+        g: &Graph,
+        cluster: &Cluster,
+        effective: &str,
+    ) -> (Strategy, bool, bool) {
+        let key = memo_key(&job.spec.model, cluster, effective, job.spec.fifo);
+        if let Some((strategy, first_tenant)) = self.memo_lookup(key) {
+            let cross = first_tenant != job.tenant;
+            self.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+            MEMO_HITS.inc();
+            if cross {
+                self.counters.cross_tenant_hits.fetch_add(1, Ordering::Relaxed);
+                MEMO_CROSS_TENANT.inc();
+            }
+            return (strategy, true, cross);
+        }
+        self.counters.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let planner = self.planner_for(effective);
+        let strategy = planner.plan(g, cluster, &GroundTruthCost);
+        self.memo_insert(key, strategy.clone(), &job.tenant);
+        (strategy, false, false)
+    }
+
+    fn planner_for(&self, name: &str) -> Box<dyn heterog_strategies::Planner> {
+        if name == "heterog" {
+            Box::new(HeteroGPlanner {
+                groups: self.search_groups,
+                passes: self.search_passes,
+                allow_mp: true,
+            })
+        } else {
+            heterog::try_baseline_planner(name).expect("planner validated at admission")
+        }
+    }
+
+    fn memo_lookup(&self, key: u64) -> Option<(Strategy, String)> {
+        let memo = self.memo.lock();
+        memo.get(&key)
+            .map(|e| (e.strategy.clone(), e.first_tenant.clone()))
+    }
+
+    fn memo_insert(&self, key: u64, strategy: Strategy, tenant: &str) {
+        let mut memo = self.memo.lock();
+        if memo.len() >= MEMO_CAPACITY {
+            memo.clear();
+        }
+        memo.entry(key).or_insert(MemoEntry {
+            strategy,
+            first_tenant: tenant.to_string(),
+        });
+    }
+
+    /// Strategies currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.memo.lock().len()
+    }
+
+    fn capture(&self, job: &Job, sub: &mut heterog_events::Subscription, scratch: &mut Vec<heterog_events::Event>) {
+        scratch.clear();
+        sub.poll_into(scratch);
+        if !scratch.is_empty() {
+            job.push_events(scratch);
+        }
+    }
+
+    fn archive_handle(
+        &self,
+        job: &Job,
+        cluster: &Cluster,
+        effective: &str,
+    ) -> Option<ArchiveHandle> {
+        let root = self.archive_root.as_ref()?;
+        let seed = match &job.spec.kind {
+            JobKind::Elastic { seed, .. } => *seed,
+            _ => 0,
+        };
+        let manifest = RunManifest {
+            command: format!("serve-{}", job.spec.kind.name()),
+            argv: vec![
+                "heterog-serve".to_string(),
+                job.tenant.clone(),
+                job.spec.model.label(),
+                effective.to_string(),
+            ],
+            model: job.spec.model.graph_name(),
+            batch_size: job.spec.model.batch_size,
+            cluster_fingerprint: cluster.fingerprint(),
+            num_devices: cluster.num_devices() as u32,
+            planner: effective.to_string(),
+            seed,
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            started_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            events_capacity: heterog_events::DEFAULT_CAPACITY,
+        };
+        Some(ArchiveHandle::new(root, manifest))
+    }
+}
+
+struct Stage {
+    body: String,
+    eval: Option<Evaluation>,
+    memo_hit: bool,
+    cross_tenant: bool,
+}
+
+/// The memo key: everything that determines the *strategy*, nothing
+/// that doesn't. Keyed on the effective planner, so degraded searches
+/// share the baseline's slot and never poison the full-search entry.
+fn memo_key(
+    model: &heterog_graph::ModelSpec,
+    cluster: &Cluster,
+    effective: &str,
+    fifo: bool,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    model.hash(&mut h);
+    cluster.fingerprint().hash(&mut h);
+    effective.hash(&mut h);
+    fifo.hash(&mut h);
+    h.finish()
+}
+
+/// Deterministic float rendering: Rust's shortest-roundtrip `Display`,
+/// so identical evaluations serialize to identical bytes.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn result_head(spec: &crate::jobs::JobSpec, effective: &str, degraded: bool) -> String {
+    format!(
+        "\"model\":{},\"batch\":{},\"planner\":{},\"planner_used\":{},\"degraded\":{}",
+        json_str(&spec.model.label()),
+        spec.model.batch_size,
+        json_str(&spec.planner),
+        json_str(effective),
+        degraded
+    )
+}
+
+fn plan_body(
+    spec: &crate::jobs::JobSpec,
+    g: &Graph,
+    cluster: &Cluster,
+    effective: &str,
+    degraded: bool,
+    strategy: &Strategy,
+    eval: &Evaluation,
+) -> String {
+    let (mp, dp) = strategy.histogram(cluster);
+    let total = g.len().max(1) as f64;
+    let mp_total: usize = mp.iter().sum();
+    let peaks: Vec<String> = eval
+        .report
+        .memory
+        .peak_bytes
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
+    format!(
+        "{{\"kind\":\"plan\",{},\"cluster_fingerprint\":{},\"devices\":{},\"makespan_s\":{},\"samples_per_second\":{},\"oom\":{},\"peak_memory_bytes\":[{}],\"strategy_mix\":{{\"mp_pct\":{},\"shard_pct\":{},\"pipeline_pct\":{}}}}}",
+        result_head(spec, effective, degraded),
+        cluster.fingerprint(),
+        cluster.num_devices(),
+        num(eval.iteration_time),
+        num(if eval.iteration_time > 0.0 {
+            spec.model.batch_size as f64 / eval.iteration_time
+        } else {
+            0.0
+        }),
+        eval.oom,
+        peaks.join(","),
+        num(100.0 * mp_total as f64 / total),
+        num(100.0 * dp[5] as f64 / total),
+        num(100.0 * dp[6] as f64 / total),
+    )
+}
+
+fn explain_body(
+    spec: &crate::jobs::JobSpec,
+    effective: &str,
+    degraded: bool,
+    eval: &Evaluation,
+    report: &heterog_explain::ExplainReport,
+) -> String {
+    format!(
+        "{{\"kind\":\"explain\",{},\"makespan_s\":{},\"oom\":{},\"report\":{}}}",
+        result_head(spec, effective, degraded),
+        num(eval.iteration_time),
+        eval.oom,
+        heterog_explain::to_json(report),
+    )
+}
+
+fn elastic_body(
+    spec: &crate::jobs::JobSpec,
+    effective: &str,
+    degraded: bool,
+    eval: &Evaluation,
+    report: &heterog_elastic::ElasticRunReport,
+) -> String {
+    format!(
+        "{{\"kind\":\"elastic\",{},\"final_makespan_s\":{},\"final_oom\":{},\"report\":{}}}",
+        result_head(spec, effective, degraded),
+        num(eval.iteration_time),
+        eval.oom,
+        report.to_json(),
+    )
+}

@@ -1,0 +1,238 @@
+//! Bounded admission with deficit-round-robin (DRR) fairness.
+//!
+//! Each tenant owns a FIFO of admitted jobs; the scheduler visits
+//! tenants round-robin, growing a per-tenant *deficit* by one quantum
+//! per unserved visit and spending it on job [`cost`](crate::jobs::JobSpec::cost)
+//! when the head job fits. Cheap jobs (baseline plans, cost 1) clear on
+//! the first visit; expensive searches (cost 4+) wait for their deficit
+//! to accumulate while other tenants keep draining — so a tenant
+//! flooding the daemon with searches gets throughput proportional to
+//! the quantum, never the whole service. Total pending jobs are capped:
+//! past the cap, [`push`](AdmissionQueue::push) rejects instead of
+//! queueing, which the HTTP layer surfaces as `429`.
+//!
+//! The queue is also the *load signal*: [`depth`](AdmissionQueue::depth)
+//! feeds the degradation policy in [`crate::exec`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::jobs::Job;
+
+/// Admission failed: the queue is at capacity.
+#[derive(Debug)]
+pub struct QueueFull {
+    /// Jobs pending when the push was rejected.
+    pub pending: usize,
+}
+
+#[derive(Default)]
+struct TenantQueue {
+    jobs: VecDeque<Arc<Job>>,
+    deficit: u64,
+}
+
+struct QueueState {
+    tenants: HashMap<String, TenantQueue>,
+    /// Tenants with at least one pending job, in service order.
+    ring: VecDeque<String>,
+    pending: usize,
+    shutdown: bool,
+}
+
+/// The bounded, tenant-fair admission queue.
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    max_pending: usize,
+    quantum: u64,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `max_pending` jobs, topping deficits
+    /// up by `quantum` per round-robin visit.
+    pub fn new(max_pending: usize, quantum: u64) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                tenants: HashMap::new(),
+                ring: VecDeque::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            max_pending: max_pending.max(1),
+            quantum: quantum.max(1),
+        }
+    }
+
+    /// Admits a job under its tenant, or rejects at capacity.
+    pub fn push(&self, job: Arc<Job>) -> Result<(), QueueFull> {
+        let mut s = self.state.lock();
+        if s.pending >= self.max_pending {
+            return Err(QueueFull { pending: s.pending });
+        }
+        let tenant = job.tenant.clone();
+        let tq = s.tenants.entry(tenant.clone()).or_default();
+        let was_empty = tq.jobs.is_empty();
+        tq.jobs.push_back(job);
+        if was_empty {
+            s.ring.push_back(tenant);
+        }
+        s.pending += 1;
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Next job under DRR, blocking while the queue is empty. Returns
+    /// `None` only after [`close`](AdmissionQueue::close) once every
+    /// pending job has been drained.
+    pub fn pop(&self) -> Option<Arc<Job>> {
+        let mut s = self.state.lock();
+        loop {
+            if s.pending > 0 {
+                // One DRR scan. Terminates: every unserved visit adds a
+                // quantum to that tenant's deficit, so within
+                // ceil(max_cost / quantum) rotations some head job fits.
+                loop {
+                    let tenant = s.ring.front().expect("pending > 0 implies ring").clone();
+                    let tq = s.tenants.get_mut(&tenant).expect("ring tracks tenants");
+                    let affordable = tq
+                        .jobs
+                        .front()
+                        .is_some_and(|job| job.cost <= tq.deficit + self.quantum);
+                    if affordable {
+                        // The visit itself grants one quantum, then the
+                        // job spends its cost.
+                        tq.deficit = tq.deficit + self.quantum - tq.jobs.front().unwrap().cost;
+                        let job = tq.jobs.pop_front().unwrap();
+                        if tq.jobs.is_empty() {
+                            // An idle tenant keeps no credit: deficits
+                            // reward waiting *with* work, not absence.
+                            s.tenants.remove(&tenant);
+                            s.ring.pop_front();
+                        } else {
+                            s.ring.rotate_left(1);
+                        }
+                        s.pending -= 1;
+                        return Some(job);
+                    }
+                    tq.deficit += self.quantum;
+                    s.ring.rotate_left(1);
+                }
+            }
+            if s.shutdown {
+                return None;
+            }
+            self.available.wait(&mut s);
+        }
+    }
+
+    /// Jobs currently pending (the degradation signal).
+    pub fn depth(&self) -> usize {
+        self.state.lock().pending
+    }
+
+    /// Tenants currently holding pending jobs.
+    pub fn tenants(&self) -> usize {
+        self.state.lock().ring.len()
+    }
+
+    /// Wakes every blocked worker; after the backlog drains, `pop`
+    /// returns `None`.
+    pub fn close(&self) {
+        self.state.lock().shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{JobKind, JobSpec, JobTable};
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::{BenchmarkModel, ModelSpec};
+
+    fn job(table: &JobTable, tenant: &str, planner: &str, batch: u64) -> Arc<Job> {
+        let (job, _) = table.create_or_attach(
+            tenant,
+            JobSpec {
+                kind: JobKind::Plan,
+                model: ModelSpec::new(BenchmarkModel::MobileNetV2, batch),
+                cluster: paper_testbed_8gpu(),
+                planner: planner.to_string(),
+                fifo: false,
+            },
+        );
+        job
+    }
+
+    #[test]
+    fn capacity_rejects_with_pending_count() {
+        let table = JobTable::new();
+        let q = AdmissionQueue::new(2, 4);
+        q.push(job(&table, "a", "CP-AR", 1)).unwrap();
+        q.push(job(&table, "a", "CP-AR", 2)).unwrap();
+        let err = q.push(job(&table, "b", "CP-AR", 3)).unwrap_err();
+        assert_eq!(err.pending, 2);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn drr_interleaves_tenants_instead_of_fifo() {
+        let table = JobTable::new();
+        let q = AdmissionQueue::new(64, 4);
+        // Tenant a floods first; tenant b arrives after with two jobs.
+        for batch in 1..=4 {
+            q.push(job(&table, "a", "CP-AR", batch)).unwrap();
+        }
+        q.push(job(&table, "b", "CP-AR", 101)).unwrap();
+        q.push(job(&table, "b", "CP-AR", 102)).unwrap();
+        let order: Vec<String> = std::iter::from_fn(|| {
+            if q.depth() > 0 {
+                q.pop().map(|j| j.tenant.clone())
+            } else {
+                None
+            }
+        })
+        .collect();
+        // Pure FIFO would be aaaa bb; DRR must alternate.
+        assert_eq!(order.len(), 6);
+        let first_four: Vec<&str> = order.iter().take(4).map(String::as_str).collect();
+        assert!(
+            first_four.contains(&"b"),
+            "tenant b must be served before tenant a fully drains: {order:?}"
+        );
+    }
+
+    #[test]
+    fn expensive_tenant_cannot_starve_cheap_tenant() {
+        let table = JobTable::new();
+        let q = AdmissionQueue::new(64, 2);
+        // heterog searches cost 4; with quantum 2 each costs two visits.
+        for batch in 1..=3 {
+            q.push(job(&table, "hog", "heterog", batch)).unwrap();
+        }
+        q.push(job(&table, "meek", "CP-AR", 100)).unwrap();
+        // The cheap job must come out within the first two pops.
+        let first = q.pop().unwrap();
+        let second = q.pop().unwrap();
+        assert!(
+            first.tenant == "meek" || second.tenant == "meek",
+            "cheap tenant was starved: {} then {}",
+            first.tenant,
+            second.tenant
+        );
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let table = JobTable::new();
+        let q = AdmissionQueue::new(8, 4);
+        q.push(job(&table, "a", "CP-AR", 1)).unwrap();
+        q.close();
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+}

@@ -49,6 +49,16 @@ proptest! {
                     prop_assert_eq!(replicas.len(), m);
                     prop_assert!(replicas.iter().sum::<u32>() >= 1);
                 }
+                OpStrategy::Shard { shards, .. } => {
+                    prop_assert_eq!(shards.len(), m);
+                    prop_assert!(shards.iter().sum::<u32>() >= 1);
+                }
+                OpStrategy::Pipeline { stage } => {
+                    prop_assert!(*stage < out.strategy.stages.len());
+                    for d in &out.strategy.stages[*stage] {
+                        prop_assert!(d.index() < m);
+                    }
+                }
             }
         }
 

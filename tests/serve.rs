@@ -1,0 +1,405 @@
+//! End-to-end tests of the `heterog-serve` daemon over a real socket,
+//! plus a shard-concurrency proptest for the shared eval cache.
+//!
+//! Every test spawns its own daemon on an ephemeral port and talks to
+//! it through `heterog_serve::client`, so the full path — TCP accept,
+//! HTTP parse, validation, admission, deficit-round-robin dispatch,
+//! planning, response bytes — is exercised, not a mocked router.
+
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use heterog_serve::{client, ServeConfig, Server};
+
+/// Spawns a daemon on an ephemeral port with the given config.
+fn spawn(mut cfg: ServeConfig) -> (Server, SocketAddr) {
+    cfg.addr = "127.0.0.1:0".to_string();
+    cfg.archive_root = None;
+    let server = Server::spawn(cfg).expect("daemon must bind an ephemeral port");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// A quick config: cheap heuristic searches, two workers.
+fn quick_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        search_groups: 4,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn healthz_and_unknown_routes() {
+    let (server, addr) = spawn(quick_cfg());
+    let ok = client::get(addr, "/healthz").unwrap();
+    assert_eq!(ok.status, 200);
+    assert_eq!(ok.text(), "{\"status\":\"ok\"}");
+
+    let missing = client::get(addr, "/v1/nope").unwrap();
+    assert_eq!(missing.status, 404);
+
+    let wrong_method = client::get(addr, "/v1/plan").unwrap();
+    assert_eq!(wrong_method.status, 405);
+
+    let unknown_job = client::get(addr, "/v1/jobs/job-999999").unwrap();
+    assert_eq!(unknown_job.status, 404);
+    assert!(unknown_job.text().contains("unknown job"));
+    server.shutdown();
+}
+
+#[test]
+fn rejects_unknown_model_tenant_and_planner() {
+    let cfg = ServeConfig {
+        tenants: Some(vec!["alice".into(), "bob".into()]),
+        ..quick_cfg()
+    };
+    let (server, addr) = spawn(cfg);
+
+    let r = client::post_json(
+        addr,
+        "/v1/plan",
+        r#"{"tenant":"alice","model":"alexnet"}"#,
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("unknown model"), "{}", r.text());
+    assert!(r.text().contains("mobilenet"), "list the valid names: {}", r.text());
+
+    let r = client::post_json(
+        addr,
+        "/v1/plan",
+        r#"{"tenant":"mallory","model":"vgg19"}"#,
+    )
+    .unwrap();
+    assert_eq!(r.status, 403);
+    assert!(r.text().contains("alice, bob"), "{}", r.text());
+
+    let r = client::post_json(
+        addr,
+        "/v1/plan",
+        r#"{"tenant":"alice","model":"vgg19","planner":"oracle"}"#,
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("unknown planner"), "{}", r.text());
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_tenants_each_get_their_own_plan() {
+    let (server, addr) = spawn(quick_cfg());
+    let mut handles = Vec::new();
+    for (tenant, model) in [
+        ("alice", "vgg19"),
+        ("bob", "mobilenet"),
+        ("alice", "resnet200"),
+        ("bob", "inception"),
+    ] {
+        handles.push(std::thread::spawn(move || {
+            let body = format!(
+                r#"{{"tenant":"{tenant}","model":"{model}","planner":"CP-AR","wait":true}}"#
+            );
+            let r = client::post_json(addr, "/v1/plan", &body).unwrap();
+            (model, r)
+        }));
+    }
+    for h in handles {
+        let (model, r) = h.join().unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        assert_eq!(r.header("x-heterog-planner"), Some("CP-AR"));
+        // The response carries the plan for the model that was asked for.
+        let label_fragment = match model {
+            "vgg19" => "VGG-19",
+            "mobilenet" => "MobileNet_v2",
+            "inception" => "Inception_v3",
+            _ => "ResNet200",
+        };
+        assert!(r.text().contains(label_fragment), "{}", r.text());
+        assert!(r.text().contains("\"makespan_s\":"), "{}", r.text());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.failed, 0);
+    server.shutdown();
+}
+
+#[test]
+fn coalesced_identical_requests_return_identical_bytes() {
+    // One worker, blocked by a slow job: identical requests stack up
+    // in-flight and must coalesce onto a single planning job.
+    let cfg = ServeConfig {
+        workers: 1,
+        ..quick_cfg()
+    };
+    let (server, addr) = spawn(cfg);
+
+    // Occupy the only worker (24-layer BERT takes a while even under
+    // the heuristic planner).
+    let blocker = std::thread::spawn(move || {
+        client::post_json(
+            addr,
+            "/v1/plan?wait=1",
+            r#"{"tenant":"alice","model":"bert","planner":"CP-AR"}"#,
+        )
+        .unwrap()
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let identical = r#"{"tenant":"alice","model":"vgg19","planner":"CP-AR","wait":true}"#;
+    let mut waiters = Vec::new();
+    for _ in 0..3 {
+        waiters.push(std::thread::spawn(move || {
+            client::post_json(addr, "/v1/plan", identical).unwrap()
+        }));
+    }
+    let responses: Vec<_> = waiters.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(blocker.join().unwrap().status, 200);
+
+    let bodies: HashSet<Vec<u8>> = responses.iter().map(|r| r.body.clone()).collect();
+    assert_eq!(bodies.len(), 1, "coalesced responses must be byte-identical");
+    let jobs: HashSet<_> = responses
+        .iter()
+        .map(|r| r.header("x-heterog-job").unwrap().to_string())
+        .collect();
+    assert_eq!(jobs.len(), 1, "identical requests must share one job id");
+    let coalesced = responses
+        .iter()
+        .filter(|r| r.header("x-heterog-coalesced") == Some("1"))
+        .count();
+    assert_eq!(coalesced, 2, "two of three identical requests coalesce");
+    assert_eq!(server.stats().coalesced, 2);
+    server.shutdown();
+}
+
+#[test]
+fn deep_backlog_degrades_search_to_heuristic() {
+    // One worker and a degradation threshold of one pending job: firing
+    // several full-search requests concurrently guarantees some of them
+    // are popped while others still queue behind them.
+    let cfg = ServeConfig {
+        workers: 1,
+        degrade_depth: 1,
+        search_groups: 4,
+        ..ServeConfig::default()
+    };
+    let (server, addr) = spawn(cfg);
+
+    let mut handles = Vec::new();
+    for batch in [32u64, 48, 64, 80, 96, 112] {
+        handles.push(std::thread::spawn(move || {
+            let body = format!(
+                r#"{{"tenant":"alice","model":"vgg19","batch":{batch},"wait":true}}"#
+            );
+            client::post_json(addr, "/v1/plan", &body).unwrap()
+        }));
+    }
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &responses {
+        assert_eq!(r.status, 200, "{}", r.text());
+    }
+    let degraded: Vec<_> = responses
+        .iter()
+        .filter(|r| r.header("x-heterog-degraded") == Some("1"))
+        .collect();
+    assert!(
+        !degraded.is_empty(),
+        "a deep backlog must degrade at least one search instead of timing out"
+    );
+    for r in &degraded {
+        assert_eq!(r.header("x-heterog-planner"), Some("CP-AR"));
+        assert!(r.text().contains("\"degraded\":true"), "{}", r.text());
+        assert!(r.text().contains("\"planner\":\"heterog\""), "{}", r.text());
+    }
+    assert_eq!(server.stats().degraded as usize, degraded.len());
+    server.shutdown();
+}
+
+#[test]
+fn event_stream_seqs_are_gap_free() {
+    // One worker so the captured window belongs to this job alone.
+    let cfg = ServeConfig {
+        workers: 1,
+        ..quick_cfg()
+    };
+    let (server, addr) = spawn(cfg);
+
+    let r = client::post_json(
+        addr,
+        "/v1/plan",
+        r#"{"tenant":"alice","model":"vgg19","planner":"CP-AR"}"#,
+    )
+    .unwrap();
+    assert_eq!(r.status, 202);
+    let job = r.header("x-heterog-job").unwrap().to_string();
+
+    // The events endpoint streams chunked JSONL until the job is done.
+    let stream = client::get(addr, &format!("/v1/jobs/{job}/events")).unwrap();
+    assert_eq!(stream.status, 200);
+    assert_eq!(stream.header("transfer-encoding"), Some("chunked"));
+    let text = stream.text();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert!(
+        lines.len() >= 2,
+        "a plan job must emit at least start/finish events: {text:?}"
+    );
+    let mut seqs = Vec::new();
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("event line is not JSON ({e}): {line}"));
+        seqs.push(v.get("seq").and_then(|s| s.as_u64()).expect("seq field"));
+    }
+    for pair in seqs.windows(2) {
+        assert_eq!(
+            pair[1],
+            pair[0] + 1,
+            "event stream must be gap-free: {seqs:?}"
+        );
+    }
+    assert!(text.contains("\"type\":\"run_started\""), "{text}");
+    assert!(text.contains("\"type\":\"run_finished\""), "{text}");
+
+    // The completed job also answers a plain status poll.
+    let status = client::get(addr, &format!("/v1/jobs/{job}")).unwrap();
+    assert_eq!(status.status, 200);
+    assert!(status.text().contains("\"status\":\"done\""), "{}", status.text());
+    server.shutdown();
+}
+
+#[test]
+fn repeat_plans_hit_the_memo_across_tenants() {
+    let (server, addr) = spawn(quick_cfg());
+    let first = client::post_json(
+        addr,
+        "/v1/plan?wait=1",
+        r#"{"tenant":"alice","model":"vgg19","planner":"CP-AR"}"#,
+    )
+    .unwrap();
+    assert_eq!(first.status, 200);
+    let second = client::post_json(
+        addr,
+        "/v1/plan?wait=1",
+        r#"{"tenant":"bob","model":"vgg19","planner":"CP-AR"}"#,
+    )
+    .unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        first.body, second.body,
+        "identical specs must produce identical plan bytes for every tenant"
+    );
+    let stats = server.stats();
+    assert!(stats.memo_hits >= 1, "{stats:?}");
+    assert!(
+        stats.cross_tenant_hits >= 1,
+        "bob's hit rides on alice's entry: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn metrics_expose_queue_depth_and_cache_counters() {
+    let (server, addr) = spawn(quick_cfg());
+    // Twice: the repeat hits the eval cache, which registers the hit
+    // counter in the telemetry snapshot.
+    for _ in 0..2 {
+        let r = client::post_json(
+            addr,
+            "/v1/plan?wait=1",
+            r#"{"tenant":"alice","model":"vgg19","planner":"CP-AR"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    for metric in [
+        "heterog_serve_queue_depth",
+        "heterog_serve_requests_total",
+        "heterog_serve_jobs_completed_total",
+        "heterog_strategies_eval_cache_hits_total",
+    ] {
+        assert!(text.contains(metric), "missing {metric} in:\n{text}");
+    }
+    server.shutdown();
+}
+
+// ---- shared eval-cache shard concurrency --------------------------------
+
+mod cache_props {
+    use super::*;
+    use heterog_cluster::paper_testbed_8gpu;
+    use heterog_graph::{BenchmarkModel, ModelSpec};
+    use heterog_profile::GroundTruthCost;
+    use heterog_strategies::{evaluate, ShardedEvalCache};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 4, .. ProptestConfig::default()
+        })]
+
+        /// Hammering one sharded cache from several threads over a
+        /// random set of contexts must (a) return bit-identical results
+        /// to a fresh evaluation, and (b) account every lookup as a hit
+        /// or a miss with each context planted in exactly one shard.
+        #[test]
+        fn concurrent_shards_stay_coherent(
+            shards in 1usize..5,
+            nbatches in 1usize..4,
+            seed in 0u64..1000,
+            threads in 2usize..4,
+        ) {
+            // Derive `nbatches` distinct batch sizes from the seed
+            // (7 is coprime to 31, so the residues never collide).
+            let batches: Vec<u64> = (0..nbatches as u64)
+                .map(|i| 8 * (1 + (seed + 7 * i) % 31))
+                .collect();
+            let cluster = paper_testbed_8gpu();
+            let planner = heterog::try_baseline_planner("CP-AR").unwrap();
+            let cache = Arc::new(ShardedEvalCache::with_capacity(shards, 16));
+            prop_assert_eq!(cache.num_shards(), shards.max(1));
+
+            let mut fresh = Vec::new();
+            for &b in &batches {
+                let g = ModelSpec::new(BenchmarkModel::Vgg19, b).build();
+                let s = planner.plan(&g, &cluster, &GroundTruthCost);
+                let e = evaluate(&g, &cluster, &GroundTruthCost, &s);
+                fresh.push((g, s, e));
+            }
+            let fresh = Arc::new(fresh);
+
+            let workers: Vec<_> = (0..threads).map(|_| {
+                let cache = Arc::clone(&cache);
+                let cluster = cluster.clone();
+                let fresh = Arc::clone(&fresh);
+                std::thread::spawn(move || {
+                    for (g, s, expected) in fresh.iter() {
+                        let got = cache.evaluate(g, &cluster, &GroundTruthCost, s);
+                        assert_eq!(
+                            got.iteration_time.to_bits(),
+                            expected.iteration_time.to_bits(),
+                            "cached evaluation must bit-match a fresh one"
+                        );
+                        assert_eq!(got.oom, expected.oom);
+                    }
+                })
+            }).collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+
+            // Every lookup is accounted as a hit or a miss, and each
+            // context lands in exactly one shard. Threads racing on the
+            // first lookup of a context may each record a miss, so the
+            // miss count is bounded, not exact.
+            let total = (threads * batches.len()) as u64;
+            prop_assert_eq!(cache.hits() + cache.misses(), total);
+            prop_assert_eq!(cache.contexts(), batches.len());
+            prop_assert!(cache.misses() >= batches.len() as u64);
+            prop_assert!(cache.misses() <= total);
+            prop_assert_eq!(cache.hits(), total - cache.misses());
+        }
+    }
+}
